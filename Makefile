@@ -1,0 +1,33 @@
+# Convenience targets for the go-taskvine-context reproduction.
+
+.PHONY: all build test race bench experiments examples clean
+
+all: build test
+
+build:
+	go build ./...
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# One Go benchmark per paper table/figure (reduced scale).
+bench:
+	go test -bench=. -benchmem .
+
+# Every table and figure at paper scale (~10 s).
+experiments:
+	go run ./cmd/vinebench -exp all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/distribution
+	go run ./examples/autohoist
+	go run ./examples/lnni
+	go run ./examples/examol
+
+clean:
+	go clean ./...

@@ -1,0 +1,238 @@
+package repro_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablations. Each runs its experiment harness at 1/20 workload scale
+// (keeping worker counts, so contention shapes survive); run
+// cmd/vinebench for paper scale. The reported metric of interest is
+// the simulated application execution time, attached as custom
+// benchmark metrics (sim_seconds etc.); wall time measures the
+// harness itself.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/minipy"
+	"repro/internal/pickle"
+	"repro/taskvine"
+)
+
+const (
+	benchScale   = 20
+	benchTimeout = 30 * time.Second
+)
+
+func benchOpts(i int) experiments.Options {
+	return experiments.Options{Scale: benchScale, Seed: uint64(i + 1)}
+}
+
+func benchExperiment(b *testing.B, name string, keyRow string) {
+	f, ok := experiments.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep := f(benchOpts(i))
+		if v, ok := rep.Get(keyRow); ok {
+			last = v
+		}
+	}
+	if last != 0 {
+		b.ReportMetric(last, "sim_s")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the overhead of executing
+// trivial functions locally, as remote tasks, and as remote
+// invocations.
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "table2", "remote-invocation total")
+}
+
+// BenchmarkFig6a regenerates Figure 6a: LNNI execution time at
+// L1/L2/L3.
+func BenchmarkFig6a(b *testing.B) {
+	benchExperiment(b, "fig6a", "L3 execution time")
+}
+
+// BenchmarkFig6b regenerates Figure 6b: ExaMol execution time at
+// L1/L2.
+func BenchmarkFig6b(b *testing.B) {
+	benchExperiment(b, "fig6b", "L2 execution time")
+}
+
+// BenchmarkFig7 regenerates Figure 7: invocation run time histograms.
+func BenchmarkFig7(b *testing.B) {
+	benchExperiment(b, "fig7", "L3 histogram mode")
+}
+
+// BenchmarkTable4 regenerates Table 4: invocation run time statistics.
+func BenchmarkTable4(b *testing.B) {
+	benchExperiment(b, "table4", "L3 mean")
+}
+
+// BenchmarkFig8 regenerates Figure 8: execution time versus invocation
+// length.
+func BenchmarkFig8(b *testing.B) {
+	benchExperiment(b, "fig8", "L3 vs L1 reduction @16")
+}
+
+// BenchmarkFig9 regenerates Figure 9: execution time versus worker
+// count.
+func BenchmarkFig9(b *testing.B) {
+	benchExperiment(b, "fig9", "L3 workers=10 execution time")
+}
+
+// BenchmarkFig10 regenerates Figure 10: deployed libraries over time.
+func BenchmarkFig10(b *testing.B) {
+	benchExperiment(b, "fig10", "final deployed libraries")
+}
+
+// BenchmarkFig11 regenerates Figure 11: average library share value
+// over time.
+func BenchmarkFig11(b *testing.B) {
+	benchExperiment(b, "fig11", "final average share value")
+}
+
+// BenchmarkTable5 regenerates Table 5: the per-phase overhead
+// breakdown.
+func BenchmarkTable5(b *testing.B) {
+	benchExperiment(b, "table5", "L3-invoc exec time")
+}
+
+// BenchmarkAblationTransfer compares the Figure 3 topologies.
+func BenchmarkAblationTransfer(b *testing.B) {
+	benchExperiment(b, "ablation-transfer", "3b peer spanning-tree execution time")
+}
+
+// BenchmarkAblationPeerCap sweeps the per-source transfer cap N.
+func BenchmarkAblationPeerCap(b *testing.B) {
+	benchExperiment(b, "ablation-peercap", "cap=3 execution time")
+}
+
+// BenchmarkAblationSlots compares the §3.5.2 slot strategies.
+func BenchmarkAblationSlots(b *testing.B) {
+	benchExperiment(b, "ablation-slots", "16 single-slot libraries execution time")
+}
+
+// BenchmarkAblationDispatch sweeps the manager dispatch cost.
+func BenchmarkAblationDispatch(b *testing.B) {
+	benchExperiment(b, "ablation-dispatch", "dispatch=0.0036s execution time")
+}
+
+// BenchmarkExaMolL3Projection projects ExaMol at the L3 level the
+// paper could not run.
+func BenchmarkExaMolL3Projection(b *testing.B) {
+	benchExperiment(b, "examol-l3", "L3 execution time")
+}
+
+// ---- engine microbenchmarks ----
+
+// BenchmarkPickleFunction measures serializing a realistic function
+// object (the Discover hot path).
+func BenchmarkPickleFunction(b *testing.B) {
+	ip := minipy.NewInterp(nil)
+	env, err := ip.RunModule(`
+offset = 17
+def work(xs, k=3):
+    total = offset
+    for x in xs:
+        if x % 2 == 0:
+            total += x * k
+        else:
+            total -= x
+    return total
+`, "m")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fv, _ := env.Get("work")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pickle.Marshal(fv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnpickleFunction measures reconstructing a function on a
+// worker (the Retain hot path for pickled code).
+func BenchmarkUnpickleFunction(b *testing.B) {
+	ip := minipy.NewInterp(nil)
+	env, err := ip.RunModule("def add(a, b):\n    return a + b\n", "m")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fv, _ := env.Get("add")
+	data, err := pickle.Marshal(fv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pickle.Unmarshal(data, ip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMiniPyCall measures the interpreter's function call path —
+// the per-invocation floor of the whole system.
+func BenchmarkMiniPyCall(b *testing.B) {
+	ip := minipy.NewInterp(nil)
+	env, err := ip.RunModule("def add(a, b):\n    return a + b\n", "m")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fv, _ := env.Get("add")
+	args := []minipy.Value{minipy.Int(2), minipy.Int(3)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Call(fv, args, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndInvocation measures one real FunctionCall through
+// the live engine (manager, TCP, worker, library) — the Remote
+// Invocation row of Table 2 on real sockets.
+func BenchmarkEndToEndInvocation(b *testing.B) {
+	m, err := taskvine.NewManager(taskvine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown()
+	if err := m.SpawnLocalWorkers(1, taskvine.WorkerOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	env, err := m.Exec("def add(a, b):\n    return a + b\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := m.CreateLibraryFromFunctions("bench", taskvine.LibraryOptions{Slots: 1}, env, "add")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.InstallLibrary(lib); err != nil {
+		b.Fatal(err)
+	}
+	// Warm the library instance.
+	if _, err := m.Call("bench", "add", minipy.Int(1), minipy.Int(2)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Collect(1, benchTimeout); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Call("bench", "add", minipy.Int(int64(i)), minipy.Int(1)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Collect(1, benchTimeout); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command vinebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vinebench -exp fig6a            # one experiment at paper scale
+//	vinebench -exp all -scale 10    # everything at 1/10 workload
+//	vinebench -list                 # available experiment names
+//
+// Each experiment prints the same rows or series the paper reports,
+// with the published values alongside for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -list)")
+	scale := flag.Int("scale", 1, "divide workload size by this factor")
+	seed := flag.Uint64("seed", 0, "simulation seed (0 = default)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+	if *exp == "all" {
+		start := time.Now()
+		for _, name := range experiments.Names() {
+			runOne(name, opts)
+		}
+		fmt.Printf("all experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	runOne(*exp, opts)
+}
+
+func runOne(name string, opts experiments.Options) {
+	f, ok := experiments.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vinebench: unknown experiment %q (use -list)\n", name)
+		os.Exit(2)
+	}
+	start := time.Now()
+	rep := f(opts)
+	fmt.Println(rep)
+	fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+}

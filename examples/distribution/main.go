@@ -1,0 +1,89 @@
+// Distribution: demonstrates the three context distribution topologies
+// of Figure 3 on the real engine, counting who sent what.
+//
+//   - 3a: no peer communication — every copy flows from the manager.
+//
+//   - 3b: full peer communication — a spanning tree of workers.
+//
+//   - 3c: cluster-aware — peers within a cluster, the manager across.
+//
+//     go run ./examples/distribution
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/taskvine"
+)
+
+const app = `
+def context_setup():
+    global table
+    import mathx
+    table = {}
+    for i in range(100):
+        table[i] = mathx.floor(mathx.sqrt(i * i * i))
+
+def lookup(i):
+    global table
+    return table.get(i, -1)
+`
+
+func run(name string, opts taskvine.Options, clusters []string) {
+	m, err := taskvine.NewManager(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Shutdown()
+	for _, c := range clusters {
+		if err := m.SpawnLocalWorkers(2, taskvine.WorkerOptions{Cluster: c}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	env, err := m.Exec(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := m.CreateLibraryFromFunctions("lut", taskvine.LibraryOptions{
+		ContextSetup: "context_setup",
+		Slots:        1,
+		Resources:    core.Resources{Cores: 8, MemoryMB: 8 << 10, DiskMB: 8 << 10},
+	}, env, "lookup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.InstallLibrary(lib); err != nil {
+		log.Fatal(err)
+	}
+	// Enough single-slot invocations to force a library instance (and
+	// therefore an environment copy) onto every worker.
+	const calls = 32
+	for i := 0; i < calls; i++ {
+		if _, err := m.Call("lut", "lookup", minipy.Int(int64(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	results, err := m.Collect(calls, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Ok {
+			log.Fatalf("%s: call failed: %s", name, r.Err)
+		}
+	}
+	st := m.Stats()
+	instances, _ := m.LibraryDeployments()
+	fmt.Printf("%-18s workers=%d libraries=%d transfers: %d from manager, %d worker-to-worker\n",
+		name, len(clusters)*2, instances, st.DirectTransfers, st.PeerTransfers)
+}
+
+func main() {
+	run("3a manager-only", taskvine.Options{DisablePeerTransfers: true}, []string{"", "", ""})
+	run("3b peer-transfer", taskvine.Options{}, []string{"", "", ""})
+	run("3c cluster-aware", taskvine.Options{ClusterAware: true}, []string{"onprem", "onprem", "cloud"})
+}

@@ -1,0 +1,155 @@
+// ExaMol: a scaled-down version of the paper's molecular design
+// application (§4.1.2) — an active-learning loop combining PM7 quantum
+// chemistry, surrogate training, and surrogate inference — driven
+// through the Parsl-like dataflow layer and the TaskVineExecutor
+// (§3.6), exactly as the paper runs it.
+//
+//	go run ./examples/examol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/internal/parsl"
+	"repro/taskvine"
+)
+
+const app = `
+def simulate(smiles):
+    "PM7 ionization potential via quantum chemistry (the expensive truth)."
+    import chemtools
+    import quantumsim
+    mol = chemtools.parse_smiles(smiles)
+    return quantumsim.ionization_potential(mol, 200)
+
+def featurize(smiles):
+    import chemtools
+    mol = chemtools.parse_smiles(smiles)
+    return chemtools.featurize(mol)
+
+def train(X, y):
+    import mlpack
+    return mlpack.train(X, y, 400)
+
+def score(model, feats, nobs):
+    "Surrogate prediction with an exploration bonus."
+    import mlpack
+    import surrogates
+    pred = mlpack.predict(model, [feats])[0]
+    return surrogates.acquisition(pred, nobs)
+`
+
+// candidate pool: a tiny molecular design space.
+var pool = []string{
+	"CCO", "CCC", "CCN", "COC", "C1CCCCC1", "C1CCOC1", "CC(C)O",
+	"CCCl", "C1=CC=CC=C1", "CCOC", "CNC", "CC(N)C", "OCCO", "C1CC1",
+}
+
+func main() {
+	m, err := taskvine.NewManager(taskvine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Shutdown()
+	if err := m.SpawnLocalWorkers(3, taskvine.WorkerOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	env, err := m.Exec(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	get := func(name string) *minipy.Func {
+		fn, err := taskvine.FuncFrom(env, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fn
+	}
+
+	exec := parsl.NewTaskVineExecutor(m, parsl.ExecutorOptions{
+		Mode:     parsl.ModeFunctionCall,
+		Slots:    6,
+		ExecMode: core.ExecFork,
+	})
+	defer exec.Close()
+	dfk := parsl.NewDFK(exec)
+
+	// Active-learning loop (Colmena-style steering): simulate a batch,
+	// train the surrogate, pick the next molecule by acquisition score.
+	known := map[string]bool{}
+	X := &minipy.List{}
+	y := &minipy.List{}
+	batch := []string{"CCO", "C1CCCCC1", "CCN"}
+	var bestMol string
+	bestIP := -1.0
+
+	for round := 1; round <= 3; round++ {
+		// 1. Simulate the batch concurrently (the expensive tasks).
+		type simOut struct {
+			smiles     string
+			feat, ipot *parsl.Future
+		}
+		var outs []simOut
+		for _, s := range batch {
+			known[s] = true
+			outs = append(outs, simOut{
+				smiles: s,
+				feat:   dfk.Submit(get("featurize"), minipy.Str(s)),
+				ipot:   dfk.Submit(get("simulate"), minipy.Str(s)),
+			})
+		}
+		for _, o := range outs {
+			fv, err := o.feat.Result()
+			if err != nil {
+				log.Fatal(err)
+			}
+			iv, err := o.ipot.Result()
+			if err != nil {
+				log.Fatal(err)
+			}
+			X.Elems = append(X.Elems, fv)
+			y.Elems = append(y.Elems, iv)
+			if ip := float64(iv.(minipy.Float)); ip > bestIP {
+				bestIP, bestMol = ip, o.smiles
+			}
+			fmt.Printf("round %d: simulate(%-12s) IP = %s eV\n", round, o.smiles, iv.Repr())
+		}
+
+		// 2. Train the surrogate on everything observed so far.
+		modelFut := dfk.Submit(get("train"), X, y)
+
+		// 3. Score the remaining pool and pick the most promising
+		//    molecule for the next round.
+		bestScore := -1.0
+		next := ""
+		for _, s := range pool {
+			if known[s] {
+				continue
+			}
+			featFut := dfk.Submit(get("featurize"), minipy.Str(s))
+			scoreFut := dfk.Submit(get("score"), modelFut, featFut, minipy.Int(int64(len(known))))
+			sv, err := scoreFut.Result()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if sc := float64(sv.(minipy.Float)); sc > bestScore {
+				bestScore, next = sc, s
+			}
+		}
+		if next == "" {
+			break
+		}
+		fmt.Printf("round %d: surrogate picks %s (acquisition %.3f)\n", round, next, bestScore)
+		batch = []string{next}
+	}
+	dfk.Wait()
+
+	sub, comp, fail := dfk.Stats()
+	instances, served := m.LibraryDeployments()
+	fmt.Printf("\nbest molecule: %s (IP %.3f eV)\n", bestMol, bestIP)
+	fmt.Printf("dataflow: %d submitted, %d completed, %d failed\n", sub, comp, fail)
+	fmt.Printf("libraries: %d instances served %d invocations\n", instances, served)
+}

@@ -1,0 +1,130 @@
+// LNNI: a scaled-down version of the paper's large-scale neural
+// network inference application (§4.1.1), run at all three context
+// reuse levels on the real engine, comparing what moves and what is
+// retained.
+//
+//   - L1: every invocation is a stateless task pulling code and the
+//     144-package ML environment from the shared filesystem.
+//
+//   - L2: the environment and code are cached on each worker's disk.
+//
+//   - L3: a library retains the loaded ResNet50 model in memory and
+//     invocations carry only their arguments.
+//
+//     go run ./examples/lnni
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/taskvine"
+)
+
+const app = `
+def context_setup():
+    global model
+    import resnet
+    model = resnet.load_model("resnet50")
+
+def classify(seed, n):
+    "L3 body: reuses the retained model."
+    import imageproc
+    global model
+    return model.infer_batch(imageproc.generate_batch(seed, n))
+
+def classify_task(seed, n):
+    "L1/L2 body: reloads the model every time (the naive transformation)."
+    import resnet
+    import imageproc
+    model = resnet.load_model("resnet50")
+    return model.infer_batch(imageproc.generate_batch(seed, n))
+`
+
+const (
+	invocations = 30
+	batch       = 8
+	workers     = 3
+)
+
+func main() {
+	m, err := taskvine.NewManager(taskvine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Shutdown()
+	if err := m.SpawnLocalWorkers(workers, taskvine.WorkerOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	env, err := m.Exec(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	taskFn, err := taskvine.FuncFrom(env, "classify_task")
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrapped, err := m.WrapFunction(taskFn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LNNI environment: %d packages, %.0f MB packed, %.1f GB unpacked\n",
+		len(wrapped.Environment().Packages),
+		float64(wrapped.Environment().PackedSize())/(1<<20),
+		float64(wrapped.Environment().InstalledSize())/(1<<30))
+
+	runLevel := func(level core.ReuseLevel, submit func(i int) error) {
+		start := time.Now()
+		for i := 0; i < invocations; i++ {
+			if err := submit(i); err != nil {
+				log.Fatal(err)
+			}
+		}
+		results, err := m.Collect(invocations, 2*time.Minute)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.Ok {
+				log.Fatalf("%v failed: %s", level, r.Err)
+			}
+		}
+		reads, bytes := m.SharedFS().Stats()
+		fmt.Printf("%s: %d invocations in %v (shared FS so far: %d reads, %.0f MB)\n",
+			level, invocations, time.Since(start).Round(time.Millisecond), reads, float64(bytes)/(1<<20))
+	}
+
+	runLevel(core.L1, func(i int) error {
+		_, err := m.SubmitWrappedCall(wrapped, core.L1, core.Resources{Cores: 2}, minipy.Int(int64(i)), minipy.Int(batch))
+		return err
+	})
+	runLevel(core.L2, func(i int) error {
+		_, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 2}, minipy.Int(int64(i)), minipy.Int(batch))
+		return err
+	})
+
+	lib, err := m.CreateLibraryFromFunctions("mllib", taskvine.LibraryOptions{
+		ContextSetup: "context_setup",
+		Slots:        8,
+		Mode:         core.ExecFork,
+	}, env, "classify")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.InstallLibrary(lib); err != nil {
+		log.Fatal(err)
+	}
+	runLevel(core.L3, func(i int) error {
+		_, err := m.Call("mllib", "classify", minipy.Int(int64(i)), minipy.Int(batch))
+		return err
+	})
+
+	instances, served := m.LibraryDeployments()
+	stats := m.Stats()
+	fmt.Printf("libraries: %d instances served %d invocations; transfers: %d direct, %d peer\n",
+		instances, served, stats.DirectTransfers, stats.PeerTransfers)
+}

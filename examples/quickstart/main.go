@@ -1,0 +1,86 @@
+// Quickstart: the Figure 5 workflow end to end in one process.
+//
+// A function and its context-setup helper are defined in MiniPy, a
+// library is created from them (discovering code, dependencies, and
+// setup automatically), installed on local workers, and invoked with
+// lightweight FunctionCalls that reuse the retained context.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/taskvine"
+)
+
+const app = `
+def context_setup(scale):
+    "Loads the expensive state once per worker (Figure 4 of the paper)."
+    global factor
+    import mathx
+    factor = mathx.sqrt(scale)
+
+def f(x):
+    global factor
+    return x * factor
+`
+
+func main() {
+	m, err := taskvine.NewManager(taskvine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Shutdown()
+	if err := m.SpawnLocalWorkers(2, taskvine.WorkerOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	env, err := m.Exec(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Discover: source, dependencies (mathx), and the setup function.
+	lib, err := m.CreateLibraryFromFunctions("lib", taskvine.LibraryOptions{
+		ContextSetup: "context_setup",
+		ContextArgs:  []minipy.Value{minipy.Int(100)},
+		Slots:        4,
+		Mode:         core.ExecFork,
+	}, env, "f")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("library %q: %d packages in its environment\n",
+		"lib", len(lib.Environment().Packages))
+
+	// Distribute + retain: install once; workers receive the context on
+	// first use and keep it.
+	if err := m.InstallLibrary(lib); err != nil {
+		log.Fatal(err)
+	}
+
+	// Invoke: only the arguments travel (Table 1 of the paper).
+	for i := 0; i < 10; i++ {
+		if _, err := m.Call("lib", "f", minipy.Int(int64(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	results, err := m.Collect(10, 30*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		v, err := m.DecodeValue(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("f -> %s\n", v.Repr())
+	}
+	instances, served := m.LibraryDeployments()
+	fmt.Printf("context reuse: %d library instance(s) served %d invocations\n", instances, served)
+}

@@ -1,0 +1,20 @@
+# A chemistry workflow for cmd/vinerun: PM7 ionization potentials with
+# a retained parser/feature context.
+
+def context_setup():
+    global chem, qsim
+    import chemtools as chem
+    import quantumsim as qsim
+
+def screen(smiles, steps):
+    global chem, qsim
+    mol = chem.parse_smiles(smiles)
+    ip = qsim.ionization_potential(mol, steps)
+    return [smiles, ip]
+
+VINE = {
+    "library": "chemlib",
+    "context": "context_setup",
+    "function": "screen",
+    "calls": [["CCO", 100], ["CCC", 100], ["C1CCCCC1", 100], ["CCN", 100]],
+}

@@ -1,0 +1,20 @@
+# A standalone MiniPy workflow for cmd/vinerun: ResNet50 inference with
+# a retained model context.
+
+def context_setup():
+    global model
+    import resnet
+    model = resnet.load_model("resnet50")
+
+def classify(seed, n):
+    import imageproc
+    global model
+    batch = imageproc.generate_batch(seed, n)
+    return model.infer_batch(batch)
+
+VINE = {
+    "library": "mllib",
+    "context": "context_setup",
+    "function": "classify",
+    "calls": [[1, 4], [2, 4], [3, 4], [4, 4], [5, 4], [6, 4]],
+}

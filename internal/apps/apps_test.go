@@ -1,0 +1,103 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestLNNICalibration(t *testing.T) {
+	app := LNNI()
+	// §4.7's published environment figures.
+	if mb := float64(app.EnvPackedBytes) / (1 << 20); mb < 540 || mb > 610 {
+		t.Errorf("packed env %.0f MB, want ~572", mb)
+	}
+	if gbTenths := app.EnvUnpackedBytes * 10 / (1 << 30); gbTenths < 29 || gbTenths > 33 {
+		t.Errorf("unpacked env %d tenths of GB, want ~31", gbTenths)
+	}
+	// Table 5's phase calibration.
+	if app.UnpackSeconds < 14 || app.UnpackSeconds > 17 {
+		t.Errorf("unpack %.2f s, want ~15.25", app.UnpackSeconds)
+	}
+	if app.ContextSetupSeconds < 2.2 || app.ContextSetupSeconds > 3.2 {
+		t.Errorf("context setup %.2f s, want ~2.73", app.ContextSetupSeconds)
+	}
+	// 16 inferences ≈ 3.08 s on the reference machine: check the
+	// sampling median over many draws.
+	rng := event.NewRNG(1)
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		sum += app.ExecSeconds(rng, 16)
+	}
+	mean := sum / n
+	if mean < 2.8 || mean > 3.4 {
+		t.Errorf("mean exec for 16 inferences = %.3f s, want ~3.1", mean)
+	}
+}
+
+func TestExecScalesWithUnitsAndMachine(t *testing.T) {
+	app := LNNI()
+	rng := event.NewRNG(2)
+	var s16, s160 float64
+	for i := 0; i < 2000; i++ {
+		s16 += app.ExecSeconds(rng, 16)
+		s160 += app.ExecSeconds(rng, 160)
+	}
+	if ratio := s160 / s16; ratio < 9 || ratio > 11 {
+		t.Errorf("units ratio %.2f, want ~10", ratio)
+	}
+	// ExecOn scales inversely with GFlops.
+	fast := app.ExecOn(event.NewRNG(3), 16, 5.4, 5.4)
+	slow := app.ExecOn(event.NewRNG(3), 16, 1.9, 5.4)
+	if r := slow / fast; r < 2.7 || r > 3.0 {
+		t.Errorf("machine scale ratio %.2f, want 5.4/1.9", r)
+	}
+}
+
+func TestExaMolMixture(t *testing.T) {
+	app := ExaMol()
+	rng := event.NewRNG(4)
+	var short, long int
+	const n = 5000
+	for i := 0; i < n; i++ {
+		x := app.ExecSeconds(rng, 0)
+		if x < 60 {
+			short++
+		}
+		if x > 150 {
+			long++
+		}
+	}
+	// ~7.5% quick inference tasks, ~85% long simulations.
+	if frac := float64(short) / n; frac < 0.03 || frac > 0.15 {
+		t.Errorf("short-task fraction %.3f, want ~0.075", frac)
+	}
+	if frac := float64(long) / n; frac < 0.70 {
+		t.Errorf("long-task fraction %.3f, want most", frac)
+	}
+}
+
+func TestTrivialMatchesTable2(t *testing.T) {
+	app := Trivial()
+	if app.ExecSeconds(event.NewRNG(5), 1) != 8.89e-5 {
+		t.Errorf("trivial exec should be the measured 88.9 microseconds")
+	}
+	// Per-task overhead: dispatch + deserialize ≈ 0.19 s (Table 2).
+	if tot := app.DispatchL2 + app.DeserializeSeconds; tot < 0.17 || tot > 0.21 {
+		t.Errorf("per-task overhead %.3f, want ~0.19", tot)
+	}
+	// Per-invocation overhead ≈ 2.52 ms.
+	if tot := app.DispatchL3 + app.ArgLoadSeconds; tot < 0.002 || tot > 0.003 {
+		t.Errorf("per-invocation overhead %.4f, want ~0.0025", tot)
+	}
+}
+
+func TestDispatchOrdering(t *testing.T) {
+	for _, app := range []*CostModel{LNNI(), ExaMol(), Trivial()} {
+		if app.DispatchL3 >= app.DispatchL2 {
+			t.Errorf("%s: invocation dispatch (%.4f) should be far below task dispatch (%.4f)",
+				app.Name, app.DispatchL3, app.DispatchL2)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package colmena is a compact version of the Colmena framework the
+// paper's ExaMol application uses for task-scheduling logic (§4.1.2):
+// an application is split into a *thinker* (the steering policy) and a
+// *task server* (here, any parsl.Executor, typically the
+// TaskVineExecutor). They communicate through topic-tagged queues: the
+// thinker submits method invocations with a topic, the task server runs
+// them, and results stream back carrying their topic, user data, and
+// timings, letting agents steer ensembles — the
+// simulate/train/infer loop of ExaMol.
+package colmena
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/minipy"
+	"repro/internal/parsl"
+)
+
+// Task is one method invocation submitted by the thinker.
+type Task struct {
+	// Method names the registered function to run.
+	Method string
+	// Args are the invocation's arguments.
+	Args []minipy.Value
+	// Topic routes the result back to the right agent.
+	Topic string
+	// UserData rides along untouched (e.g. the molecule identity).
+	UserData any
+}
+
+// Result is a completed task.
+type Result struct {
+	Task
+	Value minipy.Value
+	Err   error
+	// Submitted and Completed bound the task's lifetime; RunTime is
+	// Completed minus Submitted (queueing included).
+	Submitted time.Time
+	Completed time.Time
+}
+
+// RunTime returns the end-to-end duration.
+func (r *Result) RunTime() time.Duration { return r.Completed.Sub(r.Submitted) }
+
+// Queues wires a thinker to a task server.
+type Queues struct {
+	exec    parsl.Executor
+	methods map[string]*minipy.Func
+
+	mu      sync.Mutex
+	topics  map[string]chan *Result
+	pending sync.WaitGroup
+	closed  bool
+}
+
+// NewQueues creates the queue pair over an executor.
+func NewQueues(exec parsl.Executor) *Queues {
+	return &Queues{
+		exec:    exec,
+		methods: map[string]*minipy.Func{},
+		topics:  map[string]chan *Result{},
+	}
+}
+
+// Register makes a function invocable by name.
+func (q *Queues) Register(method string, fn *minipy.Func) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.methods[method] = fn
+}
+
+// topicChan returns (creating if needed) the result channel of a topic.
+func (q *Queues) topicChan(topic string) chan *Result {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ch, ok := q.topics[topic]
+	if !ok {
+		ch = make(chan *Result, 1024)
+		q.topics[topic] = ch
+	}
+	return ch
+}
+
+// Submit sends a task to the task server; its result will appear on
+// the task's topic queue.
+func (q *Queues) Submit(task Task) error {
+	q.mu.Lock()
+	fn, ok := q.methods[task.Method]
+	closed := q.closed
+	q.mu.Unlock()
+	if closed {
+		return fmt.Errorf("colmena: queues closed")
+	}
+	if !ok {
+		return fmt.Errorf("colmena: no method %q registered", task.Method)
+	}
+	ch := q.topicChan(task.Topic)
+	q.pending.Add(1)
+	go func() {
+		defer q.pending.Done()
+		res := &Result{Task: task, Submitted: time.Now()}
+		res.Value, res.Err = q.exec.Execute(fn, task.Args)
+		res.Completed = time.Now()
+		ch <- res
+	}()
+	return nil
+}
+
+// Recv blocks for the next result on a topic, with a timeout.
+func (q *Queues) Recv(topic string, timeout time.Duration) (*Result, error) {
+	select {
+	case res := <-q.topicChan(topic):
+		return res, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("colmena: no result on topic %q within %v", topic, timeout)
+	}
+}
+
+// Drain waits for all in-flight tasks to finish.
+func (q *Queues) Drain() { q.pending.Wait() }
+
+// Close marks the queues closed for submission (in-flight tasks still
+// complete).
+func (q *Queues) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+}
+
+// Agent is one steering routine of a thinker; it runs on its own
+// goroutine with access to the queues.
+type Agent func(q *Queues)
+
+// Thinker runs a set of agents to completion — the Colmena pattern
+// where, e.g., one agent submits simulations, another retrains the
+// surrogate on results, a third picks the next candidates.
+type Thinker struct {
+	queues *Queues
+	agents []Agent
+}
+
+// NewThinker creates a thinker over queues.
+func NewThinker(q *Queues) *Thinker { return &Thinker{queues: q} }
+
+// AddAgent registers a steering routine.
+func (t *Thinker) AddAgent(a Agent) { t.agents = append(t.agents, a) }
+
+// Run launches every agent and waits for all of them, then drains the
+// queues.
+func (t *Thinker) Run() {
+	var wg sync.WaitGroup
+	for _, a := range t.agents {
+		wg.Add(1)
+		go func(a Agent) {
+			defer wg.Done()
+			a(t.queues)
+		}(a)
+	}
+	wg.Wait()
+	t.queues.Drain()
+}

@@ -1,0 +1,222 @@
+package colmena
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/internal/parsl"
+	"repro/taskvine"
+)
+
+const recvTimeout = 30 * time.Second
+
+func defineFns(t *testing.T, ip *minipy.Interp, src string, names ...string) map[string]*minipy.Func {
+	t.Helper()
+	env, err := ip.RunModule(src, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*minipy.Func{}
+	for _, n := range names {
+		v, ok := env.Get(n)
+		if !ok {
+			t.Fatalf("no %q", n)
+		}
+		out[n] = v.(*minipy.Func)
+	}
+	return out
+}
+
+func TestSubmitRecvRoundTrip(t *testing.T) {
+	ip := minipy.NewInterp(nil)
+	fns := defineFns(t, ip, "def sq(x):\n    return x * x\n", "sq")
+	q := NewQueues(parsl.NewLocalExecutor(ip))
+	q.Register("sq", fns["sq"])
+
+	if err := q.Submit(Task{Method: "sq", Args: []minipy.Value{minipy.Int(7)}, Topic: "t", UserData: "mol-7"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Recv("t", recvTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil || res.Value.Repr() != "49" {
+		t.Errorf("result = %v %v", res.Value, res.Err)
+	}
+	if res.UserData != "mol-7" || res.Topic != "t" {
+		t.Errorf("metadata lost: %+v", res.Task)
+	}
+	if res.RunTime() < 0 {
+		t.Errorf("negative runtime")
+	}
+}
+
+func TestUnknownMethodAndClosedQueues(t *testing.T) {
+	ip := minipy.NewInterp(nil)
+	q := NewQueues(parsl.NewLocalExecutor(ip))
+	if err := q.Submit(Task{Method: "nope"}); err == nil || !strings.Contains(err.Error(), "no method") {
+		t.Errorf("unknown method accepted: %v", err)
+	}
+	fns := defineFns(t, ip, "def f(x):\n    return x\n", "f")
+	q.Register("f", fns["f"])
+	q.Close()
+	if err := q.Submit(Task{Method: "f"}); err == nil {
+		t.Errorf("closed queue accepted a task")
+	}
+}
+
+func TestTaskErrorDelivered(t *testing.T) {
+	ip := minipy.NewInterp(nil)
+	fns := defineFns(t, ip, "def boom(x):\n    return 1 / x\n", "boom")
+	q := NewQueues(parsl.NewLocalExecutor(ip))
+	q.Register("boom", fns["boom"])
+	if err := q.Submit(Task{Method: "boom", Args: []minipy.Value{minipy.Int(0)}, Topic: "e"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Recv("e", recvTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Errorf("task error lost")
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	q := NewQueues(parsl.NewLocalExecutor(minipy.NewInterp(nil)))
+	if _, err := q.Recv("silent", 20*time.Millisecond); err == nil {
+		t.Errorf("expected timeout")
+	}
+}
+
+func TestTopicsIsolated(t *testing.T) {
+	ip := minipy.NewInterp(nil)
+	fns := defineFns(t, ip, "def idf(x):\n    return x\n", "idf")
+	q := NewQueues(parsl.NewLocalExecutor(ip))
+	q.Register("idf", fns["idf"])
+	_ = q.Submit(Task{Method: "idf", Args: []minipy.Value{minipy.Str("a")}, Topic: "ta"})
+	_ = q.Submit(Task{Method: "idf", Args: []minipy.Value{minipy.Str("b")}, Topic: "tb"})
+	rb, err := q.Recv("tb", recvTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := q.Recv("ta", recvTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minipy.ToStr(ra.Value) != "a" || minipy.ToStr(rb.Value) != "b" {
+		t.Errorf("topics crossed: %s %s", ra.Value.Repr(), rb.Value.Repr())
+	}
+}
+
+// TestExaMolThinkerOverTaskVine runs the paper's full ExaMol stack:
+// Colmena thinker agents → Parsl executor → TaskVine engine → library
+// invocations with retained chemistry context.
+func TestExaMolThinkerOverTaskVine(t *testing.T) {
+	m, err := taskvine.NewManager(taskvine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	if err := m.SpawnLocalWorkers(2, taskvine.WorkerOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+def simulate(smiles):
+    import chemtools
+    import quantumsim
+    return quantumsim.ionization_potential(chemtools.parse_smiles(smiles), 100)
+
+def featurize(smiles):
+    import chemtools
+    return chemtools.featurize(chemtools.parse_smiles(smiles))
+
+def train(X, y):
+    import mlpack
+    return mlpack.train(X, y, 200)
+`
+	env, err := m.Interp().RunModule(src, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(n string) *minipy.Func {
+		v, _ := env.Get(n)
+		return v.(*minipy.Func)
+	}
+
+	exec := parsl.NewTaskVineExecutor(m, parsl.ExecutorOptions{
+		Mode: parsl.ModeFunctionCall, Slots: 4, ExecMode: core.ExecFork,
+		Resources: core.Resources{Cores: 8, MemoryMB: 8 << 10, DiskMB: 8 << 10},
+	})
+	defer exec.Close()
+
+	q := NewQueues(exec)
+	q.Register("simulate", get("simulate"))
+	q.Register("featurize", get("featurize"))
+	q.Register("train", get("train"))
+
+	mols := []string{"CCO", "CCC", "CCN", "COC"}
+	X := &minipy.List{}
+	y := &minipy.List{}
+	var mu sync.Mutex
+
+	thinker := NewThinker(q)
+	// Agent 1: submit all simulations and featurizations.
+	thinker.AddAgent(func(q *Queues) {
+		for _, s := range mols {
+			if err := q.Submit(Task{Method: "simulate", Args: []minipy.Value{minipy.Str(s)}, Topic: "sim", UserData: s}); err != nil {
+				t.Error(err)
+			}
+			if err := q.Submit(Task{Method: "featurize", Args: []minipy.Value{minipy.Str(s)}, Topic: "feat", UserData: s}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	// Agent 2: gather simulation results.
+	thinker.AddAgent(func(q *Queues) {
+		for range mols {
+			res, err := q.Recv("sim", recvTimeout)
+			if err != nil || res.Err != nil {
+				t.Errorf("sim recv: %v %v", err, res)
+				return
+			}
+			mu.Lock()
+			y.Elems = append(y.Elems, res.Value)
+			mu.Unlock()
+		}
+	})
+	// Agent 3: gather features.
+	thinker.AddAgent(func(q *Queues) {
+		for range mols {
+			res, err := q.Recv("feat", recvTimeout)
+			if err != nil || res.Err != nil {
+				t.Errorf("feat recv: %v %v", err, res)
+				return
+			}
+			mu.Lock()
+			X.Elems = append(X.Elems, res.Value)
+			mu.Unlock()
+		}
+	})
+	thinker.Run()
+
+	// Steering step: train the surrogate on the gathered ensemble.
+	if err := q.Submit(Task{Method: "train", Args: []minipy.Value{X, y}, Topic: "model"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Recv("model", recvTimeout)
+	if err != nil || res.Err != nil {
+		t.Fatalf("train: %v %v", err, res)
+	}
+	model, ok := res.Value.(*minipy.Object)
+	if !ok || model.Class != "LinearModel" {
+		t.Errorf("trained model = %v", res.Value)
+	}
+	if _, served := m.LibraryDeployments(); served < int64(2*len(mols)) {
+		t.Errorf("served = %d, expected at least %d", served, 2*len(mols))
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReuseLevelStrings(t *testing.T) {
+	if L1.String() != "L1" || L2.String() != "L2" || L3.String() != "L3" {
+		t.Errorf("level strings wrong")
+	}
+	if ReuseLevel(9).String() == "" {
+		t.Errorf("unknown level should still stringify")
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	total := Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10}
+	use := Resources{Cores: 4, MemoryMB: 8 << 10, DiskMB: 4 << 10}
+	if !use.Fits(total) {
+		t.Errorf("use should fit total")
+	}
+	left := total.Sub(use)
+	if left.Cores != 28 || left.MemoryMB != 56<<10 {
+		t.Errorf("sub = %+v", left)
+	}
+	back := left.Add(use)
+	if back != total {
+		t.Errorf("add/sub not inverse: %+v", back)
+	}
+	big := Resources{Cores: 64}
+	if big.Fits(total) {
+		t.Errorf("64 cores fit in 32")
+	}
+	if !(Resources{}).Fits(total) {
+		t.Errorf("zero resources always fit")
+	}
+}
+
+// Property: Fits is monotone — if r fits in a, it fits in anything
+// a adds to.
+func TestQuickFitsMonotone(t *testing.T) {
+	f := func(c1, c2, m1, m2 uint8) bool {
+		r := Resources{Cores: int(c1), MemoryMB: int64(m1)}
+		a := Resources{Cores: int(c1) + int(c2), MemoryMB: int64(m1) + int64(m2)}
+		return r.Fits(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotCount(t *testing.T) {
+	ls := LibrarySpec{}
+	if ls.SlotCount() != 1 {
+		t.Errorf("default slots = %d", ls.SlotCount())
+	}
+	ls.Slots = 16
+	if ls.SlotCount() != 16 {
+		t.Errorf("slots = %d", ls.SlotCount())
+	}
+	ls.Slots = -2
+	if ls.SlotCount() != 1 {
+		t.Errorf("negative slots should clamp to 1")
+	}
+}
+
+func TestExecModeStrings(t *testing.T) {
+	if ExecDirect.String() != "direct" || ExecFork.String() != "fork" {
+		t.Errorf("exec mode strings wrong")
+	}
+}
+
+func TestMetricsTotal(t *testing.T) {
+	m := InvocationMetrics{TransferTime: 1, WorkerTime: 2, SetupTime: 3, ExecTime: 4}
+	if m.Total() != 10 {
+		t.Errorf("total = %f", m.Total())
+	}
+}

@@ -1,0 +1,169 @@
+// Package dasklite is the Dask-style lazy task graph counterpart to
+// the Parsl layer: applications build a graph of Delayed nodes and
+// compute it at the end, instead of eagerly submitting futures. The
+// paper (§5) presents TaskVine as an execution engine "fully
+// integrated with popular libraries like Parsl and Dask"; this package
+// plays Dask's role, executing graphs through any parsl.Executor —
+// including the TaskVineExecutor, which turns each node into a
+// FunctionCall against a context-retaining library.
+//
+// Shared nodes (diamond dependencies) are computed exactly once;
+// independent subgraphs run concurrently.
+package dasklite
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/minipy"
+	"repro/internal/parsl"
+)
+
+// Delayed is a lazy value: either a literal or a deferred function
+// application over other Delayed values.
+type Delayed struct {
+	fn   *minipy.Func
+	deps []*Delayed
+	lit  minipy.Value
+
+	once sync.Once
+	val  minipy.Value
+	err  error
+}
+
+// Value wraps a literal as a leaf node.
+func Value(v minipy.Value) *Delayed {
+	return &Delayed{lit: v}
+}
+
+// Call defers fn over the given arguments.
+func Call(fn *minipy.Func, args ...*Delayed) *Delayed {
+	return &Delayed{fn: fn, deps: args}
+}
+
+// IsLeaf reports whether the node is a literal.
+func (d *Delayed) IsLeaf() bool { return d.fn == nil }
+
+// Count returns the number of distinct computation nodes (excluding
+// leaves) in the graph rooted at d.
+func (d *Delayed) Count() int {
+	seen := map[*Delayed]bool{}
+	var walk func(n *Delayed) int
+	walk = func(n *Delayed) int {
+		if n == nil || seen[n] {
+			return 0
+		}
+		seen[n] = true
+		total := 0
+		if !n.IsLeaf() {
+			total = 1
+		}
+		for _, dep := range n.deps {
+			total += walk(dep)
+		}
+		return total
+	}
+	return walk(d)
+}
+
+// compute resolves the node exactly once, recursively resolving its
+// dependencies in parallel first.
+func (d *Delayed) compute(exec parsl.Executor) (minipy.Value, error) {
+	d.once.Do(func() {
+		if d.IsLeaf() {
+			if d.lit == nil {
+				d.err = fmt.Errorf("dasklite: leaf with nil value")
+				return
+			}
+			d.val = d.lit
+			return
+		}
+		args := make([]minipy.Value, len(d.deps))
+		errs := make([]error, len(d.deps))
+		var wg sync.WaitGroup
+		for i, dep := range d.deps {
+			if dep == nil {
+				errs[i] = fmt.Errorf("dasklite: nil dependency at position %d", i)
+				continue
+			}
+			wg.Add(1)
+			go func(i int, dep *Delayed) {
+				defer wg.Done()
+				args[i], errs[i] = dep.compute(exec)
+			}(i, dep)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				d.err = err
+				return
+			}
+		}
+		d.val, d.err = exec.Execute(d.fn, args)
+	})
+	return d.val, d.err
+}
+
+// Compute resolves the graph rooted at d through the executor.
+func (d *Delayed) Compute(exec parsl.Executor) (minipy.Value, error) {
+	if d == nil {
+		return nil, fmt.Errorf("dasklite: Compute on nil graph")
+	}
+	return d.compute(exec)
+}
+
+// ComputeAll resolves several roots concurrently, sharing any common
+// subgraphs between them.
+func ComputeAll(exec parsl.Executor, roots ...*Delayed) ([]minipy.Value, error) {
+	out := make([]minipy.Value, len(roots))
+	errs := make([]error, len(roots))
+	var wg sync.WaitGroup
+	for i, r := range roots {
+		if r == nil {
+			errs[i] = fmt.Errorf("dasklite: nil root at position %d", i)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, r *Delayed) {
+			defer wg.Done()
+			out[i], errs[i] = r.Compute(exec)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Map builds one Call node per item — the dask.bag-ish fanout helper.
+func Map(fn *minipy.Func, items []minipy.Value) []*Delayed {
+	out := make([]*Delayed, len(items))
+	for i, it := range items {
+		out[i] = Call(fn, Value(it))
+	}
+	return out
+}
+
+// Reduce folds a slice of Delayed values pairwise with a two-argument
+// function, producing a balanced tree so independent pairs reduce in
+// parallel (the dask tree-reduce pattern).
+func Reduce(fn *minipy.Func, items []*Delayed) (*Delayed, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("dasklite: Reduce of empty list")
+	}
+	level := items
+	for len(level) > 1 {
+		var next []*Delayed
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, Call(fn, level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0], nil
+}

@@ -1,0 +1,266 @@
+package dasklite
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/internal/parsl"
+	"repro/taskvine"
+)
+
+func defineFn(t *testing.T, ip *minipy.Interp, src, name string) *minipy.Func {
+	t.Helper()
+	env, err := ip.RunModule(src, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := env.Get(name)
+	if !ok {
+		t.Fatalf("no %q", name)
+	}
+	return v.(*minipy.Func)
+}
+
+// countingExecutor wraps a LocalExecutor and counts Execute calls.
+type countingExecutor struct {
+	inner parsl.Executor
+	n     atomic.Int64
+}
+
+func (c *countingExecutor) Execute(fn *minipy.Func, args []minipy.Value) (minipy.Value, error) {
+	c.n.Add(1)
+	return c.inner.Execute(fn, args)
+}
+
+func newLocal(t *testing.T) (*minipy.Interp, *countingExecutor) {
+	t.Helper()
+	ip := minipy.NewInterp(nil)
+	return ip, &countingExecutor{inner: parsl.NewLocalExecutor(ip)}
+}
+
+func TestComputeChain(t *testing.T) {
+	ip, exec := newLocal(t)
+	add := defineFn(t, ip, "def add(a, b):\n    return a + b\n", "add")
+	dbl := defineFn(t, ip, "def dbl(a):\n    return a * 2\n", "dbl")
+
+	g := Call(add, Call(dbl, Value(minipy.Int(3))), Value(minipy.Int(4)))
+	v, err := g.Compute(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Repr() != "10" {
+		t.Errorf("graph = %s, want 10", v.Repr())
+	}
+	if g.Count() != 2 {
+		t.Errorf("count = %d", g.Count())
+	}
+}
+
+func TestDiamondComputedOnce(t *testing.T) {
+	ip, exec := newLocal(t)
+	add := defineFn(t, ip, "def add(a, b):\n    return a + b\n", "add")
+	inc := defineFn(t, ip, "def inc(a):\n    return a + 1\n", "inc")
+
+	shared := Call(inc, Value(minipy.Int(10))) // 11
+	left := Call(inc, shared)                  // 12
+	right := Call(inc, shared)                 // 12
+	root := Call(add, left, right)             // 24
+	v, err := root.Compute(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Repr() != "24" {
+		t.Errorf("diamond = %s", v.Repr())
+	}
+	// shared must execute once: 4 nodes total.
+	if got := exec.n.Load(); got != 4 {
+		t.Errorf("executed %d nodes, want 4", got)
+	}
+	// Recompute is memoized, no new executions.
+	if _, err := root.Compute(exec); err != nil {
+		t.Fatal(err)
+	}
+	if got := exec.n.Load(); got != 4 {
+		t.Errorf("recompute re-executed: %d", got)
+	}
+}
+
+func TestErrorPropagates(t *testing.T) {
+	ip, exec := newLocal(t)
+	boom := defineFn(t, ip, "def boom(a):\n    return 1 / a\n", "boom")
+	inc := defineFn(t, ip, "def inc(a):\n    return a + 1\n", "inc")
+	g := Call(inc, Call(boom, Value(minipy.Int(0))))
+	if _, err := g.Compute(exec); err == nil || !strings.Contains(err.Error(), "division") {
+		t.Errorf("error not propagated: %v", err)
+	}
+	// And it is sticky (memoized).
+	if _, err := g.Compute(exec); err == nil {
+		t.Errorf("memoized error lost")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	ip, exec := newLocal(t)
+	inc := defineFn(t, ip, "def inc(a):\n    return a + 1\n", "inc")
+	var nilG *Delayed
+	if _, err := nilG.Compute(exec); err == nil {
+		t.Errorf("nil graph computed")
+	}
+	if _, err := Call(inc, nil).Compute(exec); err == nil {
+		t.Errorf("nil dependency computed")
+	}
+	if _, err := (&Delayed{}).Compute(exec); err == nil {
+		t.Errorf("empty leaf computed")
+	}
+	if _, err := ComputeAll(exec, nil); err == nil {
+		t.Errorf("nil root computed")
+	}
+}
+
+func TestMapReduce(t *testing.T) {
+	ip, exec := newLocal(t)
+	sq := defineFn(t, ip, "def sq(a):\n    return a * a\n", "sq")
+	add := defineFn(t, ip, "def add(a, b):\n    return a + b\n", "add")
+
+	items := make([]minipy.Value, 10)
+	for i := range items {
+		items[i] = minipy.Int(int64(i + 1))
+	}
+	squares := Map(sq, items)
+	root, err := Reduce(add, squares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := root.Compute(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1^2 + ... + 10^2 = 385.
+	if v.Repr() != "385" {
+		t.Errorf("sum of squares = %s", v.Repr())
+	}
+	if _, err := Reduce(add, nil); err == nil {
+		t.Errorf("empty reduce accepted")
+	}
+}
+
+func TestReduceSingleItem(t *testing.T) {
+	ip, exec := newLocal(t)
+	add := defineFn(t, ip, "def add(a, b):\n    return a + b\n", "add")
+	root, err := Reduce(add, []*Delayed{Value(minipy.Int(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := root.Compute(exec)
+	if err != nil || v.Repr() != "7" {
+		t.Errorf("single reduce = %v %v", v, err)
+	}
+}
+
+func TestComputeAllSharesSubgraphs(t *testing.T) {
+	ip, exec := newLocal(t)
+	inc := defineFn(t, ip, "def inc(a):\n    return a + 1\n", "inc")
+	shared := Call(inc, Value(minipy.Int(1)))
+	a := Call(inc, shared)
+	b := Call(inc, shared)
+	vals, err := ComputeAll(exec, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].Repr() != "3" || vals[1].Repr() != "3" {
+		t.Errorf("vals = %s %s", vals[0].Repr(), vals[1].Repr())
+	}
+	if exec.n.Load() != 3 {
+		t.Errorf("executed %d, want 3 (shared once)", exec.n.Load())
+	}
+}
+
+func TestConcurrentComputeSafe(t *testing.T) {
+	ip, exec := newLocal(t)
+	inc := defineFn(t, ip, "def inc(a):\n    return a + 1\n", "inc")
+	g := Call(inc, Call(inc, Value(minipy.Int(0))))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if v, err := g.Compute(exec); err != nil || v.Repr() != "2" {
+				t.Errorf("concurrent compute: %v %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if exec.n.Load() != 2 {
+		t.Errorf("executed %d, want 2", exec.n.Load())
+	}
+}
+
+// The dask path through the real engine: a graph of chemistry tasks
+// over the TaskVineExecutor, each node a FunctionCall against a
+// retained library.
+func TestDaskOverTaskVine(t *testing.T) {
+	m, err := taskvine.NewManager(taskvine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	if err := m.SpawnLocalWorkers(2, taskvine.WorkerOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+def featurize(smiles):
+    import chemtools
+    return chemtools.featurize(chemtools.parse_smiles(smiles))
+
+def dim(feats):
+    return len(feats)
+
+def add(a, b):
+    return a + b
+`
+	env, err := m.Interp().RunModule(src, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) *minipy.Func {
+		v, _ := env.Get(name)
+		return v.(*minipy.Func)
+	}
+	// Partial allocations let the three libraries coexist on one worker
+	// instead of evicting each other.
+	exec := parsl.NewTaskVineExecutor(m, parsl.ExecutorOptions{
+		Mode: parsl.ModeFunctionCall, Slots: 4, ExecMode: core.ExecFork,
+		Resources: core.Resources{Cores: 8, MemoryMB: 8 << 10, DiskMB: 8 << 10},
+	})
+	defer exec.Close()
+
+	mols := []minipy.Value{minipy.Str("CCO"), minipy.Str("CCC"), minipy.Str("CCN"), minipy.Str("COC")}
+	var dims []*Delayed
+	for _, mol := range mols {
+		dims = append(dims, Call(get("dim"), Call(get("featurize"), Value(mol))))
+	}
+	root, err := Reduce(get("add"), dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := root.Compute(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 molecules x 16 features each.
+	if v.Repr() != "64" {
+		t.Errorf("total dims = %s, want 64", v.Repr())
+	}
+	// Context reuse across the graph: few libraries, many invocations.
+	instances, served := m.LibraryDeployments()
+	if served < 11 { // 4 featurize + 4 dim + 3 add
+		t.Errorf("served = %d", served)
+	}
+	if instances > 6 {
+		t.Errorf("instances = %d, expected few", instances)
+	}
+}

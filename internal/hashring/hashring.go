@@ -1,0 +1,127 @@
+// Package hashring implements the consistent hash ring of connected
+// workers the manager walks when placing libraries (§3.5.2): "the
+// manager sequentially checks a hash ring of connected workers to see
+// if any is available to run the library."
+package hashring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent hash ring of member names. It is safe for
+// concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []point // sorted by hash
+	members  map[string]bool
+}
+
+type point struct {
+	hash   uint64
+	member string
+}
+
+// New creates a ring with the given number of virtual points per
+// member (more points → smoother distribution). replicas < 1 defaults
+// to 64.
+func New(replicas int) *Ring {
+	if replicas < 1 {
+		replicas = 64
+	}
+	return &Ring{replicas: replicas, members: map[string]bool{}}
+}
+
+func hashOf(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member.
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.replicas; i++ {
+		h := hashOf(member + "#" + string(rune('0'+i%10)) + string(rune('a'+i/10)))
+		r.points = append(r.points, point{hash: h, member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	out := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			out = append(out, p)
+		}
+	}
+	r.points = out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns the members, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the member owning key, or "" if the ring is empty.
+func (r *Ring) Lookup(key string) string {
+	seq := r.Sequence(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// Sequence returns up to n distinct members in ring order starting at
+// key's position — the order the manager checks workers for library
+// placement. n <= 0 means all members.
+func (r *Ring) Sequence(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashOf(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[string]bool{}
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package hashring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0)
+	if got := r.Lookup("key"); got != "" {
+		t.Errorf("Lookup on empty ring = %q", got)
+	}
+	if seq := r.Sequence("key", 5); seq != nil {
+		t.Errorf("Sequence on empty ring = %v", seq)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	r := New(16)
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	r.Add("a") // duplicate is a no-op
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	r.Remove("b")
+	r.Remove("b") // double remove is a no-op
+	if r.Len() != 2 {
+		t.Fatalf("Len after remove = %d", r.Len())
+	}
+	for i := 0; i < 50; i++ {
+		got := r.Lookup(fmt.Sprintf("key-%d", i))
+		if got == "b" || got == "" {
+			t.Errorf("Lookup returned removed/empty member %q", got)
+		}
+	}
+}
+
+func TestLookupStability(t *testing.T) {
+	r := New(64)
+	for i := 0; i < 10; i++ {
+		r.Add(fmt.Sprintf("w%02d", i))
+	}
+	before := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("lib-%d", i)
+		before[k] = r.Lookup(k)
+	}
+	// Removing one member must only remap keys that were owned by it.
+	r.Remove("w03")
+	moved := 0
+	for k, owner := range before {
+		now := r.Lookup(k)
+		if owner == "w03" {
+			if now == "w03" {
+				t.Errorf("key %q still maps to removed member", k)
+			}
+			continue
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed member were remapped", moved)
+	}
+}
+
+func TestSequenceProperties(t *testing.T) {
+	r := New(32)
+	members := []string{"a", "b", "c", "d", "e"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	seq := r.Sequence("some-library", 0)
+	if len(seq) != len(members) {
+		t.Fatalf("full sequence has %d members, want %d", len(seq), len(members))
+	}
+	seen := map[string]bool{}
+	for _, m := range seq {
+		if seen[m] {
+			t.Errorf("sequence repeats member %q", m)
+		}
+		seen[m] = true
+	}
+	short := r.Sequence("some-library", 2)
+	if len(short) != 2 || short[0] != seq[0] || short[1] != seq[1] {
+		t.Errorf("short sequence %v is not a prefix of %v", short, seq)
+	}
+}
+
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	r := New(64)
+	n := 8
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	counts := map[string]int{}
+	total := 8000
+	for i := 0; i < total; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / float64(total)
+		if frac < 0.04 || frac > 0.30 {
+			t.Errorf("member %s owns %.1f%% of keys — badly unbalanced", m, frac*100)
+		}
+	}
+}
+
+// Property: Lookup is deterministic and always returns a member.
+func TestQuickLookupValid(t *testing.T) {
+	r := New(16)
+	members := map[string]bool{}
+	for i := 0; i < 7; i++ {
+		m := fmt.Sprintf("m%d", i)
+		members[m] = true
+		r.Add(m)
+	}
+	f := func(key string) bool {
+		a := r.Lookup(key)
+		b := r.Lookup(key)
+		return a == b && members[a]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

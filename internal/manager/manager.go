@@ -1,0 +1,500 @@
+// Package manager implements the TaskVine manager: it accepts worker
+// connections, distributes content-addressed files (directly or via
+// peer spanning trees, §3.3), schedules stateless tasks and stateful
+// invocations, deploys library instances on demand around a hash ring
+// of workers, evicts empty libraries to reclaim resources (§3.5.2),
+// and retrieves results.
+package manager
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashring"
+	"repro/internal/proto"
+)
+
+// Options configures a manager.
+type Options struct {
+	// Name labels the manager (logs only).
+	Name string
+	// PeerTransfers enables worker-to-worker distribution (Figure 3b);
+	// off means every byte flows from the manager (Figure 3a).
+	PeerTransfers bool
+	// PeerTransferCap is the per-worker cap N on concurrent outbound
+	// transfers, avoiding sinks in the spanning tree (§3.3). Zero
+	// defaults to 3.
+	PeerTransferCap int
+	// ClusterAware prefers same-cluster peers as transfer sources
+	// (Figure 3c).
+	ClusterAware bool
+	// EvictEmptyLibraries enables reclaiming workers occupied by idle
+	// libraries when another library needs the space (§3.5.2). Defaults
+	// to true via New.
+	EvictEmptyLibraries bool
+	// ResultBuffer sizes the results channel (default 4096).
+	ResultBuffer int
+}
+
+// Stats counts manager-side activity for tests and experiments.
+type Stats struct {
+	DirectTransfers   int64 // manager→worker file sends
+	PeerTransfers     int64 // worker→worker file sends
+	LibrariesDeployed int64
+	LibrariesEvicted  int64
+	TasksDone         int64
+	InvocationsDone   int64
+	Failures          int64
+	Requeued          int64
+}
+
+// Manager coordinates workers.
+type Manager struct {
+	opts Options
+	ln   net.Listener
+
+	mu           sync.Mutex
+	workers      map[string]*workerState
+	ring         *hashring.Ring
+	libSpecs     map[string]*core.LibrarySpec
+	libFailures  map[string]int
+	pendingTasks []*core.TaskSpec
+	pendingInvs  []*core.InvocationSpec
+	inflight     map[int64]*inflightEntry
+	nextID       int64
+	stats        Stats
+	closed       bool
+
+	results chan core.Result
+	wg      sync.WaitGroup
+}
+
+type inflightEntry struct {
+	worker   string
+	library  string // "" for plain tasks
+	task     *core.TaskSpec
+	inv      *core.InvocationSpec
+	sentAt   time.Time
+	transfer float64 // seconds spent staging files for this dispatch
+}
+
+type outMsg struct {
+	t proto.MsgType
+	v any
+}
+
+type workerState struct {
+	id      string
+	hello   proto.Hello
+	conn    *proto.Conn
+	nc      net.Conn
+	sendq   chan outMsg
+	total   core.Resources
+	commit  core.Resources
+	files   map[string]bool // confirmed cached
+	pending map[string]bool // sent, awaiting ack
+	// fetchSources maps object ID → source worker of an in-flight peer
+	// fetch, to release the source's transfer slot on ack.
+	fetchSources map[string]string
+	transfersOut int
+	libs         map[string]*libInstance
+	alive        bool
+}
+
+type libInstance struct {
+	name      string
+	instance  string
+	ready     bool
+	failed    bool
+	slotsUsed int
+	served    int64
+	res       core.Resources
+}
+
+// New creates a manager with defaults applied.
+func New(opts Options) *Manager {
+	if opts.PeerTransferCap <= 0 {
+		opts.PeerTransferCap = 3
+	}
+	if opts.ResultBuffer <= 0 {
+		opts.ResultBuffer = 4096
+	}
+	return &Manager{
+		opts:        opts,
+		workers:     map[string]*workerState{},
+		ring:        hashring.New(0),
+		libSpecs:    map[string]*core.LibrarySpec{},
+		libFailures: map[string]int{},
+		inflight:    map[int64]*inflightEntry{},
+		results:     make(chan core.Result, opts.ResultBuffer),
+	}
+}
+
+// NewDefault creates a manager with peer transfers and empty-library
+// eviction enabled — the paper's recommended configuration.
+func NewDefault() *Manager {
+	return New(Options{PeerTransfers: true, EvictEmptyLibraries: true})
+}
+
+// Listen starts accepting worker connections on 127.0.0.1 and returns
+// the address workers should dial.
+func (m *Manager) Listen() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("manager: listen: %w", err)
+	}
+	m.ln = ln
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				m.serveWorker(nc)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Results is the stream of completed task/invocation results.
+func (m *Manager) Results() <-chan core.Result { return m.results }
+
+// Stats returns a snapshot of manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// WorkersConnected returns the number of live workers.
+func (m *Manager) WorkersConnected() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.workers)
+}
+
+// WaitForWorkers blocks until at least n workers are connected or the
+// timeout elapses.
+func (m *Manager) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if m.WorkersConnected() >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("manager: only %d of %d workers connected after %v", m.WorkersConnected(), n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Shutdown stops the manager and tells all workers to exit.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, w := range m.workers {
+		w.enqueue(outMsg{proto.MsgShutdown, struct{}{}})
+	}
+	m.mu.Unlock()
+	if m.ln != nil {
+		m.ln.Close()
+	}
+}
+
+// RegisterLibrary makes a library known to the manager. Instances are
+// deployed to workers on demand when invocations arrive (§3.5.2).
+func (m *Manager) RegisterLibrary(spec *core.LibrarySpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("manager: library needs a name")
+	}
+	if len(spec.Functions) == 0 {
+		return fmt.Errorf("manager: library %q has no functions", spec.Name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.libSpecs[spec.Name]; dup {
+		return fmt.Errorf("manager: library %q already registered", spec.Name)
+	}
+	m.libSpecs[spec.Name] = spec
+	return nil
+}
+
+// Submit enqueues a stateless task and returns its ID.
+func (m *Manager) Submit(t *core.TaskSpec) int64 {
+	m.mu.Lock()
+	m.nextID++
+	t.ID = m.nextID
+	m.pendingTasks = append(m.pendingTasks, t)
+	m.mu.Unlock()
+	m.schedule()
+	return t.ID
+}
+
+// SubmitInvocation enqueues a FunctionCall and returns its ID.
+func (m *Manager) SubmitInvocation(inv *core.InvocationSpec) int64 {
+	m.mu.Lock()
+	m.nextID++
+	inv.ID = m.nextID
+	m.pendingInvs = append(m.pendingInvs, inv)
+	m.mu.Unlock()
+	m.schedule()
+	return inv.ID
+}
+
+// Collect drains n results from the result stream.
+func (m *Manager) Collect(n int, timeout time.Duration) ([]core.Result, error) {
+	out := make([]core.Result, 0, n)
+	deadline := time.After(timeout)
+	for len(out) < n {
+		select {
+		case r := <-m.results:
+			out = append(out, r)
+		case <-deadline:
+			return out, fmt.Errorf("manager: collected %d of %d results before timeout", len(out), n)
+		}
+	}
+	return out, nil
+}
+
+// ---- worker connection handling ----
+
+func (w *workerState) enqueue(msg outMsg) {
+	select {
+	case w.sendq <- msg:
+	default:
+		// Queue full: drop the connection rather than deadlock the
+		// scheduler; the reader loop will clean up.
+		w.nc.Close()
+	}
+}
+
+func (m *Manager) serveWorker(nc net.Conn) {
+	conn := proto.NewConn(nc)
+	t, raw, err := conn.Recv()
+	if err != nil || t != proto.MsgHello {
+		nc.Close()
+		return
+	}
+	hello, err := proto.Decode[proto.Hello](raw)
+	if err != nil || hello.WorkerID == "" {
+		nc.Close()
+		return
+	}
+
+	w := &workerState{
+		id:           hello.WorkerID,
+		hello:        hello,
+		conn:         conn,
+		nc:           nc,
+		sendq:        make(chan outMsg, 65536),
+		total:        hello.Resources,
+		files:        map[string]bool{},
+		pending:      map[string]bool{},
+		fetchSources: map[string]string{},
+		libs:         map[string]*libInstance{},
+		alive:        true,
+	}
+
+	m.mu.Lock()
+	if _, dup := m.workers[w.id]; dup || m.closed {
+		m.mu.Unlock()
+		nc.Close()
+		return
+	}
+	m.workers[w.id] = w
+	m.ring.Add(w.id)
+	m.mu.Unlock()
+
+	// Sender goroutine drains the queue so scheduling never blocks on
+	// TCP backpressure.
+	done := make(chan struct{})
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			select {
+			case msg := <-w.sendq:
+				if err := conn.Send(msg.t, msg.v); err != nil {
+					nc.Close()
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	m.schedule()
+
+	for {
+		t, raw, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		switch t {
+		case proto.MsgFileAck:
+			if ack, err := proto.Decode[proto.FileAck](raw); err == nil {
+				m.onFileAck(w, ack)
+			}
+		case proto.MsgLibraryAck:
+			if ack, err := proto.Decode[proto.LibraryAck](raw); err == nil {
+				m.onLibraryAck(w, ack)
+			}
+		case proto.MsgResult:
+			if res, err := proto.Decode[core.Result](raw); err == nil {
+				m.onResult(w, res)
+			}
+		}
+	}
+	close(done)
+	m.onWorkerGone(w)
+	nc.Close()
+}
+
+func (m *Manager) onWorkerGone(w *workerState) {
+	m.mu.Lock()
+	delete(m.workers, w.id)
+	m.ring.Remove(w.id)
+	w.alive = false
+	// Requeue everything that was running there.
+	var requeued int64
+	for id, e := range m.inflight {
+		if e.worker != w.id {
+			continue
+		}
+		delete(m.inflight, id)
+		if e.task != nil {
+			m.pendingTasks = append(m.pendingTasks, e.task)
+		} else if e.inv != nil {
+			m.pendingInvs = append(m.pendingInvs, e.inv)
+		}
+		requeued++
+	}
+	m.stats.Requeued += requeued
+	m.mu.Unlock()
+	m.schedule()
+}
+
+func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
+	m.mu.Lock()
+	delete(w.pending, ack.ID)
+	if src, ok := w.fetchSources[ack.ID]; ok {
+		delete(w.fetchSources, ack.ID)
+		if sw, live := m.workers[src]; live && sw.transfersOut > 0 {
+			sw.transfersOut--
+		}
+	}
+	if ack.Ok && ack.Cache {
+		w.files[ack.ID] = true
+	}
+	m.mu.Unlock()
+	m.schedule()
+}
+
+// maxLibraryFailures is how many consecutive failed deployments a
+// library gets before its pending invocations are failed instead of
+// retried — a broken context setup would otherwise redeploy forever.
+const maxLibraryFailures = 3
+
+func (m *Manager) onLibraryAck(w *workerState, ack proto.LibraryAck) {
+	m.mu.Lock()
+	li := w.libs[ack.Library]
+	if li != nil {
+		if ack.Ok {
+			li.ready = true
+			li.instance = ack.Instance
+			m.libFailures[ack.Library] = 0
+		} else {
+			li.failed = true
+			delete(w.libs, ack.Library)
+			w.commit = w.commit.Sub(li.res)
+			m.libFailures[ack.Library]++
+			if m.libFailures[ack.Library] >= maxLibraryFailures {
+				m.failPendingForLibraryLocked(ack.Library, ack.Err)
+			}
+		}
+	}
+	m.mu.Unlock()
+	m.schedule()
+}
+
+// failPendingForLibraryLocked fails every queued invocation of a
+// library that cannot be deployed. Caller holds the lock.
+func (m *Manager) failPendingForLibraryLocked(library, reason string) {
+	var remaining []*core.InvocationSpec
+	for _, inv := range m.pendingInvs {
+		if inv.Library == library {
+			m.stats.Failures++
+			m.emitFailure(inv, fmt.Errorf("manager: library %q failed to deploy %d times: %s",
+				library, maxLibraryFailures, reason))
+			continue
+		}
+		remaining = append(remaining, inv)
+	}
+	m.pendingInvs = remaining
+}
+
+func (m *Manager) onResult(w *workerState, res core.Result) {
+	m.mu.Lock()
+	e, ok := m.inflight[res.ID]
+	if ok {
+		delete(m.inflight, res.ID)
+		res.Metrics.TransferTime += e.transfer
+		if e.task != nil {
+			m.stats.TasksDone++
+			w.commit = w.commit.Sub(e.task.Resources)
+			// Cacheable inputs are now resident on that worker.
+			for _, in := range e.task.Inputs {
+				if in.Cache {
+					w.files[in.Object.ID] = true
+				}
+			}
+		} else if e.inv != nil {
+			m.stats.InvocationsDone++
+			if li := w.libs[e.library]; li != nil {
+				if li.slotsUsed > 0 {
+					li.slotsUsed--
+				}
+				li.served++
+			}
+		}
+		if !res.Ok {
+			m.stats.Failures++
+		}
+	}
+	m.mu.Unlock()
+	if ok {
+		m.results <- res
+	}
+	m.schedule()
+}
+
+// LibraryDeployments returns, for each registered library, how many
+// instances are currently deployed and their total share values —
+// the data behind Figures 10 and 11.
+func (m *Manager) LibraryDeployments() (instances int, totalServed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.workers {
+		for _, li := range w.libs {
+			if li.ready {
+				instances++
+				totalServed += li.served
+			}
+		}
+	}
+	return instances, totalServed
+}

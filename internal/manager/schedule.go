@@ -1,0 +1,331 @@
+package manager
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// schedule is the manager's scheduling pass: it tries to place every
+// pending task and invocation. It is called after any state change
+// (submissions, worker joins, acks, results).
+func (m *Manager) schedule() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.scheduleTasksLocked()
+	m.scheduleInvocationsLocked()
+}
+
+// ---- file staging ----
+
+// fileReady reports whether the worker already has (or will have, via
+// an earlier message on the same ordered connection) the object.
+func fileReady(w *workerState, id string) bool {
+	return w.files[id] || w.pending[id]
+}
+
+// canStageFileLocked reports whether obj could be made present on w
+// right now, and stages it when commit is true. The policy implements
+// §3.3's distribution discipline for cacheable, peer-transferable
+// objects: the manager sends the first copy itself; while that copy is
+// in flight every other worker waits; once a worker confirms a replica
+// it becomes a transfer source for up to PeerTransferCap concurrent
+// peers, growing a spanning tree. Non-cacheable objects (per-call
+// arguments) always flow directly from the manager.
+func (m *Manager) canStageFileLocked(w *workerState, fs core.FileSpec, commit bool) bool {
+	obj := fs.Object
+	if obj == nil {
+		return false
+	}
+	if fileReady(w, obj.ID) {
+		return true
+	}
+	if fs.Cache && fs.PeerTransfer && m.opts.PeerTransfers {
+		if src := m.pickSourceLocked(w, obj.ID); src != nil {
+			if commit {
+				src.transfersOut++
+				w.pending[obj.ID] = true
+				w.fetchSources[obj.ID] = src.id
+				w.enqueue(outMsg{proto.MsgFetchFile, proto.FetchFile{
+					ID:       obj.ID,
+					Name:     obj.Name,
+					FromAddr: src.hello.DataAddr,
+					Cache:    fs.Cache,
+					Unpack:   fs.Unpack,
+				}})
+				m.stats.PeerTransfers++
+			}
+			return true
+		}
+		// No confirmed source yet. If a first copy is already in flight
+		// somewhere, wait for it instead of flooding direct sends — but
+		// only during the check pass: once a dispatch is committed the
+		// file must move now, and the manager's own link is always a
+		// valid (if less scalable) source.
+		if !commit {
+			for _, other := range m.workers {
+				if other.pending[obj.ID] {
+					return false
+				}
+			}
+		}
+	}
+	if commit {
+		m.directSendLocked(w, fs)
+	}
+	return true
+}
+
+func (m *Manager) directSendLocked(w *workerState, fs core.FileSpec) {
+	obj := fs.Object
+	w.pending[obj.ID] = true
+	w.enqueue(outMsg{proto.MsgPutFile, proto.PutFile{
+		File: proto.FileMeta{
+			ID:           obj.ID,
+			Name:         obj.Name,
+			Kind:         int(obj.Kind),
+			Data:         obj.Data,
+			LogicalSize:  obj.LogicalSize,
+			UnpackedSize: obj.UnpackedSize,
+		},
+		Cache:  fs.Cache,
+		Unpack: fs.Unpack,
+	}})
+	m.stats.DirectTransfers++
+}
+
+// pickSourceLocked chooses a worker that has obj cached and has a free
+// outbound transfer slot, preferring same-cluster sources when cluster
+// awareness is on.
+func (m *Manager) pickSourceLocked(dst *workerState, id string) *workerState {
+	var fallback *workerState
+	for _, cand := range m.workers {
+		if cand.id == dst.id || !cand.files[id] || !cand.alive {
+			continue
+		}
+		if cand.transfersOut >= m.opts.PeerTransferCap {
+			continue
+		}
+		if m.opts.ClusterAware && cand.hello.Cluster == dst.hello.Cluster {
+			return cand
+		}
+		if fallback == nil {
+			fallback = cand
+		}
+	}
+	if m.opts.ClusterAware && fallback != nil && fallback.hello.Cluster != dst.hello.Cluster {
+		// Cross-cluster peer links are the constrained ones (Figure 3c);
+		// prefer the manager's own link instead.
+		return nil
+	}
+	return fallback
+}
+
+// canStageAllLocked checks (and optionally performs) staging for a set
+// of file specs on one worker.
+func (m *Manager) canStageAllLocked(w *workerState, specs []core.FileSpec, commit bool) bool {
+	for _, fs := range specs {
+		if !m.canStageFileLocked(w, fs, false) {
+			return false
+		}
+	}
+	if commit {
+		for _, fs := range specs {
+			m.canStageFileLocked(w, fs, true)
+		}
+	}
+	return true
+}
+
+// ---- task scheduling ----
+
+func (m *Manager) scheduleTasksLocked() {
+	var remaining []*core.TaskSpec
+	for _, t := range m.pendingTasks {
+		if !m.tryPlaceTaskLocked(t) {
+			remaining = append(remaining, t)
+		}
+	}
+	m.pendingTasks = remaining
+}
+
+func (m *Manager) tryPlaceTaskLocked(t *core.TaskSpec) bool {
+	key := fmt.Sprintf("task-%d", t.ID)
+	for _, wid := range m.ring.Sequence(key, 0) {
+		w := m.workers[wid]
+		if w == nil || !w.alive {
+			continue
+		}
+		if !t.Resources.Fits(w.total.Sub(w.commit)) {
+			continue
+		}
+		if !m.canStageAllLocked(w, t.Inputs, false) {
+			continue
+		}
+		start := time.Now()
+		m.canStageAllLocked(w, t.Inputs, true)
+		w.commit = w.commit.Add(t.Resources)
+		w.enqueue(outMsg{proto.MsgRunTask, t})
+		m.inflight[t.ID] = &inflightEntry{
+			worker:   w.id,
+			task:     t,
+			sentAt:   start,
+			transfer: time.Since(start).Seconds(),
+		}
+		return true
+	}
+	return false
+}
+
+// ---- invocation scheduling (§3.5.2) ----
+
+func (m *Manager) scheduleInvocationsLocked() {
+	var remaining []*core.InvocationSpec
+	for _, inv := range m.pendingInvs {
+		placed, err := m.tryPlaceInvocationLocked(inv)
+		if err != nil {
+			m.stats.Failures++
+			m.emitFailure(inv, err)
+			continue
+		}
+		if !placed {
+			remaining = append(remaining, inv)
+		}
+	}
+	m.pendingInvs = remaining
+}
+
+// emitFailure delivers a synthetic failed result for an unschedulable
+// invocation. Called with the lock held; the send happens on a
+// goroutine to avoid blocking the scheduler on a full results channel.
+func (m *Manager) emitFailure(inv *core.InvocationSpec, err error) {
+	res := core.Result{ID: inv.ID, Ok: false, Err: err.Error()}
+	select {
+	case m.results <- res:
+	default:
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.results <- res
+		}()
+	}
+}
+
+func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (bool, error) {
+	spec, known := m.libSpecs[inv.Library]
+	if !known {
+		return false, fmt.Errorf("manager: invocation %d names unknown library %q", inv.ID, inv.Library)
+	}
+	if m.libFailures[inv.Library] >= maxLibraryFailures {
+		return false, fmt.Errorf("manager: library %q is marked broken after repeated deployment failures", inv.Library)
+	}
+	hasFn := false
+	for _, f := range spec.Functions {
+		if f.Name == inv.Function {
+			hasFn = true
+			break
+		}
+	}
+	if !hasFn {
+		return false, fmt.Errorf("manager: library %q has no function %q", inv.Library, inv.Function)
+	}
+
+	// First choice: a ready instance with a free slot.
+	for _, wid := range m.ring.Sequence(inv.Library, 0) {
+		w := m.workers[wid]
+		if w == nil || !w.alive {
+			continue
+		}
+		li := w.libs[inv.Library]
+		if li == nil || !li.ready || li.slotsUsed >= spec.SlotCount() {
+			continue
+		}
+		li.slotsUsed++
+		w.enqueue(outMsg{proto.MsgInvoke, inv})
+		m.inflight[inv.ID] = &inflightEntry{worker: w.id, library: inv.Library, inv: inv, sentAt: time.Now()}
+		return true, nil
+	}
+
+	// Second choice: deploy a new instance on the next ring worker with
+	// room, evicting an empty foreign library if allowed (§3.5.2).
+	for _, wid := range m.ring.Sequence(inv.Library, 0) {
+		w := m.workers[wid]
+		if w == nil || !w.alive {
+			continue
+		}
+		if _, already := w.libs[inv.Library]; already {
+			continue // installed or installing here
+		}
+		need := spec.Resources
+		if need == (core.Resources{}) {
+			need = w.total
+		}
+		var libFiles []core.FileSpec
+		if spec.Env != nil {
+			libFiles = append(libFiles, *spec.Env)
+		}
+		libFiles = append(libFiles, spec.Inputs...)
+		if !m.canStageAllLocked(w, libFiles, false) {
+			continue
+		}
+		if !need.Fits(w.total.Sub(w.commit)) {
+			if !m.opts.EvictEmptyLibraries || !m.evictEmptyLocked(w, inv.Library, need) {
+				continue
+			}
+		}
+		m.deployLibraryLocked(w, spec, need)
+		// The invocation stays pending until the LibraryAck arrives.
+		return false, nil
+	}
+	return false, nil
+}
+
+// evictEmptyLocked removes idle instances of other libraries on w until
+// `need` fits, returning whether it succeeded.
+func (m *Manager) evictEmptyLocked(w *workerState, wantLib string, need core.Resources) bool {
+	for name, li := range w.libs {
+		if name == wantLib || li.slotsUsed > 0 || !li.ready {
+			continue
+		}
+		delete(w.libs, name)
+		w.commit = w.commit.Sub(li.res)
+		w.enqueue(outMsg{proto.MsgRemoveLibrary, proto.RemoveLibrary{Library: name}})
+		m.stats.LibrariesEvicted++
+		if need.Fits(w.total.Sub(w.commit)) {
+			return true
+		}
+	}
+	return need.Fits(w.total.Sub(w.commit))
+}
+
+// deployLibraryLocked stages the library's files and sends the install
+// message.
+func (m *Manager) deployLibraryLocked(w *workerState, spec *core.LibrarySpec, res core.Resources) {
+	if spec.Env != nil {
+		m.canStageFileLocked(w, *spec.Env, true)
+	}
+	for _, fs := range spec.Inputs {
+		m.canStageFileLocked(w, fs, true)
+	}
+	w.libs[spec.Name] = &libInstance{name: spec.Name, res: res}
+	w.commit = w.commit.Add(res)
+	w.enqueue(outMsg{proto.MsgInstallLibrary, spec})
+	m.stats.LibrariesDeployed++
+}
+
+// ObjectHolders returns how many workers hold the object — visibility
+// for distribution tests.
+func (m *Manager) ObjectHolders(obj *content.Object) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, w := range m.workers {
+		if w.files[obj.ID] {
+			n++
+		}
+	}
+	return n
+}

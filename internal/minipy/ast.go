@@ -1,0 +1,490 @@
+package minipy
+
+// The AST node types. Every node records its source line so runtime
+// errors can point back at code; serialization of function code objects
+// walks these nodes (see the pickle package and Print in printer.go).
+
+// Node is the interface implemented by every AST node.
+type Node interface {
+	Pos() int // 1-based source line
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+type base struct{ Line int }
+
+func (b base) Pos() int { return b.Line }
+
+// ---- Statements ----
+
+// Module is the root node of a parsed file: a list of statements.
+type Module struct {
+	base
+	Body []Stmt
+}
+
+func (*Module) stmtNode() {}
+
+// DefStmt is a function definition: def Name(params): body.
+type DefStmt struct {
+	base
+	Name     string
+	Params   []Param
+	Body     []Stmt
+	Doc      string // docstring, if the first body statement is a string literal
+	EndLine  int    // last source line of the body (for source extraction)
+	SrcStart int    // byte offset of "def" in original source, -1 if unknown
+	SrcEnd   int    // byte offset just past the body, -1 if unknown
+}
+
+func (*DefStmt) stmtNode() {}
+
+// Param is a single function parameter with an optional default value.
+type Param struct {
+	Name    string
+	Default Expr // nil if required
+}
+
+// ReturnStmt returns an optional value from the enclosing function.
+type ReturnStmt struct {
+	base
+	Value Expr // nil means return None
+}
+
+func (*ReturnStmt) stmtNode() {}
+
+// IfStmt is an if/elif/else chain; Elifs are flattened by the parser into
+// nested IfStmts in Else.
+type IfStmt struct {
+	base
+	Cond Expr
+	Body []Stmt
+	Else []Stmt // nil if absent
+}
+
+func (*IfStmt) stmtNode() {}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	base
+	Cond Expr
+	Body []Stmt
+}
+
+func (*WhileStmt) stmtNode() {}
+
+// ForStmt is a for-in loop. Multiple targets unpack the iterated value.
+type ForStmt struct {
+	base
+	Targets []string
+	Iter    Expr
+	Body    []Stmt
+}
+
+func (*ForStmt) stmtNode() {}
+
+// AssignStmt assigns Value to Target. Op is Assign for plain "=", or one
+// of PlusAssign etc. for augmented assignment.
+type AssignStmt struct {
+	base
+	Target Expr // NameExpr, AttrExpr, IndexExpr, or TupleExpr of names
+	Op     Kind
+	Value  Expr
+}
+
+func (*AssignStmt) stmtNode() {}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	base
+	Value Expr
+}
+
+func (*ExprStmt) stmtNode() {}
+
+// ImportStmt imports one or more modules: import a, b as c.
+type ImportStmt struct {
+	base
+	Items []ImportItem
+}
+
+func (*ImportStmt) stmtNode() {}
+
+// ImportItem is a single module in an import statement.
+type ImportItem struct {
+	Module string
+	Alias  string // bound name; equals Module if no "as" clause
+}
+
+// FromImportStmt imports names from a module: from m import a, b as c.
+type FromImportStmt struct {
+	base
+	Module string
+	Items  []ImportItem // Module field holds the imported name here
+}
+
+func (*FromImportStmt) stmtNode() {}
+
+// GlobalStmt declares names as referring to module globals.
+type GlobalStmt struct {
+	base
+	Names []string
+}
+
+func (*GlobalStmt) stmtNode() {}
+
+// PassStmt does nothing.
+type PassStmt struct{ base }
+
+func (*PassStmt) stmtNode() {}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ base }
+
+func (*BreakStmt) stmtNode() {}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ base }
+
+func (*ContinueStmt) stmtNode() {}
+
+// DelStmt removes a binding or container element.
+type DelStmt struct {
+	base
+	Target Expr
+}
+
+func (*DelStmt) stmtNode() {}
+
+// RaiseStmt raises a runtime error with the given message value.
+type RaiseStmt struct {
+	base
+	Value Expr // nil re-raises inside except
+}
+
+func (*RaiseStmt) stmtNode() {}
+
+// TryStmt is try/except/finally. Only a single catch-all except clause
+// (optionally binding the error message) is supported.
+type TryStmt struct {
+	base
+	Body    []Stmt
+	ErrName string // bound name in except clause; "" if unbound
+	Except  []Stmt // nil if no except clause
+	Finally []Stmt // nil if no finally clause
+}
+
+func (*TryStmt) stmtNode() {}
+
+// AssertStmt checks a condition and raises if false.
+type AssertStmt struct {
+	base
+	Cond Expr
+	Msg  Expr // nil if absent
+}
+
+func (*AssertStmt) stmtNode() {}
+
+// ---- Expressions ----
+
+// NameExpr references a variable by name.
+type NameExpr struct {
+	base
+	Name string
+}
+
+func (*NameExpr) exprNode() {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	base
+	Value int64
+}
+
+func (*IntLit) exprNode() {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	base
+	Value float64
+}
+
+func (*FloatLit) exprNode() {}
+
+// StringLit is a string literal.
+type StringLit struct {
+	base
+	Value string
+}
+
+func (*StringLit) exprNode() {}
+
+// BoolLit is True or False.
+type BoolLit struct {
+	base
+	Value bool
+}
+
+func (*BoolLit) exprNode() {}
+
+// NoneLit is None.
+type NoneLit struct{ base }
+
+func (*NoneLit) exprNode() {}
+
+// ListLit is a list display: [a, b, c].
+type ListLit struct {
+	base
+	Elems []Expr
+}
+
+func (*ListLit) exprNode() {}
+
+// TupleExpr is a parenthesized or bare tuple: (a, b) or a, b.
+type TupleExpr struct {
+	base
+	Elems []Expr
+}
+
+func (*TupleExpr) exprNode() {}
+
+// DictLit is a dict display: {k: v, ...}.
+type DictLit struct {
+	base
+	Keys   []Expr
+	Values []Expr
+}
+
+func (*DictLit) exprNode() {}
+
+// BinExpr is a binary arithmetic/comparison expression.
+type BinExpr struct {
+	base
+	Op    Kind
+	Left  Expr
+	Right Expr
+}
+
+func (*BinExpr) exprNode() {}
+
+// BoolExpr is short-circuit "and"/"or".
+type BoolExpr struct {
+	base
+	Op    Kind // KwAnd or KwOr
+	Left  Expr
+	Right Expr
+}
+
+func (*BoolExpr) exprNode() {}
+
+// UnaryExpr is -x, +x, or not x.
+type UnaryExpr struct {
+	base
+	Op      Kind // Minus, Plus, KwNot
+	Operand Expr
+}
+
+func (*UnaryExpr) exprNode() {}
+
+// CallExpr calls Func with positional and keyword arguments.
+type CallExpr struct {
+	base
+	Func   Expr
+	Args   []Expr
+	KwArgs []KwArg
+}
+
+func (*CallExpr) exprNode() {}
+
+// KwArg is a keyword argument in a call.
+type KwArg struct {
+	Name  string
+	Value Expr
+}
+
+// AttrExpr accesses an attribute: X.Name.
+type AttrExpr struct {
+	base
+	X    Expr
+	Name string
+}
+
+func (*AttrExpr) exprNode() {}
+
+// IndexExpr indexes a container: X[Index].
+type IndexExpr struct {
+	base
+	X     Expr
+	Index Expr
+}
+
+func (*IndexExpr) exprNode() {}
+
+// SliceExpr slices a sequence: X[Lo:Hi]. Either bound may be nil.
+type SliceExpr struct {
+	base
+	X  Expr
+	Lo Expr
+	Hi Expr
+}
+
+func (*SliceExpr) exprNode() {}
+
+// LambdaExpr is an anonymous function expression.
+type LambdaExpr struct {
+	base
+	Params []Param
+	Body   Expr
+}
+
+func (*LambdaExpr) exprNode() {}
+
+// CondExpr is the ternary "A if Cond else B".
+type CondExpr struct {
+	base
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+func (*CondExpr) exprNode() {}
+
+// InExpr tests membership: X in Container (negated if Not is set).
+type InExpr struct {
+	base
+	X         Expr
+	Container Expr
+	Not       bool
+}
+
+func (*InExpr) exprNode() {}
+
+// Walk visits every node in the subtree rooted at n in depth-first
+// pre-order, calling fn for each. If fn returns false the node's
+// children are not visited.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	walkChildren(n, fn)
+}
+
+func walkStmts(stmts []Stmt, fn func(Node) bool) {
+	for _, s := range stmts {
+		Walk(s, fn)
+	}
+}
+
+func walkExprs(exprs []Expr, fn func(Node) bool) {
+	for _, e := range exprs {
+		if e != nil {
+			Walk(e, fn)
+		}
+	}
+}
+
+func walkChildren(n Node, fn func(Node) bool) {
+	switch v := n.(type) {
+	case *Module:
+		walkStmts(v.Body, fn)
+	case *DefStmt:
+		for _, p := range v.Params {
+			if p.Default != nil {
+				Walk(p.Default, fn)
+			}
+		}
+		walkStmts(v.Body, fn)
+	case *ReturnStmt:
+		if v.Value != nil {
+			Walk(v.Value, fn)
+		}
+	case *IfStmt:
+		Walk(v.Cond, fn)
+		walkStmts(v.Body, fn)
+		walkStmts(v.Else, fn)
+	case *WhileStmt:
+		Walk(v.Cond, fn)
+		walkStmts(v.Body, fn)
+	case *ForStmt:
+		Walk(v.Iter, fn)
+		walkStmts(v.Body, fn)
+	case *AssignStmt:
+		Walk(v.Target, fn)
+		Walk(v.Value, fn)
+	case *ExprStmt:
+		Walk(v.Value, fn)
+	case *DelStmt:
+		Walk(v.Target, fn)
+	case *RaiseStmt:
+		if v.Value != nil {
+			Walk(v.Value, fn)
+		}
+	case *TryStmt:
+		walkStmts(v.Body, fn)
+		walkStmts(v.Except, fn)
+		walkStmts(v.Finally, fn)
+	case *AssertStmt:
+		Walk(v.Cond, fn)
+		if v.Msg != nil {
+			Walk(v.Msg, fn)
+		}
+	case *ListLit:
+		walkExprs(v.Elems, fn)
+	case *TupleExpr:
+		walkExprs(v.Elems, fn)
+	case *DictLit:
+		walkExprs(v.Keys, fn)
+		walkExprs(v.Values, fn)
+	case *BinExpr:
+		Walk(v.Left, fn)
+		Walk(v.Right, fn)
+	case *BoolExpr:
+		Walk(v.Left, fn)
+		Walk(v.Right, fn)
+	case *UnaryExpr:
+		Walk(v.Operand, fn)
+	case *CallExpr:
+		Walk(v.Func, fn)
+		walkExprs(v.Args, fn)
+		for _, kw := range v.KwArgs {
+			Walk(kw.Value, fn)
+		}
+	case *AttrExpr:
+		Walk(v.X, fn)
+	case *IndexExpr:
+		Walk(v.X, fn)
+		Walk(v.Index, fn)
+	case *SliceExpr:
+		Walk(v.X, fn)
+		if v.Lo != nil {
+			Walk(v.Lo, fn)
+		}
+		if v.Hi != nil {
+			Walk(v.Hi, fn)
+		}
+	case *LambdaExpr:
+		for _, p := range v.Params {
+			if p.Default != nil {
+				Walk(p.Default, fn)
+			}
+		}
+		Walk(v.Body, fn)
+	case *CondExpr:
+		Walk(v.Cond, fn)
+		Walk(v.Then, fn)
+		Walk(v.Else, fn)
+	case *InExpr:
+		Walk(v.X, fn)
+		Walk(v.Container, fn)
+	}
+}

@@ -1,0 +1,409 @@
+package minipy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyntaxError describes a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minipy: syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer converts source text into a token stream with INDENT/DEDENT
+// tokens synthesized from leading whitespace, as in Python.
+type lexer struct {
+	src     string
+	pos     int
+	line    int
+	col     int
+	indents []int // indentation stack; always starts with 0
+	pending []Token
+	parens  int // depth of (), [], {} — newlines are ignored inside
+	atLine  bool
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1, indents: []int{0}, atLine: true}
+}
+
+// Tokenize lexes the entire source, returning the token stream or a
+// *SyntaxError.
+func Tokenize(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Msg: fmt.Sprintf(format, args...), Line: lx.line, Col: lx.col}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) next() (Token, error) {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t, nil
+	}
+	if lx.atLine && lx.parens == 0 {
+		if err := lx.handleIndent(); err != nil {
+			return Token{}, err
+		}
+		if len(lx.pending) > 0 {
+			t := lx.pending[0]
+			lx.pending = lx.pending[1:]
+			return t, nil
+		}
+	}
+	lx.skipSpacesAndComments()
+	if lx.pos >= len(lx.src) {
+		return lx.finish()
+	}
+	c := lx.peekByte()
+	if c == '\n' {
+		lx.advance()
+		if lx.parens > 0 {
+			return lx.next()
+		}
+		lx.atLine = true
+		return Token{Kind: NEWLINE, Line: lx.line - 1, Col: lx.col}, nil
+	}
+	if c == '\\' && lx.peekByteAt(1) == '\n' {
+		lx.advance()
+		lx.advance()
+		return lx.next()
+	}
+	startLine, startCol := lx.line, lx.col
+	if isIdentStart(c) {
+		return lx.lexIdent(startLine, startCol), nil
+	}
+	if isDigit(c) || (c == '.' && isDigit(lx.peekByteAt(1))) {
+		return lx.lexNumber(startLine, startCol)
+	}
+	if c == '"' || c == '\'' {
+		return lx.lexString(startLine, startCol)
+	}
+	return lx.lexOperator(startLine, startCol)
+}
+
+// finish emits trailing DEDENTs and the EOF token.
+func (lx *lexer) finish() (Token, error) {
+	if !lx.atLine {
+		lx.atLine = true
+		return Token{Kind: NEWLINE, Line: lx.line, Col: lx.col}, nil
+	}
+	for len(lx.indents) > 1 {
+		lx.indents = lx.indents[:len(lx.indents)-1]
+		lx.pending = append(lx.pending, Token{Kind: DEDENT, Line: lx.line, Col: lx.col})
+	}
+	lx.pending = append(lx.pending, Token{Kind: EOF, Line: lx.line, Col: lx.col})
+	t := lx.pending[0]
+	lx.pending = lx.pending[1:]
+	return t, nil
+}
+
+// handleIndent measures the leading whitespace of the current line and
+// emits INDENT/DEDENT tokens. Blank lines and comment-only lines are
+// skipped entirely.
+func (lx *lexer) handleIndent() error {
+	for {
+		start := lx.pos
+		width := 0
+		for lx.pos < len(lx.src) {
+			c := lx.peekByte()
+			if c == ' ' {
+				width++
+				lx.advance()
+			} else if c == '\t' {
+				width += 8 - width%8
+				lx.advance()
+			} else {
+				break
+			}
+		}
+		if lx.pos >= len(lx.src) {
+			// End of input at line start: leave atLine set so finish()
+			// proceeds straight to DEDENT/EOF emission.
+			return nil
+		}
+		c := lx.peekByte()
+		if c == '\n' {
+			lx.advance()
+			continue // blank line
+		}
+		if c == '#' {
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		_ = start
+		lx.atLine = false
+		cur := lx.indents[len(lx.indents)-1]
+		switch {
+		case width > cur:
+			lx.indents = append(lx.indents, width)
+			lx.pending = append(lx.pending, Token{Kind: INDENT, Line: lx.line, Col: 1})
+		case width < cur:
+			for len(lx.indents) > 1 && lx.indents[len(lx.indents)-1] > width {
+				lx.indents = lx.indents[:len(lx.indents)-1]
+				lx.pending = append(lx.pending, Token{Kind: DEDENT, Line: lx.line, Col: 1})
+			}
+			if lx.indents[len(lx.indents)-1] != width {
+				return lx.errf("unindent does not match any outer indentation level")
+			}
+		}
+		return nil
+	}
+}
+
+func (lx *lexer) skipSpacesAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if c == ' ' || c == '\t' || c == '\r' {
+			lx.advance()
+		} else if c == '#' {
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		} else {
+			return
+		}
+	}
+}
+
+func (lx *lexer) lexIdent(line, col int) Token {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.pos]
+	if kw, ok := keywords[text]; ok {
+		return Token{Kind: kw, Text: text, Line: line, Col: col}
+	}
+	return Token{Kind: IDENT, Text: text, Line: line, Col: col}
+}
+
+func (lx *lexer) lexNumber(line, col int) (Token, error) {
+	start := lx.pos
+	isFloat := false
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		if isDigit(c) || c == '_' {
+			lx.advance()
+		} else if c == '.' && !isFloat && isDigit(lx.peekByteAt(1)) {
+			isFloat = true
+			lx.advance()
+		} else if c == '.' && !isFloat && !isIdentStart(lx.peekByteAt(1)) {
+			// trailing dot as in "1."
+			isFloat = true
+			lx.advance()
+		} else if (c == 'e' || c == 'E') && (isDigit(lx.peekByteAt(1)) ||
+			((lx.peekByteAt(1) == '+' || lx.peekByteAt(1) == '-') && isDigit(lx.peekByteAt(2)))) {
+			isFloat = true
+			lx.advance() // e
+			if lx.peekByte() == '+' || lx.peekByte() == '-' {
+				lx.advance()
+			}
+		} else {
+			break
+		}
+	}
+	text := strings.ReplaceAll(lx.src[start:lx.pos], "_", "")
+	kind := INT
+	if isFloat {
+		kind = FLOAT
+	}
+	return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+}
+
+func (lx *lexer) lexString(line, col int) (Token, error) {
+	quote := lx.advance()
+	triple := false
+	if lx.peekByte() == quote && lx.peekByteAt(1) == quote {
+		lx.advance()
+		lx.advance()
+		triple = true
+	}
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, lx.errf("unterminated string literal")
+		}
+		c := lx.peekByte()
+		if !triple && c == '\n' {
+			return Token{}, lx.errf("newline in string literal")
+		}
+		if c == quote {
+			if !triple {
+				lx.advance()
+				break
+			}
+			if lx.peekByteAt(1) == quote && lx.peekByteAt(2) == quote {
+				lx.advance()
+				lx.advance()
+				lx.advance()
+				break
+			}
+			sb.WriteByte(lx.advance())
+			continue
+		}
+		if c == '\\' {
+			lx.advance()
+			if lx.pos >= len(lx.src) {
+				return Token{}, lx.errf("unterminated string escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '\'':
+				sb.WriteByte('\'')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			case '\n':
+				// line continuation inside string
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(e)
+			}
+			continue
+		}
+		sb.WriteByte(lx.advance())
+	}
+	return Token{Kind: STRING, Text: sb.String(), Line: line, Col: col}, nil
+}
+
+func (lx *lexer) lexOperator(line, col int) (Token, error) {
+	c := lx.advance()
+	mk := func(k Kind) (Token, error) {
+		return Token{Kind: k, Line: line, Col: col}, nil
+	}
+	two := func(next byte, k2, k1 Kind) (Token, error) {
+		if lx.peekByte() == next {
+			lx.advance()
+			return mk(k2)
+		}
+		return mk(k1)
+	}
+	switch c {
+	case '(':
+		lx.parens++
+		return mk(LParen)
+	case ')':
+		lx.parens--
+		return mk(RParen)
+	case '[':
+		lx.parens++
+		return mk(LBracket)
+	case ']':
+		lx.parens--
+		return mk(RBracket)
+	case '{':
+		lx.parens++
+		return mk(LBrace)
+	case '}':
+		lx.parens--
+		return mk(RBrace)
+	case ',':
+		return mk(Comma)
+	case ':':
+		return mk(Colon)
+	case ';':
+		return mk(Semicolon)
+	case '.':
+		return mk(Dot)
+	case '+':
+		return two('=', PlusAssign, Plus)
+	case '-':
+		if lx.peekByte() == '>' {
+			lx.advance()
+			return mk(Arrow)
+		}
+		return two('=', MinusAssign, Minus)
+	case '*':
+		if lx.peekByte() == '*' {
+			lx.advance()
+			return mk(StarStar)
+		}
+		return two('=', StarAssign, Star)
+	case '/':
+		if lx.peekByte() == '/' {
+			lx.advance()
+			return mk(SlashSlash)
+		}
+		return two('=', SlashAssign, Slash)
+	case '%':
+		return mk(Percent)
+	case '<':
+		return two('=', Le, Lt)
+	case '>':
+		return two('=', Ge, Gt)
+	case '=':
+		return two('=', Eq, Assign)
+	case '!':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return mk(Ne)
+		}
+		return Token{}, lx.errf("unexpected character %q", '!')
+	}
+	return Token{}, lx.errf("unexpected character %q", c)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

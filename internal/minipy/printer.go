@@ -1,0 +1,381 @@
+package minipy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PrintModule renders a statement list back into parseable source text.
+// Together with Walk, this is the "walk the AST" serialization path the
+// paper describes for functions whose original source cannot be
+// located: the AST is rendered to canonical source, shipped, and
+// re-parsed on the worker.
+func PrintModule(stmts []Stmt) string {
+	var sb strings.Builder
+	pr := printer{sb: &sb}
+	pr.stmts(stmts, 0)
+	return sb.String()
+}
+
+// PrintStmt renders a single statement (and its body) as source.
+func PrintStmt(s Stmt) string { return PrintModule([]Stmt{s}) }
+
+// PrintExpr renders an expression as source.
+func PrintExpr(e Expr) string {
+	var sb strings.Builder
+	pr := printer{sb: &sb}
+	pr.expr(e)
+	return sb.String()
+}
+
+type printer struct {
+	sb *strings.Builder
+}
+
+func (p *printer) indent(level int) {
+	for i := 0; i < level; i++ {
+		p.sb.WriteString("    ")
+	}
+}
+
+func (p *printer) stmts(stmts []Stmt, level int) {
+	for _, s := range stmts {
+		p.stmt(s, level)
+	}
+}
+
+func (p *printer) line(level int, text string) {
+	p.indent(level)
+	p.sb.WriteString(text)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) stmt(s Stmt, level int) {
+	switch st := s.(type) {
+	case *DefStmt:
+		p.indent(level)
+		p.sb.WriteString("def " + st.Name + "(")
+		p.params(st.Params)
+		p.sb.WriteString("):\n")
+		p.stmts(st.Body, level+1)
+	case *ReturnStmt:
+		if st.Value == nil {
+			p.line(level, "return")
+		} else {
+			p.line(level, "return "+PrintExpr(st.Value))
+		}
+	case *IfStmt:
+		p.printIf(st, level, "if")
+	case *WhileStmt:
+		p.line(level, "while "+PrintExpr(st.Cond)+":")
+		p.stmts(st.Body, level+1)
+	case *ForStmt:
+		p.line(level, "for "+strings.Join(st.Targets, ", ")+" in "+PrintExpr(st.Iter)+":")
+		p.stmts(st.Body, level+1)
+	case *AssignStmt:
+		op := "="
+		switch st.Op {
+		case PlusAssign:
+			op = "+="
+		case MinusAssign:
+			op = "-="
+		case StarAssign:
+			op = "*="
+		case SlashAssign:
+			op = "/="
+		}
+		p.line(level, PrintExpr(st.Target)+" "+op+" "+PrintExpr(st.Value))
+	case *ExprStmt:
+		p.line(level, PrintExpr(st.Value))
+	case *ImportStmt:
+		parts := make([]string, len(st.Items))
+		for i, it := range st.Items {
+			if it.Alias != it.Module {
+				parts[i] = it.Module + " as " + it.Alias
+			} else {
+				parts[i] = it.Module
+			}
+		}
+		p.line(level, "import "+strings.Join(parts, ", "))
+	case *FromImportStmt:
+		parts := make([]string, len(st.Items))
+		for i, it := range st.Items {
+			if it.Alias != it.Module {
+				parts[i] = it.Module + " as " + it.Alias
+			} else {
+				parts[i] = it.Module
+			}
+		}
+		p.line(level, "from "+st.Module+" import "+strings.Join(parts, ", "))
+	case *GlobalStmt:
+		p.line(level, "global "+strings.Join(st.Names, ", "))
+	case *PassStmt:
+		p.line(level, "pass")
+	case *BreakStmt:
+		p.line(level, "break")
+	case *ContinueStmt:
+		p.line(level, "continue")
+	case *DelStmt:
+		p.line(level, "del "+PrintExpr(st.Target))
+	case *RaiseStmt:
+		if st.Value == nil {
+			p.line(level, "raise")
+		} else {
+			p.line(level, "raise "+PrintExpr(st.Value))
+		}
+	case *TryStmt:
+		p.line(level, "try:")
+		p.stmts(st.Body, level+1)
+		if st.Except != nil {
+			if st.ErrName != "" {
+				p.line(level, "except Exception as "+st.ErrName+":")
+			} else {
+				p.line(level, "except:")
+			}
+			p.stmts(st.Except, level+1)
+		}
+		if st.Finally != nil {
+			p.line(level, "finally:")
+			p.stmts(st.Finally, level+1)
+		}
+	case *AssertStmt:
+		if st.Msg != nil {
+			p.line(level, "assert "+PrintExpr(st.Cond)+", "+PrintExpr(st.Msg))
+		} else {
+			p.line(level, "assert "+PrintExpr(st.Cond))
+		}
+	default:
+		p.line(level, fmt.Sprintf("# <unprintable %T>", s))
+	}
+}
+
+func (p *printer) printIf(st *IfStmt, level int, kw string) {
+	p.line(level, kw+" "+PrintExpr(st.Cond)+":")
+	p.stmts(st.Body, level+1)
+	if len(st.Else) == 0 {
+		return
+	}
+	if len(st.Else) == 1 {
+		if elif, ok := st.Else[0].(*IfStmt); ok {
+			p.printIf(elif, level, "elif")
+			return
+		}
+	}
+	p.line(level, "else:")
+	p.stmts(st.Else, level+1)
+}
+
+func (p *printer) params(params []Param) {
+	for i, prm := range params {
+		if i > 0 {
+			p.sb.WriteString(", ")
+		}
+		p.sb.WriteString(prm.Name)
+		if prm.Default != nil {
+			p.sb.WriteString("=")
+			p.expr(defaultExpr(prm.Default))
+		}
+	}
+}
+
+// defaultExpr unwraps evaluated defaults back to their original
+// expression for printing; if the value has no printable original (a
+// default reconstructed from a pickle), it renders the value itself.
+func defaultExpr(d Expr) Expr {
+	if ed, ok := d.(*evaluatedDefault); ok {
+		if ed.orig != nil {
+			return ed.orig
+		}
+		if lit := valueToLiteral(ed.value); lit != nil {
+			return lit
+		}
+		return &NoneLit{}
+	}
+	return d
+}
+
+// valueToLiteral converts simple values back to literal expressions.
+func valueToLiteral(v Value) Expr {
+	switch x := v.(type) {
+	case None:
+		return &NoneLit{}
+	case Bool:
+		return &BoolLit{Value: bool(x)}
+	case Int:
+		return &IntLit{Value: int64(x)}
+	case Float:
+		return &FloatLit{Value: float64(x)}
+	case Str:
+		return &StringLit{Value: string(x)}
+	case *List:
+		elems := make([]Expr, len(x.Elems))
+		for i, e := range x.Elems {
+			le := valueToLiteral(e)
+			if le == nil {
+				return nil
+			}
+			elems[i] = le
+		}
+		return &ListLit{Elems: elems}
+	case *Tuple:
+		elems := make([]Expr, len(x.Elems))
+		for i, e := range x.Elems {
+			le := valueToLiteral(e)
+			if le == nil {
+				return nil
+			}
+			elems[i] = le
+		}
+		return &TupleExpr{Elems: elems}
+	}
+	return nil
+}
+
+func (p *printer) expr(e Expr) {
+	switch ex := e.(type) {
+	case *NameExpr:
+		p.sb.WriteString(ex.Name)
+	case *IntLit:
+		p.sb.WriteString(strconv.FormatInt(ex.Value, 10))
+	case *FloatLit:
+		p.sb.WriteString(Float(ex.Value).Repr())
+	case *StringLit:
+		p.sb.WriteString(strconv.Quote(ex.Value))
+	case *BoolLit:
+		if ex.Value {
+			p.sb.WriteString("True")
+		} else {
+			p.sb.WriteString("False")
+		}
+	case *NoneLit:
+		p.sb.WriteString("None")
+	case *evaluatedDefault:
+		p.expr(defaultExpr(ex))
+	case *ListLit:
+		p.sb.WriteByte('[')
+		for i, el := range ex.Elems {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			p.expr(el)
+		}
+		p.sb.WriteByte(']')
+	case *TupleExpr:
+		p.sb.WriteByte('(')
+		for i, el := range ex.Elems {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			p.expr(el)
+		}
+		if len(ex.Elems) == 1 {
+			p.sb.WriteByte(',')
+		}
+		p.sb.WriteByte(')')
+	case *DictLit:
+		p.sb.WriteByte('{')
+		for i := range ex.Keys {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			p.expr(ex.Keys[i])
+			p.sb.WriteString(": ")
+			p.expr(ex.Values[i])
+		}
+		p.sb.WriteByte('}')
+	case *BinExpr:
+		p.sb.WriteByte('(')
+		p.expr(ex.Left)
+		p.sb.WriteString(" " + ex.Op.String() + " ")
+		p.expr(ex.Right)
+		p.sb.WriteByte(')')
+	case *BoolExpr:
+		p.sb.WriteByte('(')
+		p.expr(ex.Left)
+		if ex.Op == KwAnd {
+			p.sb.WriteString(" and ")
+		} else {
+			p.sb.WriteString(" or ")
+		}
+		p.expr(ex.Right)
+		p.sb.WriteByte(')')
+	case *UnaryExpr:
+		switch ex.Op {
+		case Minus:
+			p.sb.WriteString("(-")
+		case Plus:
+			p.sb.WriteString("(+")
+		case KwNot:
+			p.sb.WriteString("(not ")
+		}
+		p.expr(ex.Operand)
+		p.sb.WriteByte(')')
+	case *CallExpr:
+		p.expr(ex.Func)
+		p.sb.WriteByte('(')
+		for i, a := range ex.Args {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			p.expr(a)
+		}
+		for i, kw := range ex.KwArgs {
+			if i > 0 || len(ex.Args) > 0 {
+				p.sb.WriteString(", ")
+			}
+			p.sb.WriteString(kw.Name + "=")
+			p.expr(kw.Value)
+		}
+		p.sb.WriteByte(')')
+	case *AttrExpr:
+		p.expr(ex.X)
+		p.sb.WriteByte('.')
+		p.sb.WriteString(ex.Name)
+	case *IndexExpr:
+		p.expr(ex.X)
+		p.sb.WriteByte('[')
+		p.expr(ex.Index)
+		p.sb.WriteByte(']')
+	case *SliceExpr:
+		p.expr(ex.X)
+		p.sb.WriteByte('[')
+		if ex.Lo != nil {
+			p.expr(ex.Lo)
+		}
+		p.sb.WriteByte(':')
+		if ex.Hi != nil {
+			p.expr(ex.Hi)
+		}
+		p.sb.WriteByte(']')
+	case *LambdaExpr:
+		p.sb.WriteString("(lambda")
+		if len(ex.Params) > 0 {
+			p.sb.WriteByte(' ')
+			p.params(ex.Params)
+		}
+		p.sb.WriteString(": ")
+		p.expr(ex.Body)
+		p.sb.WriteByte(')')
+	case *CondExpr:
+		p.sb.WriteByte('(')
+		p.expr(ex.Then)
+		p.sb.WriteString(" if ")
+		p.expr(ex.Cond)
+		p.sb.WriteString(" else ")
+		p.expr(ex.Else)
+		p.sb.WriteByte(')')
+	case *InExpr:
+		p.sb.WriteByte('(')
+		p.expr(ex.X)
+		if ex.Not {
+			p.sb.WriteString(" not in ")
+		} else {
+			p.sb.WriteString(" in ")
+		}
+		p.expr(ex.Container)
+		p.sb.WriteByte(')')
+	default:
+		p.sb.WriteString(fmt.Sprintf("<unprintable %T>", e))
+	}
+}

@@ -1,0 +1,174 @@
+package minipy
+
+import (
+	"strings"
+	"testing"
+)
+
+// parsePrint parses src and returns the printed form.
+func parsePrint(t *testing.T, src string) string {
+	t.Helper()
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return PrintModule(mod.Body)
+}
+
+func TestPrintStatementForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string // substrings of the printed form
+	}{
+		{"import a.b as c, d\n", []string{"import a.b as c, d"}},
+		{"from m import x as y\n", []string{"from m import x as y"}},
+		{"global a, b\n", []string{"global a, b"}},
+		{"del x\n", []string{"del x"}},
+		{"raise 'err'\n", []string{`raise "err"`}},
+		{"assert x, 'msg'\n", []string{`assert x, "msg"`}},
+		{"x += 1\n", []string{"x += 1"}},
+		{"x -= 1\ny *= 2\nz /= 3\n", []string{"x -= 1", "y *= 2", "z /= 3"}},
+		{"pass\nbreak\ncontinue\n", []string{"pass"}},
+		{"x = a if b else c\n", []string{"if", "else"}},
+		{"x = lambda a, b=2: a + b\n", []string{"lambda a, b=2"}},
+		{"x = not (a in b)\n", []string{"not", "in"}},
+		{"x = y[1:5]\n", []string{"[1:5]"}},
+		{"x = y[:5]\n", []string{"[:5]"}},
+		{"x = y[1:]\n", []string{"[1:"}},
+		{"x = (1,)\n", []string{"(1,)"}},
+		{"x = {1: 'a', 2: 'b'}\n", []string{`{1: "a", 2: "b"}`}},
+		{"x = -y ** 2\n", []string{"**"}},
+		{"f(a, b, k=1, j=2)\n", []string{"k=1", "j=2"}},
+	}
+	for _, c := range cases {
+		printed := parsePrint(t, c.src)
+		for _, w := range c.want {
+			if !strings.Contains(printed, w) {
+				t.Errorf("print of %q = %q, missing %q", c.src, printed, w)
+			}
+		}
+		// Printed source must re-parse.
+		if _, err := Parse(printed); err != nil {
+			t.Errorf("printed form of %q does not parse: %v\n%s", c.src, err, printed)
+		}
+	}
+}
+
+func TestPrintPreservesSemantics(t *testing.T) {
+	// Parse → print → parse → run must equal parse → run directly.
+	srcs := []string{
+		`
+def collatz(n):
+    steps = 0
+    while n != 1:
+        if n % 2 == 0:
+            n = n // 2
+        else:
+            n = 3 * n + 1
+        steps += 1
+    return steps
+r = collatz(27)
+`,
+		`
+acc = {}
+for i in range(20):
+    key = "k" + str(i % 3)
+    acc[key] = acc.get(key, 0) + i
+r = sorted(acc.items())
+`,
+		`
+def apply_all(fs, x):
+    out = []
+    for f in fs:
+        out.append(f(x))
+    return out
+r = apply_all([lambda v: v + 1, lambda v: v * 2], 10)
+`,
+	}
+	for _, src := range srcs {
+		ip1 := NewInterp(nil)
+		env1, err := ip1.RunModule(src, "a")
+		if err != nil {
+			t.Fatalf("original failed: %v", err)
+		}
+		printed := parsePrint(t, src)
+		ip2 := NewInterp(nil)
+		env2, err := ip2.RunModule(printed, "b")
+		if err != nil {
+			t.Fatalf("printed form failed: %v\n%s", err, printed)
+		}
+		v1, _ := env1.Get("r")
+		v2, _ := env2.Get("r")
+		if !Equal(v1, v2) {
+			t.Errorf("semantics changed by printing: %s vs %s\nprinted:\n%s", v1.Repr(), v2.Repr(), printed)
+		}
+	}
+}
+
+func TestValueToLiteral(t *testing.T) {
+	values := []Value{
+		NoneValue,
+		Bool(true),
+		Int(-42),
+		Float(2.5),
+		Str("hi"),
+		NewList(Int(1), Str("x")),
+		NewTuple(Int(1), Int(2)),
+	}
+	for _, v := range values {
+		lit := valueToLiteral(v)
+		if lit == nil {
+			t.Errorf("no literal for %s", v.Repr())
+			continue
+		}
+		printed := PrintExpr(lit)
+		ip := NewInterp(nil)
+		got, err := ip.Eval(printed, ip.NewGlobals())
+		if err != nil {
+			t.Errorf("literal %q does not eval: %v", printed, err)
+			continue
+		}
+		if !Equal(got, v) {
+			t.Errorf("literal round trip %s -> %q -> %s", v.Repr(), printed, got.Repr())
+		}
+	}
+	// Unconvertible values yield nil.
+	if valueToLiteral(&Builtin{Name: "len"}) != nil {
+		t.Errorf("builtin should not literalize")
+	}
+	d := NewDict()
+	if valueToLiteral(d) != nil {
+		t.Errorf("dict literalization not supported (by design)")
+	}
+}
+
+func TestPrintTryFinally(t *testing.T) {
+	src := `
+def f(x):
+    try:
+        return 1 / x
+    except Exception as e:
+        return e
+    finally:
+        pass
+`
+	printed := parsePrint(t, src)
+	for _, w := range []string{"try:", "except Exception as e:", "finally:"} {
+		if !strings.Contains(printed, w) {
+			t.Errorf("missing %q in:\n%s", w, printed)
+		}
+	}
+	ip := NewInterp(nil)
+	env, err := ip.RunModule(printed, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, _ := env.Get("f")
+	v, err := ip.Call(fv, []Value{Int(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ToStr(v), "division") {
+		t.Errorf("printed try/except lost semantics: %s", v.Repr())
+	}
+}

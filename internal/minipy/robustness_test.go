@@ -1,0 +1,157 @@
+package minipy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the lexer and parser never panic, whatever bytes arrive —
+// they either parse or return a *SyntaxError.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on input %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, err := Parse(src)
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mutations of valid programs never panic the parser.
+func TestQuickMutatedProgramsNeverPanic(t *testing.T) {
+	base := `
+def f(x, k=3):
+    total = 0
+    for i in range(x):
+        if i % 2 == 0:
+            total += i * k
+        else:
+            total -= i
+    return total
+r = f(10)
+`
+	f := func(pos uint16, b byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		src := []byte(base)
+		src[int(pos)%len(src)] = b
+		_, _ = Parse(string(src))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the interpreter never panics executing parseable mutations
+// (it may error) under a step budget.
+func TestQuickInterpreterNeverPanics(t *testing.T) {
+	base := "x = [1, 2, 3]\ny = x[0] + len(x)\nz = {\"k\": y}\n"
+	f := func(pos uint16, b byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		src := []byte(base)
+		src[int(pos)%len(src)] = b
+		ip := NewInterp(nil)
+		ip.StepLimit = 100000
+		_, _ = ip.RunModule(string(src), "fuzz")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Pathological inputs that have bitten parsers before.
+func TestPathologicalInputs(t *testing.T) {
+	inputs := []string{
+		"",
+		"\n\n\n",
+		"   ",
+		"\t\t\t",
+		"#comment only\n",
+		strings.Repeat("(", 500),
+		strings.Repeat("[", 500) + strings.Repeat("]", 500),
+		strings.Repeat("a.", 200) + "a",
+		"def " + strings.Repeat("f(", 100),
+		"x = " + strings.Repeat("1 + ", 300) + "1",
+		"if 1:\n" + strings.Repeat("    if 1:\n", 80) + strings.Repeat("    ", 81) + "pass\n",
+		"\"" + strings.Repeat("a", 100000) + "\"",
+		"x = '''" + strings.Repeat("line\n", 100) + "'''\n",
+		"\x00\x01\x02",
+		"λ = 1",
+		"def f(:\n",
+		"1..2",
+		"0x",
+		"1e",
+		"1e+",
+	}
+	for _, src := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %.40q: %v", src, r)
+				}
+			}()
+			if mod, err := Parse(src); err == nil && mod != nil {
+				ip := NewInterp(nil)
+				ip.StepLimit = 100000
+				env := ip.NewGlobals()
+				_ = ip.ExecBlockWithSource(mod.Body, env, src, "path")
+			}
+		}()
+	}
+}
+
+// Deep recursion in pickling/eval of self-referencing structures must
+// not blow the stack uncontrolled (guarded by MaxDepth).
+func TestDeepCallChain(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("def f0(x):\n    return x\n")
+	for i := 1; i <= 150; i++ {
+		sb.WriteString("def f")
+		sb.WriteString(itoa(i))
+		sb.WriteString("(x):\n    return f")
+		sb.WriteString(itoa(i - 1))
+		sb.WriteString("(x)\n")
+	}
+	ip := NewInterp(nil)
+	env, err := ip.RunModule(sb.String(), "deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv, _ := env.Get("f150")
+	v, err := ip.Call(fv, []Value{Int(42)}, nil)
+	if err != nil {
+		t.Fatalf("deep chain within MaxDepth failed: %v", err)
+	}
+	if v.Repr() != "42" {
+		t.Errorf("deep chain = %s", v.Repr())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,151 @@
+// Package minipy implements a small dynamic scripting language with
+// Python-like syntax: first-class functions, closures, lambdas, modules,
+// and an import system. It exists to give this Go reproduction the same
+// problem the paper faces in Python — functions whose code and context
+// are not statically known and must be discovered, serialized, and
+// reconstructed on remote workers.
+//
+// The language is deliberately small but complete enough to express the
+// paper's workloads: function definitions with default arguments,
+// closures over enclosing scopes, lambdas, list/dict/string manipulation,
+// arithmetic, control flow, and imports of host-provided modules.
+package minipy
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Keywords and operators each get their own kind so the
+// parser can switch on a single integer.
+const (
+	EOF Kind = iota
+	NEWLINE
+	INDENT
+	DEDENT
+
+	IDENT
+	INT
+	FLOAT
+	STRING
+
+	// Keywords.
+	KwDef
+	KwReturn
+	KwIf
+	KwElif
+	KwElse
+	KwWhile
+	KwFor
+	KwIn
+	KwBreak
+	KwContinue
+	KwPass
+	KwImport
+	KwFrom
+	KwAs
+	KwGlobal
+	KwLambda
+	KwAnd
+	KwOr
+	KwNot
+	KwTrue
+	KwFalse
+	KwNone
+	KwDel
+	KwRaise
+	KwTry
+	KwExcept
+	KwFinally
+	KwAssert
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBracket
+	RBracket
+	LBrace
+	RBrace
+	Comma
+	Colon
+	Semicolon
+	Dot
+	Assign
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	Plus
+	Minus
+	Star
+	StarStar
+	Slash
+	SlashSlash
+	Percent
+	Lt
+	Gt
+	Le
+	Ge
+	Eq
+	Ne
+	Arrow
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", NEWLINE: "NEWLINE", INDENT: "INDENT", DEDENT: "DEDENT",
+	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", STRING: "STRING",
+	KwDef: "def", KwReturn: "return", KwIf: "if", KwElif: "elif",
+	KwElse: "else", KwWhile: "while", KwFor: "for", KwIn: "in",
+	KwBreak: "break", KwContinue: "continue", KwPass: "pass",
+	KwImport: "import", KwFrom: "from", KwAs: "as", KwGlobal: "global",
+	KwLambda: "lambda", KwAnd: "and", KwOr: "or", KwNot: "not",
+	KwTrue: "True", KwFalse: "False", KwNone: "None", KwDel: "del",
+	KwRaise: "raise", KwTry: "try", KwExcept: "except",
+	KwFinally: "finally", KwAssert: "assert",
+	LParen: "(", RParen: ")", LBracket: "[", RBracket: "]",
+	LBrace: "{", RBrace: "}", Comma: ",", Colon: ":", Semicolon: ";",
+	Dot: ".", Assign: "=", PlusAssign: "+=", MinusAssign: "-=",
+	StarAssign: "*=", SlashAssign: "/=",
+	Plus: "+", Minus: "-", Star: "*", StarStar: "**", Slash: "/",
+	SlashSlash: "//", Percent: "%",
+	Lt: "<", Gt: ">", Le: "<=", Ge: ">=", Eq: "==", Ne: "!=",
+	Arrow: "->",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"def": KwDef, "return": KwReturn, "if": KwIf, "elif": KwElif,
+	"else": KwElse, "while": KwWhile, "for": KwFor, "in": KwIn,
+	"break": KwBreak, "continue": KwContinue, "pass": KwPass,
+	"import": KwImport, "from": KwFrom, "as": KwAs, "global": KwGlobal,
+	"lambda": KwLambda, "and": KwAnd, "or": KwOr, "not": KwNot,
+	"True": KwTrue, "False": KwFalse, "None": KwNone, "del": KwDel,
+	"raise": KwRaise, "try": KwTry, "except": KwExcept,
+	"finally": KwFinally, "assert": KwAssert,
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // literal text for IDENT/INT/FLOAT/STRING
+	Line int    // 1-based source line
+	Col  int    // 1-based source column
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT:
+		return t.Text
+	case STRING:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,100 @@
+package pkgindex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStandardIndexLNNIClosure(t *testing.T) {
+	ix := StandardIndex()
+	pkgs, err := ix.ResolveClosure([]string{"resnet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.7: 144 packages, ~572 MB packed, ~3.1 GB installed.
+	if len(pkgs) != 144 {
+		t.Errorf("resnet closure = %d packages, want 144", len(pkgs))
+	}
+	var packed, installed int64
+	for _, p := range pkgs {
+		packed += p.PackedSize
+		installed += p.InstalledSize
+	}
+	if mb := packed >> 20; mb < 540 || mb > 610 {
+		t.Errorf("packed = %d MB, want ~572", mb)
+	}
+	if gb10 := installed * 10 >> 30; gb10 < 29 || gb10 > 33 {
+		t.Errorf("installed = %d tenths of GB, want ~31", gb10)
+	}
+}
+
+func TestResolveClosureDedup(t *testing.T) {
+	ix := StandardIndex()
+	// chemtools and mlpack both depend on mathx; the closure holds it
+	// once.
+	pkgs, err := ix.ResolveClosure([]string{"chemtools", "mlpack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, p := range pkgs {
+		if p.Name == "mathx" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("mathx appears %d times", count)
+	}
+	// Sorted by name.
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i-1].Name >= pkgs[i].Name {
+			t.Fatalf("closure not sorted at %d: %s >= %s", i, pkgs[i-1].Name, pkgs[i].Name)
+		}
+	}
+}
+
+func TestResolveClosureErrors(t *testing.T) {
+	ix := StandardIndex()
+	if _, err := ix.ResolveClosure([]string{"nope"}); err == nil {
+		t.Errorf("unknown root accepted")
+	}
+	// Missing transitive dependency reports the requiring chain.
+	ix2 := New()
+	ix2.Add(&Package{Name: "a", Deps: []string{"missing-dep"}})
+	_, err := ix2.ResolveClosure([]string{"a"})
+	if err == nil || !strings.Contains(err.Error(), "missing-dep") {
+		t.Errorf("missing dep error = %v", err)
+	}
+}
+
+func TestCyclicDependenciesTolerated(t *testing.T) {
+	ix := New()
+	ix.Add(&Package{Name: "a", Deps: []string{"b"}})
+	ix.Add(&Package{Name: "b", Deps: []string{"a"}})
+	pkgs, err := ix.ResolveClosure([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Errorf("cycle closure = %d packages", len(pkgs))
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	ix := StandardIndex()
+	if p, ok := ix.Lookup("tensorstore"); !ok || p.Version == "" {
+		t.Errorf("tensorstore lookup failed")
+	}
+	if _, ok := ix.Lookup("ghost"); ok {
+		t.Errorf("ghost package found")
+	}
+	names := ix.Names()
+	if len(names) != ix.Len() {
+		t.Errorf("Names/Len mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted")
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package poncho reproduces the paper's Poncho toolkit (§3.2): it scans
+// function ASTs for imported modules, resolves them against a package
+// index into a pinned environment specification, and packs that
+// environment into a content-addressed tarball artifact (the conda-pack
+// equivalent) that workers cache, share, and unpack once.
+package poncho
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/content"
+	"repro/internal/minipy"
+	"repro/internal/pkgindex"
+)
+
+// EnvSpec is a resolved software environment: a pinned, sorted package
+// list with size accounting.
+type EnvSpec struct {
+	Packages []PinnedPackage `json:"packages"`
+}
+
+// PinnedPackage is one resolved package in an environment.
+type PinnedPackage struct {
+	Name          string `json:"name"`
+	Version       string `json:"version"`
+	InstalledSize int64  `json:"installed_size"`
+	PackedSize    int64  `json:"packed_size"`
+}
+
+// RuntimeModules are provided by the worker/library runtime itself
+// (sandbox access, bound input data) and are never software
+// dependencies.
+var RuntimeModules = map[string]bool{
+	"vine_runtime": true,
+	"vine_data":    true,
+}
+
+// ScanFunction discovers the modules a function needs: import
+// statements anywhere in its code (including nested defs and lambdas),
+// modules captured by reference from its defining module, and imports
+// of any captured helper functions, transitively. Runtime-provided
+// modules (vine_runtime, vine_data) are excluded.
+func ScanFunction(fn *minipy.Func) []string {
+	seenMods := map[string]bool{}
+	seenFuncs := map[*minipy.Func]bool{}
+	var scan func(f *minipy.Func)
+	scan = func(f *minipy.Func) {
+		if f == nil || seenFuncs[f] {
+			return
+		}
+		seenFuncs[f] = true
+		for _, m := range minipy.ImportedModules(f) {
+			seenMods[m] = true
+		}
+		closure, globals, _ := minipy.ResolveFree(f)
+		for _, m := range []map[string]minipy.Value{closure, globals} {
+			for _, v := range m {
+				switch x := v.(type) {
+				case *minipy.ModuleVal:
+					seenMods[x.Name] = true
+				case *minipy.Func:
+					scan(x)
+				}
+			}
+		}
+	}
+	scan(fn)
+	out := make([]string, 0, len(seenMods))
+	for m := range seenMods {
+		if RuntimeModules[m] {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve turns a list of required module names into a pinned
+// environment by computing the transitive closure against the index.
+func Resolve(ix *pkgindex.Index, modules []string) (*EnvSpec, error) {
+	pkgs, err := ix.ResolveClosure(modules)
+	if err != nil {
+		return nil, fmt.Errorf("poncho: %w", err)
+	}
+	spec := &EnvSpec{}
+	for _, p := range pkgs {
+		spec.Packages = append(spec.Packages, PinnedPackage{
+			Name:          p.Name,
+			Version:       p.Version,
+			InstalledSize: p.InstalledSize,
+			PackedSize:    p.PackedSize,
+		})
+	}
+	return spec, nil
+}
+
+// ResolveForFunction is the full Discover pipeline for software
+// dependencies: scan the function, then resolve what it imports.
+func ResolveForFunction(ix *pkgindex.Index, fn *minipy.Func) (*EnvSpec, error) {
+	return Resolve(ix, ScanFunction(fn))
+}
+
+// PackedSize is the tarball size of the environment in bytes.
+func (s *EnvSpec) PackedSize() int64 {
+	var total int64
+	for _, p := range s.Packages {
+		total += p.PackedSize
+	}
+	return total
+}
+
+// InstalledSize is the unpacked on-disk size of the environment.
+func (s *EnvSpec) InstalledSize() int64 {
+	var total int64
+	for _, p := range s.Packages {
+		total += p.InstalledSize
+	}
+	return total
+}
+
+// Modules returns the installed package names, sorted.
+func (s *EnvSpec) Modules() []string {
+	out := make([]string, 0, len(s.Packages))
+	for _, p := range s.Packages {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the environment installs the named package.
+func (s *EnvSpec) Has(name string) bool {
+	for _, p := range s.Packages {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Pack produces the environment tarball artifact: a content-addressed
+// object whose data is the JSON manifest of the environment and whose
+// logical packed/unpacked sizes are the modeled sizes, so caches and
+// transfer models charge what a real conda-pack tarball would.
+func (s *EnvSpec) Pack(name string) (*content.Object, error) {
+	data, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("poncho: packing environment: %w", err)
+	}
+	return content.NewTarball(name, data, s.PackedSize(), s.InstalledSize()), nil
+}
+
+// UnpackManifest parses a packed environment back into its spec — what
+// a worker does when expanding a tarball to learn which modules become
+// importable.
+func UnpackManifest(data []byte) (*EnvSpec, error) {
+	var spec EnvSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("poncho: unpacking environment manifest: %w", err)
+	}
+	return &spec, nil
+}

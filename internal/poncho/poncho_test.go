@@ -1,0 +1,206 @@
+package poncho
+
+import (
+	"testing"
+
+	"repro/internal/minipy"
+	"repro/internal/pkgindex"
+)
+
+func mustFunc(t *testing.T, src, name string) *minipy.Func {
+	t.Helper()
+	ip := minipy.NewInterp(nil)
+	mod, err := minipy.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ip.NewGlobals()
+	if err := ip.ExecBlockWithSource(mod.Body, env, src, "m"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := env.Get(name)
+	if !ok {
+		t.Fatalf("no function %q", name)
+	}
+	return v.(*minipy.Func)
+}
+
+func TestScanFunctionDirectImports(t *testing.T) {
+	fn := mustFunc(t, `
+def f(x):
+    import resnet
+    from imageproc import normalize
+    return normalize(x)
+`, "f")
+	got := ScanFunction(fn)
+	want := []string{"imageproc", "resnet"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("ScanFunction = %v, want %v", got, want)
+	}
+}
+
+func TestScanFunctionTransitiveThroughHelpers(t *testing.T) {
+	fn := mustFunc(t, `
+def helper(x):
+    import chemtools
+    return x
+
+def f(x):
+    import mathx
+    return helper(x)
+`, "f")
+	got := ScanFunction(fn)
+	want := []string{"chemtools", "mathx"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("ScanFunction = %v, want %v", got, want)
+	}
+}
+
+func TestScanHandlesRecursiveHelpers(t *testing.T) {
+	fn := mustFunc(t, `
+def f(n):
+    import jsonx
+    if n == 0:
+        return 0
+    return f(n - 1)
+`, "f")
+	got := ScanFunction(fn)
+	if len(got) != 1 || got[0] != "jsonx" {
+		t.Errorf("ScanFunction = %v", got)
+	}
+}
+
+func TestResolveClosureCounts(t *testing.T) {
+	ix := pkgindex.StandardIndex()
+	spec, err := Resolve(ix, []string{"resnet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's LNNI environment: 144 packages, 572 MB packed, 3.1 GB
+	// installed (§4.7).
+	if len(spec.Packages) != 144 {
+		t.Errorf("resnet closure has %d packages, want 144", len(spec.Packages))
+	}
+	packedMB := float64(spec.PackedSize()) / (1 << 20)
+	if packedMB < 540 || packedMB > 610 {
+		t.Errorf("packed size %.0f MB, want ~572 MB", packedMB)
+	}
+	installedGB := float64(spec.InstalledSize()) / (1 << 30)
+	if installedGB < 2.8 || installedGB > 3.4 {
+		t.Errorf("installed size %.2f GB, want ~3.1 GB", installedGB)
+	}
+}
+
+func TestResolveUnknownPackage(t *testing.T) {
+	ix := pkgindex.StandardIndex()
+	if _, err := Resolve(ix, []string{"nonexistent-pkg"}); err == nil {
+		t.Errorf("expected resolve error for unknown package")
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	ix := pkgindex.StandardIndex()
+	a, err := Resolve(ix, []string{"resnet", "mathx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Resolve(ix, []string{"mathx", "resnet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Packages) != len(b.Packages) {
+		t.Fatalf("closures differ in size")
+	}
+	for i := range a.Packages {
+		if a.Packages[i] != b.Packages[i] {
+			t.Errorf("package %d differs: %v vs %v", i, a.Packages[i], b.Packages[i])
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	ix := pkgindex.StandardIndex()
+	spec, err := Resolve(ix, []string{"chemtools", "mlpack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := spec.Pack("examol-env.tar.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.LogicalSize != spec.PackedSize() {
+		t.Errorf("tarball logical size %d != packed size %d", obj.LogicalSize, spec.PackedSize())
+	}
+	if obj.UnpackedSize != spec.InstalledSize() {
+		t.Errorf("tarball unpacked size mismatch")
+	}
+	got, err := UnpackManifest(obj.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Packages) != len(spec.Packages) {
+		t.Fatalf("unpacked %d packages, want %d", len(got.Packages), len(spec.Packages))
+	}
+	if !got.Has("chemtools") || !got.Has("mathx") {
+		t.Errorf("unpacked env missing expected packages: %v", got.Modules())
+	}
+	if got.Has("resnet") {
+		t.Errorf("unpacked env has unexpected package")
+	}
+}
+
+func TestPackDeterministicID(t *testing.T) {
+	ix := pkgindex.StandardIndex()
+	s1, _ := Resolve(ix, []string{"resnet"})
+	s2, _ := Resolve(ix, []string{"resnet"})
+	o1, err := s1.Pack("env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := s2.Pack("env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.ID != o2.ID {
+		t.Errorf("same environment packs to different content IDs")
+	}
+}
+
+func TestUnpackManifestCorrupt(t *testing.T) {
+	if _, err := UnpackManifest([]byte("not json")); err == nil {
+		t.Errorf("corrupt manifest should fail")
+	}
+}
+
+func TestEndToEndDiscoverPipeline(t *testing.T) {
+	fn := mustFunc(t, `
+def infer(seed, n):
+    import resnet
+    import imageproc
+    model = resnet.load_model("resnet50")
+    batch = imageproc.generate_batch(seed, n)
+    return model.infer_batch(batch)
+`, "infer")
+	ix := pkgindex.StandardIndex()
+	spec, err := ResolveForFunction(ix, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Has("resnet") || !spec.Has("tensorstore") || !spec.Has("mlrt-000") {
+		t.Errorf("LNNI env missing transitive deps: %d packages", len(spec.Packages))
+	}
+}
+
+func TestRuntimeModulesExcluded(t *testing.T) {
+	fn := mustFunc(t, `
+def f(x):
+    import vine_runtime
+    import vine_data
+    import mathx
+    return x
+`, "f")
+	got := ScanFunction(fn)
+	if len(got) != 1 || got[0] != "mathx" {
+		t.Errorf("ScanFunction = %v, want [mathx] only", got)
+	}
+}

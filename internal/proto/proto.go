@@ -1,0 +1,227 @@
+// Package proto implements the wire protocol between the manager, its
+// workers, and worker data servers: length-prefixed, type-tagged JSON
+// frames over any net.Conn. It carries the message vocabulary of §3.4:
+// file staging (direct and peer-to-peer), task execution, library
+// installation and removal, invocations, and results.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// MsgType tags a frame with its message kind.
+type MsgType byte
+
+const (
+	// MsgHello is sent by a worker on connect.
+	MsgHello MsgType = iota + 1
+	// MsgPutFile carries an object from the manager to a worker.
+	MsgPutFile
+	// MsgFetchFile instructs a worker to pull an object from a peer.
+	MsgFetchFile
+	// MsgFileAck confirms an object is cached on the worker.
+	MsgFileAck
+	// MsgRunTask dispatches a stateless task.
+	MsgRunTask
+	// MsgInstallLibrary dispatches a library (the special context task).
+	MsgInstallLibrary
+	// MsgLibraryAck reports a library instance is ready (or failed).
+	MsgLibraryAck
+	// MsgRemoveLibrary evicts an idle library instance.
+	MsgRemoveLibrary
+	// MsgInvoke dispatches a FunctionCall to a worker with the library.
+	MsgInvoke
+	// MsgResult returns a task or invocation result to the manager.
+	MsgResult
+	// MsgShutdown tells a worker to exit.
+	MsgShutdown
+	// MsgGetFile requests an object by ID from a peer data server.
+	MsgGetFile
+	// MsgFileData answers MsgGetFile with the object.
+	MsgFileData
+	// MsgError answers MsgGetFile when the object is unavailable.
+	MsgError
+)
+
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgHello: "hello", MsgPutFile: "put-file", MsgFetchFile: "fetch-file",
+		MsgFileAck: "file-ack", MsgRunTask: "run-task",
+		MsgInstallLibrary: "install-library", MsgLibraryAck: "library-ack",
+		MsgRemoveLibrary: "remove-library", MsgInvoke: "invoke",
+		MsgResult: "result", MsgShutdown: "shutdown", MsgGetFile: "get-file",
+		MsgFileData: "file-data", MsgError: "error",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// MaxFrame bounds a single frame (metadata plus payload) to guard
+// against corrupt length prefixes.
+const MaxFrame = 512 << 20
+
+// Hello announces a worker to the manager.
+type Hello struct {
+	WorkerID  string         `json:"worker_id"`
+	Resources core.Resources `json:"resources"`
+	// Cluster names the worker's network locality group (Figure 3c).
+	Cluster string `json:"cluster,omitempty"`
+	// DataAddr is where peers can fetch this worker's cached objects.
+	DataAddr string `json:"data_addr,omitempty"`
+	// MachineGFlops is the worker machine's compute rating, used for
+	// heterogeneity-aware metrics.
+	MachineGFlops float64 `json:"machine_gflops,omitempty"`
+}
+
+// FileMeta describes an object in transit.
+type FileMeta struct {
+	ID           string `json:"id"`
+	Name         string `json:"name"`
+	Kind         int    `json:"kind"`
+	Data         []byte `json:"data"`
+	LogicalSize  int64  `json:"logical_size"`
+	UnpackedSize int64  `json:"unpacked_size,omitempty"`
+}
+
+// PutFile carries object data manager→worker.
+type PutFile struct {
+	File  FileMeta `json:"file"`
+	Cache bool     `json:"cache"`
+	// Unpack asks the worker to expand the tarball after caching.
+	Unpack bool `json:"unpack"`
+}
+
+// FetchFile instructs a worker to fetch an object from a peer's data
+// server (spanning-tree distribution, Figure 3b).
+type FetchFile struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	FromAddr string `json:"from_addr"`
+	Cache    bool   `json:"cache"`
+	Unpack   bool   `json:"unpack"`
+}
+
+// FileAck confirms (or denies) that an object is now cached. Cache
+// echoes whether the object was staged as worker-resident (so the
+// manager only records durable replicas as transfer sources).
+type FileAck struct {
+	ID    string `json:"id"`
+	Ok    bool   `json:"ok"`
+	Cache bool   `json:"cache"`
+	Err   string `json:"err,omitempty"`
+}
+
+// LibraryAck reports library installation outcome.
+type LibraryAck struct {
+	Library string `json:"library"`
+	// Instance distinguishes multiple instances of one library across
+	// workers (share-value accounting).
+	Instance string `json:"instance"`
+	Ok       bool   `json:"ok"`
+	Err      string `json:"err,omitempty"`
+	// SetupTime is the context-setup duration in seconds (Table 5, L3
+	// library row).
+	SetupTime float64 `json:"setup_time"`
+}
+
+// RemoveLibrary evicts a library instance by name.
+type RemoveLibrary struct {
+	Library string `json:"library"`
+}
+
+// GetFile requests an object from a peer data server.
+type GetFile struct {
+	ID string `json:"id"`
+}
+
+// ErrorMsg is a generic failure answer.
+type ErrorMsg struct {
+	Err string `json:"err"`
+}
+
+// Conn is a framed, type-tagged message connection. Reads and writes
+// are independently serialized, so one goroutine may receive while
+// others send.
+type Conn struct {
+	rw   io.ReadWriter
+	rmu  sync.Mutex
+	wmu  sync.Mutex
+	rbuf []byte
+}
+
+// NewConn wraps a stream in a framed message connection.
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Send encodes v as a frame of the given type.
+func (c *Conn) Send(t MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("proto: encoding %v: %w", t, err)
+	}
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("proto: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("proto: writing frame header: %w", err)
+	}
+	if _, err := c.rw.Write(payload); err != nil {
+		return fmt.Errorf("proto: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// Recv reads the next frame, returning its type and raw payload. The
+// body is read in bounded chunks so a corrupt length prefix from a
+// malicious or broken peer cannot force a giant upfront allocation.
+func (c *Conn) Recv() (MsgType, json.RawMessage, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("proto: bad frame length %d", n)
+	}
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		step := min(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(c.rw, buf[start:]); err != nil {
+			return 0, nil, fmt.Errorf("proto: reading frame body: %w", err)
+		}
+	}
+	return MsgType(buf[0]), json.RawMessage(buf[1:]), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Decode unmarshals a payload into T.
+func Decode[T any](raw json.RawMessage) (T, error) {
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, fmt.Errorf("proto: decoding %T: %w", v, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,217 @@
+package proto
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	hello := Hello{WorkerID: "w1", Resources: core.Resources{Cores: 32, MemoryMB: 1024}, Cluster: "a", DataAddr: "127.0.0.1:9"}
+	if err := c.Send(MsgHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	typ, raw, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgHello {
+		t.Fatalf("type = %v", typ)
+	}
+	got, err := Decode[Hello](raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hello {
+		t.Errorf("round trip: %+v != %+v", got, hello)
+	}
+}
+
+func TestMultipleFramesInOrder(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	for i := 0; i < 10; i++ {
+		if err := c.Send(MsgFileAck, FileAck{ID: string(rune('a' + i)), Ok: i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		typ, raw, err := c.Recv()
+		if err != nil || typ != MsgFileAck {
+			t.Fatalf("frame %d: %v %v", i, typ, err)
+		}
+		ack, err := Decode[FileAck](raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.ID != string(rune('a'+i)) {
+			t.Errorf("frame %d out of order: %q", i, ack.ID)
+		}
+	}
+}
+
+func TestBinaryPayloadSurvivesJSON(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	put := PutFile{File: FileMeta{ID: "x", Name: "bin", Data: data, LogicalSize: 256}, Cache: true}
+	if err := c.Send(MsgPutFile, put); err != nil {
+		t.Fatal(err)
+	}
+	_, raw, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode[PutFile](raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.File.Data, data) {
+		t.Errorf("binary payload corrupted")
+	}
+}
+
+func TestCorruptFrames(t *testing.T) {
+	// Bad length prefix.
+	c := NewConn(bytes.NewBuffer([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1}))
+	if _, _, err := c.Recv(); err == nil || !strings.Contains(err.Error(), "frame length") {
+		t.Errorf("huge length accepted: %v", err)
+	}
+	// Truncated body.
+	c2 := NewConn(bytes.NewBuffer([]byte{0, 0, 0, 10, byte(MsgHello), 1, 2}))
+	if _, _, err := c2.Recv(); err == nil {
+		t.Errorf("truncated frame accepted")
+	}
+	// Empty stream: clean EOF.
+	c3 := NewConn(&bytes.Buffer{})
+	if _, _, err := c3.Recv(); err == nil {
+		t.Errorf("EOF not reported")
+	}
+}
+
+func TestConcurrentSendersOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan map[string]int, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		c := NewConn(nc)
+		counts := map[string]int{}
+		for i := 0; i < 200; i++ {
+			_, raw, err := c.Recv()
+			if err != nil {
+				break
+			}
+			ack, err := Decode[FileAck](raw)
+			if err != nil {
+				break
+			}
+			counts[ack.ID]++
+		}
+		done <- counts
+	}()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := NewConn(nc)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := string(rune('A' + g))
+			for i := 0; i < 50; i++ {
+				if err := c.Send(MsgFileAck, FileAck{ID: id, Ok: true}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	counts := <-done
+	// Frames must not interleave mid-frame: every message decodes and
+	// per-sender counts are exact.
+	for g := 0; g < 4; g++ {
+		id := string(rune('A' + g))
+		if counts[id] != 50 {
+			t.Errorf("sender %s delivered %d of 50 frames", id, counts[id])
+		}
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for _, mt := range []MsgType{MsgHello, MsgPutFile, MsgFetchFile, MsgFileAck,
+		MsgRunTask, MsgInstallLibrary, MsgLibraryAck, MsgRemoveLibrary,
+		MsgInvoke, MsgResult, MsgShutdown, MsgGetFile, MsgFileData, MsgError} {
+		if s := mt.String(); strings.HasPrefix(s, "MsgType(") {
+			t.Errorf("missing name for %d", mt)
+		}
+	}
+	if s := MsgType(200).String(); !strings.HasPrefix(s, "MsgType(") {
+		t.Errorf("unknown type should fall back: %q", s)
+	}
+}
+
+// Property: any FileAck survives a frame round trip.
+func TestQuickFileAckRoundTrip(t *testing.T) {
+	f := func(id string, ok bool, errMsg string) bool {
+		var buf bytes.Buffer
+		c := NewConn(&buf)
+		in := FileAck{ID: id, Ok: ok, Err: errMsg}
+		if err := c.Send(MsgFileAck, in); err != nil {
+			return false
+		}
+		typ, raw, err := c.Recv()
+		if err != nil || typ != MsgFileAck {
+			return false
+		}
+		out, err := Decode[FileAck](raw)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Recv never panics on arbitrary byte streams — it parses or
+// errors.
+func TestQuickRecvNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		c := NewConn(bytes.NewBuffer(data))
+		for i := 0; i < 4; i++ {
+			if _, _, err := c.Recv(); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

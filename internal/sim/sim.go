@@ -1,0 +1,738 @@
+// Package sim is the scale simulator: it replays the paper's
+// experiments (up to 100k invocations on 150 heterogeneous workers)
+// under a deterministic virtual clock, reusing the engine's policies —
+// manager-serialized dispatch, spanning-tree environment distribution
+// with a per-source cap, per-worker caches, library deploy-on-demand
+// with ready-instance preference — and the calibrated cost models of
+// internal/apps. Contention is modeled with processor-sharing
+// resources: the shared filesystem (bandwidth + IOPS), the manager's
+// NIC, per-worker NICs and local disks.
+//
+// The real engine (internal/manager, internal/worker) demonstrates the
+// mechanisms; this simulator reproduces the paper's numbers. They share
+// the level definitions (core.ReuseLevel) and the distribution
+// discipline.
+package sim
+
+import (
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/metrics"
+)
+
+// Config parameterizes one simulated run.
+type Config struct {
+	App   *apps.CostModel
+	Level core.ReuseLevel
+	// Workers is the number of TaskVine workers (each 32 cores / 64 GB,
+	// §4.2).
+	Workers int
+	// SlotsPerWorker is the concurrent invocation capacity (16 for
+	// LNNI's 2-core invocations, 8 for ExaMol's 4-core ones).
+	SlotsPerWorker int
+	// Invocations is the workload size.
+	Invocations int
+	// Units scales one invocation's work (inferences per invocation).
+	Units int
+	Seed  uint64
+	// PeerTransfers enables worker-to-worker environment distribution
+	// (Figure 3b); off forces manager-only (3a).
+	PeerTransfers bool
+	// PeerCap is the per-source concurrent transfer cap N.
+	PeerCap int
+	// ManagerSourceCap is how many environment copies the manager sends
+	// concurrently itself (1 = the paper's sequential initial sends).
+	ManagerSourceCap int
+	// Machines overrides the default Table 3 proportional sample.
+	Machines []cluster.Machine
+	// Clusters splits workers into k equal network-locality groups with
+	// constrained cross-group transfers (Figure 3c). 0 or 1 = one
+	// cluster.
+	Clusters int
+	// CrossClusterBytesPerSec is the constrained inter-cluster
+	// bandwidth (used when Clusters > 1).
+	CrossClusterBytesPerSec float64
+	// SeriesSamples is the number of points recorded for the
+	// deployed-libraries and share-value series.
+	SeriesSamples int
+	// KeepTimes retains every invocation runtime (Table 4 / Figure 7);
+	// disable to save memory on huge sweeps.
+	DropTimes bool
+	// MaxEvents bounds the event count (0 = a generous default backstop).
+	MaxEvents int64
+	// FSPerFlowBW caps one client's shared-FS streaming rate
+	// (bytes/second; default 35 MB/s — the effective per-client rate of
+	// a many-small-file read pattern on the paper's Panasas system).
+	FSPerFlowBW float64
+	// FSPerFlowOps caps one client's shared-FS metadata operation rate
+	// (default 200/s — latency-bound RPCs).
+	FSPerFlowOps float64
+	// ExecDraws optionally fixes the per-invocation base execution
+	// times (reference-machine seconds): invocation i uses ExecDraws[i].
+	// Experiments use this as common random numbers so different reuse
+	// levels face the identical workload and differences reflect only
+	// the mechanisms.
+	ExecDraws []float64
+	// EvictIdleLibraries ablates §3.5.2's empty-library eviction when
+	// running two-app mixes (used by the ablation experiments).
+	// (Single-app runs never evict.)
+	EvictIdleLibraries bool
+}
+
+func (c *Config) defaults() {
+	if c.SlotsPerWorker == 0 {
+		c.SlotsPerWorker = 16
+	}
+	if c.Units == 0 {
+		c.Units = 16
+	}
+	if c.PeerCap == 0 {
+		c.PeerCap = 3
+	}
+	if c.ManagerSourceCap == 0 {
+		c.ManagerSourceCap = 1
+	}
+	if c.SeriesSamples == 0 {
+		c.SeriesSamples = 200
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xC0FFEE
+	}
+	if c.FSPerFlowBW == 0 {
+		c.FSPerFlowBW = 60e6
+	}
+	if c.FSPerFlowOps == 0 {
+		c.FSPerFlowOps = 200
+	}
+}
+
+// Breakdown is the Table 5 style per-phase decomposition, in seconds.
+type Breakdown struct {
+	Transfer float64 // invocation & data transfer
+	Worker   float64 // worker-side environment setup (unpack, sandbox)
+	Setup    float64 // library/invocation state reconstruction
+	Exec     float64 // function execution
+}
+
+// Total sums the phases.
+func (b Breakdown) Total() float64 { return b.Transfer + b.Worker + b.Setup + b.Exec }
+
+// Result is everything a run produces.
+type Result struct {
+	Level       core.ReuseLevel
+	Workers     int
+	Invocations int
+	Units       int
+
+	// TotalTime is the application execution time (Figure 6/8/9).
+	TotalTime float64
+	// Times are per-invocation runtimes, slot-assignment to completion
+	// (Table 4 / Figure 7).
+	Times   []float64
+	Summary metrics.Summary
+
+	// DeployedSeries is deployed library instances vs completed
+	// invocations (Figure 10); ShareSeries is average share value vs
+	// completed invocations (Figure 11). L3 only.
+	DeployedSeries metrics.Series
+	ShareSeries    metrics.Series
+	LibsDeployed   int
+
+	// ColdBreakdown and HotBreakdown decompose the first and the
+	// steady-state invocation on a worker (Table 5 L2 rows); LibBreakdown
+	// and InvBreakdown decompose L3's library install and per-invocation
+	// costs (Table 5 L3 rows).
+	ColdBreakdown Breakdown
+	HotBreakdown  Breakdown
+	LibBreakdown  Breakdown
+	InvBreakdown  Breakdown
+
+	// ManagerBusySeconds is time the manager spent serialized on
+	// dispatch+retrieval.
+	ManagerBusySeconds float64
+	// EnvDirect and EnvPeer count environment transfers by source.
+	EnvDirect int
+	EnvPeer   int
+	// SharedFSBytes is the total volume read from the shared FS.
+	SharedFSBytes float64
+	// PeakInFlight is the maximum concurrent invocations observed.
+	PeakInFlight int
+}
+
+// state is the live simulation.
+type state struct {
+	cfg Config
+	S   *event.Sim
+	rng *event.RNG
+
+	fs         *event.DualFairShare
+	managerNIC *event.FairShare
+	crossNIC   *event.FairShare
+
+	workers []*wstate
+
+	pending      int
+	mgrBusy      bool
+	completed    int
+	inFlight     int
+	rrWorker     int
+	sampleStep   int
+	mgrEnvActive int
+
+	res *Result
+
+	coldN, hotN, libN, invN float64
+}
+
+type wstate struct {
+	idx     int
+	mach    cluster.Machine
+	cluster int
+	disk    *event.FairShare
+	nic     *event.FairShare
+
+	hasEnv       bool // environment unpacked and usable
+	envCached    bool // tarball cached (transfer-source eligible)
+	envRequested bool
+	envReqAt     float64
+	envWaiters   []func()
+
+	peerOut int
+	slots   []*slot
+}
+
+type slot struct {
+	w        *wstate
+	busy     bool
+	libReady bool
+	served   int
+	invIdx   int // index of the invocation currently assigned
+}
+
+// Run executes one simulated experiment.
+func Run(cfg Config) *Result {
+	cfg.defaults()
+	st := newState(cfg)
+	st.tryDispatch()
+	st.res.TotalTime = st.S.Run()
+	st.res.Summary = metrics.Summarize(st.res.Times)
+	st.finishBreakdowns()
+	return st.res
+}
+
+// newState builds the initial simulation state.
+func newState(cfg Config) *state {
+	st := &state{
+		cfg: cfg,
+		S:   event.NewSim(),
+		rng: event.NewRNG(cfg.Seed),
+		res: &Result{
+			Level:       cfg.Level,
+			Workers:     cfg.Workers,
+			Invocations: cfg.Invocations,
+			Units:       cfg.Units,
+		},
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 2_000_000_000
+	}
+	st.S.MaxEvents = cfg.MaxEvents
+	st.res.DeployedSeries.Name = "deployed-libraries"
+	st.res.ShareSeries.Name = "avg-share-value"
+
+	// Shared filesystem: the Panasas figures of §4.3 with per-client
+	// effective-rate caps.
+	st.fs = event.NewDualFairShare(st.S, 84e9/8, cfg.FSPerFlowBW, 94000, cfg.FSPerFlowOps)
+	st.managerNIC = event.NewFairShare(st.S, cluster.NIC10GbE, 0)
+	if cfg.Clusters > 1 {
+		bw := cfg.CrossClusterBytesPerSec
+		if bw == 0 {
+			bw = cluster.NIC10GbE / 8 // constrained WAN-ish link
+		}
+		st.crossNIC = event.NewFairShare(st.S, bw, 0)
+	}
+
+	machines := cfg.Machines
+	if machines == nil {
+		machines = cluster.Sample(cluster.Table3(), cfg.Workers)
+	}
+	// Deterministically shuffle so machine groups interleave across the
+	// dispatch order.
+	perm := st.rng
+	for i := len(machines) - 1; i > 0; i-- {
+		j := perm.Intn(i + 1)
+		machines[i], machines[j] = machines[j], machines[i]
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m := machines[i%len(machines)]
+		w := &wstate{
+			idx:  i,
+			mach: m,
+			disk: event.NewFairShare(st.S, m.DiskBytesPerSec, 0),
+			nic:  event.NewFairShare(st.S, m.NICBytesPerSec, 0),
+		}
+		if cfg.Clusters > 1 {
+			w.cluster = i * cfg.Clusters / cfg.Workers
+		}
+		for k := 0; k < cfg.SlotsPerWorker; k++ {
+			w.slots = append(w.slots, &slot{w: w})
+		}
+		st.workers = append(st.workers, w)
+	}
+
+	st.pending = cfg.Invocations
+	st.sampleStep = cfg.Invocations / cfg.SeriesSamples
+	if st.sampleStep == 0 {
+		st.sampleStep = 1
+	}
+	if !cfg.DropTimes {
+		st.res.Times = make([]float64, 0, cfg.Invocations)
+	}
+	return st
+}
+
+func (st *state) finishBreakdowns() {
+	if st.coldN > 0 {
+		st.res.ColdBreakdown = scaleBreakdown(st.res.ColdBreakdown, 1/st.coldN)
+	}
+	if st.hotN > 0 {
+		st.res.HotBreakdown = scaleBreakdown(st.res.HotBreakdown, 1/st.hotN)
+	}
+	if st.libN > 0 {
+		st.res.LibBreakdown = scaleBreakdown(st.res.LibBreakdown, 1/st.libN)
+	}
+	if st.invN > 0 {
+		st.res.InvBreakdown = scaleBreakdown(st.res.InvBreakdown, 1/st.invN)
+	}
+}
+
+func scaleBreakdown(b Breakdown, f float64) Breakdown {
+	return Breakdown{Transfer: b.Transfer * f, Worker: b.Worker * f, Setup: b.Setup * f, Exec: b.Exec * f}
+}
+
+// cpuScale converts a reference-machine duration to this machine.
+func cpuScale(m cluster.Machine) float64 {
+	if m.GFlops <= 0 {
+		return 1
+	}
+	return cluster.ReferenceGFlops / m.GFlops
+}
+
+func (st *state) dispatchCost() float64 {
+	switch st.cfg.Level {
+	case core.L1:
+		return st.cfg.App.DispatchL1
+	case core.L2:
+		return st.cfg.App.DispatchL2
+	default:
+		return st.cfg.App.DispatchL3
+	}
+}
+
+// tryDispatch runs the manager's serialized dispatch loop: one
+// dispatch at a time, each charging the per-level manager cost, each
+// requiring a free slot.
+func (st *state) tryDispatch() {
+	if st.mgrBusy || st.pending == 0 {
+		return
+	}
+	sl := st.pickSlot()
+	if sl == nil {
+		return
+	}
+	sl.invIdx = st.cfg.Invocations - st.pending
+	st.pending--
+	sl.busy = true
+	st.inFlight++
+	if st.inFlight > st.res.PeakInFlight {
+		st.res.PeakInFlight = st.inFlight
+	}
+	st.mgrBusy = true
+	d := st.dispatchCost()
+	st.res.ManagerBusySeconds += d
+	st.S.After(d, func() {
+		st.mgrBusy = false
+		st.assign(sl)
+		st.tryDispatch()
+	})
+}
+
+// pickSlot chooses where the next invocation runs. L3 prefers a free
+// slot whose library is already deployed (§3.5.2's ready-instance
+// check); otherwise any free slot, rotating across workers so load and
+// machine groups interleave.
+func (st *state) pickSlot() *slot {
+	n := len(st.workers)
+	if st.cfg.Level == core.L3 {
+		// Among workers with a ready library slot, pick the least busy,
+		// matching the balance the task path gets from its least-busy
+		// rule below.
+		var best *slot
+		bestBusy := 1 << 30
+		for i := 0; i < n; i++ {
+			w := st.workers[(st.rrWorker+i)%n]
+			busy := 0
+			var free *slot
+			for _, sl := range w.slots {
+				if sl.busy {
+					busy++
+				} else if free == nil && sl.libReady {
+					free = sl
+				}
+			}
+			if free != nil && busy < bestBusy {
+				best, bestBusy = free, busy
+			}
+		}
+		if best != nil {
+			st.rrWorker = (best.w.idx + 1) % n
+			return best
+		}
+	}
+	// For L2, prefer workers that already hold (or are fetching) the
+	// environment so the spanning tree grows with demand rather than
+	// all at once — and among those, the least-busy worker, so local
+	// disks are not thrashed by piling every task on the first ready
+	// worker.
+	if st.cfg.Level == core.L2 || st.cfg.Level == core.L3 {
+		var best *slot
+		bestBusy := 1 << 30
+		for i := 0; i < n; i++ {
+			w := st.workers[(st.rrWorker+i)%n]
+			if !w.hasEnv && !w.envRequested {
+				continue
+			}
+			busy := 0
+			var free *slot
+			for _, sl := range w.slots {
+				if sl.busy {
+					busy++
+				} else if free == nil {
+					free = sl
+				}
+			}
+			// Limit speculative stacking on workers whose environment
+			// has not arrived yet: a deep queue there would burst into
+			// the local disk all at once on arrival.
+			if !w.hasEnv && busy >= 4 {
+				continue
+			}
+			if free != nil && busy < bestBusy {
+				best, bestBusy = free, busy
+			}
+		}
+		if best != nil {
+			st.rrWorker = (best.w.idx + 1) % n
+			return best
+		}
+	}
+	for i := 0; i < n; i++ {
+		w := st.workers[(st.rrWorker+i)%n]
+		if st.cfg.Level != core.L1 && !w.hasEnv {
+			busy := 0
+			for _, sl := range w.slots {
+				if sl.busy {
+					busy++
+				}
+			}
+			if busy >= 6 {
+				continue
+			}
+		}
+		for _, sl := range w.slots {
+			if !sl.busy {
+				st.rrWorker = (w.idx + 1) % n
+				return sl
+			}
+		}
+	}
+	return nil
+}
+
+// assign runs one invocation through its level's phases on the slot.
+func (st *state) assign(sl *slot) {
+	start := st.S.Now()
+	switch st.cfg.Level {
+	case core.L1:
+		st.runL1(sl, start)
+	case core.L2:
+		st.runL2(sl, start)
+	default:
+		st.runL3(sl, start)
+	}
+}
+
+// execFor samples (or looks up) the invocation's base execution time
+// and scales it to the slot's machine.
+func (st *state) execFor(sl *slot) float64 {
+	if d := st.cfg.ExecDraws; len(d) > 0 {
+		t := d[sl.invIdx%len(d)]
+		if g := sl.w.mach.GFlops; g > 0 {
+			t *= cluster.ReferenceGFlops / g
+		}
+		return t
+	}
+	return st.cfg.App.ExecOn(st.rng, st.cfg.Units, sl.w.mach.GFlops, cluster.ReferenceGFlops)
+}
+
+func (st *state) jitter(x float64) float64 {
+	if st.cfg.App.JitterSigma <= 0 || x <= 0 {
+		return x
+	}
+	return st.rng.LogNormal(x, st.cfg.App.JitterSigma)
+}
+
+// complete finishes an invocation: record metrics, free the slot,
+// resume dispatch.
+func (st *state) complete(sl *slot, start float64) {
+	runtime := st.S.Now() - start
+	if !st.cfg.DropTimes {
+		st.res.Times = append(st.res.Times, runtime)
+	}
+	sl.busy = false
+	sl.served++
+	st.inFlight--
+	st.completed++
+	if st.cfg.Level == core.L3 && st.completed%st.sampleStep == 0 {
+		st.sampleSeries()
+	}
+	st.tryDispatch()
+}
+
+func (st *state) sampleSeries() {
+	deployed := 0
+	served := 0
+	for _, w := range st.workers {
+		for _, sl := range w.slots {
+			if sl.libReady {
+				deployed++
+				served += sl.served
+			}
+		}
+	}
+	x := float64(st.completed)
+	st.res.DeployedSeries.Add(x, float64(deployed))
+	if deployed > 0 {
+		st.res.ShareSeries.Add(x, float64(served)/float64(deployed))
+	}
+	st.res.LibsDeployed = deployed
+}
+
+// ---- L1: no reuse; everything through the shared filesystem ----
+
+func (st *state) runL1(sl *slot, start float64) {
+	app := st.cfg.App
+	scale := cpuScale(sl.w.mach)
+	bytes := float64(app.SharedFSBytes + app.FuncBlobBytes)
+	if app.FSBytesSigma > 0 {
+		bytes = st.rng.LogNormal(bytes, app.FSBytesSigma)
+	}
+	ops := app.SharedFSOps
+	if app.FSStormProb > 0 && st.rng.Float64() < app.FSStormProb {
+		// A storm replaces the usual spread: the cost is re-walking the
+		// whole environment through the metadata server.
+		ops = app.SharedFSOps * app.FSStormFactor
+	} else if app.FSOpsSigma > 0 {
+		ops = st.rng.LogNormal(ops, app.FSOpsSigma)
+	}
+	st.res.SharedFSBytes += bytes
+	fsStart := st.S.Now()
+	st.fs.Start(bytes, ops, func() {
+		read := st.S.Now() - fsStart
+		deser := st.jitter(app.DeserializeSeconds * scale)
+		build := st.jitter(app.BuildSeconds * scale)
+		exec := st.execFor(sl)
+		st.res.ColdBreakdown.Transfer += 0
+		st.res.ColdBreakdown.Worker += read
+		st.res.ColdBreakdown.Setup += deser
+		st.res.ColdBreakdown.Exec += build + exec
+		st.coldN++
+		st.S.After(deser+build+exec, func() { st.complete(sl, start) })
+	})
+}
+
+// ---- L2: context on local disk ----
+
+func (st *state) runL2(sl *slot, start float64) {
+	app := st.cfg.App
+	w := sl.w
+	cold := !w.hasEnv
+	st.ensureEnv(w, func() {
+		scale := cpuScale(w.mach)
+		deser := st.jitter(app.DeserializeSeconds * scale)
+		build := st.jitter(app.BuildSeconds * scale)
+		exec := st.execFor(sl)
+		diskStart := st.S.Now()
+		w.disk.Start(float64(app.LocalDiskBytes), func() {
+			disk := st.S.Now() - diskStart
+			st.S.After(deser+build+exec, func() {
+				if cold {
+					st.res.ColdBreakdown.Setup += deser
+					st.res.ColdBreakdown.Exec += build + disk + exec
+					st.coldN++
+				} else {
+					st.res.HotBreakdown.Transfer += st.fsArgTime()
+					st.res.HotBreakdown.Setup += deser
+					st.res.HotBreakdown.Exec += build + disk + exec
+					st.hotN++
+				}
+				st.complete(sl, start)
+			})
+		})
+	})
+}
+
+func (st *state) fsArgTime() float64 {
+	return float64(st.cfg.App.ArgsBytes) / cluster.NIC10GbE
+}
+
+// ---- L3: context retained in library memory ----
+
+func (st *state) runL3(sl *slot, start float64) {
+	app := st.cfg.App
+	w := sl.w
+	st.ensureEnv(w, func() {
+		if sl.libReady {
+			st.invokeL3(sl, start)
+			return
+		}
+		// Deploy the library on this slot: run the context setup once
+		// (Table 5's L3 library overhead).
+		setup := st.jitter(app.ContextSetupSeconds * cpuScale(w.mach))
+		st.res.LibBreakdown.Setup += setup
+		st.libN++
+		st.S.After(setup, func() {
+			sl.libReady = true
+			st.invokeL3(sl, start)
+		})
+	})
+}
+
+func (st *state) invokeL3(sl *slot, start float64) {
+	app := st.cfg.App
+	argLoad := app.ArgLoadSeconds
+	exec := st.execFor(sl)
+	st.res.InvBreakdown.Transfer += st.fsArgTime()
+	st.res.InvBreakdown.Setup += argLoad
+	st.res.InvBreakdown.Exec += exec
+	st.invN++
+	st.S.After(argLoad+exec, func() { st.complete(sl, start) })
+}
+
+// ---- environment distribution (§3.3) ----
+
+// ensureEnv continues when the worker's environment is unpacked and
+// ready, fetching it first if needed. Distribution follows the paper's
+// discipline: the manager seeds the first copies (ManagerSourceCap
+// concurrent), confirmed workers serve up to PeerCap peers each, and
+// cross-cluster traffic is constrained when Clusters > 1.
+func (st *state) ensureEnv(w *wstate, cont func()) {
+	if w.hasEnv {
+		cont()
+		return
+	}
+	w.envWaiters = append(w.envWaiters, cont)
+	if w.envRequested {
+		return
+	}
+	w.envRequested = true
+	w.envReqAt = st.S.Now()
+	st.startEnvTransfer(w)
+}
+
+func (st *state) startEnvTransfer(dst *wstate) {
+	app := st.cfg.App
+	size := float64(app.EnvPackedBytes + app.FuncBlobBytes)
+
+	var src *wstate
+	if st.cfg.PeerTransfers {
+		src = st.pickEnvSource(dst)
+	}
+	if src == nil {
+		// Manager is the source; respect its sequential-send cap by
+		// queueing behind the NIC when over cap.
+		if st.mgrEnvSends() >= st.cfg.ManagerSourceCap {
+			// Retry when a transfer finishes; poll cheaply.
+			st.S.After(0.2, func() { st.startEnvTransfer(dst) })
+			return
+		}
+		st.mgrEnvActive++
+		st.res.EnvDirect++
+		st.managerNIC.Start(size, func() {
+			st.mgrEnvActive--
+			st.envArrived(dst)
+		})
+		return
+	}
+	src.peerOut++
+	st.res.EnvPeer++
+	link := src.nic
+	if st.crossNIC != nil && src.cluster != dst.cluster {
+		link = st.crossNIC
+	}
+	link.Start(size, func() {
+		src.peerOut--
+		st.envArrived(dst)
+		// A freed slot may unblock queued manager-path retries
+		// naturally via their polling.
+	})
+}
+
+func (st *state) mgrEnvSends() int { return st.mgrEnvActive }
+
+func (st *state) pickEnvSource(dst *wstate) *wstate {
+	for _, w := range st.workers {
+		if w == dst || !w.envCached || w.peerOut >= st.cfg.PeerCap {
+			continue
+		}
+		if st.crossNIC != nil && w.cluster != dst.cluster {
+			continue // prefer same-cluster; cross handled below
+		}
+		return w
+	}
+	if st.crossNIC != nil {
+		for _, w := range st.workers {
+			if w != dst && w.envCached && w.peerOut < st.cfg.PeerCap {
+				return w
+			}
+		}
+	}
+	return nil
+}
+
+// envArrived unpacks the tarball and wakes the waiters.
+func (st *state) envArrived(w *wstate) {
+	app := st.cfg.App
+	transfer := st.S.Now() - w.envReqAt
+	unpack := st.jitter(app.UnpackSeconds)
+	if st.cfg.Level == core.L3 {
+		st.res.LibBreakdown.Worker += unpack
+		st.res.LibBreakdown.Transfer += transfer
+	} else {
+		st.res.ColdBreakdown.Worker += unpack
+		st.res.ColdBreakdown.Transfer += transfer
+	}
+	w.envCached = true // the cached tarball can serve peers immediately
+	st.S.After(unpack, func() {
+		w.hasEnv = true
+		waiters := w.envWaiters
+		w.envWaiters = nil
+		for _, cont := range waiters {
+			cont()
+		}
+	})
+}
+
+// DebugStart initializes a run without executing it, returning the
+// internal state and simulator for diagnostic stepping (cmd/probe).
+func DebugStart(cfg Config) (*state, *event.Sim) {
+	cfg.defaults()
+	st := newState(cfg)
+	st.tryDispatch()
+	return st, st.S
+}
+
+// DebugCompleted reports the completed-invocation count of a debug run.
+func DebugCompleted(st *state) int { return st.completed }

@@ -1,0 +1,838 @@
+// Package worker implements the TaskVine worker: the per-node process
+// that caches content-addressed data, executes stateless tasks in
+// sandboxes, hosts library instances that retain function contexts, and
+// serves its cache to peers for spanning-tree distribution (§3.3-3.4).
+package worker
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/library"
+	"repro/internal/minipy"
+	"repro/internal/modlib"
+	"repro/internal/pickle"
+	"repro/internal/poncho"
+	"repro/internal/proto"
+	"repro/internal/sharedfs"
+)
+
+// Config configures a worker.
+type Config struct {
+	ID        string
+	Resources core.Resources
+	// Cluster is the network-locality group name (Figure 3c).
+	Cluster string
+	// GFlops rates this machine's compute speed (Table 3).
+	GFlops float64
+	// CacheCapacity bounds the local cache in bytes (0 = unlimited).
+	CacheCapacity int64
+	// Registry supplies module implementations for task and library
+	// interpreters. Nil means no modules are importable.
+	Registry *modlib.Registry
+	// SharedFS is the shared filesystem L1 tasks read from; nil
+	// disables shared FS reads.
+	SharedFS *sharedfs.Store
+	// Out receives task print output (nil discards).
+	Out io.Writer
+	// StepLimit bounds interpreter steps per task/invocation (0 = the
+	// default of 50M).
+	StepLimit int64
+}
+
+const defaultStepLimit = 50_000_000
+
+// Worker is a running worker.
+type Worker struct {
+	cfg   Config
+	cache *content.Cache
+	conn  *proto.Conn
+
+	dataLn   net.Listener
+	dataAddr string
+
+	mu        sync.Mutex
+	libs      map[string]*libHolder
+	committed core.Resources
+	closed    bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// libHolder pairs a library instance with its execution lock (direct
+// mode serializes invocations in the shared memory space).
+type libHolder struct {
+	lib    *library.Library
+	direct sync.Mutex
+	res    core.Resources
+}
+
+// New creates a worker (not yet connected).
+func New(cfg Config) *Worker {
+	if cfg.ID == "" {
+		cfg.ID = "worker"
+	}
+	if cfg.Resources.Cores == 0 {
+		cfg.Resources.Cores = 32
+	}
+	if cfg.Resources.MemoryMB == 0 {
+		cfg.Resources.MemoryMB = 64 << 10
+	}
+	if cfg.Resources.DiskMB == 0 {
+		cfg.Resources.DiskMB = 64 << 10
+	}
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = defaultStepLimit
+	}
+	return &Worker{
+		cfg:   cfg,
+		cache: content.NewCache(cfg.CacheCapacity),
+		libs:  map[string]*libHolder{},
+		done:  make(chan struct{}),
+	}
+}
+
+// Cache exposes the worker's content cache (tests and metrics).
+func (w *Worker) Cache() *content.Cache { return w.cache }
+
+// ID returns the worker's identifier.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+// DataAddr returns the address peers fetch cached objects from.
+func (w *Worker) DataAddr() string { return w.dataAddr }
+
+// Connect dials the manager, starts the peer data server, and begins
+// serving messages. It returns once the hello has been sent; message
+// processing continues in background goroutines until Shutdown or
+// connection loss.
+func (w *Worker) Connect(managerAddr string) error {
+	conn, err := net.Dial("tcp", managerAddr)
+	if err != nil {
+		return fmt.Errorf("worker %s: dialing manager: %w", w.cfg.ID, err)
+	}
+	return w.Serve(conn)
+}
+
+// Serve runs the worker over an established manager connection.
+func (w *Worker) Serve(nc net.Conn) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("worker %s: starting data server: %w", w.cfg.ID, err)
+	}
+	w.dataLn = ln
+	w.dataAddr = ln.Addr().String()
+	w.conn = proto.NewConn(nc)
+
+	hello := proto.Hello{
+		WorkerID:      w.cfg.ID,
+		Resources:     w.cfg.Resources,
+		Cluster:       w.cfg.Cluster,
+		DataAddr:      w.dataAddr,
+		MachineGFlops: w.cfg.GFlops,
+	}
+	if err := w.conn.Send(proto.MsgHello, hello); err != nil {
+		return err
+	}
+
+	w.wg.Add(2)
+	go func() {
+		defer w.wg.Done()
+		w.serveData()
+	}()
+	go func() {
+		defer w.wg.Done()
+		w.loop(nc)
+	}()
+	return nil
+}
+
+// Wait blocks until the worker has shut down.
+func (w *Worker) Wait() { w.wg.Wait() }
+
+// Shutdown stops the worker.
+func (w *Worker) Shutdown() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.done)
+	if w.dataLn != nil {
+		w.dataLn.Close()
+	}
+}
+
+// loop processes manager messages until the connection closes.
+func (w *Worker) loop(nc net.Conn) {
+	defer nc.Close()
+	for {
+		t, raw, err := w.conn.Recv()
+		if err != nil {
+			w.Shutdown()
+			return
+		}
+		switch t {
+		case proto.MsgPutFile:
+			msg, err := proto.Decode[proto.PutFile](raw)
+			if err != nil {
+				continue
+			}
+			w.handlePutFile(msg)
+		case proto.MsgFetchFile:
+			msg, err := proto.Decode[proto.FetchFile](raw)
+			if err != nil {
+				continue
+			}
+			w.handleFetchFile(msg)
+		case proto.MsgRunTask:
+			msg, err := proto.Decode[core.TaskSpec](raw)
+			if err != nil {
+				continue
+			}
+			// Pin inputs before the task goroutine starts: two tasks
+			// sharing a content-addressed input must not race with each
+			// other's cleanup.
+			var pinned []string
+			for _, in := range msg.Inputs {
+				if in.Object != nil && w.cache.Pin(in.Object.ID) == nil {
+					pinned = append(pinned, in.Object.ID)
+				}
+			}
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				w.runTask(msg, pinned)
+			}()
+		case proto.MsgInstallLibrary:
+			msg, err := proto.Decode[core.LibrarySpec](raw)
+			if err != nil {
+				continue
+			}
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				w.installLibrary(msg)
+			}()
+		case proto.MsgRemoveLibrary:
+			msg, err := proto.Decode[proto.RemoveLibrary](raw)
+			if err != nil {
+				continue
+			}
+			w.removeLibrary(msg.Library)
+		case proto.MsgInvoke:
+			msg, err := proto.Decode[core.InvocationSpec](raw)
+			if err != nil {
+				continue
+			}
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				w.runInvocation(msg)
+			}()
+		case proto.MsgShutdown:
+			w.Shutdown()
+			return
+		}
+	}
+}
+
+func metaToObject(m proto.FileMeta) *content.Object {
+	return &content.Object{
+		ID:           m.ID,
+		Name:         m.Name,
+		Kind:         content.Kind(m.Kind),
+		Data:         m.Data,
+		LogicalSize:  m.LogicalSize,
+		UnpackedSize: m.UnpackedSize,
+	}
+}
+
+func objectToMeta(o *content.Object) proto.FileMeta {
+	return proto.FileMeta{
+		ID:           o.ID,
+		Name:         o.Name,
+		Kind:         int(o.Kind),
+		Data:         o.Data,
+		LogicalSize:  o.LogicalSize,
+		UnpackedSize: o.UnpackedSize,
+	}
+}
+
+func (w *Worker) ackFile(id string, cache bool, err error) {
+	ack := proto.FileAck{ID: id, Ok: err == nil, Cache: cache}
+	if err != nil {
+		ack.Err = err.Error()
+	}
+	_ = w.conn.Send(proto.MsgFileAck, ack)
+}
+
+func (w *Worker) handlePutFile(msg proto.PutFile) {
+	obj := metaToObject(msg.File)
+	if err := obj.Validate(); err != nil {
+		w.ackFile(obj.ID, msg.Cache, err)
+		return
+	}
+	if err := w.cacheObject(obj, msg.Unpack); err != nil {
+		w.ackFile(obj.ID, msg.Cache, err)
+		return
+	}
+	w.ackFile(obj.ID, msg.Cache, nil)
+}
+
+// handleFetchFile pulls an object from a peer data server — one edge
+// of the spanning-tree broadcast (Figure 3b).
+func (w *Worker) handleFetchFile(msg proto.FetchFile) {
+	obj, err := FetchFromPeer(msg.FromAddr, msg.ID)
+	if err != nil {
+		w.ackFile(msg.ID, msg.Cache, err)
+		return
+	}
+	if err := w.cacheObject(obj, msg.Unpack); err != nil {
+		w.ackFile(msg.ID, msg.Cache, err)
+		return
+	}
+	w.ackFile(msg.ID, msg.Cache, nil)
+}
+
+func (w *Worker) cacheObject(obj *content.Object, unpack bool) error {
+	if err := w.cache.Put(obj); err != nil {
+		return err
+	}
+	if unpack && obj.Kind == content.Tarball {
+		if _, err := w.cache.MarkUnpacked(obj.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FetchFromPeer requests an object by ID from a worker data server.
+func FetchFromPeer(addr, id string) (*content.Object, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("worker: dialing peer %s: %w", addr, err)
+	}
+	defer nc.Close()
+	pc := proto.NewConn(nc)
+	if err := pc.Send(proto.MsgGetFile, proto.GetFile{ID: id}); err != nil {
+		return nil, err
+	}
+	t, raw, err := pc.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("worker: reading peer response: %w", err)
+	}
+	switch t {
+	case proto.MsgFileData:
+		meta, err := proto.Decode[proto.FileMeta](raw)
+		if err != nil {
+			return nil, err
+		}
+		obj := metaToObject(meta)
+		if err := obj.Validate(); err != nil {
+			return nil, fmt.Errorf("worker: peer sent corrupt object: %w", err)
+		}
+		return obj, nil
+	case proto.MsgError:
+		em, _ := proto.Decode[proto.ErrorMsg](raw)
+		return nil, fmt.Errorf("worker: peer error: %s", em.Err)
+	}
+	return nil, fmt.Errorf("worker: unexpected peer message %v", t)
+}
+
+// serveData answers MsgGetFile requests from peers, one connection per
+// goroutine.
+func (w *Worker) serveData() {
+	for {
+		nc, err := w.dataLn.Accept()
+		if err != nil {
+			return
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer nc.Close()
+			pc := proto.NewConn(nc)
+			t, raw, err := pc.Recv()
+			if err != nil || t != proto.MsgGetFile {
+				return
+			}
+			req, err := proto.Decode[proto.GetFile](raw)
+			if err != nil {
+				return
+			}
+			obj, ok := w.cache.Get(req.ID)
+			if !ok {
+				_ = pc.Send(proto.MsgError, proto.ErrorMsg{Err: "object not cached"})
+				return
+			}
+			_ = pc.Send(proto.MsgFileData, objectToMeta(obj))
+		}()
+	}
+}
+
+// reserve commits resources for a task/library, enforcing the worker's
+// allocation.
+func (w *Worker) reserve(r core.Resources) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	avail := w.cfg.Resources.Sub(w.committed)
+	if !r.Fits(avail) {
+		return fmt.Errorf("worker %s: insufficient resources (want %+v, have %+v)", w.cfg.ID, r, avail)
+	}
+	w.committed = w.committed.Add(r)
+	return nil
+}
+
+func (w *Worker) release(r core.Resources) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.committed = w.committed.Sub(r)
+}
+
+func (w *Worker) sendResult(res core.Result) {
+	res.Metrics.WorkerID = w.cfg.ID
+	_ = w.conn.Send(proto.MsgResult, res)
+}
+
+func failResult(id int64, err error) core.Result {
+	return core.Result{ID: id, Ok: false, Err: err.Error()}
+}
+
+func (w *Worker) stdout() io.Writer {
+	if w.cfg.Out == nil {
+		return io.Discard
+	}
+	return w.cfg.Out
+}
+
+// moduleResolver builds the module-resolution function for a sandbox
+// or library: only modules installed by the unpacked environments in
+// `allowed` (plus the always-present vine_runtime) are importable.
+func (w *Worker) moduleResolver(allowed map[string]bool, sb *sandbox) func(*minipy.Interp, string) (*minipy.ModuleVal, error) {
+	return func(ip *minipy.Interp, name string) (*minipy.ModuleVal, error) {
+		if name == "vine_runtime" && sb != nil {
+			return sb.runtimeModule(ip), nil
+		}
+		if !allowed[name] {
+			return nil, fmt.Errorf("no module named '%s'", name)
+		}
+		if w.cfg.Registry == nil || !w.cfg.Registry.Has(name) {
+			return nil, fmt.Errorf("no module named '%s'", name)
+		}
+		return w.cfg.Registry.Build(name)
+	}
+}
+
+// allowedModules collects the package names installed by every
+// unpacked environment tarball among the given objects.
+func allowedModules(objs []*content.Object) map[string]bool {
+	allowed := map[string]bool{}
+	for _, obj := range objs {
+		if obj.Kind != content.Tarball {
+			continue
+		}
+		spec, err := poncho.UnpackManifest(obj.Data)
+		if err != nil {
+			continue
+		}
+		for _, m := range spec.Modules() {
+			allowed[m] = true
+		}
+	}
+	return allowed
+}
+
+// ---- task execution ----
+
+// runTask executes a stateless task (the L1/L2 path): stage inputs
+// from cache and shared FS, unpack environments, run the script in a
+// sandbox, return the pickled result.
+func (w *Worker) runTask(spec core.TaskSpec, pinned []string) {
+	start := time.Now()
+	defer func() {
+		for _, id := range pinned {
+			_ = w.cache.Unpin(id)
+		}
+		// Stateless tasks leave nothing behind: drop inputs that were
+		// not bound to the worker (Evict refuses if another task still
+		// pins them).
+		for _, in := range spec.Inputs {
+			if in.Object != nil && !in.Cache {
+				w.cache.Evict(in.Object.ID)
+			}
+		}
+	}()
+	if err := w.reserve(spec.Resources); err != nil {
+		w.sendResult(failResult(spec.ID, err))
+		return
+	}
+	defer w.release(spec.Resources)
+
+	var metrics core.InvocationMetrics
+
+	// Stage inputs: cached objects were delivered ahead of the task on
+	// this ordered connection; shared FS reads happen now (and are the
+	// L1 bottleneck in the paper).
+	sb := newSandbox()
+	var objs []*content.Object
+	for _, in := range spec.Inputs {
+		obj, ok := w.cache.Get(in.Object.ID)
+		if !ok {
+			w.sendResult(failResult(spec.ID, fmt.Errorf("input %q not staged on worker", in.Object.Name)))
+			return
+		}
+		if in.Unpack && obj.Kind == content.Tarball {
+			if _, err := w.cache.MarkUnpacked(obj.ID); err != nil {
+				w.sendResult(failResult(spec.ID, err))
+				return
+			}
+		}
+		sb.add(obj)
+		objs = append(objs, obj)
+	}
+	for _, in := range spec.SharedFSReads {
+		if w.cfg.SharedFS == nil {
+			w.sendResult(failResult(spec.ID, fmt.Errorf("task needs shared FS but worker has none")))
+			return
+		}
+		obj, err := w.cfg.SharedFS.Fetch(in.Object.ID)
+		if err != nil {
+			w.sendResult(failResult(spec.ID, err))
+			return
+		}
+		sb.add(obj)
+		objs = append(objs, obj)
+	}
+	metrics.WorkerTime = time.Since(start).Seconds()
+
+	// Execute the script.
+	execStart := time.Now()
+	host := &library.Host{
+		Resolve: w.moduleResolver(allowedModules(objs), sb),
+		Out:     w.stdout(),
+	}
+	ip := minipy.NewInterp(host)
+	ip.StepLimit = w.cfg.StepLimit
+	_, err := ip.RunModule(spec.Script, fmt.Sprintf("task-%d", spec.ID))
+	metrics.ExecTime = time.Since(execStart).Seconds()
+
+	if err != nil {
+		w.sendResult(core.Result{ID: spec.ID, Ok: false, Err: err.Error(), Metrics: metrics})
+		return
+	}
+	if sb.result == nil {
+		w.sendResult(core.Result{ID: spec.ID, Ok: false, Err: "task script did not call vine_runtime.store_result", Metrics: metrics})
+		return
+	}
+	w.sendResult(core.Result{ID: spec.ID, Ok: true, Value: sb.result, Metrics: metrics})
+}
+
+// ---- library hosting ----
+
+func (w *Worker) installLibrary(spec core.LibrarySpec) {
+	res := spec.Resources
+	if res == (core.Resources{}) {
+		// A library by default takes all resources of a worker (§3.5.2).
+		res = w.cfg.Resources
+	}
+	ackErr := func(err error) {
+		_ = w.conn.Send(proto.MsgLibraryAck, proto.LibraryAck{Library: spec.Name, Ok: false, Err: err.Error()})
+	}
+	if err := w.reserve(res); err != nil {
+		ackErr(err)
+		return
+	}
+
+	// Pin and unpack the library's environment and inputs.
+	var objs []*content.Object
+	pinned := []string{}
+	fail := func(err error) {
+		for _, id := range pinned {
+			_ = w.cache.Unpin(id)
+		}
+		w.release(res)
+		ackErr(err)
+	}
+	specs := spec.Inputs
+	if spec.Env != nil {
+		specs = append([]core.FileSpec{*spec.Env}, specs...)
+	}
+	for _, in := range specs {
+		obj, ok := w.cache.Get(in.Object.ID)
+		if !ok {
+			fail(fmt.Errorf("library input %q not staged", in.Object.Name))
+			return
+		}
+		if in.Unpack && obj.Kind == content.Tarball {
+			if _, err := w.cache.MarkUnpacked(obj.ID); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if err := w.cache.Pin(obj.ID); err != nil {
+			fail(err)
+			return
+		}
+		pinned = append(pinned, obj.ID)
+		objs = append(objs, obj)
+	}
+
+	instance := fmt.Sprintf("%s@%s", spec.Name, w.cfg.ID)
+	inputs := map[string]*content.Object{}
+	for _, obj := range objs {
+		if obj.Kind != content.Tarball {
+			inputs[obj.Name] = obj
+		}
+	}
+	host := &library.Host{
+		Resolve: w.moduleResolver(allowedModules(objs), nil),
+		Out:     w.stdout(),
+		Inputs:  inputs,
+	}
+	lib, err := library.Start(spec, instance, host)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	w.mu.Lock()
+	if _, exists := w.libs[spec.Name]; exists {
+		w.mu.Unlock()
+		fail(fmt.Errorf("library %s already installed", spec.Name))
+		return
+	}
+	w.libs[spec.Name] = &libHolder{lib: lib, res: res}
+	w.mu.Unlock()
+
+	_ = w.conn.Send(proto.MsgLibraryAck, proto.LibraryAck{
+		Library:   spec.Name,
+		Instance:  instance,
+		Ok:        true,
+		SetupTime: lib.SetupDuration.Seconds(),
+	})
+}
+
+func (w *Worker) removeLibrary(name string) {
+	w.mu.Lock()
+	h, ok := w.libs[name]
+	if ok {
+		delete(w.libs, name)
+	}
+	w.mu.Unlock()
+	if !ok {
+		return
+	}
+	specs := h.lib.Spec.Inputs
+	if h.lib.Spec.Env != nil {
+		specs = append([]core.FileSpec{*h.lib.Spec.Env}, specs...)
+	}
+	for _, in := range specs {
+		_ = w.cache.Unpin(in.Object.ID)
+	}
+	w.release(h.res)
+}
+
+// Libraries returns the installed library names (tests).
+func (w *Worker) Libraries() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]string, 0, len(w.libs))
+	for name := range w.libs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// LibraryShare returns the share value (invocations served) of an
+// installed library, or -1.
+func (w *Worker) LibraryShare(name string) int64 {
+	w.mu.Lock()
+	h, ok := w.libs[name]
+	w.mu.Unlock()
+	if !ok {
+		return -1
+	}
+	return h.lib.Served()
+}
+
+func (w *Worker) runInvocation(spec core.InvocationSpec) {
+	w.mu.Lock()
+	h, ok := w.libs[spec.Library]
+	w.mu.Unlock()
+	if !ok {
+		w.sendResult(failResult(spec.ID, fmt.Errorf("worker %s has no library %q", w.cfg.ID, spec.Library)))
+		return
+	}
+	if h.lib.Spec.Mode == core.ExecDirect {
+		h.direct.Lock()
+		defer h.direct.Unlock()
+	}
+	res, err := h.lib.Invoke(spec.Function, spec.Args)
+	if err != nil {
+		w.sendResult(core.Result{
+			ID: spec.ID, Ok: false, Err: err.Error(),
+			Metrics: core.InvocationMetrics{LibraryInstance: h.lib.Instance},
+		})
+		return
+	}
+	w.sendResult(core.Result{
+		ID:    spec.ID,
+		Ok:    true,
+		Value: res.Value,
+		Metrics: core.InvocationMetrics{
+			SetupTime:       res.SetupTime,
+			ExecTime:        res.ExecTime,
+			LibraryInstance: h.lib.Instance,
+		},
+	})
+}
+
+// ---- sandbox ----
+
+// sandbox is the per-task working directory: staged input objects by
+// name, plus the result file the script writes.
+type sandbox struct {
+	mu     sync.Mutex
+	inputs map[string]*content.Object
+	result []byte
+}
+
+func newSandbox() *sandbox {
+	return &sandbox{inputs: map[string]*content.Object{}}
+}
+
+func (sb *sandbox) add(obj *content.Object) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.inputs[obj.Name] = obj
+}
+
+// runtimeModule exposes the sandbox to task scripts as the
+// vine_runtime module: load staged inputs, unpickle them, apply
+// functions, and store the pickled result.
+func (sb *sandbox) runtimeModule(ip *minipy.Interp) *minipy.ModuleVal {
+	m := &minipy.ModuleVal{Name: "vine_runtime", Attrs: map[string]minipy.Value{}}
+	m.Attrs["load_text"] = &minipy.Builtin{Name: "load_text", Fn: func(_ *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
+		name, err := argStr(args, 0, "load_text")
+		if err != nil {
+			return nil, err
+		}
+		obj, err := sb.lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		return minipy.Str(obj.Data), nil
+	}}
+	m.Attrs["load_pickle"] = &minipy.Builtin{Name: "load_pickle", Fn: func(ip *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
+		name, err := argStr(args, 0, "load_pickle")
+		if err != nil {
+			return nil, err
+		}
+		obj, err := sb.lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		return pickle.Unmarshal(obj.Data, ip)
+	}}
+	m.Attrs["call"] = &minipy.Builtin{Name: "call", Fn: func(ip *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("call() takes a function and an argument list")
+		}
+		elems, ok := seqElems(args[1])
+		if !ok {
+			return nil, fmt.Errorf("call() second argument must be a list or tuple")
+		}
+		return ip.Call(args[0], elems, nil)
+	}}
+	m.Attrs["store_result"] = &minipy.Builtin{Name: "store_result", Fn: func(_ *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("store_result() takes 1 argument")
+		}
+		data, err := pickle.Marshal(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("store_result(): %v", err)
+		}
+		sb.mu.Lock()
+		sb.result = data
+		sb.mu.Unlock()
+		return minipy.NoneValue, nil
+	}}
+	m.Attrs["input_names"] = &minipy.Builtin{Name: "input_names", Fn: func(_ *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
+		sb.mu.Lock()
+		defer sb.mu.Unlock()
+		l := &minipy.List{}
+		for name := range sb.inputs {
+			l.Elems = append(l.Elems, minipy.Str(name))
+		}
+		sortStrValues(l)
+		return l, nil
+	}}
+	return m
+}
+
+func (sb *sandbox) lookup(name string) (*content.Object, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	obj, ok := sb.inputs[name]
+	if !ok {
+		return nil, fmt.Errorf("no staged input named %q", name)
+	}
+	return obj, nil
+}
+
+func argStr(args []minipy.Value, i int, fname string) (string, error) {
+	if i >= len(args) {
+		return "", fmt.Errorf("%s() missing argument %d", fname, i+1)
+	}
+	s, ok := args[i].(minipy.Str)
+	if !ok {
+		return "", fmt.Errorf("%s() argument must be a str", fname)
+	}
+	return string(s), nil
+}
+
+func seqElems(v minipy.Value) ([]minipy.Value, bool) {
+	switch x := v.(type) {
+	case *minipy.List:
+		return x.Elems, true
+	case *minipy.Tuple:
+		return x.Elems, true
+	}
+	return nil, false
+}
+
+func sortStrValues(l *minipy.List) {
+	strs := make([]string, len(l.Elems))
+	for i, e := range l.Elems {
+		strs[i] = string(e.(minipy.Str))
+	}
+	// insertion sort; lists are tiny
+	for i := 1; i < len(strs); i++ {
+		for j := i; j > 0 && strs[j] < strs[j-1]; j-- {
+			strs[j], strs[j-1] = strs[j-1], strs[j]
+		}
+	}
+	for i, s := range strs {
+		l.Elems[i] = minipy.Str(s)
+	}
+}
+
+// WrapperScript is the generic script that turns a function invocation
+// into a stateless task (§1's "naive transformation"): it deserializes
+// the function and arguments from its inputs and executes them, paying
+// the full context-reload cost every time. The L1 and L2 evaluation
+// levels run invocations through this wrapper.
+const WrapperScript = `
+import vine_runtime
+f = vine_runtime.load_pickle("func")
+args = vine_runtime.load_pickle("args")
+vine_runtime.store_result(vine_runtime.call(f, args))
+`

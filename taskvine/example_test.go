@@ -1,0 +1,73 @@
+package taskvine_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/taskvine"
+)
+
+// Example demonstrates the full Figure 5 workflow: define functions,
+// discover their context into a library, install it, and submit
+// FunctionCalls that reuse the retained context.
+func Example() {
+	m, err := taskvine.NewManager(taskvine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Shutdown()
+	if err := m.SpawnLocalWorkers(2, taskvine.WorkerOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	env, err := m.Exec(`
+def context_setup():
+    global base
+    import mathx
+    base = mathx.floor(mathx.sqrt(100.0))
+
+def f(x):
+    global base
+    return x * base
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := m.CreateLibraryFromFunctions("lib", taskvine.LibraryOptions{
+		ContextSetup: "context_setup",
+		Slots:        4,
+		Mode:         core.ExecFork,
+	}, env, "f")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.InstallLibrary(lib); err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 4
+	for i := 1; i <= n; i++ {
+		if _, err := m.Call("lib", "f", minipy.Int(int64(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	results, err := m.Collect(n, 30*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var outs []string
+	for _, r := range results {
+		v, err := m.DecodeValue(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outs = append(outs, v.Repr())
+	}
+	sort.Strings(outs)
+	fmt.Println(outs)
+	// Output: [10.0 20.0 30.0 40.0]
+}

@@ -1,0 +1,222 @@
+package taskvine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+)
+
+// These tests inject failures into the live engine: workers dying with
+// retained state, caches too small for the environment, and libraries
+// whose context setup fails on the worker.
+
+func TestWorkerCrashRedeploysLibrary(t *testing.T) {
+	// Two workers; the library lands on one of them. Killing that
+	// worker mid-stream must requeue its invocations and redeploy the
+	// library (context and all) on the survivor.
+	m := newTestManager(t, 2, Options{})
+	env, err := m.Exec(appSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := m.CreateLibraryFromFunctions("mllib", LibraryOptions{
+		ContextSetup: "context_setup", Slots: 2, Mode: core.ExecFork,
+	}, env, "classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+
+	// Locate the worker hosting the library by running one invocation.
+	if _, err := m.Call("mllib", "classify", minipy.Int(0), minipy.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Collect(1, collectTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first[0].Ok {
+		t.Fatalf("warmup failed: %s", first[0].Err)
+	}
+	hostID := first[0].Metrics.WorkerID
+
+	// Queue a batch, then kill the hosting worker.
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		if _, err := m.Call("mllib", "classify", minipy.Int(int64(i)), minipy.Int(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range m.LocalWorkers() {
+		if w.ID() == hostID {
+			w.Shutdown()
+		}
+	}
+	results, err := m.Collect(calls, collectTimeout)
+	if err != nil {
+		t.Fatalf("collect after crash: %v (stats %+v)", err, m.Stats())
+	}
+	okCount := 0
+	for _, r := range results {
+		if r.Ok {
+			okCount++
+		}
+	}
+	if okCount != calls {
+		t.Errorf("%d of %d invocations survived the crash", okCount, calls)
+	}
+	// Every surviving result must match local execution.
+	want := localExpected(t, m, env, 3, 2)
+	for _, r := range results {
+		if r.ID == first[0].ID+4 { // seed 3 was the 4th queued call
+			got, err := m.DecodeValue(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !minipy.Equal(want, got) {
+				t.Errorf("post-crash result differs: %s vs %s", got.Repr(), want.Repr())
+			}
+		}
+	}
+	if m.Stats().LibrariesDeployed < 2 {
+		t.Errorf("library should have been redeployed after the crash: %+v", m.Stats())
+	}
+}
+
+func TestTinyCacheStillCompletes(t *testing.T) {
+	// A worker whose cache can hold the environment tarball only once
+	// unpacked (no slack): tasks must still complete, with eviction
+	// pressure visible.
+	m, err := NewManager(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	// LNNI env: 572 MB packed + 3.1 GB unpacked + blobs. Give ~4 GB.
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{CacheCapacity: 4 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := m.Exec(appSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := FuncFrom(env, "classify_task")
+	wrapped, err := m.WrapFunction(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const calls = 4
+	for i := 0; i < calls; i++ {
+		if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 2}, minipy.Int(int64(i)), minipy.Int(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := m.Collect(calls, collectTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Ok {
+			t.Fatalf("tight-cache task failed: %s", r.Err)
+		}
+	}
+	w := m.LocalWorkers()[0]
+	if used := w.Cache().Used(); used > 4<<30 {
+		t.Errorf("cache overcommitted: %d bytes", used)
+	}
+}
+
+func TestCacheTooSmallForEnvironmentFailsCleanly(t *testing.T) {
+	// A cache smaller than the environment cannot run L2 tasks; the
+	// failure must be a clean result error, not a hang.
+	m, err := NewManager(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{CacheCapacity: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := m.Exec(appSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := FuncFrom(env, "classify_task")
+	wrapped, err := m.WrapFunction(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 2}, minipy.Int(1), minipy.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := m.Collect(1, 20*time.Second)
+	if err != nil {
+		t.Fatalf("no result for undersized cache: %v", err)
+	}
+	if results[0].Ok {
+		t.Errorf("task should fail when the environment cannot fit")
+	}
+}
+
+func TestFailingContextSetupReportsCleanly(t *testing.T) {
+	m := newTestManager(t, 1, Options{})
+	env, err := m.Exec(`
+def bad_setup():
+    raise "setup exploded"
+
+def f(x):
+    return x
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := m.CreateLibraryFromFunctions("badlib", LibraryOptions{ContextSetup: "bad_setup"}, env, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call("badlib", "f", minipy.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The install fails on the worker; the manager keeps retrying
+	// deployment, so the invocation never completes — but the system
+	// must not wedge: a healthy library still works alongside it.
+	env2, err := m.Exec("def g(x):\n    return x * 3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := m.CreateLibraryFromFunctions("goodlib", LibraryOptions{}, env2, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallLibrary(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call("goodlib", "g", minipy.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(collectTimeout)
+	for {
+		select {
+		case r := <-m.Results():
+			if !r.Ok {
+				continue // the badlib invocation may surface as a failure
+			}
+			v, err := m.DecodeValue(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Repr() == "15" {
+				return // healthy library served despite the broken one
+			}
+		case <-deadline:
+			t.Fatalf("healthy library starved by a broken one")
+		}
+	}
+}
