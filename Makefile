@@ -1,8 +1,13 @@
 # Convenience targets for the go-taskvine-context reproduction.
 
-.PHONY: all build test race bench experiments examples clean
+.PHONY: all check build test race bench experiments examples clean
 
-all: build test
+all: check
+
+# The pre-merge gate: vet + build, the plain suite, and the full suite
+# under the race detector (the chaos tests exercise the manager's
+# failure paths concurrently, so -race is load-bearing here).
+check: build test race
 
 build:
 	go build ./...

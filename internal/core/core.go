@@ -183,6 +183,10 @@ type Result struct {
 	Ok bool
 	// Err is the error message if !Ok.
 	Err string
+	// Retryable marks a failure as infrastructure-caused (staging
+	// races, lost files, missing libraries) rather than an error in the
+	// submitted code, so the manager may retry it on another placement.
+	Retryable bool `json:"retryable,omitempty"`
 	// Value is the pickled return value if Ok.
 	Value []byte
 	// Metrics is the overhead breakdown recorded along the way.

@@ -1,0 +1,160 @@
+// Package faultnet wraps net.Conn and net.Listener with injectable
+// faults — added latency, connections dropped or stalled after a byte
+// budget, refused accepts — so chaos tests can drive the engine's
+// failure paths over real sockets. An Injector holds the live fault
+// configuration; every wrapped connection re-reads it on each I/O
+// operation, so tests can turn faults on and off mid-run.
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults describes the failure behaviour injected into wrapped
+// connections. The zero value injects nothing.
+type Faults struct {
+	// ReadLatency delays every Read by this much.
+	ReadLatency time.Duration
+	// WriteLatency delays every Write by this much.
+	WriteLatency time.Duration
+	// DropAfterBytes closes the connection with an error once this
+	// many bytes have been written through it (0 = never). The write
+	// that crosses the boundary is truncated at it, so the peer sees a
+	// mid-stream cut, not a clean frame boundary.
+	DropAfterBytes int64
+	// StallAfterBytes freezes every Write once this many bytes have
+	// been written (0 = never). A stalled write blocks until the
+	// connection is closed or the injector's faults change — the peer
+	// sees a connection that stops making progress without erroring,
+	// which is exactly the failure read deadlines exist to catch.
+	StallAfterBytes int64
+	// RefuseAccept makes wrapped listeners close every incoming
+	// connection immediately, so dialers see a reset/EOF.
+	RefuseAccept bool
+}
+
+// Injector is a live fault configuration shared by any number of
+// wrapped connections and listeners.
+type Injector struct {
+	mu  sync.Mutex
+	f   Faults
+	gen chan struct{} // closed and replaced on every Set, waking stalled ops
+}
+
+// NewInjector returns an injector with no faults active.
+func NewInjector() *Injector {
+	return &Injector{gen: make(chan struct{})}
+}
+
+// Set replaces the active faults and wakes any writes currently
+// stalled under the previous configuration (they re-evaluate against
+// the new one). Set(Faults{}) heals everything.
+func (inj *Injector) Set(f Faults) {
+	inj.mu.Lock()
+	inj.f = f
+	close(inj.gen)
+	inj.gen = make(chan struct{})
+	inj.mu.Unlock()
+}
+
+// snapshot returns the current faults plus the channel that signals
+// the next configuration change.
+func (inj *Injector) snapshot() (Faults, chan struct{}) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.f, inj.gen
+}
+
+// Wrap returns nc with this injector's faults applied.
+func (inj *Injector) Wrap(nc net.Conn) net.Conn {
+	return &faultConn{Conn: nc, inj: inj, closed: make(chan struct{})}
+}
+
+// WrapListener returns ln whose accepted connections carry this
+// injector's faults (and which refuses accepts while RefuseAccept is
+// set).
+func (inj *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, inj: inj}
+}
+
+type faultListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		nc, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if f, _ := l.inj.snapshot(); f.RefuseAccept {
+			nc.Close()
+			continue
+		}
+		return l.inj.Wrap(nc), nil
+	}
+}
+
+type faultConn struct {
+	net.Conn
+	inj       *Injector
+	written   atomic.Int64
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if f, _ := c.inj.snapshot(); f.ReadLatency > 0 {
+		time.Sleep(f.ReadLatency)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		f, gen := c.inj.snapshot()
+		if f.WriteLatency > 0 {
+			time.Sleep(f.WriteLatency)
+		}
+		w := c.written.Load()
+		if f.DropAfterBytes > 0 && w >= f.DropAfterBytes {
+			c.Close()
+			return total, fmt.Errorf("faultnet: connection dropped after %d bytes", w)
+		}
+		if f.StallAfterBytes > 0 && w >= f.StallAfterBytes {
+			select {
+			case <-c.closed:
+				return total, net.ErrClosed
+			case <-gen:
+				continue // faults changed; re-evaluate
+			}
+		}
+		// Write only up to the next fault boundary so the drop/stall
+		// triggers mid-stream.
+		chunk := int64(len(p) - total)
+		if f.DropAfterBytes > 0 && w+chunk > f.DropAfterBytes {
+			chunk = f.DropAfterBytes - w
+		}
+		if f.StallAfterBytes > 0 && w+chunk > f.StallAfterBytes {
+			chunk = f.StallAfterBytes - w
+		}
+		n, err := c.Conn.Write(p[total : total+int(chunk)])
+		c.written.Add(int64(n))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,189 @@
+package faultnet
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pair returns a wrapped server-side conn and a raw client-side conn
+// over a real TCP socket.
+func pair(t *testing.T, inj *Injector) (server, client net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	wrapped := inj.WrapListener(ln)
+	done := make(chan net.Conn, 1)
+	go func() {
+		nc, err := wrapped.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- nc
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	server = <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { server.Close() })
+	return server, client
+}
+
+func TestNoFaultsPassesThrough(t *testing.T) {
+	inj := NewInjector()
+	server, client := pair(t, inj)
+	if _, err := server.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("got %q", buf)
+	}
+}
+
+func TestDropAfterBytesCutsMidStream(t *testing.T) {
+	inj := NewInjector()
+	inj.Set(Faults{DropAfterBytes: 4})
+	server, client := pair(t, inj)
+	n, err := server.Write([]byte("0123456789"))
+	if err == nil || n != 4 {
+		t.Fatalf("write = (%d, %v), want 4 bytes then error", n, err)
+	}
+	if !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("err = %v", err)
+	}
+	// The client sees the 4 delivered bytes then EOF.
+	buf := make([]byte, 16)
+	got, _ := io.ReadFull(client, buf[:4])
+	if got != 4 {
+		t.Errorf("client read %d bytes before cut", got)
+	}
+	if _, err := client.Read(buf); err == nil {
+		t.Errorf("client should see the connection die")
+	}
+}
+
+func TestStallBlocksUntilHealed(t *testing.T) {
+	inj := NewInjector()
+	inj.Set(Faults{StallAfterBytes: 4})
+	server, client := pair(t, inj)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := server.Write([]byte("0123456789"))
+		wrote <- err
+	}()
+	// Only the pre-stall prefix arrives.
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-wrote:
+		t.Fatalf("write finished during stall: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Healing releases the stalled write and the rest flows.
+	inj.Set(Faults{})
+	if err := <-wrote; err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	rest := make([]byte, 6)
+	if _, err := io.ReadFull(client, rest); err != nil {
+		t.Fatal(err)
+	}
+	if string(rest) != "456789" {
+		t.Errorf("got %q", rest)
+	}
+}
+
+func TestStallReleasedByClose(t *testing.T) {
+	inj := NewInjector()
+	inj.Set(Faults{StallAfterBytes: 0})
+	server, _ := pair(t, inj)
+	inj.Set(Faults{StallAfterBytes: 1})
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := server.Write([]byte("abc"))
+		wrote <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	server.Close()
+	if err := <-wrote; err == nil {
+		t.Errorf("stalled write should fail once the conn closes")
+	}
+}
+
+func TestRefuseAccept(t *testing.T) {
+	inj := NewInjector()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	wrapped := inj.WrapListener(ln)
+	inj.Set(Faults{RefuseAccept: true})
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		nc, _ := wrapped.Accept()
+		accepted <- nc
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refused dialer sees EOF/reset on first read.
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Errorf("refused connection should die")
+	}
+	nc.Close()
+	select {
+	case c := <-accepted:
+		t.Fatalf("listener accepted %v while refusing", c)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Healing lets the next dial through.
+	inj.Set(Faults{})
+	nc2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	select {
+	case c := <-accepted:
+		if c == nil {
+			t.Fatal("accept failed after heal")
+		}
+		c.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept did not resume after heal")
+	}
+}
+
+func TestWriteLatencyDelays(t *testing.T) {
+	inj := NewInjector()
+	inj.Set(Faults{WriteLatency: 30 * time.Millisecond})
+	server, client := pair(t, inj)
+	start := time.Now()
+	go io.Copy(io.Discard, client)
+	if _, err := server.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("write took %v, want >= 30ms latency", d)
+	}
+}

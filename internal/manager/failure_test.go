@@ -1,0 +1,444 @@
+package manager
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// These tests drive the manager's failure-path bookkeeping directly,
+// with synthetic worker states instead of live connections: released
+// transfer slots, re-staged peer fetches, retry budgets, library
+// deployment accounting, and the never-block result delivery.
+
+// fakeWorker registers a synthetic worker state. The send queue is
+// buffered and never drained; tests only inspect what was enqueued.
+func fakeWorker(m *Manager, id string) *workerState {
+	w := &workerState{
+		id:           id,
+		sendq:        make(chan outMsg, 256),
+		total:        core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10},
+		files:        map[string]bool{},
+		pending:      map[string]bool{},
+		fetchSources: map[string]string{},
+		libs:         map[string]*libInstance{},
+		alive:        true,
+	}
+	m.mu.Lock()
+	m.workers[id] = w
+	m.ring.Add(id)
+	m.mu.Unlock()
+	return w
+}
+
+func drainMsgs(w *workerState) []outMsg {
+	var out []outMsg
+	for {
+		select {
+		case msg := <-w.sendq:
+			out = append(out, msg)
+		default:
+			return out
+		}
+	}
+}
+
+func TestWorkerGoneReleasesPeerTransferSlots(t *testing.T) {
+	// A destination dying mid-peer-fetch must hand the source's
+	// transfer slot back; otherwise each crash permanently leaks one
+	// slot until pickSourceLocked excludes the source forever.
+	m := New(Options{PeerTransfers: true})
+	src := fakeWorker(m, "src")
+	dst := fakeWorker(m, "dst")
+	src.transfersOut = 2
+	dst.fetchSources["obj-a"] = "src"
+	dst.fetchSources["obj-b"] = "src"
+
+	m.onWorkerGone(dst)
+
+	if src.transfersOut != 0 {
+		t.Errorf("source still holds %d transfer slots", src.transfersOut)
+	}
+	if _, there := m.workers["dst"]; there {
+		t.Errorf("dead worker still registered")
+	}
+	if err := m.CheckQuiescence(); err != nil {
+		t.Errorf("quiescence after crash: %v", err)
+	}
+}
+
+func TestWorkerGoneToleratesDeadSource(t *testing.T) {
+	// Both ends of a peer fetch dying must not panic or underflow.
+	m := New(Options{PeerTransfers: true})
+	dst := fakeWorker(m, "dst")
+	dst.fetchSources["obj"] = "already-gone"
+	m.onWorkerGone(dst)
+	if err := m.CheckQuiescence(); err != nil {
+		t.Errorf("quiescence: %v", err)
+	}
+}
+
+func TestWorkerGoneRequeuesWithinBudget(t *testing.T) {
+	m := New(Options{PeerTransfers: true, MaxRetries: 2})
+	lost := fakeWorker(m, "lost")
+	survivor := fakeWorker(m, "survivor")
+	task := simpleTask("requeue-me")
+	task.ID = 7
+	m.inflight[7] = &inflightEntry{worker: "lost", task: task, sentAt: time.Now()}
+
+	m.onWorkerGone(lost)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stats.Requeued != 1 || m.retries[7] != 1 {
+		t.Errorf("requeued=%d retries=%d", m.stats.Requeued, m.retries[7])
+	}
+	// The schedule pass after requeue must have placed it on the
+	// survivor, not the dead worker.
+	e := m.inflight[7]
+	if e == nil || e.worker != "survivor" {
+		t.Fatalf("inflight after requeue: %+v", e)
+	}
+	if len(drainMsgs(survivor)) == 0 {
+		t.Errorf("nothing dispatched to the survivor")
+	}
+}
+
+func TestWorkerGoneFailsWhenBudgetExhausted(t *testing.T) {
+	m := New(Options{PeerTransfers: true, MaxRetries: 1})
+	lost := fakeWorker(m, "lost")
+	task := simpleTask("doomed")
+	task.ID = 9
+	m.inflight[9] = &inflightEntry{worker: "lost", task: task, sentAt: time.Now()}
+	m.mu.Lock()
+	m.retries[9] = 1 // budget already spent
+	m.mu.Unlock()
+
+	m.onWorkerGone(lost)
+
+	select {
+	case res := <-m.Results():
+		if res.Ok || res.ID != 9 || !strings.Contains(res.Err, "retry budget exhausted") {
+			t.Errorf("result = %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no failure delivered")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stats.Failures != 1 || len(m.retries) != 0 || len(m.avoid) != 0 {
+		t.Errorf("failures=%d retries=%v avoid=%v", m.stats.Failures, m.retries, m.avoid)
+	}
+}
+
+func TestFailedPeerFetchRestagesFromManager(t *testing.T) {
+	// A peer fetch that times out must be recovered over the manager's
+	// own link, so dispatches queued behind the copy do not all die on
+	// "input not staged".
+	m := New(Options{PeerTransfers: true})
+	src := fakeWorker(m, "src")
+	dst := fakeWorker(m, "dst")
+	obj := content.NewBlob("shared", []byte("payload"))
+	fs := core.FileSpec{Object: obj, Cache: true, PeerTransfer: true}
+	m.mu.Lock()
+	m.catalog[obj.ID] = fs
+	src.transfersOut = 1
+	dst.pending[obj.ID] = true
+	dst.fetchSources[obj.ID] = "src"
+	m.mu.Unlock()
+
+	m.onFileAck(dst, proto.FileAck{ID: obj.ID, Ok: false, Err: "peer stalled"})
+
+	if src.transfersOut != 0 {
+		t.Errorf("source slot not released: %d", src.transfersOut)
+	}
+	if m.Stats().Restaged != 1 {
+		t.Errorf("restaged = %d", m.Stats().Restaged)
+	}
+	msgs := drainMsgs(dst)
+	if len(msgs) != 1 || msgs[0].t != proto.MsgPutFile {
+		t.Fatalf("expected one PutFile re-stage, got %v", msgs)
+	}
+	if !dst.pending[obj.ID] {
+		t.Errorf("re-staged object not marked pending")
+	}
+}
+
+func TestFailedDirectSendDoesNotRestage(t *testing.T) {
+	// A failed direct send (cache too small) must NOT re-stage: the
+	// manager's link already failed, so resending would loop forever.
+	m := New(Options{PeerTransfers: true})
+	dst := fakeWorker(m, "dst")
+	obj := content.NewBlob("big", []byte("payload"))
+	m.mu.Lock()
+	m.catalog[obj.ID] = core.FileSpec{Object: obj, Cache: true}
+	dst.pending[obj.ID] = true
+	m.mu.Unlock()
+
+	m.onFileAck(dst, proto.FileAck{ID: obj.ID, Ok: false, Err: "cache full"})
+
+	if m.Stats().Restaged != 0 {
+		t.Errorf("direct-send failure was re-staged")
+	}
+	if msgs := drainMsgs(dst); len(msgs) != 0 {
+		t.Errorf("unexpected messages: %v", msgs)
+	}
+}
+
+func TestTransferTimeMeasuresDispatchToAck(t *testing.T) {
+	// TransferTime must cover dispatch→last FileAck — the wire time —
+	// not the microseconds spent enqueueing into in-memory channels.
+	m := New(Options{PeerTransfers: true})
+	w := fakeWorker(m, "w")
+	obj := content.NewBlob("input", []byte("x"))
+	task := simpleTask("timed")
+	task.ID = 3
+	task.Inputs = []core.FileSpec{{Object: obj, Cache: true}}
+	m.mu.Lock()
+	w.pending[obj.ID] = true
+	w.commit = w.commit.Add(task.Resources)
+	m.inflight[3] = &inflightEntry{
+		worker:  "w",
+		task:    task,
+		sentAt:  time.Now(),
+		waiting: map[string]bool{obj.ID: true},
+	}
+	m.mu.Unlock()
+
+	const wire = 25 * time.Millisecond
+	time.Sleep(wire)
+	m.onFileAck(w, proto.FileAck{ID: obj.ID, Ok: true, Cache: true})
+	m.onResult(w, core.Result{ID: 3, Ok: true})
+
+	select {
+	case res := <-m.Results():
+		if got := res.Metrics.TransferTime; got < (wire / 2).Seconds() {
+			t.Errorf("TransferTime = %.6fs, want at least ~%.3fs of wire time", got, wire.Seconds())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no result delivered")
+	}
+}
+
+func TestLibraryAckAccounting(t *testing.T) {
+	m := New(Options{PeerTransfers: true})
+	w := fakeWorker(m, "w")
+	spec := &core.LibrarySpec{Name: "lib", Functions: []core.FunctionSpec{{Name: "f", Source: "def f():\n    return 1\n"}}}
+	m.mu.Lock()
+	m.libSpecs["lib"] = spec
+	m.mu.Unlock()
+	res := core.Resources{Cores: 8}
+	install := func() {
+		m.mu.Lock()
+		w.libs["lib"] = &libInstance{name: "lib", res: res}
+		w.commit = w.commit.Add(res)
+		m.mu.Unlock()
+	}
+
+	// Failure: the commit must be released, the instance removed, and
+	// the failure counted.
+	install()
+	m.onLibraryAck(w, proto.LibraryAck{Library: "lib", Ok: false, Err: "setup exploded"})
+	m.mu.Lock()
+	if _, there := w.libs["lib"]; there || w.commit.Cores != 0 || m.libFailures["lib"] != 1 {
+		t.Errorf("after failed ack: libs=%v commit=%+v failures=%d", w.libs, w.commit, m.libFailures["lib"])
+	}
+	m.mu.Unlock()
+
+	// Success resets the failure streak — only consecutive failures
+	// quarantine a library.
+	install()
+	m.onLibraryAck(w, proto.LibraryAck{Library: "lib", Ok: true, Instance: "lib@w#1"})
+	m.mu.Lock()
+	li := w.libs["lib"]
+	if li == nil || !li.ready || li.instance != "lib@w#1" || m.libFailures["lib"] != 0 {
+		t.Errorf("after ok ack: li=%+v failures=%d", li, m.libFailures["lib"])
+	}
+	m.mu.Unlock()
+}
+
+func TestRepeatedLibraryFailureFailsPendingInvocations(t *testing.T) {
+	m := New(Options{PeerTransfers: true})
+	w := fakeWorker(m, "w")
+	spec := &core.LibrarySpec{Name: "bad", Functions: []core.FunctionSpec{{Name: "f", Source: "def f():\n    return 1\n"}}}
+	m.mu.Lock()
+	m.libSpecs["bad"] = spec
+	m.pendingInvs = append(m.pendingInvs, &core.InvocationSpec{ID: 11, Library: "bad", Function: "f"})
+	m.mu.Unlock()
+
+	for i := 0; i < maxLibraryFailures; i++ {
+		m.mu.Lock()
+		w.libs["bad"] = &libInstance{name: "bad"}
+		m.mu.Unlock()
+		m.onLibraryAck(w, proto.LibraryAck{Library: "bad", Ok: false, Err: "setup exploded"})
+	}
+
+	select {
+	case res := <-m.Results():
+		if res.Ok || res.ID != 11 || !strings.Contains(res.Err, "failed to deploy") {
+			t.Errorf("result = %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending invocation never failed after quarantine")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pendingInvs) != 0 {
+		t.Errorf("%d invocations still pending for a quarantined library", len(m.pendingInvs))
+	}
+}
+
+func TestEvictEmptyAccounting(t *testing.T) {
+	m := New(Options{PeerTransfers: true, EvictEmptyLibraries: true})
+	w := fakeWorker(m, "w")
+	m.mu.Lock()
+	res := core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10}
+	w.libs["idle"] = &libInstance{name: "idle", ready: true, res: res}
+	w.commit = w.commit.Add(res)
+
+	if !m.evictEmptyLocked(w, "incoming", res) {
+		t.Fatalf("eviction should free the idle library")
+	}
+	if _, there := w.libs["idle"]; there || w.commit.Cores != 0 {
+		t.Errorf("after evict: libs=%v commit=%+v", w.libs, w.commit)
+	}
+	if m.stats.LibrariesEvicted != 1 {
+		t.Errorf("evicted = %d", m.stats.LibrariesEvicted)
+	}
+	m.mu.Unlock()
+	msgs := drainMsgs(w)
+	if len(msgs) != 1 || msgs[0].t != proto.MsgRemoveLibrary {
+		t.Errorf("expected RemoveLibrary, got %v", msgs)
+	}
+
+	// A busy instance must never be evicted.
+	m.mu.Lock()
+	w.libs["busy"] = &libInstance{name: "busy", ready: true, slotsUsed: 1, res: res}
+	w.commit = w.commit.Add(res)
+	if m.evictEmptyLocked(w, "incoming", res) {
+		t.Errorf("evicted a library with invocations in flight")
+	}
+	m.mu.Unlock()
+}
+
+func TestDeliverNeverBlocks(t *testing.T) {
+	// With a full results buffer and no reader, deliver must return
+	// immediately — blocking here would wedge the worker's reader
+	// goroutine and stop FileAcks from draining.
+	m := New(Options{ResultBuffer: 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(1); i <= 3; i++ {
+			m.deliver(core.Result{ID: i, Ok: true})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("deliver blocked on a full results channel")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 3; i++ {
+		select {
+		case res := <-m.Results():
+			seen[res.ID] = true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of 3 spilled results arrived", len(seen))
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("results = %v", seen)
+	}
+}
+
+func TestBackoffDelayProgression(t *testing.T) {
+	m := New(Options{RetryBaseDelay: 50 * time.Millisecond, RetryMaxDelay: 400 * time.Millisecond})
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := m.backoffDelayLocked(i + 1); got != w {
+			t.Errorf("attempt %d: %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestRetryableResultRetriesWithBackoff(t *testing.T) {
+	m := New(Options{PeerTransfers: true, MaxRetries: 3,
+		RetryBaseDelay: 10 * time.Millisecond, RetryMaxDelay: 40 * time.Millisecond})
+	w := fakeWorker(m, "w")
+	task := simpleTask("flaky")
+	task.ID = 5
+	m.mu.Lock()
+	w.commit = w.commit.Add(task.Resources)
+	m.inflight[5] = &inflightEntry{worker: "w", task: task, sentAt: time.Now()}
+	m.mu.Unlock()
+
+	m.onResult(w, core.Result{ID: 5, Ok: false, Retryable: true, Err: "input not staged"})
+
+	m.mu.Lock()
+	if m.stats.Retries != 1 || m.retries[5] != 1 || m.avoid[5] != "w" || m.backoffs != 1 {
+		t.Errorf("retries=%d avoid=%v backoffs=%d", m.stats.Retries, m.avoid, m.backoffs)
+	}
+	m.mu.Unlock()
+
+	// After the backoff, the task must be back in flight (the only
+	// worker is the avoided one, so the fallback pass places it there).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m.mu.Lock()
+		_, inflight := m.inflight[5]
+		m.mu.Unlock()
+		if inflight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retried task never redispatched")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A non-retryable failure on the same path is final.
+	m.onResult(w, core.Result{ID: 5, Ok: false, Err: "NameError: boom"})
+	select {
+	case res := <-m.Results():
+		if res.Ok || res.Retryable || !strings.Contains(res.Err, "NameError") {
+			t.Errorf("result = %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("final failure not delivered")
+	}
+	if m.Stats().Failures != 1 {
+		t.Errorf("failures = %d", m.Stats().Failures)
+	}
+}
+
+func TestRetriesDisabledDeliversFirstFailure(t *testing.T) {
+	m := New(Options{PeerTransfers: true, MaxRetries: -1})
+	w := fakeWorker(m, "w")
+	task := simpleTask("once")
+	task.ID = 2
+	m.mu.Lock()
+	w.commit = w.commit.Add(task.Resources)
+	m.inflight[2] = &inflightEntry{worker: "w", task: task, sentAt: time.Now()}
+	m.mu.Unlock()
+
+	m.onResult(w, core.Result{ID: 2, Ok: false, Retryable: true, Err: "infra hiccup"})
+	select {
+	case res := <-m.Results():
+		if res.Ok || m.Stats().Retries != 0 {
+			t.Errorf("res=%+v retries=%d", res, m.Stats().Retries)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("failure not delivered with retries disabled")
+	}
+}

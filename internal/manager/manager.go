@@ -37,6 +37,18 @@ type Options struct {
 	EvictEmptyLibraries bool
 	// ResultBuffer sizes the results channel (default 4096).
 	ResultBuffer int
+	// MaxRetries bounds how many times one task or invocation is
+	// retried after infrastructure failures; worker-crash requeues and
+	// retryable worker errors both draw on the same per-spec budget.
+	// Zero defaults to 3; negative disables retries entirely.
+	MaxRetries int
+	// RetryBaseDelay is the backoff before the first retry of a failed
+	// (but retryable) result; it doubles on each subsequent retry up
+	// to RetryMaxDelay. Zero defaults to 50ms. Crash requeues skip the
+	// backoff — the failed worker is already gone.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff. Zero defaults to 2s.
+	RetryMaxDelay time.Duration
 }
 
 // Stats counts manager-side activity for tests and experiments.
@@ -47,8 +59,10 @@ type Stats struct {
 	LibrariesEvicted  int64
 	TasksDone         int64
 	InvocationsDone   int64
-	Failures          int64
-	Requeued          int64
+	Failures          int64 // final failures delivered to the application
+	Requeued          int64 // specs requeued because their worker died
+	Retries           int64 // retryable failed results re-dispatched
+	Restaged          int64 // failed peer fetches re-staged from the manager
 }
 
 // Manager coordinates workers.
@@ -56,29 +70,49 @@ type Manager struct {
 	opts Options
 	ln   net.Listener
 
-	mu           sync.Mutex
-	workers      map[string]*workerState
-	ring         *hashring.Ring
-	libSpecs     map[string]*core.LibrarySpec
-	libFailures  map[string]int
-	pendingTasks []*core.TaskSpec
-	pendingInvs  []*core.InvocationSpec
-	inflight     map[int64]*inflightEntry
-	nextID       int64
-	stats        Stats
-	closed       bool
+	mu          sync.Mutex
+	workers     map[string]*workerState
+	ring        *hashring.Ring
+	libSpecs    map[string]*core.LibrarySpec
+	libFailures map[string]int
+	// libInfraFailures counts consecutive retryable (infrastructure)
+	// deployment failures per library, bounded separately from
+	// broken-setup failures.
+	libInfraFailures map[string]int
+	pendingTasks     []*core.TaskSpec
+	pendingInvs      []*core.InvocationSpec
+	inflight         map[int64]*inflightEntry
+	// retries counts, per spec ID, how many times the work has been
+	// re-dispatched (crash requeues + retryable failures).
+	retries map[int64]int
+	// avoid remembers the worker a spec last failed on, so the retry
+	// prefers a different placement when one exists.
+	avoid map[int64]string
+	// catalog remembers every FileSpec the manager has staged, so a
+	// failed peer fetch can be recovered by re-staging the object from
+	// the manager's own link.
+	catalog map[string]core.FileSpec
+	// backoffs counts retries sitting in their backoff timers — work
+	// that is in neither pendingTasks/pendingInvs nor inflight.
+	backoffs int
+	nextID   int64
+	stats    Stats
+	closed   bool
 
 	results chan core.Result
 	wg      sync.WaitGroup
 }
 
 type inflightEntry struct {
-	worker   string
-	library  string // "" for plain tasks
-	task     *core.TaskSpec
-	inv      *core.InvocationSpec
-	sentAt   time.Time
-	transfer float64 // seconds spent staging files for this dispatch
+	worker  string
+	library string // "" for plain tasks
+	task    *core.TaskSpec
+	inv     *core.InvocationSpec
+	sentAt  time.Time
+	// waiting holds object IDs staged for this dispatch whose FileAck
+	// has not arrived yet; the last ack stamps the transfer duration.
+	waiting  map[string]bool
+	transfer float64 // dispatch→last FileAck, seconds
 }
 
 type outMsg struct {
@@ -122,14 +156,27 @@ func New(opts Options) *Manager {
 	if opts.ResultBuffer <= 0 {
 		opts.ResultBuffer = 4096
 	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.RetryBaseDelay <= 0 {
+		opts.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if opts.RetryMaxDelay <= 0 {
+		opts.RetryMaxDelay = 2 * time.Second
+	}
 	return &Manager{
-		opts:        opts,
-		workers:     map[string]*workerState{},
-		ring:        hashring.New(0),
-		libSpecs:    map[string]*core.LibrarySpec{},
-		libFailures: map[string]int{},
-		inflight:    map[int64]*inflightEntry{},
-		results:     make(chan core.Result, opts.ResultBuffer),
+		opts:             opts,
+		workers:          map[string]*workerState{},
+		ring:             hashring.New(0),
+		libSpecs:         map[string]*core.LibrarySpec{},
+		libFailures:      map[string]int{},
+		libInfraFailures: map[string]int{},
+		inflight:         map[int64]*inflightEntry{},
+		retries:          map[int64]int{},
+		avoid:            map[int64]string{},
+		catalog:          map[string]core.FileSpec{},
+		results:          make(chan core.Result, opts.ResultBuffer),
 	}
 }
 
@@ -369,21 +416,42 @@ func (m *Manager) onWorkerGone(w *workerState) {
 	delete(m.workers, w.id)
 	m.ring.Remove(w.id)
 	w.alive = false
-	// Requeue everything that was running there.
-	var requeued int64
+	// The dead worker may have been the destination of in-flight peer
+	// fetches: release each source's transfer slot, or the sources are
+	// bled dry one crash at a time until pickSourceLocked permanently
+	// excludes them and the spanning tree degrades to manager-only
+	// sends.
+	for id, src := range w.fetchSources {
+		delete(w.fetchSources, id)
+		if sw, live := m.workers[src]; live && sw.transfersOut > 0 {
+			sw.transfersOut--
+		}
+	}
+	// Requeue everything that was running there, within each spec's
+	// retry budget; a spec that has already exhausted it fails instead
+	// of bouncing between crashing workers forever.
 	for id, e := range m.inflight {
 		if e.worker != w.id {
 			continue
 		}
 		delete(m.inflight, id)
-		if e.task != nil {
-			m.pendingTasks = append(m.pendingTasks, e.task)
-		} else if e.inv != nil {
-			m.pendingInvs = append(m.pendingInvs, e.inv)
+		if m.opts.MaxRetries >= 0 && m.retries[id] < m.opts.MaxRetries {
+			m.retries[id]++
+			m.avoid[id] = w.id
+			m.stats.Requeued++
+			if e.task != nil {
+				m.pendingTasks = append(m.pendingTasks, e.task)
+			} else if e.inv != nil {
+				m.pendingInvs = append(m.pendingInvs, e.inv)
+			}
+			continue
 		}
-		requeued++
+		m.stats.Failures++
+		delete(m.retries, id)
+		delete(m.avoid, id)
+		m.deliver(core.Result{ID: id, Ok: false,
+			Err: fmt.Sprintf("manager: worker %s lost and retry budget exhausted", w.id)})
 	}
-	m.stats.Requeued += requeued
 	m.mu.Unlock()
 	m.schedule()
 }
@@ -391,7 +459,8 @@ func (m *Manager) onWorkerGone(w *workerState) {
 func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 	m.mu.Lock()
 	delete(w.pending, ack.ID)
-	if src, ok := w.fetchSources[ack.ID]; ok {
+	src, fromPeer := w.fetchSources[ack.ID]
+	if fromPeer {
 		delete(w.fetchSources, ack.ID)
 		if sw, live := m.workers[src]; live && sw.transfersOut > 0 {
 			sw.transfersOut--
@@ -399,6 +468,26 @@ func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 	}
 	if ack.Ok && ack.Cache {
 		w.files[ack.ID] = true
+	}
+	// Stamp staging completion on every dispatch that was waiting for
+	// this object on this worker: TransferTime is dispatch→last ack,
+	// not the time spent enqueueing messages.
+	now := time.Now()
+	for _, e := range m.inflight {
+		if e.worker == w.id && e.waiting[ack.ID] {
+			delete(e.waiting, ack.ID)
+			e.transfer = now.Sub(e.sentAt).Seconds()
+		}
+	}
+	if !ack.Ok && fromPeer && w.alive {
+		// The peer fetch failed — stalled source, vanished source, or
+		// timeout. The manager's own link is always a valid source:
+		// re-stage directly rather than leaving every dispatch behind
+		// this copy to die on "input not staged".
+		if fs, known := m.catalog[ack.ID]; known {
+			m.directSendLocked(w, fs)
+			m.stats.Restaged++
+		}
 	}
 	m.mu.Unlock()
 	m.schedule()
@@ -409,6 +498,13 @@ func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 // retried — a broken context setup would otherwise redeploy forever.
 const maxLibraryFailures = 3
 
+// maxLibraryInfraFailures bounds consecutive *retryable* deployment
+// failures (inputs lost to stalled transfers, resources exhausted).
+// It is deliberately generous: chaos that heals should never
+// quarantine a healthy library, but a library whose environment can
+// never be staged must eventually fail its invocations cleanly.
+const maxLibraryInfraFailures = 20
+
 func (m *Manager) onLibraryAck(w *workerState, ack proto.LibraryAck) {
 	m.mu.Lock()
 	li := w.libs[ack.Library]
@@ -417,13 +513,27 @@ func (m *Manager) onLibraryAck(w *workerState, ack proto.LibraryAck) {
 			li.ready = true
 			li.instance = ack.Instance
 			m.libFailures[ack.Library] = 0
+			m.libInfraFailures[ack.Library] = 0
 		} else {
 			li.failed = true
 			delete(w.libs, ack.Library)
 			w.commit = w.commit.Sub(li.res)
-			m.libFailures[ack.Library]++
-			if m.libFailures[ack.Library] >= maxLibraryFailures {
-				m.failPendingForLibraryLocked(ack.Library, ack.Err)
+			// Infrastructure-caused install failures (inputs lost to a
+			// stalled transfer, resources gone) draw on a much larger
+			// budget than broken-setup failures: transient chaos should
+			// not quarantine a healthy library, but a persistently
+			// unstageable one must still fail cleanly instead of
+			// redeploying forever.
+			if ack.Retryable {
+				m.libInfraFailures[ack.Library]++
+				if m.libInfraFailures[ack.Library] >= maxLibraryInfraFailures {
+					m.failPendingForLibraryLocked(ack.Library, ack.Err)
+				}
+			} else {
+				m.libFailures[ack.Library]++
+				if m.libFailures[ack.Library] >= maxLibraryFailures {
+					m.failPendingForLibraryLocked(ack.Library, ack.Err)
+				}
 			}
 		}
 	}
@@ -471,15 +581,118 @@ func (m *Manager) onResult(w *workerState, res core.Result) {
 				li.served++
 			}
 		}
+	}
+	var backoff time.Duration
+	retried := false
+	if ok && !res.Ok && res.Retryable && m.opts.MaxRetries >= 0 &&
+		m.retries[res.ID] < m.opts.MaxRetries && !m.closed {
+		m.retries[res.ID]++
+		m.stats.Retries++
+		m.avoid[res.ID] = w.id
+		m.backoffs++
+		backoff = m.backoffDelayLocked(m.retries[res.ID])
+		retried = true
+	}
+	if ok && !retried {
 		if !res.Ok {
 			m.stats.Failures++
 		}
+		delete(m.retries, res.ID)
+		delete(m.avoid, res.ID)
+		m.deliver(res)
 	}
 	m.mu.Unlock()
-	if ok {
-		m.results <- res
+	if retried {
+		m.requeueAfter(e, backoff)
 	}
 	m.schedule()
+}
+
+// backoffDelayLocked computes the exponential backoff before retry
+// attempt n (1-based).
+func (m *Manager) backoffDelayLocked(attempt int) time.Duration {
+	d := m.opts.RetryBaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= m.opts.RetryMaxDelay {
+			return m.opts.RetryMaxDelay
+		}
+	}
+	if d > m.opts.RetryMaxDelay {
+		d = m.opts.RetryMaxDelay
+	}
+	return d
+}
+
+// requeueAfter puts a failed dispatch back on the pending queue once
+// its backoff elapses.
+func (m *Manager) requeueAfter(e *inflightEntry, delay time.Duration) {
+	m.wg.Add(1)
+	time.AfterFunc(delay, func() {
+		defer m.wg.Done()
+		m.mu.Lock()
+		m.backoffs--
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		if e.task != nil {
+			m.pendingTasks = append(m.pendingTasks, e.task)
+		} else if e.inv != nil {
+			m.pendingInvs = append(m.pendingInvs, e.inv)
+		}
+		m.mu.Unlock()
+		m.schedule()
+	})
+}
+
+// deliver pushes a result to the application without ever blocking
+// the caller: a full results channel spills into a goroutine instead
+// of stalling the worker's reader goroutine (which would stop its
+// FileAcks and LibraryAcks from draining). Safe to call with or
+// without m.mu held.
+func (m *Manager) deliver(res core.Result) {
+	select {
+	case m.results <- res:
+	default:
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.results <- res
+		}()
+	}
+}
+
+// CheckQuiescence verifies the manager's recovery invariants at rest:
+// no pending entry has outlived its transfer, every transfer slot has
+// been returned, and no work is queued, in flight, or waiting out a
+// retry backoff. Chaos tests call this after collecting all results;
+// a non-nil error means bookkeeping leaked somewhere along a failure
+// path.
+func (m *Manager) CheckQuiescence() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.workers {
+		if w.transfersOut != 0 {
+			return fmt.Errorf("manager: worker %s still holds %d outbound transfer slots", w.id, w.transfersOut)
+		}
+		if len(w.pending) != 0 {
+			return fmt.Errorf("manager: worker %s has %d unacked staged files", w.id, len(w.pending))
+		}
+		if len(w.fetchSources) != 0 {
+			return fmt.Errorf("manager: worker %s has %d dangling fetch-source records", w.id, len(w.fetchSources))
+		}
+	}
+	if n := len(m.inflight); n != 0 {
+		return fmt.Errorf("manager: %d dispatches still in flight", n)
+	}
+	if n := len(m.pendingTasks) + len(m.pendingInvs); n != 0 {
+		return fmt.Errorf("manager: %d specs still queued", n)
+	}
+	if m.backoffs != 0 {
+		return fmt.Errorf("manager: %d retries waiting out backoff", m.backoffs)
+	}
+	return nil
 }
 
 // LibraryDeployments returns, for each registered library, how many

@@ -46,6 +46,7 @@ func (m *Manager) canStageFileLocked(w *workerState, fs core.FileSpec, commit bo
 	if fs.Cache && fs.PeerTransfer && m.opts.PeerTransfers {
 		if src := m.pickSourceLocked(w, obj.ID); src != nil {
 			if commit {
+				m.catalog[obj.ID] = fs
 				src.transfersOut++
 				w.pending[obj.ID] = true
 				w.fetchSources[obj.ID] = src.id
@@ -81,6 +82,7 @@ func (m *Manager) canStageFileLocked(w *workerState, fs core.FileSpec, commit bo
 
 func (m *Manager) directSendLocked(w *workerState, fs core.FileSpec) {
 	obj := fs.Object
+	m.catalog[obj.ID] = fs
 	w.pending[obj.ID] = true
 	w.enqueue(outMsg{proto.MsgPutFile, proto.PutFile{
 		File: proto.FileMeta{
@@ -153,10 +155,23 @@ func (m *Manager) scheduleTasksLocked() {
 }
 
 func (m *Manager) tryPlaceTaskLocked(t *core.TaskSpec) bool {
+	// Retries prefer a worker other than the one that just failed; if
+	// no other placement exists, the avoided worker is better than
+	// starving.
+	if m.tryPlaceTaskOnLocked(t, m.avoid[t.ID]) {
+		return true
+	}
+	if m.avoid[t.ID] != "" {
+		return m.tryPlaceTaskOnLocked(t, "")
+	}
+	return false
+}
+
+func (m *Manager) tryPlaceTaskOnLocked(t *core.TaskSpec, avoid string) bool {
 	key := fmt.Sprintf("task-%d", t.ID)
 	for _, wid := range m.ring.Sequence(key, 0) {
 		w := m.workers[wid]
-		if w == nil || !w.alive {
+		if w == nil || !w.alive || w.id == avoid {
 			continue
 		}
 		if !t.Resources.Fits(w.total.Sub(w.commit)) {
@@ -169,12 +184,21 @@ func (m *Manager) tryPlaceTaskLocked(t *core.TaskSpec) bool {
 		m.canStageAllLocked(w, t.Inputs, true)
 		w.commit = w.commit.Add(t.Resources)
 		w.enqueue(outMsg{proto.MsgRunTask, t})
-		m.inflight[t.ID] = &inflightEntry{
-			worker:   w.id,
-			task:     t,
-			sentAt:   start,
-			transfer: time.Since(start).Seconds(),
+		e := &inflightEntry{
+			worker:  w.id,
+			task:    t,
+			sentAt:  start,
+			waiting: map[string]bool{},
 		}
+		// TransferTime runs from dispatch until the last input this
+		// dispatch depends on is acked on the worker — not the time
+		// spent enqueueing messages into in-memory channels.
+		for _, in := range t.Inputs {
+			if in.Object != nil && w.pending[in.Object.ID] {
+				e.waiting[in.Object.ID] = true
+			}
+		}
+		m.inflight[t.ID] = e
 		return true
 	}
 	return false
@@ -199,19 +223,12 @@ func (m *Manager) scheduleInvocationsLocked() {
 }
 
 // emitFailure delivers a synthetic failed result for an unschedulable
-// invocation. Called with the lock held; the send happens on a
-// goroutine to avoid blocking the scheduler on a full results channel.
+// invocation. Called with the lock held; deliver never blocks the
+// scheduler on a full results channel.
 func (m *Manager) emitFailure(inv *core.InvocationSpec, err error) {
-	res := core.Result{ID: inv.ID, Ok: false, Err: err.Error()}
-	select {
-	case m.results <- res:
-	default:
-		m.wg.Add(1)
-		go func() {
-			defer m.wg.Done()
-			m.results <- res
-		}()
-	}
+	delete(m.retries, inv.ID)
+	delete(m.avoid, inv.ID)
+	m.deliver(core.Result{ID: inv.ID, Ok: false, Err: err.Error()})
 }
 
 func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (bool, error) {
@@ -219,7 +236,7 @@ func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (bool, erro
 	if !known {
 		return false, fmt.Errorf("manager: invocation %d names unknown library %q", inv.ID, inv.Library)
 	}
-	if m.libFailures[inv.Library] >= maxLibraryFailures {
+	if m.libFailures[inv.Library] >= maxLibraryFailures || m.libInfraFailures[inv.Library] >= maxLibraryInfraFailures {
 		return false, fmt.Errorf("manager: library %q is marked broken after repeated deployment failures", inv.Library)
 	}
 	hasFn := false
@@ -233,10 +250,24 @@ func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (bool, erro
 		return false, fmt.Errorf("manager: library %q has no function %q", inv.Library, inv.Function)
 	}
 
-	// First choice: a ready instance with a free slot.
+	// First choice: a ready instance with a free slot — preferring a
+	// worker other than the one a retry just failed on, when possible.
+	if m.placeInvocationOnReadyLocked(inv, spec, m.avoid[inv.ID]) {
+		return true, nil
+	}
+	if m.avoid[inv.ID] != "" && m.placeInvocationOnReadyLocked(inv, spec, "") {
+		return true, nil
+	}
+
+	return m.deployForInvocationLocked(inv, spec)
+}
+
+// placeInvocationOnReadyLocked dispatches inv to a ready instance with
+// a free slot, skipping the avoided worker.
+func (m *Manager) placeInvocationOnReadyLocked(inv *core.InvocationSpec, spec *core.LibrarySpec, avoid string) bool {
 	for _, wid := range m.ring.Sequence(inv.Library, 0) {
 		w := m.workers[wid]
-		if w == nil || !w.alive {
+		if w == nil || !w.alive || w.id == avoid {
 			continue
 		}
 		li := w.libs[inv.Library]
@@ -246,9 +277,12 @@ func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (bool, erro
 		li.slotsUsed++
 		w.enqueue(outMsg{proto.MsgInvoke, inv})
 		m.inflight[inv.ID] = &inflightEntry{worker: w.id, library: inv.Library, inv: inv, sentAt: time.Now()}
-		return true, nil
+		return true
 	}
+	return false
+}
 
+func (m *Manager) deployForInvocationLocked(inv *core.InvocationSpec, spec *core.LibrarySpec) (bool, error) {
 	// Second choice: deploy a new instance on the next ring worker with
 	// room, evicting an empty foreign library if allowed (§3.5.2).
 	for _, wid := range m.ring.Sequence(inv.Library, 0) {

@@ -10,7 +10,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -127,6 +129,10 @@ type LibraryAck struct {
 	Instance string `json:"instance"`
 	Ok       bool   `json:"ok"`
 	Err      string `json:"err,omitempty"`
+	// Retryable marks a failed install as infrastructure-caused (inputs
+	// not staged, no resources) rather than a broken library; the
+	// manager redeploys without counting it toward quarantine.
+	Retryable bool `json:"retryable,omitempty"`
 	// SetupTime is the context-setup duration in seconds (Table 5, L3
 	// library row).
 	SetupTime float64 `json:"setup_time"`
@@ -215,6 +221,38 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// WithIdleTimeout returns a conn that arms a fresh read (write)
+// deadline before every Read (Write), turning the absolute deadline
+// into an idle timeout: any single I/O operation that makes no
+// progress for d fails with a timeout error instead of blocking
+// forever. A transfer that keeps moving bytes is never cut off, no
+// matter how large. d <= 0 returns nc unchanged.
+func WithIdleTimeout(nc net.Conn, d time.Duration) net.Conn {
+	if d <= 0 {
+		return nc
+	}
+	return &idleConn{Conn: nc, idle: d}
+}
+
+type idleConn struct {
+	net.Conn
+	idle time.Duration
+}
+
+func (c *idleConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.idle)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *idleConn) Write(p []byte) (int, error) {
+	if err := c.Conn.SetWriteDeadline(time.Now().Add(c.idle)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
 }
 
 // Decode unmarshals a payload into T.

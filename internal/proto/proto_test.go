@@ -2,11 +2,13 @@ package proto
 
 import (
 	"bytes"
+	"errors"
 	"net"
 	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/core"
 )
@@ -213,5 +215,56 @@ func TestQuickRecvNeverPanics(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestWithIdleTimeoutCutsStalledRead(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	rc := WithIdleTimeout(a, 60*time.Millisecond)
+	start := time.Now()
+	_, err := rc.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("read on a silent peer should time out")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a timeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("timed out after %v, want ~60ms", d)
+	}
+}
+
+func TestWithIdleTimeoutRefreshesOnProgress(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	rc := WithIdleTimeout(a, 120*time.Millisecond)
+	// A slow but steady writer: each chunk arrives well inside the idle
+	// window, yet the whole transfer takes several windows.
+	const chunks = 6
+	go func() {
+		for i := 0; i < chunks; i++ {
+			time.Sleep(40 * time.Millisecond)
+			b.Write([]byte{byte(i)})
+		}
+	}()
+	buf := make([]byte, chunks)
+	for got := 0; got < chunks; {
+		n, err := rc.Read(buf[got:])
+		if err != nil {
+			t.Fatalf("steady transfer cut by idle timeout after %d bytes: %v", got, err)
+		}
+		got += n
+	}
+}
+
+func TestWithIdleTimeoutZeroIsPassthrough(t *testing.T) {
+	a, _ := net.Pipe()
+	defer a.Close()
+	if c := WithIdleTimeout(a, 0); c != a {
+		t.Errorf("zero idle timeout should return the conn unchanged")
 	}
 }

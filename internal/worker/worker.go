@@ -43,9 +43,21 @@ type Config struct {
 	// StepLimit bounds interpreter steps per task/invocation (0 = the
 	// default of 50M).
 	StepLimit int64
+	// PeerIOTimeout bounds idle time on peer data-plane connections:
+	// a fetch or serve that makes no progress for this long is aborted
+	// instead of wedging the worker forever behind a hung peer. Zero
+	// defaults to 30s.
+	PeerIOTimeout time.Duration
+	// WrapDataListener, when set, wraps the peer data listener before
+	// serving — the hook fault-injection tests use to stall or cut
+	// peer transfers.
+	WrapDataListener func(net.Listener) net.Listener
 }
 
-const defaultStepLimit = 50_000_000
+const (
+	defaultStepLimit     = 50_000_000
+	defaultPeerIOTimeout = 30 * time.Second
+)
 
 // Worker is a running worker.
 type Worker struct {
@@ -90,6 +102,9 @@ func New(cfg Config) *Worker {
 	if cfg.StepLimit == 0 {
 		cfg.StepLimit = defaultStepLimit
 	}
+	if cfg.PeerIOTimeout == 0 {
+		cfg.PeerIOTimeout = defaultPeerIOTimeout
+	}
 	return &Worker{
 		cfg:   cfg,
 		cache: content.NewCache(cfg.CacheCapacity),
@@ -125,6 +140,9 @@ func (w *Worker) Serve(nc net.Conn) error {
 	if err != nil {
 		return fmt.Errorf("worker %s: starting data server: %w", w.cfg.ID, err)
 	}
+	if w.cfg.WrapDataListener != nil {
+		ln = w.cfg.WrapDataListener(ln)
+	}
 	w.dataLn = ln
 	w.dataAddr = ln.Addr().String()
 	w.conn = proto.NewConn(nc)
@@ -140,7 +158,7 @@ func (w *Worker) Serve(nc net.Conn) error {
 		return err
 	}
 
-	w.wg.Add(2)
+	w.wg.Add(3)
 	go func() {
 		defer w.wg.Done()
 		w.serveData()
@@ -148,6 +166,14 @@ func (w *Worker) Serve(nc net.Conn) error {
 	go func() {
 		defer w.wg.Done()
 		w.loop(nc)
+	}()
+	// Sever the manager link on Shutdown so the manager observes the
+	// worker's departure immediately (and requeues its work) instead of
+	// holding a half-dead connection open.
+	go func() {
+		defer w.wg.Done()
+		<-w.done
+		nc.Close()
 	}()
 	return nil
 }
@@ -290,7 +316,7 @@ func (w *Worker) handlePutFile(msg proto.PutFile) {
 // handleFetchFile pulls an object from a peer data server — one edge
 // of the spanning-tree broadcast (Figure 3b).
 func (w *Worker) handleFetchFile(msg proto.FetchFile) {
-	obj, err := FetchFromPeer(msg.FromAddr, msg.ID)
+	obj, err := fetchFromPeer(msg.FromAddr, msg.ID, w.cfg.PeerIOTimeout)
 	if err != nil {
 		w.ackFile(msg.ID, msg.Cache, err)
 		return
@@ -314,14 +340,28 @@ func (w *Worker) cacheObject(obj *content.Object, unpack bool) error {
 	return nil
 }
 
-// FetchFromPeer requests an object by ID from a worker data server.
+// FetchFromPeer requests an object by ID from a worker data server,
+// with the default idle timeout on every read and write.
 func FetchFromPeer(addr, id string) (*content.Object, error) {
-	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return fetchFromPeer(addr, id, defaultPeerIOTimeout)
+}
+
+// fetchFromPeer is FetchFromPeer with an explicit idle timeout: the
+// dial, the request write, and every read of the response must each
+// make progress within `idle`, so a stalled or vanished peer costs a
+// bounded wait instead of wedging the fetch (and, transitively, every
+// worker queued behind the in-flight copy) forever.
+func fetchFromPeer(addr, id string, idle time.Duration) (*content.Object, error) {
+	dial := idle
+	if dial <= 0 || dial > 5*time.Second {
+		dial = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, dial)
 	if err != nil {
 		return nil, fmt.Errorf("worker: dialing peer %s: %w", addr, err)
 	}
 	defer nc.Close()
-	pc := proto.NewConn(nc)
+	pc := proto.NewConn(proto.WithIdleTimeout(nc, idle))
 	if err := pc.Send(proto.MsgGetFile, proto.GetFile{ID: id}); err != nil {
 		return nil, err
 	}
@@ -359,7 +399,9 @@ func (w *Worker) serveData() {
 		go func() {
 			defer w.wg.Done()
 			defer nc.Close()
-			pc := proto.NewConn(nc)
+			// A requester that stops reading must not pin this goroutine
+			// (and its transfer slot on the manager) forever.
+			pc := proto.NewConn(proto.WithIdleTimeout(nc, w.cfg.PeerIOTimeout))
 			t, raw, err := pc.Recv()
 			if err != nil || t != proto.MsgGetFile {
 				return
@@ -404,6 +446,14 @@ func (w *Worker) sendResult(res core.Result) {
 
 func failResult(id int64, err error) core.Result {
 	return core.Result{ID: id, Ok: false, Err: err.Error()}
+}
+
+// infraResult marks a failure as infrastructure-caused (staging gaps,
+// cache pressure, lost libraries) so the manager may retry the work on
+// another placement; errors raised by the submitted code itself use
+// failResult and are never retried.
+func infraResult(id int64, err error) core.Result {
+	return core.Result{ID: id, Ok: false, Err: err.Error(), Retryable: true}
 }
 
 func (w *Worker) stdout() io.Writer {
@@ -471,7 +521,7 @@ func (w *Worker) runTask(spec core.TaskSpec, pinned []string) {
 		}
 	}()
 	if err := w.reserve(spec.Resources); err != nil {
-		w.sendResult(failResult(spec.ID, err))
+		w.sendResult(infraResult(spec.ID, err))
 		return
 	}
 	defer w.release(spec.Resources)
@@ -486,12 +536,12 @@ func (w *Worker) runTask(spec core.TaskSpec, pinned []string) {
 	for _, in := range spec.Inputs {
 		obj, ok := w.cache.Get(in.Object.ID)
 		if !ok {
-			w.sendResult(failResult(spec.ID, fmt.Errorf("input %q not staged on worker", in.Object.Name)))
+			w.sendResult(infraResult(spec.ID, fmt.Errorf("input %q not staged on worker", in.Object.Name)))
 			return
 		}
 		if in.Unpack && obj.Kind == content.Tarball {
 			if _, err := w.cache.MarkUnpacked(obj.ID); err != nil {
-				w.sendResult(failResult(spec.ID, err))
+				w.sendResult(infraResult(spec.ID, err))
 				return
 			}
 		}
@@ -500,12 +550,12 @@ func (w *Worker) runTask(spec core.TaskSpec, pinned []string) {
 	}
 	for _, in := range spec.SharedFSReads {
 		if w.cfg.SharedFS == nil {
-			w.sendResult(failResult(spec.ID, fmt.Errorf("task needs shared FS but worker has none")))
+			w.sendResult(infraResult(spec.ID, fmt.Errorf("task needs shared FS but worker has none")))
 			return
 		}
 		obj, err := w.cfg.SharedFS.Fetch(in.Object.ID)
 		if err != nil {
-			w.sendResult(failResult(spec.ID, err))
+			w.sendResult(infraResult(spec.ID, err))
 			return
 		}
 		sb.add(obj)
@@ -543,23 +593,28 @@ func (w *Worker) installLibrary(spec core.LibrarySpec) {
 		// A library by default takes all resources of a worker (§3.5.2).
 		res = w.cfg.Resources
 	}
-	ackErr := func(err error) {
-		_ = w.conn.Send(proto.MsgLibraryAck, proto.LibraryAck{Library: spec.Name, Ok: false, Err: err.Error()})
+	// Install failures split the same way task failures do: a missing
+	// staged input or exhausted resources is the infrastructure's fault
+	// (retryable — the manager redeploys after recovery), while a
+	// context setup that raises is the library's own bug and counts
+	// toward quarantine.
+	ackErr := func(err error, retryable bool) {
+		_ = w.conn.Send(proto.MsgLibraryAck, proto.LibraryAck{Library: spec.Name, Ok: false, Err: err.Error(), Retryable: retryable})
 	}
 	if err := w.reserve(res); err != nil {
-		ackErr(err)
+		ackErr(err, true)
 		return
 	}
 
 	// Pin and unpack the library's environment and inputs.
 	var objs []*content.Object
 	pinned := []string{}
-	fail := func(err error) {
+	fail := func(err error, retryable bool) {
 		for _, id := range pinned {
 			_ = w.cache.Unpin(id)
 		}
 		w.release(res)
-		ackErr(err)
+		ackErr(err, retryable)
 	}
 	specs := spec.Inputs
 	if spec.Env != nil {
@@ -568,17 +623,17 @@ func (w *Worker) installLibrary(spec core.LibrarySpec) {
 	for _, in := range specs {
 		obj, ok := w.cache.Get(in.Object.ID)
 		if !ok {
-			fail(fmt.Errorf("library input %q not staged", in.Object.Name))
+			fail(fmt.Errorf("library input %q not staged", in.Object.Name), true)
 			return
 		}
 		if in.Unpack && obj.Kind == content.Tarball {
 			if _, err := w.cache.MarkUnpacked(obj.ID); err != nil {
-				fail(err)
+				fail(err, true)
 				return
 			}
 		}
 		if err := w.cache.Pin(obj.ID); err != nil {
-			fail(err)
+			fail(err, true)
 			return
 		}
 		pinned = append(pinned, obj.ID)
@@ -599,14 +654,14 @@ func (w *Worker) installLibrary(spec core.LibrarySpec) {
 	}
 	lib, err := library.Start(spec, instance, host)
 	if err != nil {
-		fail(err)
+		fail(err, false)
 		return
 	}
 
 	w.mu.Lock()
 	if _, exists := w.libs[spec.Name]; exists {
 		w.mu.Unlock()
-		fail(fmt.Errorf("library %s already installed", spec.Name))
+		fail(fmt.Errorf("library %s already installed", spec.Name), true)
 		return
 	}
 	w.libs[spec.Name] = &libHolder{lib: lib, res: res}
@@ -668,7 +723,9 @@ func (w *Worker) runInvocation(spec core.InvocationSpec) {
 	h, ok := w.libs[spec.Library]
 	w.mu.Unlock()
 	if !ok {
-		w.sendResult(failResult(spec.ID, fmt.Errorf("worker %s has no library %q", w.cfg.ID, spec.Library)))
+		// The manager believed an instance was here; it may have been
+		// lost to eviction racing the dispatch — retryable.
+		w.sendResult(infraResult(spec.ID, fmt.Errorf("worker %s has no library %q", w.cfg.ID, spec.Library)))
 		return
 	}
 	if h.lib.Spec.Mode == core.ExecDirect {

@@ -374,3 +374,64 @@ func buildWrappedPayload(t *testing.T) (fn, args *content.Object) {
 	}
 	return content.NewBlob("func", funcData), content.NewBlob("args", argsData)
 }
+
+func TestFetchFromPeerTimesOutOnSilentServer(t *testing.T) {
+	// A peer that accepts the connection but never answers must cost a
+	// bounded wait, not wedge the worker's message loop forever.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		// Read the request, then go silent.
+		buf := make([]byte, 1024)
+		nc.Read(buf)
+		time.Sleep(5 * time.Second)
+	}()
+
+	start := time.Now()
+	_, err = fetchFromPeer(ln.Addr().String(), "some-object", 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("fetch from a silent peer should fail")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("fetch took %v, want ~100ms idle timeout", d)
+	}
+}
+
+func TestFetchFromPeerTimesOutMidStream(t *testing.T) {
+	// A peer that starts answering and then stalls mid-frame must also
+	// be cut by the idle deadline.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		buf := make([]byte, 1024)
+		nc.Read(buf)
+		// A frame header promising a large body, then silence.
+		nc.Write([]byte{0x00, 0x10, 0x00, 0x00})
+		time.Sleep(5 * time.Second)
+	}()
+
+	start := time.Now()
+	_, err = fetchFromPeer(ln.Addr().String(), "some-object", 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("fetch from a stalling peer should fail")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("fetch took %v, want ~100ms idle timeout", d)
+	}
+}

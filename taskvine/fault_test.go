@@ -1,10 +1,13 @@
 package taskvine
 
 import (
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultnet"
 	"repro/internal/minipy"
 )
 
@@ -219,4 +222,379 @@ def f(x):
 			t.Fatalf("healthy library starved by a broken one")
 		}
 	}
+}
+
+// waitQuiescent polls the manager's recovery invariants until they
+// hold: transfer slots returned, no pending files, nothing in flight
+// or waiting out a backoff. Late FileAcks (a stalled fetch timing out
+// after its task already recovered elsewhere) may trail the last
+// result, so quiescence is eventually-consistent.
+func waitQuiescent(t *testing.T, m *Manager, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		err := m.CheckQuiescence()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("manager never quiesced: %v (stats %+v)", err, m.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStalledPeerTransfersRecover(t *testing.T) {
+	// Every worker's peer data server stalls mid-stream, so every peer
+	// fetch times out on the destination's idle deadline. The cluster
+	// must make progress anyway: the manager re-stages failed copies
+	// over its own link and retries the dispatches stranded behind
+	// them. Without read deadlines, the first stalled fetch would wedge
+	// its worker's message loop — and the manager's pending-file
+	// dedup would park every other worker behind the hung copy.
+	inj := faultnet.NewInjector()
+	m, err := NewManager(Options{MaxRetries: 10, RetryBaseDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	if err := m.SpawnLocalWorkers(4, WorkerOptions{
+		PeerIOTimeout:    300 * time.Millisecond,
+		WrapDataListener: inj.WrapListener,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inj.Set(faultnet.Faults{}) })
+	inj.Set(faultnet.Faults{StallAfterBytes: 32})
+
+	env, err := m.Exec(appSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := FuncFrom(env, "classify_task")
+	wrapped, err := m.WrapFunction(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const calls = 24
+	for i := 0; i < calls; i++ {
+		if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 16}, minipy.Int(int64(i)), minipy.Int(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := m.Collect(calls, collectTimeout)
+	if err != nil {
+		t.Fatalf("collect under stalled peers: %v (stats %+v)", err, m.Stats())
+	}
+	for _, r := range results {
+		if !r.Ok {
+			t.Errorf("invocation %d failed: %s", r.ID, r.Err)
+		}
+	}
+	st := m.Stats()
+	if st.PeerTransfers == 0 {
+		t.Errorf("no peer transfers were even attempted: %+v", st)
+	}
+	if st.Restaged == 0 {
+		t.Errorf("stalled peer fetches were never re-staged from the manager: %+v", st)
+	}
+	waitQuiescent(t, m, 5*time.Second)
+}
+
+func TestKilledFetchDestinationReleasesSlotAndRetries(t *testing.T) {
+	// Worker A caches the environment, then its data server starts
+	// stalling. Worker B — the only worker big enough for the next
+	// task — dies while its peer fetch from A hangs. The manager must
+	// hand A's transfer slot back and requeue the task; a replacement
+	// worker then recovers via the timeout → re-stage path.
+	inj := faultnet.NewInjector()
+	m, err := NewManager(Options{MaxRetries: 10, RetryBaseDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	// A: too small for the big task, data server wrapped by the injector.
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{
+		Resources:        core.Resources{Cores: 2},
+		WrapDataListener: inj.WrapListener,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := m.Exec(appSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := FuncFrom(env, "classify_task")
+	wrapped, err := m.WrapFunction(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm A's cache so it becomes the natural peer source.
+	if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 1}, minipy.Int(0), minipy.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if warm, err := m.Collect(1, collectTimeout); err != nil || !warm[0].Ok {
+		t.Fatalf("warmup: %v %+v", err, warm)
+	}
+	t.Cleanup(func() { inj.Set(faultnet.Faults{}) })
+	inj.Set(faultnet.Faults{StallAfterBytes: 32})
+
+	// B: the only worker that fits Cores:16, with a fetch timeout long
+	// enough that it is still hanging mid-fetch when killed.
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{PeerIOTimeout: 10 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 16}, minipy.Int(1), minipy.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the peer fetch to be committed, give B a moment to hang
+	// in it, then kill B.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().PeerTransfers == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("peer fetch never started: %+v", m.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	m.LocalWorkers()[1].Shutdown()
+	// Wait for the manager to notice the death and requeue B's task.
+	for m.Stats().Requeued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("killed destination's task never requeued: %+v", m.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// C: replacement with a short fetch timeout; its stalled fetch from
+	// A fails fast and the manager re-stages directly.
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{PeerIOTimeout: 200 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := m.Collect(1, collectTimeout)
+	if err != nil {
+		t.Fatalf("collect after destination death: %v (stats %+v)", err, m.Stats())
+	}
+	if !results[0].Ok {
+		t.Fatalf("task failed: %s", results[0].Err)
+	}
+	st := m.Stats()
+	if st.Requeued == 0 {
+		t.Errorf("killed destination's task was never requeued: %+v", st)
+	}
+	// Quiescence proves A's outbound slot came back when B died —
+	// leaked slots would show up as transfersOut != 0.
+	waitQuiescent(t, m, 5*time.Second)
+}
+
+func TestChaosStallAndWorkerKillAllComplete(t *testing.T) {
+	// Combined chaos: all peer transfers stall AND the worker hosting
+	// the library dies mid-run, with both invocations and L2 tasks in
+	// flight. Every submission must still complete.
+	inj := faultnet.NewInjector()
+	m, err := NewManager(Options{MaxRetries: 10, RetryBaseDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	if err := m.SpawnLocalWorkers(4, WorkerOptions{
+		PeerIOTimeout:    300 * time.Millisecond,
+		WrapDataListener: inj.WrapListener,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := m.Exec(appSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := m.CreateLibraryFromFunctions("mllib", LibraryOptions{
+		ContextSetup: "context_setup", Slots: 4, Mode: core.ExecFork,
+		Resources: core.Resources{Cores: 16},
+	}, env, "classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := FuncFrom(env, "classify_task")
+	wrapped, err := m.WrapFunction(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm up one invocation to locate the library host.
+	if _, err := m.Call("mllib", "classify", minipy.Int(0), minipy.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := m.Collect(1, collectTimeout)
+	if err != nil || !warm[0].Ok {
+		t.Fatalf("warmup: %v %+v", err, warm)
+	}
+	host := warm[0].Metrics.WorkerID
+
+	t.Cleanup(func() { inj.Set(faultnet.Faults{}) })
+	inj.Set(faultnet.Faults{StallAfterBytes: 32})
+
+	const calls, tasks = 10, 10
+	for i := 0; i < calls; i++ {
+		if _, err := m.Call("mllib", "classify", minipy.Int(int64(i)), minipy.Int(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < tasks; i++ {
+		if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 8}, minipy.Int(int64(i)), minipy.Int(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let some dispatches land on the host, then kill it.
+	time.Sleep(50 * time.Millisecond)
+	for _, w := range m.LocalWorkers() {
+		if w.ID() == host {
+			w.Shutdown()
+		}
+	}
+	results, err := m.Collect(calls+tasks, collectTimeout)
+	if err != nil {
+		t.Fatalf("collect under combined chaos: %v (stats %+v)", err, m.Stats())
+	}
+	okCount := 0
+	for _, r := range results {
+		if r.Ok {
+			okCount++
+		} else {
+			t.Logf("failed: id=%d err=%s", r.ID, r.Err)
+		}
+	}
+	if okCount != calls+tasks {
+		t.Errorf("%d of %d submissions completed (stats %+v)", okCount, calls+tasks, m.Stats())
+	}
+	waitQuiescent(t, m, 10*time.Second)
+}
+
+func TestRetryableFailureRetriesOnNewWorker(t *testing.T) {
+	// The only worker's cache cannot hold the environment, so every
+	// attempt fails with a retryable infrastructure error. The manager
+	// must keep the task alive through backoff retries until a capable
+	// worker joins, then place it there.
+	m, err := NewManager(Options{
+		MaxRetries:     30,
+		RetryBaseDelay: 20 * time.Millisecond,
+		RetryMaxDelay:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{CacheCapacity: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := m.Exec(appSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := FuncFrom(env, "classify_task")
+	wrapped, err := m.WrapFunction(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 2}, minipy.Int(1), minipy.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until at least one retry has happened on the tiny worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Stats().Retries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no retry observed: %+v", m.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// A capable worker joins; the avoid preference steers the retry to
+	// it and the task completes.
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := m.Collect(1, collectTimeout)
+	if err != nil {
+		t.Fatalf("collect: %v (stats %+v)", err, m.Stats())
+	}
+	if !results[0].Ok {
+		t.Fatalf("task failed after capable worker joined: %s", results[0].Err)
+	}
+	if got := results[0].Metrics.WorkerID; got != "w001" {
+		t.Errorf("task ran on %s, want the capable worker w001", got)
+	}
+	if m.Stats().Retries == 0 {
+		t.Errorf("stats lost the retries: %+v", m.Stats())
+	}
+	waitQuiescent(t, m, 5*time.Second)
+}
+
+func TestConcurrentGoodAndBadLibrarySubmissions(t *testing.T) {
+	// A library with a broken context setup and a healthy one receive
+	// interleaved submissions from concurrent goroutines. Every
+	// submission must resolve — good ones with values, bad ones with
+	// clean failures once the broken library is quarantined — and the
+	// manager's accounting must survive -race.
+	m := newTestManager(t, 2, Options{})
+	env, err := m.Exec(`
+def bad_setup():
+    raise "setup exploded"
+
+def bad_fn(x):
+    return x
+
+def good_fn(x):
+    return x * 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := m.CreateLibraryFromFunctions("badlib", LibraryOptions{ContextSetup: "bad_setup", Slots: 2}, env, "bad_fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := m.CreateLibraryFromFunctions("goodlib", LibraryOptions{Slots: 2}, env, "good_fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallLibrary(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallLibrary(good); err != nil {
+		t.Fatal(err)
+	}
+
+	const perLib = 10
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(libName, fnName string) {
+			defer wg.Done()
+			for i := 0; i < perLib; i++ {
+				if _, err := m.Call(libName, fnName, minipy.Int(int64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}([]string{"badlib", "goodlib"}[g], []string{"bad_fn", "good_fn"}[g])
+	}
+	wg.Wait()
+
+	results, err := m.Collect(2*perLib, collectTimeout)
+	if err != nil {
+		t.Fatalf("collect: %v (stats %+v)", err, m.Stats())
+	}
+	okCount := 0
+	for _, r := range results {
+		if r.Ok {
+			okCount++
+		} else if !strings.Contains(r.Err, "badlib") && !strings.Contains(r.Err, "setup exploded") {
+			t.Errorf("unexpected failure: %s", r.Err)
+		}
+	}
+	if okCount != perLib {
+		t.Errorf("%d good results, want %d (stats %+v)", okCount, perLib, m.Stats())
+	}
+	waitQuiescent(t, m, 5*time.Second)
 }

@@ -34,6 +34,7 @@ package taskvine
 import (
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"time"
 
@@ -66,6 +67,16 @@ type Options struct {
 	Index *pkgindex.Index
 	// Out receives application print output (nil discards).
 	Out io.Writer
+	// MaxRetries bounds how many times a retryable failure (worker
+	// loss, staging race) is retried before the failure is delivered.
+	// 0 means the default budget; negative disables retries.
+	MaxRetries int
+	// RetryBaseDelay is the first retry's backoff (doubling per
+	// attempt); zero uses the default.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff; zero uses the
+	// default.
+	RetryMaxDelay time.Duration
 }
 
 // WorkerOptions configures locally spawned workers.
@@ -75,6 +86,13 @@ type WorkerOptions struct {
 	GFlops        float64
 	CacheCapacity int64
 	Out           io.Writer
+	// PeerIOTimeout bounds how long a peer data transfer may sit idle
+	// before the worker abandons it; zero uses the worker default.
+	PeerIOTimeout time.Duration
+	// WrapDataListener, when set, wraps each worker's peer data
+	// listener — the hook fault-injection tests use to stall or cut
+	// transfers mid-stream.
+	WrapDataListener func(net.Listener) net.Listener
 }
 
 // Manager is the application-facing handle: it owns the network
@@ -127,6 +145,9 @@ func NewManager(opts Options) (*Manager, error) {
 		PeerTransferCap:     opts.PeerTransferCap,
 		ClusterAware:        opts.ClusterAware,
 		EvictEmptyLibraries: true,
+		MaxRetries:          opts.MaxRetries,
+		RetryBaseDelay:      opts.RetryBaseDelay,
+		RetryMaxDelay:       opts.RetryMaxDelay,
 	})
 	addr, err := inner.Listen()
 	if err != nil {
@@ -159,6 +180,12 @@ func (m *Manager) Interp() *minipy.Interp { return m.ip }
 // Stats exposes the manager's counters.
 func (m *Manager) Stats() manager.Stats { return m.inner.Stats() }
 
+// CheckQuiescence verifies the manager's bookkeeping is clean once all
+// submitted work has been collected: no outstanding transfers, no
+// pending files, no inflight work, no queued retries. Fault-injection
+// tests poll it to prove recovery paths leak nothing.
+func (m *Manager) CheckQuiescence() error { return m.inner.CheckQuiescence() }
+
 // LibraryDeployments reports deployed library instances and their
 // total share value.
 func (m *Manager) LibraryDeployments() (int, int64) { return m.inner.LibraryDeployments() }
@@ -183,16 +210,21 @@ func (m *Manager) SpawnLocalWorkers(n int, wo WorkerOptions) error {
 	before := m.nworker
 	m.nworker += n
 	m.mu.Unlock()
+	// Wait relative to the live count, not the cumulative spawn count:
+	// workers spawned earlier may have died since.
+	target := m.inner.WorkersConnected() + n
 	for i := 0; i < n; i++ {
 		cfg := worker.Config{
-			ID:            fmt.Sprintf("w%03d", before+i),
-			Resources:     wo.Resources,
-			Cluster:       wo.Cluster,
-			GFlops:        wo.GFlops,
-			CacheCapacity: wo.CacheCapacity,
-			Registry:      modlib.Standard(),
-			SharedFS:      m.fs,
-			Out:           wo.Out,
+			ID:               fmt.Sprintf("w%03d", before+i),
+			Resources:        wo.Resources,
+			Cluster:          wo.Cluster,
+			GFlops:           wo.GFlops,
+			CacheCapacity:    wo.CacheCapacity,
+			Registry:         modlib.Standard(),
+			SharedFS:         m.fs,
+			Out:              wo.Out,
+			PeerIOTimeout:    wo.PeerIOTimeout,
+			WrapDataListener: wo.WrapDataListener,
 		}
 		w := worker.New(cfg)
 		if err := w.Connect(m.addr); err != nil {
@@ -202,7 +234,7 @@ func (m *Manager) SpawnLocalWorkers(n int, wo WorkerOptions) error {
 		m.workers = append(m.workers, w)
 		m.mu.Unlock()
 	}
-	return m.inner.WaitForWorkers(before+n, 10*time.Second)
+	return m.inner.WaitForWorkers(target, 10*time.Second)
 }
 
 // LocalWorkers returns handles to the in-process workers (tests).
