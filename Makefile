@@ -4,10 +4,12 @@
 
 all: check
 
-# The pre-merge gate: vet + build, the plain suite, and the full suite
+# The pre-merge gate: vet + build, the plain suite, the full suite
 # under the race detector (the chaos tests exercise the manager's
-# failure paths concurrently, so -race is load-bearing here).
-check: build test race
+# failure paths concurrently, so -race is load-bearing here), and a
+# one-iteration dispatch-throughput smoke run so the hot path cannot
+# silently stop compiling or deadlock.
+check: build test race benchsmoke
 
 build:
 	go build ./...
@@ -19,9 +21,17 @@ test:
 race:
 	go test -race ./...
 
-# One Go benchmark per paper table/figure (reduced scale).
+benchsmoke:
+	go test -run '^$$' -bench DispatchThroughput -benchtime 1x .
+
+# One Go benchmark per paper table/figure (reduced scale), plus the
+# manager dispatch-throughput benchmark, written to BENCH_PR2.json with
+# the pre-change dispatch baseline alongside.
 bench:
-	go test -bench=. -benchmem .
+	go test -run '^$$' -bench=. -benchmem . | go run ./cmd/benchjson \
+		-o BENCH_PR2.json \
+		-note "dispatch benchmark: 64 in-process workers x 16 slots, no-op invocations; sim_s metrics are simulated seconds at 1/20 scale" \
+		-baseline-inv-s 5496 -baseline-ns-dispatch 181957
 
 # Every table and figure at paper scale (~10 s).
 experiments:

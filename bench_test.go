@@ -196,6 +196,73 @@ func BenchmarkMiniPyCall(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatchThroughput measures the manager's dispatch-loop
+// throughput at engine scale: bursts of no-op invocations fan out over
+// 64 in-process workers (real TCP, real libraries), and the benchmark
+// reports invocations/sec and ns/dispatch. This is the §4 critical
+// path — the manager must stay off it while invocations fan out — and
+// the number BENCH_PR2.json tracks across PRs. Profile the dispatch
+// path with the standard harness hooks:
+//
+//	go test -run '^$' -bench DispatchThroughput -cpuprofile cpu.out .
+func BenchmarkDispatchThroughput(b *testing.B) {
+	const (
+		workers = 64
+		slots   = 16
+		// batch is roughly twice the cluster's slot capacity, so a
+		// pending backlog forms and the scheduler's per-event cost is
+		// what the benchmark measures (the paper's regime: 100k
+		// invocations over 2400 slots).
+		batch = 2000
+	)
+	m, err := taskvine.NewManager(taskvine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown()
+	if err := m.SpawnLocalWorkers(workers, taskvine.WorkerOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	env, err := m.Exec("def noop(x):\n    return x\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := m.CreateLibraryFromFunctions("dispatch", taskvine.LibraryOptions{Slots: slots}, env, "noop")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.InstallLibrary(lib); err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up burst: deploy library instances across the workers so the
+	// measured loop exercises dispatch, not deployment.
+	for j := 0; j < batch; j++ {
+		if _, err := m.Call("dispatch", "noop", minipy.Int(int64(j))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := m.Collect(batch, 2*time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			if _, err := m.Call("dispatch", "noop", minipy.Int(int64(j))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := m.Collect(batch, 2*time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*batch)/elapsed, "inv/s")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/dispatch")
+}
+
 // BenchmarkEndToEndInvocation measures one real FunctionCall through
 // the live engine (manager, TCP, worker, library) — the Remote
 // Invocation row of Table 2 on real sockets.

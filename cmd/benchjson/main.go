@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson -o BENCH_PR2.json \
+//	    -baseline-inv-s 5496 -baseline-ns-dispatch 181957
+//
+// Every benchmark line is captured with all its metrics (ns/op plus
+// custom ones like sim_s, inv/s, ns/dispatch, B/op). When a dispatch
+// baseline is supplied and BenchmarkDispatchThroughput is present, the
+// report also carries the before/after numbers and the speedup, so the
+// regression gate is one file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Note       string      `json:"note,omitempty"`
+	Baseline   *Dispatch   `json:"dispatch_baseline,omitempty"`
+	Current    *Dispatch   `json:"dispatch_current,omitempty"`
+	SpeedupX   float64     `json:"dispatch_speedup_x,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Dispatch summarizes one side of the dispatch-throughput comparison.
+type Dispatch struct {
+	InvPerSec float64 `json:"inv_per_s"`
+	NsPerDisp float64 `json:"ns_per_dispatch"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form note stored in the report")
+	baseInv := flag.Float64("baseline-inv-s", 0, "pre-change dispatch throughput (inv/s)")
+	baseNs := flag.Float64("baseline-ns-dispatch", 0, "pre-change ns/dispatch")
+	flag.Parse()
+
+	rep := Report{Note: *note, Benchmarks: []Benchmark{}}
+	if *baseInv > 0 {
+		rep.Baseline = &Dispatch{InvPerSec: *baseInv, NsPerDisp: *baseNs}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		b, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		if strings.HasPrefix(b.Name, "DispatchThroughput") {
+			rep.Current = &Dispatch{InvPerSec: b.Metrics["inv/s"], NsPerDisp: b.Metrics["ns/dispatch"]}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if rep.Baseline != nil && rep.Current != nil && rep.Baseline.InvPerSec > 0 {
+		rep.SpeedupX = round2(rep.Current.InvPerSec / rep.Baseline.InvPerSec)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}
+
+// parseLine handles the standard testing output shape:
+//
+//	BenchmarkName-8   120   9 ns/op   42 custom/unit   16 B/op   2 allocs/op
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the GOMAXPROCS suffix if numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

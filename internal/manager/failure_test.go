@@ -2,6 +2,7 @@ package manager
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,12 +26,12 @@ func fakeWorker(m *Manager, id string) *workerState {
 		files:        map[string]bool{},
 		pending:      map[string]bool{},
 		fetchSources: map[string]string{},
+		ackWaiters:   map[string][]*inflightEntry{},
 		libs:         map[string]*libInstance{},
 		alive:        true,
 	}
 	m.mu.Lock()
-	m.workers[id] = w
-	m.ring.Add(id)
+	m.registerWorkerLocked(w)
 	m.mu.Unlock()
 	return w
 }
@@ -92,10 +93,11 @@ func TestWorkerGoneRequeuesWithinBudget(t *testing.T) {
 
 	m.onWorkerGone(lost)
 
+	requeued := m.Stats().Requeued
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.stats.Requeued != 1 || m.retries[7] != 1 {
-		t.Errorf("requeued=%d retries=%d", m.stats.Requeued, m.retries[7])
+	if requeued != 1 || m.retries[7] != 1 {
+		t.Errorf("requeued=%d retries=%d", requeued, m.retries[7])
 	}
 	// The schedule pass after requeue must have placed it on the
 	// survivor, not the dead worker.
@@ -128,10 +130,11 @@ func TestWorkerGoneFailsWhenBudgetExhausted(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("no failure delivered")
 	}
+	failures := m.Stats().Failures
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.stats.Failures != 1 || len(m.retries) != 0 || len(m.avoid) != 0 {
-		t.Errorf("failures=%d retries=%v avoid=%v", m.stats.Failures, m.retries, m.avoid)
+	if failures != 1 || len(m.retries) != 0 || len(m.avoid) != 0 {
+		t.Errorf("failures=%d retries=%v avoid=%v", failures, m.retries, m.avoid)
 	}
 }
 
@@ -147,7 +150,7 @@ func TestFailedPeerFetchRestagesFromManager(t *testing.T) {
 	m.mu.Lock()
 	m.catalog[obj.ID] = fs
 	src.transfersOut = 1
-	dst.pending[obj.ID] = true
+	m.notePendingLocked(dst, obj.ID)
 	dst.fetchSources[obj.ID] = "src"
 	m.mu.Unlock()
 
@@ -160,8 +163,8 @@ func TestFailedPeerFetchRestagesFromManager(t *testing.T) {
 		t.Errorf("restaged = %d", m.Stats().Restaged)
 	}
 	msgs := drainMsgs(dst)
-	if len(msgs) != 1 || msgs[0].t != proto.MsgPutFile {
-		t.Fatalf("expected one PutFile re-stage, got %v", msgs)
+	if len(msgs) != 1 || msgs[0].t != proto.MsgPutFileBulk {
+		t.Fatalf("expected one bulk PutFile re-stage, got %v", msgs)
 	}
 	if !dst.pending[obj.ID] {
 		t.Errorf("re-staged object not marked pending")
@@ -176,7 +179,7 @@ func TestFailedDirectSendDoesNotRestage(t *testing.T) {
 	obj := content.NewBlob("big", []byte("payload"))
 	m.mu.Lock()
 	m.catalog[obj.ID] = core.FileSpec{Object: obj, Cache: true}
-	dst.pending[obj.ID] = true
+	m.notePendingLocked(dst, obj.ID)
 	m.mu.Unlock()
 
 	m.onFileAck(dst, proto.FileAck{ID: obj.ID, Ok: false, Err: "cache full"})
@@ -199,14 +202,16 @@ func TestTransferTimeMeasuresDispatchToAck(t *testing.T) {
 	task.ID = 3
 	task.Inputs = []core.FileSpec{{Object: obj, Cache: true}}
 	m.mu.Lock()
-	w.pending[obj.ID] = true
+	m.notePendingLocked(w, obj.ID)
 	w.commit = w.commit.Add(task.Resources)
-	m.inflight[3] = &inflightEntry{
+	e := &inflightEntry{
 		worker:  "w",
 		task:    task,
 		sentAt:  time.Now(),
 		waiting: map[string]bool{obj.ID: true},
 	}
+	m.inflight[3] = e
+	w.ackWaiters[obj.ID] = append(w.ackWaiters[obj.ID], e)
 	m.mu.Unlock()
 
 	const wire = 25 * time.Millisecond
@@ -267,7 +272,7 @@ func TestRepeatedLibraryFailureFailsPendingInvocations(t *testing.T) {
 	spec := &core.LibrarySpec{Name: "bad", Functions: []core.FunctionSpec{{Name: "f", Source: "def f():\n    return 1\n"}}}
 	m.mu.Lock()
 	m.libSpecs["bad"] = spec
-	m.pendingInvs = append(m.pendingInvs, &core.InvocationSpec{ID: 11, Library: "bad", Function: "f"})
+	m.enqueueInvLocked(&core.InvocationSpec{ID: 11, Library: "bad", Function: "f"})
 	m.mu.Unlock()
 
 	for i := 0; i < maxLibraryFailures; i++ {
@@ -287,8 +292,8 @@ func TestRepeatedLibraryFailureFailsPendingInvocations(t *testing.T) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if len(m.pendingInvs) != 0 {
-		t.Errorf("%d invocations still pending for a quarantined library", len(m.pendingInvs))
+	if m.pendingInvCount != 0 {
+		t.Errorf("%d invocations still pending for a quarantined library", m.pendingInvCount)
 	}
 }
 
@@ -306,8 +311,8 @@ func TestEvictEmptyAccounting(t *testing.T) {
 	if _, there := w.libs["idle"]; there || w.commit.Cores != 0 {
 		t.Errorf("after evict: libs=%v commit=%+v", w.libs, w.commit)
 	}
-	if m.stats.LibrariesEvicted != 1 {
-		t.Errorf("evicted = %d", m.stats.LibrariesEvicted)
+	if n := atomic.LoadInt64(&m.stats.LibrariesEvicted); n != 1 {
+		t.Errorf("evicted = %d", n)
 	}
 	m.mu.Unlock()
 	msgs := drainMsgs(w)
@@ -385,9 +390,10 @@ func TestRetryableResultRetriesWithBackoff(t *testing.T) {
 
 	m.onResult(w, core.Result{ID: 5, Ok: false, Retryable: true, Err: "input not staged"})
 
+	retries := m.Stats().Retries
 	m.mu.Lock()
-	if m.stats.Retries != 1 || m.retries[5] != 1 || m.avoid[5] != "w" || m.backoffs != 1 {
-		t.Errorf("retries=%d avoid=%v backoffs=%d", m.stats.Retries, m.avoid, m.backoffs)
+	if retries != 1 || m.retries[5] != 1 || m.avoid[5] != "w" || m.backoffs != 1 {
+		t.Errorf("retries=%d avoid=%v backoffs=%d", retries, m.avoid, m.backoffs)
 	}
 	m.mu.Unlock()
 

@@ -1,0 +1,319 @@
+package manager
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// This file maintains the scheduler's incremental indexes. The paper's
+// headline result (§4) needs the manager off the critical path while
+// invocations fan out; the original engine re-ran a full schedule scan
+// of every pending spec against every worker after every event. The
+// indexes below make each event O(1)/O(candidates):
+//
+//   - readyFree  (§3.5.2): library → workers holding a ready instance
+//     with at least one free slot, so ready-instance placement never
+//     walks the ring.
+//   - holders    (§3.3): object → workers holding a confirmed replica,
+//     so picking a peer-transfer source only looks at actual holders,
+//     and ObjectHolders is a counter read.
+//   - pendingCopies (§3.3): object → number of in-flight copies, so
+//     the "first copy in flight, everyone else waits" check is O(1).
+//   - objWaiters: object → the placements its arrival could unblock,
+//     so a FileAck wakes exactly those queues.
+//   - per-worker ackWaiters: object → dispatches on that worker still
+//     waiting for the ack (TransferTime stamping without scanning the
+//     whole inflight table).
+//
+// All functions here require m.mu unless noted. The randomized
+// consistency test (index_test.go) asserts these structures always
+// match a brute-force recomputation from ground-truth worker state.
+
+// objWaiter records which placements a blocked object is holding up.
+type objWaiter struct {
+	tasks bool
+	libs  map[string]bool
+}
+
+// ---- dirty marks + coalesced wakeups ----
+
+// markTasksDirtyLocked queues a reconsideration of pending tasks.
+func (m *Manager) markTasksDirtyLocked() { m.dirtyTasks = true }
+
+// markLibDirtyLocked queues a reconsideration of one library's pending
+// invocations.
+func (m *Manager) markLibDirtyLocked(lib string) {
+	if m.dirtyAllLibs {
+		return
+	}
+	if m.dirtyLibs == nil {
+		m.dirtyLibs = map[string]bool{}
+	}
+	m.dirtyLibs[lib] = true
+}
+
+// markAllLibsDirtyLocked queues a reconsideration of every library with
+// pending invocations (worker churn, freed capacity).
+func (m *Manager) markAllLibsDirtyLocked() {
+	m.dirtyAllLibs = true
+	m.dirtyLibs = nil
+}
+
+// wakeCapacityLocked marks everything that competes for worker
+// resources: pending tasks and every library still waiting to deploy.
+func (m *Manager) wakeCapacityLocked() {
+	m.markTasksDirtyLocked()
+	m.markAllLibsDirtyLocked()
+}
+
+func (m *Manager) hasDirtyLocked() bool {
+	return m.dirtyTasks || m.dirtyAllLibs || len(m.dirtyLibs) > 0
+}
+
+// wake runs schedule passes until no dirty marks remain. If another
+// goroutine is already inside the loop, wake returns immediately — the
+// running scheduler will observe the new marks on its next iteration.
+// This is the coalescing rule: a burst of N acks arriving while a pass
+// runs triggers one follow-up pass, not N.
+func (m *Manager) wake() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.scheduling || m.closed {
+		atomic.AddInt64(&m.stats.CoalescedWakeups, 1)
+		return
+	}
+	m.scheduling = true
+	for m.hasDirtyLocked() && !m.closed {
+		tasks := m.dirtyTasks
+		allLibs := m.dirtyAllLibs
+		libs := m.dirtyLibs
+		m.dirtyTasks, m.dirtyAllLibs, m.dirtyLibs = false, false, nil
+
+		atomic.AddInt64(&m.stats.SchedulePasses, 1)
+		if tasks {
+			m.scheduleTasksLocked()
+		}
+		if allLibs {
+			for lib := range m.pendingInvs {
+				m.scheduleLibQueueLocked(lib)
+			}
+		} else {
+			for lib := range libs {
+				m.scheduleLibQueueLocked(lib)
+			}
+		}
+		// Release briefly so event handlers blocked on the lock can
+		// record their dirty marks (and coalesce) before the re-check.
+		m.mu.Unlock()
+		m.mu.Lock()
+	}
+	m.scheduling = false
+}
+
+// ---- pending queues ----
+
+// taskRingKey is the consistent-hash key for a task, precomputed once
+// per spec instead of fmt.Sprintf on every placement attempt.
+func taskRingKey(id int64) string {
+	return "task-" + strconv.FormatInt(id, 10)
+}
+
+// enqueueInvLocked appends an invocation to its library's wait queue.
+func (m *Manager) enqueueInvLocked(inv *core.InvocationSpec) {
+	m.pendingInvs[inv.Library] = append(m.pendingInvs[inv.Library], inv)
+	m.pendingInvCount++
+	m.markLibDirtyLocked(inv.Library)
+}
+
+// ---- replica (holders) index ----
+
+// noteReplicaLocked records a confirmed cached copy of an object on a
+// worker, keeping the holders index and the lock-free observability
+// counter in sync.
+func (m *Manager) noteReplicaLocked(w *workerState, id string) {
+	if w.files[id] {
+		return
+	}
+	w.files[id] = true
+	set := m.holders[id]
+	if set == nil {
+		set = map[string]*workerState{}
+		m.holders[id] = set
+	}
+	set[w.id] = w
+	m.setHolderCount(id, len(set))
+}
+
+// dropReplicaLocked removes one worker's replica (worker death).
+func (m *Manager) dropReplicaLocked(w *workerState, id string) {
+	if !w.files[id] {
+		return
+	}
+	delete(w.files, id)
+	if set := m.holders[id]; set != nil {
+		delete(set, w.id)
+		if len(set) == 0 {
+			delete(m.holders, id)
+			m.setHolderCount(id, 0)
+		} else {
+			m.setHolderCount(id, len(set))
+		}
+	}
+}
+
+// setHolderCount publishes the replica count under its own lock so
+// ObjectHolders never contends with the scheduler.
+func (m *Manager) setHolderCount(id string, n int) {
+	m.obsMu.Lock()
+	if n == 0 {
+		delete(m.holderCount, id)
+	} else {
+		m.holderCount[id] = n
+	}
+	m.obsMu.Unlock()
+}
+
+// ---- in-flight copy index ----
+
+// notePendingLocked records that a copy of the object is in flight to
+// the worker.
+func (m *Manager) notePendingLocked(w *workerState, id string) {
+	if w.pending[id] {
+		return
+	}
+	w.pending[id] = true
+	m.pendingCopies[id]++
+}
+
+// clearPendingLocked removes the in-flight record, reporting whether
+// one existed. The count is guarded against state written behind the
+// mutators' back (synthetic test workers).
+func (m *Manager) clearPendingLocked(w *workerState, id string) bool {
+	if !w.pending[id] {
+		return false
+	}
+	delete(w.pending, id)
+	if n := m.pendingCopies[id]; n > 1 {
+		m.pendingCopies[id] = n - 1
+	} else {
+		delete(m.pendingCopies, id)
+	}
+	return true
+}
+
+// ---- ready-instance index (§3.5.2) ----
+
+// libSlotsChangedLocked re-derives one instance's membership in the
+// readyFree index after any slot or readiness transition.
+func (m *Manager) libSlotsChangedLocked(w *workerState, li *libInstance) {
+	slots := 1
+	if spec := m.libSpecs[li.name]; spec != nil {
+		slots = spec.SlotCount()
+	}
+	if li.ready && !li.failed && w.alive && li.slotsUsed < slots {
+		set := m.readyFree[li.name]
+		if set == nil {
+			set = map[string]*workerState{}
+			m.readyFree[li.name] = set
+		}
+		set[w.id] = w
+		return
+	}
+	m.removeReadyLocked(li.name, w.id)
+}
+
+// decLibOnLocked decrements a library's deployed-instance count
+// (failed install, eviction, worker death). Entries added behind the
+// mutators' back (synthetic test workers) leave the count under-stated,
+// which only costs a redundant ring walk — never a skipped deploy.
+func (m *Manager) decLibOnLocked(lib string) {
+	if n := m.libOn[lib]; n > 1 {
+		m.libOn[lib] = n - 1
+	} else {
+		delete(m.libOn, lib)
+	}
+}
+
+// removeReadyLocked drops a worker from a library's ready-free set
+// (eviction, death, failed install, full slots).
+func (m *Manager) removeReadyLocked(lib, workerID string) {
+	set := m.readyFree[lib]
+	if set == nil {
+		return
+	}
+	delete(set, workerID)
+	if len(set) == 0 {
+		delete(m.readyFree, lib)
+	}
+}
+
+// ---- blocked-placement wait queues ----
+
+// addObjWaiterLocked registers interest in an object's next FileAck:
+// either the task queue (lib == "") or one library's queue.
+func (m *Manager) addObjWaiterLocked(id, lib string) {
+	ww := m.objWaiters[id]
+	if ww == nil {
+		ww = &objWaiter{}
+		m.objWaiters[id] = ww
+	}
+	if lib == "" {
+		ww.tasks = true
+		return
+	}
+	if ww.libs == nil {
+		ww.libs = map[string]bool{}
+	}
+	ww.libs[lib] = true
+}
+
+// wakeObjWaitersLocked marks dirty exactly the queues an object event
+// (ack, failed transfer, holder death) could unblock.
+func (m *Manager) wakeObjWaitersLocked(id string) {
+	ww := m.objWaiters[id]
+	if ww == nil {
+		return
+	}
+	delete(m.objWaiters, id)
+	if ww.tasks {
+		m.markTasksDirtyLocked()
+	}
+	for lib := range ww.libs {
+		m.markLibDirtyLocked(lib)
+	}
+}
+
+// ---- worker lifecycle ----
+
+// registerWorkerLocked adds a connected worker to the worker table and
+// the placement ring.
+func (m *Manager) registerWorkerLocked(w *workerState) {
+	m.workers[w.id] = w
+	m.ring.Add(w.id)
+}
+
+// dropWorkerLocked removes a dead worker from every index: its ready
+// instances, its replicas, its in-flight copies (waking anything queued
+// behind a first copy that will now never confirm), and its ack
+// waiters.
+func (m *Manager) dropWorkerLocked(w *workerState) {
+	delete(m.workers, w.id)
+	m.ring.Remove(w.id)
+	w.alive = false
+	for name := range w.libs {
+		m.removeReadyLocked(name, w.id)
+		m.decLibOnLocked(name)
+	}
+	for id := range w.files {
+		m.dropReplicaLocked(w, id)
+	}
+	for id := range w.pending {
+		m.clearPendingLocked(w, id)
+		if m.pendingCopies[id] == 0 {
+			m.wakeObjWaitersLocked(id)
+		}
+	}
+	w.ackWaiters = nil
+}

@@ -1,0 +1,272 @@
+package manager
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/content"
+	"repro/internal/core"
+)
+
+// TestIndexConsistencyRandomized drives the scheduler's incremental
+// indexes through 1000 random events — worker joins and deaths, file
+// staging and acks (success and failure), library deploys, ready acks,
+// failed installs, slot take/release, and evictions — and after every
+// operation asserts each index matches a brute-force recomputation
+// from the ground-truth worker state. A concurrent goroutine hammers
+// the lock-free observability APIs (Stats, ObjectHolders) the whole
+// time, so running under -race also checks the obsMu split.
+func TestIndexConsistencyRandomized(t *testing.T) {
+	m := New(Options{PeerTransfers: true, EvictEmptyLibraries: true})
+	rng := rand.New(rand.NewSource(42))
+
+	libs := []string{"libA", "libB", "libC"}
+	objs := []string{"o1", "o2", "o3", "o4", "o5", "o6"}
+	m.mu.Lock()
+	for _, name := range libs {
+		m.libSpecs[name] = &core.LibrarySpec{Name: name, Slots: 2}
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		obj := &content.Object{ID: objs[0]}
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				m.Stats()
+				m.ObjectHolders(obj)
+			}
+		}
+	}()
+	defer close(done)
+
+	newWorker := func(i int) *workerState {
+		return &workerState{
+			id:           fmt.Sprintf("w%03d", i),
+			sendq:        make(chan outMsg, 4096),
+			total:        core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10},
+			files:        map[string]bool{},
+			pending:      map[string]bool{},
+			fetchSources: map[string]string{},
+			ackWaiters:   map[string][]*inflightEntry{},
+			libs:         map[string]*libInstance{},
+			alive:        true,
+		}
+	}
+	var live []*workerState
+	nextWorker, nextInv := 0, int64(0)
+
+	pickWorker := func() *workerState {
+		if len(live) == 0 {
+			return nil
+		}
+		return live[rng.Intn(len(live))]
+	}
+
+	// verify recomputes every index from the worker table and compares.
+	verify := func(step int, op string) {
+		t.Helper()
+		wantHolders := map[string]map[string]bool{}
+		wantPending := map[string]int{}
+		wantLibOn := map[string]int{}
+		wantReady := map[string]map[string]bool{}
+		for id, w := range m.workers {
+			for obj := range w.files {
+				if wantHolders[obj] == nil {
+					wantHolders[obj] = map[string]bool{}
+				}
+				wantHolders[obj][id] = true
+			}
+			for obj := range w.pending {
+				wantPending[obj]++
+			}
+			for name, li := range w.libs {
+				wantLibOn[name]++
+				slots := 1
+				if spec := m.libSpecs[name]; spec != nil {
+					slots = spec.SlotCount()
+				}
+				if li.ready && !li.failed && w.alive && li.slotsUsed < slots {
+					if wantReady[name] == nil {
+						wantReady[name] = map[string]bool{}
+					}
+					wantReady[name][id] = true
+				}
+			}
+		}
+
+		if len(m.holders) != len(wantHolders) {
+			t.Fatalf("step %d (%s): holders has %d objects, want %d", step, op, len(m.holders), len(wantHolders))
+		}
+		for obj, set := range wantHolders {
+			got := m.holders[obj]
+			if len(got) != len(set) {
+				t.Fatalf("step %d (%s): holders[%s] has %d workers, want %d", step, op, obj, len(got), len(set))
+			}
+			for id := range set {
+				if got[id] == nil {
+					t.Fatalf("step %d (%s): holders[%s] missing %s", step, op, obj, id)
+				}
+			}
+		}
+		if len(m.pendingCopies) != len(wantPending) {
+			t.Fatalf("step %d (%s): pendingCopies has %d objects, want %d", step, op, len(m.pendingCopies), len(wantPending))
+		}
+		for obj, n := range wantPending {
+			if m.pendingCopies[obj] != n {
+				t.Fatalf("step %d (%s): pendingCopies[%s] = %d, want %d", step, op, obj, m.pendingCopies[obj], n)
+			}
+		}
+		if len(m.libOn) != len(wantLibOn) {
+			t.Fatalf("step %d (%s): libOn has %d libraries, want %d", step, op, len(m.libOn), len(wantLibOn))
+		}
+		for name, n := range wantLibOn {
+			if m.libOn[name] != n {
+				t.Fatalf("step %d (%s): libOn[%s] = %d, want %d", step, op, name, m.libOn[name], n)
+			}
+		}
+		if len(m.readyFree) != len(wantReady) {
+			t.Fatalf("step %d (%s): readyFree has %d libraries, want %d", step, op, len(m.readyFree), len(wantReady))
+		}
+		for name, set := range wantReady {
+			got := m.readyFree[name]
+			if len(got) != len(set) {
+				t.Fatalf("step %d (%s): readyFree[%s] has %d workers, want %d", step, op, name, len(got), len(set))
+			}
+			for id := range set {
+				if got[id] == nil {
+					t.Fatalf("step %d (%s): readyFree[%s] missing %s", step, op, name, id)
+				}
+			}
+		}
+		m.obsMu.RLock()
+		counts := make(map[string]int, len(m.holderCount))
+		for obj, n := range m.holderCount {
+			counts[obj] = n
+		}
+		m.obsMu.RUnlock()
+		if len(counts) != len(wantHolders) {
+			t.Fatalf("step %d (%s): holderCount has %d objects, want %d", step, op, len(counts), len(wantHolders))
+		}
+		for obj, set := range wantHolders {
+			if counts[obj] != len(set) {
+				t.Fatalf("step %d (%s): holderCount[%s] = %d, want %d", step, op, obj, counts[obj], len(set))
+			}
+		}
+	}
+
+	drain := func() {
+		for _, w := range live {
+			for {
+				select {
+				case <-w.sendq:
+				default:
+					goto next
+				}
+			}
+		next:
+		}
+	}
+
+	const steps = 1000
+	for step := 0; step < steps; step++ {
+		m.mu.Lock()
+		op := "noop"
+		switch k := rng.Intn(12); k {
+		case 0: // join
+			if len(live) < 8 {
+				op = "join"
+				w := newWorker(nextWorker)
+				nextWorker++
+				m.registerWorkerLocked(w)
+				live = append(live, w)
+			}
+		case 1: // death
+			if len(live) > 1 && rng.Intn(4) == 0 {
+				op = "death"
+				i := rng.Intn(len(live))
+				m.dropWorkerLocked(live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+		case 2: // stage a copy
+			if w := pickWorker(); w != nil {
+				op = "stage"
+				m.notePendingLocked(w, objs[rng.Intn(len(objs))])
+			}
+		case 3: // file ack ok
+			if w := pickWorker(); w != nil {
+				op = "ack-ok"
+				obj := objs[rng.Intn(len(objs))]
+				if m.clearPendingLocked(w, obj) {
+					m.noteReplicaLocked(w, obj)
+				}
+			}
+		case 4: // file ack failed
+			if w := pickWorker(); w != nil {
+				op = "ack-fail"
+				m.clearPendingLocked(w, objs[rng.Intn(len(objs))])
+			}
+		case 5: // deploy a library
+			if w := pickWorker(); w != nil {
+				name := libs[rng.Intn(len(libs))]
+				if w.libs[name] == nil {
+					op = "deploy"
+					m.deployLibraryLocked(w, m.libSpecs[name], core.Resources{Cores: 2})
+				}
+			}
+		case 6: // library ack ok
+			if w := pickWorker(); w != nil {
+				name := libs[rng.Intn(len(libs))]
+				if li := w.libs[name]; li != nil && !li.ready && !li.failed {
+					op = "lib-ok"
+					li.ready = true
+					m.libSlotsChangedLocked(w, li)
+				}
+			}
+		case 7: // library ack failed
+			if w := pickWorker(); w != nil {
+				name := libs[rng.Intn(len(libs))]
+				if li := w.libs[name]; li != nil && !li.ready {
+					op = "lib-fail"
+					li.failed = true
+					delete(w.libs, name)
+					m.decLibOnLocked(name)
+					m.removeReadyLocked(name, w.id)
+				}
+			}
+		case 8: // place an invocation on a ready instance
+			name := libs[rng.Intn(len(libs))]
+			inv := &core.InvocationSpec{ID: nextInv, Library: name}
+			nextInv++
+			if m.placeInvocationOnReadyLocked(inv, m.libSpecs[name], "") {
+				op = "place"
+			}
+		case 9: // invocation result frees a slot
+			if w := pickWorker(); w != nil {
+				name := libs[rng.Intn(len(libs))]
+				if li := w.libs[name]; li != nil && li.slotsUsed > 0 {
+					op = "result"
+					li.slotsUsed--
+					m.libSlotsChangedLocked(w, li)
+				}
+			}
+		case 10: // evict everything idle on one worker
+			if w := pickWorker(); w != nil {
+				op = "evict"
+				m.evictEmptyLocked(w, "", core.Resources{Cores: 1 << 30})
+			}
+		case 11: // spurious clear (retry path re-acking an unknown copy)
+			if w := pickWorker(); w != nil {
+				op = "spurious-clear"
+				m.clearPendingLocked(w, "unknown-object")
+			}
+		}
+		verify(step, op)
+		drain()
+		m.mu.Unlock()
+	}
+}

@@ -4,12 +4,18 @@
 // invocations, deploys library instances on demand around a hash ring
 // of workers, evicts empty libraries to reclaim resources (§3.5.2),
 // and retrieves results.
+//
+// Scheduling is incremental: every event records which queues it could
+// unblock (dirty marks, index.go) and the wake loop runs one coalesced
+// pass over exactly those queues, instead of rescanning every pending
+// spec against every worker after every event.
 package manager
 
 import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -51,7 +57,9 @@ type Options struct {
 	RetryMaxDelay time.Duration
 }
 
-// Stats counts manager-side activity for tests and experiments.
+// Stats counts manager-side activity for tests and experiments. All
+// fields are maintained with atomic adds so Stats() never takes the
+// scheduler lock.
 type Stats struct {
 	DirectTransfers   int64 // manager→worker file sends
 	PeerTransfers     int64 // worker→worker file sends
@@ -63,6 +71,8 @@ type Stats struct {
 	Requeued          int64 // specs requeued because their worker died
 	Retries           int64 // retryable failed results re-dispatched
 	Restaged          int64 // failed peer fetches re-staged from the manager
+	SchedulePasses    int64 // coalesced scheduling passes executed
+	CoalescedWakeups  int64 // wakeups absorbed by an already-running pass
 }
 
 // Manager coordinates workers.
@@ -79,9 +89,13 @@ type Manager struct {
 	// deployment failures per library, bounded separately from
 	// broken-setup failures.
 	libInfraFailures map[string]int
-	pendingTasks     []*core.TaskSpec
-	pendingInvs      []*core.InvocationSpec
-	inflight         map[int64]*inflightEntry
+	pendingTasks     []pendingTask
+	// pendingInvs queues invocations per library, so an event touching
+	// one library reconsiders only that library's queue. Order within a
+	// queue is submission order.
+	pendingInvs     map[string][]*core.InvocationSpec
+	pendingInvCount int
+	inflight        map[int64]*inflightEntry
 	// retries counts, per spec ID, how many times the work has been
 	// re-dispatched (crash requeues + retryable failures).
 	retries map[int64]int
@@ -99,13 +113,47 @@ type Manager struct {
 	stats    Stats
 	closed   bool
 
+	// ---- scheduler indexes (maintained by index.go) ----
+
+	// holders: object ID → workers with a confirmed cached replica.
+	holders map[string]map[string]*workerState
+	// pendingCopies: object ID → number of copies in flight cluster-wide.
+	pendingCopies map[string]int
+	// readyFree: library → workers with a ready instance and ≥1 free slot.
+	readyFree map[string]map[string]*workerState
+	// libOn: library → number of workers holding an instance (installing
+	// or ready); lets the deploy path skip its ring walk outright when
+	// the library is already everywhere.
+	libOn map[string]int
+	// objWaiters: object ID → queues blocked on its first copy.
+	objWaiters map[string]*objWaiter
+
+	// ---- dirty marks for the coalesced wake loop ----
+	dirtyTasks   bool
+	dirtyAllLibs bool
+	dirtyLibs    map[string]bool
+	scheduling   bool
+
+	// obsMu guards holderCount so ObjectHolders reads never contend
+	// with the scheduler.
+	obsMu       sync.RWMutex
+	holderCount map[string]int
+
 	results chan core.Result
 	wg      sync.WaitGroup
+}
+
+// pendingTask pairs a queued task with its precomputed ring key, so
+// placement attempts never re-format it.
+type pendingTask struct {
+	t   *core.TaskSpec
+	key string
 }
 
 type inflightEntry struct {
 	worker  string
 	library string // "" for plain tasks
+	ringKey string // tasks only: consistent-hash key, reused on requeue
 	task    *core.TaskSpec
 	inv     *core.InvocationSpec
 	sentAt  time.Time
@@ -118,6 +166,10 @@ type inflightEntry struct {
 type outMsg struct {
 	t proto.MsgType
 	v any
+	// bulk frames carry v as a JSON header and payload as raw bytes
+	// (proto.SendBulk) — no base64, no second buffer.
+	bulk    bool
+	payload []byte
 }
 
 type workerState struct {
@@ -133,6 +185,9 @@ type workerState struct {
 	// fetchSources maps object ID → source worker of an in-flight peer
 	// fetch, to release the source's transfer slot on ack.
 	fetchSources map[string]string
+	// ackWaiters maps object ID → dispatches on this worker whose
+	// TransferTime is waiting for that object's FileAck.
+	ackWaiters   map[string][]*inflightEntry
 	transfersOut int
 	libs         map[string]*libInstance
 	alive        bool
@@ -172,10 +227,17 @@ func New(opts Options) *Manager {
 		libSpecs:         map[string]*core.LibrarySpec{},
 		libFailures:      map[string]int{},
 		libInfraFailures: map[string]int{},
+		pendingInvs:      map[string][]*core.InvocationSpec{},
 		inflight:         map[int64]*inflightEntry{},
 		retries:          map[int64]int{},
 		avoid:            map[int64]string{},
 		catalog:          map[string]core.FileSpec{},
+		holders:          map[string]map[string]*workerState{},
+		pendingCopies:    map[string]int{},
+		readyFree:        map[string]map[string]*workerState{},
+		libOn:            map[string]int{},
+		objWaiters:       map[string]*objWaiter{},
+		holderCount:      map[string]int{},
 		results:          make(chan core.Result, opts.ResultBuffer),
 	}
 }
@@ -215,11 +277,23 @@ func (m *Manager) Listen() (string, error) {
 // Results is the stream of completed task/invocation results.
 func (m *Manager) Results() <-chan core.Result { return m.results }
 
-// Stats returns a snapshot of manager counters.
+// Stats returns a snapshot of manager counters without touching the
+// scheduler lock.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		DirectTransfers:   atomic.LoadInt64(&m.stats.DirectTransfers),
+		PeerTransfers:     atomic.LoadInt64(&m.stats.PeerTransfers),
+		LibrariesDeployed: atomic.LoadInt64(&m.stats.LibrariesDeployed),
+		LibrariesEvicted:  atomic.LoadInt64(&m.stats.LibrariesEvicted),
+		TasksDone:         atomic.LoadInt64(&m.stats.TasksDone),
+		InvocationsDone:   atomic.LoadInt64(&m.stats.InvocationsDone),
+		Failures:          atomic.LoadInt64(&m.stats.Failures),
+		Requeued:          atomic.LoadInt64(&m.stats.Requeued),
+		Retries:           atomic.LoadInt64(&m.stats.Retries),
+		Restaged:          atomic.LoadInt64(&m.stats.Restaged),
+		SchedulePasses:    atomic.LoadInt64(&m.stats.SchedulePasses),
+		CoalescedWakeups:  atomic.LoadInt64(&m.stats.CoalescedWakeups),
+	}
 }
 
 // WorkersConnected returns the number of live workers.
@@ -253,7 +327,7 @@ func (m *Manager) Shutdown() {
 	}
 	m.closed = true
 	for _, w := range m.workers {
-		w.enqueue(outMsg{proto.MsgShutdown, struct{}{}})
+		w.enqueue(outMsg{t: proto.MsgShutdown, v: struct{}{}})
 	}
 	m.mu.Unlock()
 	if m.ln != nil {
@@ -284,9 +358,10 @@ func (m *Manager) Submit(t *core.TaskSpec) int64 {
 	m.mu.Lock()
 	m.nextID++
 	t.ID = m.nextID
-	m.pendingTasks = append(m.pendingTasks, t)
+	m.pendingTasks = append(m.pendingTasks, pendingTask{t: t, key: taskRingKey(t.ID)})
+	m.markTasksDirtyLocked()
 	m.mu.Unlock()
-	m.schedule()
+	m.wake()
 	return t.ID
 }
 
@@ -295,9 +370,9 @@ func (m *Manager) SubmitInvocation(inv *core.InvocationSpec) int64 {
 	m.mu.Lock()
 	m.nextID++
 	inv.ID = m.nextID
-	m.pendingInvs = append(m.pendingInvs, inv)
+	m.enqueueInvLocked(inv)
 	m.mu.Unlock()
-	m.schedule()
+	m.wake()
 	return inv.ID
 }
 
@@ -346,11 +421,12 @@ func (m *Manager) serveWorker(nc net.Conn) {
 		hello:        hello,
 		conn:         conn,
 		nc:           nc,
-		sendq:        make(chan outMsg, 65536),
+		sendq:        make(chan outMsg, 16384),
 		total:        hello.Resources,
 		files:        map[string]bool{},
 		pending:      map[string]bool{},
 		fetchSources: map[string]string{},
+		ackWaiters:   map[string][]*inflightEntry{},
 		libs:         map[string]*libInstance{},
 		alive:        true,
 	}
@@ -361,8 +437,10 @@ func (m *Manager) serveWorker(nc net.Conn) {
 		nc.Close()
 		return
 	}
-	m.workers[w.id] = w
-	m.ring.Add(w.id)
+	m.registerWorkerLocked(w)
+	// Fresh capacity: pending tasks and every waiting library queue may
+	// now be placeable here.
+	m.wakeCapacityLocked()
 	m.mu.Unlock()
 
 	// Sender goroutine drains the queue so scheduling never blocks on
@@ -374,7 +452,13 @@ func (m *Manager) serveWorker(nc net.Conn) {
 		for {
 			select {
 			case msg := <-w.sendq:
-				if err := conn.Send(msg.t, msg.v); err != nil {
+				var err error
+				if msg.bulk {
+					err = conn.SendBulk(msg.t, msg.v, msg.payload)
+				} else {
+					err = conn.Send(msg.t, msg.v)
+				}
+				if err != nil {
 					nc.Close()
 					return
 				}
@@ -384,7 +468,7 @@ func (m *Manager) serveWorker(nc net.Conn) {
 		}
 	}()
 
-	m.schedule()
+	m.wake()
 
 	for {
 		t, raw, err := conn.Recv()
@@ -413,9 +497,6 @@ func (m *Manager) serveWorker(nc net.Conn) {
 
 func (m *Manager) onWorkerGone(w *workerState) {
 	m.mu.Lock()
-	delete(m.workers, w.id)
-	m.ring.Remove(w.id)
-	w.alive = false
 	// The dead worker may have been the destination of in-flight peer
 	// fetches: release each source's transfer slot, or the sources are
 	// bled dry one crash at a time until pickSourceLocked permanently
@@ -427,6 +508,10 @@ func (m *Manager) onWorkerGone(w *workerState) {
 			sw.transfersOut--
 		}
 	}
+	// Drop the worker from every index (replicas, ready instances,
+	// in-flight copies — waking placements queued behind a first copy
+	// that will now never confirm).
+	m.dropWorkerLocked(w)
 	// Requeue everything that was running there, within each spec's
 	// retry budget; a spec that has already exhausted it fails instead
 	// of bouncing between crashing workers forever.
@@ -438,27 +523,31 @@ func (m *Manager) onWorkerGone(w *workerState) {
 		if m.opts.MaxRetries >= 0 && m.retries[id] < m.opts.MaxRetries {
 			m.retries[id]++
 			m.avoid[id] = w.id
-			m.stats.Requeued++
+			atomic.AddInt64(&m.stats.Requeued, 1)
 			if e.task != nil {
-				m.pendingTasks = append(m.pendingTasks, e.task)
+				m.pendingTasks = append(m.pendingTasks, pendingTask{t: e.task, key: e.ringKey})
+				m.markTasksDirtyLocked()
 			} else if e.inv != nil {
-				m.pendingInvs = append(m.pendingInvs, e.inv)
+				m.enqueueInvLocked(e.inv)
 			}
 			continue
 		}
-		m.stats.Failures++
+		atomic.AddInt64(&m.stats.Failures, 1)
 		delete(m.retries, id)
 		delete(m.avoid, id)
 		m.deliver(core.Result{ID: id, Ok: false,
 			Err: fmt.Sprintf("manager: worker %s lost and retry budget exhausted", w.id)})
 	}
+	// Losing a worker changes the ring; anything whose placement was
+	// pinned behind this worker's state gets another look.
+	m.wakeCapacityLocked()
 	m.mu.Unlock()
-	m.schedule()
+	m.wake()
 }
 
 func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 	m.mu.Lock()
-	delete(w.pending, ack.ID)
+	m.clearPendingLocked(w, ack.ID)
 	src, fromPeer := w.fetchSources[ack.ID]
 	if fromPeer {
 		delete(w.fetchSources, ack.ID)
@@ -467,16 +556,20 @@ func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 		}
 	}
 	if ack.Ok && ack.Cache {
-		w.files[ack.ID] = true
+		m.noteReplicaLocked(w, ack.ID)
 	}
 	// Stamp staging completion on every dispatch that was waiting for
 	// this object on this worker: TransferTime is dispatch→last ack,
-	// not the time spent enqueueing messages.
-	now := time.Now()
-	for _, e := range m.inflight {
-		if e.worker == w.id && e.waiting[ack.ID] {
-			delete(e.waiting, ack.ID)
-			e.transfer = now.Sub(e.sentAt).Seconds()
+	// not the time spent enqueueing messages. The per-worker waiter
+	// index hands us exactly those dispatches.
+	if list := w.ackWaiters[ack.ID]; len(list) > 0 {
+		delete(w.ackWaiters, ack.ID)
+		now := time.Now()
+		for _, e := range list {
+			if e.waiting[ack.ID] {
+				delete(e.waiting, ack.ID)
+				e.transfer = now.Sub(e.sentAt).Seconds()
+			}
 		}
 	}
 	if !ack.Ok && fromPeer && w.alive {
@@ -486,11 +579,15 @@ func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 		// this copy to die on "input not staged".
 		if fs, known := m.catalog[ack.ID]; known {
 			m.directSendLocked(w, fs)
-			m.stats.Restaged++
+			atomic.AddInt64(&m.stats.Restaged, 1)
 		}
 	}
+	// Whether the copy confirmed (new source available) or failed (the
+	// block is gone), everything queued behind this object gets one
+	// reconsideration.
+	m.wakeObjWaitersLocked(ack.ID)
 	m.mu.Unlock()
-	m.schedule()
+	m.wake()
 }
 
 // maxLibraryFailures is how many consecutive failed deployments a
@@ -514,9 +611,19 @@ func (m *Manager) onLibraryAck(w *workerState, ack proto.LibraryAck) {
 			li.instance = ack.Instance
 			m.libFailures[ack.Library] = 0
 			m.libInfraFailures[ack.Library] = 0
+			m.libSlotsChangedLocked(w, li)
+			m.markLibDirtyLocked(ack.Library)
+			// A ready instance with no slots in use is an eviction
+			// candidate (§3.5.2): other libraries blocked on capacity
+			// may now be deployable here.
+			if li.slotsUsed == 0 && m.opts.EvictEmptyLibraries {
+				m.markAllLibsDirtyLocked()
+			}
 		} else {
 			li.failed = true
 			delete(w.libs, ack.Library)
+			m.decLibOnLocked(ack.Library)
+			m.removeReadyLocked(ack.Library, w.id)
 			w.commit = w.commit.Sub(li.res)
 			// Infrastructure-caused install failures (inputs lost to a
 			// stalled transfer, resources gone) draw on a much larger
@@ -535,26 +642,28 @@ func (m *Manager) onLibraryAck(w *workerState, ack proto.LibraryAck) {
 					m.failPendingForLibraryLocked(ack.Library, ack.Err)
 				}
 			}
+			// The failed install released resources on this worker.
+			m.wakeCapacityLocked()
 		}
 	}
 	m.mu.Unlock()
-	m.schedule()
+	m.wake()
 }
 
 // failPendingForLibraryLocked fails every queued invocation of a
 // library that cannot be deployed. Caller holds the lock.
 func (m *Manager) failPendingForLibraryLocked(library, reason string) {
-	var remaining []*core.InvocationSpec
-	for _, inv := range m.pendingInvs {
-		if inv.Library == library {
-			m.stats.Failures++
-			m.emitFailure(inv, fmt.Errorf("manager: library %q failed to deploy %d times: %s",
-				library, maxLibraryFailures, reason))
-			continue
-		}
-		remaining = append(remaining, inv)
+	q := m.pendingInvs[library]
+	if len(q) == 0 {
+		return
 	}
-	m.pendingInvs = remaining
+	delete(m.pendingInvs, library)
+	m.pendingInvCount -= len(q)
+	for _, inv := range q {
+		atomic.AddInt64(&m.stats.Failures, 1)
+		m.emitFailure(inv, fmt.Errorf("manager: library %q failed to deploy %d times: %s",
+			library, maxLibraryFailures, reason))
+	}
 }
 
 func (m *Manager) onResult(w *workerState, res core.Result) {
@@ -564,21 +673,34 @@ func (m *Manager) onResult(w *workerState, res core.Result) {
 		delete(m.inflight, res.ID)
 		res.Metrics.TransferTime += e.transfer
 		if e.task != nil {
-			m.stats.TasksDone++
+			atomic.AddInt64(&m.stats.TasksDone, 1)
 			w.commit = w.commit.Sub(e.task.Resources)
 			// Cacheable inputs are now resident on that worker.
 			for _, in := range e.task.Inputs {
 				if in.Cache {
-					w.files[in.Object.ID] = true
+					m.noteReplicaLocked(w, in.Object.ID)
 				}
 			}
+			// Freed resources: tasks and deployments compete for them.
+			m.wakeCapacityLocked()
 		} else if e.inv != nil {
-			m.stats.InvocationsDone++
+			atomic.AddInt64(&m.stats.InvocationsDone, 1)
+			idle := false
 			if li := w.libs[e.library]; li != nil {
 				if li.slotsUsed > 0 {
 					li.slotsUsed--
 				}
 				li.served++
+				idle = li.slotsUsed == 0
+				m.libSlotsChangedLocked(w, li)
+			}
+			// A freed slot unblocks this library's queue; an instance
+			// going fully idle additionally becomes an eviction
+			// candidate, which can unblock every other library waiting
+			// on capacity (§3.5.2).
+			m.markLibDirtyLocked(e.library)
+			if idle && m.opts.EvictEmptyLibraries {
+				m.markAllLibsDirtyLocked()
 			}
 		}
 	}
@@ -587,7 +709,7 @@ func (m *Manager) onResult(w *workerState, res core.Result) {
 	if ok && !res.Ok && res.Retryable && m.opts.MaxRetries >= 0 &&
 		m.retries[res.ID] < m.opts.MaxRetries && !m.closed {
 		m.retries[res.ID]++
-		m.stats.Retries++
+		atomic.AddInt64(&m.stats.Retries, 1)
 		m.avoid[res.ID] = w.id
 		m.backoffs++
 		backoff = m.backoffDelayLocked(m.retries[res.ID])
@@ -595,7 +717,7 @@ func (m *Manager) onResult(w *workerState, res core.Result) {
 	}
 	if ok && !retried {
 		if !res.Ok {
-			m.stats.Failures++
+			atomic.AddInt64(&m.stats.Failures, 1)
 		}
 		delete(m.retries, res.ID)
 		delete(m.avoid, res.ID)
@@ -605,7 +727,7 @@ func (m *Manager) onResult(w *workerState, res core.Result) {
 	if retried {
 		m.requeueAfter(e, backoff)
 	}
-	m.schedule()
+	m.wake()
 }
 
 // backoffDelayLocked computes the exponential backoff before retry
@@ -637,12 +759,13 @@ func (m *Manager) requeueAfter(e *inflightEntry, delay time.Duration) {
 			return
 		}
 		if e.task != nil {
-			m.pendingTasks = append(m.pendingTasks, e.task)
+			m.pendingTasks = append(m.pendingTasks, pendingTask{t: e.task, key: e.ringKey})
+			m.markTasksDirtyLocked()
 		} else if e.inv != nil {
-			m.pendingInvs = append(m.pendingInvs, e.inv)
+			m.enqueueInvLocked(e.inv)
 		}
 		m.mu.Unlock()
-		m.schedule()
+		m.wake()
 	})
 }
 
@@ -683,10 +806,13 @@ func (m *Manager) CheckQuiescence() error {
 			return fmt.Errorf("manager: worker %s has %d dangling fetch-source records", w.id, len(w.fetchSources))
 		}
 	}
+	if n := len(m.pendingCopies); n != 0 {
+		return fmt.Errorf("manager: %d objects still counted as in-flight copies", n)
+	}
 	if n := len(m.inflight); n != 0 {
 		return fmt.Errorf("manager: %d dispatches still in flight", n)
 	}
-	if n := len(m.pendingTasks) + len(m.pendingInvs); n != 0 {
+	if n := len(m.pendingTasks) + m.pendingInvCount; n != 0 {
 		return fmt.Errorf("manager: %d specs still queued", n)
 	}
 	if m.backoffs != 0 {

@@ -2,6 +2,8 @@ package manager
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/content"
@@ -9,15 +11,10 @@ import (
 	"repro/internal/proto"
 )
 
-// schedule is the manager's scheduling pass: it tries to place every
-// pending task and invocation. It is called after any state change
-// (submissions, worker joins, acks, results).
-func (m *Manager) schedule() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.scheduleTasksLocked()
-	m.scheduleInvocationsLocked()
-}
+// The scheduling passes below are invoked from the coalesced wake loop
+// (index.go): scheduleTasksLocked when the task queue is dirty and
+// scheduleLibQueueLocked per dirty library. They never scan state that
+// their dirty mark could not have changed.
 
 // ---- file staging ----
 
@@ -35,77 +32,80 @@ func fileReady(w *workerState, id string) bool {
 // it becomes a transfer source for up to PeerTransferCap concurrent
 // peers, growing a spanning tree. Non-cacheable objects (per-call
 // arguments) always flow directly from the manager.
-func (m *Manager) canStageFileLocked(w *workerState, fs core.FileSpec, commit bool) bool {
+//
+// When the answer is "not yet" because a first copy is in flight, the
+// blocking object's ID comes back so the caller can register an
+// objWaiter and be woken by exactly that object's next ack.
+func (m *Manager) canStageFileLocked(w *workerState, fs core.FileSpec, commit bool) (bool, string) {
 	obj := fs.Object
 	if obj == nil {
-		return false
+		return false, ""
 	}
 	if fileReady(w, obj.ID) {
-		return true
+		return true, ""
 	}
 	if fs.Cache && fs.PeerTransfer && m.opts.PeerTransfers {
 		if src := m.pickSourceLocked(w, obj.ID); src != nil {
 			if commit {
 				m.catalog[obj.ID] = fs
 				src.transfersOut++
-				w.pending[obj.ID] = true
+				m.notePendingLocked(w, obj.ID)
 				w.fetchSources[obj.ID] = src.id
-				w.enqueue(outMsg{proto.MsgFetchFile, proto.FetchFile{
+				w.enqueue(outMsg{t: proto.MsgFetchFile, v: proto.FetchFile{
 					ID:       obj.ID,
 					Name:     obj.Name,
 					FromAddr: src.hello.DataAddr,
 					Cache:    fs.Cache,
 					Unpack:   fs.Unpack,
 				}})
-				m.stats.PeerTransfers++
+				atomic.AddInt64(&m.stats.PeerTransfers, 1)
 			}
-			return true
+			return true, ""
 		}
 		// No confirmed source yet. If a first copy is already in flight
 		// somewhere, wait for it instead of flooding direct sends — but
 		// only during the check pass: once a dispatch is committed the
 		// file must move now, and the manager's own link is always a
-		// valid (if less scalable) source.
-		if !commit {
-			for _, other := range m.workers {
-				if other.pending[obj.ID] {
-					return false
-				}
-			}
+		// valid (if less scalable) source. The in-flight count makes
+		// this O(1); fileReady above already excluded w itself.
+		if !commit && m.pendingCopies[obj.ID] > 0 {
+			return false, obj.ID
 		}
 	}
 	if commit {
 		m.directSendLocked(w, fs)
 	}
-	return true
+	return true, ""
 }
 
+// directSendLocked stages an object from the manager's own link as a
+// bulk frame: JSON header plus the raw bytes, no base64 expansion.
 func (m *Manager) directSendLocked(w *workerState, fs core.FileSpec) {
 	obj := fs.Object
 	m.catalog[obj.ID] = fs
-	w.pending[obj.ID] = true
-	w.enqueue(outMsg{proto.MsgPutFile, proto.PutFile{
-		File: proto.FileMeta{
+	m.notePendingLocked(w, obj.ID)
+	w.enqueue(outMsg{t: proto.MsgPutFileBulk, v: proto.PutFileHdr{
+		File: proto.FileHdr{
 			ID:           obj.ID,
 			Name:         obj.Name,
 			Kind:         int(obj.Kind),
-			Data:         obj.Data,
 			LogicalSize:  obj.LogicalSize,
 			UnpackedSize: obj.UnpackedSize,
 		},
 		Cache:  fs.Cache,
 		Unpack: fs.Unpack,
-	}})
-	m.stats.DirectTransfers++
+	}, bulk: true, payload: obj.Data})
+	atomic.AddInt64(&m.stats.DirectTransfers, 1)
 }
 
 // pickSourceLocked chooses a worker that has obj cached and has a free
 // outbound transfer slot, preferring same-cluster sources when cluster
-// awareness is on.
+// awareness is on. Candidates come from the holders index — only
+// workers actually holding a replica are examined.
 func (m *Manager) pickSourceLocked(dst *workerState, id string) *workerState {
 	var fallback *workerState
-	for _, cand := range m.workers {
-		if cand.id == dst.id || !cand.files[id] || !cand.alive {
+	for _, cand := range m.holders[id] {
+		if cand.id == dst.id || !cand.alive {
 			continue
 		}
 		if cand.transfersOut >= m.opts.PeerTransferCap {
@@ -127,11 +127,12 @@ func (m *Manager) pickSourceLocked(dst *workerState, id string) *workerState {
 }
 
 // canStageAllLocked checks (and optionally performs) staging for a set
-// of file specs on one worker.
-func (m *Manager) canStageAllLocked(w *workerState, specs []core.FileSpec, commit bool) bool {
+// of file specs on one worker, returning the blocking object ID when
+// an in-flight first copy is the reason staging must wait.
+func (m *Manager) canStageAllLocked(w *workerState, specs []core.FileSpec, commit bool) (bool, string) {
 	for _, fs := range specs {
-		if !m.canStageFileLocked(w, fs, false) {
-			return false
+		if ok, blockedOn := m.canStageFileLocked(w, fs, false); !ok {
+			return false, blockedOn
 		}
 	}
 	if commit {
@@ -139,37 +140,40 @@ func (m *Manager) canStageAllLocked(w *workerState, specs []core.FileSpec, commi
 			m.canStageFileLocked(w, fs, true)
 		}
 	}
-	return true
+	return true, ""
 }
 
 // ---- task scheduling ----
 
 func (m *Manager) scheduleTasksLocked() {
-	var remaining []*core.TaskSpec
-	for _, t := range m.pendingTasks {
-		if !m.tryPlaceTaskLocked(t) {
-			remaining = append(remaining, t)
+	if len(m.pendingTasks) == 0 {
+		return
+	}
+	remaining := m.pendingTasks[:0]
+	for _, pt := range m.pendingTasks {
+		if !m.tryPlaceTaskLocked(pt) {
+			remaining = append(remaining, pt)
 		}
 	}
 	m.pendingTasks = remaining
 }
 
-func (m *Manager) tryPlaceTaskLocked(t *core.TaskSpec) bool {
+func (m *Manager) tryPlaceTaskLocked(pt pendingTask) bool {
 	// Retries prefer a worker other than the one that just failed; if
 	// no other placement exists, the avoided worker is better than
 	// starving.
-	if m.tryPlaceTaskOnLocked(t, m.avoid[t.ID]) {
+	if m.tryPlaceTaskOnLocked(pt, m.avoid[pt.t.ID]) {
 		return true
 	}
-	if m.avoid[t.ID] != "" {
-		return m.tryPlaceTaskOnLocked(t, "")
+	if m.avoid[pt.t.ID] != "" {
+		return m.tryPlaceTaskOnLocked(pt, "")
 	}
 	return false
 }
 
-func (m *Manager) tryPlaceTaskOnLocked(t *core.TaskSpec, avoid string) bool {
-	key := fmt.Sprintf("task-%d", t.ID)
-	for _, wid := range m.ring.Sequence(key, 0) {
+func (m *Manager) tryPlaceTaskOnLocked(pt pendingTask, avoid string) bool {
+	t := pt.t
+	for _, wid := range m.ring.Sequence(pt.key, 0) {
 		w := m.workers[wid]
 		if w == nil || !w.alive || w.id == avoid {
 			continue
@@ -177,25 +181,34 @@ func (m *Manager) tryPlaceTaskOnLocked(t *core.TaskSpec, avoid string) bool {
 		if !t.Resources.Fits(w.total.Sub(w.commit)) {
 			continue
 		}
-		if !m.canStageAllLocked(w, t.Inputs, false) {
+		if ok, blockedOn := m.canStageAllLocked(w, t.Inputs, false); !ok {
+			if blockedOn != "" {
+				// Blocked behind a first copy in flight: that object's
+				// next ack re-dirties the task queue.
+				m.addObjWaiterLocked(blockedOn, "")
+			}
 			continue
 		}
 		start := time.Now()
 		m.canStageAllLocked(w, t.Inputs, true)
 		w.commit = w.commit.Add(t.Resources)
-		w.enqueue(outMsg{proto.MsgRunTask, t})
+		w.enqueue(outMsg{t: proto.MsgRunTask, v: t})
 		e := &inflightEntry{
 			worker:  w.id,
+			ringKey: pt.key,
 			task:    t,
 			sentAt:  start,
 			waiting: map[string]bool{},
 		}
 		// TransferTime runs from dispatch until the last input this
 		// dispatch depends on is acked on the worker — not the time
-		// spent enqueueing messages into in-memory channels.
+		// spent enqueueing messages into in-memory channels. Register
+		// in the worker's ack-waiter index so the ack finds this entry
+		// without scanning the inflight table.
 		for _, in := range t.Inputs {
 			if in.Object != nil && w.pending[in.Object.ID] {
 				e.waiting[in.Object.ID] = true
+				w.ackWaiters[in.Object.ID] = append(w.ackWaiters[in.Object.ID], e)
 			}
 		}
 		m.inflight[t.ID] = e
@@ -206,20 +219,41 @@ func (m *Manager) tryPlaceTaskOnLocked(t *core.TaskSpec, avoid string) bool {
 
 // ---- invocation scheduling (§3.5.2) ----
 
-func (m *Manager) scheduleInvocationsLocked() {
-	var remaining []*core.InvocationSpec
-	for _, inv := range m.pendingInvs {
-		placed, err := m.tryPlaceInvocationLocked(inv)
+// scheduleLibQueueLocked runs one placement pass over a single
+// library's pending invocations. When an invocation can neither be
+// placed nor make progress by deploying a new instance, the rest of
+// the queue is left untouched: every later invocation of the same
+// library would hit the identical cluster state, so rescanning it is
+// pure waste. (Per-invocation validation of the skipped tail is
+// deferred until the queue drains to it.)
+func (m *Manager) scheduleLibQueueLocked(lib string) {
+	q := m.pendingInvs[lib]
+	if len(q) == 0 {
+		return
+	}
+	remaining := q[:0]
+	for i, inv := range q {
+		placed, progressed, err := m.tryPlaceInvocationLocked(inv)
 		if err != nil {
-			m.stats.Failures++
+			atomic.AddInt64(&m.stats.Failures, 1)
 			m.emitFailure(inv, err)
 			continue
 		}
-		if !placed {
-			remaining = append(remaining, inv)
+		if placed {
+			continue
+		}
+		remaining = append(remaining, inv)
+		if !progressed {
+			remaining = append(remaining, q[i+1:]...)
+			break
 		}
 	}
-	m.pendingInvs = remaining
+	m.pendingInvCount -= len(q) - len(remaining)
+	if len(remaining) == 0 {
+		delete(m.pendingInvs, lib)
+	} else {
+		m.pendingInvs[lib] = remaining
+	}
 }
 
 // emitFailure delivers a synthetic failed result for an unschedulable
@@ -231,13 +265,17 @@ func (m *Manager) emitFailure(inv *core.InvocationSpec, err error) {
 	m.deliver(core.Result{ID: inv.ID, Ok: false, Err: err.Error()})
 }
 
-func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (bool, error) {
+// tryPlaceInvocationLocked attempts one invocation. placed means it
+// was dispatched; progressed means the attempt changed cluster state
+// (deployed a library instance) even though the invocation itself is
+// still waiting.
+func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (placed, progressed bool, err error) {
 	spec, known := m.libSpecs[inv.Library]
 	if !known {
-		return false, fmt.Errorf("manager: invocation %d names unknown library %q", inv.ID, inv.Library)
+		return false, false, fmt.Errorf("manager: invocation %d names unknown library %q", inv.ID, inv.Library)
 	}
 	if m.libFailures[inv.Library] >= maxLibraryFailures || m.libInfraFailures[inv.Library] >= maxLibraryInfraFailures {
-		return false, fmt.Errorf("manager: library %q is marked broken after repeated deployment failures", inv.Library)
+		return false, false, fmt.Errorf("manager: library %q is marked broken after repeated deployment failures", inv.Library)
 	}
 	hasFn := false
 	for _, f := range spec.Functions {
@@ -247,42 +285,63 @@ func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (bool, erro
 		}
 	}
 	if !hasFn {
-		return false, fmt.Errorf("manager: library %q has no function %q", inv.Library, inv.Function)
+		return false, false, fmt.Errorf("manager: library %q has no function %q", inv.Library, inv.Function)
 	}
 
 	// First choice: a ready instance with a free slot — preferring a
 	// worker other than the one a retry just failed on, when possible.
 	if m.placeInvocationOnReadyLocked(inv, spec, m.avoid[inv.ID]) {
-		return true, nil
+		return true, true, nil
 	}
 	if m.avoid[inv.ID] != "" && m.placeInvocationOnReadyLocked(inv, spec, "") {
-		return true, nil
+		return true, true, nil
 	}
 
-	return m.deployForInvocationLocked(inv, spec)
+	progressed = m.deployForInvocationLocked(inv, spec)
+	return false, progressed, nil
 }
 
 // placeInvocationOnReadyLocked dispatches inv to a ready instance with
-// a free slot, skipping the avoided worker.
+// a free slot, skipping the avoided worker. Candidates come from the
+// readyFree index (§3.5.2) — only workers that actually hold a ready
+// instance with room are examined. Among them the least-loaded
+// instance wins, with worker ID as the deterministic tie-break.
 func (m *Manager) placeInvocationOnReadyLocked(inv *core.InvocationSpec, spec *core.LibrarySpec, avoid string) bool {
-	for _, wid := range m.ring.Sequence(inv.Library, 0) {
-		w := m.workers[wid]
-		if w == nil || !w.alive || w.id == avoid {
+	var best *workerState
+	var bestLi *libInstance
+	bestFree := 0
+	for _, w := range m.readyFree[inv.Library] {
+		if !w.alive || w.id == avoid {
 			continue
 		}
 		li := w.libs[inv.Library]
 		if li == nil || !li.ready || li.slotsUsed >= spec.SlotCount() {
 			continue
 		}
-		li.slotsUsed++
-		w.enqueue(outMsg{proto.MsgInvoke, inv})
-		m.inflight[inv.ID] = &inflightEntry{worker: w.id, library: inv.Library, inv: inv, sentAt: time.Now()}
-		return true
+		free := spec.SlotCount() - li.slotsUsed
+		if best == nil || free > bestFree || (free == bestFree && w.id < best.id) {
+			best, bestLi, bestFree = w, li, free
+		}
 	}
-	return false
+	if best == nil {
+		return false
+	}
+	bestLi.slotsUsed++
+	m.libSlotsChangedLocked(best, bestLi)
+	best.enqueue(outMsg{t: proto.MsgInvoke, v: inv})
+	m.inflight[inv.ID] = &inflightEntry{worker: best.id, library: inv.Library, inv: inv, sentAt: time.Now()}
+	return true
 }
 
-func (m *Manager) deployForInvocationLocked(inv *core.InvocationSpec, spec *core.LibrarySpec) (bool, error) {
+// deployForInvocationLocked tries to deploy a new instance of the
+// invocation's library, returning whether a deployment was started.
+func (m *Manager) deployForInvocationLocked(inv *core.InvocationSpec, spec *core.LibrarySpec) bool {
+	// Every worker already has an instance (installing or ready): the
+	// ring walk below would find nothing, so skip it — this is the
+	// steady state of a saturated cluster.
+	if m.libOn[inv.Library] >= len(m.workers) {
+		return false
+	}
 	// Second choice: deploy a new instance on the next ring worker with
 	// room, evicting an empty foreign library if allowed (§3.5.2).
 	for _, wid := range m.ring.Sequence(inv.Library, 0) {
@@ -302,7 +361,12 @@ func (m *Manager) deployForInvocationLocked(inv *core.InvocationSpec, spec *core
 			libFiles = append(libFiles, *spec.Env)
 		}
 		libFiles = append(libFiles, spec.Inputs...)
-		if !m.canStageAllLocked(w, libFiles, false) {
+		if ok, blockedOn := m.canStageAllLocked(w, libFiles, false); !ok {
+			if blockedOn != "" {
+				// The environment's first copy is in flight: its ack
+				// re-dirties this library's queue.
+				m.addObjWaiterLocked(blockedOn, inv.Library)
+			}
 			continue
 		}
 		if !need.Fits(w.total.Sub(w.commit)) {
@@ -312,22 +376,32 @@ func (m *Manager) deployForInvocationLocked(inv *core.InvocationSpec, spec *core
 		}
 		m.deployLibraryLocked(w, spec, need)
 		// The invocation stays pending until the LibraryAck arrives.
-		return false, nil
+		return true
 	}
-	return false, nil
+	return false
 }
 
 // evictEmptyLocked removes idle instances of other libraries on w until
-// `need` fits, returning whether it succeeded.
+// `need` fits, returning whether it succeeded. Candidates are visited
+// in sorted library-name order so eviction — and therefore stats and
+// test outcomes — is deterministic run to run.
 func (m *Manager) evictEmptyLocked(w *workerState, wantLib string, need core.Resources) bool {
-	for name, li := range w.libs {
+	names := make([]string, 0, len(w.libs))
+	for name := range w.libs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		li := w.libs[name]
 		if name == wantLib || li.slotsUsed > 0 || !li.ready {
 			continue
 		}
 		delete(w.libs, name)
+		m.decLibOnLocked(name)
+		m.removeReadyLocked(name, w.id)
 		w.commit = w.commit.Sub(li.res)
-		w.enqueue(outMsg{proto.MsgRemoveLibrary, proto.RemoveLibrary{Library: name}})
-		m.stats.LibrariesEvicted++
+		w.enqueue(outMsg{t: proto.MsgRemoveLibrary, v: proto.RemoveLibrary{Library: name}})
+		atomic.AddInt64(&m.stats.LibrariesEvicted, 1)
 		if need.Fits(w.total.Sub(w.commit)) {
 			return true
 		}
@@ -345,21 +419,17 @@ func (m *Manager) deployLibraryLocked(w *workerState, spec *core.LibrarySpec, re
 		m.canStageFileLocked(w, fs, true)
 	}
 	w.libs[spec.Name] = &libInstance{name: spec.Name, res: res}
+	m.libOn[spec.Name]++
 	w.commit = w.commit.Add(res)
-	w.enqueue(outMsg{proto.MsgInstallLibrary, spec})
-	m.stats.LibrariesDeployed++
+	w.enqueue(outMsg{t: proto.MsgInstallLibrary, v: spec})
+	atomic.AddInt64(&m.stats.LibrariesDeployed, 1)
 }
 
 // ObjectHolders returns how many workers hold the object — visibility
-// for distribution tests.
+// for distribution tests. It reads the maintained replica counter and
+// never touches the scheduler lock.
 func (m *Manager) ObjectHolders(obj *content.Object) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	n := 0
-	for _, w := range m.workers {
-		if w.files[obj.ID] {
-			n++
-		}
-	}
-	return n
+	m.obsMu.RLock()
+	defer m.obsMu.RUnlock()
+	return m.holderCount[obj.ID]
 }

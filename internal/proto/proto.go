@@ -3,9 +3,16 @@
 // frames over any net.Conn. It carries the message vocabulary of §3.4:
 // file staging (direct and peer-to-peer), task execution, library
 // installation and removal, invocations, and results.
+//
+// Control messages are JSON. Bulk object bytes move as binary frames
+// (MsgPutFileBulk, MsgFileDataBulk): a small JSON header followed by
+// the raw payload, so a multi-MB environment tarball is written
+// straight from its backing slice — no base64 expansion and no second
+// in-memory copy on either side of the connection.
 package proto
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -49,6 +56,12 @@ const (
 	MsgFileData
 	// MsgError answers MsgGetFile when the object is unavailable.
 	MsgError
+	// MsgPutFileBulk carries an object manager→worker as a bulk frame:
+	// a PutFileHdr JSON header followed by the raw object bytes.
+	MsgPutFileBulk
+	// MsgFileDataBulk answers MsgGetFile as a bulk frame: a FileHdr
+	// JSON header followed by the raw object bytes.
+	MsgFileDataBulk
 )
 
 func (t MsgType) String() string {
@@ -59,6 +72,7 @@ func (t MsgType) String() string {
 		MsgRemoveLibrary: "remove-library", MsgInvoke: "invoke",
 		MsgResult: "result", MsgShutdown: "shutdown", MsgGetFile: "get-file",
 		MsgFileData: "file-data", MsgError: "error",
+		MsgPutFileBulk: "put-file-bulk", MsgFileDataBulk: "file-data-bulk",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -97,6 +111,25 @@ type FileMeta struct {
 type PutFile struct {
 	File  FileMeta `json:"file"`
 	Cache bool     `json:"cache"`
+	// Unpack asks the worker to expand the tarball after caching.
+	Unpack bool `json:"unpack"`
+}
+
+// FileHdr describes an object whose bytes travel out-of-band in the
+// binary part of a bulk frame (it is FileMeta minus Data).
+type FileHdr struct {
+	ID           string `json:"id"`
+	Name         string `json:"name"`
+	Kind         int    `json:"kind"`
+	LogicalSize  int64  `json:"logical_size"`
+	UnpackedSize int64  `json:"unpacked_size,omitempty"`
+}
+
+// PutFileHdr is the JSON header of a MsgPutFileBulk frame; the object
+// bytes follow as the frame's binary payload.
+type PutFileHdr struct {
+	File  FileHdr `json:"file"`
+	Cache bool    `json:"cache"`
 	// Unpack asks the worker to expand the tarball after caching.
 	Unpack bool `json:"unpack"`
 }
@@ -166,27 +199,105 @@ type Conn struct {
 // NewConn wraps a stream in a framed message connection.
 func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
 
-// Send encodes v as a frame of the given type.
+// encPool recycles the per-send encode buffers so the steady-state
+// message stream (acks, results, dispatches) allocates no temporaries.
+var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf bounds what goes back in the pool: an occasional giant
+// frame must not pin megabytes inside it.
+const maxPooledBuf = 1 << 20
+
+func putEncBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		encPool.Put(buf)
+	}
+}
+
+// Send encodes v as a frame of the given type. The frame is assembled
+// in a pooled buffer (header placeholder + JSON body) and written with
+// a single Write call.
 func (c *Conn) Send(t MsgType, v any) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
+	buf := encPool.Get().(*bytes.Buffer)
+	defer putEncBuf(buf)
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0, byte(t)})
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("proto: encoding %v: %w", t, err)
 	}
-	if len(payload)+1 > MaxFrame {
-		return fmt.Errorf("proto: frame too large (%d bytes)", len(payload))
+	frame := buf.Bytes()
+	if len(frame)-4 > MaxFrame {
+		return fmt.Errorf("proto: frame too large (%d bytes)", len(frame)-5)
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = byte(t)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.rw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("proto: writing frame header: %w", err)
-	}
-	if _, err := c.rw.Write(payload); err != nil {
-		return fmt.Errorf("proto: writing frame payload: %w", err)
+	if _, err := c.rw.Write(frame); err != nil {
+		return fmt.Errorf("proto: writing frame: %w", err)
 	}
 	return nil
+}
+
+// SendBulk writes a bulk frame: the JSON-encoded header hdr followed
+// by the raw payload bytes. The payload is written directly from the
+// caller's slice — never base64-encoded, never copied into a staging
+// buffer — so shipping a multi-MB object costs one small header
+// allocation regardless of payload size.
+//
+// Wire layout inside the standard [length][type] frame:
+//
+//	[4B header length][header JSON][payload bytes]
+func (c *Conn) SendBulk(t MsgType, hdr any, payload []byte) error {
+	buf := encPool.Get().(*bytes.Buffer)
+	defer putEncBuf(buf)
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0, byte(t), 0, 0, 0, 0})
+	if err := json.NewEncoder(buf).Encode(hdr); err != nil {
+		return fmt.Errorf("proto: encoding %v header: %w", t, err)
+	}
+	meta := buf.Bytes()
+	hdrLen := len(meta) - 9
+	total := 1 + 4 + hdrLen + len(payload)
+	if total > MaxFrame {
+		return fmt.Errorf("proto: frame too large (%d bytes)", total)
+	}
+	binary.BigEndian.PutUint32(meta[:4], uint32(total))
+	binary.BigEndian.PutUint32(meta[5:9], uint32(hdrLen))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.rw.Write(meta); err != nil {
+		return fmt.Errorf("proto: writing bulk frame header: %w", err)
+	}
+	if _, err := c.rw.Write(payload); err != nil {
+		return fmt.Errorf("proto: writing bulk frame payload: %w", err)
+	}
+	return nil
+}
+
+// SplitBulk separates a received bulk frame body (as returned by Recv)
+// into its JSON header and raw payload. The payload aliases the
+// receive buffer — callers that retain it own that memory.
+func SplitBulk(raw []byte) (hdr json.RawMessage, payload []byte, err error) {
+	if len(raw) < 4 {
+		return nil, nil, fmt.Errorf("proto: bulk frame too short (%d bytes)", len(raw))
+	}
+	n := int(binary.BigEndian.Uint32(raw[:4]))
+	if n < 0 || 4+n > len(raw) {
+		return nil, nil, fmt.Errorf("proto: bad bulk header length %d in %d-byte frame", n, len(raw))
+	}
+	return json.RawMessage(raw[4 : 4+n]), raw[4+n:], nil
+}
+
+// DecodeBulk splits a bulk frame and unmarshals its header into T.
+func DecodeBulk[T any](raw json.RawMessage) (T, []byte, error) {
+	var v T
+	hdr, payload, err := SplitBulk(raw)
+	if err != nil {
+		return v, nil, err
+	}
+	if err := json.Unmarshal(hdr, &v); err != nil {
+		return v, nil, fmt.Errorf("proto: decoding bulk %T header: %w", v, err)
+	}
+	return v, payload, nil
 }
 
 // Recv reads the next frame, returning its type and raw payload. The

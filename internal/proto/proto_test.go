@@ -3,6 +3,7 @@ package proto
 import (
 	"bytes"
 	"errors"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -268,3 +269,133 @@ func TestWithIdleTimeoutZeroIsPassthrough(t *testing.T) {
 		t.Errorf("zero idle timeout should return the conn unchanged")
 	}
 }
+
+func TestBulkFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	hdr := PutFileHdr{File: FileHdr{ID: "obj", Name: "env.tar.gz", Kind: 1, LogicalSize: 1 << 16}, Cache: true, Unpack: true}
+	if err := c.SendBulk(MsgPutFileBulk, hdr, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, raw, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgPutFileBulk {
+		t.Fatalf("type = %v", typ)
+	}
+	got, data, err := DecodeBulk[PutFileHdr](raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hdr {
+		t.Errorf("header round trip: %+v != %+v", got, hdr)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Errorf("payload corrupted (%d bytes)", len(data))
+	}
+}
+
+func TestBulkFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.SendBulk(MsgFileDataBulk, FileHdr{ID: "x"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, raw, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, data, err := DecodeBulk[FileHdr](raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.ID != "x" || len(data) != 0 {
+		t.Errorf("hdr=%+v payload=%d bytes", hdr, len(data))
+	}
+}
+
+func TestBulkAndJSONFramesInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Send(MsgFileAck, FileAck{ID: "a", Ok: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBulk(MsgPutFileBulk, PutFileHdr{File: FileHdr{ID: "b"}}, []byte("bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(MsgFileAck, FileAck{ID: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if typ, raw, err := c.Recv(); err != nil || typ != MsgFileAck {
+		t.Fatalf("frame 1: %v %v", typ, err)
+	} else if ack, _ := Decode[FileAck](raw); ack.ID != "a" {
+		t.Errorf("frame 1 = %+v", ack)
+	}
+	typ, raw, err := c.Recv()
+	if err != nil || typ != MsgPutFileBulk {
+		t.Fatalf("frame 2: %v %v", typ, err)
+	}
+	hdr, data, err := DecodeBulk[PutFileHdr](raw)
+	if err != nil || hdr.File.ID != "b" || string(data) != "bytes" {
+		t.Fatalf("frame 2 = %+v %q %v", hdr, data, err)
+	}
+	if typ, _, err := c.Recv(); err != nil || typ != MsgFileAck {
+		t.Fatalf("frame 3: %v %v", typ, err)
+	}
+}
+
+func TestSplitBulkRejectsCorruptHeaders(t *testing.T) {
+	if _, _, err := SplitBulk([]byte{1, 2}); err == nil {
+		t.Errorf("short frame accepted")
+	}
+	// Header length pointing past the end of the frame.
+	bad := []byte{0, 0, 0, 200, 'x', 'y'}
+	if _, _, err := SplitBulk(bad); err == nil {
+		t.Errorf("oversized header length accepted")
+	}
+}
+
+// BenchmarkPutFileEncodeJSON64MB is the legacy control-plane path for
+// bulk bytes: the object rides inside the JSON message, paying a
+// base64 expansion plus encoder staging on every send.
+func BenchmarkPutFileEncodeJSON64MB(b *testing.B) {
+	payload := make([]byte, 64<<20)
+	c := NewConn(struct{ io.ReadWriter }{discardRW{}})
+	msg := PutFile{File: FileMeta{ID: "obj", Name: "env.tar.gz", Data: payload, LogicalSize: int64(len(payload))}, Cache: true}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(MsgPutFile, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPutFileEncodeBulk64MB is the binary bulk path: a small JSON
+// header, then the payload written straight from its backing slice.
+// B/op must stay near zero no matter the payload size — this is the
+// "no base64 copy" acceptance check.
+func BenchmarkPutFileEncodeBulk64MB(b *testing.B) {
+	payload := make([]byte, 64<<20)
+	c := NewConn(struct{ io.ReadWriter }{discardRW{}})
+	hdr := PutFileHdr{File: FileHdr{ID: "obj", Name: "env.tar.gz", LogicalSize: int64(len(payload))}, Cache: true}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SendBulk(MsgPutFileBulk, hdr, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discardRW struct{}
+
+func (discardRW) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (discardRW) Write(p []byte) (int, error) { return len(p), nil }

@@ -201,6 +201,54 @@ type wstate struct {
 
 	peerOut int
 	slots   []*slot
+
+	// busySlots and freeReady are maintained counters so pickSlot scans
+	// workers, not workers×slots: busySlots counts occupied slots,
+	// freeReady counts free slots whose library is deployed.
+	busySlots int
+	freeReady int
+}
+
+// takeSlot marks a slot occupied, maintaining the scan counters.
+func (w *wstate) takeSlot(sl *slot) {
+	sl.busy = true
+	w.busySlots++
+	if sl.libReady {
+		w.freeReady--
+	}
+}
+
+// freeSlot releases a slot.
+func (w *wstate) freeSlot(sl *slot) {
+	sl.busy = false
+	w.busySlots--
+	if sl.libReady {
+		w.freeReady++
+	}
+}
+
+// markLibReady flags the slot's library as deployed.
+func (w *wstate) markLibReady(sl *slot) {
+	if sl.libReady {
+		return
+	}
+	sl.libReady = true
+	if !sl.busy {
+		w.freeReady++
+	}
+}
+
+// firstFree returns the worker's first free slot in slot order,
+// optionally restricted to deployed-library slots. Callers invoke it
+// only after the counters guarantee a match exists, so the single
+// inner scan happens once per dispatch, not once per candidate worker.
+func (w *wstate) firstFree(needLib bool) *slot {
+	for _, sl := range w.slots {
+		if !sl.busy && (!needLib || sl.libReady) {
+			return sl
+		}
+	}
+	return nil
 }
 
 type slot struct {
@@ -344,7 +392,7 @@ func (st *state) tryDispatch() {
 	}
 	sl.invIdx = st.cfg.Invocations - st.pending
 	st.pending--
-	sl.busy = true
+	sl.w.takeSlot(sl)
 	st.inFlight++
 	if st.inFlight > st.res.PeakInFlight {
 		st.res.PeakInFlight = st.inFlight
@@ -369,26 +417,17 @@ func (st *state) pickSlot() *slot {
 		// Among workers with a ready library slot, pick the least busy,
 		// matching the balance the task path gets from its least-busy
 		// rule below.
-		var best *slot
+		var best *wstate
 		bestBusy := 1 << 30
 		for i := 0; i < n; i++ {
 			w := st.workers[(st.rrWorker+i)%n]
-			busy := 0
-			var free *slot
-			for _, sl := range w.slots {
-				if sl.busy {
-					busy++
-				} else if free == nil && sl.libReady {
-					free = sl
-				}
-			}
-			if free != nil && busy < bestBusy {
-				best, bestBusy = free, busy
+			if w.freeReady > 0 && w.busySlots < bestBusy {
+				best, bestBusy = w, w.busySlots
 			}
 		}
 		if best != nil {
-			st.rrWorker = (best.w.idx + 1) % n
-			return best
+			st.rrWorker = (best.idx + 1) % n
+			return best.firstFree(true)
 		}
 	}
 	// For L2, prefer workers that already hold (or are fetching) the
@@ -397,55 +436,36 @@ func (st *state) pickSlot() *slot {
 	// disks are not thrashed by piling every task on the first ready
 	// worker.
 	if st.cfg.Level == core.L2 || st.cfg.Level == core.L3 {
-		var best *slot
+		var best *wstate
 		bestBusy := 1 << 30
 		for i := 0; i < n; i++ {
 			w := st.workers[(st.rrWorker+i)%n]
 			if !w.hasEnv && !w.envRequested {
 				continue
 			}
-			busy := 0
-			var free *slot
-			for _, sl := range w.slots {
-				if sl.busy {
-					busy++
-				} else if free == nil {
-					free = sl
-				}
-			}
 			// Limit speculative stacking on workers whose environment
 			// has not arrived yet: a deep queue there would burst into
 			// the local disk all at once on arrival.
-			if !w.hasEnv && busy >= 4 {
+			if !w.hasEnv && w.busySlots >= 4 {
 				continue
 			}
-			if free != nil && busy < bestBusy {
-				best, bestBusy = free, busy
+			if w.busySlots < len(w.slots) && w.busySlots < bestBusy {
+				best, bestBusy = w, w.busySlots
 			}
 		}
 		if best != nil {
-			st.rrWorker = (best.w.idx + 1) % n
-			return best
+			st.rrWorker = (best.idx + 1) % n
+			return best.firstFree(false)
 		}
 	}
 	for i := 0; i < n; i++ {
 		w := st.workers[(st.rrWorker+i)%n]
-		if st.cfg.Level != core.L1 && !w.hasEnv {
-			busy := 0
-			for _, sl := range w.slots {
-				if sl.busy {
-					busy++
-				}
-			}
-			if busy >= 6 {
-				continue
-			}
+		if st.cfg.Level != core.L1 && !w.hasEnv && w.busySlots >= 6 {
+			continue
 		}
-		for _, sl := range w.slots {
-			if !sl.busy {
-				st.rrWorker = (w.idx + 1) % n
-				return sl
-			}
+		if w.busySlots < len(w.slots) {
+			st.rrWorker = (w.idx + 1) % n
+			return w.firstFree(false)
 		}
 	}
 	return nil
@@ -491,7 +511,7 @@ func (st *state) complete(sl *slot, start float64) {
 	if !st.cfg.DropTimes {
 		st.res.Times = append(st.res.Times, runtime)
 	}
-	sl.busy = false
+	sl.w.freeSlot(sl)
 	sl.served++
 	st.inFlight--
 	st.completed++
@@ -604,7 +624,7 @@ func (st *state) runL3(sl *slot, start float64) {
 		st.res.LibBreakdown.Setup += setup
 		st.libN++
 		st.S.After(setup, func() {
-			sl.libReady = true
+			w.markLibReady(sl)
 			st.invokeL3(sl, start)
 		})
 	})

@@ -212,6 +212,15 @@ func (w *Worker) loop(nc net.Conn) {
 				continue
 			}
 			w.handlePutFile(msg)
+		case proto.MsgPutFileBulk:
+			hdr, payload, err := proto.DecodeBulk[proto.PutFileHdr](raw)
+			if err != nil {
+				continue
+			}
+			// payload aliases the frame's receive buffer, which is fresh
+			// per frame — safe to retain as the object's data without a
+			// copy.
+			w.handlePutFileBulk(hdr, payload)
 		case proto.MsgFetchFile:
 			msg, err := proto.Decode[proto.FetchFile](raw)
 			if err != nil {
@@ -292,6 +301,29 @@ func objectToMeta(o *content.Object) proto.FileMeta {
 	}
 }
 
+// hdrToObject assembles an object from a bulk frame's header and raw
+// payload; data is retained as-is, no copy.
+func hdrToObject(h proto.FileHdr, data []byte) *content.Object {
+	return &content.Object{
+		ID:           h.ID,
+		Name:         h.Name,
+		Kind:         content.Kind(h.Kind),
+		Data:         data,
+		LogicalSize:  h.LogicalSize,
+		UnpackedSize: h.UnpackedSize,
+	}
+}
+
+func objectToHdr(o *content.Object) proto.FileHdr {
+	return proto.FileHdr{
+		ID:           o.ID,
+		Name:         o.Name,
+		Kind:         int(o.Kind),
+		LogicalSize:  o.LogicalSize,
+		UnpackedSize: o.UnpackedSize,
+	}
+}
+
 func (w *Worker) ackFile(id string, cache bool, err error) {
 	ack := proto.FileAck{ID: id, Ok: err == nil, Cache: cache}
 	if err != nil {
@@ -311,6 +343,21 @@ func (w *Worker) handlePutFile(msg proto.PutFile) {
 		return
 	}
 	w.ackFile(obj.ID, msg.Cache, nil)
+}
+
+// handlePutFileBulk is handlePutFile for the binary-framed path: the
+// object bytes arrive as the frame payload instead of base64 JSON.
+func (w *Worker) handlePutFileBulk(hdr proto.PutFileHdr, data []byte) {
+	obj := hdrToObject(hdr.File, data)
+	if err := obj.Validate(); err != nil {
+		w.ackFile(obj.ID, hdr.Cache, err)
+		return
+	}
+	if err := w.cacheObject(obj, hdr.Unpack); err != nil {
+		w.ackFile(obj.ID, hdr.Cache, err)
+		return
+	}
+	w.ackFile(obj.ID, hdr.Cache, nil)
 }
 
 // handleFetchFile pulls an object from a peer data server — one edge
@@ -370,7 +417,18 @@ func fetchFromPeer(addr, id string, idle time.Duration) (*content.Object, error)
 		return nil, fmt.Errorf("worker: reading peer response: %w", err)
 	}
 	switch t {
+	case proto.MsgFileDataBulk:
+		hdr, payload, err := proto.DecodeBulk[proto.FileHdr](raw)
+		if err != nil {
+			return nil, err
+		}
+		obj := hdrToObject(hdr, payload)
+		if err := obj.Validate(); err != nil {
+			return nil, fmt.Errorf("worker: peer sent corrupt object: %w", err)
+		}
+		return obj, nil
 	case proto.MsgFileData:
+		// Legacy JSON-framed response, kept for mixed-version peers.
 		meta, err := proto.Decode[proto.FileMeta](raw)
 		if err != nil {
 			return nil, err
@@ -415,7 +473,9 @@ func (w *Worker) serveData() {
 				_ = pc.Send(proto.MsgError, proto.ErrorMsg{Err: "object not cached"})
 				return
 			}
-			_ = pc.Send(proto.MsgFileData, objectToMeta(obj))
+			// Bulk frame: header JSON plus the raw bytes straight from the
+			// cache's backing slice — no base64 copy on either side.
+			_ = pc.SendBulk(proto.MsgFileDataBulk, objectToHdr(obj), obj.Data)
 		}()
 	}
 }
