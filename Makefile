@@ -1,15 +1,24 @@
 # Convenience targets for the go-taskvine-context reproduction.
 
-.PHONY: all check build test race bench experiments examples clean
+.PHONY: all check build test race fidelity bench experiments examples clean
 
 all: check
 
-# The pre-merge gate: vet + build, the plain suite, the full suite
-# under the race detector (the chaos tests exercise the manager's
-# failure paths concurrently, so -race is load-bearing here), and a
-# one-iteration dispatch-throughput smoke run so the hot path cannot
-# silently stop compiling or deadlock.
-check: build test race benchsmoke
+# The pre-merge gate: vet + build, the plain suite, the policy-core
+# fidelity gate, the full suite under the race detector (the chaos
+# tests exercise the manager's failure paths concurrently, so -race is
+# load-bearing here), and a one-iteration dispatch-throughput smoke run
+# so the hot path cannot silently stop compiling or deadlock.
+check: build test fidelity race benchsmoke
+
+# The fidelity gate: the pure policy core's decision-order pins, the
+# manager-vs-simulator differential replays, and the golden decision
+# traces for the seed workloads — all under -race so view maintenance
+# stays data-race-free too.
+fidelity:
+	go test -race ./internal/policy
+	go test -race -run Differential ./internal/manager
+	go test -race -run Golden ./internal/experiments
 
 build:
 	go build ./...

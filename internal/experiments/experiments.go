@@ -181,6 +181,14 @@ func lnniConfig(level core.ReuseLevel, workers, invocations, units int, seed uin
 	}
 }
 
+// SeedConfig is the standard LNNI configuration at a chosen reuse
+// level and scale — the seed workload the golden decision-trace tests
+// pin and the differential harness replays. Exported so tests outside
+// this package build the exact configuration the experiments run.
+func SeedConfig(level core.ReuseLevel, workers, invocations int) sim.Config {
+	return lnniConfig(level, workers, invocations, 16, Options{}.seed())
+}
+
 // examolConfig builds the standard ExaMol simulation configuration.
 func examolConfig(level core.ReuseLevel, workers, invocations int, seed uint64) sim.Config {
 	return sim.Config{

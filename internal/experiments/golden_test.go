@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden decision traces")
+
+// TestGoldenDecisionTraces pins the exact scheduling-decision sequence
+// the policy core produces for the L1/L2/L3 seed workloads at reduced
+// scale. Any change to placement order, source selection, staging
+// modes, or deploy targets shows up as a golden diff — deliberate
+// policy changes regenerate with `go test ./internal/experiments
+// -run Golden -update`, accidental ones fail review.
+func TestGoldenDecisionTraces(t *testing.T) {
+	cases := []struct {
+		name  string
+		level core.ReuseLevel
+	}{
+		{"L1", core.L1},
+		{"L2", core.L2},
+		{"L3", core.L3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := &policy.Recorder{Max: 600}
+			cfg := SeedConfig(tc.level, 8, 64)
+			cfg.DecisionTrace = rec
+			sim.Run(cfg)
+			got := rec.Dump()
+			if len(rec.Decisions) == 0 {
+				t.Fatalf("seed run recorded no decisions")
+			}
+			path := filepath.Join("testdata", "golden_trace_"+tc.name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				gl := strings.Split(got, "\n")
+				wl := strings.Split(string(want), "\n")
+				n := len(gl)
+				if len(wl) < n {
+					n = len(wl)
+				}
+				for i := 0; i < n; i++ {
+					if gl[i] != wl[i] {
+						t.Fatalf("decision trace diverges from golden at line %d:\n  got:  %q\n  want: %q\n(regenerate with -update if the change is deliberate)", i+1, gl[i], wl[i])
+					}
+				}
+				t.Fatalf("decision trace length differs from golden: got %d lines, want %d (regenerate with -update if deliberate)", len(gl), len(wl))
+			}
+		})
+	}
+}

@@ -1,0 +1,365 @@
+package manager
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Differential fidelity harness: one random event trace — submissions,
+// environment acks, library readiness, completions — is fed through
+// the real manager (synthetic workers, synchronous event injection)
+// and through the simulator's untimed Replay. Both engines consult the
+// shared policy core (internal/policy) for every scheduling decision
+// against equivalently-maintained cluster views, so their decision
+// traces must match line for line. A divergence means one driver's
+// view maintenance or decision execution drifted from the other's —
+// exactly the fidelity bug class this refactor exists to make
+// impossible.
+//
+// The harness keeps the engines in lockstep by construction:
+//
+//   - Worker IDs, resources, library/environment identities, and the
+//     peer-transfer options are identical, so both views hash to the
+//     same ring and index the same objects.
+//   - The sim side runs ManagerSourceCap so high its manager link
+//     never saturates — the real manager's semantics (it has no
+//     self-cap; only the paper's simulator models one).
+//   - For the invocation workload, completions are withheld while a
+//     deploy is in flight and invocations are queued: the manager
+//     binds a queued invocation to a worker only when an instance
+//     becomes ready, while the simulator binds it to the deploying
+//     slot immediately, so a completion elsewhere in that window would
+//     legitimately place it differently. Every other interleaving is
+//     fair game.
+
+const (
+	diffLib = "difflib"
+	diffEnv = "env:difflib"
+)
+
+func diffEnvSpec() core.FileSpec {
+	return core.FileSpec{
+		Object:       &content.Object{ID: diffEnv, Name: diffEnv, LogicalSize: 64 << 20},
+		Cache:        true,
+		PeerTransfer: true,
+		Unpack:       true,
+	}
+}
+
+type diffHarness struct {
+	t     *testing.T
+	m     *Manager
+	rec   *policy.Recorder
+	rp    *sim.Replay
+	ws    []*workerState
+	level core.ReuseLevel
+	env   core.FileSpec
+	opLog []string
+}
+
+func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int) *diffHarness {
+	t.Helper()
+	rec := &policy.Recorder{}
+	m := New(Options{PeerTransfers: true, DecisionTrace: rec})
+	h := &diffHarness{t: t, m: m, rec: rec, level: level, env: diffEnvSpec()}
+	for i := 0; i < workers; i++ {
+		id := fmt.Sprintf("w%04d", i)
+		w := &workerState{
+			id:           id,
+			hello:        proto.Hello{WorkerID: id, Resources: core.Resources{Cores: slots}},
+			sendq:        make(chan outMsg, 256),
+			fetchSources: map[string]string{},
+			ackWaiters:   map[string][]*inflightEntry{},
+			libs:         map[string]*libInstance{},
+		}
+		m.mu.Lock()
+		m.registerWorkerLocked(w)
+		m.mu.Unlock()
+		h.ws = append(h.ws, w)
+	}
+	if level == core.L3 {
+		if err := m.RegisterLibrary(&core.LibrarySpec{
+			Name:      diffLib,
+			Functions: []core.FunctionSpec{{Name: "f", Source: "1"}},
+			Env:       &h.env,
+			Slots:     1,
+			Resources: core.Resources{Cores: 1},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.rp = sim.NewReplay(sim.Config{
+		App:              &apps.CostModel{Name: diffLib, EnvPackedBytes: 64 << 20},
+		Level:            level,
+		Workers:          workers,
+		SlotsPerWorker:   slots,
+		PeerTransfers:    true,
+		PeerCap:          3,
+		ManagerSourceCap: 1 << 30,
+		Seed:             1,
+	})
+	return h
+}
+
+// settle drops queued worker messages so the synthetic send queues
+// never fill (a full queue would drop the "connection").
+func (h *diffHarness) settle() {
+	for _, w := range h.ws {
+		drainMsgs(w)
+	}
+}
+
+// crossCheck compares per-worker view accounting between the two
+// engines, localizing a drift to the first op that caused it.
+func (h *diffHarness) crossCheck(op string) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	sv := h.rp.View()
+	for _, w := range h.ws {
+		wv := sv.Workers[w.id]
+		if w.v.TransfersOut != wv.TransfersOut {
+			h.t.Fatalf("after %s: %s TransfersOut manager=%d sim=%d\nops: %v\nmgr trace:\n%s\nsim trace:\n%s", op, w.id, w.v.TransfersOut, wv.TransfersOut, h.opLog, h.rec.Dump(), h.rp.Dump())
+		}
+		if w.v.Commit != wv.Commit {
+			h.t.Fatalf("after %s: %s Commit manager=%+v sim=%+v", op, w.id, w.v.Commit, wv.Commit)
+		}
+		if w.v.Pending[diffEnv] != wv.Pending[diffEnv] {
+			h.t.Fatalf("after %s: %s Pending[env] manager=%v sim=%v", op, w.id, w.v.Pending[diffEnv], wv.Pending[diffEnv])
+		}
+		if w.v.Files[diffEnv] != wv.Files[diffEnv] {
+			h.t.Fatalf("after %s: %s Files[env] manager=%v sim=%v", op, w.id, w.v.Files[diffEnv], wv.Files[diffEnv])
+		}
+	}
+}
+
+func (h *diffHarness) submit(n int) {
+	h.opLog = append(h.opLog, fmt.Sprintf("submit(%d)", n))
+	for i := 0; i < n; i++ {
+		if h.level == core.L3 {
+			h.m.SubmitInvocation(&core.InvocationSpec{Library: diffLib, Function: "f"})
+		} else {
+			h.m.Submit(&core.TaskSpec{
+				Script:    "1",
+				Inputs:    []core.FileSpec{h.env},
+				Resources: core.Resources{Cores: 1},
+			})
+		}
+	}
+	h.rp.Submit(n)
+}
+
+// canEnvAck reports whether an environment copy is in flight to w.
+func (h *diffHarness) canEnvAck(w *workerState) bool {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return w.v.Pending[diffEnv]
+}
+
+func (h *diffHarness) envAck(w *workerState) {
+	h.opLog = append(h.opLog, "envAck("+w.id+")")
+	h.m.onFileAck(w, proto.FileAck{ID: diffEnv, Ok: true, Cache: true})
+	if !h.rp.EnvArrived(w.id) {
+		h.diffTraces(0)
+		h.t.Fatalf("sim rejected EnvArrived(%s) the manager accepted\nmanager trace tail: %v",
+			w.id, tail(h.rec.Decisions, 6))
+	}
+}
+
+func tail(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}
+
+// canLibReady reports whether w has an installing (un-acked) library
+// instance whose environment has already arrived.
+func (h *diffHarness) canLibReady(w *workerState) bool {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	li := w.libs[diffLib]
+	return li != nil && !li.Ready && !li.Failed && w.v.Files[diffEnv]
+}
+
+func (h *diffHarness) libReady(w *workerState) {
+	h.opLog = append(h.opLog, "libReady("+w.id+")")
+	h.m.onLibraryAck(w, proto.LibraryAck{Library: diffLib, Ok: true, Instance: "i-" + w.id})
+	if !h.rp.LibReady(w.id) {
+		h.t.Fatalf("sim rejected LibReady(%s) the manager accepted", w.id)
+	}
+}
+
+// completable returns the lowest-ID completable dispatch on w, if any.
+// For tasks that means all staged inputs acked; for invocations it
+// additionally requires no open deferred-binding window (see the
+// harness comment above).
+func (h *diffHarness) completable(w *workerState) (int64, bool) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.level == core.L3 && h.m.pendingInvCount > 0 {
+		for _, ww := range h.ws {
+			if li := ww.libs[diffLib]; li != nil && !li.Ready && !li.Failed {
+				return 0, false
+			}
+		}
+	}
+	best := int64(-1)
+	for id, e := range h.m.inflight {
+		if e.worker != w.id {
+			continue
+		}
+		if h.level != core.L3 && len(e.waiting) > 0 {
+			continue
+		}
+		if best < 0 || id < best {
+			best = id
+		}
+	}
+	return best, best >= 0
+}
+
+func (h *diffHarness) done(w *workerState, id int64) {
+	h.opLog = append(h.opLog, fmt.Sprintf("done(%s,%d)", w.id, id))
+	h.m.onResult(w, core.Result{ID: id, Ok: true, Value: []byte("x")})
+	if !h.rp.Complete(w.id) {
+		h.t.Fatalf("sim rejected Complete(%s) the manager accepted", w.id)
+	}
+}
+
+// quiesce applies every applicable non-submit event in deterministic
+// order until none applies: all transfers land, all deploys come up,
+// all dispatches complete.
+func (h *diffHarness) quiesce() {
+	for {
+		progressed := false
+		for _, w := range h.ws {
+			h.settle()
+			if h.canEnvAck(w) {
+				h.envAck(w)
+				progressed = true
+			}
+			if h.level == core.L3 && h.canLibReady(w) {
+				h.libReady(w)
+				progressed = true
+			}
+			for {
+				id, ok := h.completable(w)
+				if !ok {
+					break
+				}
+				h.done(w, id)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// diffTraces asserts the two decision traces are identical, printing
+// the first divergence with context.
+func (h *diffHarness) diffTraces(minLines int) {
+	mgr := h.rec.Decisions
+	rep := h.rp.Decisions()
+	n := len(mgr)
+	if len(rep) < n {
+		n = len(rep)
+	}
+	for i := 0; i < n; i++ {
+		if mgr[i] != rep[i] {
+			lo := i - 3
+			if lo < 0 {
+				lo = 0
+			}
+			h.t.Fatalf("decision traces diverge at line %d:\n  manager: %q\n  sim:     %q\ncontext (manager):\n  %v\ncontext (sim):\n  %v\nFULL mgr:\n%s\nFULL sim:\n%s",
+				i, mgr[i], rep[i], mgr[lo:i+1], rep[lo:i+1], h.rec.Dump(), h.rp.Dump())
+		}
+	}
+	if len(mgr) != len(rep) {
+		h.t.Fatalf("trace lengths differ: manager=%d sim=%d (first %d lines identical)", len(mgr), len(rep), n)
+	}
+	if len(mgr) < minLines {
+		h.t.Fatalf("degenerate run: only %d decisions recorded, want >= %d", len(mgr), minLines)
+	}
+}
+
+// runDifferential drives ops random events through both engines and
+// diffs the decision traces, then drives both to quiescence and diffs
+// again.
+func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64, ops int) {
+	h := newDiffHarness(t, level, 7, slots)
+	rng := rand.New(rand.NewSource(seed))
+	outstanding := 0
+	for i := 0; i < ops; i++ {
+		h.settle()
+		h.crossCheck(fmt.Sprintf("op %d", i))
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			if outstanding < 120 {
+				n := 1 + rng.Intn(4)
+				h.submit(n)
+				outstanding += n
+			}
+		case 3, 4:
+			for _, k := range rng.Perm(len(h.ws)) {
+				if h.canEnvAck(h.ws[k]) {
+					h.envAck(h.ws[k])
+					break
+				}
+			}
+		case 5:
+			if level == core.L3 {
+				for _, k := range rng.Perm(len(h.ws)) {
+					if h.canLibReady(h.ws[k]) {
+						h.libReady(h.ws[k])
+						break
+					}
+				}
+			}
+		default:
+			for _, k := range rng.Perm(len(h.ws)) {
+				if id, ok := h.completable(h.ws[k]); ok {
+					h.done(h.ws[k], id)
+					outstanding--
+					break
+				}
+			}
+		}
+	}
+	h.quiesce()
+	h.settle()
+	if err := h.m.CheckQuiescence(); err != nil {
+		t.Errorf("manager not quiescent after drain: %v", err)
+	}
+	if p := h.rp.Pending(); p != 0 {
+		t.Errorf("sim replay still has %d pending invocations after drain", p)
+	}
+	h.diffTraces(ops / 4)
+}
+
+func TestDifferentialTaskWorkload(t *testing.T) {
+	// L2-style stateless tasks carrying a cached peer-transferable
+	// environment input: exercises ring placement, direct vs peer
+	// staging, first-copy suppression, and per-source caps.
+	for _, seed := range []int64{1, 2, 3} {
+		runDifferential(t, core.L2, 2, seed, 600)
+	}
+}
+
+func TestDifferentialInvocationWorkload(t *testing.T) {
+	// L3 function invocations on single-slot library instances:
+	// exercises ready-instance placement, hash-ring deploys with the
+	// saturation guard, and deploy staging.
+	for _, seed := range []int64{1, 2, 3} {
+		runDifferential(t, core.L3, 1, seed, 600)
+	}
+}

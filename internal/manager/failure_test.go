@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/content"
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/proto"
 )
 
@@ -21,14 +22,11 @@ import (
 func fakeWorker(m *Manager, id string) *workerState {
 	w := &workerState{
 		id:           id,
+		hello:        proto.Hello{WorkerID: id, Resources: core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10}},
 		sendq:        make(chan outMsg, 256),
-		total:        core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10},
-		files:        map[string]bool{},
-		pending:      map[string]bool{},
 		fetchSources: map[string]string{},
 		ackWaiters:   map[string][]*inflightEntry{},
 		libs:         map[string]*libInstance{},
-		alive:        true,
 	}
 	m.mu.Lock()
 	m.registerWorkerLocked(w)
@@ -55,14 +53,14 @@ func TestWorkerGoneReleasesPeerTransferSlots(t *testing.T) {
 	m := New(Options{PeerTransfers: true})
 	src := fakeWorker(m, "src")
 	dst := fakeWorker(m, "dst")
-	src.transfersOut = 2
+	src.v.TransfersOut = 2
 	dst.fetchSources["obj-a"] = "src"
 	dst.fetchSources["obj-b"] = "src"
 
 	m.onWorkerGone(dst)
 
-	if src.transfersOut != 0 {
-		t.Errorf("source still holds %d transfer slots", src.transfersOut)
+	if src.v.TransfersOut != 0 {
+		t.Errorf("source still holds %d transfer slots", src.v.TransfersOut)
 	}
 	if _, there := m.workers["dst"]; there {
 		t.Errorf("dead worker still registered")
@@ -149,15 +147,15 @@ func TestFailedPeerFetchRestagesFromManager(t *testing.T) {
 	fs := core.FileSpec{Object: obj, Cache: true, PeerTransfer: true}
 	m.mu.Lock()
 	m.catalog[obj.ID] = fs
-	src.transfersOut = 1
+	src.v.TransfersOut = 1
 	m.notePendingLocked(dst, obj.ID)
 	dst.fetchSources[obj.ID] = "src"
 	m.mu.Unlock()
 
 	m.onFileAck(dst, proto.FileAck{ID: obj.ID, Ok: false, Err: "peer stalled"})
 
-	if src.transfersOut != 0 {
-		t.Errorf("source slot not released: %d", src.transfersOut)
+	if src.v.TransfersOut != 0 {
+		t.Errorf("source slot not released: %d", src.v.TransfersOut)
 	}
 	if m.Stats().Restaged != 1 {
 		t.Errorf("restaged = %d", m.Stats().Restaged)
@@ -166,7 +164,7 @@ func TestFailedPeerFetchRestagesFromManager(t *testing.T) {
 	if len(msgs) != 1 || msgs[0].t != proto.MsgPutFileBulk {
 		t.Fatalf("expected one bulk PutFile re-stage, got %v", msgs)
 	}
-	if !dst.pending[obj.ID] {
+	if !dst.v.Pending[obj.ID] {
 		t.Errorf("re-staged object not marked pending")
 	}
 }
@@ -203,7 +201,7 @@ func TestTransferTimeMeasuresDispatchToAck(t *testing.T) {
 	task.Inputs = []core.FileSpec{{Object: obj, Cache: true}}
 	m.mu.Lock()
 	m.notePendingLocked(w, obj.ID)
-	w.commit = w.commit.Add(task.Resources)
+	w.v.Commit = w.v.Commit.Add(task.Resources)
 	e := &inflightEntry{
 		worker:  "w",
 		task:    task,
@@ -239,8 +237,10 @@ func TestLibraryAckAccounting(t *testing.T) {
 	res := core.Resources{Cores: 8}
 	install := func() {
 		m.mu.Lock()
-		w.libs["lib"] = &libInstance{name: "lib", res: res}
-		w.commit = w.commit.Add(res)
+		li := &libInstance{LibraryView: policy.LibraryView{Name: "lib", Slots: 1, MaxInstances: 1, Res: res}}
+		w.libs["lib"] = li
+		m.view.AddInstance(w.v, &li.LibraryView)
+		w.v.Commit = w.v.Commit.Add(res)
 		m.mu.Unlock()
 	}
 
@@ -249,8 +249,8 @@ func TestLibraryAckAccounting(t *testing.T) {
 	install()
 	m.onLibraryAck(w, proto.LibraryAck{Library: "lib", Ok: false, Err: "setup exploded"})
 	m.mu.Lock()
-	if _, there := w.libs["lib"]; there || w.commit.Cores != 0 || m.libFailures["lib"] != 1 {
-		t.Errorf("after failed ack: libs=%v commit=%+v failures=%d", w.libs, w.commit, m.libFailures["lib"])
+	if _, there := w.libs["lib"]; there || w.v.Commit.Cores != 0 || m.libFailures["lib"] != 1 {
+		t.Errorf("after failed ack: libs=%v commit=%+v failures=%d", w.libs, w.v.Commit, m.libFailures["lib"])
 	}
 	m.mu.Unlock()
 
@@ -260,7 +260,7 @@ func TestLibraryAckAccounting(t *testing.T) {
 	m.onLibraryAck(w, proto.LibraryAck{Library: "lib", Ok: true, Instance: "lib@w#1"})
 	m.mu.Lock()
 	li := w.libs["lib"]
-	if li == nil || !li.ready || li.instance != "lib@w#1" || m.libFailures["lib"] != 0 {
+	if li == nil || !li.Ready || li.instance != "lib@w#1" || m.libFailures["lib"] != 0 {
 		t.Errorf("after ok ack: li=%+v failures=%d", li, m.libFailures["lib"])
 	}
 	m.mu.Unlock()
@@ -277,7 +277,9 @@ func TestRepeatedLibraryFailureFailsPendingInvocations(t *testing.T) {
 
 	for i := 0; i < maxLibraryFailures; i++ {
 		m.mu.Lock()
-		w.libs["bad"] = &libInstance{name: "bad"}
+		bi := &libInstance{LibraryView: policy.LibraryView{Name: "bad", MaxInstances: 1}}
+		w.libs["bad"] = bi
+		m.view.AddInstance(w.v, &bi.LibraryView)
 		m.mu.Unlock()
 		m.onLibraryAck(w, proto.LibraryAck{Library: "bad", Ok: false, Err: "setup exploded"})
 	}
@@ -302,14 +304,16 @@ func TestEvictEmptyAccounting(t *testing.T) {
 	w := fakeWorker(m, "w")
 	m.mu.Lock()
 	res := core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10}
-	w.libs["idle"] = &libInstance{name: "idle", ready: true, res: res}
-	w.commit = w.commit.Add(res)
+	idle := &libInstance{LibraryView: policy.LibraryView{Name: "idle", Ready: true, Slots: 1, MaxInstances: 1, Res: res}}
+	w.libs["idle"] = idle
+	m.view.AddInstance(w.v, &idle.LibraryView)
+	w.v.Commit = w.v.Commit.Add(res)
 
-	if !m.evictEmptyLocked(w, "incoming", res) {
+	if !m.evictForLocked(w, "incoming", res) {
 		t.Fatalf("eviction should free the idle library")
 	}
-	if _, there := w.libs["idle"]; there || w.commit.Cores != 0 {
-		t.Errorf("after evict: libs=%v commit=%+v", w.libs, w.commit)
+	if _, there := w.libs["idle"]; there || w.v.Commit.Cores != 0 {
+		t.Errorf("after evict: libs=%v commit=%+v", w.libs, w.v.Commit)
 	}
 	if n := atomic.LoadInt64(&m.stats.LibrariesEvicted); n != 1 {
 		t.Errorf("evicted = %d", n)
@@ -322,10 +326,15 @@ func TestEvictEmptyAccounting(t *testing.T) {
 
 	// A busy instance must never be evicted.
 	m.mu.Lock()
-	w.libs["busy"] = &libInstance{name: "busy", ready: true, slotsUsed: 1, res: res}
-	w.commit = w.commit.Add(res)
-	if m.evictEmptyLocked(w, "incoming", res) {
+	busy := &libInstance{LibraryView: policy.LibraryView{Name: "busy", Ready: true, Slots: 1, SlotsUsed: 1, MaxInstances: 1, Res: res}}
+	w.libs["busy"] = busy
+	m.view.AddInstance(w.v, &busy.LibraryView)
+	w.v.Commit = w.v.Commit.Add(res)
+	if m.evictForLocked(w, "incoming", res) {
 		t.Errorf("evicted a library with invocations in flight")
+	}
+	if _, there := w.libs["busy"]; !there {
+		t.Errorf("busy library disappeared from the worker")
 	}
 	m.mu.Unlock()
 }
@@ -384,7 +393,7 @@ func TestRetryableResultRetriesWithBackoff(t *testing.T) {
 	task := simpleTask("flaky")
 	task.ID = 5
 	m.mu.Lock()
-	w.commit = w.commit.Add(task.Resources)
+	w.v.Commit = w.v.Commit.Add(task.Resources)
 	m.inflight[5] = &inflightEntry{worker: "w", task: task, sentAt: time.Now()}
 	m.mu.Unlock()
 
@@ -434,7 +443,7 @@ func TestRetriesDisabledDeliversFirstFailure(t *testing.T) {
 	task := simpleTask("once")
 	task.ID = 2
 	m.mu.Lock()
-	w.commit = w.commit.Add(task.Resources)
+	w.v.Commit = w.v.Commit.Add(task.Resources)
 	m.inflight[2] = &inflightEntry{worker: "w", task: task, sentAt: time.Now()}
 	m.mu.Unlock()
 

@@ -7,28 +7,23 @@ import (
 	"repro/internal/core"
 )
 
-// This file maintains the scheduler's incremental indexes. The paper's
-// headline result (§4) needs the manager off the critical path while
-// invocations fan out; the original engine re-ran a full schedule scan
-// of every pending spec against every worker after every event. The
-// indexes below make each event O(1)/O(candidates):
+// This file keeps the manager's policy.ClusterView current and runs the
+// coalesced wake loop. The paper's headline result (§4) needs the
+// manager off the critical path while invocations fan out; the view's
+// derived indexes (ReadyFree, Holders, PendingCopies, LibFull —
+// internal/policy) make each decision O(candidates), and the structures
+// kept here make each *event* cheap:
 //
-//   - readyFree  (§3.5.2): library → workers holding a ready instance
-//     with at least one free slot, so ready-instance placement never
-//     walks the ring.
-//   - holders    (§3.3): object → workers holding a confirmed replica,
-//     so picking a peer-transfer source only looks at actual holders,
-//     and ObjectHolders is a counter read.
-//   - pendingCopies (§3.3): object → number of in-flight copies, so
-//     the "first copy in flight, everyone else waits" check is O(1).
 //   - objWaiters: object → the placements its arrival could unblock,
 //     so a FileAck wakes exactly those queues.
 //   - per-worker ackWaiters: object → dispatches on that worker still
 //     waiting for the ack (TransferTime stamping without scanning the
 //     whole inflight table).
+//   - dirty marks + wake(): a burst of events triggers one coalesced
+//     schedule pass, not one per event.
 //
 // All functions here require m.mu unless noted. The randomized
-// consistency test (index_test.go) asserts these structures always
+// consistency test (index_test.go) asserts the view's indexes always
 // match a brute-force recomputation from ground-truth worker state.
 
 // objWaiter records which placements a blocked object is holding up.
@@ -127,39 +122,24 @@ func (m *Manager) enqueueInvLocked(inv *core.InvocationSpec) {
 	m.markLibDirtyLocked(inv.Library)
 }
 
-// ---- replica (holders) index ----
+// ---- view wrappers ----
+//
+// The scheduler's cluster state lives in m.view (policy.ClusterView);
+// the wrappers below forward transitions and keep the lock-free
+// observability counter in sync with the view's Holders index.
 
 // noteReplicaLocked records a confirmed cached copy of an object on a
-// worker, keeping the holders index and the lock-free observability
-// counter in sync.
+// worker.
 func (m *Manager) noteReplicaLocked(w *workerState, id string) {
-	if w.files[id] {
-		return
+	if m.view.NoteReplica(w.v, id) {
+		m.setHolderCount(id, len(m.view.Holders[id]))
 	}
-	w.files[id] = true
-	set := m.holders[id]
-	if set == nil {
-		set = map[string]*workerState{}
-		m.holders[id] = set
-	}
-	set[w.id] = w
-	m.setHolderCount(id, len(set))
 }
 
 // dropReplicaLocked removes one worker's replica (worker death).
 func (m *Manager) dropReplicaLocked(w *workerState, id string) {
-	if !w.files[id] {
-		return
-	}
-	delete(w.files, id)
-	if set := m.holders[id]; set != nil {
-		delete(set, w.id)
-		if len(set) == 0 {
-			delete(m.holders, id)
-			m.setHolderCount(id, 0)
-		} else {
-			m.setHolderCount(id, len(set))
-		}
+	if m.view.DropReplica(w.v, id) {
+		m.setHolderCount(id, len(m.view.Holders[id]))
 	}
 }
 
@@ -175,78 +155,27 @@ func (m *Manager) setHolderCount(id string, n int) {
 	m.obsMu.Unlock()
 }
 
-// ---- in-flight copy index ----
-
 // notePendingLocked records that a copy of the object is in flight to
 // the worker.
 func (m *Manager) notePendingLocked(w *workerState, id string) {
-	if w.pending[id] {
-		return
-	}
-	w.pending[id] = true
-	m.pendingCopies[id]++
+	m.view.NotePending(w.v, id)
 }
 
 // clearPendingLocked removes the in-flight record, reporting whether
-// one existed. The count is guarded against state written behind the
-// mutators' back (synthetic test workers).
+// one existed.
 func (m *Manager) clearPendingLocked(w *workerState, id string) bool {
-	if !w.pending[id] {
-		return false
-	}
-	delete(w.pending, id)
-	if n := m.pendingCopies[id]; n > 1 {
-		m.pendingCopies[id] = n - 1
-	} else {
-		delete(m.pendingCopies, id)
-	}
-	return true
+	return m.view.ClearPending(w.v, id)
 }
 
-// ---- ready-instance index (§3.5.2) ----
-
-// libSlotsChangedLocked re-derives one instance's membership in the
-// readyFree index after any slot or readiness transition.
+// libSlotsChangedLocked republishes one instance's free ready-slot
+// count after any slot or readiness transition, re-deriving its
+// membership in the view's ReadyFree index.
 func (m *Manager) libSlotsChangedLocked(w *workerState, li *libInstance) {
-	slots := 1
-	if spec := m.libSpecs[li.name]; spec != nil {
-		slots = spec.SlotCount()
+	free := 0
+	if li.Ready && !li.Failed && li.SlotsUsed < li.Slots {
+		free = li.Slots - li.SlotsUsed
 	}
-	if li.ready && !li.failed && w.alive && li.slotsUsed < slots {
-		set := m.readyFree[li.name]
-		if set == nil {
-			set = map[string]*workerState{}
-			m.readyFree[li.name] = set
-		}
-		set[w.id] = w
-		return
-	}
-	m.removeReadyLocked(li.name, w.id)
-}
-
-// decLibOnLocked decrements a library's deployed-instance count
-// (failed install, eviction, worker death). Entries added behind the
-// mutators' back (synthetic test workers) leave the count under-stated,
-// which only costs a redundant ring walk — never a skipped deploy.
-func (m *Manager) decLibOnLocked(lib string) {
-	if n := m.libOn[lib]; n > 1 {
-		m.libOn[lib] = n - 1
-	} else {
-		delete(m.libOn, lib)
-	}
-}
-
-// removeReadyLocked drops a worker from a library's ready-free set
-// (eviction, death, failed install, full slots).
-func (m *Manager) removeReadyLocked(lib, workerID string) {
-	set := m.readyFree[lib]
-	if set == nil {
-		return
-	}
-	delete(set, workerID)
-	if len(set) == 0 {
-		delete(m.readyFree, lib)
-	}
+	m.view.SetFreeReady(w.v, &li.LibraryView, free)
 }
 
 // ---- blocked-placement wait queues ----
@@ -288,30 +217,31 @@ func (m *Manager) wakeObjWaitersLocked(id string) {
 // ---- worker lifecycle ----
 
 // registerWorkerLocked adds a connected worker to the worker table and
-// the placement ring.
+// the view (which puts it on the placement ring).
 func (m *Manager) registerWorkerLocked(w *workerState) {
 	m.workers[w.id] = w
-	m.ring.Add(w.id)
+	w.v = m.view.AddWorker(w.id, w.hello.Cluster, w.hello.Resources)
 }
 
-// dropWorkerLocked removes a dead worker from every index: its ready
-// instances, its replicas, its in-flight copies (waking anything queued
-// behind a first copy that will now never confirm), and its ack
-// waiters.
+// dropWorkerLocked removes a dead worker from the worker table and
+// every view index: its library instances, its replicas, its in-flight
+// copies — republishing observability counters and waking anything
+// queued behind a first copy that will now never confirm.
 func (m *Manager) dropWorkerLocked(w *workerState) {
 	delete(m.workers, w.id)
-	m.ring.Remove(w.id)
-	w.alive = false
-	for name := range w.libs {
-		m.removeReadyLocked(name, w.id)
-		m.decLibOnLocked(name)
+	// Un-acked installs on the dead worker will never ack; release
+	// their claims so queued invocations can trigger fresh deploys.
+	for name, li := range w.libs {
+		if !li.Ready && !li.Failed && m.installing[name] > 0 {
+			m.installing[name]--
+		}
 	}
-	for id := range w.files {
-		m.dropReplicaLocked(w, id)
+	dropped, cleared := m.view.RemoveWorker(w.v)
+	for _, id := range dropped {
+		m.setHolderCount(id, len(m.view.Holders[id]))
 	}
-	for id := range w.pending {
-		m.clearPendingLocked(w, id)
-		if m.pendingCopies[id] == 0 {
+	for _, id := range cleared {
+		if m.view.PendingCopies[id] == 0 {
 			m.wakeObjWaitersLocked(id)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/content"
 	"repro/internal/core"
+	"repro/internal/proto"
 )
 
 // TestIndexConsistencyRandomized drives the scheduler's incremental
@@ -45,16 +46,14 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 	defer close(done)
 
 	newWorker := func(i int) *workerState {
+		id := fmt.Sprintf("w%03d", i)
 		return &workerState{
-			id:           fmt.Sprintf("w%03d", i),
+			id:           id,
+			hello:        proto.Hello{WorkerID: id, Resources: core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10}},
 			sendq:        make(chan outMsg, 4096),
-			total:        core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10},
-			files:        map[string]bool{},
-			pending:      map[string]bool{},
 			fetchSources: map[string]string{},
 			ackWaiters:   map[string][]*inflightEntry{},
 			libs:         map[string]*libInstance{},
-			alive:        true,
 		}
 	}
 	var live []*workerState
@@ -75,22 +74,18 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 		wantLibOn := map[string]int{}
 		wantReady := map[string]map[string]bool{}
 		for id, w := range m.workers {
-			for obj := range w.files {
+			for obj := range w.v.Files {
 				if wantHolders[obj] == nil {
 					wantHolders[obj] = map[string]bool{}
 				}
 				wantHolders[obj][id] = true
 			}
-			for obj := range w.pending {
+			for obj := range w.v.Pending {
 				wantPending[obj]++
 			}
 			for name, li := range w.libs {
 				wantLibOn[name]++
-				slots := 1
-				if spec := m.libSpecs[name]; spec != nil {
-					slots = spec.SlotCount()
-				}
-				if li.ready && !li.failed && w.alive && li.slotsUsed < slots {
+				if li.Ready && !li.Failed && w.v.Alive && li.SlotsUsed < li.Slots {
 					if wantReady[name] == nil {
 						wantReady[name] = map[string]bool{}
 					}
@@ -99,11 +94,11 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 			}
 		}
 
-		if len(m.holders) != len(wantHolders) {
-			t.Fatalf("step %d (%s): holders has %d objects, want %d", step, op, len(m.holders), len(wantHolders))
+		if len(m.view.Holders) != len(wantHolders) {
+			t.Fatalf("step %d (%s): holders has %d objects, want %d", step, op, len(m.view.Holders), len(wantHolders))
 		}
 		for obj, set := range wantHolders {
-			got := m.holders[obj]
+			got := m.view.Holders[obj]
 			if len(got) != len(set) {
 				t.Fatalf("step %d (%s): holders[%s] has %d workers, want %d", step, op, obj, len(got), len(set))
 			}
@@ -113,27 +108,27 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 				}
 			}
 		}
-		if len(m.pendingCopies) != len(wantPending) {
-			t.Fatalf("step %d (%s): pendingCopies has %d objects, want %d", step, op, len(m.pendingCopies), len(wantPending))
+		if len(m.view.PendingCopies) != len(wantPending) {
+			t.Fatalf("step %d (%s): pendingCopies has %d objects, want %d", step, op, len(m.view.PendingCopies), len(wantPending))
 		}
 		for obj, n := range wantPending {
-			if m.pendingCopies[obj] != n {
-				t.Fatalf("step %d (%s): pendingCopies[%s] = %d, want %d", step, op, obj, m.pendingCopies[obj], n)
+			if m.view.PendingCopies[obj] != n {
+				t.Fatalf("step %d (%s): pendingCopies[%s] = %d, want %d", step, op, obj, m.view.PendingCopies[obj], n)
 			}
 		}
-		if len(m.libOn) != len(wantLibOn) {
-			t.Fatalf("step %d (%s): libOn has %d libraries, want %d", step, op, len(m.libOn), len(wantLibOn))
+		if len(m.view.LibFull) != len(wantLibOn) {
+			t.Fatalf("step %d (%s): LibFull has %d libraries, want %d", step, op, len(m.view.LibFull), len(wantLibOn))
 		}
 		for name, n := range wantLibOn {
-			if m.libOn[name] != n {
-				t.Fatalf("step %d (%s): libOn[%s] = %d, want %d", step, op, name, m.libOn[name], n)
+			if m.view.LibFull[name] != n {
+				t.Fatalf("step %d (%s): LibFull[%s] = %d, want %d", step, op, name, m.view.LibFull[name], n)
 			}
 		}
-		if len(m.readyFree) != len(wantReady) {
-			t.Fatalf("step %d (%s): readyFree has %d libraries, want %d", step, op, len(m.readyFree), len(wantReady))
+		if len(m.view.ReadyFree) != len(wantReady) {
+			t.Fatalf("step %d (%s): readyFree has %d libraries, want %d", step, op, len(m.view.ReadyFree), len(wantReady))
 		}
 		for name, set := range wantReady {
-			got := m.readyFree[name]
+			got := m.view.ReadyFree[name]
 			if len(got) != len(set) {
 				t.Fatalf("step %d (%s): readyFree[%s] has %d workers, want %d", step, op, name, len(got), len(set))
 			}
@@ -221,43 +216,46 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 		case 6: // library ack ok
 			if w := pickWorker(); w != nil {
 				name := libs[rng.Intn(len(libs))]
-				if li := w.libs[name]; li != nil && !li.ready && !li.failed {
+				if li := w.libs[name]; li != nil && !li.Ready && !li.Failed {
 					op = "lib-ok"
-					li.ready = true
+					li.Ready = true
 					m.libSlotsChangedLocked(w, li)
 				}
 			}
 		case 7: // library ack failed
 			if w := pickWorker(); w != nil {
 				name := libs[rng.Intn(len(libs))]
-				if li := w.libs[name]; li != nil && !li.ready {
+				if li := w.libs[name]; li != nil && !li.Ready {
 					op = "lib-fail"
-					li.failed = true
+					li.Failed = true
 					delete(w.libs, name)
-					m.decLibOnLocked(name)
-					m.removeReadyLocked(name, w.id)
+					m.view.RemoveLibrary(w.v, name)
 				}
 			}
 		case 8: // place an invocation on a ready instance
 			name := libs[rng.Intn(len(libs))]
 			inv := &core.InvocationSpec{ID: nextInv, Library: name}
 			nextInv++
-			if m.placeInvocationOnReadyLocked(inv, m.libSpecs[name], "") {
+			if m.placeInvocationOnReadyLocked(inv, nil) {
 				op = "place"
 			}
 		case 9: // invocation result frees a slot
 			if w := pickWorker(); w != nil {
 				name := libs[rng.Intn(len(libs))]
-				if li := w.libs[name]; li != nil && li.slotsUsed > 0 {
+				if li := w.libs[name]; li != nil && li.SlotsUsed > 0 {
 					op = "result"
-					li.slotsUsed--
+					li.SlotsUsed--
 					m.libSlotsChangedLocked(w, li)
 				}
 			}
 		case 10: // evict everything idle on one worker
 			if w := pickWorker(); w != nil {
 				op = "evict"
-				m.evictEmptyLocked(w, "", core.Resources{Cores: 1 << 30})
+				for name, li := range w.libs {
+					if li.Ready && li.SlotsUsed == 0 {
+						m.evictLibraryLocked(w, name)
+					}
+				}
 			}
 		case 11: // spurious clear (retry path re-acking an unknown copy)
 			if w := pickWorker(); w != nil {

@@ -19,7 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/hashring"
+	"repro/internal/policy"
 	"repro/internal/proto"
 )
 
@@ -55,6 +55,10 @@ type Options struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps the exponential backoff. Zero defaults to 2s.
 	RetryMaxDelay time.Duration
+	// DecisionTrace, when set, records every scheduling decision the
+	// policy core hands this manager (differential and golden tests).
+	// nil — the default — keeps tracing entirely off the hot path.
+	DecisionTrace *policy.Recorder
 }
 
 // Stats counts manager-side activity for tests and experiments. All
@@ -82,14 +86,19 @@ type Manager struct {
 
 	mu          sync.Mutex
 	workers     map[string]*workerState
-	ring        *hashring.Ring
 	libSpecs    map[string]*core.LibrarySpec
 	libFailures map[string]int
 	// libInfraFailures counts consecutive retryable (infrastructure)
 	// deployment failures per library, bounded separately from
 	// broken-setup failures.
 	libInfraFailures map[string]int
-	pendingTasks     []pendingTask
+	// installing counts library instances deployed but not yet acked,
+	// per library. Each queued invocation claims one in-flight install
+	// before the scheduler plans a new deploy, so a burst of events
+	// during a slow install cannot over-provision instances beyond the
+	// queue length.
+	installing   map[string]int
+	pendingTasks []pendingTask
 	// pendingInvs queues invocations per library, so an event touching
 	// one library reconsiders only that library's queue. Order within a
 	// queue is submission order.
@@ -113,18 +122,15 @@ type Manager struct {
 	stats    Stats
 	closed   bool
 
-	// ---- scheduler indexes (maintained by index.go) ----
+	// ---- scheduler view (policy core) ----
 
-	// holders: object ID → workers with a confirmed cached replica.
-	holders map[string]map[string]*workerState
-	// pendingCopies: object ID → number of copies in flight cluster-wide.
-	pendingCopies map[string]int
-	// readyFree: library → workers with a ready instance and ≥1 free slot.
-	readyFree map[string]map[string]*workerState
-	// libOn: library → number of workers holding an instance (installing
-	// or ready); lets the deploy path skip its ring walk outright when
-	// the library is already everywhere.
-	libOn map[string]int
+	// view is the cluster snapshot every scheduling decision reads: the
+	// worker table, the placement ring, and the derived indexes
+	// (Holders, PendingCopies, ReadyFree, LibFull). index.go keeps it
+	// current; internal/policy decides against it; schedule.go executes.
+	view *policy.ClusterView
+	// rec, when non-nil, records the decision trace (Options.DecisionTrace).
+	rec *policy.Recorder
 	// objWaiters: object ID → queues blocked on its first copy.
 	objWaiters map[string]*objWaiter
 
@@ -173,34 +179,31 @@ type outMsg struct {
 }
 
 type workerState struct {
-	id      string
-	hello   proto.Hello
-	conn    *proto.Conn
-	nc      net.Conn
-	sendq   chan outMsg
-	total   core.Resources
-	commit  core.Resources
-	files   map[string]bool // confirmed cached
-	pending map[string]bool // sent, awaiting ack
+	id    string
+	hello proto.Hello
+	conn  *proto.Conn
+	nc    net.Conn
+	sendq chan outMsg
+	// v is this worker's entry in the policy view: resources, cached
+	// and in-flight files, transfer slots, liveness. index.go binds it
+	// at registration and every handler reports transitions through it.
+	v *policy.WorkerView
 	// fetchSources maps object ID → source worker of an in-flight peer
 	// fetch, to release the source's transfer slot on ack.
 	fetchSources map[string]string
 	// ackWaiters maps object ID → dispatches on this worker whose
 	// TransferTime is waiting for that object's FileAck.
-	ackWaiters   map[string][]*inflightEntry
-	transfersOut int
-	libs         map[string]*libInstance
-	alive        bool
+	ackWaiters map[string][]*inflightEntry
+	libs       map[string]*libInstance
 }
 
+// libInstance is one deployed library instance: the policy-visible
+// state (embedded view, shared by pointer with the ClusterView) plus
+// engine-only bookkeeping.
 type libInstance struct {
-	name      string
-	instance  string
-	ready     bool
-	failed    bool
-	slotsUsed int
-	served    int64
-	res       core.Resources
+	policy.LibraryView
+	instance string
+	served   int64
 }
 
 // New creates a manager with defaults applied.
@@ -223,22 +226,25 @@ func New(opts Options) *Manager {
 	return &Manager{
 		opts:             opts,
 		workers:          map[string]*workerState{},
-		ring:             hashring.New(0),
 		libSpecs:         map[string]*core.LibrarySpec{},
 		libFailures:      map[string]int{},
 		libInfraFailures: map[string]int{},
+		installing:       map[string]int{},
 		pendingInvs:      map[string][]*core.InvocationSpec{},
 		inflight:         map[int64]*inflightEntry{},
 		retries:          map[int64]int{},
 		avoid:            map[int64]string{},
 		catalog:          map[string]core.FileSpec{},
-		holders:          map[string]map[string]*workerState{},
-		pendingCopies:    map[string]int{},
-		readyFree:        map[string]map[string]*workerState{},
-		libOn:            map[string]int{},
-		objWaiters:       map[string]*objWaiter{},
-		holderCount:      map[string]int{},
-		results:          make(chan core.Result, opts.ResultBuffer),
+		view: policy.NewClusterView(policy.Options{
+			PeerTransfers:       opts.PeerTransfers,
+			PeerTransferCap:     opts.PeerTransferCap,
+			ClusterAware:        opts.ClusterAware,
+			EvictEmptyLibraries: opts.EvictEmptyLibraries,
+		}),
+		rec:         opts.DecisionTrace,
+		objWaiters:  map[string]*objWaiter{},
+		holderCount: map[string]int{},
+		results:     make(chan core.Result, opts.ResultBuffer),
 	}
 }
 
@@ -422,13 +428,9 @@ func (m *Manager) serveWorker(nc net.Conn) {
 		conn:         conn,
 		nc:           nc,
 		sendq:        make(chan outMsg, 16384),
-		total:        hello.Resources,
-		files:        map[string]bool{},
-		pending:      map[string]bool{},
 		fetchSources: map[string]string{},
 		ackWaiters:   map[string][]*inflightEntry{},
 		libs:         map[string]*libInstance{},
-		alive:        true,
 	}
 
 	m.mu.Lock()
@@ -504,8 +506,8 @@ func (m *Manager) onWorkerGone(w *workerState) {
 	// sends.
 	for id, src := range w.fetchSources {
 		delete(w.fetchSources, id)
-		if sw, live := m.workers[src]; live && sw.transfersOut > 0 {
-			sw.transfersOut--
+		if sw, live := m.workers[src]; live && sw.v.TransfersOut > 0 {
+			sw.v.TransfersOut--
 		}
 	}
 	// Drop the worker from every index (replicas, ready instances,
@@ -551,8 +553,17 @@ func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 	src, fromPeer := w.fetchSources[ack.ID]
 	if fromPeer {
 		delete(w.fetchSources, ack.ID)
-		if sw, live := m.workers[src]; live && sw.transfersOut > 0 {
-			sw.transfersOut--
+		if sw, live := m.workers[src]; live && sw.v.TransfersOut > 0 {
+			sw.v.TransfersOut--
+		}
+	} else if ack.Source != "" {
+		// The worker echoes the source the fetch was assigned
+		// (proto.FetchFile.Source), so a fetch the manager no longer
+		// tracks — its record displaced by recovery — still returns the
+		// source's transfer slot instead of bleeding it.
+		fromPeer = true
+		if sw, live := m.workers[ack.Source]; live && sw.v.TransfersOut > 0 {
+			sw.v.TransfersOut--
 		}
 	}
 	if ack.Ok && ack.Cache {
@@ -572,7 +583,7 @@ func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 			}
 		}
 	}
-	if !ack.Ok && fromPeer && w.alive {
+	if !ack.Ok && fromPeer && w.v.Alive {
 		// The peer fetch failed — stalled source, vanished source, or
 		// timeout. The manager's own link is always a valid source:
 		// re-stage directly rather than leaving every dispatch behind
@@ -606,8 +617,11 @@ func (m *Manager) onLibraryAck(w *workerState, ack proto.LibraryAck) {
 	m.mu.Lock()
 	li := w.libs[ack.Library]
 	if li != nil {
+		if !li.Ready && m.installing[ack.Library] > 0 {
+			m.installing[ack.Library]--
+		}
 		if ack.Ok {
-			li.ready = true
+			li.Ready = true
 			li.instance = ack.Instance
 			m.libFailures[ack.Library] = 0
 			m.libInfraFailures[ack.Library] = 0
@@ -616,15 +630,14 @@ func (m *Manager) onLibraryAck(w *workerState, ack proto.LibraryAck) {
 			// A ready instance with no slots in use is an eviction
 			// candidate (§3.5.2): other libraries blocked on capacity
 			// may now be deployable here.
-			if li.slotsUsed == 0 && m.opts.EvictEmptyLibraries {
+			if li.SlotsUsed == 0 && m.opts.EvictEmptyLibraries {
 				m.markAllLibsDirtyLocked()
 			}
 		} else {
-			li.failed = true
+			li.Failed = true
 			delete(w.libs, ack.Library)
-			m.decLibOnLocked(ack.Library)
-			m.removeReadyLocked(ack.Library, w.id)
-			w.commit = w.commit.Sub(li.res)
+			m.view.RemoveLibrary(w.v, ack.Library)
+			w.v.Commit = w.v.Commit.Sub(li.Res)
 			// Infrastructure-caused install failures (inputs lost to a
 			// stalled transfer, resources gone) draw on a much larger
 			// budget than broken-setup failures: transient chaos should
@@ -674,7 +687,7 @@ func (m *Manager) onResult(w *workerState, res core.Result) {
 		res.Metrics.TransferTime += e.transfer
 		if e.task != nil {
 			atomic.AddInt64(&m.stats.TasksDone, 1)
-			w.commit = w.commit.Sub(e.task.Resources)
+			w.v.Commit = w.v.Commit.Sub(e.task.Resources)
 			// Cacheable inputs are now resident on that worker.
 			for _, in := range e.task.Inputs {
 				if in.Cache {
@@ -687,11 +700,11 @@ func (m *Manager) onResult(w *workerState, res core.Result) {
 			atomic.AddInt64(&m.stats.InvocationsDone, 1)
 			idle := false
 			if li := w.libs[e.library]; li != nil {
-				if li.slotsUsed > 0 {
-					li.slotsUsed--
+				if li.SlotsUsed > 0 {
+					li.SlotsUsed--
 				}
 				li.served++
-				idle = li.slotsUsed == 0
+				idle = li.SlotsUsed == 0
 				m.libSlotsChangedLocked(w, li)
 			}
 			// A freed slot unblocks this library's queue; an instance
@@ -796,17 +809,17 @@ func (m *Manager) CheckQuiescence() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, w := range m.workers {
-		if w.transfersOut != 0 {
-			return fmt.Errorf("manager: worker %s still holds %d outbound transfer slots", w.id, w.transfersOut)
+		if w.v.TransfersOut != 0 {
+			return fmt.Errorf("manager: worker %s still holds %d outbound transfer slots", w.id, w.v.TransfersOut)
 		}
-		if len(w.pending) != 0 {
-			return fmt.Errorf("manager: worker %s has %d unacked staged files", w.id, len(w.pending))
+		if len(w.v.Pending) != 0 {
+			return fmt.Errorf("manager: worker %s has %d unacked staged files", w.id, len(w.v.Pending))
 		}
 		if len(w.fetchSources) != 0 {
 			return fmt.Errorf("manager: worker %s has %d dangling fetch-source records", w.id, len(w.fetchSources))
 		}
 	}
-	if n := len(m.pendingCopies); n != 0 {
+	if n := len(m.view.PendingCopies); n != 0 {
 		return fmt.Errorf("manager: %d objects still counted as in-flight copies", n)
 	}
 	if n := len(m.inflight); n != 0 {
@@ -829,7 +842,7 @@ func (m *Manager) LibraryDeployments() (instances int, totalServed int64) {
 	defer m.mu.Unlock()
 	for _, w := range m.workers {
 		for _, li := range w.libs {
-			if li.ready {
+			if li.Ready {
 				instances++
 				totalServed += li.served
 			}

@@ -2,12 +2,12 @@ package manager
 
 import (
 	"fmt"
-	"sort"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/content"
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/proto"
 )
 
@@ -15,67 +15,56 @@ import (
 // (index.go): scheduleTasksLocked when the task queue is dirty and
 // scheduleLibQueueLocked per dirty library. They never scan state that
 // their dirty mark could not have changed.
-
-// ---- file staging ----
-
-// fileReady reports whether the worker already has (or will have, via
-// an earlier message on the same ordered connection) the object.
-func fileReady(w *workerState, id string) bool {
-	return w.files[id] || w.pending[id]
-}
-
-// canStageFileLocked reports whether obj could be made present on w
-// right now, and stages it when commit is true. The policy implements
-// §3.3's distribution discipline for cacheable, peer-transferable
-// objects: the manager sends the first copy itself; while that copy is
-// in flight every other worker waits; once a worker confirms a replica
-// it becomes a transfer source for up to PeerTransferCap concurrent
-// peers, growing a spanning tree. Non-cacheable objects (per-call
-// arguments) always flow directly from the manager.
 //
-// When the answer is "not yet" because a first copy is in flight, the
-// blocking object's ID comes back so the caller can register an
-// objWaiter and be woken by exactly that object's next ack.
-func (m *Manager) canStageFileLocked(w *workerState, fs core.FileSpec, commit bool) (bool, string) {
-	obj := fs.Object
-	if obj == nil {
-		return false, ""
-	}
-	if fileReady(w, obj.ID) {
-		return true, ""
-	}
-	if fs.Cache && fs.PeerTransfer && m.opts.PeerTransfers {
-		if src := m.pickSourceLocked(w, obj.ID); src != nil {
-			if commit {
-				m.catalog[obj.ID] = fs
-				src.transfersOut++
-				m.notePendingLocked(w, obj.ID)
-				w.fetchSources[obj.ID] = src.id
-				w.enqueue(outMsg{t: proto.MsgFetchFile, v: proto.FetchFile{
-					ID:       obj.ID,
-					Name:     obj.Name,
-					FromAddr: src.hello.DataAddr,
-					Cache:    fs.Cache,
-					Unpack:   fs.Unpack,
-				}})
-				atomic.AddInt64(&m.stats.PeerTransfers, 1)
-			}
-			return true, ""
+// Every scheduling decision — which worker runs a task, where a library
+// instance deploys, which peer sources a transfer, what gets evicted —
+// comes from the pure policy core (internal/policy) reading the
+// manager's ClusterView. This file only *executes* decisions: it sends
+// messages, moves resource commitments, and reports the resulting
+// transitions back into the view. The simulator drives the identical
+// policy functions, and the differential test in this package proves
+// both drivers emit the same decision sequences.
+
+// ---- staging execution ----
+
+// execStageLocked carries out one staging decision on a worker: a peer
+// fetch from the chosen source or a direct bulk send from the manager.
+// StageReady decisions are no-ops by construction and StageWait never
+// reaches execution (placements with waiting inputs are not committed).
+func (m *Manager) execStageLocked(w *workerState, sf policy.StageFile) {
+	switch sf.Mode {
+	case policy.StagePeer:
+		src := m.workers[sf.Src.ID]
+		if src == nil {
+			// The source died between decision and execution (same lock
+			// hold in practice, but the fallback is free): the manager's
+			// own link is always valid.
+			m.directSendLocked(w, sf.Spec)
+			return
 		}
-		// No confirmed source yet. If a first copy is already in flight
-		// somewhere, wait for it instead of flooding direct sends — but
-		// only during the check pass: once a dispatch is committed the
-		// file must move now, and the manager's own link is always a
-		// valid (if less scalable) source. The in-flight count makes
-		// this O(1); fileReady above already excluded w itself.
-		if !commit && m.pendingCopies[obj.ID] > 0 {
-			return false, obj.ID
+		obj := sf.Spec.Object
+		m.catalog[obj.ID] = sf.Spec
+		src.v.TransfersOut++
+		m.view.NotePending(w.v, obj.ID)
+		w.fetchSources[obj.ID] = src.id
+		w.enqueue(outMsg{t: proto.MsgFetchFile, v: proto.FetchFile{
+			ID:       obj.ID,
+			Name:     obj.Name,
+			FromAddr: src.hello.DataAddr,
+			Source:   src.id,
+			Cache:    sf.Spec.Cache,
+			Unpack:   sf.Spec.Unpack,
+		}})
+		atomic.AddInt64(&m.stats.PeerTransfers, 1)
+		if m.rec != nil {
+			m.rec.Record(policy.TraceStage(sf))
+		}
+	case policy.StageDirect:
+		m.directSendLocked(w, sf.Spec)
+		if m.rec != nil {
+			m.rec.Record(policy.TraceStage(sf))
 		}
 	}
-	if commit {
-		m.directSendLocked(w, fs)
-	}
-	return true, ""
 }
 
 // directSendLocked stages an object from the manager's own link as a
@@ -83,7 +72,7 @@ func (m *Manager) canStageFileLocked(w *workerState, fs core.FileSpec, commit bo
 func (m *Manager) directSendLocked(w *workerState, fs core.FileSpec) {
 	obj := fs.Object
 	m.catalog[obj.ID] = fs
-	m.notePendingLocked(w, obj.ID)
+	m.view.NotePending(w.v, obj.ID)
 	w.enqueue(outMsg{t: proto.MsgPutFileBulk, v: proto.PutFileHdr{
 		File: proto.FileHdr{
 			ID:           obj.ID,
@@ -96,51 +85,6 @@ func (m *Manager) directSendLocked(w *workerState, fs core.FileSpec) {
 		Unpack: fs.Unpack,
 	}, bulk: true, payload: obj.Data})
 	atomic.AddInt64(&m.stats.DirectTransfers, 1)
-}
-
-// pickSourceLocked chooses a worker that has obj cached and has a free
-// outbound transfer slot, preferring same-cluster sources when cluster
-// awareness is on. Candidates come from the holders index — only
-// workers actually holding a replica are examined.
-func (m *Manager) pickSourceLocked(dst *workerState, id string) *workerState {
-	var fallback *workerState
-	for _, cand := range m.holders[id] {
-		if cand.id == dst.id || !cand.alive {
-			continue
-		}
-		if cand.transfersOut >= m.opts.PeerTransferCap {
-			continue
-		}
-		if m.opts.ClusterAware && cand.hello.Cluster == dst.hello.Cluster {
-			return cand
-		}
-		if fallback == nil {
-			fallback = cand
-		}
-	}
-	if m.opts.ClusterAware && fallback != nil && fallback.hello.Cluster != dst.hello.Cluster {
-		// Cross-cluster peer links are the constrained ones (Figure 3c);
-		// prefer the manager's own link instead.
-		return nil
-	}
-	return fallback
-}
-
-// canStageAllLocked checks (and optionally performs) staging for a set
-// of file specs on one worker, returning the blocking object ID when
-// an in-flight first copy is the reason staging must wait.
-func (m *Manager) canStageAllLocked(w *workerState, specs []core.FileSpec, commit bool) (bool, string) {
-	for _, fs := range specs {
-		if ok, blockedOn := m.canStageFileLocked(w, fs, false); !ok {
-			return false, blockedOn
-		}
-	}
-	if commit {
-		for _, fs := range specs {
-			m.canStageFileLocked(w, fs, true)
-		}
-	}
-	return true, ""
 }
 
 // ---- task scheduling ----
@@ -162,59 +106,57 @@ func (m *Manager) tryPlaceTaskLocked(pt pendingTask) bool {
 	// Retries prefer a worker other than the one that just failed; if
 	// no other placement exists, the avoided worker is better than
 	// starving.
-	if m.tryPlaceTaskOnLocked(pt, m.avoid[pt.t.ID]) {
+	avoid := m.avoid[pt.t.ID]
+	if m.tryPlaceTaskOnLocked(pt, policy.Excluding(avoid)) {
 		return true
 	}
-	if m.avoid[pt.t.ID] != "" {
-		return m.tryPlaceTaskOnLocked(pt, "")
+	if avoid != "" {
+		return m.tryPlaceTaskOnLocked(pt, nil)
 	}
 	return false
 }
 
-func (m *Manager) tryPlaceTaskOnLocked(pt pendingTask, avoid string) bool {
+func (m *Manager) tryPlaceTaskOnLocked(pt pendingTask, f policy.Filter) bool {
 	t := pt.t
-	for _, wid := range m.ring.Sequence(pt.key, 0) {
-		w := m.workers[wid]
-		if w == nil || !w.alive || w.id == avoid {
-			continue
+	d := m.view.PlanTask(pt.key, t.Resources, t.Inputs, f)
+	if d.Worker == nil {
+		// Blocked behind first copies in flight: each object's next ack
+		// re-dirties the task queue.
+		for _, obj := range d.Blocked {
+			m.addObjWaiterLocked(obj, "")
 		}
-		if !t.Resources.Fits(w.total.Sub(w.commit)) {
-			continue
-		}
-		if ok, blockedOn := m.canStageAllLocked(w, t.Inputs, false); !ok {
-			if blockedOn != "" {
-				// Blocked behind a first copy in flight: that object's
-				// next ack re-dirties the task queue.
-				m.addObjWaiterLocked(blockedOn, "")
-			}
-			continue
-		}
-		start := time.Now()
-		m.canStageAllLocked(w, t.Inputs, true)
-		w.commit = w.commit.Add(t.Resources)
-		w.enqueue(outMsg{t: proto.MsgRunTask, v: t})
-		e := &inflightEntry{
-			worker:  w.id,
-			ringKey: pt.key,
-			task:    t,
-			sentAt:  start,
-			waiting: map[string]bool{},
-		}
-		// TransferTime runs from dispatch until the last input this
-		// dispatch depends on is acked on the worker — not the time
-		// spent enqueueing messages into in-memory channels. Register
-		// in the worker's ack-waiter index so the ack finds this entry
-		// without scanning the inflight table.
-		for _, in := range t.Inputs {
-			if in.Object != nil && w.pending[in.Object.ID] {
-				e.waiting[in.Object.ID] = true
-				w.ackWaiters[in.Object.ID] = append(w.ackWaiters[in.Object.ID], e)
-			}
-		}
-		m.inflight[t.ID] = e
-		return true
+		return false
 	}
-	return false
+	w := m.workers[d.Worker.ID]
+	if m.rec != nil {
+		m.rec.Record(policy.TraceTask(pt.key, d))
+	}
+	start := time.Now()
+	for _, sf := range d.Stages {
+		m.execStageLocked(w, sf)
+	}
+	w.v.Commit = w.v.Commit.Add(t.Resources)
+	w.enqueue(outMsg{t: proto.MsgRunTask, v: t})
+	e := &inflightEntry{
+		worker:  w.id,
+		ringKey: pt.key,
+		task:    t,
+		sentAt:  start,
+		waiting: map[string]bool{},
+	}
+	// TransferTime runs from dispatch until the last input this
+	// dispatch depends on is acked on the worker — not the time
+	// spent enqueueing messages into in-memory channels. Register
+	// in the worker's ack-waiter index so the ack finds this entry
+	// without scanning the inflight table.
+	for _, in := range t.Inputs {
+		if in.Object != nil && w.v.Pending[in.Object.ID] {
+			e.waiting[in.Object.ID] = true
+			w.ackWaiters[in.Object.ID] = append(w.ackWaiters[in.Object.ID], e)
+		}
+	}
+	m.inflight[t.ID] = e
+	return true
 }
 
 // ---- invocation scheduling (§3.5.2) ----
@@ -232,8 +174,14 @@ func (m *Manager) scheduleLibQueueLocked(lib string) {
 		return
 	}
 	remaining := q[:0]
+	// Installs in flight at pass start can each absorb one queued
+	// invocation when they ack; deploys started *during* this pass
+	// don't join the pool — each one is already the instance its own
+	// invocation will run on.
+	claimable := m.installing[lib]
+	claimed := 0
 	for i, inv := range q {
-		placed, progressed, err := m.tryPlaceInvocationLocked(inv)
+		placed, progressed, err := m.tryPlaceInvocationLocked(inv, &claimed, claimable)
 		if err != nil {
 			atomic.AddInt64(&m.stats.Failures, 1)
 			m.emitFailure(inv, err)
@@ -266,10 +214,14 @@ func (m *Manager) emitFailure(inv *core.InvocationSpec, err error) {
 }
 
 // tryPlaceInvocationLocked attempts one invocation. placed means it
-// was dispatched; progressed means the attempt changed cluster state
-// (deployed a library instance) even though the invocation itself is
-// still waiting.
-func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (placed, progressed bool, err error) {
+// was dispatched; progressed means the invocation is provisioned for —
+// it deployed a new library instance, or claimed one already
+// installing — even though it is itself still waiting. claimed counts
+// the in-flight installs earlier invocations in this pass claimed out
+// of the claimable pool (installs in flight at pass start), so one
+// slow install absorbs exactly one queued invocation instead of the
+// whole queue triggering redundant deploys.
+func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec, claimed *int, claimable int) (placed, progressed bool, err error) {
 	spec, known := m.libSpecs[inv.Library]
 	if !known {
 		return false, false, fmt.Errorf("manager: invocation %d names unknown library %q", inv.ID, inv.Library)
@@ -290,137 +242,146 @@ func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec) (placed, pr
 
 	// First choice: a ready instance with a free slot — preferring a
 	// worker other than the one a retry just failed on, when possible.
-	if m.placeInvocationOnReadyLocked(inv, spec, m.avoid[inv.ID]) {
+	avoid := m.avoid[inv.ID]
+	if m.placeInvocationOnReadyLocked(inv, policy.Excluding(avoid)) {
 		return true, true, nil
 	}
-	if m.avoid[inv.ID] != "" && m.placeInvocationOnReadyLocked(inv, spec, "") {
+	if avoid != "" && m.placeInvocationOnReadyLocked(inv, nil) {
 		return true, true, nil
+	}
+
+	// An install already in flight will serve one queued invocation
+	// when its ack arrives; let this invocation claim it instead of
+	// over-provisioning another instance.
+	if claimed != nil && *claimed < claimable {
+		*claimed++
+		return false, true, nil
 	}
 
 	progressed = m.deployForInvocationLocked(inv, spec)
 	return false, progressed, nil
 }
 
-// placeInvocationOnReadyLocked dispatches inv to a ready instance with
-// a free slot, skipping the avoided worker. Candidates come from the
-// readyFree index (§3.5.2) — only workers that actually hold a ready
-// instance with room are examined. Among them the least-loaded
-// instance wins, with worker ID as the deterministic tie-break.
-func (m *Manager) placeInvocationOnReadyLocked(inv *core.InvocationSpec, spec *core.LibrarySpec, avoid string) bool {
-	var best *workerState
-	var bestLi *libInstance
-	bestFree := 0
-	for _, w := range m.readyFree[inv.Library] {
-		if !w.alive || w.id == avoid {
-			continue
-		}
-		li := w.libs[inv.Library]
-		if li == nil || !li.ready || li.slotsUsed >= spec.SlotCount() {
-			continue
-		}
-		free := spec.SlotCount() - li.slotsUsed
-		if best == nil || free > bestFree || (free == bestFree && w.id < best.id) {
-			best, bestLi, bestFree = w, li, free
-		}
-	}
-	if best == nil {
+// placeInvocationOnReadyLocked dispatches inv to the ready instance the
+// policy core picks: most free ready slots, minimum worker ID on ties
+// (the deterministic order shared with the simulator).
+func (m *Manager) placeInvocationOnReadyLocked(inv *core.InvocationSpec, f policy.Filter) bool {
+	d := m.view.PlaceReady(inv.Library, f)
+	if d.Worker == nil {
 		return false
 	}
-	bestLi.slotsUsed++
-	m.libSlotsChangedLocked(best, bestLi)
-	best.enqueue(outMsg{t: proto.MsgInvoke, v: inv})
-	m.inflight[inv.ID] = &inflightEntry{worker: best.id, library: inv.Library, inv: inv, sentAt: time.Now()}
+	w := m.workers[d.Worker.ID]
+	li := w.libs[inv.Library]
+	if m.rec != nil {
+		m.rec.Record(policy.TracePlace(inv.Library, d))
+	}
+	li.SlotsUsed++
+	m.libSlotsChangedLocked(w, li)
+	w.enqueue(outMsg{t: proto.MsgInvoke, v: inv})
+	m.inflight[inv.ID] = &inflightEntry{worker: w.id, library: inv.Library, inv: inv, sentAt: time.Now()}
 	return true
 }
 
-// deployForInvocationLocked tries to deploy a new instance of the
-// invocation's library, returning whether a deployment was started.
+// deployForInvocationLocked asks the policy core for a deploy decision
+// for the invocation's library and executes it: evictions first, then
+// staging, then the install message. Returns whether a deployment was
+// started.
 func (m *Manager) deployForInvocationLocked(inv *core.InvocationSpec, spec *core.LibrarySpec) bool {
-	// Every worker already has an instance (installing or ready): the
-	// ring walk below would find nothing, so skip it — this is the
-	// steady state of a saturated cluster.
-	if m.libOn[inv.Library] >= len(m.workers) {
+	var libFiles []core.FileSpec
+	if spec.Env != nil {
+		libFiles = append(libFiles, *spec.Env)
+	}
+	libFiles = append(libFiles, spec.Inputs...)
+	d := m.view.PlanDeploy(policy.DeploySpec{
+		Name:  spec.Name,
+		Res:   spec.Resources,
+		Files: libFiles,
+	}, nil)
+	if d.Worker == nil {
+		// Workers blocked only on an in-flight first copy of the
+		// environment: its ack re-dirties this library's queue.
+		for _, obj := range d.Blocked {
+			m.addObjWaiterLocked(obj, inv.Library)
+		}
 		return false
 	}
-	// Second choice: deploy a new instance on the next ring worker with
-	// room, evicting an empty foreign library if allowed (§3.5.2).
-	for _, wid := range m.ring.Sequence(inv.Library, 0) {
-		w := m.workers[wid]
-		if w == nil || !w.alive {
-			continue
-		}
-		if _, already := w.libs[inv.Library]; already {
-			continue // installed or installing here
-		}
-		need := spec.Resources
-		if need == (core.Resources{}) {
-			need = w.total
-		}
-		var libFiles []core.FileSpec
-		if spec.Env != nil {
-			libFiles = append(libFiles, *spec.Env)
-		}
-		libFiles = append(libFiles, spec.Inputs...)
-		if ok, blockedOn := m.canStageAllLocked(w, libFiles, false); !ok {
-			if blockedOn != "" {
-				// The environment's first copy is in flight: its ack
-				// re-dirties this library's queue.
-				m.addObjWaiterLocked(blockedOn, inv.Library)
-			}
-			continue
-		}
-		if !need.Fits(w.total.Sub(w.commit)) {
-			if !m.opts.EvictEmptyLibraries || !m.evictEmptyLocked(w, inv.Library, need) {
-				continue
-			}
-		}
-		m.deployLibraryLocked(w, spec, need)
-		// The invocation stays pending until the LibraryAck arrives.
-		return true
+	w := m.workers[d.Worker.ID]
+	if m.rec != nil {
+		m.rec.Record(policy.TraceDeploy(spec.Name, d))
 	}
-	return false
+	for _, e := range d.Evict {
+		m.evictLibraryLocked(w, e.Lib)
+	}
+	for _, sf := range d.Stages {
+		m.execStageLocked(w, sf)
+	}
+	m.installLibraryLocked(w, spec, d.Res)
+	// The invocation stays pending until the LibraryAck arrives.
+	return true
 }
 
-// evictEmptyLocked removes idle instances of other libraries on w until
-// `need` fits, returning whether it succeeded. Candidates are visited
-// in sorted library-name order so eviction — and therefore stats and
-// test outcomes — is deterministic run to run.
-func (m *Manager) evictEmptyLocked(w *workerState, wantLib string, need core.Resources) bool {
-	names := make([]string, 0, len(w.libs))
-	for name := range w.libs {
-		names = append(names, name)
+// evictLibraryLocked removes one library instance from a worker,
+// releasing its resources and telling the worker to tear it down.
+func (m *Manager) evictLibraryLocked(w *workerState, name string) {
+	li := w.libs[name]
+	if li == nil {
+		return
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		li := w.libs[name]
-		if name == wantLib || li.slotsUsed > 0 || !li.ready {
-			continue
-		}
-		delete(w.libs, name)
-		m.decLibOnLocked(name)
-		m.removeReadyLocked(name, w.id)
-		w.commit = w.commit.Sub(li.res)
-		w.enqueue(outMsg{t: proto.MsgRemoveLibrary, v: proto.RemoveLibrary{Library: name}})
-		atomic.AddInt64(&m.stats.LibrariesEvicted, 1)
-		if need.Fits(w.total.Sub(w.commit)) {
-			return true
-		}
-	}
-	return need.Fits(w.total.Sub(w.commit))
+	delete(w.libs, name)
+	m.view.RemoveLibrary(w.v, name)
+	w.v.Commit = w.v.Commit.Sub(li.Res)
+	w.enqueue(outMsg{t: proto.MsgRemoveLibrary, v: proto.RemoveLibrary{Library: name}})
+	atomic.AddInt64(&m.stats.LibrariesEvicted, 1)
 }
 
-// deployLibraryLocked stages the library's files and sends the install
-// message.
+// evictForLocked plans and executes evictions on w so that need fits.
+// The plan is all-or-nothing: if even evicting every idle instance
+// cannot make room, nothing is evicted and false comes back.
+func (m *Manager) evictForLocked(w *workerState, wantLib string, need core.Resources) bool {
+	evict, ok := m.view.PlanEviction(w.v, wantLib, need)
+	if !ok {
+		return false
+	}
+	for _, e := range evict {
+		m.evictLibraryLocked(w, e.Lib)
+	}
+	return true
+}
+
+// deployLibraryLocked stages the library's files on w and installs an
+// instance with commitment res. The staging decisions come from the
+// policy core; a Wait answer is forced direct because the deploy is
+// already committed and the manager's own link is always a valid (if
+// less scalable) source.
 func (m *Manager) deployLibraryLocked(w *workerState, spec *core.LibrarySpec, res core.Resources) {
+	var files []core.FileSpec
 	if spec.Env != nil {
-		m.canStageFileLocked(w, *spec.Env, true)
+		files = append(files, *spec.Env)
 	}
-	for _, fs := range spec.Inputs {
-		m.canStageFileLocked(w, fs, true)
+	files = append(files, spec.Inputs...)
+	for _, fs := range files {
+		sf := m.view.PlanStage(w.v, fs, nil)
+		if sf.Mode == policy.StageWait {
+			sf.Mode = policy.StageDirect
+		}
+		m.execStageLocked(w, sf)
 	}
-	w.libs[spec.Name] = &libInstance{name: spec.Name, res: res}
-	m.libOn[spec.Name]++
-	w.commit = w.commit.Add(res)
+	m.installLibraryLocked(w, spec, res)
+}
+
+// installLibraryLocked records the new instance in the view and sends
+// the install message.
+func (m *Manager) installLibraryLocked(w *workerState, spec *core.LibrarySpec, res core.Resources) {
+	li := &libInstance{LibraryView: policy.LibraryView{
+		Name:         spec.Name,
+		Slots:        spec.SlotCount(),
+		MaxInstances: 1,
+		Res:          res,
+	}}
+	w.libs[spec.Name] = li
+	m.view.AddInstance(w.v, &li.LibraryView)
+	w.v.Commit = w.v.Commit.Add(res)
+	m.installing[spec.Name]++
 	w.enqueue(outMsg{t: proto.MsgInstallLibrary, v: spec})
 	atomic.AddInt64(&m.stats.LibrariesDeployed, 1)
 }

@@ -1,0 +1,84 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Recorder collects the canonical decision trace of an engine run. The
+// differential harness replays one event trace through both engines
+// and diffs their recorders line for line; the golden tests pin the
+// seed workloads' traces. A nil *Recorder is valid and records
+// nothing, so drivers can leave tracing off on hot paths.
+type Recorder struct {
+	// Max bounds the retained trace; 0 means unbounded. Decisions past
+	// Max are counted in Dropped instead of stored.
+	Max       int
+	Decisions []string
+	Dropped   int
+}
+
+// Record appends one decision line.
+func (r *Recorder) Record(line string) {
+	if r == nil {
+		return
+	}
+	if r.Max > 0 && len(r.Decisions) >= r.Max {
+		r.Dropped++
+		return
+	}
+	r.Decisions = append(r.Decisions, line)
+}
+
+// Dump renders the trace one decision per line.
+func (r *Recorder) Dump() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range r.Decisions {
+		b.WriteString(d)
+		b.WriteByte('\n')
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "... %d more decisions dropped\n", r.Dropped)
+	}
+	return b.String()
+}
+
+// The Trace helpers below are the single source of the decision-string
+// format. Both drivers must record through them so the differential
+// diff compares semantics, not formatting.
+
+// TraceTask renders a stateless-task placement.
+func TraceTask(key string, d PlaceTask) string {
+	return fmt.Sprintf("task key=%s worker=%s stages=%d", key, d.Worker.ID, len(d.Stages))
+}
+
+// TracePlace renders a ready-instance invocation placement. It
+// deliberately omits the free-slot count: the engines agree on which
+// worker runs the invocation, not on when earlier invocations on that
+// worker finished.
+func TracePlace(lib string, d PlaceInvocation) string {
+	return fmt.Sprintf("place lib=%s worker=%s", lib, d.Worker.ID)
+}
+
+// TraceDeploy renders a library deploy, including the eviction plan.
+func TraceDeploy(name string, d DeployLibrary) string {
+	evict := make([]string, len(d.Evict))
+	for i, e := range d.Evict {
+		evict[i] = e.Lib
+	}
+	return fmt.Sprintf("deploy lib=%s worker=%s stages=%d evict=[%s]",
+		name, d.Worker.ID, len(d.Stages), strings.Join(evict, ","))
+}
+
+// TraceStage renders the execution of one staging decision.
+func TraceStage(sf StageFile) string {
+	switch sf.Mode {
+	case StagePeer:
+		return fmt.Sprintf("stage obj=%s dst=%s mode=peer src=%s", sf.Object, sf.Dst.ID, sf.Src.ID)
+	default:
+		return fmt.Sprintf("stage obj=%s dst=%s mode=direct", sf.Object, sf.Dst.ID)
+	}
+}

@@ -140,8 +140,12 @@ type FetchFile struct {
 	ID       string `json:"id"`
 	Name     string `json:"name"`
 	FromAddr string `json:"from_addr"`
-	Cache    bool   `json:"cache"`
-	Unpack   bool   `json:"unpack"`
+	// Source is the worker ID serving the fetch; the worker echoes it
+	// in its FileAck so the manager can return the source's transfer
+	// slot even when its own fetch record was displaced by recovery.
+	Source string `json:"source,omitempty"`
+	Cache  bool   `json:"cache"`
+	Unpack bool   `json:"unpack"`
 }
 
 // FileAck confirms (or denies) that an object is now cached. Cache
@@ -151,7 +155,10 @@ type FileAck struct {
 	ID    string `json:"id"`
 	Ok    bool   `json:"ok"`
 	Cache bool   `json:"cache"`
-	Err   string `json:"err,omitempty"`
+	// Source echoes FetchFile.Source for peer fetches ("" for direct
+	// puts), closing the transfer-slot accounting loop.
+	Source string `json:"source,omitempty"`
+	Err    string `json:"err,omitempty"`
 }
 
 // LibraryAck reports library installation outcome.

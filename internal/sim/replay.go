@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// Replay drives the simulator's scheduling state machine from an
+// explicit event sequence instead of the virtual clock. Placement,
+// staging and deploy decisions still come from the shared policy core
+// against the live ClusterView; what Replay removes is time — the
+// caller says when transfers land, libraries come up, and invocations
+// finish. The differential harness (internal/manager) feeds one random
+// event trace through a Replay and through the real manager and diffs
+// their decision recorders line for line.
+type Replay struct {
+	st *state
+}
+
+// NewReplay builds an untimed simulation. cfg.Invocations is ignored
+// (work arrives via Submit); cfg.DecisionTrace defaults to a fresh
+// unbounded recorder.
+func NewReplay(cfg Config) *Replay {
+	cfg.defaults()
+	cfg.Invocations = 0
+	if cfg.DecisionTrace == nil {
+		cfg.DecisionTrace = &policy.Recorder{}
+	}
+	st := newState(cfg)
+	st.replay = true
+	return &Replay{st: st}
+}
+
+// drain places pending invocations until the policy core reports no
+// placement is currently possible — the untimed equivalent of the
+// manager's coalesced schedule pass.
+func (r *Replay) drain() {
+	for r.st.pending > 0 {
+		if r.st.place() == nil {
+			return
+		}
+	}
+}
+
+// Submit enqueues n invocations and schedules as many as possible.
+func (r *Replay) Submit(n int) {
+	r.st.pending += n
+	r.drain()
+}
+
+// EnvArrived delivers the environment tarball on worker id (the
+// FileAck): the in-flight copy becomes a replica, the serving slot is
+// released, and the environment is immediately usable. Returns false
+// if no copy was in flight there.
+func (r *Replay) EnvArrived(id string) bool {
+	w := r.st.byID[id]
+	if w == nil || w.hasEnv || !w.v.Pending[r.st.envObj] {
+		return false
+	}
+	r.st.envLanded(w)
+	w.hasEnv = true
+	r.drain()
+	return true
+}
+
+// LibReady marks the oldest deploy-bound slot on worker id ready (the
+// LibraryAck), which places the invocation bound to it. Returns false
+// if the worker has no deploy in progress or its environment has not
+// arrived.
+func (r *Replay) LibReady(id string) bool {
+	w := r.st.byID[id]
+	if w == nil || !w.hasEnv {
+		return false
+	}
+	for _, sl := range w.slots {
+		if sl.busy && !sl.libReady {
+			r.st.markLibReady(w, sl)
+			r.drain()
+			return true
+		}
+	}
+	return false
+}
+
+// Complete finishes one running invocation on worker id, freeing its
+// slot and scheduling whatever the freed capacity unblocks. Returns
+// false if nothing on the worker is in a completable state.
+func (r *Replay) Complete(id string) bool {
+	w := r.st.byID[id]
+	if w == nil || !w.hasEnv {
+		return false
+	}
+	needLib := r.st.cfg.Level == core.L3
+	for _, sl := range w.slots {
+		if sl.busy && (!needLib || sl.libReady) {
+			r.st.freeSlot(w, sl)
+			sl.served++
+			r.drain()
+			return true
+		}
+	}
+	return false
+}
+
+// Pending reports invocations submitted but not yet placed.
+func (r *Replay) Pending() int { return r.st.pending }
+
+// Decisions returns the decision trace recorded so far.
+func (r *Replay) Decisions() []string { return r.st.rec.Decisions }
+
+// Dump renders the recorded decision trace (diagnostics).
+func (r *Replay) Dump() string { return r.st.rec.Dump() }
+
+// View exposes the replay's cluster view so the differential harness
+// can cross-check per-worker accounting against the manager's.
+func (r *Replay) View() *policy.ClusterView { return r.st.view }

@@ -1,25 +1,33 @@
 // Package sim is the scale simulator: it replays the paper's
 // experiments (up to 100k invocations on 150 heterogeneous workers)
-// under a deterministic virtual clock, reusing the engine's policies —
-// manager-serialized dispatch, spanning-tree environment distribution
-// with a per-source cap, per-worker caches, library deploy-on-demand
-// with ready-instance preference — and the calibrated cost models of
-// internal/apps. Contention is modeled with processor-sharing
+// under a deterministic virtual clock, and the calibrated cost models
+// of internal/apps. Contention is modeled with processor-sharing
 // resources: the shared filesystem (bandwidth + IOPS), the manager's
 // NIC, per-worker NICs and local disks.
 //
 // The real engine (internal/manager, internal/worker) demonstrates the
-// mechanisms; this simulator reproduces the paper's numbers. They share
-// the level definitions (core.ReuseLevel) and the distribution
-// discipline.
+// mechanisms; this simulator reproduces the paper's numbers. Both are
+// thin drivers of the same pure policy core: the simulator maintains a
+// policy.ClusterView mirroring its virtual cluster and calls
+// internal/policy for every scheduling decision — task placement,
+// ready-instance selection, library deploys, peer-source picks,
+// first-copy suppression — exactly as the manager does. This file only
+// executes those decisions under the virtual clock; replay.go drives
+// the same state machine from an explicit event list so the
+// differential harness can diff decision traces against the real
+// manager.
 package sim
 
 import (
+	"strconv"
+
 	"repro/internal/apps"
 	"repro/internal/cluster"
+	"repro/internal/content"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 )
 
 // Config parameterizes one simulated run.
@@ -79,6 +87,10 @@ type Config struct {
 	// running two-app mixes (used by the ablation experiments).
 	// (Single-app runs never evict.)
 	EvictIdleLibraries bool
+	// DecisionTrace, when set, records every scheduling decision the
+	// policy core hands this run (differential and golden tests). nil
+	// keeps tracing off the dispatch path.
+	DecisionTrace *policy.Recorder
 }
 
 func (c *Config) defaults() {
@@ -172,14 +184,30 @@ type state struct {
 	crossNIC   *event.FairShare
 
 	workers []*wstate
+	byID    map[string]*wstate
 
-	pending      int
-	mgrBusy      bool
-	completed    int
-	inFlight     int
-	rrWorker     int
-	sampleStep   int
-	mgrEnvActive int
+	// view mirrors the virtual cluster for the policy core: worker
+	// resources are invocation slots (1 core = 1 slot), the library's
+	// per-slot instances, the environment tarball's replicas and
+	// in-flight copies. All placement decisions read it.
+	view *policy.ClusterView
+	rec  *policy.Recorder
+	// envSpec is the environment tarball as a policy-visible file spec
+	// (L2/L3); envObj is its identity.
+	envSpec core.FileSpec
+	envObj  string
+	lib     string
+
+	pending    int
+	nextInv    int
+	mgrBusy    bool
+	completed  int
+	inFlight   int
+	sampleStep int
+
+	// replay bypasses the virtual clock: decisions and view/slot state
+	// advance, timing callbacks do not (replay.go drives transitions).
+	replay bool
 
 	res *Result
 
@@ -188,54 +216,97 @@ type state struct {
 
 type wstate struct {
 	idx     int
+	id      string
 	mach    cluster.Machine
 	cluster int
 	disk    *event.FairShare
 	nic     *event.FairShare
 
-	hasEnv       bool // environment unpacked and usable
-	envCached    bool // tarball cached (transfer-source eligible)
-	envRequested bool
-	envReqAt     float64
-	envWaiters   []func()
+	// v and lv are this worker's entries in the policy view; lv models
+	// the application library with one single-slot instance per
+	// deploy-committed slot (MaxInstances = SlotsPerWorker), so the
+	// policy core sees the same FreeReady quantity the manager
+	// publishes for its one multi-slot instance.
+	v  *policy.WorkerView
+	lv *policy.LibraryView
 
-	peerOut int
-	slots   []*slot
+	hasEnv     bool // environment unpacked and usable
+	envReqAt   float64
+	envWaiters []func()
+	// envSrc is the peer serving the in-flight environment fetch (nil
+	// for manager sends); its transfer slot is released on arrival.
+	envSrc *wstate
 
-	// busySlots and freeReady are maintained counters so pickSlot scans
-	// workers, not workers×slots: busySlots counts occupied slots,
-	// freeReady counts free slots whose library is deployed.
-	busySlots int
-	freeReady int
+	slots []*slot
+
+	// busySlots, freeReady and readySlots are maintained counters so
+	// slot selection scans workers, not workers×slots; freeReady is
+	// also what the view's ReadyFree index publishes.
+	busySlots  int
+	freeReady  int
+	readySlots int
 }
 
-// takeSlot marks a slot occupied, maintaining the scan counters.
-func (w *wstate) takeSlot(sl *slot) {
+type slot struct {
+	w        *wstate
+	busy     bool
+	libReady bool
+	served   int
+	invIdx   int // index of the invocation currently assigned
+}
+
+var oneSlot = core.Resources{Cores: 1}
+
+// takeSlot marks a slot occupied, maintaining the scan counters and
+// the worker's view commitment.
+func (st *state) takeSlot(w *wstate, sl *slot) {
 	sl.busy = true
 	w.busySlots++
 	if sl.libReady {
 		w.freeReady--
 	}
+	w.v.Commit = w.v.Commit.Add(oneSlot)
+	st.syncLib(w)
 }
 
 // freeSlot releases a slot.
-func (w *wstate) freeSlot(sl *slot) {
+func (st *state) freeSlot(w *wstate, sl *slot) {
 	sl.busy = false
 	w.busySlots--
 	if sl.libReady {
 		w.freeReady++
 	}
+	w.v.Commit = w.v.Commit.Sub(oneSlot)
+	st.syncLib(w)
 }
 
-// markLibReady flags the slot's library as deployed.
-func (w *wstate) markLibReady(sl *slot) {
+// markLibReady flags a deploy-bound slot's instance as ready — the
+// simulator's LibraryAck — and records the resulting invocation
+// placement, mirroring the manager placing the queued invocation when
+// the ack arrives.
+func (st *state) markLibReady(w *wstate, sl *slot) {
 	if sl.libReady {
 		return
 	}
 	sl.libReady = true
+	w.readySlots++
 	if !sl.busy {
 		w.freeReady++
 	}
+	w.lv.Ready = true
+	st.syncLib(w)
+	if st.rec != nil {
+		st.rec.Record(policy.TracePlace(st.lib, policy.PlaceInvocation{Worker: w.v}))
+	}
+}
+
+// syncLib republishes the worker's free ready-slot count into the
+// view's ReadyFree index (L3 only — tasks have no library).
+func (st *state) syncLib(w *wstate) {
+	if st.cfg.Level != core.L3 {
+		return
+	}
+	st.view.SetFreeReady(w.v, w.lv, w.freeReady)
 }
 
 // firstFree returns the worker's first free slot in slot order,
@@ -249,14 +320,6 @@ func (w *wstate) firstFree(needLib bool) *slot {
 		}
 	}
 	return nil
-}
-
-type slot struct {
-	w        *wstate
-	busy     bool
-	libReady bool
-	served   int
-	invIdx   int // index of the invocation currently assigned
 }
 
 // Run executes one simulated experiment.
@@ -282,6 +345,8 @@ func newState(cfg Config) *state {
 			Invocations: cfg.Invocations,
 			Units:       cfg.Units,
 		},
+		byID: map[string]*wstate{},
+		rec:  cfg.DecisionTrace,
 	}
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 2_000_000_000
@@ -289,6 +354,28 @@ func newState(cfg Config) *state {
 	st.S.MaxEvents = cfg.MaxEvents
 	st.res.DeployedSeries.Name = "deployed-libraries"
 	st.res.ShareSeries.Name = "avg-share-value"
+
+	st.view = policy.NewClusterView(policy.Options{
+		PeerTransfers:       cfg.PeerTransfers,
+		PeerTransferCap:     cfg.PeerCap,
+		ClusterAware:        cfg.Clusters > 1,
+		EvictEmptyLibraries: cfg.EvictIdleLibraries,
+		ManagerSourceCap:    cfg.ManagerSourceCap,
+	})
+	if cfg.App != nil {
+		st.lib = cfg.App.Name
+		st.envObj = "env:" + cfg.App.Name
+		st.envSpec = core.FileSpec{
+			Object: &content.Object{
+				ID:          st.envObj,
+				Name:        st.envObj,
+				LogicalSize: cfg.App.EnvPackedBytes + cfg.App.FuncBlobBytes,
+			},
+			Cache:        true,
+			PeerTransfer: true,
+			Unpack:       true,
+		}
+	}
 
 	// Shared filesystem: the Panasas figures of §4.3 with per-client
 	// effective-rate caps.
@@ -317,6 +404,7 @@ func newState(cfg Config) *state {
 		m := machines[i%len(machines)]
 		w := &wstate{
 			idx:  i,
+			id:   "w" + pad4(i),
 			mach: m,
 			disk: event.NewFairShare(st.S, m.DiskBytesPerSec, 0),
 			nic:  event.NewFairShare(st.S, m.NICBytesPerSec, 0),
@@ -324,10 +412,22 @@ func newState(cfg Config) *state {
 		if cfg.Clusters > 1 {
 			w.cluster = i * cfg.Clusters / cfg.Workers
 		}
+		clusterName := ""
+		if cfg.Clusters > 1 {
+			clusterName = strconv.Itoa(w.cluster)
+		}
+		w.v = st.view.AddWorker(w.id, clusterName, core.Resources{Cores: cfg.SlotsPerWorker})
+		w.lv = &policy.LibraryView{
+			Name:         st.lib,
+			Slots:        1,
+			MaxInstances: cfg.SlotsPerWorker,
+			Res:          oneSlot,
+		}
 		for k := 0; k < cfg.SlotsPerWorker; k++ {
 			w.slots = append(w.slots, &slot{w: w})
 		}
 		st.workers = append(st.workers, w)
+		st.byID[w.id] = w
 	}
 
 	st.pending = cfg.Invocations
@@ -339,6 +439,16 @@ func newState(cfg Config) *state {
 		st.res.Times = make([]float64, 0, cfg.Invocations)
 	}
 	return st
+}
+
+// pad4 renders a worker index as a fixed-width suffix so worker IDs
+// sort (and hash) identically across engines.
+func pad4(i int) string {
+	s := strconv.Itoa(i)
+	for len(s) < 4 {
+		s = "0" + s
+	}
+	return s
 }
 
 func (st *state) finishBreakdowns() {
@@ -381,18 +491,15 @@ func (st *state) dispatchCost() float64 {
 
 // tryDispatch runs the manager's serialized dispatch loop: one
 // dispatch at a time, each charging the per-level manager cost, each
-// requiring a free slot.
+// requiring a placement decision from the policy core.
 func (st *state) tryDispatch() {
-	if st.mgrBusy || st.pending == 0 {
+	if st.replay || st.mgrBusy || st.pending == 0 {
 		return
 	}
-	sl := st.pickSlot()
+	sl := st.place()
 	if sl == nil {
 		return
 	}
-	sl.invIdx = st.cfg.Invocations - st.pending
-	st.pending--
-	sl.w.takeSlot(sl)
 	st.inFlight++
 	if st.inFlight > st.res.PeakInFlight {
 		st.res.PeakInFlight = st.inFlight
@@ -407,69 +514,195 @@ func (st *state) tryDispatch() {
 	})
 }
 
-// pickSlot chooses where the next invocation runs. L3 prefers a free
-// slot whose library is already deployed (§3.5.2's ready-instance
-// check); otherwise any free slot, rotating across workers so load and
-// machine groups interleave.
-func (st *state) pickSlot() *slot {
-	n := len(st.workers)
-	if st.cfg.Level == core.L3 {
-		// Among workers with a ready library slot, pick the least busy,
-		// matching the balance the task path gets from its least-busy
-		// rule below.
-		var best *wstate
-		bestBusy := 1 << 30
-		for i := 0; i < n; i++ {
-			w := st.workers[(st.rrWorker+i)%n]
-			if w.freeReady > 0 && w.busySlots < bestBusy {
-				best, bestBusy = w, w.busySlots
-			}
-		}
-		if best != nil {
-			st.rrWorker = (best.idx + 1) % n
-			return best.firstFree(true)
-		}
+// speculativeCap bounds how many invocations stack on a worker whose
+// environment has not arrived yet: a deep queue there would burst into
+// the local disk all at once on arrival. It is driver knowledge (a
+// virtual-time admission heuristic), expressed as a view filter.
+const speculativeCap = 4
+
+func (st *state) stackFilter() policy.Filter {
+	if st.cfg.Level == core.L1 {
+		return nil
 	}
-	// For L2, prefer workers that already hold (or are fetching) the
-	// environment so the spanning tree grows with demand rather than
-	// all at once — and among those, the least-busy worker, so local
-	// disks are not thrashed by piling every task on the first ready
-	// worker.
-	if st.cfg.Level == core.L2 || st.cfg.Level == core.L3 {
-		var best *wstate
-		bestBusy := 1 << 30
-		for i := 0; i < n; i++ {
-			w := st.workers[(st.rrWorker+i)%n]
-			if !w.hasEnv && !w.envRequested {
-				continue
-			}
-			// Limit speculative stacking on workers whose environment
-			// has not arrived yet: a deep queue there would burst into
-			// the local disk all at once on arrival.
-			if !w.hasEnv && w.busySlots >= 4 {
-				continue
-			}
-			if w.busySlots < len(w.slots) && w.busySlots < bestBusy {
-				best, bestBusy = w, w.busySlots
-			}
-		}
-		if best != nil {
-			st.rrWorker = (best.idx + 1) % n
-			return best.firstFree(false)
-		}
+	return func(wv *policy.WorkerView) bool {
+		return st.byID[wv.ID].hasEnv || wv.Commit.Cores < speculativeCap
 	}
-	for i := 0; i < n; i++ {
-		w := st.workers[(st.rrWorker+i)%n]
-		if st.cfg.Level != core.L1 && !w.hasEnv && w.busySlots >= 6 {
-			continue
-		}
-		if w.busySlots < len(w.slots) {
-			st.rrWorker = (w.idx + 1) % n
-			return w.firstFree(false)
-		}
-	}
-	return nil
 }
+
+// place asks the policy core where the next invocation runs, executes
+// the staging decisions, and binds the invocation to a slot. nil means
+// no placement is possible until some event (arrival, completion,
+// unpack) changes the view.
+func (st *state) place() *slot {
+	if st.cfg.Level == core.L3 {
+		return st.placeL3()
+	}
+	return st.placeTask()
+}
+
+// bind assigns the next invocation index to the chosen slot.
+func (st *state) bind(w *wstate, sl *slot) *slot {
+	st.takeSlot(w, sl)
+	sl.invIdx = st.nextInv
+	st.nextInv++
+	st.pending--
+	return sl
+}
+
+// placeTask places an L1/L2 invocation as a stateless task: hash-ring
+// walk keyed by the task, environment staged as an input (L2).
+func (st *state) placeTask() *slot {
+	key := "task-" + strconv.Itoa(st.nextInv+1)
+	var inputs []core.FileSpec
+	if st.cfg.Level != core.L1 {
+		inputs = []core.FileSpec{st.envSpec}
+	}
+	d := st.view.PlanTask(key, oneSlot, inputs, st.stackFilter())
+	if d.Worker == nil {
+		return nil
+	}
+	w := st.byID[d.Worker.ID]
+	if st.rec != nil {
+		st.rec.Record(policy.TraceTask(key, d))
+	}
+	for _, sf := range d.Stages {
+		st.execStage(sf)
+	}
+	return st.bind(w, w.firstFree(false))
+}
+
+// placeL3 places an invocation on a ready library instance, or deploys
+// a new per-slot instance when none has room (§3.5.2).
+func (st *state) placeL3() *slot {
+	if d := st.view.PlaceReady(st.lib, nil); d.Worker != nil {
+		w := st.byID[d.Worker.ID]
+		if st.rec != nil {
+			st.rec.Record(policy.TracePlace(st.lib, d))
+		}
+		return st.bind(w, w.firstFree(true))
+	}
+	d := st.view.PlanDeploy(policy.DeploySpec{
+		Name:  st.lib,
+		Res:   oneSlot,
+		Files: []core.FileSpec{st.envSpec},
+	}, st.stackFilter())
+	if d.Worker == nil {
+		return nil
+	}
+	w := st.byID[d.Worker.ID]
+	if st.rec != nil {
+		st.rec.Record(policy.TraceDeploy(st.lib, d))
+	}
+	for _, sf := range d.Stages {
+		st.execStage(sf)
+	}
+	st.view.AddInstance(w.v, w.lv)
+	return st.bind(w, w.firstFree(false))
+}
+
+// ---- environment distribution (§3.3) ----
+
+func (st *state) envBytes() float64 {
+	return float64(st.cfg.App.EnvPackedBytes + st.cfg.App.FuncBlobBytes)
+}
+
+// execStage carries out one staging decision: account it in the view
+// (in-flight copy, source transfer slot, manager sends) and start the
+// transfer on the owning link. StageReady is a no-op by construction;
+// StageWait never reaches execution (the policy returns it only from
+// rejected placements).
+func (st *state) execStage(sf policy.StageFile) {
+	dst := st.byID[sf.Dst.ID]
+	switch sf.Mode {
+	case policy.StagePeer:
+		src := st.byID[sf.Src.ID]
+		st.view.NotePending(dst.v, sf.Object)
+		src.v.TransfersOut++
+		dst.envSrc = src
+		st.res.EnvPeer++
+		if st.rec != nil {
+			st.rec.Record(policy.TraceStage(sf))
+		}
+		dst.envReqAt = st.S.Now()
+		if !st.replay {
+			link := src.nic
+			if st.crossNIC != nil && src.cluster != dst.cluster {
+				link = st.crossNIC
+			}
+			link.Start(st.envBytes(), func() { st.envArrived(dst) })
+		}
+	case policy.StageDirect:
+		st.view.NotePending(dst.v, sf.Object)
+		st.view.ManagerSends++
+		st.res.EnvDirect++
+		if st.rec != nil {
+			st.rec.Record(policy.TraceStage(sf))
+		}
+		dst.envReqAt = st.S.Now()
+		if !st.replay {
+			st.managerNIC.Start(st.envBytes(), func() { st.envArrived(dst) })
+		}
+	}
+}
+
+// envLanded settles the transfer's accounting once the tarball is on
+// the destination: release the serving link's slot and flip the
+// in-flight copy into a confirmed replica (a peer-transfer source,
+// before unpacking even starts).
+func (st *state) envLanded(w *wstate) {
+	if src := w.envSrc; src != nil {
+		w.envSrc = nil
+		if src.v.TransfersOut > 0 {
+			src.v.TransfersOut--
+		}
+	} else if st.view.ManagerSends > 0 {
+		st.view.ManagerSends--
+	}
+	st.view.ClearPending(w.v, st.envObj)
+	st.view.NoteReplica(w.v, st.envObj)
+}
+
+// envArrived (timed path) charges the transfer and unpack breakdowns,
+// then wakes the invocations waiting on the environment.
+func (st *state) envArrived(w *wstate) {
+	app := st.cfg.App
+	transfer := st.S.Now() - w.envReqAt
+	unpack := st.jitter(app.UnpackSeconds)
+	if st.cfg.Level == core.L3 {
+		st.res.LibBreakdown.Worker += unpack
+		st.res.LibBreakdown.Transfer += transfer
+	} else {
+		st.res.ColdBreakdown.Worker += unpack
+		st.res.ColdBreakdown.Transfer += transfer
+	}
+	st.envLanded(w)
+	// A new source (and a freed serving slot) can unblock placements
+	// that the policy answered with Wait.
+	st.tryDispatch()
+	st.S.After(unpack, func() {
+		w.hasEnv = true
+		waiters := w.envWaiters
+		w.envWaiters = nil
+		for _, cont := range waiters {
+			cont()
+		}
+		st.tryDispatch()
+	})
+}
+
+// ensureEnv continues when the worker's environment is unpacked and
+// ready. The transfer itself was already started by the placement's
+// staging decision (or an earlier one); invocations placed behind an
+// in-flight copy just wait here.
+func (st *state) ensureEnv(w *wstate, cont func()) {
+	if w.hasEnv {
+		cont()
+		return
+	}
+	w.envWaiters = append(w.envWaiters, cont)
+}
+
+// ---- invocation execution ----
 
 // assign runs one invocation through its level's phases on the slot.
 func (st *state) assign(sl *slot) {
@@ -511,7 +744,7 @@ func (st *state) complete(sl *slot, start float64) {
 	if !st.cfg.DropTimes {
 		st.res.Times = append(st.res.Times, runtime)
 	}
-	sl.w.freeSlot(sl)
+	st.freeSlot(sl.w, sl)
 	sl.served++
 	st.inFlight--
 	st.completed++
@@ -624,7 +857,7 @@ func (st *state) runL3(sl *slot, start float64) {
 		st.res.LibBreakdown.Setup += setup
 		st.libN++
 		st.S.After(setup, func() {
-			w.markLibReady(sl)
+			st.markLibReady(w, sl)
 			st.invokeL3(sl, start)
 		})
 	})
@@ -639,110 +872,6 @@ func (st *state) invokeL3(sl *slot, start float64) {
 	st.res.InvBreakdown.Exec += exec
 	st.invN++
 	st.S.After(argLoad+exec, func() { st.complete(sl, start) })
-}
-
-// ---- environment distribution (§3.3) ----
-
-// ensureEnv continues when the worker's environment is unpacked and
-// ready, fetching it first if needed. Distribution follows the paper's
-// discipline: the manager seeds the first copies (ManagerSourceCap
-// concurrent), confirmed workers serve up to PeerCap peers each, and
-// cross-cluster traffic is constrained when Clusters > 1.
-func (st *state) ensureEnv(w *wstate, cont func()) {
-	if w.hasEnv {
-		cont()
-		return
-	}
-	w.envWaiters = append(w.envWaiters, cont)
-	if w.envRequested {
-		return
-	}
-	w.envRequested = true
-	w.envReqAt = st.S.Now()
-	st.startEnvTransfer(w)
-}
-
-func (st *state) startEnvTransfer(dst *wstate) {
-	app := st.cfg.App
-	size := float64(app.EnvPackedBytes + app.FuncBlobBytes)
-
-	var src *wstate
-	if st.cfg.PeerTransfers {
-		src = st.pickEnvSource(dst)
-	}
-	if src == nil {
-		// Manager is the source; respect its sequential-send cap by
-		// queueing behind the NIC when over cap.
-		if st.mgrEnvSends() >= st.cfg.ManagerSourceCap {
-			// Retry when a transfer finishes; poll cheaply.
-			st.S.After(0.2, func() { st.startEnvTransfer(dst) })
-			return
-		}
-		st.mgrEnvActive++
-		st.res.EnvDirect++
-		st.managerNIC.Start(size, func() {
-			st.mgrEnvActive--
-			st.envArrived(dst)
-		})
-		return
-	}
-	src.peerOut++
-	st.res.EnvPeer++
-	link := src.nic
-	if st.crossNIC != nil && src.cluster != dst.cluster {
-		link = st.crossNIC
-	}
-	link.Start(size, func() {
-		src.peerOut--
-		st.envArrived(dst)
-		// A freed slot may unblock queued manager-path retries
-		// naturally via their polling.
-	})
-}
-
-func (st *state) mgrEnvSends() int { return st.mgrEnvActive }
-
-func (st *state) pickEnvSource(dst *wstate) *wstate {
-	for _, w := range st.workers {
-		if w == dst || !w.envCached || w.peerOut >= st.cfg.PeerCap {
-			continue
-		}
-		if st.crossNIC != nil && w.cluster != dst.cluster {
-			continue // prefer same-cluster; cross handled below
-		}
-		return w
-	}
-	if st.crossNIC != nil {
-		for _, w := range st.workers {
-			if w != dst && w.envCached && w.peerOut < st.cfg.PeerCap {
-				return w
-			}
-		}
-	}
-	return nil
-}
-
-// envArrived unpacks the tarball and wakes the waiters.
-func (st *state) envArrived(w *wstate) {
-	app := st.cfg.App
-	transfer := st.S.Now() - w.envReqAt
-	unpack := st.jitter(app.UnpackSeconds)
-	if st.cfg.Level == core.L3 {
-		st.res.LibBreakdown.Worker += unpack
-		st.res.LibBreakdown.Transfer += transfer
-	} else {
-		st.res.ColdBreakdown.Worker += unpack
-		st.res.ColdBreakdown.Transfer += transfer
-	}
-	w.envCached = true // the cached tarball can serve peers immediately
-	st.S.After(unpack, func() {
-		w.hasEnv = true
-		waiters := w.envWaiters
-		w.envWaiters = nil
-		for _, cont := range waiters {
-			cont()
-		}
-	})
 }
 
 // DebugStart initializes a run without executing it, returning the

@@ -325,7 +325,15 @@ func objectToHdr(o *content.Object) proto.FileHdr {
 }
 
 func (w *Worker) ackFile(id string, cache bool, err error) {
-	ack := proto.FileAck{ID: id, Ok: err == nil, Cache: cache}
+	w.ackFileFrom(id, "", cache, err)
+}
+
+// ackFileFrom acknowledges a staged file, echoing the peer source the
+// transfer was assigned ("" for direct puts) so the manager can return
+// the source's outbound transfer slot even if its own fetch record is
+// gone.
+func (w *Worker) ackFileFrom(id, source string, cache bool, err error) {
+	ack := proto.FileAck{ID: id, Ok: err == nil, Cache: cache, Source: source}
 	if err != nil {
 		ack.Err = err.Error()
 	}
@@ -365,14 +373,14 @@ func (w *Worker) handlePutFileBulk(hdr proto.PutFileHdr, data []byte) {
 func (w *Worker) handleFetchFile(msg proto.FetchFile) {
 	obj, err := fetchFromPeer(msg.FromAddr, msg.ID, w.cfg.PeerIOTimeout)
 	if err != nil {
-		w.ackFile(msg.ID, msg.Cache, err)
+		w.ackFileFrom(msg.ID, msg.Source, msg.Cache, err)
 		return
 	}
 	if err := w.cacheObject(obj, msg.Unpack); err != nil {
-		w.ackFile(msg.ID, msg.Cache, err)
+		w.ackFileFrom(msg.ID, msg.Source, msg.Cache, err)
 		return
 	}
-	w.ackFile(msg.ID, msg.Cache, nil)
+	w.ackFileFrom(msg.ID, msg.Source, msg.Cache, nil)
 }
 
 func (w *Worker) cacheObject(obj *content.Object, unpack bool) error {
