@@ -34,13 +34,14 @@ benchsmoke:
 	go test -run '^$$' -bench DispatchThroughput -benchtime 1x .
 
 # One Go benchmark per paper table/figure (reduced scale), plus the
-# manager dispatch-throughput benchmark, written to BENCH_PR2.json with
-# the pre-change dispatch baseline alongside.
+# manager dispatch-throughput benchmark, written to BENCH_PR4.json and
+# gated against the PR2 report: the run fails if dispatch throughput
+# drops below 90% of the recorded BENCH_PR2.json dispatch_current.
 bench:
 	go test -run '^$$' -bench=. -benchmem . | go run ./cmd/benchjson \
-		-o BENCH_PR2.json \
+		-o BENCH_PR4.json \
 		-note "dispatch benchmark: 64 in-process workers x 16 slots, no-op invocations; sim_s metrics are simulated seconds at 1/20 scale" \
-		-baseline-inv-s 5496 -baseline-ns-dispatch 181957
+		-baseline-json BENCH_PR2.json -min-ratio 0.9
 
 # Every table and figure at paper scale (~10 s).
 experiments:

@@ -11,6 +11,13 @@
 // baseline is supplied and BenchmarkDispatchThroughput is present, the
 // report also carries the before/after numbers and the speedup, so the
 // regression gate is one file.
+//
+// The baseline can also come from a prior report: -baseline-json reads
+// another benchjson file and adopts its dispatch_current as this run's
+// baseline, chaining reports PR over PR. With -min-ratio the tool
+// becomes a gate: if current dispatch throughput falls below
+// min-ratio x baseline, it writes the report anyway (so the numbers
+// are inspectable) and exits non-zero.
 package main
 
 import (
@@ -50,11 +57,34 @@ func main() {
 	note := flag.String("note", "", "free-form note stored in the report")
 	baseInv := flag.Float64("baseline-inv-s", 0, "pre-change dispatch throughput (inv/s)")
 	baseNs := flag.Float64("baseline-ns-dispatch", 0, "pre-change ns/dispatch")
+	baseJSON := flag.String("baseline-json", "", "prior benchjson report whose dispatch_current becomes this run's baseline")
+	minRatio := flag.Float64("min-ratio", 0, "exit non-zero if current dispatch inv/s < min-ratio x baseline")
 	flag.Parse()
 
 	rep := Report{Note: *note, Benchmarks: []Benchmark{}}
 	if *baseInv > 0 {
 		rep.Baseline = &Dispatch{InvPerSec: *baseInv, NsPerDisp: *baseNs}
+	}
+	if *baseJSON != "" {
+		raw, err := os.ReadFile(*baseJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var prior Report
+		if err := json.Unmarshal(raw, &prior); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseJSON, err)
+			os.Exit(1)
+		}
+		base := prior.Current
+		if base == nil {
+			base = prior.Baseline
+		}
+		if base == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s carries no dispatch numbers to baseline against\n", *baseJSON)
+			os.Exit(1)
+		}
+		rep.Baseline = base
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -85,11 +115,23 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	// Gate last, after the report is on disk: a failing run still
+	// leaves its numbers behind for inspection.
+	if *minRatio > 0 {
+		if rep.Baseline == nil || rep.Current == nil || rep.Baseline.InvPerSec <= 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -min-ratio set but baseline or current dispatch numbers are missing")
+			os.Exit(1)
+		}
+		ratio := rep.Current.InvPerSec / rep.Baseline.InvPerSec
+		if ratio < *minRatio {
+			fmt.Fprintf(os.Stderr, "benchjson: dispatch throughput regressed: %.0f inv/s is %.2fx the %.0f inv/s baseline (floor %.2fx)\n",
+				rep.Current.InvPerSec, ratio, rep.Baseline.InvPerSec, *minRatio)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,488 @@
+// Package dataplane is the worker's object-staging layer: everything
+// between the control loop (which only decodes frames) and the
+// executor (which only runs code) that moves content-addressed bytes.
+//
+// It owns the worker's content.Cache and layers three things over it:
+//
+//   - An asynchronous fetch side: peer fetches run on a bounded worker
+//     pool, so one stalled source costs one pool slot, not the whole
+//     worker. This is what lets context distribution overlap with
+//     execution (Figure 3b): invocations keep running while the
+//     spanning tree streams environments in the background.
+//   - Single-flight deduplication: any number of queued requests for
+//     one object ID share a single transfer. Each request still gets
+//     its own completion callback (each FetchFile must ack with its
+//     own Source echo), but the network is hit once.
+//   - A per-object state machine — Absent → Fetching → Cached →
+//     Evicting → Absent — that the executor synchronizes with through
+//     PinResolve: a task whose input is still in flight waits for the
+//     flight instead of failing, and a pin can never race an eviction.
+//
+// The serve side (peers pulling from this worker's cache) runs under
+// its own concurrency cap so a thundering herd of requesters degrades
+// to queueing, not to unbounded goroutines.
+package dataplane
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/proto"
+)
+
+// State is a cache object's position in the staging lifecycle.
+type State int
+
+const (
+	// Absent: not cached, no transfer in flight.
+	Absent State = iota
+	// Fetching: a single-flight peer transfer is running or queued.
+	Fetching
+	// Cached: resident in the content cache.
+	Cached
+	// Evicting: being removed; resolves refuse it until it is gone.
+	Evicting
+)
+
+func (s State) String() string {
+	switch s {
+	case Absent:
+		return "absent"
+	case Fetching:
+		return "fetching"
+	case Cached:
+		return "cached"
+	case Evicting:
+		return "evicting"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// FetchFn transfers one object from a peer data server. Injectable so
+// tests can count transfers or stall them without sockets.
+type FetchFn func(addr, id string, idle time.Duration) (*content.Object, error)
+
+// Config configures a Plane.
+type Config struct {
+	// Cache is the backing object store (required).
+	Cache *content.Cache
+	// FetchConcurrency bounds concurrent peer fetches (default 4): a
+	// stalled source occupies one pool slot while unrelated fetches,
+	// puts, and every invocation keep moving.
+	FetchConcurrency int
+	// ServeConcurrency bounds concurrent peer-serve connections
+	// (default 64).
+	ServeConcurrency int
+	// IdleTimeout bounds idle time on peer data connections, fetch and
+	// serve alike (default 30s).
+	IdleTimeout time.Duration
+	// Fetch overrides the peer transfer function (tests). Nil uses the
+	// real socket fetch installed by the worker.
+	Fetch FetchFn
+}
+
+// Stats counts data-plane activity; all fields are atomically
+// maintained, so Snapshot never takes the plane lock.
+type Stats struct {
+	Fetches     int64 // transfers actually started
+	FetchErrors int64 // transfers that failed
+	Deduped     int64 // fetch requests absorbed by an in-flight transfer
+	Puts        int64 // objects stored via Put
+	Served      int64 // peer-serve requests answered with data
+	ServeErrors int64 // peer-serve requests refused (uncached, bad frame)
+}
+
+// Request asks for one object to be staged from a peer.
+type Request struct {
+	ID     string
+	Addr   string
+	Unpack bool
+}
+
+// flight is one in-progress single-flight fetch: everyone wanting the
+// object parks on done.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// Plane is a worker's data plane.
+type Plane struct {
+	cfg   Config
+	cache *content.Cache
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	queue    []queued
+	active   int
+	evicting map[string]bool
+	closed   bool
+
+	done  chan struct{}
+	wg    sync.WaitGroup
+	serve chan struct{} // serve-side concurrency tokens
+
+	fetches, fetchErrors, deduped, puts, served, serveErrors atomic.Int64
+}
+
+type queued struct {
+	req Request
+	fl  *flight
+	cbs []func(error)
+}
+
+// New creates a data plane over the given cache.
+func New(cfg Config) *Plane {
+	if cfg.FetchConcurrency <= 0 {
+		cfg.FetchConcurrency = 4
+	}
+	if cfg.ServeConcurrency <= 0 {
+		cfg.ServeConcurrency = 64
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 30 * time.Second
+	}
+	if cfg.Fetch == nil {
+		cfg.Fetch = FetchPeer
+	}
+	return &Plane{
+		cfg:      cfg,
+		cache:    cfg.Cache,
+		flights:  map[string]*flight{},
+		evicting: map[string]bool{},
+		done:     make(chan struct{}),
+		serve:    make(chan struct{}, cfg.ServeConcurrency),
+	}
+}
+
+// Cache exposes the backing content cache (metrics, tests).
+func (p *Plane) Cache() *content.Cache { return p.cache }
+
+// Snapshot returns the current stats counters.
+func (p *Plane) Snapshot() Stats {
+	return Stats{
+		Fetches:     p.fetches.Load(),
+		FetchErrors: p.fetchErrors.Load(),
+		Deduped:     p.deduped.Load(),
+		Puts:        p.puts.Load(),
+		Served:      p.served.Load(),
+		ServeErrors: p.serveErrors.Load(),
+	}
+}
+
+// StateOf reports an object's staging state (tests, diagnostics).
+func (p *Plane) StateOf(id string) State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stateLocked(id)
+}
+
+func (p *Plane) stateLocked(id string) State {
+	if p.evicting[id] {
+		return Evicting
+	}
+	if p.flights[id] != nil {
+		return Fetching
+	}
+	if p.cache.Has(id) {
+		return Cached
+	}
+	return Absent
+}
+
+// Close stops the plane: queued fetches fail immediately, waiters are
+// released, and no new work is accepted. It does not wait for running
+// transfers — they finish (or hit their I/O deadline) on their own;
+// use Wait to drain them.
+func (p *Plane) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	q := p.queue
+	p.queue = nil
+	for _, e := range q {
+		delete(p.flights, e.req.ID)
+		e.fl.err = fmt.Errorf("dataplane: shutting down")
+		close(e.fl.done)
+		for _, cb := range e.cbs {
+			cb(e.fl.err)
+		}
+	}
+	p.mu.Unlock()
+	close(p.done)
+}
+
+// Wait blocks until all in-flight transfers and serve connections have
+// drained. Call after Close.
+func (p *Plane) Wait() { p.wg.Wait() }
+
+// ---- put / evict ----
+
+// Put stores an object (direct manager send), optionally unpacking a
+// tarball environment on arrival. An object already cached or in
+// flight is accepted idempotently (contents are immutable).
+func (p *Plane) Put(obj *content.Object, unpack bool) error {
+	if err := p.cache.Put(obj); err != nil {
+		return err
+	}
+	p.puts.Add(1)
+	if unpack && obj.Kind == content.Tarball {
+		if _, err := p.cache.MarkUnpacked(obj.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Evict removes an unpinned object through the Evicting state so a
+// concurrent PinResolve observes "going away" rather than racing the
+// removal. Reports whether the object was removed.
+func (p *Plane) Evict(id string) bool {
+	p.mu.Lock()
+	if p.evicting[id] || !p.cache.Has(id) {
+		p.mu.Unlock()
+		return false
+	}
+	p.evicting[id] = true
+	p.mu.Unlock()
+
+	ok := p.cache.Evict(id)
+
+	p.mu.Lock()
+	delete(p.evicting, id)
+	p.mu.Unlock()
+	return ok
+}
+
+// Pin pins a cached object (nested); Unpin releases one pin.
+func (p *Plane) Pin(id string) error   { return p.cache.Pin(id) }
+func (p *Plane) Unpin(id string) error { return p.cache.Unpin(id) }
+
+// ---- fetch side ----
+
+// Fetch asks the plane to stage an object from a peer, calling done
+// (from a plane goroutine) when the object is cached or the transfer
+// failed. Requests for an object already in flight join that flight —
+// one transfer, N callbacks. Requests for a cached object complete
+// immediately.
+func (p *Plane) Fetch(req Request, done func(error)) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		done(fmt.Errorf("dataplane: shutting down"))
+		return
+	}
+	if fl := p.flights[req.ID]; fl != nil {
+		// Single-flight: join the in-progress transfer.
+		p.deduped.Add(1)
+		for i := range p.queue {
+			if p.queue[i].fl == fl {
+				p.queue[i].cbs = append(p.queue[i].cbs, done)
+				p.mu.Unlock()
+				return
+			}
+		}
+		// The transfer already left the queue; wait on its completion.
+		// (wg.Add under the lock: closed was false above, so Close has
+		// not started waiting yet.)
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			<-fl.done
+			done(fl.err)
+		}()
+		return
+	}
+	if p.cache.Has(req.ID) {
+		p.mu.Unlock()
+		done(nil)
+		return
+	}
+	fl := &flight{done: make(chan struct{})}
+	p.flights[req.ID] = fl
+	p.queue = append(p.queue, queued{req: req, fl: fl, cbs: []func(error){done}})
+	p.dispatchLocked()
+	p.mu.Unlock()
+}
+
+// dispatchLocked starts queued fetches while pool slots are free.
+func (p *Plane) dispatchLocked() {
+	for p.active < p.cfg.FetchConcurrency && len(p.queue) > 0 {
+		e := p.queue[0]
+		p.queue = p.queue[1:]
+		p.active++
+		p.wg.Add(1)
+		go p.runFetch(e)
+	}
+}
+
+func (p *Plane) runFetch(e queued) {
+	defer p.wg.Done()
+	err := p.transfer(e.req)
+	if err != nil {
+		p.fetchErrors.Add(1)
+	}
+
+	p.mu.Lock()
+	delete(p.flights, e.req.ID)
+	e.fl.err = err
+	p.active--
+	p.dispatchLocked()
+	p.mu.Unlock()
+
+	// Release flight waiters (PinResolve) only after the cache state is
+	// final, then ack every request that rode this flight.
+	close(e.fl.done)
+	for _, cb := range e.cbs {
+		cb(err)
+	}
+}
+
+// transfer performs the network fetch and stores the result.
+func (p *Plane) transfer(req Request) error {
+	p.fetches.Add(1)
+	obj, err := p.cfg.Fetch(req.Addr, req.ID, p.cfg.IdleTimeout)
+	if err != nil {
+		return err
+	}
+	return p.Put(obj, req.Unpack)
+}
+
+// ---- executor synchronization ----
+
+// PinResolve returns the object pinned, waiting out an in-flight fetch
+// or an in-progress eviction first. It is the executor's only read
+// path: Absent fails immediately (the manager never promised the
+// object), Fetching parks on the flight, Evicting yields to the
+// eviction and re-checks, Cached pins — atomically with respect to
+// eviction, so a resolved input can never be evicted underneath a
+// task. Callers must Unpin.
+func (p *Plane) PinResolve(id string) (*content.Object, error) {
+	for {
+		p.mu.Lock()
+		if p.evicting[id] {
+			// Eviction is quick (in-memory); spin on the state change.
+			p.mu.Unlock()
+			select {
+			case <-p.done:
+				return nil, fmt.Errorf("dataplane: shutting down")
+			case <-time.After(100 * time.Microsecond):
+			}
+			continue
+		}
+		if fl := p.flights[id]; fl != nil {
+			p.mu.Unlock()
+			select {
+			case <-fl.done:
+			case <-p.done:
+				return nil, fmt.Errorf("dataplane: shutting down")
+			}
+			continue
+		}
+		// Pin under the plane lock: Evict's cache removal happens only
+		// after it wins the evicting mark, which we hold off here.
+		obj, ok := p.cache.Get(id)
+		if !ok {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("dataplane: object %s not staged", shortID(id))
+		}
+		if err := p.cache.Pin(id); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.mu.Unlock()
+		return obj, nil
+	}
+}
+
+// MarkUnpacked expands a cached tarball (idempotent; see
+// content.Cache.MarkUnpacked).
+func (p *Plane) MarkUnpacked(id string) (bool, error) {
+	return p.cache.MarkUnpacked(id)
+}
+
+// ---- serve side ----
+
+// Serve answers MsgGetFile requests from peers on the listener until
+// it closes. At most ServeConcurrency requests are in flight at once;
+// excess connections queue in the accept backlog. Callers own the
+// listener's lifetime.
+func (p *Plane) Serve(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		select {
+		case p.serve <- struct{}{}:
+		case <-p.done:
+			nc.Close()
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			<-p.serve
+			nc.Close()
+			return
+		}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			defer func() { <-p.serve }()
+			p.serveConn(nc)
+		}()
+	}
+}
+
+// serveConn answers one peer request: bulk frame straight from the
+// cache's backing slice, or an error message.
+func (p *Plane) serveConn(nc net.Conn) {
+	defer nc.Close()
+	// A requester that stops reading must not pin this slot forever.
+	pc := proto.NewConn(proto.WithIdleTimeout(nc, p.cfg.IdleTimeout))
+	t, raw, err := pc.Recv()
+	if err != nil || t != proto.MsgGetFile {
+		p.serveErrors.Add(1)
+		return
+	}
+	req, err := proto.Decode[proto.GetFile](raw)
+	if err != nil {
+		p.serveErrors.Add(1)
+		return
+	}
+	obj, ok := p.cache.Get(req.ID)
+	if !ok {
+		p.serveErrors.Add(1)
+		_ = pc.Send(proto.MsgError, proto.ErrorMsg{Err: "object not cached"})
+		return
+	}
+	p.served.Add(1)
+	_ = pc.SendBulk(proto.MsgFileDataBulk, fileHdr(obj), obj.Data)
+}
+
+func fileHdr(o *content.Object) proto.FileHdr {
+	return proto.FileHdr{
+		ID:           o.ID,
+		Name:         o.Name,
+		Kind:         int(o.Kind),
+		LogicalSize:  o.LogicalSize,
+		UnpackedSize: o.UnpackedSize,
+	}
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

@@ -1,0 +1,367 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/content"
+)
+
+// gate is an injectable FetchFn whose transfers block until released,
+// counting how often and how concurrently the network is hit.
+type gate struct {
+	mu        sync.Mutex
+	calls     int
+	active    int
+	maxActive int
+	objs      map[string]*content.Object
+	release   chan struct{}
+	errs      map[string]error
+}
+
+func newGate(objs ...*content.Object) *gate {
+	g := &gate{
+		objs:    map[string]*content.Object{},
+		release: make(chan struct{}),
+		errs:    map[string]error{},
+	}
+	for _, o := range objs {
+		g.objs[o.ID] = o
+	}
+	return g
+}
+
+func (g *gate) fetch(addr, id string, idle time.Duration) (*content.Object, error) {
+	g.mu.Lock()
+	g.calls++
+	g.active++
+	if g.active > g.maxActive {
+		g.maxActive = g.active
+	}
+	g.mu.Unlock()
+	<-g.release
+	g.mu.Lock()
+	g.active--
+	err := g.errs[id]
+	obj := g.objs[id]
+	g.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if obj == nil {
+		return nil, fmt.Errorf("gate: no object %s", id)
+	}
+	return obj, nil
+}
+
+func (g *gate) stats() (calls, maxActive int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.calls, g.maxActive
+}
+
+func newPlane(t *testing.T, g *gate, fetchConc int) *Plane {
+	t.Helper()
+	p := New(Config{
+		Cache:            content.NewCache(0),
+		FetchConcurrency: fetchConc,
+		Fetch:            g.fetch,
+	})
+	t.Cleanup(p.Close)
+	return p
+}
+
+func waitDone(t *testing.T, done chan error, n int) []error {
+	t.Helper()
+	out := make([]error, 0, n)
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-done:
+			out = append(out, err)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d fetch callbacks fired", i, n)
+		}
+	}
+	return out
+}
+
+func TestSingleFlightDedup(t *testing.T) {
+	// N concurrent requests for one object ID must hit the network
+	// exactly once; every request still gets its own callback.
+	obj := content.NewBlob("env.tar", []byte("environment"))
+	g := newGate(obj)
+	p := newPlane(t, g, 4)
+
+	const n = 16
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		p.Fetch(Request{ID: obj.ID, Addr: "peer:1"}, func(err error) { done <- err })
+	}
+	// All requests are queued or joined before any transfer completes.
+	close(g.release)
+	for _, err := range waitDone(t, done, n) {
+		if err != nil {
+			t.Errorf("deduped fetch failed: %v", err)
+		}
+	}
+	if calls, _ := g.stats(); calls != 1 {
+		t.Errorf("network hit %d times for one object, want 1", calls)
+	}
+	st := p.Snapshot()
+	if st.Fetches != 1 || st.Deduped != n-1 {
+		t.Errorf("stats = %+v, want 1 fetch and %d deduped", st, n-1)
+	}
+	if !p.Cache().Has(obj.ID) {
+		t.Errorf("object not cached after fetch")
+	}
+}
+
+func TestFetchErrorReachesEveryRequest(t *testing.T) {
+	obj := content.NewBlob("gone.bin", []byte("x"))
+	g := newGate()
+	g.errs[obj.ID] = fmt.Errorf("peer vanished")
+	p := newPlane(t, g, 2)
+
+	const n = 5
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		p.Fetch(Request{ID: obj.ID, Addr: "peer:1"}, func(err error) { done <- err })
+	}
+	close(g.release)
+	for _, err := range waitDone(t, done, n) {
+		if err == nil {
+			t.Errorf("failed transfer reported success to a joined request")
+		}
+	}
+	if calls, _ := g.stats(); calls != 1 {
+		t.Errorf("network hit %d times, want 1", calls)
+	}
+	if st := p.Snapshot(); st.FetchErrors != 1 {
+		t.Errorf("stats = %+v, want 1 fetch error", st)
+	}
+	// The flight is gone: a later request retries the network.
+	g.mu.Lock()
+	delete(g.errs, obj.ID)
+	g.objs[obj.ID] = obj
+	g.mu.Unlock()
+	retry := make(chan error, 1)
+	p.Fetch(Request{ID: obj.ID, Addr: "peer:1"}, func(err error) { retry <- err })
+	if err := waitDone(t, retry, 1)[0]; err != nil {
+		t.Errorf("retry after failed flight: %v", err)
+	}
+}
+
+func TestBoundedFetchPool(t *testing.T) {
+	// More queued transfers than pool slots: concurrency stays at the
+	// cap, everything still completes.
+	var objs []*content.Object
+	for i := 0; i < 6; i++ {
+		objs = append(objs, content.NewBlob(fmt.Sprintf("o%d", i), []byte(fmt.Sprintf("data-%d", i))))
+	}
+	g := newGate(objs...)
+	p := newPlane(t, g, 2)
+
+	done := make(chan error, len(objs))
+	for _, o := range objs {
+		p.Fetch(Request{ID: o.ID, Addr: "peer:1"}, func(err error) { done <- err })
+	}
+	// Give the pool a moment to start everything it is going to start.
+	time.Sleep(20 * time.Millisecond)
+	if _, max := g.stats(); max > 2 {
+		t.Errorf("%d transfers ran concurrently, want <= 2", max)
+	}
+	close(g.release)
+	for _, err := range waitDone(t, done, len(objs)) {
+		if err != nil {
+			t.Errorf("fetch failed: %v", err)
+		}
+	}
+	if calls, max := g.stats(); calls != len(objs) || max > 2 {
+		t.Errorf("calls=%d maxActive=%d, want %d and <=2", calls, max, len(objs))
+	}
+}
+
+func TestFetchOfCachedObjectCompletesImmediately(t *testing.T) {
+	obj := content.NewBlob("here.bin", []byte("resident"))
+	g := newGate(obj)
+	p := newPlane(t, g, 2)
+	if err := p.Put(obj, false); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	p.Fetch(Request{ID: obj.ID, Addr: "peer:1"}, func(err error) { done <- err })
+	if err := waitDone(t, done, 1)[0]; err != nil {
+		t.Errorf("cached fetch: %v", err)
+	}
+	if calls, _ := g.stats(); calls != 0 {
+		t.Errorf("cached object hit the network %d times", calls)
+	}
+}
+
+func TestStateMachine(t *testing.T) {
+	obj := content.NewBlob("sm.bin", []byte("state"))
+	g := newGate(obj)
+	p := newPlane(t, g, 1)
+
+	if s := p.StateOf(obj.ID); s != Absent {
+		t.Errorf("initial state = %v, want absent", s)
+	}
+	done := make(chan error, 1)
+	p.Fetch(Request{ID: obj.ID, Addr: "peer:1"}, func(err error) { done <- err })
+	if s := p.StateOf(obj.ID); s != Fetching {
+		t.Errorf("state during transfer = %v, want fetching", s)
+	}
+	close(g.release)
+	waitDone(t, done, 1)
+	if s := p.StateOf(obj.ID); s != Cached {
+		t.Errorf("state after transfer = %v, want cached", s)
+	}
+	if !p.Evict(obj.ID) {
+		t.Errorf("evict of cached unpinned object refused")
+	}
+	if s := p.StateOf(obj.ID); s != Absent {
+		t.Errorf("state after evict = %v, want absent", s)
+	}
+}
+
+func TestPinResolveWaitsForFlight(t *testing.T) {
+	// An executor resolving an input whose transfer is still in flight
+	// must wait for the flight, not fail with "not staged".
+	obj := content.NewBlob("inflight.bin", []byte("late bytes"))
+	g := newGate(obj)
+	p := newPlane(t, g, 1)
+
+	ackDone := make(chan error, 1)
+	p.Fetch(Request{ID: obj.ID, Addr: "peer:1"}, func(err error) { ackDone <- err })
+
+	resolved := make(chan error, 1)
+	go func() {
+		got, err := p.PinResolve(obj.ID)
+		if err == nil && string(got.Data) != "late bytes" {
+			err = fmt.Errorf("wrong object: %q", got.Data)
+		}
+		resolved <- err
+	}()
+	select {
+	case err := <-resolved:
+		t.Fatalf("PinResolve returned before the transfer finished: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(g.release)
+	select {
+	case err := <-resolved:
+		if err != nil {
+			t.Fatalf("PinResolve after flight: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PinResolve never woke after the flight completed")
+	}
+	// The resolve pinned the object: eviction must refuse it.
+	if p.Evict(obj.ID) {
+		t.Errorf("pinned object was evicted")
+	}
+	if err := p.Unpin(obj.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Evict(obj.ID) {
+		t.Errorf("unpinned object not evictable")
+	}
+}
+
+func TestPinResolveOfAbsentObjectFails(t *testing.T) {
+	g := newGate()
+	p := newPlane(t, g, 1)
+	if _, err := p.PinResolve("no-such-object"); err == nil {
+		t.Fatal("PinResolve of absent object should fail")
+	}
+}
+
+func TestCloseFailsQueuedFetches(t *testing.T) {
+	// One slot, one transfer blocking it, several queued behind: Close
+	// must fail the queued ones promptly.
+	blocker := content.NewBlob("blocker", []byte("b"))
+	queued := content.NewBlob("queued", []byte("q"))
+	g := newGate(blocker, queued)
+	p := New(Config{Cache: content.NewCache(0), FetchConcurrency: 1, Fetch: g.fetch})
+
+	first := make(chan error, 1)
+	second := make(chan error, 1)
+	p.Fetch(Request{ID: blocker.ID, Addr: "peer:1"}, func(err error) { first <- err })
+	time.Sleep(10 * time.Millisecond) // let the blocker occupy the slot
+	p.Fetch(Request{ID: queued.ID, Addr: "peer:1"}, func(err error) { second <- err })
+
+	p.Close()
+	select {
+	case err := <-second:
+		if err == nil {
+			t.Errorf("queued fetch reported success after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued fetch never failed after Close")
+	}
+	close(g.release)
+	<-first // the in-flight transfer drains on its own
+	p.Wait()
+}
+
+func TestConcurrentPinResolveAndEvict(t *testing.T) {
+	// Hammer the pin/evict race under -race: once PinResolve returns, a
+	// concurrent Evict must never remove the object before Unpin.
+	obj := content.NewBlob("contended.bin", []byte("contended"))
+	g := newGate(obj)
+	p := newPlane(t, g, 2)
+	close(g.release)
+	if err := p.Put(obj, false); err != nil {
+		t.Fatal(err)
+	}
+
+	var wrong atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				o, err := p.PinResolve(obj.ID)
+				if err != nil {
+					// Evicted and not refetched: re-stage and go again.
+					_ = p.Put(obj, false)
+					continue
+				}
+				if !p.Cache().Has(o.ID) {
+					wrong.Add(1)
+				}
+				_ = p.Unpin(o.ID)
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.Evict(obj.ID)
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if n := wrong.Load(); n > 0 {
+		t.Errorf("pinned object vanished under a concurrent evict %d times", n)
+	}
+}

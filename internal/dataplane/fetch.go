@@ -1,0 +1,84 @@
+package dataplane
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/proto"
+)
+
+// FetchPeer requests an object by ID from a worker data server. It is
+// the plane's default FetchFn. The dial, the request write, and every
+// read of the response must each make progress within `idle`, so a
+// stalled or vanished peer costs a bounded wait instead of wedging the
+// fetch forever.
+func FetchPeer(addr, id string, idle time.Duration) (*content.Object, error) {
+	dial := idle
+	if dial <= 0 || dial > 5*time.Second {
+		dial = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, dial)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: dialing peer %s: %w", addr, err)
+	}
+	defer nc.Close()
+	pc := proto.NewConn(proto.WithIdleTimeout(nc, idle))
+	if err := pc.Send(proto.MsgGetFile, proto.GetFile{ID: id}); err != nil {
+		return nil, err
+	}
+	t, raw, err := pc.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: reading peer response: %w", err)
+	}
+	switch t {
+	case proto.MsgFileDataBulk:
+		hdr, payload, err := proto.DecodeBulk[proto.FileHdr](raw)
+		if err != nil {
+			return nil, err
+		}
+		// payload aliases the frame's receive buffer, which is fresh per
+		// frame — safe to retain as the object's data without a copy.
+		obj := hdrToObject(hdr, payload)
+		if err := obj.Validate(); err != nil {
+			return nil, fmt.Errorf("dataplane: peer sent corrupt object: %w", err)
+		}
+		return obj, nil
+	case proto.MsgFileData:
+		// Legacy JSON-framed response, kept for mixed-version peers.
+		meta, err := proto.Decode[proto.FileMeta](raw)
+		if err != nil {
+			return nil, err
+		}
+		obj := &content.Object{
+			ID:           meta.ID,
+			Name:         meta.Name,
+			Kind:         content.Kind(meta.Kind),
+			Data:         meta.Data,
+			LogicalSize:  meta.LogicalSize,
+			UnpackedSize: meta.UnpackedSize,
+		}
+		if err := obj.Validate(); err != nil {
+			return nil, fmt.Errorf("dataplane: peer sent corrupt object: %w", err)
+		}
+		return obj, nil
+	case proto.MsgError:
+		em, _ := proto.Decode[proto.ErrorMsg](raw)
+		return nil, fmt.Errorf("dataplane: peer error: %s", em.Err)
+	}
+	return nil, fmt.Errorf("dataplane: unexpected peer message %v", t)
+}
+
+// hdrToObject assembles an object from a bulk frame's header and raw
+// payload; data is retained as-is, no copy.
+func hdrToObject(h proto.FileHdr, data []byte) *content.Object {
+	return &content.Object{
+		ID:           h.ID,
+		Name:         h.Name,
+		Kind:         content.Kind(h.Kind),
+		Data:         data,
+		LogicalSize:  h.LogicalSize,
+		UnpackedSize: h.UnpackedSize,
+	}
+}

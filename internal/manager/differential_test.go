@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/content"
@@ -60,6 +61,9 @@ type diffHarness struct {
 	rec   *policy.Recorder
 	rp    *sim.Replay
 	ws    []*workerState
+	dead  map[string]bool
+	slots int
+	next  int // next worker index (churn continues the numbering)
 	level core.ReuseLevel
 	env   core.FileSpec
 	opLog []string
@@ -68,22 +72,17 @@ type diffHarness struct {
 func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int) *diffHarness {
 	t.Helper()
 	rec := &policy.Recorder{}
-	m := New(Options{PeerTransfers: true, DecisionTrace: rec})
-	h := &diffHarness{t: t, m: m, rec: rec, level: level, env: diffEnvSpec()}
+	// A retry budget no random trace can exhaust, and a backoff short
+	// enough that the harness's wait for the requeue is instant. The
+	// settings only matter on failure-injecting traces; the happy-path
+	// workloads never draw on them.
+	m := New(Options{
+		PeerTransfers: true, DecisionTrace: rec,
+		MaxRetries: 1000, RetryBaseDelay: time.Nanosecond, RetryMaxDelay: time.Nanosecond,
+	})
+	h := &diffHarness{t: t, m: m, rec: rec, dead: map[string]bool{}, slots: slots, next: workers, level: level, env: diffEnvSpec()}
 	for i := 0; i < workers; i++ {
-		id := fmt.Sprintf("w%04d", i)
-		w := &workerState{
-			id:           id,
-			hello:        proto.Hello{WorkerID: id, Resources: core.Resources{Cores: slots}},
-			sendq:        make(chan outMsg, 256),
-			fetchSources: map[string]string{},
-			ackWaiters:   map[string][]*inflightEntry{},
-			libs:         map[string]*libInstance{},
-		}
-		m.mu.Lock()
-		m.registerWorkerLocked(w)
-		m.mu.Unlock()
-		h.ws = append(h.ws, w)
+		h.ws = append(h.ws, h.newWorker(fmt.Sprintf("w%04d", i)))
 	}
 	if level == core.L3 {
 		if err := m.RegisterLibrary(&core.LibrarySpec{
@@ -109,6 +108,36 @@ func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int) *di
 	return h
 }
 
+// newWorker registers a synthetic worker with the manager, triggering
+// the same capacity wake a real connection would.
+func (h *diffHarness) newWorker(id string) *workerState {
+	w := &workerState{
+		id:           id,
+		hello:        proto.Hello{WorkerID: id, Resources: core.Resources{Cores: h.slots}},
+		sendq:        make(chan outMsg, 256),
+		fetchSources: map[string]string{},
+		ackWaiters:   map[string][]*inflightEntry{},
+		libs:         map[string]*libInstance{},
+	}
+	h.m.mu.Lock()
+	h.m.registerWorkerLocked(w)
+	h.m.wakeCapacityLocked()
+	h.m.mu.Unlock()
+	h.m.wake()
+	return w
+}
+
+// live returns the indices of living workers, in worker order.
+func (h *diffHarness) live() []int {
+	var out []int
+	for i, w := range h.ws {
+		if !h.dead[w.id] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // settle drops queued worker messages so the synthetic send queues
 // never fill (a full queue would drop the "connection").
 func (h *diffHarness) settle() {
@@ -124,7 +153,13 @@ func (h *diffHarness) crossCheck(op string) {
 	defer h.m.mu.Unlock()
 	sv := h.rp.View()
 	for _, w := range h.ws {
+		if h.dead[w.id] {
+			continue
+		}
 		wv := sv.Workers[w.id]
+		if wv == nil {
+			h.t.Fatalf("after %s: %s live on the manager, gone from the sim", op, w.id)
+		}
 		if w.v.TransfersOut != wv.TransfersOut {
 			h.t.Fatalf("after %s: %s TransfersOut manager=%d sim=%d\nops: %v\nmgr trace:\n%s\nsim trace:\n%s", op, w.id, w.v.TransfersOut, wv.TransfersOut, h.opLog, h.rec.Dump(), h.rp.Dump())
 		}
@@ -206,6 +241,9 @@ func (h *diffHarness) completable(w *workerState) (int64, bool) {
 	defer h.m.mu.Unlock()
 	if h.level == core.L3 && h.m.pendingInvCount > 0 {
 		for _, ww := range h.ws {
+			if h.dead[ww.id] {
+				continue // a dead worker's stale instance records gate nothing
+			}
 			if li := ww.libs[diffLib]; li != nil && !li.Ready && !li.Failed {
 				return 0, false
 			}
@@ -229,8 +267,85 @@ func (h *diffHarness) completable(w *workerState) (int64, bool) {
 func (h *diffHarness) done(w *workerState, id int64) {
 	h.opLog = append(h.opLog, fmt.Sprintf("done(%s,%d)", w.id, id))
 	h.m.onResult(w, core.Result{ID: id, Ok: true, Value: []byte("x")})
-	if !h.rp.Complete(w.id) {
-		h.t.Fatalf("sim rejected Complete(%s) the manager accepted", w.id)
+	// Task workloads complete by ring key: churn requeues carry keys,
+	// so the engines must agree on which task each slot was running.
+	ok := false
+	if h.level == core.L3 {
+		ok = h.rp.Complete(w.id)
+	} else {
+		ok = h.rp.CompleteTask(w.id, taskRingKey(id))
+	}
+	if !ok {
+		h.t.Fatalf("sim rejected Complete(%s, task %d) the manager accepted\nops: %v\nmgr trace:\n%s\nsim trace:\n%s",
+			w.id, id, h.opLog, h.rec.Dump(), h.rp.Dump())
+	}
+}
+
+// ---- churn and failure injection ----
+
+func (h *diffHarness) addWorker() {
+	id := fmt.Sprintf("w%04d", h.next)
+	h.next++
+	h.opLog = append(h.opLog, "join("+id+")")
+	h.ws = append(h.ws, h.newWorker(id))
+	if simID := h.rp.AddWorker(); simID != id {
+		h.t.Fatalf("worker numbering diverged: manager added %s, sim added %s", id, simID)
+	}
+}
+
+func (h *diffHarness) killWorker(w *workerState) {
+	h.opLog = append(h.opLog, "kill("+w.id+")")
+	h.dead[w.id] = true
+	h.m.onWorkerGone(w)
+	if !h.rp.KillWorker(w.id) {
+		h.t.Fatalf("sim rejected KillWorker(%s)", w.id)
+	}
+}
+
+// canEnvFail reports whether w has an in-flight *peer* env fetch — the
+// only kind whose failure the manager recovers by restaging direct.
+func (h *diffHarness) canEnvFail(w *workerState) bool {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return w.v.Pending[diffEnv] && w.fetchSources[diffEnv] != ""
+}
+
+func (h *diffHarness) envFail(w *workerState) {
+	h.opLog = append(h.opLog, "envFail("+w.id+")")
+	h.m.onFileAck(w, proto.FileAck{ID: diffEnv, Ok: false, Err: "injected transfer fault"})
+	if !h.rp.EnvFailed(w.id) {
+		h.t.Fatalf("sim rejected EnvFailed(%s) the manager accepted", w.id)
+	}
+}
+
+func (h *diffHarness) taskFail(w *workerState, id int64) {
+	h.opLog = append(h.opLog, fmt.Sprintf("fail(%s,%d)", w.id, id))
+	h.m.onResult(w, core.Result{ID: id, Ok: false, Retryable: true, Err: "injected fault"})
+	h.waitRetryLanded()
+	if !h.rp.Fail(w.id, taskRingKey(id)) {
+		h.t.Fatalf("sim rejected Fail(%s, task %d) the manager accepted", w.id, id)
+	}
+}
+
+// waitRetryLanded blocks until every pending backoff timer has fired
+// and requeued its spec (and the follow-up schedule pass finished), so
+// the manager's decisions from a retry are recorded before the sim's.
+// The dirty marks are part of the predicate: the timer callback sets
+// them and drops the lock before it calls wake, so backoffs can read 0
+// with the requeue's schedule pass still ahead.
+func (h *diffHarness) waitRetryLanded() {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h.m.mu.Lock()
+		quiet := h.m.backoffs == 0 && !h.m.scheduling && !h.m.hasDirtyLocked()
+		h.m.mu.Unlock()
+		if quiet {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.t.Fatal("backoff requeue never landed")
+		}
+		time.Sleep(50 * time.Microsecond)
 	}
 }
 
@@ -241,6 +356,9 @@ func (h *diffHarness) quiesce() {
 	for {
 		progressed := false
 		for _, w := range h.ws {
+			if h.dead[w.id] {
+				continue
+			}
 			h.settle()
 			if h.canEnvAck(w) {
 				h.envAck(w)
@@ -292,16 +410,76 @@ func (h *diffHarness) diffTraces(minLines int) {
 	}
 }
 
+// diffOpts selects the optional adversarial event classes a
+// differential run mixes into its trace.
+type diffOpts struct {
+	churn bool // random worker joins and deaths mid-trace
+	fail  bool // injected transfer faults and retryable task failures
+}
+
+// injectChaos maybe applies one churn or failure event, reporting
+// whether it consumed the op. Called only when an opts flag is set, so
+// the flag-free workloads draw exactly the random sequence they always
+// did and their traces stay byte-identical.
+func (h *diffHarness) injectChaos(rng *rand.Rand, opts diffOpts, joins *int) bool {
+	switch rng.Intn(25) {
+	case 0:
+		if opts.churn {
+			if live := h.live(); len(live) > 3 {
+				h.killWorker(h.ws[live[rng.Intn(len(live))]])
+				return true
+			}
+		}
+	case 1:
+		if opts.churn && *joins < 5 {
+			*joins++
+			h.addWorker()
+			return true
+		}
+	case 2:
+		if opts.fail {
+			for _, k := range rng.Perm(len(h.ws)) {
+				w := h.ws[k]
+				if !h.dead[w.id] && h.canEnvFail(w) {
+					h.envFail(w)
+					return true
+				}
+			}
+		}
+	case 3:
+		// Retryable task failure: only task workloads — the sim's
+		// invocation pool is keyless, so a specific invocation cannot
+		// be failed-and-avoided there.
+		if opts.fail && h.level != core.L3 {
+			for _, k := range rng.Perm(len(h.ws)) {
+				w := h.ws[k]
+				if h.dead[w.id] {
+					continue
+				}
+				if id, ok := h.completable(w); ok {
+					h.taskFail(w, id)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // runDifferential drives ops random events through both engines and
 // diffs the decision traces, then drives both to quiescence and diffs
 // again.
-func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64, ops int) {
+func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64, ops int, opts diffOpts) {
 	h := newDiffHarness(t, level, 7, slots)
 	rng := rand.New(rand.NewSource(seed))
 	outstanding := 0
+	joins := 0
 	for i := 0; i < ops; i++ {
 		h.settle()
 		h.crossCheck(fmt.Sprintf("op %d", i))
+		if (opts.churn || opts.fail) && h.injectChaos(rng, opts, &joins) {
+			continue
+		}
 		switch rng.Intn(10) {
 		case 0, 1, 2:
 			if outstanding < 120 {
@@ -311,7 +489,7 @@ func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64,
 			}
 		case 3, 4:
 			for _, k := range rng.Perm(len(h.ws)) {
-				if h.canEnvAck(h.ws[k]) {
+				if !h.dead[h.ws[k].id] && h.canEnvAck(h.ws[k]) {
 					h.envAck(h.ws[k])
 					break
 				}
@@ -319,7 +497,7 @@ func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64,
 		case 5:
 			if level == core.L3 {
 				for _, k := range rng.Perm(len(h.ws)) {
-					if h.canLibReady(h.ws[k]) {
+					if !h.dead[h.ws[k].id] && h.canLibReady(h.ws[k]) {
 						h.libReady(h.ws[k])
 						break
 					}
@@ -327,6 +505,9 @@ func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64,
 			}
 		default:
 			for _, k := range rng.Perm(len(h.ws)) {
+				if h.dead[h.ws[k].id] {
+					continue
+				}
 				if id, ok := h.completable(h.ws[k]); ok {
 					h.done(h.ws[k], id)
 					outstanding--
@@ -351,7 +532,7 @@ func TestDifferentialTaskWorkload(t *testing.T) {
 	// environment input: exercises ring placement, direct vs peer
 	// staging, first-copy suppression, and per-source caps.
 	for _, seed := range []int64{1, 2, 3} {
-		runDifferential(t, core.L2, 2, seed, 600)
+		runDifferential(t, core.L2, 2, seed, 600, diffOpts{})
 	}
 }
 
@@ -360,6 +541,34 @@ func TestDifferentialInvocationWorkload(t *testing.T) {
 	// exercises ready-instance placement, hash-ring deploys with the
 	// saturation guard, and deploy staging.
 	for _, seed := range []int64{1, 2, 3} {
-		runDifferential(t, core.L3, 1, seed, 600)
+		runDifferential(t, core.L3, 1, seed, 600, diffOpts{})
 	}
+}
+
+func TestDifferentialWorkerChurn(t *testing.T) {
+	// Workers join and die mid-trace: exercises ring reshaping, replica
+	// and in-flight-copy teardown, transfer-slot recovery from dead
+	// sources and destinations, and the deterministic ascending-ID
+	// requeue with the dead worker as the avoid preference.
+	for _, seed := range []int64{1, 2} {
+		runDifferential(t, core.L2, 2, seed, 600, diffOpts{churn: true})
+		runDifferential(t, core.L3, 1, seed, 600, diffOpts{churn: true})
+	}
+}
+
+func TestDifferentialRetryAndAvoidance(t *testing.T) {
+	// Injected transfer faults (peer fetch fails → manager restages
+	// direct, no new decision) and retryable task failures (backoff →
+	// requeue at the back with the failing worker avoided): exercises
+	// the manager's recovery paths against the replay's keyed queue.
+	for _, seed := range []int64{1, 2, 3} {
+		runDifferential(t, core.L2, 2, seed, 600, diffOpts{fail: true})
+	}
+}
+
+func TestDifferentialChurnWithFailures(t *testing.T) {
+	// Both adversarial classes at once — deaths can strand in-flight
+	// fetches that then fail, retries can land on workers that later
+	// die. The harshest fidelity workload we run.
+	runDifferential(t, core.L2, 2, 7, 600, diffOpts{churn: true, fail: true})
 }

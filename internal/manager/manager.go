@@ -13,7 +13,9 @@ package manager
 
 import (
 	"fmt"
+	"log"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +79,7 @@ type Stats struct {
 	Restaged          int64 // failed peer fetches re-staged from the manager
 	SchedulePasses    int64 // coalesced scheduling passes executed
 	CoalescedWakeups  int64 // wakeups absorbed by an already-running pass
+	WorkerLogs        int64 // worker-side diagnostics received (MsgLog), e.g. protocol decode errors
 }
 
 // Manager coordinates workers.
@@ -299,6 +302,7 @@ func (m *Manager) Stats() Stats {
 		Restaged:          atomic.LoadInt64(&m.stats.Restaged),
 		SchedulePasses:    atomic.LoadInt64(&m.stats.SchedulePasses),
 		CoalescedWakeups:  atomic.LoadInt64(&m.stats.CoalescedWakeups),
+		WorkerLogs:        atomic.LoadInt64(&m.stats.WorkerLogs),
 	}
 }
 
@@ -490,6 +494,14 @@ func (m *Manager) serveWorker(nc net.Conn) {
 			if res, err := proto.Decode[core.Result](raw); err == nil {
 				m.onResult(w, res)
 			}
+		case proto.MsgLog:
+			// Worker-side diagnostics (today: protocol decode errors the
+			// worker would otherwise swallow). Surface them in the
+			// manager's log and count them so tests and operators notice.
+			if lm, err := proto.Decode[proto.LogMsg](raw); err == nil {
+				atomic.AddInt64(&m.stats.WorkerLogs, 1)
+				log.Printf("manager %s: worker %s: %s", m.opts.Name, lm.Worker, lm.Text)
+			}
 		}
 	}
 	close(done)
@@ -516,11 +528,20 @@ func (m *Manager) onWorkerGone(w *workerState) {
 	m.dropWorkerLocked(w)
 	// Requeue everything that was running there, within each spec's
 	// retry budget; a spec that has already exhausted it fails instead
-	// of bouncing between crashing workers forever.
+	// of bouncing between crashing workers forever. Requeue in
+	// ascending spec-ID order — map iteration order would otherwise
+	// make the post-crash schedule nondeterministic, which the
+	// differential fidelity harness (and anyone replaying a decision
+	// trace) cannot tolerate.
+	var lost []int64
 	for id, e := range m.inflight {
-		if e.worker != w.id {
-			continue
+		if e.worker == w.id {
+			lost = append(lost, id)
 		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, id := range lost {
+		e := m.inflight[id]
 		delete(m.inflight, id)
 		if m.opts.MaxRetries >= 0 && m.retries[id] < m.opts.MaxRetries {
 			m.retries[id]++
@@ -569,20 +590,7 @@ func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 	if ack.Ok && ack.Cache {
 		m.noteReplicaLocked(w, ack.ID)
 	}
-	// Stamp staging completion on every dispatch that was waiting for
-	// this object on this worker: TransferTime is dispatch→last ack,
-	// not the time spent enqueueing messages. The per-worker waiter
-	// index hands us exactly those dispatches.
-	if list := w.ackWaiters[ack.ID]; len(list) > 0 {
-		delete(w.ackWaiters, ack.ID)
-		now := time.Now()
-		for _, e := range list {
-			if e.waiting[ack.ID] {
-				delete(e.waiting, ack.ID)
-				e.transfer = now.Sub(e.sentAt).Seconds()
-			}
-		}
-	}
+	restaged := false
 	if !ack.Ok && fromPeer && w.v.Alive {
 		// The peer fetch failed — stalled source, vanished source, or
 		// timeout. The manager's own link is always a valid source:
@@ -591,6 +599,23 @@ func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 		if fs, known := m.catalog[ack.ID]; known {
 			m.directSendLocked(w, fs)
 			atomic.AddInt64(&m.stats.Restaged, 1)
+			restaged = true
+		}
+	}
+	// Stamp staging completion on every dispatch that was waiting for
+	// this object on this worker: TransferTime is dispatch→last ack,
+	// not the time spent enqueueing messages. The per-worker waiter
+	// index hands us exactly those dispatches — unless the copy is
+	// being restaged, in which case they are still waiting: the
+	// replacement transfer's own ack will settle them.
+	if list := w.ackWaiters[ack.ID]; !restaged && len(list) > 0 {
+		delete(w.ackWaiters, ack.ID)
+		now := time.Now()
+		for _, e := range list {
+			if e.waiting[ack.ID] {
+				delete(e.waiting, ack.ID)
+				e.transfer = now.Sub(e.sentAt).Seconds()
+			}
 		}
 	}
 	// Whether the copy confirmed (new source available) or failed (the

@@ -62,6 +62,10 @@ const (
 	// MsgFileDataBulk answers MsgGetFile as a bulk frame: a FileHdr
 	// JSON header followed by the raw object bytes.
 	MsgFileDataBulk
+	// MsgLog carries a worker-side diagnostic line to the manager —
+	// today, protocol decode failures that would otherwise vanish
+	// silently on the worker.
+	MsgLog
 )
 
 func (t MsgType) String() string {
@@ -73,6 +77,7 @@ func (t MsgType) String() string {
 		MsgResult: "result", MsgShutdown: "shutdown", MsgGetFile: "get-file",
 		MsgFileData: "file-data", MsgError: "error",
 		MsgPutFileBulk: "put-file-bulk", MsgFileDataBulk: "file-data-bulk",
+		MsgLog: "log",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -191,6 +196,12 @@ type GetFile struct {
 // ErrorMsg is a generic failure answer.
 type ErrorMsg struct {
 	Err string `json:"err"`
+}
+
+// LogMsg is a worker diagnostic surfaced to the manager (MsgLog).
+type LogMsg struct {
+	Worker string `json:"worker"`
+	Text   string `json:"text"`
 }
 
 // Conn is a framed, type-tagged message connection. Reads and writes

@@ -1,6 +1,10 @@
 package sim
 
 import (
+	"sort"
+	"strconv"
+	"strings"
+
 	"repro/internal/core"
 	"repro/internal/policy"
 )
@@ -9,12 +13,26 @@ import (
 // explicit event sequence instead of the virtual clock. Placement,
 // staging and deploy decisions still come from the shared policy core
 // against the live ClusterView; what Replay removes is time — the
-// caller says when transfers land, libraries come up, and invocations
-// finish. The differential harness (internal/manager) feeds one random
-// event trace through a Replay and through the real manager and diffs
-// their decision recorders line for line.
+// caller says when transfers land (or fail), libraries come up,
+// workers join and die, and invocations finish. The differential
+// harness (internal/manager) feeds one random event trace through a
+// Replay and through the real manager and diffs their decision
+// recorders line for line.
 type Replay struct {
 	st *state
+	// pendq is the keyed pending-task queue (task workloads): ring
+	// keys are assigned at submission — mirroring the manager, which
+	// assigns task IDs in Submit — and requeued verbatim on worker
+	// death or retryable failure, carrying the failed worker as the
+	// avoid preference. Invocation workloads keep the plain counter
+	// (st.pending): invocations of one library are interchangeable.
+	pendq   []replayTask
+	nextKey int
+}
+
+type replayTask struct {
+	key   string
+	avoid string
 }
 
 // NewReplay builds an untimed simulation. cfg.Invocations is ignored
@@ -31,10 +49,21 @@ func NewReplay(cfg Config) *Replay {
 	return &Replay{st: st}
 }
 
-// drain places pending invocations until the policy core reports no
-// placement is currently possible — the untimed equivalent of the
-// manager's coalesced schedule pass.
+// drain runs one schedule pass — the untimed equivalent of the
+// manager's coalesced wake.
 func (r *Replay) drain() {
+	if r.st.cfg.Level == core.L3 {
+		r.drainInvs()
+		return
+	}
+	r.drainTasks()
+}
+
+// drainInvs places pending invocations until the policy core reports
+// no placement is possible — scheduleLibQueueLocked's skip-and-stop
+// pass (every queued invocation of the one library would hit the same
+// cluster state, so the first failure ends the pass).
+func (r *Replay) drainInvs() {
 	for r.st.pending > 0 {
 		if r.st.place() == nil {
 			return
@@ -42,9 +71,79 @@ func (r *Replay) drain() {
 	}
 }
 
+// drainTasks runs one skip-and-continue pass over the keyed queue —
+// the manager's scheduleTasksLocked: a task that cannot place is
+// skipped in place, later tasks still get their try, and queue order
+// is preserved. Skip-and-continue matters once requeues make the
+// queue heterogeneous (different keys, different avoid preferences).
+func (r *Replay) drainTasks() {
+	remaining := r.pendq[:0]
+	for _, pt := range r.pendq {
+		if !r.placeKeyed(pt) {
+			remaining = append(remaining, pt)
+		}
+	}
+	r.pendq = remaining
+}
+
+// placeKeyed attempts one keyed task placement, mirroring the
+// manager's tryPlaceTaskLocked: first excluding the avoid worker, then
+// anywhere — the avoided worker beats starving.
+func (r *Replay) placeKeyed(pt replayTask) bool {
+	st := r.st
+	var inputs []core.FileSpec
+	if st.cfg.Level != core.L1 {
+		inputs = []core.FileSpec{st.envSpec}
+	}
+	base := st.stackFilter()
+	d := st.view.PlanTask(pt.key, oneSlot, inputs, andFilter(policy.Excluding(pt.avoid), base))
+	if d.Worker == nil && pt.avoid != "" {
+		d = st.view.PlanTask(pt.key, oneSlot, inputs, base)
+	}
+	if d.Worker == nil {
+		return false
+	}
+	w := st.byID[d.Worker.ID]
+	if st.rec != nil {
+		st.rec.Record(policy.TraceTask(pt.key, d))
+	}
+	for _, sf := range d.Stages {
+		st.execStage(sf)
+	}
+	sl := w.firstFree(false)
+	st.takeSlot(w, sl)
+	sl.invIdx = st.nextInv
+	st.nextInv++
+	sl.key = pt.key
+	return true
+}
+
+// andFilter conjoins two optional view filters.
+func andFilter(a, b policy.Filter) policy.Filter {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(w *policy.WorkerView) bool { return a(w) && b(w) }
+}
+
+func taskKeyNum(k string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(k, "task-"))
+	return n
+}
+
 // Submit enqueues n invocations and schedules as many as possible.
 func (r *Replay) Submit(n int) {
-	r.st.pending += n
+	if r.st.cfg.Level == core.L3 {
+		r.st.pending += n
+	} else {
+		for i := 0; i < n; i++ {
+			r.nextKey++
+			r.pendq = append(r.pendq, replayTask{key: "task-" + strconv.Itoa(r.nextKey)})
+		}
+	}
 	r.drain()
 }
 
@@ -59,6 +158,95 @@ func (r *Replay) EnvArrived(id string) bool {
 	}
 	r.st.envLanded(w)
 	w.hasEnv = true
+	r.drain()
+	return true
+}
+
+// EnvFailed fails worker id's in-flight *peer* environment fetch (the
+// FileAck{Ok:false} path): the source's transfer slot comes back (if
+// the source is still alive), the in-flight copy is cleared, and —
+// mirroring the manager's recovery — the copy is immediately restaged
+// over the manager's own link. Recovery bypasses the policy core on
+// both engines, so no decision is traced. Returns false if no peer
+// fetch is in flight there (failed direct sends are never restaged).
+func (r *Replay) EnvFailed(id string) bool {
+	st := r.st
+	w := st.byID[id]
+	if w == nil || w.hasEnv || !w.v.Pending[st.envObj] || w.envSrc == nil {
+		return false
+	}
+	src := w.envSrc
+	w.envSrc = nil
+	if !src.dead && src.v.TransfersOut > 0 {
+		src.v.TransfersOut--
+	}
+	st.view.ClearPending(w.v, st.envObj)
+	st.view.NotePending(w.v, st.envObj)
+	st.view.ManagerSends++
+	st.res.EnvDirect++
+	r.drain()
+	return true
+}
+
+// AddWorker joins a fresh worker mid-run (the manager registering a
+// new connection), continuing the wNNNN numbering — dead IDs are never
+// reused — and schedules anything the new capacity unblocks. Returns
+// the new worker's ID.
+func (r *Replay) AddWorker() string {
+	w := r.st.addWorker()
+	r.drain()
+	return w.id
+}
+
+// KillWorker removes worker id mid-run — the manager's onWorkerGone:
+// the source serving its inbound fetch gets its transfer slot back,
+// the view drops its replicas, in-flight copies, instances and ring
+// position, and everything bound to its slots requeues in ascending
+// spec order with the dead worker as the avoid preference. Transfers
+// the dead worker was *serving* are not failed here; the caller fails
+// each stranded destination via EnvFailed, exactly as the real
+// destinations' own failing FileAcks would arrive later.
+func (r *Replay) KillWorker(id string) bool {
+	st := r.st
+	w := st.byID[id]
+	if w == nil {
+		return false
+	}
+	if src := w.envSrc; src != nil {
+		w.envSrc = nil
+		if !src.dead && src.v.TransfersOut > 0 {
+			src.v.TransfersOut--
+		}
+	} else if w.v.Pending[st.envObj] && st.view.ManagerSends > 0 {
+		st.view.ManagerSends--
+	}
+	st.view.RemoveWorker(w.v)
+	delete(st.byID, id)
+	w.dead = true
+	if st.cfg.Level == core.L3 {
+		// Bound invocations — dispatched or riding a deploy — go back
+		// to the interchangeable pending pool, matching the manager's
+		// requeue of its inflight plus the released install claim.
+		for _, sl := range w.slots {
+			if sl.busy {
+				sl.busy = false
+				st.pending++
+			}
+		}
+	} else {
+		var keys []string
+		for _, sl := range w.slots {
+			if sl.busy {
+				sl.busy = false
+				keys = append(keys, sl.key)
+				sl.key = ""
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return taskKeyNum(keys[i]) < taskKeyNum(keys[j]) })
+		for _, k := range keys {
+			r.pendq = append(r.pendq, replayTask{key: k, avoid: id})
+		}
+	}
 	r.drain()
 	return true
 }
@@ -84,7 +272,9 @@ func (r *Replay) LibReady(id string) bool {
 
 // Complete finishes one running invocation on worker id, freeing its
 // slot and scheduling whatever the freed capacity unblocks. Returns
-// false if nothing on the worker is in a completable state.
+// false if nothing on the worker is in a completable state. Task
+// workloads under churn should use CompleteTask: requeues carry ring
+// keys, so the engines must agree on which task each slot was running.
 func (r *Replay) Complete(id string) bool {
 	w := r.st.byID[id]
 	if w == nil || !w.hasEnv {
@@ -95,6 +285,48 @@ func (r *Replay) Complete(id string) bool {
 		if sl.busy && (!needLib || sl.libReady) {
 			r.st.freeSlot(w, sl)
 			sl.served++
+			sl.key = ""
+			r.drain()
+			return true
+		}
+	}
+	return false
+}
+
+// CompleteTask finishes the task bound to ring key key on worker id.
+func (r *Replay) CompleteTask(id, key string) bool {
+	w := r.st.byID[id]
+	if w == nil || !w.hasEnv {
+		return false
+	}
+	for _, sl := range w.slots {
+		if sl.busy && sl.key == key {
+			r.st.freeSlot(w, sl)
+			sl.served++
+			sl.key = ""
+			r.drain()
+			return true
+		}
+	}
+	return false
+}
+
+// Fail fails the task bound to ring key key on worker id retryably —
+// the manager's Retryable-result path: the slot frees and the key
+// requeues at the back of the queue with this worker as the avoid
+// preference (the retry prefers any other placement, falling back to
+// the avoided worker over starving).
+func (r *Replay) Fail(id, key string) bool {
+	st := r.st
+	w := st.byID[id]
+	if w == nil || !w.hasEnv {
+		return false
+	}
+	for _, sl := range w.slots {
+		if sl.busy && sl.key == key {
+			st.freeSlot(w, sl)
+			sl.key = ""
+			r.pendq = append(r.pendq, replayTask{key: key, avoid: id})
 			r.drain()
 			return true
 		}
@@ -103,7 +335,7 @@ func (r *Replay) Complete(id string) bool {
 }
 
 // Pending reports invocations submitted but not yet placed.
-func (r *Replay) Pending() int { return r.st.pending }
+func (r *Replay) Pending() int { return r.st.pending + len(r.pendq) }
 
 // Decisions returns the decision trace recorded so far.
 func (r *Replay) Decisions() []string { return r.st.rec.Decisions }

@@ -53,6 +53,13 @@ type Config struct {
 	// ManagerSourceCap is how many environment copies the manager sends
 	// concurrently itself (1 = the paper's sequential initial sends).
 	ManagerSourceCap int
+	// FetchConcurrency bounds how many inbound transfers one worker
+	// runs concurrently — the virtual-time mirror of the worker data
+	// plane's bounded fetch pool (internal/dataplane). Transfers beyond
+	// the cap queue FIFO on the destination; staging *decisions* are
+	// made (and traced) before the queueing, so the bound shapes timing
+	// only, never decision order.
+	FetchConcurrency int
 	// Machines overrides the default Table 3 proportional sample.
 	Machines []cluster.Machine
 	// Clusters splits workers into k equal network-locality groups with
@@ -105,6 +112,9 @@ func (c *Config) defaults() {
 	}
 	if c.ManagerSourceCap == 0 {
 		c.ManagerSourceCap = 1
+	}
+	if c.FetchConcurrency == 0 {
+		c.FetchConcurrency = 4
 	}
 	if c.SeriesSamples == 0 {
 		c.SeriesSamples = 200
@@ -185,6 +195,11 @@ type state struct {
 
 	workers []*wstate
 	byID    map[string]*wstate
+	// machines is the sampled (and shuffled) machine pool; nextIdx is
+	// the next worker index, so churn (Replay.AddWorker) continues the
+	// "wNNNN" numbering instead of reusing dead IDs.
+	machines []cluster.Machine
+	nextIdx  int
 
 	// view mirrors the virtual cluster for the policy core: worker
 	// resources are invocation slots (1 core = 1 slot), the library's
@@ -236,6 +251,15 @@ type wstate struct {
 	// envSrc is the peer serving the in-flight environment fetch (nil
 	// for manager sends); its transfer slot is released on arrival.
 	envSrc *wstate
+	// dead marks a worker removed by Replay.KillWorker; it stays in
+	// st.workers (indexes are stable) but is out of byID and the view.
+	dead bool
+
+	// fetchActive/fetchq implement the destination-side transfer bound
+	// (Config.FetchConcurrency): inbound transfers beyond the cap wait
+	// here FIFO, after their staging decision was already recorded.
+	fetchActive int
+	fetchq      []func()
 
 	slots []*slot
 
@@ -252,7 +276,8 @@ type slot struct {
 	busy     bool
 	libReady bool
 	served   int
-	invIdx   int // index of the invocation currently assigned
+	invIdx   int    // index of the invocation currently assigned
+	key      string // replay only: the bound task's ring key (requeued verbatim on churn)
 }
 
 var oneSlot = core.Resources{Cores: 1}
@@ -400,34 +425,9 @@ func newState(cfg Config) *state {
 		j := perm.Intn(i + 1)
 		machines[i], machines[j] = machines[j], machines[i]
 	}
+	st.machines = machines
 	for i := 0; i < cfg.Workers; i++ {
-		m := machines[i%len(machines)]
-		w := &wstate{
-			idx:  i,
-			id:   "w" + pad4(i),
-			mach: m,
-			disk: event.NewFairShare(st.S, m.DiskBytesPerSec, 0),
-			nic:  event.NewFairShare(st.S, m.NICBytesPerSec, 0),
-		}
-		if cfg.Clusters > 1 {
-			w.cluster = i * cfg.Clusters / cfg.Workers
-		}
-		clusterName := ""
-		if cfg.Clusters > 1 {
-			clusterName = strconv.Itoa(w.cluster)
-		}
-		w.v = st.view.AddWorker(w.id, clusterName, core.Resources{Cores: cfg.SlotsPerWorker})
-		w.lv = &policy.LibraryView{
-			Name:         st.lib,
-			Slots:        1,
-			MaxInstances: cfg.SlotsPerWorker,
-			Res:          oneSlot,
-		}
-		for k := 0; k < cfg.SlotsPerWorker; k++ {
-			w.slots = append(w.slots, &slot{w: w})
-		}
-		st.workers = append(st.workers, w)
-		st.byID[w.id] = w
+		st.addWorker()
 	}
 
 	st.pending = cfg.Invocations
@@ -439,6 +439,47 @@ func newState(cfg Config) *state {
 		st.res.Times = make([]float64, 0, cfg.Invocations)
 	}
 	return st
+}
+
+// addWorker builds worker nextIdx, registers it in the view (which
+// puts it on the placement ring), and returns it. Used both by
+// newState and by Replay.AddWorker for mid-run joins.
+func (st *state) addWorker() *wstate {
+	cfg := st.cfg
+	i := st.nextIdx
+	st.nextIdx++
+	m := st.machines[i%len(st.machines)]
+	w := &wstate{
+		idx:  i,
+		id:   "w" + pad4(i),
+		mach: m,
+		disk: event.NewFairShare(st.S, m.DiskBytesPerSec, 0),
+		nic:  event.NewFairShare(st.S, m.NICBytesPerSec, 0),
+	}
+	if cfg.Clusters > 1 {
+		if i < cfg.Workers {
+			w.cluster = i * cfg.Clusters / cfg.Workers
+		} else {
+			w.cluster = i % cfg.Clusters
+		}
+	}
+	clusterName := ""
+	if cfg.Clusters > 1 {
+		clusterName = strconv.Itoa(w.cluster)
+	}
+	w.v = st.view.AddWorker(w.id, clusterName, core.Resources{Cores: cfg.SlotsPerWorker})
+	w.lv = &policy.LibraryView{
+		Name:         st.lib,
+		Slots:        1,
+		MaxInstances: cfg.SlotsPerWorker,
+		Res:          oneSlot,
+	}
+	for k := 0; k < cfg.SlotsPerWorker; k++ {
+		w.slots = append(w.slots, &slot{w: w})
+	}
+	st.workers = append(st.workers, w)
+	st.byID[w.id] = w
+	return w
 }
 
 // pad4 renders a worker index as a fixed-width suffix so worker IDs
@@ -606,6 +647,34 @@ func (st *state) envBytes() float64 {
 	return float64(st.cfg.App.EnvPackedBytes + st.cfg.App.FuncBlobBytes)
 }
 
+// startFetch admits an inbound transfer on the destination worker:
+// run starts it on its link now if the worker has a free fetch slot
+// (Config.FetchConcurrency — the data plane's bounded pool), otherwise
+// it queues FIFO until fetchDone frees one. The staging decision was
+// already made and traced; the gate only delays the wire time.
+func (st *state) startFetch(w *wstate, run func()) {
+	if w.fetchActive < st.cfg.FetchConcurrency {
+		w.fetchActive++
+		run()
+		return
+	}
+	w.fetchq = append(w.fetchq, run)
+}
+
+// fetchDone releases one inbound-transfer slot, starting the oldest
+// queued transfer if any.
+func (st *state) fetchDone(w *wstate) {
+	if len(w.fetchq) > 0 {
+		run := w.fetchq[0]
+		w.fetchq = w.fetchq[1:]
+		run()
+		return
+	}
+	if w.fetchActive > 0 {
+		w.fetchActive--
+	}
+}
+
 // execStage carries out one staging decision: account it in the view
 // (in-flight copy, source transfer slot, manager sends) and start the
 // transfer on the owning link. StageReady is a no-op by construction;
@@ -629,7 +698,12 @@ func (st *state) execStage(sf policy.StageFile) {
 			if st.crossNIC != nil && src.cluster != dst.cluster {
 				link = st.crossNIC
 			}
-			link.Start(st.envBytes(), func() { st.envArrived(dst) })
+			st.startFetch(dst, func() {
+				link.Start(st.envBytes(), func() {
+					st.fetchDone(dst)
+					st.envArrived(dst)
+				})
+			})
 		}
 	case policy.StageDirect:
 		st.view.NotePending(dst.v, sf.Object)
@@ -640,7 +714,12 @@ func (st *state) execStage(sf policy.StageFile) {
 		}
 		dst.envReqAt = st.S.Now()
 		if !st.replay {
-			st.managerNIC.Start(st.envBytes(), func() { st.envArrived(dst) })
+			st.startFetch(dst, func() {
+				st.managerNIC.Start(st.envBytes(), func() {
+					st.fetchDone(dst)
+					st.envArrived(dst)
+				})
+			})
 		}
 	}
 }

@@ -1,0 +1,377 @@
+package worker
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/content"
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/library"
+	"repro/internal/minipy"
+	"repro/internal/poncho"
+	"repro/internal/proto"
+)
+
+// executor is the worker's execution layer: stateless tasks, library
+// lifecycle, and invocations. It owns the worker's resource accounting
+// and its installed-library table, and reaches staged objects only
+// through the data plane's PinResolve — so an input still in flight is
+// waited for, and a resolved input can never be evicted mid-task.
+type executor struct {
+	cfg   *Config
+	plane *dataplane.Plane
+	w     *Worker // result/ack delivery only
+
+	mu        sync.Mutex
+	libs      map[string]*libHolder
+	committed core.Resources
+}
+
+// libHolder pairs a library instance with its execution lock (direct
+// mode serializes invocations in the shared memory space).
+type libHolder struct {
+	lib    *library.Library
+	direct sync.Mutex
+	res    core.Resources
+}
+
+func newExecutor(w *Worker) *executor {
+	return &executor{
+		cfg:   &w.cfg,
+		plane: w.plane,
+		w:     w,
+		libs:  map[string]*libHolder{},
+	}
+}
+
+// reserve commits resources for a task/library, enforcing the worker's
+// allocation.
+func (e *executor) reserve(r core.Resources) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	avail := e.cfg.Resources.Sub(e.committed)
+	if !r.Fits(avail) {
+		return fmt.Errorf("worker %s: insufficient resources (want %+v, have %+v)", e.cfg.ID, r, avail)
+	}
+	e.committed = e.committed.Add(r)
+	return nil
+}
+
+func (e *executor) release(r core.Resources) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.committed = e.committed.Sub(r)
+}
+
+func failResult(id int64, err error) core.Result {
+	return core.Result{ID: id, Ok: false, Err: err.Error()}
+}
+
+// infraResult marks a failure as infrastructure-caused (staging gaps,
+// cache pressure, lost libraries) so the manager may retry the work on
+// another placement; errors raised by the submitted code itself use
+// failResult and are never retried.
+func infraResult(id int64, err error) core.Result {
+	return core.Result{ID: id, Ok: false, Err: err.Error(), Retryable: true}
+}
+
+func (e *executor) stdout() io.Writer {
+	if e.cfg.Out == nil {
+		return io.Discard
+	}
+	return e.cfg.Out
+}
+
+// moduleResolver builds the module-resolution function for a sandbox
+// or library: only modules installed by the unpacked environments in
+// `allowed` (plus the always-present vine_runtime) are importable.
+func (e *executor) moduleResolver(allowed map[string]bool, sb *sandbox) func(*minipy.Interp, string) (*minipy.ModuleVal, error) {
+	return func(ip *minipy.Interp, name string) (*minipy.ModuleVal, error) {
+		if name == "vine_runtime" && sb != nil {
+			return sb.runtimeModule(ip), nil
+		}
+		if !allowed[name] {
+			return nil, fmt.Errorf("no module named '%s'", name)
+		}
+		if e.cfg.Registry == nil || !e.cfg.Registry.Has(name) {
+			return nil, fmt.Errorf("no module named '%s'", name)
+		}
+		return e.cfg.Registry.Build(name)
+	}
+}
+
+// allowedModules collects the package names installed by every
+// unpacked environment tarball among the given objects.
+func allowedModules(objs []*content.Object) map[string]bool {
+	allowed := map[string]bool{}
+	for _, obj := range objs {
+		if obj.Kind != content.Tarball {
+			continue
+		}
+		spec, err := poncho.UnpackManifest(obj.Data)
+		if err != nil {
+			continue
+		}
+		for _, m := range spec.Modules() {
+			allowed[m] = true
+		}
+	}
+	return allowed
+}
+
+// ---- task execution ----
+
+// runTask executes a stateless task (the L1/L2 path): resolve inputs
+// through the data plane (waiting out in-flight fetches), read shared
+// FS, unpack environments, run the script in a sandbox, return the
+// pickled result.
+func (e *executor) runTask(spec core.TaskSpec) {
+	start := time.Now()
+	var pinned []string
+	defer func() {
+		for _, id := range pinned {
+			_ = e.plane.Unpin(id)
+		}
+		// Stateless tasks leave nothing behind: drop inputs that were
+		// not bound to the worker (Evict refuses if another task still
+		// pins them).
+		for _, in := range spec.Inputs {
+			if in.Object != nil && !in.Cache {
+				e.plane.Evict(in.Object.ID)
+			}
+		}
+	}()
+	if err := e.reserve(spec.Resources); err != nil {
+		e.w.sendResult(infraResult(spec.ID, err))
+		return
+	}
+	defer e.release(spec.Resources)
+
+	var metrics core.InvocationMetrics
+
+	// Stage inputs: PinResolve pins each cached object atomically with
+	// respect to eviction, and waits if the object's peer transfer is
+	// still in flight (the control loop no longer serializes staging
+	// ahead of dispatch). Shared FS reads happen now (and are the L1
+	// bottleneck in the paper).
+	sb := newSandbox()
+	var objs []*content.Object
+	for _, in := range spec.Inputs {
+		obj, err := e.plane.PinResolve(in.Object.ID)
+		if err != nil {
+			e.w.sendResult(infraResult(spec.ID, fmt.Errorf("input %q not staged on worker: %v", in.Object.Name, err)))
+			return
+		}
+		pinned = append(pinned, in.Object.ID)
+		if in.Unpack && obj.Kind == content.Tarball {
+			if _, err := e.plane.MarkUnpacked(obj.ID); err != nil {
+				e.w.sendResult(infraResult(spec.ID, err))
+				return
+			}
+		}
+		sb.add(obj)
+		objs = append(objs, obj)
+	}
+	for _, in := range spec.SharedFSReads {
+		if e.cfg.SharedFS == nil {
+			e.w.sendResult(infraResult(spec.ID, fmt.Errorf("task needs shared FS but worker has none")))
+			return
+		}
+		obj, err := e.cfg.SharedFS.Fetch(in.Object.ID)
+		if err != nil {
+			e.w.sendResult(infraResult(spec.ID, err))
+			return
+		}
+		sb.add(obj)
+		objs = append(objs, obj)
+	}
+	metrics.WorkerTime = time.Since(start).Seconds()
+
+	// Execute the script.
+	execStart := time.Now()
+	host := &library.Host{
+		Resolve: e.moduleResolver(allowedModules(objs), sb),
+		Out:     e.stdout(),
+	}
+	ip := minipy.NewInterp(host)
+	ip.StepLimit = e.cfg.StepLimit
+	_, err := ip.RunModule(spec.Script, fmt.Sprintf("task-%d", spec.ID))
+	metrics.ExecTime = time.Since(execStart).Seconds()
+
+	if err != nil {
+		e.w.sendResult(core.Result{ID: spec.ID, Ok: false, Err: err.Error(), Metrics: metrics})
+		return
+	}
+	if sb.result == nil {
+		e.w.sendResult(core.Result{ID: spec.ID, Ok: false, Err: "task script did not call vine_runtime.store_result", Metrics: metrics})
+		return
+	}
+	e.w.sendResult(core.Result{ID: spec.ID, Ok: true, Value: sb.result, Metrics: metrics})
+}
+
+// ---- library hosting ----
+
+func (e *executor) installLibrary(spec core.LibrarySpec) {
+	res := spec.Resources
+	if res == (core.Resources{}) {
+		// A library by default takes all resources of a worker (§3.5.2).
+		res = e.cfg.Resources
+	}
+	// Install failures split the same way task failures do: a missing
+	// staged input or exhausted resources is the infrastructure's fault
+	// (retryable — the manager redeploys after recovery), while a
+	// context setup that raises is the library's own bug and counts
+	// toward quarantine.
+	ackErr := func(err error, retryable bool) {
+		e.w.sendMsg(proto.MsgLibraryAck, proto.LibraryAck{Library: spec.Name, Ok: false, Err: err.Error(), Retryable: retryable})
+	}
+	if err := e.reserve(res); err != nil {
+		ackErr(err, true)
+		return
+	}
+
+	// Pin and unpack the library's environment and inputs; PinResolve
+	// waits out any still-in-flight peer transfer.
+	var objs []*content.Object
+	pinned := []string{}
+	fail := func(err error, retryable bool) {
+		for _, id := range pinned {
+			_ = e.plane.Unpin(id)
+		}
+		e.release(res)
+		ackErr(err, retryable)
+	}
+	specs := spec.Inputs
+	if spec.Env != nil {
+		specs = append([]core.FileSpec{*spec.Env}, specs...)
+	}
+	for _, in := range specs {
+		obj, err := e.plane.PinResolve(in.Object.ID)
+		if err != nil {
+			fail(fmt.Errorf("library input %q not staged: %v", in.Object.Name, err), true)
+			return
+		}
+		pinned = append(pinned, obj.ID)
+		if in.Unpack && obj.Kind == content.Tarball {
+			if _, err := e.plane.MarkUnpacked(obj.ID); err != nil {
+				fail(err, true)
+				return
+			}
+		}
+		objs = append(objs, obj)
+	}
+
+	instance := fmt.Sprintf("%s@%s", spec.Name, e.cfg.ID)
+	inputs := map[string]*content.Object{}
+	for _, obj := range objs {
+		if obj.Kind != content.Tarball {
+			inputs[obj.Name] = obj
+		}
+	}
+	host := &library.Host{
+		Resolve: e.moduleResolver(allowedModules(objs), nil),
+		Out:     e.stdout(),
+		Inputs:  inputs,
+	}
+	lib, err := library.Start(spec, instance, host)
+	if err != nil {
+		fail(err, false)
+		return
+	}
+
+	e.mu.Lock()
+	if _, exists := e.libs[spec.Name]; exists {
+		e.mu.Unlock()
+		fail(fmt.Errorf("library %s already installed", spec.Name), true)
+		return
+	}
+	e.libs[spec.Name] = &libHolder{lib: lib, res: res}
+	e.mu.Unlock()
+
+	e.w.sendMsg(proto.MsgLibraryAck, proto.LibraryAck{
+		Library:   spec.Name,
+		Instance:  instance,
+		Ok:        true,
+		SetupTime: lib.SetupDuration.Seconds(),
+	})
+}
+
+func (e *executor) removeLibrary(name string) {
+	e.mu.Lock()
+	h, ok := e.libs[name]
+	if ok {
+		delete(e.libs, name)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	specs := h.lib.Spec.Inputs
+	if h.lib.Spec.Env != nil {
+		specs = append([]core.FileSpec{*h.lib.Spec.Env}, specs...)
+	}
+	for _, in := range specs {
+		_ = e.plane.Unpin(in.Object.ID)
+	}
+	e.release(h.res)
+}
+
+func (e *executor) runInvocation(spec core.InvocationSpec) {
+	e.mu.Lock()
+	h, ok := e.libs[spec.Library]
+	e.mu.Unlock()
+	if !ok {
+		// The manager believed an instance was here; it may have been
+		// lost to eviction racing the dispatch — retryable.
+		e.w.sendResult(infraResult(spec.ID, fmt.Errorf("worker %s has no library %q", e.cfg.ID, spec.Library)))
+		return
+	}
+	if h.lib.Spec.Mode == core.ExecDirect {
+		h.direct.Lock()
+		defer h.direct.Unlock()
+	}
+	res, err := h.lib.Invoke(spec.Function, spec.Args)
+	if err != nil {
+		e.w.sendResult(core.Result{
+			ID: spec.ID, Ok: false, Err: err.Error(),
+			Metrics: core.InvocationMetrics{LibraryInstance: h.lib.Instance},
+		})
+		return
+	}
+	e.w.sendResult(core.Result{
+		ID:    spec.ID,
+		Ok:    true,
+		Value: res.Value,
+		Metrics: core.InvocationMetrics{
+			SetupTime:       res.SetupTime,
+			ExecTime:        res.ExecTime,
+			LibraryInstance: h.lib.Instance,
+		},
+	})
+}
+
+// Libraries returns the installed library names (tests).
+func (w *Worker) Libraries() []string {
+	w.exec.mu.Lock()
+	defer w.exec.mu.Unlock()
+	out := make([]string, 0, len(w.exec.libs))
+	for name := range w.exec.libs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// LibraryShare returns the share value (invocations served) of an
+// installed library, or -1.
+func (w *Worker) LibraryShare(name string) int64 {
+	w.exec.mu.Lock()
+	h, ok := w.exec.libs[name]
+	w.exec.mu.Unlock()
+	if !ok {
+		return -1
+	}
+	return h.lib.Served()
+}

@@ -1,0 +1,59 @@
+package worker
+
+import (
+	"repro/internal/dataplane"
+	"repro/internal/proto"
+)
+
+// Staging-message handlers: the control loop's entry points into the
+// data plane. Each hands the work to dataplane.Plane and returns
+// immediately — acks are sent from the plane's completion callbacks,
+// never inline in the read loop.
+
+func (w *Worker) ackFile(id string, cache bool, err error) {
+	w.ackFileFrom(id, "", cache, err)
+}
+
+// ackFileFrom acknowledges a staged file, echoing the peer source the
+// transfer was assigned ("" for direct puts) so the manager can return
+// the source's outbound transfer slot even if its own fetch record is
+// gone.
+func (w *Worker) ackFileFrom(id, source string, cache bool, err error) {
+	ack := proto.FileAck{ID: id, Ok: err == nil, Cache: cache, Source: source}
+	if err != nil {
+		ack.Err = err.Error()
+	}
+	_ = w.conn.Send(proto.MsgFileAck, ack)
+}
+
+func (w *Worker) handlePutFile(msg proto.PutFile) {
+	obj := metaToObject(msg.File)
+	if err := obj.Validate(); err != nil {
+		w.ackFile(obj.ID, msg.Cache, err)
+		return
+	}
+	w.ackFile(obj.ID, msg.Cache, w.plane.Put(obj, msg.Unpack))
+}
+
+// handlePutFileBulk is handlePutFile for the binary-framed path: the
+// object bytes arrive as the frame payload instead of base64 JSON.
+func (w *Worker) handlePutFileBulk(hdr proto.PutFileHdr, data []byte) {
+	obj := hdrToObject(hdr.File, data)
+	if err := obj.Validate(); err != nil {
+		w.ackFile(obj.ID, hdr.Cache, err)
+		return
+	}
+	w.ackFile(obj.ID, hdr.Cache, w.plane.Put(obj, hdr.Unpack))
+}
+
+// handleFetchFile hands a peer pull — one edge of the spanning-tree
+// broadcast (Figure 3b) — to the data plane and returns immediately;
+// the FileAck is sent from the transfer's completion callback.
+// Duplicate in-flight requests for the same object share one transfer
+// but each still acks with its own Source echo.
+func (w *Worker) handleFetchFile(msg proto.FetchFile) {
+	req := dataplane.Request{ID: msg.ID, Addr: msg.FromAddr, Unpack: msg.Unpack}
+	w.plane.Fetch(req, func(err error) {
+		w.ackFileFrom(msg.ID, msg.Source, msg.Cache, err)
+	})
+}

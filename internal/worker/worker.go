@@ -1,7 +1,21 @@
-// Package worker implements the TaskVine worker: the per-node process
-// that caches content-addressed data, executes stateless tasks in
-// sandboxes, hosts library instances that retain function contexts, and
-// serves its cache to peers for spanning-tree distribution (§3.3-3.4).
+// Package worker implements the TaskVine worker as a layered runtime:
+//
+//   - This file is the control layer: connection lifecycle plus a
+//     non-blocking message loop that only decodes frames and
+//     dispatches. Nothing here performs network transfers or runs
+//     user code, so one slow peer or long task can never stall the
+//     message stream.
+//   - internal/dataplane owns object staging: asynchronous peer
+//     fetches on a bounded pool with single-flight dedup, the cache
+//     state machine, and the concurrency-capped peer serve side.
+//   - exec.go is the executor layer: tasks, invocations, and library
+//     lifecycle, reaching staged objects only through the data
+//     plane's Pin/Resolve.
+//
+// Together they implement the per-node process of §3.3-3.4: cache
+// content-addressed data, execute stateless tasks in sandboxes, host
+// library instances that retain function contexts, and serve the
+// cache to peers for spanning-tree distribution.
 package worker
 
 import (
@@ -9,15 +23,13 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/content"
 	"repro/internal/core"
-	"repro/internal/library"
-	"repro/internal/minipy"
+	"repro/internal/dataplane"
 	"repro/internal/modlib"
-	"repro/internal/pickle"
-	"repro/internal/poncho"
 	"repro/internal/proto"
 	"repro/internal/sharedfs"
 )
@@ -45,9 +57,16 @@ type Config struct {
 	StepLimit int64
 	// PeerIOTimeout bounds idle time on peer data-plane connections:
 	// a fetch or serve that makes no progress for this long is aborted
-	// instead of wedging the worker forever behind a hung peer. Zero
+	// instead of wedging the transfer forever behind a hung peer. Zero
 	// defaults to 30s.
 	PeerIOTimeout time.Duration
+	// FetchConcurrency bounds concurrent peer fetches on the data
+	// plane (0 = the dataplane default). A stalled source costs one
+	// pool slot; everything else keeps moving.
+	FetchConcurrency int
+	// ServeConcurrency bounds concurrent peer-serve connections
+	// (0 = the dataplane default).
+	ServeConcurrency int
 	// WrapDataListener, when set, wraps the peer data listener before
 	// serving — the hook fault-injection tests use to stall or cut
 	// peer transfers.
@@ -59,30 +78,35 @@ const (
 	defaultPeerIOTimeout = 30 * time.Second
 )
 
+// Stats is a snapshot of the worker's own counters.
+type Stats struct {
+	// ProtocolErrors counts manager frames that failed to decode (or
+	// carried an unknown type). Non-zero means version skew or
+	// corruption — each one is also reported to the manager as a log
+	// line.
+	ProtocolErrors int64
+	// Data is the data plane's staging counters.
+	Data dataplane.Stats
+}
+
 // Worker is a running worker.
 type Worker struct {
 	cfg   Config
 	cache *content.Cache
+	plane *dataplane.Plane
+	exec  *executor
 	conn  *proto.Conn
 
 	dataLn   net.Listener
 	dataAddr string
 
-	mu        sync.Mutex
-	libs      map[string]*libHolder
-	committed core.Resources
-	closed    bool
+	mu     sync.Mutex
+	closed bool
+
+	protoErrors atomic.Int64
 
 	wg   sync.WaitGroup
 	done chan struct{}
-}
-
-// libHolder pairs a library instance with its execution lock (direct
-// mode serializes invocations in the shared memory space).
-type libHolder struct {
-	lib    *library.Library
-	direct sync.Mutex
-	res    core.Resources
 }
 
 // New creates a worker (not yet connected).
@@ -105,22 +129,40 @@ func New(cfg Config) *Worker {
 	if cfg.PeerIOTimeout == 0 {
 		cfg.PeerIOTimeout = defaultPeerIOTimeout
 	}
-	return &Worker{
+	w := &Worker{
 		cfg:   cfg,
 		cache: content.NewCache(cfg.CacheCapacity),
-		libs:  map[string]*libHolder{},
 		done:  make(chan struct{}),
 	}
+	w.plane = dataplane.New(dataplane.Config{
+		Cache:            w.cache,
+		FetchConcurrency: cfg.FetchConcurrency,
+		ServeConcurrency: cfg.ServeConcurrency,
+		IdleTimeout:      cfg.PeerIOTimeout,
+	})
+	w.exec = newExecutor(w)
+	return w
 }
 
 // Cache exposes the worker's content cache (tests and metrics).
 func (w *Worker) Cache() *content.Cache { return w.cache }
+
+// Plane exposes the worker's data plane (tests and metrics).
+func (w *Worker) Plane() *dataplane.Plane { return w.plane }
 
 // ID returns the worker's identifier.
 func (w *Worker) ID() string { return w.cfg.ID }
 
 // DataAddr returns the address peers fetch cached objects from.
 func (w *Worker) DataAddr() string { return w.dataAddr }
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() Stats {
+	return Stats{
+		ProtocolErrors: w.protoErrors.Load(),
+		Data:           w.plane.Snapshot(),
+	}
+}
 
 // Connect dials the manager, starts the peer data server, and begins
 // serving messages. It returns once the hello has been sent; message
@@ -161,7 +203,7 @@ func (w *Worker) Serve(nc net.Conn) error {
 	w.wg.Add(3)
 	go func() {
 		defer w.wg.Done()
-		w.serveData()
+		w.plane.Serve(ln)
 	}()
 	go func() {
 		defer w.wg.Done()
@@ -178,8 +220,12 @@ func (w *Worker) Serve(nc net.Conn) error {
 	return nil
 }
 
-// Wait blocks until the worker has shut down.
-func (w *Worker) Wait() { w.wg.Wait() }
+// Wait blocks until the worker has shut down and its background work
+// (in-flight transfers, serve connections) has drained.
+func (w *Worker) Wait() {
+	w.wg.Wait()
+	w.plane.Wait()
+}
 
 // Shutdown stops the worker.
 func (w *Worker) Shutdown() {
@@ -194,9 +240,14 @@ func (w *Worker) Shutdown() {
 	if w.dataLn != nil {
 		w.dataLn.Close()
 	}
+	w.plane.Close()
 }
 
-// loop processes manager messages until the connection closes.
+// loop is the control loop: it decodes manager frames and dispatches
+// them, and must never block on network transfers or execution. Peer
+// fetches go to the data plane's pool; tasks, installs, and
+// invocations go to executor goroutines; only in-memory work (puts,
+// library removal) runs inline.
 func (w *Worker) loop(nc net.Conn) {
 	defer nc.Close()
 	for {
@@ -209,12 +260,14 @@ func (w *Worker) loop(nc net.Conn) {
 		case proto.MsgPutFile:
 			msg, err := proto.Decode[proto.PutFile](raw)
 			if err != nil {
+				w.protocolError(t, err)
 				continue
 			}
 			w.handlePutFile(msg)
 		case proto.MsgPutFileBulk:
 			hdr, payload, err := proto.DecodeBulk[proto.PutFileHdr](raw)
 			if err != nil {
+				w.protocolError(t, err)
 				continue
 			}
 			// payload aliases the frame's receive buffer, which is fresh
@@ -224,740 +277,87 @@ func (w *Worker) loop(nc net.Conn) {
 		case proto.MsgFetchFile:
 			msg, err := proto.Decode[proto.FetchFile](raw)
 			if err != nil {
+				w.protocolError(t, err)
 				continue
 			}
 			w.handleFetchFile(msg)
 		case proto.MsgRunTask:
 			msg, err := proto.Decode[core.TaskSpec](raw)
 			if err != nil {
+				w.protocolError(t, err)
 				continue
 			}
-			// Pin inputs before the task goroutine starts: two tasks
-			// sharing a content-addressed input must not race with each
-			// other's cleanup.
-			var pinned []string
-			for _, in := range msg.Inputs {
-				if in.Object != nil && w.cache.Pin(in.Object.ID) == nil {
-					pinned = append(pinned, in.Object.ID)
-				}
-			}
-			w.wg.Add(1)
-			go func() {
-				defer w.wg.Done()
-				w.runTask(msg, pinned)
-			}()
+			w.spawn(func() { w.exec.runTask(msg) })
 		case proto.MsgInstallLibrary:
 			msg, err := proto.Decode[core.LibrarySpec](raw)
 			if err != nil {
+				w.protocolError(t, err)
 				continue
 			}
-			w.wg.Add(1)
-			go func() {
-				defer w.wg.Done()
-				w.installLibrary(msg)
-			}()
+			w.spawn(func() { w.exec.installLibrary(msg) })
 		case proto.MsgRemoveLibrary:
 			msg, err := proto.Decode[proto.RemoveLibrary](raw)
 			if err != nil {
+				w.protocolError(t, err)
 				continue
 			}
-			w.removeLibrary(msg.Library)
+			w.exec.removeLibrary(msg.Library)
 		case proto.MsgInvoke:
 			msg, err := proto.Decode[core.InvocationSpec](raw)
 			if err != nil {
+				w.protocolError(t, err)
 				continue
 			}
-			w.wg.Add(1)
-			go func() {
-				defer w.wg.Done()
-				w.runInvocation(msg)
-			}()
+			w.spawn(func() { w.exec.runInvocation(msg) })
 		case proto.MsgShutdown:
 			w.Shutdown()
 			return
+		default:
+			w.protocolError(t, fmt.Errorf("unknown message type"))
 		}
 	}
 }
 
-func metaToObject(m proto.FileMeta) *content.Object {
-	return &content.Object{
-		ID:           m.ID,
-		Name:         m.Name,
-		Kind:         content.Kind(m.Kind),
-		Data:         m.Data,
-		LogicalSize:  m.LogicalSize,
-		UnpackedSize: m.UnpackedSize,
-	}
+func (w *Worker) spawn(f func()) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		f()
+	}()
 }
 
-func objectToMeta(o *content.Object) proto.FileMeta {
-	return proto.FileMeta{
-		ID:           o.ID,
-		Name:         o.Name,
-		Kind:         int(o.Kind),
-		Data:         o.Data,
-		LogicalSize:  o.LogicalSize,
-		UnpackedSize: o.UnpackedSize,
-	}
+// protocolError counts an undecodable (or unknown) manager frame and
+// surfaces it to the manager as a log line instead of dropping it
+// silently: a frame we cannot decode means version skew or corruption,
+// and the work it carried is lost — someone must find out.
+func (w *Worker) protocolError(t proto.MsgType, err error) {
+	w.protoErrors.Add(1)
+	_ = w.conn.Send(proto.MsgLog, proto.LogMsg{
+		Worker: w.cfg.ID,
+		Text:   fmt.Sprintf("protocol error: %v frame: %v", t, err),
+	})
 }
 
-// hdrToObject assembles an object from a bulk frame's header and raw
-// payload; data is retained as-is, no copy.
-func hdrToObject(h proto.FileHdr, data []byte) *content.Object {
-	return &content.Object{
-		ID:           h.ID,
-		Name:         h.Name,
-		Kind:         content.Kind(h.Kind),
-		Data:         data,
-		LogicalSize:  h.LogicalSize,
-		UnpackedSize: h.UnpackedSize,
-	}
-}
-
-func objectToHdr(o *content.Object) proto.FileHdr {
-	return proto.FileHdr{
-		ID:           o.ID,
-		Name:         o.Name,
-		Kind:         int(o.Kind),
-		LogicalSize:  o.LogicalSize,
-		UnpackedSize: o.UnpackedSize,
-	}
-}
-
-func (w *Worker) ackFile(id string, cache bool, err error) {
-	w.ackFileFrom(id, "", cache, err)
-}
-
-// ackFileFrom acknowledges a staged file, echoing the peer source the
-// transfer was assigned ("" for direct puts) so the manager can return
-// the source's outbound transfer slot even if its own fetch record is
-// gone.
-func (w *Worker) ackFileFrom(id, source string, cache bool, err error) {
-	ack := proto.FileAck{ID: id, Ok: err == nil, Cache: cache, Source: source}
-	if err != nil {
-		ack.Err = err.Error()
-	}
-	_ = w.conn.Send(proto.MsgFileAck, ack)
-}
-
-func (w *Worker) handlePutFile(msg proto.PutFile) {
-	obj := metaToObject(msg.File)
-	if err := obj.Validate(); err != nil {
-		w.ackFile(obj.ID, msg.Cache, err)
-		return
-	}
-	if err := w.cacheObject(obj, msg.Unpack); err != nil {
-		w.ackFile(obj.ID, msg.Cache, err)
-		return
-	}
-	w.ackFile(obj.ID, msg.Cache, nil)
-}
-
-// handlePutFileBulk is handlePutFile for the binary-framed path: the
-// object bytes arrive as the frame payload instead of base64 JSON.
-func (w *Worker) handlePutFileBulk(hdr proto.PutFileHdr, data []byte) {
-	obj := hdrToObject(hdr.File, data)
-	if err := obj.Validate(); err != nil {
-		w.ackFile(obj.ID, hdr.Cache, err)
-		return
-	}
-	if err := w.cacheObject(obj, hdr.Unpack); err != nil {
-		w.ackFile(obj.ID, hdr.Cache, err)
-		return
-	}
-	w.ackFile(obj.ID, hdr.Cache, nil)
-}
-
-// handleFetchFile pulls an object from a peer data server — one edge
-// of the spanning-tree broadcast (Figure 3b).
-func (w *Worker) handleFetchFile(msg proto.FetchFile) {
-	obj, err := fetchFromPeer(msg.FromAddr, msg.ID, w.cfg.PeerIOTimeout)
-	if err != nil {
-		w.ackFileFrom(msg.ID, msg.Source, msg.Cache, err)
-		return
-	}
-	if err := w.cacheObject(obj, msg.Unpack); err != nil {
-		w.ackFileFrom(msg.ID, msg.Source, msg.Cache, err)
-		return
-	}
-	w.ackFileFrom(msg.ID, msg.Source, msg.Cache, nil)
-}
-
-func (w *Worker) cacheObject(obj *content.Object, unpack bool) error {
-	if err := w.cache.Put(obj); err != nil {
-		return err
-	}
-	if unpack && obj.Kind == content.Tarball {
-		if _, err := w.cache.MarkUnpacked(obj.ID); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// FetchFromPeer requests an object by ID from a worker data server,
-// with the default idle timeout on every read and write.
-func FetchFromPeer(addr, id string) (*content.Object, error) {
-	return fetchFromPeer(addr, id, defaultPeerIOTimeout)
-}
-
-// fetchFromPeer is FetchFromPeer with an explicit idle timeout: the
-// dial, the request write, and every read of the response must each
-// make progress within `idle`, so a stalled or vanished peer costs a
-// bounded wait instead of wedging the fetch (and, transitively, every
-// worker queued behind the in-flight copy) forever.
-func fetchFromPeer(addr, id string, idle time.Duration) (*content.Object, error) {
-	dial := idle
-	if dial <= 0 || dial > 5*time.Second {
-		dial = 5 * time.Second
-	}
-	nc, err := net.DialTimeout("tcp", addr, dial)
-	if err != nil {
-		return nil, fmt.Errorf("worker: dialing peer %s: %w", addr, err)
-	}
-	defer nc.Close()
-	pc := proto.NewConn(proto.WithIdleTimeout(nc, idle))
-	if err := pc.Send(proto.MsgGetFile, proto.GetFile{ID: id}); err != nil {
-		return nil, err
-	}
-	t, raw, err := pc.Recv()
-	if err != nil {
-		return nil, fmt.Errorf("worker: reading peer response: %w", err)
-	}
-	switch t {
-	case proto.MsgFileDataBulk:
-		hdr, payload, err := proto.DecodeBulk[proto.FileHdr](raw)
-		if err != nil {
-			return nil, err
-		}
-		obj := hdrToObject(hdr, payload)
-		if err := obj.Validate(); err != nil {
-			return nil, fmt.Errorf("worker: peer sent corrupt object: %w", err)
-		}
-		return obj, nil
-	case proto.MsgFileData:
-		// Legacy JSON-framed response, kept for mixed-version peers.
-		meta, err := proto.Decode[proto.FileMeta](raw)
-		if err != nil {
-			return nil, err
-		}
-		obj := metaToObject(meta)
-		if err := obj.Validate(); err != nil {
-			return nil, fmt.Errorf("worker: peer sent corrupt object: %w", err)
-		}
-		return obj, nil
-	case proto.MsgError:
-		em, _ := proto.Decode[proto.ErrorMsg](raw)
-		return nil, fmt.Errorf("worker: peer error: %s", em.Err)
-	}
-	return nil, fmt.Errorf("worker: unexpected peer message %v", t)
-}
-
-// serveData answers MsgGetFile requests from peers, one connection per
-// goroutine.
-func (w *Worker) serveData() {
-	for {
-		nc, err := w.dataLn.Accept()
-		if err != nil {
-			return
-		}
-		w.wg.Add(1)
-		go func() {
-			defer w.wg.Done()
-			defer nc.Close()
-			// A requester that stops reading must not pin this goroutine
-			// (and its transfer slot on the manager) forever.
-			pc := proto.NewConn(proto.WithIdleTimeout(nc, w.cfg.PeerIOTimeout))
-			t, raw, err := pc.Recv()
-			if err != nil || t != proto.MsgGetFile {
-				return
-			}
-			req, err := proto.Decode[proto.GetFile](raw)
-			if err != nil {
-				return
-			}
-			obj, ok := w.cache.Get(req.ID)
-			if !ok {
-				_ = pc.Send(proto.MsgError, proto.ErrorMsg{Err: "object not cached"})
-				return
-			}
-			// Bulk frame: header JSON plus the raw bytes straight from the
-			// cache's backing slice — no base64 copy on either side.
-			_ = pc.SendBulk(proto.MsgFileDataBulk, objectToHdr(obj), obj.Data)
-		}()
-	}
-}
-
-// reserve commits resources for a task/library, enforcing the worker's
-// allocation.
-func (w *Worker) reserve(r core.Resources) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	avail := w.cfg.Resources.Sub(w.committed)
-	if !r.Fits(avail) {
-		return fmt.Errorf("worker %s: insufficient resources (want %+v, have %+v)", w.cfg.ID, r, avail)
-	}
-	w.committed = w.committed.Add(r)
-	return nil
-}
-
-func (w *Worker) release(r core.Resources) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.committed = w.committed.Sub(r)
-}
+// Staging-message handlers (PutFile, FetchFile, acks) live in
+// staging.go; wire-format conversion helpers live in wire.go.
 
 func (w *Worker) sendResult(res core.Result) {
 	res.Metrics.WorkerID = w.cfg.ID
-	_ = w.conn.Send(proto.MsgResult, res)
+	w.sendMsg(proto.MsgResult, res)
 }
 
-func failResult(id int64, err error) core.Result {
-	return core.Result{ID: id, Ok: false, Err: err.Error()}
-}
-
-// infraResult marks a failure as infrastructure-caused (staging gaps,
-// cache pressure, lost libraries) so the manager may retry the work on
-// another placement; errors raised by the submitted code itself use
-// failResult and are never retried.
-func infraResult(id int64, err error) core.Result {
-	return core.Result{ID: id, Ok: false, Err: err.Error(), Retryable: true}
-}
-
-func (w *Worker) stdout() io.Writer {
-	if w.cfg.Out == nil {
-		return io.Discard
-	}
-	return w.cfg.Out
-}
-
-// moduleResolver builds the module-resolution function for a sandbox
-// or library: only modules installed by the unpacked environments in
-// `allowed` (plus the always-present vine_runtime) are importable.
-func (w *Worker) moduleResolver(allowed map[string]bool, sb *sandbox) func(*minipy.Interp, string) (*minipy.ModuleVal, error) {
-	return func(ip *minipy.Interp, name string) (*minipy.ModuleVal, error) {
-		if name == "vine_runtime" && sb != nil {
-			return sb.runtimeModule(ip), nil
-		}
-		if !allowed[name] {
-			return nil, fmt.Errorf("no module named '%s'", name)
-		}
-		if w.cfg.Registry == nil || !w.cfg.Registry.Has(name) {
-			return nil, fmt.Errorf("no module named '%s'", name)
-		}
-		return w.cfg.Registry.Build(name)
-	}
-}
-
-// allowedModules collects the package names installed by every
-// unpacked environment tarball among the given objects.
-func allowedModules(objs []*content.Object) map[string]bool {
-	allowed := map[string]bool{}
-	for _, obj := range objs {
-		if obj.Kind != content.Tarball {
-			continue
-		}
-		spec, err := poncho.UnpackManifest(obj.Data)
-		if err != nil {
-			continue
-		}
-		for _, m := range spec.Modules() {
-			allowed[m] = true
-		}
-	}
-	return allowed
-}
-
-// ---- task execution ----
-
-// runTask executes a stateless task (the L1/L2 path): stage inputs
-// from cache and shared FS, unpack environments, run the script in a
-// sandbox, return the pickled result.
-func (w *Worker) runTask(spec core.TaskSpec, pinned []string) {
-	start := time.Now()
-	defer func() {
-		for _, id := range pinned {
-			_ = w.cache.Unpin(id)
-		}
-		// Stateless tasks leave nothing behind: drop inputs that were
-		// not bound to the worker (Evict refuses if another task still
-		// pins them).
-		for _, in := range spec.Inputs {
-			if in.Object != nil && !in.Cache {
-				w.cache.Evict(in.Object.ID)
-			}
-		}
-	}()
-	if err := w.reserve(spec.Resources); err != nil {
-		w.sendResult(infraResult(spec.ID, err))
-		return
-	}
-	defer w.release(spec.Resources)
-
-	var metrics core.InvocationMetrics
-
-	// Stage inputs: cached objects were delivered ahead of the task on
-	// this ordered connection; shared FS reads happen now (and are the
-	// L1 bottleneck in the paper).
-	sb := newSandbox()
-	var objs []*content.Object
-	for _, in := range spec.Inputs {
-		obj, ok := w.cache.Get(in.Object.ID)
-		if !ok {
-			w.sendResult(infraResult(spec.ID, fmt.Errorf("input %q not staged on worker", in.Object.Name)))
-			return
-		}
-		if in.Unpack && obj.Kind == content.Tarball {
-			if _, err := w.cache.MarkUnpacked(obj.ID); err != nil {
-				w.sendResult(infraResult(spec.ID, err))
-				return
-			}
-		}
-		sb.add(obj)
-		objs = append(objs, obj)
-	}
-	for _, in := range spec.SharedFSReads {
-		if w.cfg.SharedFS == nil {
-			w.sendResult(infraResult(spec.ID, fmt.Errorf("task needs shared FS but worker has none")))
-			return
-		}
-		obj, err := w.cfg.SharedFS.Fetch(in.Object.ID)
-		if err != nil {
-			w.sendResult(infraResult(spec.ID, err))
-			return
-		}
-		sb.add(obj)
-		objs = append(objs, obj)
-	}
-	metrics.WorkerTime = time.Since(start).Seconds()
-
-	// Execute the script.
-	execStart := time.Now()
-	host := &library.Host{
-		Resolve: w.moduleResolver(allowedModules(objs), sb),
-		Out:     w.stdout(),
-	}
-	ip := minipy.NewInterp(host)
-	ip.StepLimit = w.cfg.StepLimit
-	_, err := ip.RunModule(spec.Script, fmt.Sprintf("task-%d", spec.ID))
-	metrics.ExecTime = time.Since(execStart).Seconds()
-
-	if err != nil {
-		w.sendResult(core.Result{ID: spec.ID, Ok: false, Err: err.Error(), Metrics: metrics})
-		return
-	}
-	if sb.result == nil {
-		w.sendResult(core.Result{ID: spec.ID, Ok: false, Err: "task script did not call vine_runtime.store_result", Metrics: metrics})
-		return
-	}
-	w.sendResult(core.Result{ID: spec.ID, Ok: true, Value: sb.result, Metrics: metrics})
-}
-
-// ---- library hosting ----
-
-func (w *Worker) installLibrary(spec core.LibrarySpec) {
-	res := spec.Resources
-	if res == (core.Resources{}) {
-		// A library by default takes all resources of a worker (§3.5.2).
-		res = w.cfg.Resources
-	}
-	// Install failures split the same way task failures do: a missing
-	// staged input or exhausted resources is the infrastructure's fault
-	// (retryable — the manager redeploys after recovery), while a
-	// context setup that raises is the library's own bug and counts
-	// toward quarantine.
-	ackErr := func(err error, retryable bool) {
-		_ = w.conn.Send(proto.MsgLibraryAck, proto.LibraryAck{Library: spec.Name, Ok: false, Err: err.Error(), Retryable: retryable})
-	}
-	if err := w.reserve(res); err != nil {
-		ackErr(err, true)
-		return
-	}
-
-	// Pin and unpack the library's environment and inputs.
-	var objs []*content.Object
-	pinned := []string{}
-	fail := func(err error, retryable bool) {
-		for _, id := range pinned {
-			_ = w.cache.Unpin(id)
-		}
-		w.release(res)
-		ackErr(err, retryable)
-	}
-	specs := spec.Inputs
-	if spec.Env != nil {
-		specs = append([]core.FileSpec{*spec.Env}, specs...)
-	}
-	for _, in := range specs {
-		obj, ok := w.cache.Get(in.Object.ID)
-		if !ok {
-			fail(fmt.Errorf("library input %q not staged", in.Object.Name), true)
-			return
-		}
-		if in.Unpack && obj.Kind == content.Tarball {
-			if _, err := w.cache.MarkUnpacked(obj.ID); err != nil {
-				fail(err, true)
-				return
-			}
-		}
-		if err := w.cache.Pin(obj.ID); err != nil {
-			fail(err, true)
-			return
-		}
-		pinned = append(pinned, obj.ID)
-		objs = append(objs, obj)
-	}
-
-	instance := fmt.Sprintf("%s@%s", spec.Name, w.cfg.ID)
-	inputs := map[string]*content.Object{}
-	for _, obj := range objs {
-		if obj.Kind != content.Tarball {
-			inputs[obj.Name] = obj
-		}
-	}
-	host := &library.Host{
-		Resolve: w.moduleResolver(allowedModules(objs), nil),
-		Out:     w.stdout(),
-		Inputs:  inputs,
-	}
-	lib, err := library.Start(spec, instance, host)
-	if err != nil {
-		fail(err, false)
-		return
-	}
-
+// sendMsg sends a result or ack to the manager unless the worker is
+// shutting down. Once Shutdown has begun, execution aborts (PinResolve
+// fails, libraries die) for reasons that are not the work's fault; the
+// manager must learn of them from the connection closing — which
+// requeues everything in flight — not from a racing "shutting down"
+// failure result that would burn the spec's retry budget.
+func (w *Worker) sendMsg(t proto.MsgType, v any) {
 	w.mu.Lock()
-	if _, exists := w.libs[spec.Name]; exists {
-		w.mu.Unlock()
-		fail(fmt.Errorf("library %s already installed", spec.Name), true)
-		return
-	}
-	w.libs[spec.Name] = &libHolder{lib: lib, res: res}
+	closed := w.closed
 	w.mu.Unlock()
-
-	_ = w.conn.Send(proto.MsgLibraryAck, proto.LibraryAck{
-		Library:   spec.Name,
-		Instance:  instance,
-		Ok:        true,
-		SetupTime: lib.SetupDuration.Seconds(),
-	})
-}
-
-func (w *Worker) removeLibrary(name string) {
-	w.mu.Lock()
-	h, ok := w.libs[name]
-	if ok {
-		delete(w.libs, name)
-	}
-	w.mu.Unlock()
-	if !ok {
+	if closed {
 		return
 	}
-	specs := h.lib.Spec.Inputs
-	if h.lib.Spec.Env != nil {
-		specs = append([]core.FileSpec{*h.lib.Spec.Env}, specs...)
-	}
-	for _, in := range specs {
-		_ = w.cache.Unpin(in.Object.ID)
-	}
-	w.release(h.res)
+	_ = w.conn.Send(t, v)
 }
-
-// Libraries returns the installed library names (tests).
-func (w *Worker) Libraries() []string {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make([]string, 0, len(w.libs))
-	for name := range w.libs {
-		out = append(out, name)
-	}
-	return out
-}
-
-// LibraryShare returns the share value (invocations served) of an
-// installed library, or -1.
-func (w *Worker) LibraryShare(name string) int64 {
-	w.mu.Lock()
-	h, ok := w.libs[name]
-	w.mu.Unlock()
-	if !ok {
-		return -1
-	}
-	return h.lib.Served()
-}
-
-func (w *Worker) runInvocation(spec core.InvocationSpec) {
-	w.mu.Lock()
-	h, ok := w.libs[spec.Library]
-	w.mu.Unlock()
-	if !ok {
-		// The manager believed an instance was here; it may have been
-		// lost to eviction racing the dispatch — retryable.
-		w.sendResult(infraResult(spec.ID, fmt.Errorf("worker %s has no library %q", w.cfg.ID, spec.Library)))
-		return
-	}
-	if h.lib.Spec.Mode == core.ExecDirect {
-		h.direct.Lock()
-		defer h.direct.Unlock()
-	}
-	res, err := h.lib.Invoke(spec.Function, spec.Args)
-	if err != nil {
-		w.sendResult(core.Result{
-			ID: spec.ID, Ok: false, Err: err.Error(),
-			Metrics: core.InvocationMetrics{LibraryInstance: h.lib.Instance},
-		})
-		return
-	}
-	w.sendResult(core.Result{
-		ID:    spec.ID,
-		Ok:    true,
-		Value: res.Value,
-		Metrics: core.InvocationMetrics{
-			SetupTime:       res.SetupTime,
-			ExecTime:        res.ExecTime,
-			LibraryInstance: h.lib.Instance,
-		},
-	})
-}
-
-// ---- sandbox ----
-
-// sandbox is the per-task working directory: staged input objects by
-// name, plus the result file the script writes.
-type sandbox struct {
-	mu     sync.Mutex
-	inputs map[string]*content.Object
-	result []byte
-}
-
-func newSandbox() *sandbox {
-	return &sandbox{inputs: map[string]*content.Object{}}
-}
-
-func (sb *sandbox) add(obj *content.Object) {
-	sb.mu.Lock()
-	defer sb.mu.Unlock()
-	sb.inputs[obj.Name] = obj
-}
-
-// runtimeModule exposes the sandbox to task scripts as the
-// vine_runtime module: load staged inputs, unpickle them, apply
-// functions, and store the pickled result.
-func (sb *sandbox) runtimeModule(ip *minipy.Interp) *minipy.ModuleVal {
-	m := &minipy.ModuleVal{Name: "vine_runtime", Attrs: map[string]minipy.Value{}}
-	m.Attrs["load_text"] = &minipy.Builtin{Name: "load_text", Fn: func(_ *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
-		name, err := argStr(args, 0, "load_text")
-		if err != nil {
-			return nil, err
-		}
-		obj, err := sb.lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		return minipy.Str(obj.Data), nil
-	}}
-	m.Attrs["load_pickle"] = &minipy.Builtin{Name: "load_pickle", Fn: func(ip *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
-		name, err := argStr(args, 0, "load_pickle")
-		if err != nil {
-			return nil, err
-		}
-		obj, err := sb.lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		return pickle.Unmarshal(obj.Data, ip)
-	}}
-	m.Attrs["call"] = &minipy.Builtin{Name: "call", Fn: func(ip *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
-		if len(args) != 2 {
-			return nil, fmt.Errorf("call() takes a function and an argument list")
-		}
-		elems, ok := seqElems(args[1])
-		if !ok {
-			return nil, fmt.Errorf("call() second argument must be a list or tuple")
-		}
-		return ip.Call(args[0], elems, nil)
-	}}
-	m.Attrs["store_result"] = &minipy.Builtin{Name: "store_result", Fn: func(_ *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
-		if len(args) != 1 {
-			return nil, fmt.Errorf("store_result() takes 1 argument")
-		}
-		data, err := pickle.Marshal(args[0])
-		if err != nil {
-			return nil, fmt.Errorf("store_result(): %v", err)
-		}
-		sb.mu.Lock()
-		sb.result = data
-		sb.mu.Unlock()
-		return minipy.NoneValue, nil
-	}}
-	m.Attrs["input_names"] = &minipy.Builtin{Name: "input_names", Fn: func(_ *minipy.Interp, args []minipy.Value, _ map[string]minipy.Value) (minipy.Value, error) {
-		sb.mu.Lock()
-		defer sb.mu.Unlock()
-		l := &minipy.List{}
-		for name := range sb.inputs {
-			l.Elems = append(l.Elems, minipy.Str(name))
-		}
-		sortStrValues(l)
-		return l, nil
-	}}
-	return m
-}
-
-func (sb *sandbox) lookup(name string) (*content.Object, error) {
-	sb.mu.Lock()
-	defer sb.mu.Unlock()
-	obj, ok := sb.inputs[name]
-	if !ok {
-		return nil, fmt.Errorf("no staged input named %q", name)
-	}
-	return obj, nil
-}
-
-func argStr(args []minipy.Value, i int, fname string) (string, error) {
-	if i >= len(args) {
-		return "", fmt.Errorf("%s() missing argument %d", fname, i+1)
-	}
-	s, ok := args[i].(minipy.Str)
-	if !ok {
-		return "", fmt.Errorf("%s() argument must be a str", fname)
-	}
-	return string(s), nil
-}
-
-func seqElems(v minipy.Value) ([]minipy.Value, bool) {
-	switch x := v.(type) {
-	case *minipy.List:
-		return x.Elems, true
-	case *minipy.Tuple:
-		return x.Elems, true
-	}
-	return nil, false
-}
-
-func sortStrValues(l *minipy.List) {
-	strs := make([]string, len(l.Elems))
-	for i, e := range l.Elems {
-		strs[i] = string(e.(minipy.Str))
-	}
-	// insertion sort; lists are tiny
-	for i := 1; i < len(strs); i++ {
-		for j := i; j > 0 && strs[j] < strs[j-1]; j-- {
-			strs[j], strs[j-1] = strs[j-1], strs[j]
-		}
-	}
-	for i, s := range strs {
-		l.Elems[i] = minipy.Str(s)
-	}
-}
-
-// WrapperScript is the generic script that turns a function invocation
-// into a stateless task (§1's "naive transformation"): it deserializes
-// the function and arguments from its inputs and executes them, paying
-// the full context-reload cost every time. The L1 and L2 evaluation
-// levels run invocations through this wrapper.
-const WrapperScript = `
-import vine_runtime
-f = vine_runtime.load_pickle("func")
-args = vine_runtime.load_pickle("args")
-vine_runtime.store_result(vine_runtime.call(f, args))
-`

@@ -89,6 +89,12 @@ type WorkerOptions struct {
 	// PeerIOTimeout bounds how long a peer data transfer may sit idle
 	// before the worker abandons it; zero uses the worker default.
 	PeerIOTimeout time.Duration
+	// FetchConcurrency bounds each worker's concurrent peer fetches
+	// (its data-plane pool size); zero uses the dataplane default.
+	FetchConcurrency int
+	// ServeConcurrency bounds each worker's concurrent peer-serve
+	// connections; zero uses the dataplane default.
+	ServeConcurrency int
 	// WrapDataListener, when set, wraps each worker's peer data
 	// listener — the hook fault-injection tests use to stall or cut
 	// transfers mid-stream.
@@ -224,6 +230,8 @@ func (m *Manager) SpawnLocalWorkers(n int, wo WorkerOptions) error {
 			SharedFS:         m.fs,
 			Out:              wo.Out,
 			PeerIOTimeout:    wo.PeerIOTimeout,
+			FetchConcurrency: wo.FetchConcurrency,
+			ServeConcurrency: wo.ServeConcurrency,
 			WrapDataListener: wo.WrapDataListener,
 		}
 		w := worker.New(cfg)
