@@ -1,15 +1,21 @@
 # Convenience targets for the go-taskvine-context reproduction.
 
-.PHONY: all check build test race fidelity bench experiments examples clean
+# PR numbers the bench report chain: each PR's run is written to
+# BENCH_PR$(PR).json and gated against the previous PR's report.
+PR ?= 5
+BASELINE ?= BENCH_PR4.json
+
+.PHONY: all check build test race fidelity lint lint-extra bench experiments examples clean
 
 all: check
 
-# The pre-merge gate: vet + build, the plain suite, the policy-core
-# fidelity gate, the full suite under the race detector (the chaos
-# tests exercise the manager's failure paths concurrently, so -race is
-# load-bearing here), and a one-iteration dispatch-throughput smoke run
-# so the hot path cannot silently stop compiling or deadlock.
-check: build test fidelity race benchsmoke
+# The pre-merge gate: vet + build, the custom analyzer suite, the plain
+# suite, the policy-core fidelity gate, the full suite under the race
+# detector (the chaos tests exercise the manager's failure paths
+# concurrently, so -race is load-bearing here), and a one-iteration
+# dispatch-throughput smoke run so the hot path cannot silently stop
+# compiling or deadlock.
+check: build lint test fidelity race benchsmoke
 
 # The fidelity gate: the pure policy core's decision-order pins, the
 # manager-vs-simulator differential replays, and the golden decision
@@ -19,6 +25,18 @@ fidelity:
 	go test -race ./internal/policy
 	go test -race -run Differential ./internal/manager
 	go test -race -run Golden ./internal/experiments
+
+# The repo's own analyzer suite (internal/lint): policy purity, map
+# determinism, lock discipline, I/O deadlines, and worker layering.
+# Zero unsuppressed findings is the bar; suppressions need justified
+# //vinelint: pragmas. lint-extra layers on pinned third-party
+# checkers when the environment can run them (see the script).
+lint:
+	go run ./cmd/vinelint ./...
+	./scripts/lint-extra.sh
+
+lint-extra:
+	RUN_LINT_EXTRA=force ./scripts/lint-extra.sh
 
 build:
 	go build ./...
@@ -34,14 +52,14 @@ benchsmoke:
 	go test -run '^$$' -bench DispatchThroughput -benchtime 1x .
 
 # One Go benchmark per paper table/figure (reduced scale), plus the
-# manager dispatch-throughput benchmark, written to BENCH_PR4.json and
-# gated against the PR2 report: the run fails if dispatch throughput
-# drops below 90% of the recorded BENCH_PR2.json dispatch_current.
+# manager dispatch-throughput benchmark, written to BENCH_PR$(PR).json
+# and gated against the previous PR's report: the run fails if dispatch
+# throughput drops below 90% of the baseline's dispatch_current.
 bench:
 	go test -run '^$$' -bench=. -benchmem . | go run ./cmd/benchjson \
-		-o BENCH_PR4.json \
+		-o BENCH_PR$(PR).json \
 		-note "dispatch benchmark: 64 in-process workers x 16 slots, no-op invocations; sim_s metrics are simulated seconds at 1/20 scale" \
-		-baseline-json BENCH_PR2.json -min-ratio 0.9
+		-baseline-json $(BASELINE) -min-ratio 0.9
 
 # Every table and figure at paper scale (~10 s).
 experiments:

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// The smoke tests drive the real CLI entry point (flag parsing, module
+// discovery, pattern expansion, exit-code mapping) over fixtures — the
+// same path `make lint` takes.
+
+func TestViolatingFixtureExitsNonzero(t *testing.T) {
+	if code := run([]string{"-q", "internal/lint/testdata/src/policypurity_bad/..."}); code != 1 {
+		t.Fatalf("vinelint on a policypurity-violating fixture: exit %d, want 1", code)
+	}
+}
+
+func TestCleanFixtureExitsZero(t *testing.T) {
+	if code := run([]string{"-q", "internal/lint/testdata/src/policypurity_ok/..."}); code != 0 {
+		t.Fatalf("vinelint on a clean fixture: exit %d, want 0", code)
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	if code := run([]string{"-q", "no/such/dir"}); code != 2 {
+		t.Fatalf("vinelint on a missing directory: exit %d, want 2", code)
+	}
+}

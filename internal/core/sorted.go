@@ -1,0 +1,21 @@
+package core
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. Go map iteration
+// order is deliberately randomized, so any loop whose effects are not
+// commutative — or whose results reach a decision trace, a returned
+// slice, or the wire — must iterate through this helper instead of
+// ranging the map directly. The vinelint mapdeterminism analyzer
+// enforces that rule across the policy core and both engines.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { //vinelint:unordered key collection is order-independent; the slice is sorted before returning
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

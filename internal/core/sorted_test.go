@@ -1,0 +1,22 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"cairo": 1, "alpha": 2, "baker": 3}
+	want := []string{"alpha", "baker", "cairo"}
+	for i := 0; i < 50; i++ { // map order is randomized; the helper must not be
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[int64]bool{9: true, -3: false, 0: true}); !reflect.DeepEqual(got, []int64{-3, 0, 9}) {
+		t.Fatalf("SortedKeys(int64) = %v", got)
+	}
+	if got := SortedKeys(map[string]struct{}{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v, want empty", got)
+	}
+}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the files were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a set of loaded packages sharing one FileSet and one
+// type-checking universe. Target holds the packages the analyzers run
+// over; ByPath additionally indexes every module-internal dependency
+// that was type-checked along the way, so whole-program passes (the
+// policypurity call graph) can follow calls across package boundaries.
+type Program struct {
+	Fset   *token.FileSet
+	Target []*Package
+	ByPath map[string]*Package
+
+	funcDecls map[*types.Func]*ast.FuncDecl
+	declPkg   map[*types.Func]*Package
+}
+
+// Loader type-checks packages from source. It resolves imports itself:
+// paths under ModulePath map into ModuleDir, everything else is looked
+// up through go/build (GOROOT for the standard library). Cgo is
+// disabled so constrained stdlib packages select their pure-Go
+// variants — the loader never needs a compiler or network.
+type Loader struct {
+	// ModulePath is the module's import path prefix (e.g. "repro").
+	ModulePath string
+	// ModuleDir is the on-disk module root.
+	ModuleDir string
+
+	fset *token.FileSet
+	ctxt build.Context
+	pkgs map[string]*Package
+	// checking guards against import cycles during recursive loads.
+	checking map[string]bool
+}
+
+// NewLoader creates a loader rooted at the given module.
+func NewLoader(modulePath, moduleDir string) *Loader {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		fset:       token.NewFileSet(),
+		ctxt:       ctxt,
+		pkgs:       map[string]*Package{},
+		checking:   map[string]bool{},
+	}
+}
+
+// Load type-checks the packages in the given directories (relative to
+// ModuleDir or absolute) and returns them as a Program. Directories
+// without buildable Go files are skipped.
+func (l *Loader) Load(dirs ...string) (*Program, error) {
+	prog := &Program{Fset: l.fset, ByPath: map[string]*Package{}}
+	for _, dir := range dirs {
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.ModuleDir, dir)
+		}
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.loadFrom(path, l.ModuleDir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		prog.Target = append(prog.Target, pkg)
+	}
+	for p, pkg := range l.pkgs {
+		if pkg != nil {
+			prog.ByPath[p] = pkg
+		}
+	}
+	return prog, nil
+}
+
+// ExpandPatterns resolves command-line package patterns to directories:
+// "./..." walks a subtree (skipping testdata and dot-dirs unless the
+// pattern itself points inside a testdata tree), plain paths name one
+// package directory.
+func ExpandPatterns(moduleDir string, patterns []string) ([]string, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "" || pat == "." {
+			pat = moduleDir
+		}
+		if !filepath.IsAbs(pat) {
+			pat = filepath.Join(moduleDir, pat)
+		}
+		if !recursive {
+			dirs = append(dirs, pat)
+			continue
+		}
+		inTestdata := strings.Contains(pat, "testdata")
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if name == "testdata" && !inTestdata {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				dirs = append(dirs, p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory under the module root to its import
+// path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleDir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps an import path to its source directory, or "" for paths
+// the loader does not type-check from the module tree (stdlib handled
+// separately).
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	if strings.HasPrefix(path, l.ModulePath+"/") {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+	}
+	return ""
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom; srcDir is the importing
+// package's directory, which lets go/build resolve GOROOT-vendored
+// paths (net → vendor/golang.org/x/net/...) for stdlib packages.
+func (l *Loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	pkg, err := l.loadFrom(path, srcDir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no buildable Go files for %q", path)
+	}
+	return pkg.Types, nil
+}
+
+// loadFrom type-checks one package (memoized). Module-internal
+// packages keep their syntax and full types.Info so analyzers can
+// inspect them; stdlib packages keep only the *types.Package.
+func (l *Loader) loadFrom(path, srcDir string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: "unsafe", Types: types.Unsafe}, nil
+	}
+	if pkg, done := l.pkgs[path]; done {
+		return pkg, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	dir := l.dirFor(path)
+	var filenames []string
+	if dir != "" {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			filenames = append(filenames, filepath.Join(dir, name))
+		}
+		if len(filenames) == 0 {
+			l.pkgs[path] = nil
+			return nil, nil
+		}
+	} else {
+		// Standard library (or anything else go/build can place, such
+		// as GOROOT-vendored golang.org/x packages).
+		bp, err := l.ctxt.Import(path, srcDir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("lint: resolving import %q: %w", path, err)
+		}
+		dir = bp.Dir
+		for _, name := range bp.GoFiles {
+			filenames = append(filenames, filepath.Join(bp.Dir, name))
+		}
+	}
+	sort.Strings(filenames)
+
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", fn, err)
+		}
+		files = append(files, f)
+	}
+
+	internal := strings.HasPrefix(path, l.ModulePath+"/") || path == l.ModulePath
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // collect only the first hard error below
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %q: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Types: tpkg}
+	if internal {
+		pkg.Files = files
+		pkg.Info = info
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// FuncDecl returns the declaration of a function (with its body) if it
+// belongs to a loaded module-internal package, along with that package.
+func (p *Program) FuncDecl(fn *types.Func) (*ast.FuncDecl, *Package) {
+	if p.funcDecls == nil {
+		p.funcDecls = map[*types.Func]*ast.FuncDecl{}
+		p.declPkg = map[*types.Func]*Package{}
+		for _, pkg := range p.ByPath {
+			if pkg.Info == nil {
+				continue
+			}
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						p.funcDecls[obj] = fd
+						p.declPkg[obj] = pkg
+					}
+				}
+			}
+		}
+	}
+	return p.funcDecls[fn], p.declPkg[fn]
+}

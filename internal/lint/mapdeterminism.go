@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapdeterminism flags raw `for range` over maps in the packages where
+// iteration order can reach a policy decision, a decision-trace line,
+// an eviction order, or wire output. The fix is either to iterate a
+// sorted key slice (core.SortedKeys — a slice range is never flagged)
+// or to justify the loop with //vinelint:unordered when its body is
+// genuinely order-insensitive (a commutative fold such as a min, max,
+// sum, or set insert).
+var mapdeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "no raw map iteration where order can leak into decisions, traces, or the wire",
+	Suffixes: []string{
+		"internal/core",
+		"internal/policy",
+		"internal/manager",
+		"internal/sim",
+		"internal/experiments",
+	},
+	Run: runMapDeterminism,
+}
+
+func runMapDeterminism(pass *Pass) {
+	pass.InspectPkg(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		t := tv.Type
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if _, isMap := t.Underlying().(*types.Map); isMap {
+			pass.Reportf(rs.For, "map iteration order is nondeterministic here; range over core.SortedKeys(...) or justify with //vinelint:unordered")
+		}
+		return true
+	})
+}

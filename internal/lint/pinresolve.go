@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pinresolve enforces the worker layering contract (DESIGN.md §10):
+// executor-layer code reaches cached objects only through the data
+// plane's Pin/Resolve API. Inside internal/worker, calling a method on
+// a content.Cache value — or unwrapping the raw cache via
+// dataplane.Plane.Cache() — bypasses the per-object state machine that
+// makes pins atomic with respect to eviction, so both are flagged.
+// (Constructing the cache with content.NewCache and handing it to the
+// plane is the control layer's job and stays legal.)
+var pinresolve = &Analyzer{
+	Name: "pinresolve",
+	Doc:  "executor-layer code must use dataplane Pin/Resolve, never content.Cache directly",
+	Suffixes: []string{
+		"internal/worker",
+	},
+	Run: runPinResolve,
+}
+
+func runPinResolve(pass *Pass) {
+	info := pass.Pkg.Info
+	pass.InspectPkg(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Method call with a *content.Cache receiver.
+		if tv, ok := info.Types[sel.X]; ok && isContentCache(tv.Type) {
+			pass.Reportf(call.Pos(), "direct content.Cache.%s call in the worker; go through the data plane's Pin/Resolve API (§10 layering)", sel.Sel.Name)
+			return true
+		}
+		// Unwrapping the raw cache out of the plane.
+		fn := staticCallee(info, call)
+		if fn != nil && fn.Name() == "Cache" && fn.Pkg() != nil && hasPathSuffix(fn.Pkg().Path(), "internal/dataplane") {
+			pass.Reportf(call.Pos(), "Plane.Cache() unwraps the raw content cache; executor code must stay behind Pin/Resolve (§10 layering)")
+		}
+		return true
+	})
+}
+
+// isContentCache reports whether t is (a pointer to) content.Cache.
+func isContentCache(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Cache" && obj.Pkg() != nil && hasPathSuffix(obj.Pkg().Path(), "internal/content")
+}

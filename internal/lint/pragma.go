@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// A pragma is one parsed //vinelint: suppression comment. It absorbs
+// findings of the named analyzer reported on its own line or the line
+// directly below (the comment-above-the-loop idiom).
+//
+//	//vinelint:unordered <justification>      → analyzer mapdeterminism
+//	//vinelint:ignore <analyzer> <justification>
+type pragma struct {
+	name    string // analyzer the pragma suppresses
+	file    string
+	line    int
+	pos     token.Position
+	justify string
+	used    int
+	rawName string // pragma keyword as written (unordered / ignore)
+}
+
+const pragmaPrefix = "//vinelint:"
+
+// collectPragmas parses every vinelint pragma in the package, emitting
+// errors for malformed ones: unknown pragma keywords, unknown analyzer
+// names, and missing justifications are all hard failures — a
+// suppression that cannot explain itself is worse than the finding.
+func collectPragmas(fset *token.FileSet, pkg *Package, knownAnalyzers map[string]bool) ([]*pragma, []Diagnostic) {
+	var out []*pragma
+	var errs []Diagnostic
+	bad := func(pos token.Position, format string, args ...any) {
+		errs = append(errs, Diagnostic{Analyzer: "pragma", Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, pragmaPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, pragmaPrefix)
+				keyword, arg, _ := strings.Cut(rest, " ")
+				arg = strings.TrimSpace(arg)
+				pr := &pragma{file: pos.Filename, line: pos.Line, pos: pos, rawName: keyword}
+				switch keyword {
+				case "unordered":
+					pr.name = "mapdeterminism"
+					pr.justify = arg
+				case "ignore":
+					analyzer, justify, _ := strings.Cut(arg, " ")
+					pr.name = analyzer
+					pr.justify = strings.TrimSpace(justify)
+					if analyzer == "" {
+						bad(pos, "//vinelint:ignore needs an analyzer name and a justification")
+						continue
+					}
+					if !knownAnalyzers[analyzer] {
+						bad(pos, "//vinelint:ignore names unknown analyzer %q", analyzer)
+						continue
+					}
+				default:
+					bad(pos, "unknown vinelint pragma %q (want unordered or ignore)", keyword)
+					continue
+				}
+				if pr.justify == "" {
+					bad(pos, "//vinelint:%s needs a justification — say why the invariant holds here", keyword)
+					continue
+				}
+				out = append(out, pr)
+			}
+		}
+	}
+	return out, errs
+}
+
+// matchPragma finds a pragma that suppresses the diagnostic: same
+// analyzer, same file, on the finding's line or the line above it.
+// Same-line matches win over line-above matches, so nested loops with
+// per-line pragmas each consume their own (a line-above match must not
+// steal the pragma belonging to the previous line's finding).
+func matchPragma(pragmas []*pragma, d Diagnostic) *pragma {
+	var above *pragma
+	for _, pr := range pragmas {
+		if pr.name != d.Analyzer || pr.file != d.Pos.Filename {
+			continue
+		}
+		if pr.line == d.Pos.Line {
+			return pr
+		}
+		if pr.line == d.Pos.Line-1 && above == nil {
+			above = pr
+		}
+	}
+	return above
+}

@@ -1,0 +1,57 @@
+// Package manager is a fixture breaking lock hygiene: channel sends,
+// proto writes, network I/O, and sleeps under a held mutex, plus a
+// Lock with no dominating Unlock.
+package manager
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+)
+
+type state struct {
+	mu   sync.Mutex
+	out  chan int
+	conn net.Conn
+	n    int
+}
+
+func (s *state) SendUnderLock() {
+	s.mu.Lock()
+	s.out <- s.n // want `channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *state) WriteUnderLock(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(buf) // want `Write on a network connection while s.mu is held`
+}
+
+func (s *state) ProtoUnderLock(c *proto.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Send(proto.MsgHello, struct{}{}) // want `proto I/O \(Send\) while s.mu is held`
+}
+
+func (s *state) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *state) DialUnderLock(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	net.Dial("tcp", addr) // want `net.Dial while s.mu is held`
+}
+
+func (s *state) Leak(cond bool) int {
+	s.mu.Lock() // want `s.mu.Lock\(\) has no dominating Unlock`
+	if cond {
+		return 0
+	}
+	return s.n
+}

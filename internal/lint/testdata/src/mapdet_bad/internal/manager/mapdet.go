@@ -1,0 +1,28 @@
+// Package manager is a fixture with raw map iteration in an
+// order-sensitive package: both loop shapes must be flagged, and
+// pointer-to-map indirection must not hide the map.
+package manager
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+func Pairs(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		out = append(out, v)
+	}
+	return out
+}
+
+func Deref(m *map[string]int) []string {
+	var out []string
+	for k := range *m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package manager is a clean fixture: sorted-keys iteration and slice
+// ranges are never flagged, and a justified //vinelint:unordered
+// pragma absorbs a genuinely commutative loop.
+package manager
+
+import "repro/internal/core"
+
+func Keys(m map[string]int) []string {
+	return core.SortedKeys(m)
+}
+
+func Sum(m map[string]int) int {
+	t := 0
+	for _, k := range core.SortedKeys(m) {
+		t += m[k]
+	}
+	return t
+}
+
+func Count(m map[string]bool) int {
+	n := 0
+	for range m { //vinelint:unordered counting map entries is order-independent
+		n++
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+// Package worker is a fixture breaking the §10 layering: executor
+// code touching the content cache directly and unwrapping the raw
+// cache out of the data plane.
+package worker
+
+import (
+	"repro/internal/content"
+	"repro/internal/dataplane"
+)
+
+func Load(c *content.Cache, id string) (*content.Object, bool) {
+	return c.Get(id) // want `direct content.Cache.Get call`
+}
+
+func Unwrap(p *dataplane.Plane) *content.Cache {
+	return p.Cache() // want `Plane.Cache\(\) unwraps the raw content cache`
+}

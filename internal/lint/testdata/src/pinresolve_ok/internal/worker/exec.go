@@ -1,0 +1,21 @@
+// Package worker is a clean fixture for the §10 layering: cached
+// objects are reached through the plane's Pin/Resolve API, and
+// constructing a cache (the control layer's job) stays legal.
+package worker
+
+import (
+	"repro/internal/content"
+	"repro/internal/dataplane"
+)
+
+func Resolve(p *dataplane.Plane, id string) (*content.Object, error) {
+	return p.PinResolve(id)
+}
+
+func Release(p *dataplane.Plane, id string) error {
+	return p.Unpin(id)
+}
+
+func Build(capacity int64) *content.Cache {
+	return content.NewCache(capacity)
+}

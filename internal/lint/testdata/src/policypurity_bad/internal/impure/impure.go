@@ -1,0 +1,16 @@
+// Package impure smuggles clocks and randomness behind an innocent
+// API — the policypurity call-graph walk must see through it.
+package impure
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter(n int) int {
+	return n + time.Now().Nanosecond()
+}
+
+func Choose(n int) int {
+	return rand.Intn(n)
+}

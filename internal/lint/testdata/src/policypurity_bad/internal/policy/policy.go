@@ -1,0 +1,20 @@
+// Package policy is a fixture violating every policypurity rule: a
+// banned import, package-level mutable state, and clock/randomness
+// reached transitively through a helper package.
+package policy
+
+import (
+	"os" // want `policy core must not import "os"`
+
+	"repro/internal/lint/testdata/src/policypurity_bad/internal/impure"
+)
+
+var defaultSeed = os.Getpid() // want `package-level state`
+
+func Decide(n int) int { // want `Decide reaches time.Now`
+	return impure.Jitter(n) + defaultSeed
+}
+
+func Pick(n int) int { // want `Pick reaches math/rand`
+	return impure.Choose(n)
+}

@@ -1,0 +1,19 @@
+// Package policy is a clean fixture: pure decisions over explicit
+// inputs, constants instead of globals, sorted iteration via core.
+package policy
+
+import "repro/internal/core"
+
+const maxCandidates = 8
+
+// Best returns the smallest key, bounded by maxCandidates probes.
+func Best(m map[string]int) string {
+	keys := core.SortedKeys(m)
+	if len(keys) > maxCandidates {
+		keys = keys[:maxCandidates]
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	return keys[0]
+}

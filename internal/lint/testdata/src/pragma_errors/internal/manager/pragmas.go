@@ -1,0 +1,29 @@
+// Package manager is a fixture exercising every pragma failure mode:
+// unknown keyword, unknown analyzer name, missing justification, and a
+// stale pragma suppressing nothing — plus one valid suppression.
+package manager
+
+//vinelint:frobnicate this keyword does not exist
+
+//vinelint:ignore nosuchanalyzer because reasons
+
+// A pragma without a justification is rejected, so the finding below
+// it survives.
+func Unjustified(m map[string]int) int {
+	n := 0
+	//vinelint:unordered
+	for range m { // want `map iteration order is nondeterministic`
+		n++
+	}
+	return n
+}
+
+//vinelint:unordered this loop was rewritten long ago; the pragma is stale
+
+func Suppressed(m map[string]int) int {
+	n := 0
+	for range m { //vinelint:unordered counting map entries is order-independent
+		n++
+	}
+	return n
+}

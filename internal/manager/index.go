@@ -90,12 +90,16 @@ func (m *Manager) wake() {
 		if tasks {
 			m.scheduleTasksLocked()
 		}
+		// Competing library queues must drain in sorted-name order:
+		// they contend for the same worker capacity, so map iteration
+		// order here would leak straight into the decision trace and
+		// break replay against the simulator.
 		if allLibs {
-			for lib := range m.pendingInvs {
+			for _, lib := range core.SortedKeys(m.pendingInvs) {
 				m.scheduleLibQueueLocked(lib)
 			}
 		} else {
-			for lib := range libs {
+			for _, lib := range core.SortedKeys(libs) {
 				m.scheduleLibQueueLocked(lib)
 			}
 		}
@@ -209,7 +213,7 @@ func (m *Manager) wakeObjWaitersLocked(id string) {
 	if ww.tasks {
 		m.markTasksDirtyLocked()
 	}
-	for lib := range ww.libs {
+	for lib := range ww.libs { //vinelint:unordered dirty marks form a set; wake() drains them in sorted order
 		m.markLibDirtyLocked(lib)
 	}
 }
@@ -231,7 +235,7 @@ func (m *Manager) dropWorkerLocked(w *workerState) {
 	delete(m.workers, w.id)
 	// Un-acked installs on the dead worker will never ack; release
 	// their claims so queued invocations can trigger fresh deploys.
-	for name, li := range w.libs {
+	for name, li := range w.libs { //vinelint:unordered per-library counter decrements commute
 		if !li.Ready && !li.Failed && m.installing[name] > 0 {
 			m.installing[name]--
 		}

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -336,8 +335,8 @@ func (m *Manager) Shutdown() {
 		return
 	}
 	m.closed = true
-	for _, w := range m.workers {
-		w.enqueue(outMsg{t: proto.MsgShutdown, v: struct{}{}})
+	for _, id := range core.SortedKeys(m.workers) {
+		m.workers[id].enqueue(outMsg{t: proto.MsgShutdown, v: struct{}{}})
 	}
 	m.mu.Unlock()
 	if m.ln != nil {
@@ -516,7 +515,7 @@ func (m *Manager) onWorkerGone(w *workerState) {
 	// bled dry one crash at a time until pickSourceLocked permanently
 	// excludes them and the spanning tree degrades to manager-only
 	// sends.
-	for id, src := range w.fetchSources {
+	for id, src := range w.fetchSources { //vinelint:unordered slot releases commute; each entry touches a distinct record
 		delete(w.fetchSources, id)
 		if sw, live := m.workers[src]; live && sw.v.TransfersOut > 0 {
 			sw.v.TransfersOut--
@@ -534,12 +533,11 @@ func (m *Manager) onWorkerGone(w *workerState) {
 	// differential fidelity harness (and anyone replaying a decision
 	// trace) cannot tolerate.
 	var lost []int64
-	for id, e := range m.inflight {
-		if e.worker == w.id {
+	for _, id := range core.SortedKeys(m.inflight) {
+		if m.inflight[id].worker == w.id {
 			lost = append(lost, id)
 		}
 	}
-	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
 	for _, id := range lost {
 		e := m.inflight[id]
 		delete(m.inflight, id)
@@ -833,7 +831,8 @@ func (m *Manager) deliver(res core.Result) {
 func (m *Manager) CheckQuiescence() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, w := range m.workers {
+	for _, id := range core.SortedKeys(m.workers) {
+		w := m.workers[id]
 		if w.v.TransfersOut != 0 {
 			return fmt.Errorf("manager: worker %s still holds %d outbound transfer slots", w.id, w.v.TransfersOut)
 		}
@@ -865,8 +864,8 @@ func (m *Manager) CheckQuiescence() error {
 func (m *Manager) LibraryDeployments() (instances int, totalServed int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, w := range m.workers {
-		for _, li := range w.libs {
+	for _, w := range m.workers { //vinelint:unordered summing counters commutes
+		for _, li := range w.libs { //vinelint:unordered summing counters commutes
 			if li.Ready {
 				instances++
 				totalServed += li.served

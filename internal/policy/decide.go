@@ -1,8 +1,6 @@
 package policy
 
 import (
-	"sort"
-
 	"repro/internal/core"
 )
 
@@ -61,7 +59,7 @@ type StageFile struct {
 // Ties break on minimum worker ID so both engines choose identically.
 func (v *ClusterView) PickSource(dst *WorkerView, obj string) *WorkerView {
 	var same, cross *WorkerView
-	for _, src := range v.Holders[obj] {
+	for _, src := range v.Holders[obj] { //vinelint:unordered min-ID fold is order-independent by construction
 		if src == dst || !src.Alive || src.TransfersOut >= v.Opts.PeerTransferCap {
 			continue
 		}
@@ -188,7 +186,7 @@ type PlaceInvocation struct {
 // share (satellite 1). Zero result means no ready capacity.
 func (v *ClusterView) PlaceReady(lib string, f Filter) PlaceInvocation {
 	var best *WorkerView
-	for _, w := range v.ReadyFree[lib] {
+	for _, w := range v.ReadyFree[lib] { //vinelint:unordered max-slots/min-ID fold is order-independent by construction
 		if !admits(w, f) {
 			continue
 		}
@@ -228,12 +226,7 @@ func (v *ClusterView) PlanEviction(w *WorkerView, wantLib string, need core.Reso
 	if need.Fits(avail) {
 		return nil, true
 	}
-	names := make([]string, 0, len(w.Libs))
-	for name := range w.Libs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range core.SortedKeys(w.Libs) {
 		lv := w.Libs[name]
 		if name == wantLib || !lv.Ready || lv.SlotsUsed > 0 {
 			continue

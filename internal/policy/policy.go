@@ -169,15 +169,15 @@ func (v *ClusterView) RemoveWorker(w *WorkerView) (droppedReplicas, clearedPendi
 	delete(v.Workers, w.ID)
 	v.Ring.Remove(w.ID)
 	w.Alive = false
-	for name := range w.Libs {
+	for _, name := range core.SortedKeys(w.Libs) {
 		v.RemoveLibrary(w, name)
 	}
-	for id := range w.Files {
+	for _, id := range core.SortedKeys(w.Files) {
 		if v.DropReplica(w, id) {
 			droppedReplicas = append(droppedReplicas, id)
 		}
 	}
-	for id := range w.Pending {
+	for _, id := range core.SortedKeys(w.Pending) {
 		if v.ClearPending(w, id) {
 			clearedPending = append(clearedPending, id)
 		}

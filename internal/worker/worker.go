@@ -76,6 +76,10 @@ type Config struct {
 const (
 	defaultStepLimit     = 50_000_000
 	defaultPeerIOTimeout = 30 * time.Second
+	// managerDialTimeout bounds the initial dial to the manager so a
+	// wrong address or partitioned manager fails fast instead of
+	// hanging in the kernel's connect queue.
+	managerDialTimeout = 10 * time.Second
 )
 
 // Stats is a snapshot of the worker's own counters.
@@ -169,7 +173,7 @@ func (w *Worker) Stats() Stats {
 // processing continues in background goroutines until Shutdown or
 // connection loss.
 func (w *Worker) Connect(managerAddr string) error {
-	conn, err := net.Dial("tcp", managerAddr)
+	conn, err := net.DialTimeout("tcp", managerAddr, managerDialTimeout)
 	if err != nil {
 		return fmt.Errorf("worker %s: dialing manager: %w", w.cfg.ID, err)
 	}
@@ -187,7 +191,11 @@ func (w *Worker) Serve(nc net.Conn) error {
 	}
 	w.dataLn = ln
 	w.dataAddr = ln.Addr().String()
-	w.conn = proto.NewConn(nc)
+	// The manager control link is idle by design between work bursts
+	// (a worker may legitimately sit minutes without a dispatch), so it
+	// carries no idle deadline; liveness is the manager's job via its
+	// per-worker send deadlines and gone-detection (§7).
+	w.conn = proto.NewConn(nc) //vinelint:ignore ctxdeadline control link is idle-by-design; manager side owns liveness detection
 
 	hello := proto.Hello{
 		WorkerID:      w.cfg.ID,
