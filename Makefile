@@ -2,8 +2,8 @@
 
 # PR numbers the bench report chain: each PR's run is written to
 # BENCH_PR$(PR).json and gated against the previous PR's report.
-PR ?= 5
-BASELINE ?= BENCH_PR4.json
+PR ?= 6
+BASELINE ?= BENCH_PR5.json
 
 .PHONY: all check build test race fidelity lint lint-extra bench experiments examples clean
 

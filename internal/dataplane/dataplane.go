@@ -89,18 +89,27 @@ type Config struct {
 // maintained, so Snapshot never takes the plane lock.
 type Stats struct {
 	Fetches     int64 // transfers actually started
-	FetchErrors int64 // transfers that failed
-	Deduped     int64 // fetch requests absorbed by an in-flight transfer
-	Puts        int64 // objects stored via Put
-	Served      int64 // peer-serve requests answered with data
-	ServeErrors int64 // peer-serve requests refused (uncached, bad frame)
+	FetchErrors int64 // transfers that failed against every known source
+	// AltSourceRetries counts fetch attempts against an alternate
+	// holder after the primary source failed. A retry that succeeds
+	// keeps the transfer inside the data plane — no manager restage.
+	AltSourceRetries int64
+	Deduped          int64 // fetch requests absorbed by an in-flight transfer
+	Puts             int64 // objects stored via Put
+	Served           int64 // peer-serve requests answered with data
+	ServeErrors      int64 // peer-serve requests refused (uncached, bad frame)
 }
 
 // Request asks for one object to be staged from a peer.
 type Request struct {
-	ID     string
-	Addr   string
-	Unpack bool
+	ID   string
+	Addr string
+	// AltAddrs lists alternate holders to try, in order, if the fetch
+	// from Addr fails. Surrendering on the first peer error would turn
+	// every mid-transfer source death into a round trip through the
+	// manager's restage path; retrying here keeps recovery local.
+	AltAddrs []string
+	Unpack   bool
 }
 
 // flight is one in-progress single-flight fetch: everyone wanting the
@@ -126,7 +135,7 @@ type Plane struct {
 	wg    sync.WaitGroup
 	serve chan struct{} // serve-side concurrency tokens
 
-	fetches, fetchErrors, deduped, puts, served, serveErrors atomic.Int64
+	fetches, fetchErrors, altRetries, deduped, puts, served, serveErrors atomic.Int64
 }
 
 type queued struct {
@@ -165,12 +174,13 @@ func (p *Plane) Cache() *content.Cache { return p.cache }
 // Snapshot returns the current stats counters.
 func (p *Plane) Snapshot() Stats {
 	return Stats{
-		Fetches:     p.fetches.Load(),
-		FetchErrors: p.fetchErrors.Load(),
-		Deduped:     p.deduped.Load(),
-		Puts:        p.puts.Load(),
-		Served:      p.served.Load(),
-		ServeErrors: p.serveErrors.Load(),
+		Fetches:          p.fetches.Load(),
+		FetchErrors:      p.fetchErrors.Load(),
+		AltSourceRetries: p.altRetries.Load(),
+		Deduped:          p.deduped.Load(),
+		Puts:             p.puts.Load(),
+		Served:           p.served.Load(),
+		ServeErrors:      p.serveErrors.Load(),
 	}
 }
 
@@ -346,10 +356,20 @@ func (p *Plane) runFetch(e queued) {
 	}
 }
 
-// transfer performs the network fetch and stores the result.
+// transfer performs the network fetch and stores the result. A failure
+// against the primary source retries each alternate holder in order
+// before surfacing the error — so a source that dies mid-transfer
+// costs one extra peer round trip, not a manager restage.
 func (p *Plane) transfer(req Request) error {
 	p.fetches.Add(1)
 	obj, err := p.cfg.Fetch(req.Addr, req.ID, p.cfg.IdleTimeout)
+	for _, alt := range req.AltAddrs {
+		if err == nil {
+			break
+		}
+		p.altRetries.Add(1)
+		obj, err = p.cfg.Fetch(alt, req.ID, p.cfg.IdleTimeout)
+	}
 	if err != nil {
 		return err
 	}

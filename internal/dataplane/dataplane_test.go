@@ -365,3 +365,70 @@ func TestConcurrentPinResolveAndEvict(t *testing.T) {
 		t.Errorf("pinned object vanished under a concurrent evict %d times", n)
 	}
 }
+
+// TestAltSourceRetry: a fetch whose primary source fails must retry
+// the alternates in order inside the data plane — recovering without
+// surfacing an error (which would cost a manager restage).
+func TestAltSourceRetry(t *testing.T) {
+	obj := content.NewBlob("env.tar", []byte("environment"))
+	var tried []string
+	fetch := func(addr, id string, idle time.Duration) (*content.Object, error) {
+		tried = append(tried, addr)
+		if addr == "alt:2" {
+			return obj, nil
+		}
+		return nil, fmt.Errorf("peer %s is gone", addr)
+	}
+	p := New(Config{Cache: content.NewCache(0), Fetch: fetch})
+	t.Cleanup(p.Close)
+
+	done := make(chan error, 1)
+	p.Fetch(Request{ID: obj.ID, Addr: "dead:1", AltAddrs: []string{"alt:1", "alt:2"}},
+		func(err error) { done <- err })
+	if err := waitDone(t, done, 1)[0]; err != nil {
+		t.Fatalf("fetch failed despite a live alternate: %v", err)
+	}
+	want := []string{"dead:1", "alt:1", "alt:2"}
+	if fmt.Sprint(tried) != fmt.Sprint(want) {
+		t.Errorf("tried %v, want %v", tried, want)
+	}
+	if !p.Cache().Has(obj.ID) {
+		t.Errorf("object not cached after alternate-source recovery")
+	}
+	st := p.Snapshot()
+	if st.AltSourceRetries != 2 {
+		t.Errorf("AltSourceRetries = %d, want 2", st.AltSourceRetries)
+	}
+	if st.FetchErrors != 0 {
+		t.Errorf("FetchErrors = %d, want 0 (the transfer recovered)", st.FetchErrors)
+	}
+}
+
+// TestAltSourceExhaustion: when every source fails the error surfaces
+// once, after all alternates were attempted.
+func TestAltSourceExhaustion(t *testing.T) {
+	var calls int
+	fetch := func(addr, id string, idle time.Duration) (*content.Object, error) {
+		calls++
+		return nil, fmt.Errorf("peer %s is gone", addr)
+	}
+	p := New(Config{Cache: content.NewCache(0), Fetch: fetch})
+	t.Cleanup(p.Close)
+
+	done := make(chan error, 1)
+	p.Fetch(Request{ID: "obj", Addr: "dead:1", AltAddrs: []string{"dead:2", "dead:3"}},
+		func(err error) { done <- err })
+	if err := waitDone(t, done, 1)[0]; err == nil {
+		t.Fatal("fetch succeeded with every source dead")
+	}
+	if calls != 3 {
+		t.Errorf("tried %d sources, want 3", calls)
+	}
+	st := p.Snapshot()
+	if st.FetchErrors != 1 {
+		t.Errorf("FetchErrors = %d, want 1", st.FetchErrors)
+	}
+	if st.AltSourceRetries != 2 {
+		t.Errorf("AltSourceRetries = %d, want 2", st.AltSourceRetries)
+	}
+}

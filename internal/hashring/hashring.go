@@ -100,6 +100,17 @@ func (r *Ring) Lookup(key string) string {
 	return seq[0]
 }
 
+// Partition maps a key to one of n fixed partitions by hashing it
+// with the ring's member hash. Unlike ring membership this is a pure
+// function — the sharded dispatch plane uses it as the stable "home"
+// partition for a key when no live-worker routing is possible yet.
+func Partition(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(hashOf(key) % uint64(n))
+}
+
 // Sequence returns up to n distinct members in ring order starting at
 // key's position — the order the manager checks workers for library
 // placement. n <= 0 means all members.

@@ -19,6 +19,7 @@ var mapdeterminism = &Analyzer{
 		"internal/core",
 		"internal/policy",
 		"internal/manager",
+		"internal/shardplane",
 		"internal/sim",
 		"internal/experiments",
 	},

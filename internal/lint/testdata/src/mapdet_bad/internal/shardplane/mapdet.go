@@ -1,0 +1,12 @@
+// Package shardplane is a fixture: shard routing and trace merging
+// must stay deterministic, so raw map iteration is flagged here like
+// in the other decision-bearing packages.
+package shardplane
+
+func Drain(parked map[string][]int) []int {
+	var out []int
+	for _, q := range parked { // want `map iteration order is nondeterministic`
+		out = append(out, q...)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package shardplane is a clean fixture: sorted-keys iteration keeps
+// shard routing deterministic without a pragma.
+package shardplane
+
+import "repro/internal/core"
+
+func Drain(parked map[string][]int) []int {
+	var out []int
+	for _, k := range core.SortedKeys(parked) {
+		out = append(out, parked[k]...)
+	}
+	return out
+}

@@ -16,7 +16,8 @@ import (
 // tolerates arbitrary reordering and duplicate/stale acks.
 
 func TestOutOfOrderFileAcks(t *testing.T) {
-	m := New(Options{PeerTransfers: true})
+	m := New(Options{PeerTransfers: true, Shards: 1})
+	s := m.shards[0]
 	src := fakeWorker(m, "src")
 	w := fakeWorker(m, "w")
 
@@ -32,11 +33,11 @@ func TestOutOfOrderFileAcks(t *testing.T) {
 	// Stage A then B on w (both peer fetches from src), with one
 	// dispatched task waiting on both — the shape tryPlaceTaskOnLocked
 	// builds when it commits a placement behind in-flight copies.
-	m.mu.Lock()
-	m.catalog[objA.ID] = task.Inputs[0]
-	m.catalog[objB.ID] = task.Inputs[1]
-	m.notePendingLocked(w, objA.ID)
-	m.notePendingLocked(w, objB.ID)
+	s.mu.Lock()
+	s.m.catalogAdd(task.Inputs[0])
+	s.m.catalogAdd(task.Inputs[1])
+	s.notePendingLocked(w, objA.ID)
+	s.notePendingLocked(w, objB.ID)
 	w.fetchSources[objA.ID] = "src"
 	w.fetchSources[objB.ID] = "src"
 	src.v.TransfersOut = 2
@@ -47,15 +48,15 @@ func TestOutOfOrderFileAcks(t *testing.T) {
 		sentAt:  time.Now(),
 		waiting: map[string]bool{objA.ID: true, objB.ID: true},
 	}
-	m.inflight[task.ID] = e
+	s.inflight[task.ID] = e
 	w.ackWaiters[objA.ID] = append(w.ackWaiters[objA.ID], e)
 	w.ackWaiters[objB.ID] = append(w.ackWaiters[objB.ID], e)
-	m.mu.Unlock()
+	s.mu.Unlock()
 
 	// B's transfer finishes first, even though A was staged first.
-	m.onFileAck(w, proto.FileAck{ID: objB.ID, Ok: true, Cache: true})
+	s.onFileAck(w, proto.FileAck{ID: objB.ID, Ok: true, Cache: true})
 
-	m.mu.Lock()
+	s.mu.Lock()
 	if w.v.Pending[objB.ID] {
 		t.Errorf("B still pending after its ack")
 	}
@@ -72,16 +73,16 @@ func TestOutOfOrderFileAcks(t *testing.T) {
 		t.Errorf("B's ack-waiter list not cleared")
 	}
 	afterB := e.transfer
-	m.mu.Unlock()
+	s.mu.Unlock()
 	if afterB <= 0 {
 		t.Errorf("transfer not stamped by B's ack")
 	}
 
 	// A — the straggler — lands last and closes the staging window.
 	time.Sleep(5 * time.Millisecond)
-	m.onFileAck(w, proto.FileAck{ID: objA.ID, Ok: true, Cache: true})
+	s.onFileAck(w, proto.FileAck{ID: objA.ID, Ok: true, Cache: true})
 
-	m.mu.Lock()
+	s.mu.Lock()
 	if len(e.waiting) != 0 {
 		t.Errorf("waiting set after both acks = %v", e.waiting)
 	}
@@ -97,10 +98,10 @@ func TestOutOfOrderFileAcks(t *testing.T) {
 	if e.transfer <= afterB {
 		t.Errorf("TransferTime not extended by the straggler: %.9f <= %.9f", e.transfer, afterB)
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 
 	// The task completes; its TransferTime covers dispatch → last ack.
-	m.onResult(w, core.Result{ID: task.ID, Ok: true})
+	s.onResult(w, core.Result{ID: task.ID, Ok: true})
 	select {
 	case res := <-m.Results():
 		if !res.Ok || res.Metrics.TransferTime <= 0 {
@@ -119,25 +120,26 @@ func TestDuplicateAndStaleFileAcksAreHarmless(t *testing.T) {
 	// duplicates the manager coalesced out of its own records. A second
 	// ack for an already-settled object must not double-release slots,
 	// underflow counters, or disturb other waiters.
-	m := New(Options{PeerTransfers: true})
+	m := New(Options{PeerTransfers: true, Shards: 1})
+	s := m.shards[0]
 	src := fakeWorker(m, "src")
 	w := fakeWorker(m, "w")
 	obj := content.NewBlob("dup.bin", []byte("once"))
 
-	m.mu.Lock()
-	m.catalog[obj.ID] = core.FileSpec{Object: obj, Cache: true, PeerTransfer: true}
-	m.notePendingLocked(w, obj.ID)
+	s.mu.Lock()
+	s.m.catalogAdd(core.FileSpec{Object: obj, Cache: true, PeerTransfer: true})
+	s.notePendingLocked(w, obj.ID)
 	w.fetchSources[obj.ID] = "src"
 	src.v.TransfersOut = 1
-	m.mu.Unlock()
+	s.mu.Unlock()
 
-	m.onFileAck(w, proto.FileAck{ID: obj.ID, Ok: true, Cache: true})
+	s.onFileAck(w, proto.FileAck{ID: obj.ID, Ok: true, Cache: true})
 	// Same ack again: the fetchSources record is gone, Source echoes the
 	// original assignment (the worker always echoes it back).
-	m.onFileAck(w, proto.FileAck{ID: obj.ID, Ok: true, Cache: true, Source: "src"})
+	s.onFileAck(w, proto.FileAck{ID: obj.ID, Ok: true, Cache: true, Source: "src"})
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if src.v.TransfersOut != 0 {
 		t.Errorf("transfer slots underflowed or leaked: %d", src.v.TransfersOut)
 	}
@@ -146,9 +148,9 @@ func TestDuplicateAndStaleFileAcksAreHarmless(t *testing.T) {
 	}
 	// An ack for an object this worker never staged (a stale record from
 	// a prior life of the ID) is a no-op too.
-	m.mu.Unlock()
-	m.onFileAck(w, proto.FileAck{ID: "never-staged", Ok: false, Err: "who?"})
-	m.mu.Lock()
+	s.mu.Unlock()
+	s.onFileAck(w, proto.FileAck{ID: "never-staged", Ok: false, Err: "who?"})
+	s.mu.Lock()
 	if len(w.v.Pending) != 0 || len(w.ackWaiters) != 0 {
 		t.Errorf("stale ack left residue: pending=%v waiters=%v", w.v.Pending, w.ackWaiters)
 	}

@@ -46,6 +46,34 @@ const (
 	diffEnv = "env:difflib"
 )
 
+// replayEngine is the event surface shared by the simulator's two
+// untimed drivers: the single-loop Replay and the ShardedReplay
+// composite. The harness drives either through the same trace, so the
+// sharded manager can be diffed against the sharded replay shard by
+// shard.
+type replayEngine interface {
+	Submit(n int)
+	EnvArrived(id string) bool
+	EnvFailed(id string) bool
+	AddWorker() string
+	KillWorker(id string) bool
+	LibReady(id string) bool
+	Complete(id string) bool
+	CompleteTask(id, key string) bool
+	Fail(id, key string) bool
+	Pending() int
+	Decisions() []string
+	Dump() string
+	ViewFor(id string) *policy.WorkerView
+}
+
+// shardTracer is implemented by both engines' sharded drivers; the
+// harness uses it to localize a divergence to one shard before
+// comparing the merged traces.
+type shardTracer interface {
+	ShardDecisions() [][]string
+}
+
 func diffEnvSpec() core.FileSpec {
 	return core.FileSpec{
 		Object:       &content.Object{ID: diffEnv, Name: diffEnv, LogicalSize: 64 << 20},
@@ -56,34 +84,33 @@ func diffEnvSpec() core.FileSpec {
 }
 
 type diffHarness struct {
-	t     *testing.T
-	m     *Manager
-	rec   *policy.Recorder
-	rp    *sim.Replay
-	ws    []*workerState
-	dead  map[string]bool
-	slots int
-	next  int // next worker index (churn continues the numbering)
-	level core.ReuseLevel
-	env   core.FileSpec
-	opLog []string
+	t      *testing.T
+	m      *Manager
+	rp     replayEngine
+	ws     []*workerState
+	dead   map[string]bool
+	slots  int
+	shards int
+	next   int // next worker index (churn continues the numbering)
+	level  core.ReuseLevel
+	env    core.FileSpec
+	opLog  []string
 }
 
-func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int) *diffHarness {
+func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots, shards int) *diffHarness {
 	t.Helper()
-	rec := &policy.Recorder{}
+	if shards < 1 {
+		shards = 1
+	}
 	// A retry budget no random trace can exhaust, and a backoff short
 	// enough that the harness's wait for the requeue is instant. The
 	// settings only matter on failure-injecting traces; the happy-path
 	// workloads never draw on them.
 	m := New(Options{
-		PeerTransfers: true, DecisionTrace: rec,
+		PeerTransfers: true, DecisionTrace: &policy.Recorder{}, Shards: shards,
 		MaxRetries: 1000, RetryBaseDelay: time.Nanosecond, RetryMaxDelay: time.Nanosecond,
 	})
-	h := &diffHarness{t: t, m: m, rec: rec, dead: map[string]bool{}, slots: slots, next: workers, level: level, env: diffEnvSpec()}
-	for i := 0; i < workers; i++ {
-		h.ws = append(h.ws, h.newWorker(fmt.Sprintf("w%04d", i)))
-	}
+	h := &diffHarness{t: t, m: m, dead: map[string]bool{}, slots: slots, shards: shards, next: workers, level: level, env: diffEnvSpec()}
 	if level == core.L3 {
 		if err := m.RegisterLibrary(&core.LibrarySpec{
 			Name:      diffLib,
@@ -95,7 +122,7 @@ func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int) *di
 			t.Fatal(err)
 		}
 	}
-	h.rp = sim.NewReplay(sim.Config{
+	cfg := sim.Config{
 		App:              &apps.CostModel{Name: diffLib, EnvPackedBytes: 64 << 20},
 		Level:            level,
 		Workers:          workers,
@@ -104,8 +131,39 @@ func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int) *di
 		PeerCap:          3,
 		ManagerSourceCap: 1 << 30,
 		Seed:             1,
-	})
+	}
+	if shards == 1 {
+		h.rp = sim.NewReplay(cfg)
+	} else {
+		// The sharded replay drains through the batched policy entry
+		// points, like the sharded manager; workers join through the
+		// composite so IDs shard identically on both sides.
+		cfg.Batched = true
+		cfg.Workers = 0
+		h.rp = sim.NewShardedReplay(cfg, shards)
+	}
+	for i := 0; i < workers; i++ {
+		h.ws = append(h.ws, h.newWorker(fmt.Sprintf("w%04d", i)))
+		if shards > 1 {
+			if simID := h.rp.AddWorker(); simID != h.ws[i].id {
+				t.Fatalf("worker numbering diverged at setup: manager %s, sim %s", h.ws[i].id, simID)
+			}
+		}
+	}
 	return h
+}
+
+// mgrTrace and mgrDump read the manager's decision trace through the
+// deterministic per-shard merge (identical to the shared recorder when
+// Shards == 1).
+func (h *diffHarness) mgrTrace() []string { return h.m.MergedDecisions() }
+
+func (h *diffHarness) mgrDump() string {
+	s := ""
+	for _, line := range h.mgrTrace() {
+		s += line + "\n"
+	}
+	return s
 }
 
 // newWorker registers a synthetic worker with the manager, triggering
@@ -119,12 +177,26 @@ func (h *diffHarness) newWorker(id string) *workerState {
 		ackWaiters:   map[string][]*inflightEntry{},
 		libs:         map[string]*libInstance{},
 	}
-	h.m.mu.Lock()
-	h.m.registerWorkerLocked(w)
-	h.m.wakeCapacityLocked()
-	h.m.mu.Unlock()
-	h.m.wake()
+	if !h.m.adoptWorker(w) {
+		h.t.Fatalf("duplicate worker %s", w.id)
+	}
 	return w
+}
+
+// shardOf is the home shard of a harness worker.
+func (h *diffHarness) shardOf(w *workerState) *shard {
+	return h.m.shardFor(w.id)
+}
+
+// pendingInvTotal sums queued invocations across all shards.
+func (h *diffHarness) pendingInvTotal() int {
+	n := 0
+	for _, s := range h.m.shards {
+		s.mu.Lock()
+		n += s.pendingInvCount
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // live returns the indices of living workers, in worker order.
@@ -149,22 +221,21 @@ func (h *diffHarness) settle() {
 // crossCheck compares per-worker view accounting between the two
 // engines, localizing a drift to the first op that caused it.
 func (h *diffHarness) crossCheck(op string) {
-	h.m.mu.Lock()
-	defer h.m.mu.Unlock()
-	sv := h.rp.View()
 	for _, w := range h.ws {
 		if h.dead[w.id] {
 			continue
 		}
-		wv := sv.Workers[w.id]
+		s := h.shardOf(w)
+		s.mu.Lock()
+		wv := h.rp.ViewFor(w.id)
 		if wv == nil {
 			h.t.Fatalf("after %s: %s live on the manager, gone from the sim", op, w.id)
 		}
 		if w.v.TransfersOut != wv.TransfersOut {
-			h.t.Fatalf("after %s: %s TransfersOut manager=%d sim=%d\nops: %v\nmgr trace:\n%s\nsim trace:\n%s", op, w.id, w.v.TransfersOut, wv.TransfersOut, h.opLog, h.rec.Dump(), h.rp.Dump())
+			h.t.Fatalf("after %s: %s TransfersOut manager=%d sim=%d\nops: %v\nmgr trace:\n%s\nsim trace:\n%s", op, w.id, w.v.TransfersOut, wv.TransfersOut, h.opLog, h.mgrDump(), h.rp.Dump())
 		}
 		if w.v.Commit != wv.Commit {
-			h.t.Fatalf("after %s: %s Commit manager=%+v sim=%+v", op, w.id, w.v.Commit, wv.Commit)
+			h.t.Fatalf("after %s: %s Commit manager=%+v sim=%+v\nops: %v\nmgr trace:\n%s\nsim trace:\n%s", op, w.id, w.v.Commit, wv.Commit, h.opLog, h.mgrDump(), h.rp.Dump())
 		}
 		if w.v.Pending[diffEnv] != wv.Pending[diffEnv] {
 			h.t.Fatalf("after %s: %s Pending[env] manager=%v sim=%v", op, w.id, w.v.Pending[diffEnv], wv.Pending[diffEnv])
@@ -172,6 +243,7 @@ func (h *diffHarness) crossCheck(op string) {
 		if w.v.Files[diffEnv] != wv.Files[diffEnv] {
 			h.t.Fatalf("after %s: %s Files[env] manager=%v sim=%v", op, w.id, w.v.Files[diffEnv], wv.Files[diffEnv])
 		}
+		s.mu.Unlock()
 	}
 }
 
@@ -193,18 +265,19 @@ func (h *diffHarness) submit(n int) {
 
 // canEnvAck reports whether an environment copy is in flight to w.
 func (h *diffHarness) canEnvAck(w *workerState) bool {
-	h.m.mu.Lock()
-	defer h.m.mu.Unlock()
+	s := h.shardOf(w)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return w.v.Pending[diffEnv]
 }
 
 func (h *diffHarness) envAck(w *workerState) {
 	h.opLog = append(h.opLog, "envAck("+w.id+")")
-	h.m.onFileAck(w, proto.FileAck{ID: diffEnv, Ok: true, Cache: true})
+	h.shardOf(w).onFileAck(w, proto.FileAck{ID: diffEnv, Ok: true, Cache: true})
 	if !h.rp.EnvArrived(w.id) {
 		h.diffTraces(0)
 		h.t.Fatalf("sim rejected EnvArrived(%s) the manager accepted\nmanager trace tail: %v",
-			w.id, tail(h.rec.Decisions, 6))
+			w.id, tail(h.mgrTrace(), 6))
 	}
 }
 
@@ -218,15 +291,16 @@ func tail(s []string, n int) []string {
 // canLibReady reports whether w has an installing (un-acked) library
 // instance whose environment has already arrived.
 func (h *diffHarness) canLibReady(w *workerState) bool {
-	h.m.mu.Lock()
-	defer h.m.mu.Unlock()
+	s := h.shardOf(w)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	li := w.libs[diffLib]
 	return li != nil && !li.Ready && !li.Failed && w.v.Files[diffEnv]
 }
 
 func (h *diffHarness) libReady(w *workerState) {
 	h.opLog = append(h.opLog, "libReady("+w.id+")")
-	h.m.onLibraryAck(w, proto.LibraryAck{Library: diffLib, Ok: true, Instance: "i-" + w.id})
+	h.shardOf(w).onLibraryAck(w, proto.LibraryAck{Library: diffLib, Ok: true, Instance: "i-" + w.id})
 	if !h.rp.LibReady(w.id) {
 		h.t.Fatalf("sim rejected LibReady(%s) the manager accepted", w.id)
 	}
@@ -237,20 +311,26 @@ func (h *diffHarness) libReady(w *workerState) {
 // additionally requires no open deferred-binding window (see the
 // harness comment above).
 func (h *diffHarness) completable(w *workerState) (int64, bool) {
-	h.m.mu.Lock()
-	defer h.m.mu.Unlock()
-	if h.level == core.L3 && h.m.pendingInvCount > 0 {
+	if h.level == core.L3 && h.pendingInvTotal() > 0 {
 		for _, ww := range h.ws {
 			if h.dead[ww.id] {
 				continue // a dead worker's stale instance records gate nothing
 			}
-			if li := ww.libs[diffLib]; li != nil && !li.Ready && !li.Failed {
+			ss := h.shardOf(ww)
+			ss.mu.Lock()
+			li := ww.libs[diffLib]
+			installing := li != nil && !li.Ready && !li.Failed
+			ss.mu.Unlock()
+			if installing {
 				return 0, false
 			}
 		}
 	}
+	s := h.shardOf(w)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	best := int64(-1)
-	for id, e := range h.m.inflight {
+	for id, e := range s.inflight {
 		if e.worker != w.id {
 			continue
 		}
@@ -266,7 +346,7 @@ func (h *diffHarness) completable(w *workerState) (int64, bool) {
 
 func (h *diffHarness) done(w *workerState, id int64) {
 	h.opLog = append(h.opLog, fmt.Sprintf("done(%s,%d)", w.id, id))
-	h.m.onResult(w, core.Result{ID: id, Ok: true, Value: []byte("x")})
+	h.shardOf(w).onResult(w, core.Result{ID: id, Ok: true, Value: []byte("x")})
 	// Task workloads complete by ring key: churn requeues carry keys,
 	// so the engines must agree on which task each slot was running.
 	ok := false
@@ -277,7 +357,7 @@ func (h *diffHarness) done(w *workerState, id int64) {
 	}
 	if !ok {
 		h.t.Fatalf("sim rejected Complete(%s, task %d) the manager accepted\nops: %v\nmgr trace:\n%s\nsim trace:\n%s",
-			w.id, id, h.opLog, h.rec.Dump(), h.rp.Dump())
+			w.id, id, h.opLog, h.mgrDump(), h.rp.Dump())
 	}
 }
 
@@ -305,14 +385,15 @@ func (h *diffHarness) killWorker(w *workerState) {
 // canEnvFail reports whether w has an in-flight *peer* env fetch — the
 // only kind whose failure the manager recovers by restaging direct.
 func (h *diffHarness) canEnvFail(w *workerState) bool {
-	h.m.mu.Lock()
-	defer h.m.mu.Unlock()
+	s := h.shardOf(w)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return w.v.Pending[diffEnv] && w.fetchSources[diffEnv] != ""
 }
 
 func (h *diffHarness) envFail(w *workerState) {
 	h.opLog = append(h.opLog, "envFail("+w.id+")")
-	h.m.onFileAck(w, proto.FileAck{ID: diffEnv, Ok: false, Err: "injected transfer fault"})
+	h.shardOf(w).onFileAck(w, proto.FileAck{ID: diffEnv, Ok: false, Err: "injected transfer fault"})
 	if !h.rp.EnvFailed(w.id) {
 		h.t.Fatalf("sim rejected EnvFailed(%s) the manager accepted", w.id)
 	}
@@ -320,7 +401,7 @@ func (h *diffHarness) envFail(w *workerState) {
 
 func (h *diffHarness) taskFail(w *workerState, id int64) {
 	h.opLog = append(h.opLog, fmt.Sprintf("fail(%s,%d)", w.id, id))
-	h.m.onResult(w, core.Result{ID: id, Ok: false, Retryable: true, Err: "injected fault"})
+	h.shardOf(w).onResult(w, core.Result{ID: id, Ok: false, Retryable: true, Err: "injected fault"})
 	h.waitRetryLanded()
 	if !h.rp.Fail(w.id, taskRingKey(id)) {
 		h.t.Fatalf("sim rejected Fail(%s, task %d) the manager accepted", w.id, id)
@@ -336,9 +417,14 @@ func (h *diffHarness) taskFail(w *workerState, id int64) {
 func (h *diffHarness) waitRetryLanded() {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		h.m.mu.Lock()
-		quiet := h.m.backoffs == 0 && !h.m.scheduling && !h.m.hasDirtyLocked()
-		h.m.mu.Unlock()
+		quiet := true
+		for _, s := range h.m.shards {
+			s.mu.Lock()
+			if s.backoffs != 0 || s.scheduling || s.hasDirtyLocked() {
+				quiet = false
+			}
+			s.mu.Unlock()
+		}
 		if quiet {
 			return
 		}
@@ -384,10 +470,34 @@ func (h *diffHarness) quiesce() {
 }
 
 // diffTraces asserts the two decision traces are identical, printing
-// the first divergence with context.
+// the first divergence with context. Sharded runs are compared shard
+// by shard first (a divergence names its shard), then as the merged
+// trace — proving the per-shard streams AND the deterministic merge
+// rule agree.
 func (h *diffHarness) diffTraces(minLines int) {
-	mgr := h.rec.Decisions
+	if h.shards > 1 {
+		st, ok := h.rp.(shardTracer)
+		if !ok {
+			h.t.Fatalf("sharded harness driving an engine with no per-shard traces (%T)", h.rp)
+		}
+		mgrShards := h.m.ShardDecisions()
+		simShards := st.ShardDecisions()
+		if len(mgrShards) != len(simShards) {
+			h.t.Fatalf("shard counts differ: manager=%d sim=%d", len(mgrShards), len(simShards))
+		}
+		for i := range mgrShards {
+			h.diffTracePair(fmt.Sprintf("shard %d", i), mgrShards[i], simShards[i])
+		}
+	}
+	mgr := h.mgrTrace()
 	rep := h.rp.Decisions()
+	h.diffTracePair("merged", mgr, rep)
+	if len(mgr) < minLines {
+		h.t.Fatalf("degenerate run: only %d decisions recorded, want >= %d", len(mgr), minLines)
+	}
+}
+
+func (h *diffHarness) diffTracePair(what string, mgr, rep []string) {
 	n := len(mgr)
 	if len(rep) < n {
 		n = len(rep)
@@ -398,23 +508,30 @@ func (h *diffHarness) diffTraces(minLines int) {
 			if lo < 0 {
 				lo = 0
 			}
-			h.t.Fatalf("decision traces diverge at line %d:\n  manager: %q\n  sim:     %q\ncontext (manager):\n  %v\ncontext (sim):\n  %v\nFULL mgr:\n%s\nFULL sim:\n%s",
-				i, mgr[i], rep[i], mgr[lo:i+1], rep[lo:i+1], h.rec.Dump(), h.rp.Dump())
+			h.t.Fatalf("%s decision traces diverge at line %d:\n  manager: %q\n  sim:     %q\ncontext (manager):\n  %v\ncontext (sim):\n  %v\nFULL mgr:\n%s\nFULL sim:\n%s",
+				what, i, mgr[i], rep[i], mgr[lo:i+1], rep[lo:i+1], h.mgrDump(), h.rp.Dump())
 		}
 	}
 	if len(mgr) != len(rep) {
-		h.t.Fatalf("trace lengths differ: manager=%d sim=%d (first %d lines identical)", len(mgr), len(rep), n)
-	}
-	if len(mgr) < minLines {
-		h.t.Fatalf("degenerate run: only %d decisions recorded, want >= %d", len(mgr), minLines)
+		h.t.Fatalf("%s trace lengths differ: manager=%d sim=%d (first %d lines identical)\nFULL mgr:\n%s\nFULL sim:\n%s",
+			what, len(mgr), len(rep), n, h.mgrDump(), h.rp.Dump())
 	}
 }
 
 // diffOpts selects the optional adversarial event classes a
-// differential run mixes into its trace.
+// differential run mixes into its trace, and the dispatch-plane
+// partition count both engines run at.
 type diffOpts struct {
 	churn bool // random worker joins and deaths mid-trace
 	fail  bool // injected transfer faults and retryable task failures
+	// shards > 1 runs the sharded manager against the sharded replay.
+	// fail is incompatible with shards > 1: the manager upgrades some
+	// cross-shard direct sends to peer fetches at the transport layer
+	// (invisible to the per-shard policy view), so a canEnvFail probe
+	// would pick transfers the sim has recorded as manager sends; the
+	// failed-peer-fetch recovery is instead covered end to end by the
+	// faultnet test (taskvine/fault_test.go).
+	shards int
 }
 
 // injectChaos maybe applies one churn or failure event, reporting
@@ -470,7 +587,10 @@ func (h *diffHarness) injectChaos(rng *rand.Rand, opts diffOpts, joins *int) boo
 // diffs the decision traces, then drives both to quiescence and diffs
 // again.
 func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64, ops int, opts diffOpts) {
-	h := newDiffHarness(t, level, 7, slots)
+	if opts.fail && opts.shards > 1 {
+		t.Fatal("fail injection is not differential-testable at shards > 1 (see diffOpts)")
+	}
+	h := newDiffHarness(t, level, 7, slots, opts.shards)
 	rng := rand.New(rand.NewSource(seed))
 	outstanding := 0
 	joins := 0
@@ -571,4 +691,28 @@ func TestDifferentialChurnWithFailures(t *testing.T) {
 	// fetches that then fail, retries can land on workers that later
 	// die. The harshest fidelity workload we run.
 	runDifferential(t, core.L2, 2, 7, 600, diffOpts{churn: true, fail: true})
+}
+
+func TestDifferentialSharded(t *testing.T) {
+	// The sharded dispatch plane against the sharded replay: identical
+	// routing (ring-key owners for tasks, spec-ID round-robin for
+	// invocations), identical batched decision sequences per shard, and
+	// the same deterministic trace merge. 2 and 3 shards make both the
+	// single-worker-shard and multi-worker-shard layouts appear.
+	for _, shards := range []int{2, 3} {
+		runDifferential(t, core.L2, 2, int64(10+shards), 600, diffOpts{shards: shards})
+		runDifferential(t, core.L3, 1, int64(20+shards), 600, diffOpts{shards: shards})
+	}
+}
+
+func TestDifferentialShardedChurn(t *testing.T) {
+	// Churn under sharding exercises every shard-crossing path: ring
+	// reshaping moves task ownership between shards, a shard losing its
+	// last worker evacuates its queues, overflow tasks hop to the next
+	// live shard when the home shard's only worker is the avoid target,
+	// and starvation nudges reset hop budgets on capacity events.
+	for _, seed := range []int64{31, 32} {
+		runDifferential(t, core.L2, 2, seed, 600, diffOpts{shards: 3, churn: true})
+		runDifferential(t, core.L3, 1, seed, 600, diffOpts{shards: 3, churn: true})
+	}
 }

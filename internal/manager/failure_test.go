@@ -1,6 +1,8 @@
 package manager
 
 import (
+	"io"
+	"net"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -15,22 +17,28 @@ import (
 // These tests drive the manager's failure-path bookkeeping directly,
 // with synthetic worker states instead of live connections: released
 // transfer slots, re-staged peer fetches, retry budgets, library
-// deployment accounting, and the never-block result delivery.
+// deployment accounting, and the never-block result delivery. They run
+// single-shard (Shards: 1) so every worker and spec lands in
+// m.shards[0], whose fields they inspect.
 
-// fakeWorker registers a synthetic worker state. The send queue is
-// buffered and never drained; tests only inspect what was enqueued.
+// fakeWorker registers a synthetic worker state in its home shard and
+// the router. The send queue is buffered and never drained; tests only
+// inspect what was enqueued.
 func fakeWorker(m *Manager, id string) *workerState {
 	w := &workerState{
 		id:           id,
 		hello:        proto.Hello{WorkerID: id, Resources: core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10}},
 		sendq:        make(chan outMsg, 256),
+		drops:        &m.stats.SendQueueDrops,
 		fetchSources: map[string]string{},
 		ackWaiters:   map[string][]*inflightEntry{},
 		libs:         map[string]*libInstance{},
 	}
-	m.mu.Lock()
-	m.registerWorkerLocked(w)
-	m.mu.Unlock()
+	s := m.shardFor(id)
+	s.mu.Lock()
+	s.registerWorkerLocked(w)
+	s.mu.Unlock()
+	m.router.Add(id)
 	return w
 }
 
@@ -49,8 +57,9 @@ func drainMsgs(w *workerState) []outMsg {
 func TestWorkerGoneReleasesPeerTransferSlots(t *testing.T) {
 	// A destination dying mid-peer-fetch must hand the source's
 	// transfer slot back; otherwise each crash permanently leaks one
-	// slot until pickSourceLocked excludes the source forever.
-	m := New(Options{PeerTransfers: true})
+	// slot until PickSource excludes the source forever.
+	m := New(Options{PeerTransfers: true, Shards: 1})
+	s := m.shards[0]
 	src := fakeWorker(m, "src")
 	dst := fakeWorker(m, "dst")
 	src.v.TransfersOut = 2
@@ -62,7 +71,7 @@ func TestWorkerGoneReleasesPeerTransferSlots(t *testing.T) {
 	if src.v.TransfersOut != 0 {
 		t.Errorf("source still holds %d transfer slots", src.v.TransfersOut)
 	}
-	if _, there := m.workers["dst"]; there {
+	if _, there := s.workers["dst"]; there {
 		t.Errorf("dead worker still registered")
 	}
 	if err := m.CheckQuiescence(); err != nil {
@@ -72,7 +81,7 @@ func TestWorkerGoneReleasesPeerTransferSlots(t *testing.T) {
 
 func TestWorkerGoneToleratesDeadSource(t *testing.T) {
 	// Both ends of a peer fetch dying must not panic or underflow.
-	m := New(Options{PeerTransfers: true})
+	m := New(Options{PeerTransfers: true, Shards: 1})
 	dst := fakeWorker(m, "dst")
 	dst.fetchSources["obj"] = "already-gone"
 	m.onWorkerGone(dst)
@@ -82,25 +91,26 @@ func TestWorkerGoneToleratesDeadSource(t *testing.T) {
 }
 
 func TestWorkerGoneRequeuesWithinBudget(t *testing.T) {
-	m := New(Options{PeerTransfers: true, MaxRetries: 2})
+	m := New(Options{PeerTransfers: true, MaxRetries: 2, Shards: 1})
+	s := m.shards[0]
 	lost := fakeWorker(m, "lost")
 	survivor := fakeWorker(m, "survivor")
 	task := simpleTask("requeue-me")
 	task.ID = 7
-	m.inflight[7] = &inflightEntry{worker: "lost", task: task, sentAt: time.Now()}
+	s.inflight[7] = &inflightEntry{worker: "lost", task: task, sentAt: time.Now()}
 
 	m.onWorkerGone(lost)
 
 	requeued := m.Stats().Requeued
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if requeued != 1 || m.retries[7] != 1 {
-		t.Errorf("requeued=%d retries=%d", requeued, m.retries[7])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if requeued != 1 {
+		t.Errorf("requeued=%d", requeued)
 	}
 	// The schedule pass after requeue must have placed it on the
-	// survivor, not the dead worker.
-	e := m.inflight[7]
-	if e == nil || e.worker != "survivor" {
+	// survivor, not the dead worker — carrying its spent retry budget.
+	e := s.inflight[7]
+	if e == nil || e.worker != "survivor" || e.retries != 1 {
 		t.Fatalf("inflight after requeue: %+v", e)
 	}
 	if len(drainMsgs(survivor)) == 0 {
@@ -109,14 +119,13 @@ func TestWorkerGoneRequeuesWithinBudget(t *testing.T) {
 }
 
 func TestWorkerGoneFailsWhenBudgetExhausted(t *testing.T) {
-	m := New(Options{PeerTransfers: true, MaxRetries: 1})
+	m := New(Options{PeerTransfers: true, MaxRetries: 1, Shards: 1})
+	s := m.shards[0]
 	lost := fakeWorker(m, "lost")
 	task := simpleTask("doomed")
 	task.ID = 9
-	m.inflight[9] = &inflightEntry{worker: "lost", task: task, sentAt: time.Now()}
-	m.mu.Lock()
-	m.retries[9] = 1 // budget already spent
-	m.mu.Unlock()
+	// Budget already spent: the entry carries its retry count.
+	s.inflight[9] = &inflightEntry{worker: "lost", task: task, retries: 1, sentAt: time.Now()}
 
 	m.onWorkerGone(lost)
 
@@ -129,30 +138,32 @@ func TestWorkerGoneFailsWhenBudgetExhausted(t *testing.T) {
 		t.Fatal("no failure delivered")
 	}
 	failures := m.Stats().Failures
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if failures != 1 || len(m.retries) != 0 || len(m.avoid) != 0 {
-		t.Errorf("failures=%d retries=%v avoid=%v", failures, m.retries, m.avoid)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if failures != 1 || len(s.inflight) != 0 || len(s.pendingTasks) != 0 {
+		t.Errorf("failures=%d inflight=%v pending=%v", failures, s.inflight, s.pendingTasks)
 	}
 }
 
 func TestFailedPeerFetchRestagesFromManager(t *testing.T) {
-	// A peer fetch that times out must be recovered over the manager's
-	// own link, so dispatches queued behind the copy do not all die on
-	// "input not staged".
-	m := New(Options{PeerTransfers: true})
+	// A peer fetch that fails on the assigned source and every
+	// alternate must be recovered over the manager's own link, so
+	// dispatches queued behind the copy do not all die on "input not
+	// staged".
+	m := New(Options{PeerTransfers: true, Shards: 1})
+	s := m.shards[0]
 	src := fakeWorker(m, "src")
 	dst := fakeWorker(m, "dst")
 	obj := content.NewBlob("shared", []byte("payload"))
 	fs := core.FileSpec{Object: obj, Cache: true, PeerTransfer: true}
-	m.mu.Lock()
-	m.catalog[obj.ID] = fs
+	s.mu.Lock()
+	s.m.catalogAdd(fs)
 	src.v.TransfersOut = 1
-	m.notePendingLocked(dst, obj.ID)
+	s.notePendingLocked(dst, obj.ID)
 	dst.fetchSources[obj.ID] = "src"
-	m.mu.Unlock()
+	s.mu.Unlock()
 
-	m.onFileAck(dst, proto.FileAck{ID: obj.ID, Ok: false, Err: "peer stalled"})
+	s.onFileAck(dst, proto.FileAck{ID: obj.ID, Ok: false, Err: "peer stalled"})
 
 	if src.v.TransfersOut != 0 {
 		t.Errorf("source slot not released: %d", src.v.TransfersOut)
@@ -172,15 +183,16 @@ func TestFailedPeerFetchRestagesFromManager(t *testing.T) {
 func TestFailedDirectSendDoesNotRestage(t *testing.T) {
 	// A failed direct send (cache too small) must NOT re-stage: the
 	// manager's link already failed, so resending would loop forever.
-	m := New(Options{PeerTransfers: true})
+	m := New(Options{PeerTransfers: true, Shards: 1})
+	s := m.shards[0]
 	dst := fakeWorker(m, "dst")
 	obj := content.NewBlob("big", []byte("payload"))
-	m.mu.Lock()
-	m.catalog[obj.ID] = core.FileSpec{Object: obj, Cache: true}
-	m.notePendingLocked(dst, obj.ID)
-	m.mu.Unlock()
+	s.mu.Lock()
+	s.m.catalogAdd(core.FileSpec{Object: obj, Cache: true})
+	s.notePendingLocked(dst, obj.ID)
+	s.mu.Unlock()
 
-	m.onFileAck(dst, proto.FileAck{ID: obj.ID, Ok: false, Err: "cache full"})
+	s.onFileAck(dst, proto.FileAck{ID: obj.ID, Ok: false, Err: "cache full"})
 
 	if m.Stats().Restaged != 0 {
 		t.Errorf("direct-send failure was re-staged")
@@ -193,14 +205,15 @@ func TestFailedDirectSendDoesNotRestage(t *testing.T) {
 func TestTransferTimeMeasuresDispatchToAck(t *testing.T) {
 	// TransferTime must cover dispatch→last FileAck — the wire time —
 	// not the microseconds spent enqueueing into in-memory channels.
-	m := New(Options{PeerTransfers: true})
+	m := New(Options{PeerTransfers: true, Shards: 1})
+	s := m.shards[0]
 	w := fakeWorker(m, "w")
 	obj := content.NewBlob("input", []byte("x"))
 	task := simpleTask("timed")
 	task.ID = 3
 	task.Inputs = []core.FileSpec{{Object: obj, Cache: true}}
-	m.mu.Lock()
-	m.notePendingLocked(w, obj.ID)
+	s.mu.Lock()
+	s.notePendingLocked(w, obj.ID)
 	w.v.Commit = w.v.Commit.Add(task.Resources)
 	e := &inflightEntry{
 		worker:  "w",
@@ -208,14 +221,14 @@ func TestTransferTimeMeasuresDispatchToAck(t *testing.T) {
 		sentAt:  time.Now(),
 		waiting: map[string]bool{obj.ID: true},
 	}
-	m.inflight[3] = e
+	s.inflight[3] = e
 	w.ackWaiters[obj.ID] = append(w.ackWaiters[obj.ID], e)
-	m.mu.Unlock()
+	s.mu.Unlock()
 
 	const wire = 25 * time.Millisecond
 	time.Sleep(wire)
-	m.onFileAck(w, proto.FileAck{ID: obj.ID, Ok: true, Cache: true})
-	m.onResult(w, core.Result{ID: 3, Ok: true})
+	s.onFileAck(w, proto.FileAck{ID: obj.ID, Ok: true, Cache: true})
+	s.onResult(w, core.Result{ID: 3, Ok: true})
 
 	select {
 	case res := <-m.Results():
@@ -228,60 +241,64 @@ func TestTransferTimeMeasuresDispatchToAck(t *testing.T) {
 }
 
 func TestLibraryAckAccounting(t *testing.T) {
-	m := New(Options{PeerTransfers: true})
+	m := New(Options{PeerTransfers: true, Shards: 1})
+	s := m.shards[0]
 	w := fakeWorker(m, "w")
 	spec := &core.LibrarySpec{Name: "lib", Functions: []core.FunctionSpec{{Name: "f", Source: "def f():\n    return 1\n"}}}
-	m.mu.Lock()
+	m.libMu.Lock()
 	m.libSpecs["lib"] = spec
-	m.mu.Unlock()
+	m.libMu.Unlock()
 	res := core.Resources{Cores: 8}
 	install := func() {
-		m.mu.Lock()
+		s.mu.Lock()
 		li := &libInstance{LibraryView: policy.LibraryView{Name: "lib", Slots: 1, MaxInstances: 1, Res: res}}
 		w.libs["lib"] = li
-		m.view.AddInstance(w.v, &li.LibraryView)
+		s.view.AddInstance(w.v, &li.LibraryView)
 		w.v.Commit = w.v.Commit.Add(res)
-		m.mu.Unlock()
+		s.mu.Unlock()
 	}
 
 	// Failure: the commit must be released, the instance removed, and
 	// the failure counted.
 	install()
-	m.onLibraryAck(w, proto.LibraryAck{Library: "lib", Ok: false, Err: "setup exploded"})
-	m.mu.Lock()
-	if _, there := w.libs["lib"]; there || w.v.Commit.Cores != 0 || m.libFailures["lib"] != 1 {
-		t.Errorf("after failed ack: libs=%v commit=%+v failures=%d", w.libs, w.v.Commit, m.libFailures["lib"])
+	s.onLibraryAck(w, proto.LibraryAck{Library: "lib", Ok: false, Err: "setup exploded"})
+	s.mu.Lock()
+	if _, there := w.libs["lib"]; there || w.v.Commit.Cores != 0 || s.libFailures["lib"] != 1 {
+		t.Errorf("after failed ack: libs=%v commit=%+v failures=%d", w.libs, w.v.Commit, s.libFailures["lib"])
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 
 	// Success resets the failure streak — only consecutive failures
 	// quarantine a library.
 	install()
-	m.onLibraryAck(w, proto.LibraryAck{Library: "lib", Ok: true, Instance: "lib@w#1"})
-	m.mu.Lock()
+	s.onLibraryAck(w, proto.LibraryAck{Library: "lib", Ok: true, Instance: "lib@w#1"})
+	s.mu.Lock()
 	li := w.libs["lib"]
-	if li == nil || !li.Ready || li.instance != "lib@w#1" || m.libFailures["lib"] != 0 {
-		t.Errorf("after ok ack: li=%+v failures=%d", li, m.libFailures["lib"])
+	if li == nil || !li.Ready || li.instance != "lib@w#1" || s.libFailures["lib"] != 0 {
+		t.Errorf("after ok ack: li=%+v failures=%d", li, s.libFailures["lib"])
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 }
 
 func TestRepeatedLibraryFailureFailsPendingInvocations(t *testing.T) {
-	m := New(Options{PeerTransfers: true})
+	m := New(Options{PeerTransfers: true, Shards: 1})
+	s := m.shards[0]
 	w := fakeWorker(m, "w")
 	spec := &core.LibrarySpec{Name: "bad", Functions: []core.FunctionSpec{{Name: "f", Source: "def f():\n    return 1\n"}}}
-	m.mu.Lock()
+	m.libMu.Lock()
 	m.libSpecs["bad"] = spec
-	m.enqueueInvLocked(&core.InvocationSpec{ID: 11, Library: "bad", Function: "f"})
-	m.mu.Unlock()
+	m.libMu.Unlock()
+	s.mu.Lock()
+	s.enqueueInvLocked(pendingInv{inv: &core.InvocationSpec{ID: 11, Library: "bad", Function: "f"}})
+	s.mu.Unlock()
 
 	for i := 0; i < maxLibraryFailures; i++ {
-		m.mu.Lock()
+		s.mu.Lock()
 		bi := &libInstance{LibraryView: policy.LibraryView{Name: "bad", MaxInstances: 1}}
 		w.libs["bad"] = bi
-		m.view.AddInstance(w.v, &bi.LibraryView)
-		m.mu.Unlock()
-		m.onLibraryAck(w, proto.LibraryAck{Library: "bad", Ok: false, Err: "setup exploded"})
+		s.view.AddInstance(w.v, &bi.LibraryView)
+		s.mu.Unlock()
+		s.onLibraryAck(w, proto.LibraryAck{Library: "bad", Ok: false, Err: "setup exploded"})
 	}
 
 	select {
@@ -292,24 +309,25 @@ func TestRepeatedLibraryFailureFailsPendingInvocations(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("pending invocation never failed after quarantine")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.pendingInvCount != 0 {
-		t.Errorf("%d invocations still pending for a quarantined library", m.pendingInvCount)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pendingInvCount != 0 {
+		t.Errorf("%d invocations still pending for a quarantined library", s.pendingInvCount)
 	}
 }
 
 func TestEvictEmptyAccounting(t *testing.T) {
-	m := New(Options{PeerTransfers: true, EvictEmptyLibraries: true})
+	m := New(Options{PeerTransfers: true, EvictEmptyLibraries: true, Shards: 1})
+	s := m.shards[0]
 	w := fakeWorker(m, "w")
-	m.mu.Lock()
+	s.mu.Lock()
 	res := core.Resources{Cores: 32, MemoryMB: 64 << 10, DiskMB: 64 << 10}
 	idle := &libInstance{LibraryView: policy.LibraryView{Name: "idle", Ready: true, Slots: 1, MaxInstances: 1, Res: res}}
 	w.libs["idle"] = idle
-	m.view.AddInstance(w.v, &idle.LibraryView)
+	s.view.AddInstance(w.v, &idle.LibraryView)
 	w.v.Commit = w.v.Commit.Add(res)
 
-	if !m.evictForLocked(w, "incoming", res) {
+	if !s.evictForLocked(w, "incoming", res) {
 		t.Fatalf("eviction should free the idle library")
 	}
 	if _, there := w.libs["idle"]; there || w.v.Commit.Cores != 0 {
@@ -318,25 +336,25 @@ func TestEvictEmptyAccounting(t *testing.T) {
 	if n := atomic.LoadInt64(&m.stats.LibrariesEvicted); n != 1 {
 		t.Errorf("evicted = %d", n)
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 	msgs := drainMsgs(w)
 	if len(msgs) != 1 || msgs[0].t != proto.MsgRemoveLibrary {
 		t.Errorf("expected RemoveLibrary, got %v", msgs)
 	}
 
 	// A busy instance must never be evicted.
-	m.mu.Lock()
+	s.mu.Lock()
 	busy := &libInstance{LibraryView: policy.LibraryView{Name: "busy", Ready: true, Slots: 1, SlotsUsed: 1, MaxInstances: 1, Res: res}}
 	w.libs["busy"] = busy
-	m.view.AddInstance(w.v, &busy.LibraryView)
+	s.view.AddInstance(w.v, &busy.LibraryView)
 	w.v.Commit = w.v.Commit.Add(res)
-	if m.evictForLocked(w, "incoming", res) {
+	if s.evictForLocked(w, "incoming", res) {
 		t.Errorf("evicted a library with invocations in flight")
 	}
 	if _, there := w.libs["busy"]; !there {
 		t.Errorf("busy library disappeared from the worker")
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 }
 
 func TestDeliverNeverBlocks(t *testing.T) {
@@ -371,49 +389,121 @@ func TestDeliverNeverBlocks(t *testing.T) {
 }
 
 func TestBackoffDelayProgression(t *testing.T) {
-	m := New(Options{RetryBaseDelay: 50 * time.Millisecond, RetryMaxDelay: 400 * time.Millisecond})
-	want := []time.Duration{
+	base, cap := 50*time.Millisecond, 400*time.Millisecond
+	unjittered := []time.Duration{
 		50 * time.Millisecond,
 		100 * time.Millisecond,
 		200 * time.Millisecond,
 		400 * time.Millisecond,
 		400 * time.Millisecond, // capped
 	}
-	for i, w := range want {
-		if got := m.backoffDelayLocked(i + 1); got != w {
-			t.Errorf("attempt %d: %v, want %v", i+1, got, w)
+	const specID = 42
+	var prev time.Duration
+	for i, d := range unjittered {
+		got := retryBackoff(base, cap, i+1, specID)
+		// Jitter is bounded: within [3d/4, 5d/4) of the exponential.
+		if got < d*3/4 || got >= d*5/4 {
+			t.Errorf("attempt %d: %v outside jitter band around %v", i+1, got, d)
 		}
+		// Deterministic: same (spec, attempt) → same delay, every time.
+		if again := retryBackoff(base, cap, i+1, specID); again != got {
+			t.Errorf("attempt %d: nondeterministic backoff %v vs %v", i+1, got, again)
+		}
+		// The jitter band never overlaps the next doubling, so delays
+		// still grow strictly until the cap region.
+		if i > 0 && d != unjittered[i-1] && got <= prev {
+			t.Errorf("attempt %d: delay %v did not grow past %v", i+1, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestBackoffJitterSpreadsRetryStorm(t *testing.T) {
+	// After a mass failure every affected spec retries at the same
+	// attempt number. Without jitter they would all share one delay —
+	// a synchronized retry storm. The spec-derived jitter must spread
+	// them across the band.
+	base, cap := 50*time.Millisecond, 400*time.Millisecond
+	delays := map[time.Duration]bool{}
+	for id := int64(1); id <= 32; id++ {
+		delays[retryBackoff(base, cap, 1, id)] = true
+	}
+	if len(delays) < 16 {
+		t.Errorf("32 specs share only %d distinct retry delays — storm not spread", len(delays))
+	}
+}
+
+func TestEnqueueOverflowDropsAndCounts(t *testing.T) {
+	// A worker whose outbound queue fills must be disconnected — not
+	// silently wedged — and the drop must be observable in Stats.
+	m := New(Options{Shards: 1})
+	w := fakeWorker(m, "slow")
+	// Replace the connection with a real one so the drop path can close
+	// it; fakeWorker leaves nc nil.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	w.nc = a
+	w.sendq = make(chan outMsg, 2)
+	for i := 0; i < 2; i++ {
+		w.enqueue(outMsg{t: proto.MsgRunTask, v: simpleTask("fill")})
+	}
+	if got := m.Stats().SendQueueDrops; got != 0 {
+		t.Fatalf("drops before overflow = %d", got)
+	}
+	w.enqueue(outMsg{t: proto.MsgRunTask, v: simpleTask("overflow")})
+	if got := m.Stats().SendQueueDrops; got != 1 {
+		t.Errorf("SendQueueDrops = %d, want 1", got)
+	}
+	// The connection was closed: the peer sees EOF, not a timeout.
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := b.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("peer read after overflow drop = %v, want EOF", err)
+	}
+}
+
+func TestSendQueueSizedFromSlots(t *testing.T) {
+	if small, big := sendQueueSize(1), sendQueueSize(64); small >= big {
+		t.Errorf("queue size not scaling with slots: %d vs %d", small, big)
+	}
+	if sendQueueSize(0) < 1 {
+		t.Errorf("zero-core worker must still get a usable queue")
 	}
 }
 
 func TestRetryableResultRetriesWithBackoff(t *testing.T) {
 	m := New(Options{PeerTransfers: true, MaxRetries: 3,
-		RetryBaseDelay: 10 * time.Millisecond, RetryMaxDelay: 40 * time.Millisecond})
+		RetryBaseDelay: 10 * time.Millisecond, RetryMaxDelay: 40 * time.Millisecond, Shards: 1})
+	s := m.shards[0]
 	w := fakeWorker(m, "w")
 	task := simpleTask("flaky")
 	task.ID = 5
-	m.mu.Lock()
+	s.mu.Lock()
 	w.v.Commit = w.v.Commit.Add(task.Resources)
-	m.inflight[5] = &inflightEntry{worker: "w", task: task, sentAt: time.Now()}
-	m.mu.Unlock()
+	s.inflight[5] = &inflightEntry{worker: "w", task: task, sentAt: time.Now()}
+	s.mu.Unlock()
 
-	m.onResult(w, core.Result{ID: 5, Ok: false, Retryable: true, Err: "input not staged"})
+	s.onResult(w, core.Result{ID: 5, Ok: false, Retryable: true, Err: "input not staged"})
 
 	retries := m.Stats().Retries
-	m.mu.Lock()
-	if retries != 1 || m.retries[5] != 1 || m.avoid[5] != "w" || m.backoffs != 1 {
-		t.Errorf("retries=%d avoid=%v backoffs=%d", retries, m.avoid, m.backoffs)
+	s.mu.Lock()
+	if retries != 1 || s.backoffs != 1 {
+		t.Errorf("retries=%d backoffs=%d", retries, s.backoffs)
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 
-	// After the backoff, the task must be back in flight (the only
-	// worker is the avoided one, so the fallback pass places it there).
+	// After the backoff, the task must be back in flight with its spent
+	// budget carried along (the only worker is the avoided one, so the
+	// fallback pass places it there).
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		m.mu.Lock()
-		_, inflight := m.inflight[5]
-		m.mu.Unlock()
+		s.mu.Lock()
+		e, inflight := s.inflight[5]
+		s.mu.Unlock()
 		if inflight {
+			if e.retries != 1 {
+				t.Fatalf("redispatched entry carries retries=%d, want 1", e.retries)
+			}
 			break
 		}
 		if time.Now().After(deadline) {
@@ -423,7 +513,7 @@ func TestRetryableResultRetriesWithBackoff(t *testing.T) {
 	}
 
 	// A non-retryable failure on the same path is final.
-	m.onResult(w, core.Result{ID: 5, Ok: false, Err: "NameError: boom"})
+	s.onResult(w, core.Result{ID: 5, Ok: false, Err: "NameError: boom"})
 	select {
 	case res := <-m.Results():
 		if res.Ok || res.Retryable || !strings.Contains(res.Err, "NameError") {
@@ -438,16 +528,17 @@ func TestRetryableResultRetriesWithBackoff(t *testing.T) {
 }
 
 func TestRetriesDisabledDeliversFirstFailure(t *testing.T) {
-	m := New(Options{PeerTransfers: true, MaxRetries: -1})
+	m := New(Options{PeerTransfers: true, MaxRetries: -1, Shards: 1})
+	s := m.shards[0]
 	w := fakeWorker(m, "w")
 	task := simpleTask("once")
 	task.ID = 2
-	m.mu.Lock()
+	s.mu.Lock()
 	w.v.Commit = w.v.Commit.Add(task.Resources)
-	m.inflight[2] = &inflightEntry{worker: "w", task: task, sentAt: time.Now()}
-	m.mu.Unlock()
+	s.inflight[2] = &inflightEntry{worker: "w", task: task, sentAt: time.Now()}
+	s.mu.Unlock()
 
-	m.onResult(w, core.Result{ID: 2, Ok: false, Retryable: true, Err: "infra hiccup"})
+	s.onResult(w, core.Result{ID: 2, Ok: false, Retryable: true, Err: "infra hiccup"})
 	select {
 	case res := <-m.Results():
 		if res.Ok || m.Stats().Retries != 0 {

@@ -19,16 +19,16 @@ import (
 // the lock-free observability APIs (Stats, ObjectHolders) the whole
 // time, so running under -race also checks the obsMu split.
 func TestIndexConsistencyRandomized(t *testing.T) {
-	m := New(Options{PeerTransfers: true, EvictEmptyLibraries: true})
+	m := New(Options{PeerTransfers: true, EvictEmptyLibraries: true, Shards: 1})
+	s := m.shards[0]
 	rng := rand.New(rand.NewSource(42))
 
 	libs := []string{"libA", "libB", "libC"}
 	objs := []string{"o1", "o2", "o3", "o4", "o5", "o6"}
-	m.mu.Lock()
+	specs := map[string]*core.LibrarySpec{}
 	for _, name := range libs {
-		m.libSpecs[name] = &core.LibrarySpec{Name: name, Slots: 2}
+		specs[name] = &core.LibrarySpec{Name: name, Slots: 2}
 	}
-	m.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
@@ -73,7 +73,7 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 		wantPending := map[string]int{}
 		wantLibOn := map[string]int{}
 		wantReady := map[string]map[string]bool{}
-		for id, w := range m.workers {
+		for id, w := range s.workers {
 			for obj := range w.v.Files {
 				if wantHolders[obj] == nil {
 					wantHolders[obj] = map[string]bool{}
@@ -94,11 +94,11 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 			}
 		}
 
-		if len(m.view.Holders) != len(wantHolders) {
-			t.Fatalf("step %d (%s): holders has %d objects, want %d", step, op, len(m.view.Holders), len(wantHolders))
+		if len(s.view.Holders) != len(wantHolders) {
+			t.Fatalf("step %d (%s): holders has %d objects, want %d", step, op, len(s.view.Holders), len(wantHolders))
 		}
 		for obj, set := range wantHolders {
-			got := m.view.Holders[obj]
+			got := s.view.Holders[obj]
 			if len(got) != len(set) {
 				t.Fatalf("step %d (%s): holders[%s] has %d workers, want %d", step, op, obj, len(got), len(set))
 			}
@@ -108,27 +108,27 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 				}
 			}
 		}
-		if len(m.view.PendingCopies) != len(wantPending) {
-			t.Fatalf("step %d (%s): pendingCopies has %d objects, want %d", step, op, len(m.view.PendingCopies), len(wantPending))
+		if len(s.view.PendingCopies) != len(wantPending) {
+			t.Fatalf("step %d (%s): pendingCopies has %d objects, want %d", step, op, len(s.view.PendingCopies), len(wantPending))
 		}
 		for obj, n := range wantPending {
-			if m.view.PendingCopies[obj] != n {
-				t.Fatalf("step %d (%s): pendingCopies[%s] = %d, want %d", step, op, obj, m.view.PendingCopies[obj], n)
+			if s.view.PendingCopies[obj] != n {
+				t.Fatalf("step %d (%s): pendingCopies[%s] = %d, want %d", step, op, obj, s.view.PendingCopies[obj], n)
 			}
 		}
-		if len(m.view.LibFull) != len(wantLibOn) {
-			t.Fatalf("step %d (%s): LibFull has %d libraries, want %d", step, op, len(m.view.LibFull), len(wantLibOn))
+		if len(s.view.LibFull) != len(wantLibOn) {
+			t.Fatalf("step %d (%s): LibFull has %d libraries, want %d", step, op, len(s.view.LibFull), len(wantLibOn))
 		}
 		for name, n := range wantLibOn {
-			if m.view.LibFull[name] != n {
-				t.Fatalf("step %d (%s): LibFull[%s] = %d, want %d", step, op, name, m.view.LibFull[name], n)
+			if s.view.LibFull[name] != n {
+				t.Fatalf("step %d (%s): LibFull[%s] = %d, want %d", step, op, name, s.view.LibFull[name], n)
 			}
 		}
-		if len(m.view.ReadyFree) != len(wantReady) {
-			t.Fatalf("step %d (%s): readyFree has %d libraries, want %d", step, op, len(m.view.ReadyFree), len(wantReady))
+		if len(s.view.ReadyFree) != len(wantReady) {
+			t.Fatalf("step %d (%s): readyFree has %d libraries, want %d", step, op, len(s.view.ReadyFree), len(wantReady))
 		}
 		for name, set := range wantReady {
-			got := m.view.ReadyFree[name]
+			got := s.view.ReadyFree[name]
 			if len(got) != len(set) {
 				t.Fatalf("step %d (%s): readyFree[%s] has %d workers, want %d", step, op, name, len(got), len(set))
 			}
@@ -139,17 +139,17 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 			}
 		}
 		m.obsMu.RLock()
-		counts := make(map[string]int, len(m.holderCount))
-		for obj, n := range m.holderCount {
-			counts[obj] = n
+		counts := make(map[string]int, len(m.holders))
+		for obj, hs := range m.holders {
+			counts[obj] = len(hs)
 		}
 		m.obsMu.RUnlock()
 		if len(counts) != len(wantHolders) {
-			t.Fatalf("step %d (%s): holderCount has %d objects, want %d", step, op, len(counts), len(wantHolders))
+			t.Fatalf("step %d (%s): holder registry has %d objects, want %d", step, op, len(counts), len(wantHolders))
 		}
 		for obj, set := range wantHolders {
 			if counts[obj] != len(set) {
-				t.Fatalf("step %d (%s): holderCount[%s] = %d, want %d", step, op, obj, counts[obj], len(set))
+				t.Fatalf("step %d (%s): holders[%s] = %d, want %d", step, op, obj, counts[obj], len(set))
 			}
 		}
 	}
@@ -169,7 +169,7 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 
 	const steps = 1000
 	for step := 0; step < steps; step++ {
-		m.mu.Lock()
+		s.mu.Lock()
 		op := "noop"
 		switch k := rng.Intn(12); k {
 		case 0: // join
@@ -177,40 +177,40 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 				op = "join"
 				w := newWorker(nextWorker)
 				nextWorker++
-				m.registerWorkerLocked(w)
+				s.registerWorkerLocked(w)
 				live = append(live, w)
 			}
 		case 1: // death
 			if len(live) > 1 && rng.Intn(4) == 0 {
 				op = "death"
 				i := rng.Intn(len(live))
-				m.dropWorkerLocked(live[i])
+				s.dropWorkerLocked(live[i])
 				live = append(live[:i], live[i+1:]...)
 			}
 		case 2: // stage a copy
 			if w := pickWorker(); w != nil {
 				op = "stage"
-				m.notePendingLocked(w, objs[rng.Intn(len(objs))])
+				s.notePendingLocked(w, objs[rng.Intn(len(objs))])
 			}
 		case 3: // file ack ok
 			if w := pickWorker(); w != nil {
 				op = "ack-ok"
 				obj := objs[rng.Intn(len(objs))]
-				if m.clearPendingLocked(w, obj) {
-					m.noteReplicaLocked(w, obj)
+				if s.clearPendingLocked(w, obj) {
+					s.noteReplicaLocked(w, obj)
 				}
 			}
 		case 4: // file ack failed
 			if w := pickWorker(); w != nil {
 				op = "ack-fail"
-				m.clearPendingLocked(w, objs[rng.Intn(len(objs))])
+				s.clearPendingLocked(w, objs[rng.Intn(len(objs))])
 			}
 		case 5: // deploy a library
 			if w := pickWorker(); w != nil {
 				name := libs[rng.Intn(len(libs))]
 				if w.libs[name] == nil {
 					op = "deploy"
-					m.deployLibraryLocked(w, m.libSpecs[name], core.Resources{Cores: 2})
+					s.deployLibraryLocked(w, specs[name], core.Resources{Cores: 2})
 				}
 			}
 		case 6: // library ack ok
@@ -219,7 +219,7 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 				if li := w.libs[name]; li != nil && !li.Ready && !li.Failed {
 					op = "lib-ok"
 					li.Ready = true
-					m.libSlotsChangedLocked(w, li)
+					s.libSlotsChangedLocked(w, li)
 				}
 			}
 		case 7: // library ack failed
@@ -229,14 +229,14 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 					op = "lib-fail"
 					li.Failed = true
 					delete(w.libs, name)
-					m.view.RemoveLibrary(w.v, name)
+					s.view.RemoveLibrary(w.v, name)
 				}
 			}
 		case 8: // place an invocation on a ready instance
 			name := libs[rng.Intn(len(libs))]
 			inv := &core.InvocationSpec{ID: nextInv, Library: name}
 			nextInv++
-			if m.placeInvocationOnReadyLocked(inv, nil) {
+			if s.placeInvocationOnReadyLocked(pendingInv{inv: inv}, nil) {
 				op = "place"
 			}
 		case 9: // invocation result frees a slot
@@ -245,7 +245,7 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 				if li := w.libs[name]; li != nil && li.SlotsUsed > 0 {
 					op = "result"
 					li.SlotsUsed--
-					m.libSlotsChangedLocked(w, li)
+					s.libSlotsChangedLocked(w, li)
 				}
 			}
 		case 10: // evict everything idle on one worker
@@ -253,18 +253,18 @@ func TestIndexConsistencyRandomized(t *testing.T) {
 				op = "evict"
 				for name, li := range w.libs {
 					if li.Ready && li.SlotsUsed == 0 {
-						m.evictLibraryLocked(w, name)
+						s.evictLibraryLocked(w, name)
 					}
 				}
 			}
 		case 11: // spurious clear (retry path re-acking an unknown copy)
 			if w := pickWorker(); w != nil {
 				op = "spurious-clear"
-				m.clearPendingLocked(w, "unknown-object")
+				s.clearPendingLocked(w, "unknown-object")
 			}
 		}
 		verify(step, op)
 		drain()
-		m.mu.Unlock()
+		s.mu.Unlock()
 	}
 }

@@ -5,10 +5,21 @@
 // of workers, evicts empty libraries to reclaim resources (§3.5.2),
 // and retrieves results.
 //
-// Scheduling is incremental: every event records which queues it could
-// unblock (dirty marks, index.go) and the wake loop runs one coalesced
-// pass over exactly those queues, instead of rescanning every pending
-// spec against every worker after every event.
+// The dispatch plane is sharded (DESIGN.md §12): worker state is
+// partitioned across N shards, each with its own scheduler lock, event
+// loop, and dirty-mark/coalesced-wake machinery. Every spec is routed
+// to exactly one shard at submission (internal/shardplane owns the
+// routing rules, shared with the simulator's sharded replay driver).
+// Cross-shard concerns — spec routing, evacuating a shard that lost
+// its last worker, parked work meeting its first worker — go through
+// explicit message paths that never hold two shard locks at once.
+//
+// Within a shard, scheduling is incremental: every event records which
+// queues it could unblock (dirty marks, index.go) and the wake loop
+// runs one coalesced pass over exactly those queues. Each pass plans
+// placements in batches — one policy call plans K placements with
+// strict sequential equivalence (internal/policy batch entry points) —
+// so pass setup amortizes over the queue.
 package manager
 
 import (
@@ -22,12 +33,18 @@ import (
 	"repro/internal/core"
 	"repro/internal/policy"
 	"repro/internal/proto"
+	"repro/internal/shardplane"
 )
 
 // Options configures a manager.
 type Options struct {
 	// Name labels the manager (logs only).
 	Name string
+	// Shards partitions the dispatch plane (DESIGN.md §12): worker
+	// state splits across this many independent scheduler shards, each
+	// with its own lock, event loop, and dirty marks. Zero defaults to
+	// shardplane.DefaultShards; 1 recovers the single-loop manager.
+	Shards int
 	// PeerTransfers enables worker-to-worker distribution (Figure 3b);
 	// off means every byte flows from the manager (Figure 3a).
 	PeerTransfers bool
@@ -51,19 +68,25 @@ type Options struct {
 	MaxRetries int
 	// RetryBaseDelay is the backoff before the first retry of a failed
 	// (but retryable) result; it doubles on each subsequent retry up
-	// to RetryMaxDelay. Zero defaults to 50ms. Crash requeues skip the
-	// backoff — the failed worker is already gone.
+	// to RetryMaxDelay, with a deterministic spec-derived jitter so a
+	// mass failure does not retry in lockstep. Zero defaults to 50ms.
+	// Crash requeues skip the backoff — the failed worker is already
+	// gone.
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps the exponential backoff. Zero defaults to 2s.
 	RetryMaxDelay time.Duration
-	// DecisionTrace, when set, records every scheduling decision the
-	// policy core hands this manager (differential and golden tests).
-	// nil — the default — keeps tracing entirely off the hot path.
+	// DecisionTrace, when set, enables decision tracing (differential
+	// and golden tests). With Shards == 1 every decision lands in this
+	// recorder — the legacy single-loop contract. With Shards > 1 each
+	// shard records into its own internal recorder (interleaving all
+	// shards into one recorder would be nondeterministic); read them
+	// with ShardDecisions or MergedDecisions. nil — the default —
+	// keeps tracing entirely off the hot path.
 	DecisionTrace *policy.Recorder
 }
 
 // Stats counts manager-side activity for tests and experiments. All
-// fields are maintained with atomic adds so Stats() never takes the
+// fields are maintained with atomic adds so Stats() never takes a
 // scheduler lock.
 type Stats struct {
 	DirectTransfers   int64 // manager→worker file sends
@@ -79,20 +102,91 @@ type Stats struct {
 	SchedulePasses    int64 // coalesced scheduling passes executed
 	CoalescedWakeups  int64 // wakeups absorbed by an already-running pass
 	WorkerLogs        int64 // worker-side diagnostics received (MsgLog), e.g. protocol decode errors
+	SendQueueDrops    int64 // worker connections dropped because their outbound queue overflowed
+	ShardForwards     int64 // specs moved across shards (evacuation, parked work meeting its first worker)
 }
 
-// Manager coordinates workers.
+// Manager coordinates workers across the sharded dispatch plane.
 type Manager struct {
 	opts Options
 	ln   net.Listener
 
+	// shards partition all worker and spec state; router owns the
+	// worker→shard and spec→shard routing rules (shared with the
+	// simulator's sharded replay driver).
+	shards []*shard
+	router *shardplane.Router
+
+	// libMu guards the registered-library table, read by every shard's
+	// validation path and written only by RegisterLibrary.
+	libMu    sync.RWMutex
+	libSpecs map[string]*core.LibrarySpec
+
+	nextID atomic.Int64
+	closed atomic.Bool
+	stats  Stats
+
+	// obsMu guards the global replica registry: which workers hold a
+	// confirmed copy of each object (holders), and the live-worker
+	// table with each worker's cross-shard outbound transfer count
+	// (peers). Shards maintain it with per-transition deltas; it backs
+	// both ObjectHolders and cross-shard peer sourcing — a shard whose
+	// own view has no holder of an object can still assign a peer
+	// fetch from a holder in another shard (transport-level, outside
+	// the policy trace).
+	obsMu   sync.RWMutex
+	holders map[string]map[string]bool
+	peers   map[string]*peerSource
+
+	// catMu guards the global staging catalog: every FileSpec any
+	// shard has staged, so a failed peer fetch — or a deploy planned
+	// in a shard that never staged the object — can always recover
+	// from the manager's own link.
+	catMu   sync.RWMutex
+	catalog map[string]core.FileSpec
+
+	// starveMu guards the set of starving shards: shards resting
+	// queued work that cannot place locally and that no local event
+	// will unblock. Any capacity-freeing event anywhere (a result, a
+	// ready instance, membership change) nudges them — the
+	// shard-crossing signal replacing the single loop's global view
+	// of freed capacity. nStarving mirrors the set size so the hot
+	// path pays one atomic load when the set is empty.
+	starveMu  sync.Mutex
+	starving  map[int]bool
+	nStarving atomic.Int32
+
+	results chan core.Result
+	wg      sync.WaitGroup
+}
+
+// peerSource is a live worker's entry in the global replica registry:
+// the connection (for its data address and send queue) plus how many
+// cross-shard peer fetches it is currently serving. Local-shard
+// transfer slots are accounted in the shard's policy view; cross-shard
+// assignments use this counter, under the same cap.
+type peerSource struct {
+	w   *workerState
+	out int
+}
+
+// shard is one partition of the dispatch plane: a worker table, a
+// policy view over exactly those workers, the spec queues routed here,
+// and the dirty-mark/coalesced-wake scheduler that drains them. All
+// mutable state below mu is touched only with mu held; shards never
+// take each other's locks (cross-shard movement goes through the
+// coordinator with at most one shard lock held at a time).
+type shard struct {
+	m   *Manager
+	idx int
+
 	mu          sync.Mutex
 	workers     map[string]*workerState
-	libSpecs    map[string]*core.LibrarySpec
 	libFailures map[string]int
 	// libInfraFailures counts consecutive retryable (infrastructure)
 	// deployment failures per library, bounded separately from
-	// broken-setup failures.
+	// broken-setup failures. Like libFailures it is per shard: a
+	// library quarantines independently in each partition.
 	libInfraFailures map[string]int
 	// installing counts library instances deployed but not yet acked,
 	// per library. Each queued invocation claims one in-flight install
@@ -104,34 +198,23 @@ type Manager struct {
 	// pendingInvs queues invocations per library, so an event touching
 	// one library reconsiders only that library's queue. Order within a
 	// queue is submission order.
-	pendingInvs     map[string][]*core.InvocationSpec
+	pendingInvs     map[string][]pendingInv
 	pendingInvCount int
 	inflight        map[int64]*inflightEntry
-	// retries counts, per spec ID, how many times the work has been
-	// re-dispatched (crash requeues + retryable failures).
-	retries map[int64]int
-	// avoid remembers the worker a spec last failed on, so the retry
-	// prefers a different placement when one exists.
-	avoid map[int64]string
-	// catalog remembers every FileSpec the manager has staged, so a
-	// failed peer fetch can be recovered by re-staging the object from
-	// the manager's own link.
-	catalog map[string]core.FileSpec
 	// backoffs counts retries sitting in their backoff timers — work
 	// that is in neither pendingTasks/pendingInvs nor inflight.
 	backoffs int
-	nextID   int64
-	stats    Stats
-	closed   bool
 
 	// ---- scheduler view (policy core) ----
 
 	// view is the cluster snapshot every scheduling decision reads: the
-	// worker table, the placement ring, and the derived indexes
+	// shard's worker table, its placement ring, and the derived indexes
 	// (Holders, PendingCopies, ReadyFree, LibFull). index.go keeps it
 	// current; internal/policy decides against it; schedule.go executes.
+	// Peer-transfer sources are shard-local by construction: PickSource
+	// only sees this shard's holders.
 	view *policy.ClusterView
-	// rec, when non-nil, records the decision trace (Options.DecisionTrace).
+	// rec, when non-nil, records this shard's decision trace.
 	rec *policy.Recorder
 	// objWaiters: object ID → queues blocked on its first copy.
 	objWaiters map[string]*objWaiter
@@ -140,22 +223,33 @@ type Manager struct {
 	dirtyTasks   bool
 	dirtyAllLibs bool
 	dirtyLibs    map[string]bool
-	scheduling   bool
-
-	// obsMu guards holderCount so ObjectHolders reads never contend
-	// with the scheduler.
-	obsMu       sync.RWMutex
-	holderCount map[string]int
-
-	results chan core.Result
-	wg      sync.WaitGroup
+	// libScratch is the wake loop's reusable sorted-key buffer for
+	// dirtyLibs — the map and this slice are retained across passes so
+	// the steady-state pass allocates nothing.
+	libScratch []string
+	scheduling bool
 }
 
-// pendingTask pairs a queued task with its precomputed ring key, so
-// placement attempts never re-format it.
+// pendingTask pairs a queued task with its precomputed ring key and
+// its retry state. The retry count and avoid preference travel with
+// the spec so it can migrate between shards without losing them.
 type pendingTask struct {
-	t   *core.TaskSpec
-	key string
+	t       *core.TaskSpec
+	key     string
+	retries int
+	avoid   string
+	// hops counts overflow forwards across shards (not evacuations):
+	// a spec no shard can place stops circulating after visiting every
+	// shard, until a membership change or a starvation nudge resets it.
+	hops int
+}
+
+// pendingInv pairs a queued invocation with its retry state.
+type pendingInv struct {
+	inv     *core.InvocationSpec
+	retries int
+	avoid   string
+	hops    int
 }
 
 type inflightEntry struct {
@@ -164,6 +258,7 @@ type inflightEntry struct {
 	ringKey string // tasks only: consistent-hash key, reused on requeue
 	task    *core.TaskSpec
 	inv     *core.InvocationSpec
+	retries int // re-dispatches so far (crash requeues + retryable failures)
 	sentAt  time.Time
 	// waiting holds object IDs staged for this dispatch whose FileAck
 	// has not arrived yet; the last ack stamps the transfer duration.
@@ -186,6 +281,9 @@ type workerState struct {
 	conn  *proto.Conn
 	nc    net.Conn
 	sendq chan outMsg
+	// drops points at the shared Stats.SendQueueDrops counter so a
+	// queue-overflow disconnect is counted, not silent.
+	drops *int64
 	// v is this worker's entry in the policy view: resources, cached
 	// and in-flight files, transfer slots, liveness. index.go binds it
 	// at registration and every handler reports transitions through it.
@@ -208,8 +306,26 @@ type libInstance struct {
 	served   int64
 }
 
+// sendQueueSize derives a worker's outbound queue depth from its slot
+// count: each occupied slot can have a dispatch, its staging messages,
+// and a few control frames outstanding, with generous headroom for
+// bursts. The old flat 16384 wasted memory on small workers and still
+// had no principled relation to how much the scheduler can reasonably
+// have in flight to one worker.
+func sendQueueSize(cores int) int {
+	const perSlot, floor = 128, 1024
+	n := cores * perSlot
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
 // New creates a manager with defaults applied.
 func New(opts Options) *Manager {
+	if opts.Shards <= 0 {
+		opts.Shards = shardplane.DefaultShards
+	}
 	if opts.PeerTransferCap <= 0 {
 		opts.PeerTransferCap = 3
 	}
@@ -225,35 +341,79 @@ func New(opts Options) *Manager {
 	if opts.RetryMaxDelay <= 0 {
 		opts.RetryMaxDelay = 2 * time.Second
 	}
-	return &Manager{
-		opts:             opts,
-		workers:          map[string]*workerState{},
-		libSpecs:         map[string]*core.LibrarySpec{},
-		libFailures:      map[string]int{},
-		libInfraFailures: map[string]int{},
-		installing:       map[string]int{},
-		pendingInvs:      map[string][]*core.InvocationSpec{},
-		inflight:         map[int64]*inflightEntry{},
-		retries:          map[int64]int{},
-		avoid:            map[int64]string{},
-		catalog:          map[string]core.FileSpec{},
-		view: policy.NewClusterView(policy.Options{
-			PeerTransfers:       opts.PeerTransfers,
-			PeerTransferCap:     opts.PeerTransferCap,
-			ClusterAware:        opts.ClusterAware,
-			EvictEmptyLibraries: opts.EvictEmptyLibraries,
-		}),
-		rec:         opts.DecisionTrace,
-		objWaiters:  map[string]*objWaiter{},
-		holderCount: map[string]int{},
-		results:     make(chan core.Result, opts.ResultBuffer),
+	m := &Manager{
+		opts:     opts,
+		router:   shardplane.NewRouter(opts.Shards),
+		libSpecs: map[string]*core.LibrarySpec{},
+		holders:  map[string]map[string]bool{},
+		peers:    map[string]*peerSource{},
+		catalog:  map[string]core.FileSpec{},
+		starving: map[int]bool{},
+		results:  make(chan core.Result, opts.ResultBuffer),
 	}
+	m.shards = make([]*shard, opts.Shards)
+	for i := range m.shards {
+		var rec *policy.Recorder
+		if opts.DecisionTrace != nil {
+			if opts.Shards == 1 {
+				rec = opts.DecisionTrace
+			} else {
+				rec = &policy.Recorder{}
+			}
+		}
+		m.shards[i] = &shard{
+			m:                m,
+			idx:              i,
+			workers:          map[string]*workerState{},
+			libFailures:      map[string]int{},
+			libInfraFailures: map[string]int{},
+			installing:       map[string]int{},
+			pendingInvs:      map[string][]pendingInv{},
+			inflight:         map[int64]*inflightEntry{},
+			view: policy.NewClusterView(policy.Options{
+				PeerTransfers:       opts.PeerTransfers,
+				PeerTransferCap:     opts.PeerTransferCap,
+				ClusterAware:        opts.ClusterAware,
+				EvictEmptyLibraries: opts.EvictEmptyLibraries,
+			}),
+			rec:        rec,
+			objWaiters: map[string]*objWaiter{},
+		}
+	}
+	return m
 }
 
 // NewDefault creates a manager with peer transfers and empty-library
 // eviction enabled — the paper's recommended configuration.
 func NewDefault() *Manager {
 	return New(Options{PeerTransfers: true, EvictEmptyLibraries: true})
+}
+
+// shardFor returns a worker's home shard — a pure function of its ID.
+func (m *Manager) shardFor(workerID string) *shard {
+	return m.shards[m.router.ShardOf(workerID)]
+}
+
+// Shards reports the dispatch plane's partition count.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// ShardDecisions returns each shard's recorded decision trace, in
+// shard-index order. Empty unless Options.DecisionTrace was set.
+func (m *Manager) ShardDecisions() [][]string {
+	out := make([][]string, len(m.shards))
+	for i, s := range m.shards {
+		if s.rec != nil {
+			out[i] = append([]string(nil), s.rec.Decisions...)
+		}
+	}
+	return out
+}
+
+// MergedDecisions returns the per-shard decision traces merged by the
+// deterministic rule shared with the simulator's sharded replay
+// (shardplane.MergeTraces: concatenation in shard-index order).
+func (m *Manager) MergedDecisions() []string {
+	return shardplane.MergeTraces(m.ShardDecisions())
 }
 
 // Listen starts accepting worker connections on 127.0.0.1 and returns
@@ -285,7 +445,7 @@ func (m *Manager) Listen() (string, error) {
 // Results is the stream of completed task/invocation results.
 func (m *Manager) Results() <-chan core.Result { return m.results }
 
-// Stats returns a snapshot of manager counters without touching the
+// Stats returns a snapshot of manager counters without touching any
 // scheduler lock.
 func (m *Manager) Stats() Stats {
 	return Stats{
@@ -302,14 +462,14 @@ func (m *Manager) Stats() Stats {
 		SchedulePasses:    atomic.LoadInt64(&m.stats.SchedulePasses),
 		CoalescedWakeups:  atomic.LoadInt64(&m.stats.CoalescedWakeups),
 		WorkerLogs:        atomic.LoadInt64(&m.stats.WorkerLogs),
+		SendQueueDrops:    atomic.LoadInt64(&m.stats.SendQueueDrops),
+		ShardForwards:     atomic.LoadInt64(&m.stats.ShardForwards),
 	}
 }
 
 // WorkersConnected returns the number of live workers.
 func (m *Manager) WorkersConnected() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.workers)
+	return m.router.Live()
 }
 
 // WaitForWorkers blocks until at least n workers are connected or the
@@ -329,16 +489,16 @@ func (m *Manager) WaitForWorkers(n int, timeout time.Duration) error {
 
 // Shutdown stops the manager and tells all workers to exit.
 func (m *Manager) Shutdown() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Swap(true) {
 		return
 	}
-	m.closed = true
-	for _, id := range core.SortedKeys(m.workers) {
-		m.workers[id].enqueue(outMsg{t: proto.MsgShutdown, v: struct{}{}})
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for _, id := range core.SortedKeys(s.workers) {
+			s.workers[id].enqueue(outMsg{t: proto.MsgShutdown, v: struct{}{}})
+		}
+		s.mu.Unlock()
 	}
-	m.mu.Unlock()
 	if m.ln != nil {
 		m.ln.Close()
 	}
@@ -353,8 +513,8 @@ func (m *Manager) RegisterLibrary(spec *core.LibrarySpec) error {
 	if len(spec.Functions) == 0 {
 		return fmt.Errorf("manager: library %q has no functions", spec.Name)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.libMu.Lock()
+	defer m.libMu.Unlock()
 	if _, dup := m.libSpecs[spec.Name]; dup {
 		return fmt.Errorf("manager: library %q already registered", spec.Name)
 	}
@@ -362,27 +522,75 @@ func (m *Manager) RegisterLibrary(spec *core.LibrarySpec) error {
 	return nil
 }
 
+// libSpec looks up a registered library.
+func (m *Manager) libSpec(name string) (*core.LibrarySpec, bool) {
+	m.libMu.RLock()
+	spec, ok := m.libSpecs[name]
+	m.libMu.RUnlock()
+	return spec, ok
+}
+
+// ---- spec routing (the cross-shard submit path) ----
+
 // Submit enqueues a stateless task and returns its ID.
 func (m *Manager) Submit(t *core.TaskSpec) int64 {
-	m.mu.Lock()
-	m.nextID++
-	t.ID = m.nextID
-	m.pendingTasks = append(m.pendingTasks, pendingTask{t: t, key: taskRingKey(t.ID)})
-	m.markTasksDirtyLocked()
-	m.mu.Unlock()
-	m.wake()
+	t.ID = m.nextID.Add(1)
+	m.routeTask(pendingTask{t: t, key: taskRingKey(t.ID)})
 	return t.ID
 }
 
 // SubmitInvocation enqueues a FunctionCall and returns its ID.
 func (m *Manager) SubmitInvocation(inv *core.InvocationSpec) int64 {
-	m.mu.Lock()
-	m.nextID++
-	inv.ID = m.nextID
-	m.enqueueInvLocked(inv)
-	m.mu.Unlock()
-	m.wake()
+	inv.ID = m.nextID.Add(1)
+	m.routeInv(pendingInv{inv: inv})
 	return inv.ID
+}
+
+// routeTask delivers a task to the shard owning its ring key — or, in
+// an empty cluster, parks it in the key's home shard until the first
+// worker joins (shardplane routing rules).
+func (m *Manager) routeTask(pt pendingTask) {
+	idx, ok := m.router.Owner(pt.key)
+	if !ok {
+		idx = m.router.Park(pt.key)
+	}
+	s := m.shards[idx]
+	s.mu.Lock()
+	s.pendingTasks = append(s.pendingTasks, pt)
+	s.markTasksDirtyLocked()
+	s.mu.Unlock()
+	s.wake()
+}
+
+// routeInv delivers an invocation to a live shard by round-robin over
+// its spec ID — invocations of one library are interchangeable, so
+// spreading them across shards is pure load balancing. In an empty
+// cluster it parks in the library's home shard.
+func (m *Manager) routeInv(pi pendingInv) {
+	idx, ok := m.router.RouteSpec(pi.inv.ID)
+	if !ok {
+		idx = m.router.Park(pi.inv.Library)
+	}
+	s := m.shards[idx]
+	s.mu.Lock()
+	s.enqueueInvLocked(pi)
+	s.mu.Unlock()
+	s.wake()
+}
+
+// forwardInvQueue moves one library's whole pending queue into a
+// target shard, preserving order. Whole-queue moves (rather than
+// per-spec re-routing) are the rule the simulator's sharded replay can
+// mirror exactly — its invocation pool is keyless.
+func (m *Manager) forwardInvQueue(idx int, lib string, q []pendingInv) {
+	s := m.shards[idx]
+	s.mu.Lock()
+	s.pendingInvs[lib] = append(s.pendingInvs[lib], q...)
+	s.pendingInvCount += len(q)
+	s.markLibDirtyLocked(lib)
+	s.mu.Unlock()
+	atomic.AddInt64(&m.stats.ShardForwards, int64(len(q)))
+	s.wake()
 }
 
 // Collect drains n results from the result stream.
@@ -407,8 +615,55 @@ func (w *workerState) enqueue(msg outMsg) {
 	case w.sendq <- msg:
 	default:
 		// Queue full: drop the connection rather than deadlock the
-		// scheduler; the reader loop will clean up.
+		// scheduler; the reader loop will clean up. Count and log the
+		// drop — a silent disconnect here looks exactly like a worker
+		// crash from the outside and is otherwise undiagnosable.
+		if w.drops != nil {
+			atomic.AddInt64(w.drops, 1)
+		}
+		log.Printf("manager: worker %s outbound queue full (%d); dropping connection", w.id, cap(w.sendq))
 		w.nc.Close()
+	}
+}
+
+// adoptWorker registers a connected worker in its home shard and the
+// routing fabric. It reports false (without registering) for duplicate
+// IDs or a closed manager.
+func (m *Manager) adoptWorker(w *workerState) bool {
+	s := m.shardFor(w.id)
+	s.mu.Lock()
+	if _, dup := s.workers[w.id]; dup || m.closed.Load() {
+		s.mu.Unlock()
+		return false
+	}
+	s.registerWorkerLocked(w)
+	// Fresh capacity: pending tasks and every waiting library queue in
+	// this shard may now be placeable here.
+	s.wakeCapacityLocked()
+	s.mu.Unlock()
+	m.peerAdd(w)
+	m.router.Add(w.id)
+	s.wake()
+	// Parked work in workerless shards can now be evacuated here, and
+	// work starving in shards this worker doesn't belong to gets its
+	// overflow hop budget back so it can reach the new capacity.
+	m.wakeParked()
+	m.nudgeStarving()
+	return true
+}
+
+// wakeParked nudges every workerless shard holding queued specs: its
+// wake loop will evacuate them to live shards (shard-crossing path).
+func (m *Manager) wakeParked() {
+	for _, s := range m.shards {
+		s.mu.Lock()
+		if len(s.workers) == 0 && s.hasPendingLocked() {
+			s.wakeCapacityLocked()
+			s.mu.Unlock()
+			s.wake()
+			continue
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -430,68 +685,82 @@ func (m *Manager) serveWorker(nc net.Conn) {
 		hello:        hello,
 		conn:         conn,
 		nc:           nc,
-		sendq:        make(chan outMsg, 16384),
+		sendq:        make(chan outMsg, sendQueueSize(hello.Resources.Cores)),
+		drops:        &m.stats.SendQueueDrops,
 		fetchSources: map[string]string{},
 		ackWaiters:   map[string][]*inflightEntry{},
 		libs:         map[string]*libInstance{},
 	}
 
-	m.mu.Lock()
-	if _, dup := m.workers[w.id]; dup || m.closed {
-		m.mu.Unlock()
+	if !m.adoptWorker(w) {
 		nc.Close()
 		return
 	}
-	m.registerWorkerLocked(w)
-	// Fresh capacity: pending tasks and every waiting library queue may
-	// now be placeable here.
-	m.wakeCapacityLocked()
-	m.mu.Unlock()
+	s := m.shardFor(w.id)
 
 	// Sender goroutine drains the queue so scheduling never blocks on
-	// TCP backpressure.
+	// TCP backpressure. Frames are coalesced: a burst of queued
+	// messages is encoded into the connection's pending buffer and
+	// flushed in one write syscall once the queue runs momentarily dry.
 	done := make(chan struct{})
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
 		for {
+			var msg outMsg
 			select {
-			case msg := <-w.sendq:
+			case msg = <-w.sendq:
+			case <-done:
+				return
+			}
+			for {
 				var err error
 				if msg.bulk {
+					// SendBulk drains the pending buffer first, so
+					// ordering with buffered frames is preserved.
 					err = conn.SendBulk(msg.t, msg.v, msg.payload)
 				} else {
-					err = conn.Send(msg.t, msg.v)
+					err = conn.Buffer(msg.t, msg.v)
 				}
 				if err != nil {
 					nc.Close()
 					return
 				}
-			case <-done:
+				select {
+				case msg = <-w.sendq:
+					continue
+				default:
+				}
+				break
+			}
+			if err := conn.Flush(); err != nil {
+				nc.Close()
 				return
 			}
 		}
 	}()
 
-	m.wake()
+	s.wake()
 
 	for {
-		t, raw, err := conn.Recv()
+		// RecvReuse: every case decodes (copying what it keeps) before
+		// the next receive; nothing below retains the raw payload.
+		t, raw, err := conn.RecvReuse()
 		if err != nil {
 			break
 		}
 		switch t {
 		case proto.MsgFileAck:
 			if ack, err := proto.Decode[proto.FileAck](raw); err == nil {
-				m.onFileAck(w, ack)
+				s.onFileAck(w, ack)
 			}
 		case proto.MsgLibraryAck:
 			if ack, err := proto.Decode[proto.LibraryAck](raw); err == nil {
-				m.onLibraryAck(w, ack)
+				s.onLibraryAck(w, ack)
 			}
 		case proto.MsgResult:
-			if res, err := proto.Decode[core.Result](raw); err == nil {
-				m.onResult(w, res)
+			if res, err := proto.DecodeResult(raw); err == nil {
+				s.onResult(w, res)
 			}
 		case proto.MsgLog:
 			// Worker-side diagnostics (today: protocol decode errors the
@@ -508,23 +777,42 @@ func (m *Manager) serveWorker(nc net.Conn) {
 	nc.Close()
 }
 
+// onWorkerGone tears down a dead worker in its home shard. Crash
+// requeues stay in the shard (the rule the simulator's sharded replay
+// mirrors); if the shard just lost its last worker, its wake loop
+// evacuates the queues to live shards.
+// releaseSourceSlotLocked returns a peer-fetch source's transfer
+// slot: a live local source's slot lives in the shard view; anything
+// else — a holder in another shard — is accounted in the global
+// registry (a no-op if that holder died).
+func (s *shard) releaseSourceSlotLocked(src string) {
+	if sw, live := s.workers[src]; live {
+		if sw.v.TransfersOut > 0 {
+			sw.v.TransfersOut--
+		}
+		return
+	}
+	s.m.releaseRemoteSource(src)
+}
+
 func (m *Manager) onWorkerGone(w *workerState) {
-	m.mu.Lock()
+	m.router.Remove(w.id)
+	m.peerDrop(w.id)
+	s := m.shardFor(w.id)
+	s.mu.Lock()
 	// The dead worker may have been the destination of in-flight peer
 	// fetches: release each source's transfer slot, or the sources are
-	// bled dry one crash at a time until pickSourceLocked permanently
+	// bled dry one crash at a time until PickSource permanently
 	// excludes them and the spanning tree degrades to manager-only
 	// sends.
 	for id, src := range w.fetchSources { //vinelint:unordered slot releases commute; each entry touches a distinct record
 		delete(w.fetchSources, id)
-		if sw, live := m.workers[src]; live && sw.v.TransfersOut > 0 {
-			sw.v.TransfersOut--
-		}
+		s.releaseSourceSlotLocked(src)
 	}
 	// Drop the worker from every index (replicas, ready instances,
 	// in-flight copies — waking placements queued behind a first copy
 	// that will now never confirm).
-	m.dropWorkerLocked(w)
+	s.dropWorkerLocked(w)
 	// Requeue everything that was running there, within each spec's
 	// retry budget; a spec that has already exhausted it fails instead
 	// of bouncing between crashing workers forever. Requeue in
@@ -533,70 +821,67 @@ func (m *Manager) onWorkerGone(w *workerState) {
 	// differential fidelity harness (and anyone replaying a decision
 	// trace) cannot tolerate.
 	var lost []int64
-	for _, id := range core.SortedKeys(m.inflight) {
-		if m.inflight[id].worker == w.id {
+	for _, id := range core.SortedKeys(s.inflight) {
+		if s.inflight[id].worker == w.id {
 			lost = append(lost, id)
 		}
 	}
 	for _, id := range lost {
-		e := m.inflight[id]
-		delete(m.inflight, id)
-		if m.opts.MaxRetries >= 0 && m.retries[id] < m.opts.MaxRetries {
-			m.retries[id]++
-			m.avoid[id] = w.id
+		e := s.inflight[id]
+		delete(s.inflight, id)
+		if m.opts.MaxRetries >= 0 && e.retries < m.opts.MaxRetries {
+			e.retries++
 			atomic.AddInt64(&m.stats.Requeued, 1)
 			if e.task != nil {
-				m.pendingTasks = append(m.pendingTasks, pendingTask{t: e.task, key: e.ringKey})
-				m.markTasksDirtyLocked()
+				s.pendingTasks = append(s.pendingTasks, pendingTask{t: e.task, key: e.ringKey, retries: e.retries, avoid: w.id})
+				s.markTasksDirtyLocked()
 			} else if e.inv != nil {
-				m.enqueueInvLocked(e.inv)
+				s.enqueueInvLocked(pendingInv{inv: e.inv, retries: e.retries, avoid: w.id})
 			}
 			continue
 		}
 		atomic.AddInt64(&m.stats.Failures, 1)
-		delete(m.retries, id)
-		delete(m.avoid, id)
 		m.deliver(core.Result{ID: id, Ok: false,
 			Err: fmt.Sprintf("manager: worker %s lost and retry budget exhausted", w.id)})
 	}
 	// Losing a worker changes the ring; anything whose placement was
 	// pinned behind this worker's state gets another look.
-	m.wakeCapacityLocked()
-	m.mu.Unlock()
-	m.wake()
+	s.wakeCapacityLocked()
+	s.mu.Unlock()
+	s.wake()
+	// Membership changed: overflow targets and ring ownership moved,
+	// so rested work elsewhere gets its hop budget back.
+	m.nudgeStarving()
 }
 
-func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
-	m.mu.Lock()
-	m.clearPendingLocked(w, ack.ID)
+func (s *shard) onFileAck(w *workerState, ack proto.FileAck) {
+	s.mu.Lock()
+	s.clearPendingLocked(w, ack.ID)
 	src, fromPeer := w.fetchSources[ack.ID]
 	if fromPeer {
 		delete(w.fetchSources, ack.ID)
-		if sw, live := m.workers[src]; live && sw.v.TransfersOut > 0 {
-			sw.v.TransfersOut--
-		}
+		s.releaseSourceSlotLocked(src)
 	} else if ack.Source != "" {
 		// The worker echoes the source the fetch was assigned
 		// (proto.FetchFile.Source), so a fetch the manager no longer
 		// tracks — its record displaced by recovery — still returns the
 		// source's transfer slot instead of bleeding it.
 		fromPeer = true
-		if sw, live := m.workers[ack.Source]; live && sw.v.TransfersOut > 0 {
-			sw.v.TransfersOut--
-		}
+		s.releaseSourceSlotLocked(ack.Source)
 	}
 	if ack.Ok && ack.Cache {
-		m.noteReplicaLocked(w, ack.ID)
+		s.noteReplicaLocked(w, ack.ID)
 	}
 	restaged := false
 	if !ack.Ok && fromPeer && w.v.Alive {
-		// The peer fetch failed — stalled source, vanished source, or
-		// timeout. The manager's own link is always a valid source:
+		// The peer fetch failed on every source the data plane tried —
+		// the assigned one and the alternates it retried on its own
+		// (§4.3). The manager's own link is always a valid source:
 		// re-stage directly rather than leaving every dispatch behind
 		// this copy to die on "input not staged".
-		if fs, known := m.catalog[ack.ID]; known {
-			m.directSendLocked(w, fs)
-			atomic.AddInt64(&m.stats.Restaged, 1)
+		if fs, known := s.m.catalogGet(ack.ID); known {
+			s.directSendLocked(w, fs)
+			atomic.AddInt64(&s.m.stats.Restaged, 1)
 			restaged = true
 		}
 	}
@@ -619,9 +904,9 @@ func (m *Manager) onFileAck(w *workerState, ack proto.FileAck) {
 	// Whether the copy confirmed (new source available) or failed (the
 	// block is gone), everything queued behind this object gets one
 	// reconsideration.
-	m.wakeObjWaitersLocked(ack.ID)
-	m.mu.Unlock()
-	m.wake()
+	s.wakeObjWaitersLocked(ack.ID)
+	s.mu.Unlock()
+	s.wake()
 }
 
 // maxLibraryFailures is how many consecutive failed deployments a
@@ -636,30 +921,30 @@ const maxLibraryFailures = 3
 // never be staged must eventually fail its invocations cleanly.
 const maxLibraryInfraFailures = 20
 
-func (m *Manager) onLibraryAck(w *workerState, ack proto.LibraryAck) {
-	m.mu.Lock()
+func (s *shard) onLibraryAck(w *workerState, ack proto.LibraryAck) {
+	s.mu.Lock()
 	li := w.libs[ack.Library]
 	if li != nil {
-		if !li.Ready && m.installing[ack.Library] > 0 {
-			m.installing[ack.Library]--
+		if !li.Ready && s.installing[ack.Library] > 0 {
+			s.installing[ack.Library]--
 		}
 		if ack.Ok {
 			li.Ready = true
 			li.instance = ack.Instance
-			m.libFailures[ack.Library] = 0
-			m.libInfraFailures[ack.Library] = 0
-			m.libSlotsChangedLocked(w, li)
-			m.markLibDirtyLocked(ack.Library)
+			s.libFailures[ack.Library] = 0
+			s.libInfraFailures[ack.Library] = 0
+			s.libSlotsChangedLocked(w, li)
+			s.markLibDirtyLocked(ack.Library)
 			// A ready instance with no slots in use is an eviction
 			// candidate (§3.5.2): other libraries blocked on capacity
 			// may now be deployable here.
-			if li.SlotsUsed == 0 && m.opts.EvictEmptyLibraries {
-				m.markAllLibsDirtyLocked()
+			if li.SlotsUsed == 0 && s.m.opts.EvictEmptyLibraries {
+				s.markAllLibsDirtyLocked()
 			}
 		} else {
 			li.Failed = true
 			delete(w.libs, ack.Library)
-			m.view.RemoveLibrary(w.v, ack.Library)
+			s.view.RemoveLibrary(w.v, ack.Library)
 			w.v.Commit = w.v.Commit.Sub(li.Res)
 			// Infrastructure-caused install failures (inputs lost to a
 			// stalled transfer, resources gone) draw on a much larger
@@ -668,45 +953,50 @@ func (m *Manager) onLibraryAck(w *workerState, ack proto.LibraryAck) {
 			// unstageable one must still fail cleanly instead of
 			// redeploying forever.
 			if ack.Retryable {
-				m.libInfraFailures[ack.Library]++
-				if m.libInfraFailures[ack.Library] >= maxLibraryInfraFailures {
-					m.failPendingForLibraryLocked(ack.Library, ack.Err)
+				s.libInfraFailures[ack.Library]++
+				if s.libInfraFailures[ack.Library] >= maxLibraryInfraFailures {
+					s.failPendingForLibraryLocked(ack.Library, ack.Err)
 				}
 			} else {
-				m.libFailures[ack.Library]++
-				if m.libFailures[ack.Library] >= maxLibraryFailures {
-					m.failPendingForLibraryLocked(ack.Library, ack.Err)
+				s.libFailures[ack.Library]++
+				if s.libFailures[ack.Library] >= maxLibraryFailures {
+					s.failPendingForLibraryLocked(ack.Library, ack.Err)
 				}
 			}
 			// The failed install released resources on this worker.
-			m.wakeCapacityLocked()
+			s.wakeCapacityLocked()
 		}
 	}
-	m.mu.Unlock()
-	m.wake()
+	s.mu.Unlock()
+	s.wake()
+	// An instance turning ready (or an install releasing resources)
+	// is capacity other shards' starving work may be waiting for.
+	s.m.nudgeStarving()
 }
 
 // failPendingForLibraryLocked fails every queued invocation of a
-// library that cannot be deployed. Caller holds the lock.
-func (m *Manager) failPendingForLibraryLocked(library, reason string) {
-	q := m.pendingInvs[library]
+// library that cannot be deployed. Caller holds the shard lock.
+func (s *shard) failPendingForLibraryLocked(library, reason string) {
+	q := s.pendingInvs[library]
 	if len(q) == 0 {
 		return
 	}
-	delete(m.pendingInvs, library)
-	m.pendingInvCount -= len(q)
-	for _, inv := range q {
-		atomic.AddInt64(&m.stats.Failures, 1)
-		m.emitFailure(inv, fmt.Errorf("manager: library %q failed to deploy %d times: %s",
-			library, maxLibraryFailures, reason))
+	delete(s.pendingInvs, library)
+	s.pendingInvCount -= len(q)
+	for _, pi := range q {
+		atomic.AddInt64(&s.m.stats.Failures, 1)
+		s.m.deliver(core.Result{ID: pi.inv.ID, Ok: false,
+			Err: fmt.Sprintf("manager: library %q failed to deploy %d times: %s",
+				library, maxLibraryFailures, reason)})
 	}
 }
 
-func (m *Manager) onResult(w *workerState, res core.Result) {
-	m.mu.Lock()
-	e, ok := m.inflight[res.ID]
+func (s *shard) onResult(w *workerState, res core.Result) {
+	m := s.m
+	s.mu.Lock()
+	e, ok := s.inflight[res.ID]
 	if ok {
-		delete(m.inflight, res.ID)
+		delete(s.inflight, res.ID)
 		res.Metrics.TransferTime += e.transfer
 		if e.task != nil {
 			atomic.AddInt64(&m.stats.TasksDone, 1)
@@ -714,11 +1004,11 @@ func (m *Manager) onResult(w *workerState, res core.Result) {
 			// Cacheable inputs are now resident on that worker.
 			for _, in := range e.task.Inputs {
 				if in.Cache {
-					m.noteReplicaLocked(w, in.Object.ID)
+					s.noteReplicaLocked(w, in.Object.ID)
 				}
 			}
 			// Freed resources: tasks and deployments compete for them.
-			m.wakeCapacityLocked()
+			s.wakeCapacityLocked()
 		} else if e.inv != nil {
 			atomic.AddInt64(&m.stats.InvocationsDone, 1)
 			idle := false
@@ -728,80 +1018,86 @@ func (m *Manager) onResult(w *workerState, res core.Result) {
 				}
 				li.served++
 				idle = li.SlotsUsed == 0
-				m.libSlotsChangedLocked(w, li)
+				s.libSlotsChangedLocked(w, li)
 			}
 			// A freed slot unblocks this library's queue; an instance
 			// going fully idle additionally becomes an eviction
 			// candidate, which can unblock every other library waiting
 			// on capacity (§3.5.2).
-			m.markLibDirtyLocked(e.library)
+			s.markLibDirtyLocked(e.library)
 			if idle && m.opts.EvictEmptyLibraries {
-				m.markAllLibsDirtyLocked()
+				s.markAllLibsDirtyLocked()
 			}
 		}
 	}
 	var backoff time.Duration
 	retried := false
 	if ok && !res.Ok && res.Retryable && m.opts.MaxRetries >= 0 &&
-		m.retries[res.ID] < m.opts.MaxRetries && !m.closed {
-		m.retries[res.ID]++
+		e.retries < m.opts.MaxRetries && !m.closed.Load() {
+		e.retries++
 		atomic.AddInt64(&m.stats.Retries, 1)
-		m.avoid[res.ID] = w.id
-		m.backoffs++
-		backoff = m.backoffDelayLocked(m.retries[res.ID])
+		s.backoffs++
+		backoff = retryBackoff(m.opts.RetryBaseDelay, m.opts.RetryMaxDelay, e.retries, res.ID)
 		retried = true
 	}
+	if ok && !retried && !res.Ok {
+		atomic.AddInt64(&m.stats.Failures, 1)
+	}
+	s.mu.Unlock()
 	if ok && !retried {
-		if !res.Ok {
-			atomic.AddInt64(&m.stats.Failures, 1)
-		}
-		delete(m.retries, res.ID)
-		delete(m.avoid, res.ID)
 		m.deliver(res)
 	}
-	m.mu.Unlock()
 	if retried {
-		m.requeueAfter(e, backoff)
+		s.requeueAfter(e, w.id, backoff)
 	}
-	m.wake()
+	s.wake()
+	// Freed capacity is a shard-crossing signal: shards starving on
+	// unplaceable work get another chance to reach it.
+	m.nudgeStarving()
 }
 
-// backoffDelayLocked computes the exponential backoff before retry
-// attempt n (1-based).
-func (m *Manager) backoffDelayLocked(attempt int) time.Duration {
-	d := m.opts.RetryBaseDelay
+// retryBackoff computes the delay before retry attempt n (1-based):
+// exponential growth from base, capped, with a deterministic jitter
+// derived from the spec ID so a mass failure does not send every
+// retry back at the same instant (policy.RetryJitter — pure and
+// seedable, so fidelity traces stay stable).
+func retryBackoff(base, cap time.Duration, attempt int, specID int64) time.Duration {
+	d := base
 	for i := 1; i < attempt; i++ {
 		d *= 2
-		if d >= m.opts.RetryMaxDelay {
-			return m.opts.RetryMaxDelay
+		if d >= cap {
+			d = cap
+			break
 		}
 	}
-	if d > m.opts.RetryMaxDelay {
-		d = m.opts.RetryMaxDelay
+	if d > cap {
+		d = cap
 	}
-	return d
+	return time.Duration(policy.RetryJitter(int64(d), specID, attempt))
 }
 
-// requeueAfter puts a failed dispatch back on the pending queue once
-// its backoff elapses.
-func (m *Manager) requeueAfter(e *inflightEntry, delay time.Duration) {
-	m.wg.Add(1)
+// requeueAfter puts a failed dispatch back on this shard's pending
+// queue once its backoff elapses. Requeues stay shard-local — the rule
+// the simulator's sharded replay mirrors; if the shard has meanwhile
+// lost its workers, the wake loop's evacuation path takes over.
+func (s *shard) requeueAfter(e *inflightEntry, avoid string, delay time.Duration) {
+	s.m.wg.Add(1)
 	time.AfterFunc(delay, func() {
-		defer m.wg.Done()
-		m.mu.Lock()
-		m.backoffs--
-		if m.closed {
-			m.mu.Unlock()
+		defer s.m.wg.Done()
+		s.mu.Lock()
+		s.backoffs--
+		if s.m.closed.Load() {
+			s.mu.Unlock()
 			return
 		}
 		if e.task != nil {
-			m.pendingTasks = append(m.pendingTasks, pendingTask{t: e.task, key: e.ringKey})
-			m.markTasksDirtyLocked()
+			s.pendingTasks = append(s.pendingTasks, pendingTask{t: e.task, key: e.ringKey, retries: e.retries, avoid: avoid})
+			s.markTasksDirtyLocked()
 		} else if e.inv != nil {
-			m.enqueueInvLocked(e.inv)
+			s.enqueueInvLocked(pendingInv{inv: e.inv, retries: e.retries, avoid: avoid})
 		}
-		m.mu.Unlock()
-		m.wake()
+		s.mu.Unlock()
+		s.wake()
 	})
 }
 
@@ -809,7 +1105,7 @@ func (m *Manager) requeueAfter(e *inflightEntry, delay time.Duration) {
 // the caller: a full results channel spills into a goroutine instead
 // of stalling the worker's reader goroutine (which would stop its
 // FileAcks and LibraryAcks from draining). Safe to call with or
-// without m.mu held.
+// without a shard lock held.
 func (m *Manager) deliver(res core.Result) {
 	select {
 	case m.results <- res:
@@ -825,14 +1121,30 @@ func (m *Manager) deliver(res core.Result) {
 // CheckQuiescence verifies the manager's recovery invariants at rest:
 // no pending entry has outlived its transfer, every transfer slot has
 // been returned, and no work is queued, in flight, or waiting out a
-// retry backoff. Chaos tests call this after collecting all results;
-// a non-nil error means bookkeeping leaked somewhere along a failure
-// path.
+// retry backoff — in any shard. Chaos tests call this after collecting
+// all results; a non-nil error means bookkeeping leaked somewhere
+// along a failure path.
 func (m *Manager) CheckQuiescence() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, id := range core.SortedKeys(m.workers) {
-		w := m.workers[id]
+	for _, s := range m.shards {
+		if err := s.checkQuiescence(); err != nil {
+			return err
+		}
+	}
+	m.obsMu.RLock()
+	defer m.obsMu.RUnlock()
+	for _, id := range core.SortedKeys(m.peers) {
+		if n := m.peers[id].out; n != 0 {
+			return fmt.Errorf("manager: worker %s still holds %d cross-shard transfer slots", id, n)
+		}
+	}
+	return nil
+}
+
+func (s *shard) checkQuiescence() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range core.SortedKeys(s.workers) {
+		w := s.workers[id]
 		if w.v.TransfersOut != 0 {
 			return fmt.Errorf("manager: worker %s still holds %d outbound transfer slots", w.id, w.v.TransfersOut)
 		}
@@ -843,17 +1155,17 @@ func (m *Manager) CheckQuiescence() error {
 			return fmt.Errorf("manager: worker %s has %d dangling fetch-source records", w.id, len(w.fetchSources))
 		}
 	}
-	if n := len(m.view.PendingCopies); n != 0 {
-		return fmt.Errorf("manager: %d objects still counted as in-flight copies", n)
+	if n := len(s.view.PendingCopies); n != 0 {
+		return fmt.Errorf("manager: shard %d has %d objects still counted as in-flight copies", s.idx, n)
 	}
-	if n := len(m.inflight); n != 0 {
-		return fmt.Errorf("manager: %d dispatches still in flight", n)
+	if n := len(s.inflight); n != 0 {
+		return fmt.Errorf("manager: shard %d has %d dispatches still in flight", s.idx, n)
 	}
-	if n := len(m.pendingTasks) + m.pendingInvCount; n != 0 {
-		return fmt.Errorf("manager: %d specs still queued", n)
+	if n := len(s.pendingTasks) + s.pendingInvCount; n != 0 {
+		return fmt.Errorf("manager: shard %d has %d specs still queued", s.idx, n)
 	}
-	if m.backoffs != 0 {
-		return fmt.Errorf("manager: %d retries waiting out backoff", m.backoffs)
+	if s.backoffs != 0 {
+		return fmt.Errorf("manager: shard %d has %d retries waiting out backoff", s.idx, s.backoffs)
 	}
 	return nil
 }
@@ -862,15 +1174,17 @@ func (m *Manager) CheckQuiescence() error {
 // instances are currently deployed and their total share values —
 // the data behind Figures 10 and 11.
 func (m *Manager) LibraryDeployments() (instances int, totalServed int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, w := range m.workers { //vinelint:unordered summing counters commutes
-		for _, li := range w.libs { //vinelint:unordered summing counters commutes
-			if li.Ready {
-				instances++
-				totalServed += li.served
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for _, w := range s.workers { //vinelint:unordered summing counters commutes
+			for _, li := range w.libs { //vinelint:unordered summing counters commutes
+				if li.Ready {
+					instances++
+					totalServed += li.served
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return instances, totalServed
 }

@@ -11,68 +11,175 @@ import (
 	"repro/internal/proto"
 )
 
-// The scheduling passes below are invoked from the coalesced wake loop
-// (index.go): scheduleTasksLocked when the task queue is dirty and
-// scheduleLibQueueLocked per dirty library. They never scan state that
-// their dirty mark could not have changed.
+// The scheduling passes below are invoked from each shard's coalesced
+// wake loop (index.go): scheduleTasksLocked when the task queue is
+// dirty and scheduleLibQueueLocked per dirty library. They never scan
+// state that their dirty mark could not have changed.
 //
 // Every scheduling decision — which worker runs a task, where a library
 // instance deploys, which peer sources a transfer, what gets evicted —
-// comes from the pure policy core (internal/policy) reading the
-// manager's ClusterView. This file only *executes* decisions: it sends
-// messages, moves resource commitments, and reports the resulting
-// transitions back into the view. The simulator drives the identical
-// policy functions, and the differential test in this package proves
-// both drivers emit the same decision sequences.
+// comes from the pure policy core (internal/policy) reading the shard's
+// ClusterView. This file only *executes* decisions: it sends messages,
+// moves resource commitments, and reports the resulting transitions
+// back into the view. Passes plan in batches (PlanTaskBatch,
+// PlaceReadyBatch) whose contract is strict sequential equivalence, so
+// the decision sequence is identical to the one-at-a-time loop the
+// simulator replays — the differential test in this package proves it.
 
 // ---- staging execution ----
+
+// altSourcesLocked collects up to two alternate holders' data
+// addresses for a peer fetch, so the worker's data plane can retry a
+// failed transfer against another source before surfacing the failure
+// to the manager (which would re-stage from its own link). Candidates
+// are this shard's confirmed holders minus the assigned source and the
+// destination, in sorted-ID order for determinism.
+func (s *shard) altSourcesLocked(objID, src, dst string) []string {
+	holders := s.view.Holders[objID]
+	if len(holders) <= 1 {
+		return nil
+	}
+	var alts []string
+	for _, id := range core.SortedKeys(holders) {
+		if id == src || id == dst {
+			continue
+		}
+		if hw, live := s.workers[id]; live {
+			alts = append(alts, hw.hello.DataAddr)
+			if len(alts) == 2 {
+				break
+			}
+		}
+	}
+	return alts
+}
 
 // execStageLocked carries out one staging decision on a worker: a peer
 // fetch from the chosen source or a direct bulk send from the manager.
 // StageReady decisions are no-ops by construction and StageWait never
 // reaches execution (placements with waiting inputs are not committed).
-func (m *Manager) execStageLocked(w *workerState, sf policy.StageFile) {
+func (s *shard) execStageLocked(w *workerState, sf policy.StageFile) {
 	switch sf.Mode {
 	case policy.StagePeer:
-		src := m.workers[sf.Src.ID]
+		src := s.workers[sf.Src.ID]
 		if src == nil {
 			// The source died between decision and execution (same lock
 			// hold in practice, but the fallback is free): the manager's
 			// own link is always valid.
-			m.directSendLocked(w, sf.Spec)
+			s.directSendLocked(w, sf.Spec)
 			return
 		}
 		obj := sf.Spec.Object
-		m.catalog[obj.ID] = sf.Spec
+		s.m.catalogAdd(sf.Spec)
 		src.v.TransfersOut++
-		m.view.NotePending(w.v, obj.ID)
+		s.view.NotePending(w.v, obj.ID)
 		w.fetchSources[obj.ID] = src.id
 		w.enqueue(outMsg{t: proto.MsgFetchFile, v: proto.FetchFile{
 			ID:       obj.ID,
 			Name:     obj.Name,
 			FromAddr: src.hello.DataAddr,
+			AltAddrs: s.altSourcesLocked(obj.ID, src.id, w.id),
 			Source:   src.id,
 			Cache:    sf.Spec.Cache,
 			Unpack:   sf.Spec.Unpack,
 		}})
-		atomic.AddInt64(&m.stats.PeerTransfers, 1)
-		if m.rec != nil {
-			m.rec.Record(policy.TraceStage(sf))
+		atomic.AddInt64(&s.m.stats.PeerTransfers, 1)
+		if s.rec != nil {
+			s.rec.Record(policy.TraceStage(sf))
 		}
 	case policy.StageDirect:
-		m.directSendLocked(w, sf.Spec)
-		if m.rec != nil {
-			m.rec.Record(policy.TraceStage(sf))
+		obj := sf.Spec.Object
+		if s.m.opts.PeerTransfers && sf.Spec.PeerTransfer {
+			if src, alts := s.m.acquireRemoteSource(obj.ID, s.idx, w.id); src != nil {
+				// Cross-shard peer sourcing: the policy core planned a
+				// manager send because this shard's view holds no
+				// replica — but another shard's worker does. Upgrade
+				// the transport to a peer fetch from that holder. The
+				// decision trace keeps the planned StageDirect: which
+				// link carries the bytes across shards is a transport
+				// concern, invisible to the pure per-shard policy and
+				// to the simulator's replay.
+				s.m.catalogAdd(sf.Spec)
+				s.view.NotePending(w.v, obj.ID)
+				w.fetchSources[obj.ID] = src.id
+				w.enqueue(outMsg{t: proto.MsgFetchFile, v: proto.FetchFile{
+					ID:       obj.ID,
+					Name:     obj.Name,
+					FromAddr: src.hello.DataAddr,
+					AltAddrs: alts,
+					Source:   src.id,
+					Cache:    sf.Spec.Cache,
+					Unpack:   sf.Spec.Unpack,
+				}})
+				atomic.AddInt64(&s.m.stats.PeerTransfers, 1)
+				if s.rec != nil {
+					s.rec.Record(policy.TraceStage(sf))
+				}
+				return
+			}
+		}
+		s.directSendLocked(w, sf.Spec)
+		if s.rec != nil {
+			s.rec.Record(policy.TraceStage(sf))
 		}
 	}
 }
 
+// acquireRemoteSource picks a live holder of the object outside shard
+// idx with a free cross-shard transfer slot, reserving the slot, and
+// collects up to two other holders' data addresses as worker-side
+// retry alternates. Holders are scanned in sorted-ID order for
+// determinism. Cross-shard slots are accounted in the global registry
+// (peerSource.out), separate from the per-shard policy views — the
+// same cap applies to each domain independently.
+func (m *Manager) acquireRemoteSource(objID string, idx int, dstID string) (*workerState, []string) {
+	m.obsMu.Lock()
+	defer m.obsMu.Unlock()
+	hs := m.holders[objID]
+	if len(hs) == 0 {
+		return nil, nil
+	}
+	var src *workerState
+	var alts []string
+	for _, id := range core.SortedKeys(hs) {
+		if id == dstID {
+			continue
+		}
+		p := m.peers[id]
+		if p == nil {
+			continue
+		}
+		if src == nil && m.router.ShardOf(id) != idx && p.out < m.opts.PeerTransferCap {
+			p.out++
+			src = p.w
+			continue
+		}
+		if len(alts) < 2 {
+			alts = append(alts, p.w.hello.DataAddr)
+		}
+	}
+	if src == nil {
+		return nil, nil
+	}
+	return src, alts
+}
+
+// releaseRemoteSource returns a cross-shard transfer slot. A no-op if
+// the source died in the meantime — its slots died with it.
+func (m *Manager) releaseRemoteSource(workerID string) {
+	m.obsMu.Lock()
+	if p := m.peers[workerID]; p != nil && p.out > 0 {
+		p.out--
+	}
+	m.obsMu.Unlock()
+}
+
 // directSendLocked stages an object from the manager's own link as a
 // bulk frame: JSON header plus the raw bytes, no base64 expansion.
-func (m *Manager) directSendLocked(w *workerState, fs core.FileSpec) {
+func (s *shard) directSendLocked(w *workerState, fs core.FileSpec) {
 	obj := fs.Object
-	m.catalog[obj.ID] = fs
-	m.view.NotePending(w.v, obj.ID)
+	s.m.catalogAdd(fs)
+	s.view.NotePending(w.v, obj.ID)
 	w.enqueue(outMsg{t: proto.MsgPutFileBulk, v: proto.PutFileHdr{
 		File: proto.FileHdr{
 			ID:           obj.ID,
@@ -84,56 +191,88 @@ func (m *Manager) directSendLocked(w *workerState, fs core.FileSpec) {
 		Cache:  fs.Cache,
 		Unpack: fs.Unpack,
 	}, bulk: true, payload: obj.Data})
-	atomic.AddInt64(&m.stats.DirectTransfers, 1)
+	atomic.AddInt64(&s.m.stats.DirectTransfers, 1)
 }
 
 // ---- task scheduling ----
 
-func (m *Manager) scheduleTasksLocked() {
-	if len(m.pendingTasks) == 0 {
-		return
+// scheduleTasksLocked plans placements for the whole pending-task
+// queue in one batched policy call, then executes the returned
+// decisions in order. PlanTaskBatch's sequential-equivalence contract
+// makes this emit exactly the decision sequence of the old
+// plan-one/execute-one loop.
+func (s *shard) scheduleTasksLocked() (forward []pendingTask, target int) {
+	if len(s.pendingTasks) == 0 {
+		return nil, 0
 	}
-	remaining := m.pendingTasks[:0]
-	for _, pt := range m.pendingTasks {
-		if !m.tryPlaceTaskLocked(pt) {
+	next, hasNext := s.m.router.NextAlive(s.idx)
+	// Static dead ends leave before planning: a task no non-avoided
+	// worker here is large enough to ever hold must not reach the
+	// planner, whose avoid fallback would otherwise pin it to the
+	// avoided worker forever. The global preference order is
+	// non-avoided local, then any other shard, then the avoided
+	// worker (once the hop budget proves nowhere else wants it).
+	if hasNext {
+		keep := s.pendingTasks[:0]
+		for _, pt := range s.pendingTasks {
+			if pt.hops < len(s.m.shards) && !s.anyEligibleWorkerLocked(pt) {
+				pt.hops++
+				forward = append(forward, pt)
+				continue
+			}
+			keep = append(keep, pt)
+		}
+		s.pendingTasks = keep
+		if len(s.pendingTasks) == 0 {
+			return forward, next
+		}
+	}
+	reqs := make([]policy.TaskReq, len(s.pendingTasks))
+	for i, pt := range s.pendingTasks {
+		reqs[i] = policy.TaskReq{Key: pt.key, Res: pt.t.Resources, Inputs: pt.t.Inputs, Avoid: pt.avoid}
+	}
+	decisions := s.view.PlanTaskBatch(reqs, nil)
+	remaining := s.pendingTasks[:0]
+	for i, pt := range s.pendingTasks {
+		d := decisions[i]
+		if d.Worker == nil {
+			if len(d.Blocked) > 0 {
+				// Blocked behind first copies in flight: each object's
+				// next ack re-dirties the task queue.
+				for _, obj := range d.Blocked {
+					s.addObjWaiterLocked(obj, "")
+				}
+				remaining = append(remaining, pt)
+				continue
+			}
+			// Capacity exists on paper but is committed, and nothing
+			// local is in flight to free it (idle deployments pinning
+			// workers): hop to the next live shard.
+			if hasNext && pt.hops < len(s.m.shards) && s.quietLocked() {
+				pt.hops++
+				forward = append(forward, pt)
+				continue
+			}
 			remaining = append(remaining, pt)
+			continue
 		}
+		s.execPlaceTaskLocked(pt, d)
 	}
-	m.pendingTasks = remaining
+	s.pendingTasks = remaining
+	return forward, next
 }
 
-func (m *Manager) tryPlaceTaskLocked(pt pendingTask) bool {
-	// Retries prefer a worker other than the one that just failed; if
-	// no other placement exists, the avoided worker is better than
-	// starving.
-	avoid := m.avoid[pt.t.ID]
-	if m.tryPlaceTaskOnLocked(pt, policy.Excluding(avoid)) {
-		return true
-	}
-	if avoid != "" {
-		return m.tryPlaceTaskOnLocked(pt, nil)
-	}
-	return false
-}
-
-func (m *Manager) tryPlaceTaskOnLocked(pt pendingTask, f policy.Filter) bool {
+// execPlaceTaskLocked carries out one planned task placement: staging,
+// resource commitment, dispatch, and inflight registration.
+func (s *shard) execPlaceTaskLocked(pt pendingTask, d policy.PlaceTask) {
 	t := pt.t
-	d := m.view.PlanTask(pt.key, t.Resources, t.Inputs, f)
-	if d.Worker == nil {
-		// Blocked behind first copies in flight: each object's next ack
-		// re-dirties the task queue.
-		for _, obj := range d.Blocked {
-			m.addObjWaiterLocked(obj, "")
-		}
-		return false
-	}
-	w := m.workers[d.Worker.ID]
-	if m.rec != nil {
-		m.rec.Record(policy.TraceTask(pt.key, d))
+	w := s.workers[d.Worker.ID]
+	if s.rec != nil {
+		s.rec.Record(policy.TraceTask(pt.key, d))
 	}
 	start := time.Now()
 	for _, sf := range d.Stages {
-		m.execStageLocked(w, sf)
+		s.execStageLocked(w, sf)
 	}
 	w.v.Commit = w.v.Commit.Add(t.Resources)
 	w.enqueue(outMsg{t: proto.MsgRunTask, v: t})
@@ -141,6 +280,7 @@ func (m *Manager) tryPlaceTaskOnLocked(pt pendingTask, f policy.Filter) bool {
 		worker:  w.id,
 		ringKey: pt.key,
 		task:    t,
+		retries: pt.retries,
 		sentAt:  start,
 		waiting: map[string]bool{},
 	}
@@ -155,21 +295,25 @@ func (m *Manager) tryPlaceTaskOnLocked(pt pendingTask, f policy.Filter) bool {
 			w.ackWaiters[in.Object.ID] = append(w.ackWaiters[in.Object.ID], e)
 		}
 	}
-	m.inflight[t.ID] = e
-	return true
+	s.inflight[t.ID] = e
 }
 
 // ---- invocation scheduling (§3.5.2) ----
 
 // scheduleLibQueueLocked runs one placement pass over a single
-// library's pending invocations. When an invocation can neither be
-// placed nor make progress by deploying a new instance, the rest of
-// the queue is left untouched: every later invocation of the same
-// library would hit the identical cluster state, so rescanning it is
-// pure waste. (Per-invocation validation of the skipped tail is
+// library's pending invocations. Ready-instance placements are planned
+// in batches: one PlaceReadyBatch call covers a run of queue entries
+// sharing the same avoid preference, and its cached decisions are
+// popped as the run executes (deploys started mid-pass never change a
+// ready placement — a new instance is not Ready until its ack — so the
+// cache stays valid for the whole pass). When an invocation can
+// neither be placed nor make progress by deploying a new instance, the
+// rest of the queue is left untouched: every later invocation of the
+// same library would hit the identical cluster state, so rescanning it
+// is pure waste. (Per-invocation validation of the skipped tail is
 // deferred until the queue drains to it.)
-func (m *Manager) scheduleLibQueueLocked(lib string) {
-	q := m.pendingInvs[lib]
+func (s *shard) scheduleLibQueueLocked(lib string) {
+	q := s.pendingInvs[lib]
 	if len(q) == 0 {
 		return
 	}
@@ -178,121 +322,126 @@ func (m *Manager) scheduleLibQueueLocked(lib string) {
 	// invocation when they ack; deploys started *during* this pass
 	// don't join the pool — each one is already the instance its own
 	// invocation will run on.
-	claimable := m.installing[lib]
+	claimable := s.installing[lib]
 	claimed := 0
-	for i, inv := range q {
-		placed, progressed, err := m.tryPlaceInvocationLocked(inv, &claimed, claimable)
-		if err != nil {
-			atomic.AddInt64(&m.stats.Failures, 1)
-			m.emitFailure(inv, err)
+	var cache []policy.PlaceInvocation
+	cacheAvoid := ""
+	cacheValid := false
+	for i, pi := range q {
+		if err := s.validateInvLocked(pi.inv); err != nil {
+			atomic.AddInt64(&s.m.stats.Failures, 1)
+			s.emitFailure(pi.inv, err)
 			continue
 		}
-		if placed {
+		// First choice: a ready instance with a free slot — preferring
+		// a worker other than the one a retry just failed on, when
+		// possible. The batch is keyed by the avoid preference; cache
+		// exhaustion within a run means no admitted capacity remains.
+		if !cacheValid || cacheAvoid != pi.avoid {
+			cache = s.view.PlaceReadyBatch(lib, len(q)-i, policy.Excluding(pi.avoid))
+			cacheAvoid, cacheValid = pi.avoid, true
+		}
+		if len(cache) > 0 {
+			d := cache[0]
+			cache = cache[1:]
+			s.execPlaceInvLocked(pi, d)
 			continue
 		}
-		remaining = append(remaining, inv)
-		if !progressed {
+		// Avoided-worker fallback: starving beats the preference. Any
+		// capacity found here is on the avoided worker — the filtered
+		// cache excluded it — so the cache stays exhausted, not stale.
+		if pi.avoid != "" && s.placeInvocationOnReadyLocked(pi, nil) {
+			continue
+		}
+		// An install already in flight will serve one queued invocation
+		// when its ack arrives; let this invocation claim it instead of
+		// over-provisioning another instance.
+		if claimed < claimable {
+			claimed++
+			remaining = append(remaining, pi)
+			continue
+		}
+		remaining = append(remaining, pi)
+		if !s.deployForInvocationLocked(pi.inv) {
 			remaining = append(remaining, q[i+1:]...)
 			break
 		}
 	}
-	m.pendingInvCount -= len(q) - len(remaining)
+	s.pendingInvCount -= len(q) - len(remaining)
 	if len(remaining) == 0 {
-		delete(m.pendingInvs, lib)
+		delete(s.pendingInvs, lib)
 	} else {
-		m.pendingInvs[lib] = remaining
+		s.pendingInvs[lib] = remaining
 	}
+}
+
+// validateInvLocked rejects invocations that can never run: unknown
+// library, quarantined library, unknown function.
+func (s *shard) validateInvLocked(inv *core.InvocationSpec) error {
+	spec, known := s.m.libSpec(inv.Library)
+	if !known {
+		return fmt.Errorf("manager: invocation %d names unknown library %q", inv.ID, inv.Library)
+	}
+	if s.libFailures[inv.Library] >= maxLibraryFailures || s.libInfraFailures[inv.Library] >= maxLibraryInfraFailures {
+		return fmt.Errorf("manager: library %q is marked broken after repeated deployment failures", inv.Library)
+	}
+	for _, f := range spec.Functions {
+		if f.Name == inv.Function {
+			return nil
+		}
+	}
+	return fmt.Errorf("manager: library %q has no function %q", inv.Library, inv.Function)
 }
 
 // emitFailure delivers a synthetic failed result for an unschedulable
-// invocation. Called with the lock held; deliver never blocks the
-// scheduler on a full results channel.
-func (m *Manager) emitFailure(inv *core.InvocationSpec, err error) {
-	delete(m.retries, inv.ID)
-	delete(m.avoid, inv.ID)
-	m.deliver(core.Result{ID: inv.ID, Ok: false, Err: err.Error()})
+// invocation. Called with the shard lock held; deliver never blocks
+// the scheduler on a full results channel.
+func (s *shard) emitFailure(inv *core.InvocationSpec, err error) {
+	s.m.deliver(core.Result{ID: inv.ID, Ok: false, Err: err.Error()})
 }
 
-// tryPlaceInvocationLocked attempts one invocation. placed means it
-// was dispatched; progressed means the invocation is provisioned for —
-// it deployed a new library instance, or claimed one already
-// installing — even though it is itself still waiting. claimed counts
-// the in-flight installs earlier invocations in this pass claimed out
-// of the claimable pool (installs in flight at pass start), so one
-// slow install absorbs exactly one queued invocation instead of the
-// whole queue triggering redundant deploys.
-func (m *Manager) tryPlaceInvocationLocked(inv *core.InvocationSpec, claimed *int, claimable int) (placed, progressed bool, err error) {
-	spec, known := m.libSpecs[inv.Library]
-	if !known {
-		return false, false, fmt.Errorf("manager: invocation %d names unknown library %q", inv.ID, inv.Library)
-	}
-	if m.libFailures[inv.Library] >= maxLibraryFailures || m.libInfraFailures[inv.Library] >= maxLibraryInfraFailures {
-		return false, false, fmt.Errorf("manager: library %q is marked broken after repeated deployment failures", inv.Library)
-	}
-	hasFn := false
-	for _, f := range spec.Functions {
-		if f.Name == inv.Function {
-			hasFn = true
-			break
-		}
-	}
-	if !hasFn {
-		return false, false, fmt.Errorf("manager: library %q has no function %q", inv.Library, inv.Function)
-	}
-
-	// First choice: a ready instance with a free slot — preferring a
-	// worker other than the one a retry just failed on, when possible.
-	avoid := m.avoid[inv.ID]
-	if m.placeInvocationOnReadyLocked(inv, policy.Excluding(avoid)) {
-		return true, true, nil
-	}
-	if avoid != "" && m.placeInvocationOnReadyLocked(inv, nil) {
-		return true, true, nil
-	}
-
-	// An install already in flight will serve one queued invocation
-	// when its ack arrives; let this invocation claim it instead of
-	// over-provisioning another instance.
-	if claimed != nil && *claimed < claimable {
-		*claimed++
-		return false, true, nil
-	}
-
-	progressed = m.deployForInvocationLocked(inv, spec)
-	return false, progressed, nil
-}
-
-// placeInvocationOnReadyLocked dispatches inv to the ready instance the
-// policy core picks: most free ready slots, minimum worker ID on ties
-// (the deterministic order shared with the simulator).
-func (m *Manager) placeInvocationOnReadyLocked(inv *core.InvocationSpec, f policy.Filter) bool {
-	d := m.view.PlaceReady(inv.Library, f)
+// placeInvocationOnReadyLocked plans and executes a single ready
+// placement — the unbatched path, used for avoided-worker fallback.
+func (s *shard) placeInvocationOnReadyLocked(pi pendingInv, f policy.Filter) bool {
+	d := s.view.PlaceReady(pi.inv.Library, f)
 	if d.Worker == nil {
 		return false
 	}
-	w := m.workers[d.Worker.ID]
+	s.execPlaceInvLocked(pi, d)
+	return true
+}
+
+// execPlaceInvLocked dispatches inv to the ready instance the policy
+// core picked: most free ready slots, minimum worker ID on ties (the
+// deterministic order shared with the simulator).
+func (s *shard) execPlaceInvLocked(pi pendingInv, d policy.PlaceInvocation) {
+	inv := pi.inv
+	w := s.workers[d.Worker.ID]
 	li := w.libs[inv.Library]
-	if m.rec != nil {
-		m.rec.Record(policy.TracePlace(inv.Library, d))
+	if s.rec != nil {
+		s.rec.Record(policy.TracePlace(inv.Library, d))
 	}
 	li.SlotsUsed++
-	m.libSlotsChangedLocked(w, li)
+	s.libSlotsChangedLocked(w, li)
 	w.enqueue(outMsg{t: proto.MsgInvoke, v: inv})
-	m.inflight[inv.ID] = &inflightEntry{worker: w.id, library: inv.Library, inv: inv, sentAt: time.Now()}
-	return true
+	s.inflight[inv.ID] = &inflightEntry{worker: w.id, library: inv.Library, inv: inv, retries: pi.retries, sentAt: time.Now()}
 }
 
 // deployForInvocationLocked asks the policy core for a deploy decision
 // for the invocation's library and executes it: evictions first, then
 // staging, then the install message. Returns whether a deployment was
 // started.
-func (m *Manager) deployForInvocationLocked(inv *core.InvocationSpec, spec *core.LibrarySpec) bool {
+func (s *shard) deployForInvocationLocked(inv *core.InvocationSpec) bool {
+	spec, known := s.m.libSpec(inv.Library)
+	if !known {
+		return false
+	}
 	var libFiles []core.FileSpec
 	if spec.Env != nil {
 		libFiles = append(libFiles, *spec.Env)
 	}
 	libFiles = append(libFiles, spec.Inputs...)
-	d := m.view.PlanDeploy(policy.DeploySpec{
+	d := s.view.PlanDeploy(policy.DeploySpec{
 		Name:  spec.Name,
 		Res:   spec.Resources,
 		Files: libFiles,
@@ -301,49 +450,49 @@ func (m *Manager) deployForInvocationLocked(inv *core.InvocationSpec, spec *core
 		// Workers blocked only on an in-flight first copy of the
 		// environment: its ack re-dirties this library's queue.
 		for _, obj := range d.Blocked {
-			m.addObjWaiterLocked(obj, inv.Library)
+			s.addObjWaiterLocked(obj, inv.Library)
 		}
 		return false
 	}
-	w := m.workers[d.Worker.ID]
-	if m.rec != nil {
-		m.rec.Record(policy.TraceDeploy(spec.Name, d))
+	w := s.workers[d.Worker.ID]
+	if s.rec != nil {
+		s.rec.Record(policy.TraceDeploy(spec.Name, d))
 	}
 	for _, e := range d.Evict {
-		m.evictLibraryLocked(w, e.Lib)
+		s.evictLibraryLocked(w, e.Lib)
 	}
 	for _, sf := range d.Stages {
-		m.execStageLocked(w, sf)
+		s.execStageLocked(w, sf)
 	}
-	m.installLibraryLocked(w, spec, d.Res)
+	s.installLibraryLocked(w, spec, d.Res)
 	// The invocation stays pending until the LibraryAck arrives.
 	return true
 }
 
 // evictLibraryLocked removes one library instance from a worker,
 // releasing its resources and telling the worker to tear it down.
-func (m *Manager) evictLibraryLocked(w *workerState, name string) {
+func (s *shard) evictLibraryLocked(w *workerState, name string) {
 	li := w.libs[name]
 	if li == nil {
 		return
 	}
 	delete(w.libs, name)
-	m.view.RemoveLibrary(w.v, name)
+	s.view.RemoveLibrary(w.v, name)
 	w.v.Commit = w.v.Commit.Sub(li.Res)
 	w.enqueue(outMsg{t: proto.MsgRemoveLibrary, v: proto.RemoveLibrary{Library: name}})
-	atomic.AddInt64(&m.stats.LibrariesEvicted, 1)
+	atomic.AddInt64(&s.m.stats.LibrariesEvicted, 1)
 }
 
 // evictForLocked plans and executes evictions on w so that need fits.
 // The plan is all-or-nothing: if even evicting every idle instance
 // cannot make room, nothing is evicted and false comes back.
-func (m *Manager) evictForLocked(w *workerState, wantLib string, need core.Resources) bool {
-	evict, ok := m.view.PlanEviction(w.v, wantLib, need)
+func (s *shard) evictForLocked(w *workerState, wantLib string, need core.Resources) bool {
+	evict, ok := s.view.PlanEviction(w.v, wantLib, need)
 	if !ok {
 		return false
 	}
 	for _, e := range evict {
-		m.evictLibraryLocked(w, e.Lib)
+		s.evictLibraryLocked(w, e.Lib)
 	}
 	return true
 }
@@ -353,25 +502,25 @@ func (m *Manager) evictForLocked(w *workerState, wantLib string, need core.Resou
 // policy core; a Wait answer is forced direct because the deploy is
 // already committed and the manager's own link is always a valid (if
 // less scalable) source.
-func (m *Manager) deployLibraryLocked(w *workerState, spec *core.LibrarySpec, res core.Resources) {
+func (s *shard) deployLibraryLocked(w *workerState, spec *core.LibrarySpec, res core.Resources) {
 	var files []core.FileSpec
 	if spec.Env != nil {
 		files = append(files, *spec.Env)
 	}
 	files = append(files, spec.Inputs...)
 	for _, fs := range files {
-		sf := m.view.PlanStage(w.v, fs, nil)
+		sf := s.view.PlanStage(w.v, fs, nil)
 		if sf.Mode == policy.StageWait {
 			sf.Mode = policy.StageDirect
 		}
-		m.execStageLocked(w, sf)
+		s.execStageLocked(w, sf)
 	}
-	m.installLibraryLocked(w, spec, res)
+	s.installLibraryLocked(w, spec, res)
 }
 
 // installLibraryLocked records the new instance in the view and sends
 // the install message.
-func (m *Manager) installLibraryLocked(w *workerState, spec *core.LibrarySpec, res core.Resources) {
+func (s *shard) installLibraryLocked(w *workerState, spec *core.LibrarySpec, res core.Resources) {
 	li := &libInstance{LibraryView: policy.LibraryView{
 		Name:         spec.Name,
 		Slots:        spec.SlotCount(),
@@ -379,18 +528,18 @@ func (m *Manager) installLibraryLocked(w *workerState, spec *core.LibrarySpec, r
 		Res:          res,
 	}}
 	w.libs[spec.Name] = li
-	m.view.AddInstance(w.v, &li.LibraryView)
+	s.view.AddInstance(w.v, &li.LibraryView)
 	w.v.Commit = w.v.Commit.Add(res)
-	m.installing[spec.Name]++
+	s.installing[spec.Name]++
 	w.enqueue(outMsg{t: proto.MsgInstallLibrary, v: spec})
-	atomic.AddInt64(&m.stats.LibrariesDeployed, 1)
+	atomic.AddInt64(&s.m.stats.LibrariesDeployed, 1)
 }
 
 // ObjectHolders returns how many workers hold the object — visibility
-// for distribution tests. It reads the maintained replica counter and
-// never touches the scheduler lock.
+// for distribution tests. It reads the global replica registry and
+// never touches any shard's scheduler lock.
 func (m *Manager) ObjectHolders(obj *content.Object) int {
 	m.obsMu.RLock()
 	defer m.obsMu.RUnlock()
-	return m.holderCount[obj.ID]
+	return len(m.holders[obj.ID])
 }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/minipy"
 )
@@ -51,15 +52,38 @@ const (
 	tagRef
 )
 
+// encoderPool recycles encoders (buffer plus memo table): arguments
+// and results are pickled once per invocation, so at dispatch rates a
+// fresh encoder per call is measurable allocation churn.
+var encoderPool = sync.Pool{New: func() any { return &encoder{memo: map[any]int{}} }}
+
+// maxPooledEncoder bounds what goes back in the pool, so one giant
+// value graph cannot pin its buffer forever.
+const maxPooledEncoder = 1 << 20
+
 // Marshal serializes a MiniPy value graph to bytes.
 func Marshal(v minipy.Value) ([]byte, error) {
-	e := &encoder{memo: map[any]int{}}
+	e := encoderPool.Get().(*encoder)
 	e.buf.WriteByte(magic)
 	e.buf.WriteByte(version)
 	if err := e.encode(v); err != nil {
+		e.release()
 		return nil, err
 	}
-	return e.buf.Bytes(), nil
+	out := append([]byte(nil), e.buf.Bytes()...)
+	e.release()
+	return out, nil
+}
+
+// release resets the encoder and returns it to the pool.
+func (e *encoder) release() {
+	if e.buf.Cap() > maxPooledEncoder || len(e.memo) > 1024 {
+		return
+	}
+	e.buf.Reset()
+	clear(e.memo)
+	e.next = 0
+	encoderPool.Put(e)
 }
 
 // Unmarshal reconstructs a value graph in the context of the given
@@ -74,16 +98,27 @@ func Unmarshal(data []byte, ip *minipy.Interp) (minipy.Value, error) {
 	if data[1] != version {
 		return nil, fmt.Errorf("pickle: unsupported version %d", data[1])
 	}
-	d := &decoder{data: data, pos: 2, ip: ip}
+	d := decoderPool.Get().(*decoder)
+	d.data, d.pos, d.ip = data, 2, ip
 	v, err := d.decode()
+	if err == nil && d.pos != len(d.data) {
+		err = fmt.Errorf("pickle: %d trailing bytes", len(d.data)-d.pos)
+	}
+	d.data, d.ip = nil, nil
+	if cap(d.memo) <= 1024 {
+		clear(d.memo)
+		d.memo = d.memo[:0]
+		decoderPool.Put(d)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if d.pos != len(d.data) {
-		return nil, fmt.Errorf("pickle: %d trailing bytes", len(d.data)-d.pos)
-	}
 	return v, nil
 }
+
+// decoderPool recycles decoders (struct plus memo slice) — the decode
+// counterpart of encoderPool.
+var decoderPool = sync.Pool{New: func() any { return new(decoder) }}
 
 type encoder struct {
 	buf  bytes.Buffer

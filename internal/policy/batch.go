@@ -1,0 +1,147 @@
+package policy
+
+import (
+	"repro/internal/core"
+)
+
+// Batched decision entry points (DESIGN.md §12): one call plans K
+// placements instead of one, so a driver's lock acquisition and pass
+// setup amortize over the whole batch. The contract is strict
+// sequential equivalence — PlanTaskBatch and PlaceReadyBatch return
+// exactly the decision sequence the unbatched calls would produce if
+// the driver executed each placement before planning the next.
+//
+// Internally each planned placement's view effects (resource
+// commitment, in-flight copies, source transfer slots, manager sends,
+// free ready slots) are applied to the live view while the rest of the
+// batch is planned, then undone in reverse before returning. The view
+// is observably unchanged; the driver executes the returned placements
+// in order, re-applying the same effects for real, and lands on the
+// identical end state.
+
+// TaskReq is one task placement request in a batch.
+type TaskReq struct {
+	Key    string
+	Res    core.Resources
+	Inputs []core.FileSpec
+	// Avoid is the avoid-placement preference: planning first excludes
+	// this worker, then falls back to anywhere (the avoided worker
+	// beats starving) — the same two-stage rule both engines' unbatched
+	// paths apply.
+	Avoid string
+}
+
+// PlanTaskBatch plans a placement for every request, in order. The
+// result is index-aligned with reqs: a zero Worker with Blocked set
+// means "wait for those objects", a zero Worker with no Blocked means
+// no candidate fits now — exactly PlanTask's contract. The view is
+// unchanged on return.
+func (v *ClusterView) PlanTaskBatch(reqs []TaskReq, f Filter) []PlaceTask {
+	out := make([]PlaceTask, len(reqs))
+	var undo []undoOp
+	for i, r := range reqs {
+		d := v.PlanTask(r.Key, r.Res, r.Inputs, andFilters(Excluding(r.Avoid), f))
+		if d.Worker == nil && r.Avoid != "" {
+			d = v.PlanTask(r.Key, r.Res, r.Inputs, f)
+		}
+		out[i] = d
+		if d.Worker != nil {
+			undo = v.applyPlacement(undo, d.Worker, r.Res, d.Stages)
+		}
+	}
+	v.revert(undo)
+	return out
+}
+
+// PlaceReadyBatch picks ready instances for up to k invocations of
+// lib, in order, stopping at the first "no ready capacity" — the
+// skip-and-stop rule of a library queue pass (every queued invocation
+// of one library faces the same cluster state). The view is unchanged
+// on return.
+func (v *ClusterView) PlaceReadyBatch(lib string, k int, f Filter) []PlaceInvocation {
+	out := make([]PlaceInvocation, 0, k)
+	var undo []undoOp
+	for i := 0; i < k; i++ {
+		d := v.PlaceReady(lib, f)
+		if d.Worker == nil {
+			break
+		}
+		// The overlay only decrements the candidate's free ready count:
+		// PlaceReady skips entries at zero, so stale ReadyFree index
+		// membership cannot change its choice.
+		d.Lib.FreeReady--
+		undo = append(undo, undoOp{freeReady: d.Lib})
+		out = append(out, d)
+	}
+	v.revert(undo)
+	return out
+}
+
+// undoOp records one reversible overlay effect. Exactly one field is
+// set.
+type undoOp struct {
+	commit    *WorkerView // undo: Commit.Sub(res)
+	res       core.Resources
+	pending   *WorkerView // undo: ClearPending(pending, obj)
+	obj       string
+	transfers *WorkerView // undo: TransfersOut--
+	mgrSend   bool        // undo: ManagerSends--
+	freeReady *LibraryView // undo: FreeReady++
+}
+
+// applyPlacement applies one planned task placement's view effects —
+// the commitment and staging bookkeeping the executing driver will
+// perform — appending their inverses to undo.
+func (v *ClusterView) applyPlacement(undo []undoOp, w *WorkerView, res core.Resources, stages []StageFile) []undoOp {
+	w.Commit = w.Commit.Add(res)
+	undo = append(undo, undoOp{commit: w, res: res})
+	for _, sf := range stages {
+		switch sf.Mode {
+		case StagePeer:
+			// PlanStage only stages objects the destination neither holds
+			// nor awaits, so NotePending always inserts and ClearPending
+			// is its exact inverse.
+			v.NotePending(sf.Dst, sf.Object)
+			undo = append(undo, undoOp{pending: sf.Dst, obj: sf.Object})
+			sf.Src.TransfersOut++
+			undo = append(undo, undoOp{transfers: sf.Src})
+		case StageDirect:
+			v.NotePending(sf.Dst, sf.Object)
+			undo = append(undo, undoOp{pending: sf.Dst, obj: sf.Object})
+			v.ManagerSends++
+			undo = append(undo, undoOp{mgrSend: true})
+		}
+	}
+	return undo
+}
+
+// revert undoes overlay effects in reverse application order, leaving
+// the view bit-identical to its pre-batch state.
+func (v *ClusterView) revert(undo []undoOp) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		op := undo[i]
+		switch {
+		case op.commit != nil:
+			op.commit.Commit = op.commit.Commit.Sub(op.res)
+		case op.pending != nil:
+			v.ClearPending(op.pending, op.obj)
+		case op.transfers != nil:
+			op.transfers.TransfersOut--
+		case op.mgrSend:
+			v.ManagerSends--
+		case op.freeReady != nil:
+			op.freeReady.FreeReady++
+		}
+	}
+}
+
+// andFilters conjoins two optional view filters.
+func andFilters(a, b Filter) Filter {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(w *WorkerView) bool { return a(w) && b(w) }
+}

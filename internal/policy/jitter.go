@@ -1,0 +1,28 @@
+package policy
+
+// RetryJitter perturbs a retry-backoff delay d (in nanoseconds) by a
+// bounded offset derived deterministically from the spec ID and the
+// attempt number, returning a value in [3d/4, 5d/4). Without jitter, a
+// mass failure — a worker death requeueing dozens of specs, a library
+// whose whole queue fails retryably — doubles every spec's delay in
+// lockstep and sends the entire cohort back at the same instant, a
+// synchronized retry storm on every subsequent round. Deriving the
+// offset from (specID, attempt) instead of a random source keeps the
+// function pure and replayable: the same spec's schedule is identical
+// across runs, and fidelity traces stay stable.
+//
+// The delay is in plain nanoseconds because this package may not
+// import time (policypurity).
+func RetryJitter(d int64, specID int64, attempt int) int64 {
+	span := d / 2
+	if span <= 0 {
+		return d
+	}
+	// splitmix64-style finalizer over the (specID, attempt) pair: cheap,
+	// stateless, and well spread even for sequential IDs.
+	h := uint64(specID)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	h *= 0x94d049bb133111eb
+	h ^= h >> 27
+	return d - span/2 + int64(h%uint64(span))
+}

@@ -1,0 +1,199 @@
+// Binary fast path for the dispatch plane's two hot messages.
+//
+// Every control frame used to carry JSON. For most of the vocabulary
+// that is the right trade — staging and lifecycle messages are rare —
+// but MsgInvoke and MsgResult travel once per invocation, and at
+// dispatch-benchmark rates (tens of thousands of invocations per
+// second) reflective JSON encode/decode plus base64 for the pickled
+// argument/value bytes dominated the manager's CPU profile. These two
+// messages get a hand-rolled binary body instead: length-prefixed
+// strings and raw byte slices, fixed-width floats, no reflection, no
+// base64.
+//
+// The body stays self-describing: a JSON body always starts with '{',
+// so the binary form leads with binMarker (an invalid JSON start
+// byte) and the decoders sniff the first byte. DecodeInvocation and
+// DecodeResult therefore accept both forms — a frame hand-built as
+// JSON (tests, older traces) decodes exactly like a binary one.
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// binMarker is the first byte of a binary-encoded message body. JSON
+// bodies start with '{' (our encoder never emits leading whitespace),
+// so one-byte sniffing distinguishes the two encodings.
+const binMarker = 0xB1
+
+// encodeBinaryBody appends the binary body for hot message types,
+// reporting whether v had a binary form. Everything else returns
+// false and is JSON-encoded by the caller.
+func encodeBinaryBody(buf *bytes.Buffer, v any) bool {
+	switch m := v.(type) {
+	case *core.InvocationSpec:
+		buf.Write(appendInvocation(buf.AvailableBuffer(), m))
+	case core.InvocationSpec:
+		buf.Write(appendInvocation(buf.AvailableBuffer(), &m))
+	case *core.Result:
+		buf.Write(appendResult(buf.AvailableBuffer(), m))
+	case core.Result:
+		buf.Write(appendResult(buf.AvailableBuffer(), &m))
+	default:
+		return false
+	}
+	return true
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendInvocation(b []byte, inv *core.InvocationSpec) []byte {
+	b = append(b, binMarker)
+	b = binary.BigEndian.AppendUint64(b, uint64(inv.ID))
+	b = appendStr(b, inv.Library)
+	b = appendStr(b, inv.Function)
+	return appendBytes(b, inv.Args)
+}
+
+func appendResult(b []byte, r *core.Result) []byte {
+	b = append(b, binMarker)
+	b = binary.BigEndian.AppendUint64(b, uint64(r.ID))
+	var flags byte
+	if r.Ok {
+		flags |= 1
+	}
+	if r.Retryable {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = appendStr(b, r.Err)
+	b = appendBytes(b, r.Value)
+	b = appendFloat(b, r.Metrics.TransferTime)
+	b = appendFloat(b, r.Metrics.WorkerTime)
+	b = appendFloat(b, r.Metrics.SetupTime)
+	b = appendFloat(b, r.Metrics.ExecTime)
+	b = appendStr(b, r.Metrics.WorkerID)
+	return appendStr(b, r.Metrics.LibraryInstance)
+}
+
+// binReader is a bounds-checked cursor over a binary body. Errors
+// stick: after the first failure every read returns zero values, so
+// decoders check err once at the end.
+type binReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("proto: truncated binary frame at %s (offset %d of %d)", what, r.off, len(r.b))
+	}
+}
+
+func (r *binReader) u64(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *binReader) byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *binReader) bytes(what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	n, w := binary.Uvarint(r.b[r.off:])
+	if w <= 0 || n > uint64(len(r.b)-r.off-w) {
+		r.fail(what)
+		return nil
+	}
+	r.off += w
+	v := r.b[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return v
+}
+
+func (r *binReader) str(what string) string {
+	return string(r.bytes(what))
+}
+
+func (r *binReader) float(what string) float64 {
+	return math.Float64frombits(r.u64(what))
+}
+
+// DecodeInvocation decodes a MsgInvoke body in either encoding.
+func DecodeInvocation(raw []byte) (core.InvocationSpec, error) {
+	if len(raw) == 0 || raw[0] != binMarker {
+		return Decode[core.InvocationSpec](raw)
+	}
+	var inv core.InvocationSpec
+	r := &binReader{b: raw, off: 1}
+	inv.ID = int64(r.u64("id"))
+	inv.Library = r.str("library")
+	inv.Function = r.str("function")
+	if b := r.bytes("args"); len(b) > 0 {
+		// The cursor aliases the receive buffer; the spec outlives it.
+		inv.Args = append([]byte(nil), b...)
+	}
+	return inv, r.err
+}
+
+// DecodeResult decodes a MsgResult body in either encoding.
+func DecodeResult(raw []byte) (core.Result, error) {
+	if len(raw) == 0 || raw[0] != binMarker {
+		return Decode[core.Result](raw)
+	}
+	var res core.Result
+	r := &binReader{b: raw, off: 1}
+	res.ID = int64(r.u64("id"))
+	flags := r.byte("flags")
+	res.Ok = flags&1 != 0
+	res.Retryable = flags&2 != 0
+	res.Err = r.str("err")
+	if b := r.bytes("value"); len(b) > 0 {
+		res.Value = append([]byte(nil), b...)
+	}
+	res.Metrics.TransferTime = r.float("transfer_time")
+	res.Metrics.WorkerTime = r.float("worker_time")
+	res.Metrics.SetupTime = r.float("setup_time")
+	res.Metrics.ExecTime = r.float("exec_time")
+	res.Metrics.WorkerID = r.str("worker_id")
+	res.Metrics.LibraryInstance = r.str("library_instance")
+	return res, r.err
+}

@@ -12,6 +12,7 @@
 package proto
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
@@ -145,6 +146,11 @@ type FetchFile struct {
 	ID       string `json:"id"`
 	Name     string `json:"name"`
 	FromAddr string `json:"from_addr"`
+	// AltAddrs lists alternate holders' data addresses. On a transfer
+	// error against FromAddr the worker's data plane retries these in
+	// order before surfacing failure — first-error surrender would
+	// otherwise fall back to a full manager restage (§4.3).
+	AltAddrs []string `json:"alt_addrs,omitempty"`
 	// Source is the worker ID serving the fetch; the worker echoes it
 	// in its FileAck so the manager can return the source's transfer
 	// slot even when its own fetch record was displaced by recovery.
@@ -207,15 +213,38 @@ type LogMsg struct {
 // Conn is a framed, type-tagged message connection. Reads and writes
 // are independently serialized, so one goroutine may receive while
 // others send.
+//
+// Reads are buffered: the dispatch plane's hot path is thousands of
+// small control frames per second, and an unbuffered framed read costs
+// two syscalls per frame (length prefix, then body). The internal
+// reader amortizes that to one syscall per kernel-buffer drain.
+//
+// Writes support explicit coalescing: Send writes one frame in one
+// syscall (as before), while Buffer appends a frame to a pending
+// buffer and Flush writes everything pending at once — the sender
+// loops of the manager and worker drain their outbound queues through
+// Buffer and flush once per drain, so a dispatch burst of K frames
+// costs one write syscall instead of K. Ordering between Send,
+// Buffer/Flush, and SendBulk is preserved: every path drains the
+// pending buffer first under the shared write lock.
 type Conn struct {
 	rw   io.ReadWriter
+	br   *bufio.Reader
 	rmu  sync.Mutex
+	rbuf []byte // RecvReuse's per-connection frame buffer
 	wmu  sync.Mutex
-	rbuf []byte
+	pend bytes.Buffer // frames buffered by Buffer, awaiting Flush
 }
 
+// readBufSize is the framed reader's buffer: large enough to drain a
+// burst of control frames per syscall, small enough to be irrelevant
+// next to a worker's data-plane transfers.
+const readBufSize = 64 << 10
+
 // NewConn wraps a stream in a framed message connection.
-func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{rw: rw, br: bufio.NewReaderSize(rw, readBufSize)}
+}
 
 // encPool recycles the per-send encode buffers so the steady-state
 // message stream (acks, results, dispatches) allocates no temporaries.
@@ -233,24 +262,86 @@ func putEncBuf(buf *bytes.Buffer) {
 
 // Send encodes v as a frame of the given type. The frame is assembled
 // in a pooled buffer (header placeholder + JSON body) and written with
-// a single Write call.
+// a single Write call (after draining any frames pending from Buffer,
+// so cross-path ordering holds).
 func (c *Conn) Send(t MsgType, v any) error {
 	buf := encPool.Get().(*bytes.Buffer)
 	defer putEncBuf(buf)
 	buf.Reset()
-	buf.Write([]byte{0, 0, 0, 0, byte(t)})
-	if err := json.NewEncoder(buf).Encode(v); err != nil {
-		return fmt.Errorf("proto: encoding %v: %w", t, err)
+	if err := encodeFrame(buf, t, v); err != nil {
+		return err
 	}
-	frame := buf.Bytes()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	if _, err := c.rw.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("proto: writing frame: %w", err)
+	}
+	return nil
+}
+
+// encodeFrame appends one [length][type][body] frame to buf. Hot
+// message types (invocations, results) get the binary body of
+// codec.go; everything else is JSON.
+func encodeFrame(buf *bytes.Buffer, t MsgType, v any) error {
+	start := buf.Len()
+	buf.Write([]byte{0, 0, 0, 0, byte(t)})
+	if !encodeBinaryBody(buf, v) {
+		if err := json.NewEncoder(buf).Encode(v); err != nil {
+			return fmt.Errorf("proto: encoding %v: %w", t, err)
+		}
+	}
+	frame := buf.Bytes()[start:]
 	if len(frame)-4 > MaxFrame {
 		return fmt.Errorf("proto: frame too large (%d bytes)", len(frame)-5)
 	}
 	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	return nil
+}
+
+// maxPending bounds the coalescing buffer: a Buffer call that would
+// grow it past this flushes first, so a long drain cannot pin
+// megabytes before its Flush.
+const maxPending = 256 << 10
+
+// Buffer encodes v as a frame into the connection's pending write
+// buffer without touching the wire. The frame is not visible to the
+// peer until Flush (or any Send/SendBulk, which drain pending frames
+// first). An encoding error leaves the pending buffer unchanged.
+func (c *Conn) Buffer(t MsgType, v any) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if _, err := c.rw.Write(frame); err != nil {
-		return fmt.Errorf("proto: writing frame: %w", err)
+	if c.pend.Len() > maxPending {
+		if err := c.flushLocked(); err != nil {
+			return err
+		}
+	}
+	start := c.pend.Len()
+	if err := encodeFrame(&c.pend, t, v); err != nil {
+		c.pend.Truncate(start)
+		return err
+	}
+	return nil
+}
+
+// Flush writes every frame buffered since the last flush in one Write
+// call. A no-op when nothing is pending.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Conn) flushLocked() error {
+	if c.pend.Len() == 0 {
+		return nil
+	}
+	_, err := c.rw.Write(c.pend.Bytes())
+	c.pend.Reset()
+	if err != nil {
+		return fmt.Errorf("proto: flushing frames: %w", err)
 	}
 	return nil
 }
@@ -282,6 +373,11 @@ func (c *Conn) SendBulk(t MsgType, hdr any, payload []byte) error {
 	binary.BigEndian.PutUint32(meta[5:9], uint32(hdrLen))
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	// Drain coalesced frames first: a bulk send must not overtake
+	// frames already buffered on this connection.
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
 	if _, err := c.rw.Write(meta); err != nil {
 		return fmt.Errorf("proto: writing bulk frame header: %w", err)
 	}
@@ -318,31 +414,66 @@ func DecodeBulk[T any](raw json.RawMessage) (T, []byte, error) {
 	return v, payload, nil
 }
 
-// Recv reads the next frame, returning its type and raw payload. The
-// body is read in bounded chunks so a corrupt length prefix from a
-// malicious or broken peer cannot force a giant upfront allocation.
+// Recv reads the next frame, returning its type and raw payload in a
+// fresh buffer the caller may retain.
 func (c *Conn) Recv() (MsgType, json.RawMessage, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+	buf, err := c.recvFrame(nil)
+	if err != nil {
 		return 0, nil, err
+	}
+	return MsgType(buf[0]), json.RawMessage(buf[1:]), nil
+}
+
+// RecvReuse reads the next frame like Recv, but the returned payload
+// aliases a per-connection buffer that the next RecvReuse call will
+// overwrite. The receive loops of the manager and worker process tens
+// of thousands of small control frames per second and decode each one
+// before reading the next, so reusing one buffer removes a per-frame
+// allocation (and its zeroing) from the dispatch hot path. Callers
+// that retain any part of the payload past the next receive — e.g. a
+// bulk frame's object bytes — must copy it first.
+func (c *Conn) RecvReuse() (MsgType, json.RawMessage, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	buf, err := c.recvFrame(c.rbuf)
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(buf) <= maxPooledBuf {
+		c.rbuf = buf
+	}
+	return MsgType(buf[0]), json.RawMessage(buf[1:]), nil
+}
+
+// recvFrame reads one frame body into scratch (growing it as needed).
+// The body is read in bounded chunks so a corrupt length prefix from a
+// malicious or broken peer cannot force a giant upfront allocation.
+func (c *Conn) recvFrame(scratch []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n < 1 || n > MaxFrame {
-		return 0, nil, fmt.Errorf("proto: bad frame length %d", n)
+		return nil, fmt.Errorf("proto: bad frame length %d", n)
 	}
 	const chunk = 1 << 20
-	buf := make([]byte, 0, min(n, chunk))
+	buf := scratch[:0]
 	for len(buf) < n {
 		step := min(n-len(buf), chunk)
 		start := len(buf)
-		buf = append(buf, make([]byte, step)...)
-		if _, err := io.ReadFull(c.rw, buf[start:]); err != nil {
-			return 0, nil, fmt.Errorf("proto: reading frame body: %w", err)
+		if cap(buf) >= start+step {
+			buf = buf[:start+step]
+		} else {
+			buf = append(buf, make([]byte, step)...)
+		}
+		if _, err := io.ReadFull(c.br, buf[start:]); err != nil {
+			return nil, fmt.Errorf("proto: reading frame body: %w", err)
 		}
 	}
-	return MsgType(buf[0]), json.RawMessage(buf[1:]), nil
+	return buf, nil
 }
 
 func min(a, b int) int {

@@ -28,11 +28,21 @@ type Replay struct {
 	// (st.pending): invocations of one library are interchangeable.
 	pendq   []replayTask
 	nextKey int
+	// wakeFn, when set, replaces the internal drain: the sharded
+	// composite (ShardedReplay) installs its own coalesced wake loop
+	// here so the shard-crossing paths — overflow forwarding,
+	// evacuation, starvation nudges — run between local passes.
+	wakeFn func()
 }
 
 type replayTask struct {
 	key   string
 	avoid string
+	// hops counts overflow forwards (sharded replay only): once a task
+	// has visited every shard without placing it rests until a
+	// membership change or starvation nudge resets the budget — the
+	// manager's pendingTask.hops.
+	hops int
 }
 
 // NewReplay builds an untimed simulation. cfg.Invocations is ignored
@@ -50,8 +60,20 @@ func NewReplay(cfg Config) *Replay {
 }
 
 // drain runs one schedule pass — the untimed equivalent of the
-// manager's coalesced wake.
+// manager's coalesced wake. With a wakeFn installed (sharded replay)
+// the composite's wake loop runs instead, so forwarding and
+// evacuation happen between local passes.
 func (r *Replay) drain() {
+	if r.wakeFn != nil {
+		r.wakeFn()
+		return
+	}
+	r.drainPass()
+}
+
+// drainPass runs one local schedule pass, with no shard-crossing
+// paths.
+func (r *Replay) drainPass() {
 	if r.st.cfg.Level == core.L3 {
 		r.drainInvs()
 		return
@@ -64,8 +86,33 @@ func (r *Replay) drain() {
 // pass (every queued invocation of the one library would hit the same
 // cluster state, so the first failure ends the pass).
 func (r *Replay) drainInvs() {
+	if r.st.cfg.Batched {
+		r.drainInvsBatched()
+		return
+	}
 	for r.st.pending > 0 {
 		if r.st.place() == nil {
+			return
+		}
+	}
+}
+
+// drainInvsBatched is the same pass through the batched entry point
+// the sharded manager uses: one PlaceReadyBatch call covers the whole
+// pool (its overlay stops exactly where sequential execution would),
+// and the remainder tries deploys one at a time — an instance deployed
+// mid-pass is not Ready until its ack, so no ready capacity can appear
+// between the batch and the deploys.
+func (r *Replay) drainInvsBatched() {
+	st := r.st
+	if st.pending == 0 {
+		return
+	}
+	for _, d := range st.view.PlaceReadyBatch(st.lib, st.pending, nil) {
+		st.execReady(d)
+	}
+	for st.pending > 0 {
+		if st.tryDeploy() == nil {
 			return
 		}
 	}
@@ -77,19 +124,60 @@ func (r *Replay) drainInvs() {
 // is preserved. Skip-and-continue matters once requeues make the
 // queue heterogeneous (different keys, different avoid preferences).
 func (r *Replay) drainTasks() {
+	if r.st.cfg.Batched {
+		r.drainTasksBatched()
+		return
+	}
 	remaining := r.pendq[:0]
 	for _, pt := range r.pendq {
-		if !r.placeKeyed(pt) {
+		if placed, _ := r.placeKeyed(pt); !placed {
 			remaining = append(remaining, pt)
 		}
 	}
 	r.pendq = remaining
 }
 
+// drainTasksBatched plans the whole keyed queue in one PlanTaskBatch
+// call and executes the returned placements in order. The batch
+// contract is strict sequential equivalence, so the decision trace is
+// identical to drainTasks's plan-one/execute-one loop — the
+// batched-vs-unbatched differential test (batched_test.go) proves it.
+func (r *Replay) drainTasksBatched() {
+	st := r.st
+	if len(r.pendq) == 0 {
+		return
+	}
+	decisions := st.view.PlanTaskBatch(r.taskReqs(), st.stackFilter())
+	remaining := r.pendq[:0]
+	for i, pt := range r.pendq {
+		if decisions[i].Worker == nil {
+			remaining = append(remaining, pt)
+			continue
+		}
+		r.execKeyed(pt, decisions[i])
+	}
+	r.pendq = remaining
+}
+
+// taskReqs renders the pending queue as a batch-planning request list.
+func (r *Replay) taskReqs() []policy.TaskReq {
+	var inputs []core.FileSpec
+	if r.st.cfg.Level != core.L1 {
+		inputs = []core.FileSpec{r.st.envSpec}
+	}
+	reqs := make([]policy.TaskReq, len(r.pendq))
+	for i, pt := range r.pendq {
+		reqs[i] = policy.TaskReq{Key: pt.key, Res: oneSlot, Inputs: inputs, Avoid: pt.avoid}
+	}
+	return reqs
+}
+
 // placeKeyed attempts one keyed task placement, mirroring the
-// manager's tryPlaceTaskLocked: first excluding the avoid worker, then
-// anywhere — the avoided worker beats starving.
-func (r *Replay) placeKeyed(pt replayTask) bool {
+// manager's task pass: first excluding the avoid worker, then
+// anywhere — the avoided worker beats starving. blocked reports a
+// placement refused only because first copies are in flight (the
+// manager keeps those local; they never overflow-forward).
+func (r *Replay) placeKeyed(pt replayTask) (placed, blocked bool) {
 	st := r.st
 	var inputs []core.FileSpec
 	if st.cfg.Level != core.L1 {
@@ -101,8 +189,16 @@ func (r *Replay) placeKeyed(pt replayTask) bool {
 		d = st.view.PlanTask(pt.key, oneSlot, inputs, base)
 	}
 	if d.Worker == nil {
-		return false
+		return false, len(d.Blocked) > 0
 	}
+	r.execKeyed(pt, d)
+	return true, false
+}
+
+// execKeyed carries out one planned keyed placement: trace, staging,
+// slot binding.
+func (r *Replay) execKeyed(pt replayTask, d policy.PlaceTask) {
+	st := r.st
 	w := st.byID[d.Worker.ID]
 	if st.rec != nil {
 		st.rec.Record(policy.TraceTask(pt.key, d))
@@ -115,8 +211,113 @@ func (r *Replay) placeKeyed(pt replayTask) bool {
 	sl.invIdx = st.nextInv
 	st.nextInv++
 	sl.key = pt.key
+}
+
+// ---- sharded-replay hooks (ShardedReplay) ----
+
+// drainTasksSharded runs the sharded manager's task pass for one
+// composite shard: statically ineligible tasks hop to the next live
+// shard before planning (the avoid fallback would otherwise pin them
+// to the avoided worker forever), planner failures hop only while the
+// shard is quiet — no local event will ever free capacity — and within
+// the hop budget. Returns the tasks to forward.
+func (r *Replay) drainTasksSharded(hasNext bool, maxHops int) (forward []replayTask) {
+	if len(r.pendq) == 0 {
+		return nil
+	}
+	if hasNext {
+		keep := r.pendq[:0]
+		for _, pt := range r.pendq {
+			if pt.hops < maxHops && !r.anyEligible(pt.avoid) {
+				pt.hops++
+				forward = append(forward, pt)
+				continue
+			}
+			keep = append(keep, pt)
+		}
+		r.pendq = keep
+		if len(r.pendq) == 0 {
+			return forward
+		}
+	}
+	// Batched mode plans the whole queue up front (the manager's
+	// PlanTaskBatch call); unbatched plans each task against the
+	// executed state of its predecessors. Sequential equivalence makes
+	// the decision streams identical, and quiet() is evaluated at the
+	// same point either way: during execution, after every earlier
+	// placement in the pass has landed.
+	var decisions []policy.PlaceTask
+	if r.st.cfg.Batched {
+		decisions = r.st.view.PlanTaskBatch(r.taskReqs(), r.st.stackFilter())
+	}
+	remaining := r.pendq[:0]
+	for i, pt := range r.pendq {
+		var placed, blocked bool
+		if decisions != nil {
+			if d := decisions[i]; d.Worker != nil {
+				r.execKeyed(pt, d)
+				placed = true
+			} else {
+				blocked = len(d.Blocked) > 0
+			}
+		} else {
+			placed, blocked = r.placeKeyed(pt)
+		}
+		if placed {
+			continue
+		}
+		if !blocked && hasNext && pt.hops < maxHops && r.quiet() {
+			pt.hops++
+			forward = append(forward, pt)
+			continue
+		}
+		remaining = append(remaining, pt)
+	}
+	r.pendq = remaining
+	return forward
+}
+
+// quiet is the manager's quietLocked: no local event is pending that
+// could change this shard's placement state — nothing dispatched
+// (busy slots double as the inflight table), no copies awaiting acks.
+func (r *Replay) quiet() bool {
+	if len(r.st.view.PendingCopies) > 0 {
+		return false
+	}
+	for _, w := range r.st.workers {
+		if !w.dead && w.busySlots > 0 {
+			return false
+		}
+	}
 	return true
 }
+
+// anyEligible is the manager's anyEligibleWorkerLocked: some live
+// non-avoided worker is large enough to ever hold a one-slot task.
+// The append-only worker slice gives a deterministic scan (the
+// manager's map scan is an existence check, so order is immaterial
+// there too).
+func (r *Replay) anyEligible(avoid string) bool {
+	for _, w := range r.st.workers {
+		if !w.dead && w.id != avoid && oneSlot.Fits(w.v.Total) {
+			return true
+		}
+	}
+	return false
+}
+
+// extractPending removes and returns every queued spec so the sharded
+// composite can evacuate a workerless shard — extractPendingLocked.
+func (r *Replay) extractPending() (tasks []replayTask, invs int) {
+	tasks = r.pendq
+	r.pendq = nil
+	invs = r.st.pending
+	r.st.pending = 0
+	return tasks, invs
+}
+
+// liveWorkers reports how many live workers this replay holds.
+func (r *Replay) liveWorkers() int { return len(r.st.byID) }
 
 // andFilter conjoins two optional view filters.
 func andFilter(a, b policy.Filter) policy.Filter {
@@ -346,3 +547,13 @@ func (r *Replay) Dump() string { return r.st.rec.Dump() }
 // View exposes the replay's cluster view so the differential harness
 // can cross-check per-worker accounting against the manager's.
 func (r *Replay) View() *policy.ClusterView { return r.st.view }
+
+// ViewFor returns worker id's view entry, or nil if it is not live
+// here — the engine-neutral cross-check hook (a sharded engine owns
+// each worker in exactly one shard).
+func (r *Replay) ViewFor(id string) *policy.WorkerView {
+	if w := r.st.byID[id]; w != nil {
+		return w.v
+	}
+	return nil
+}

@@ -98,6 +98,13 @@ type Config struct {
 	// policy core hands this run (differential and golden tests). nil
 	// keeps tracing off the dispatch path.
 	DecisionTrace *policy.Recorder
+	// Batched makes Replay drains plan through the batched policy entry
+	// points (PlanTaskBatch / PlaceReadyBatch) the sharded manager uses,
+	// instead of one decision at a time. The batch contract is strict
+	// sequential equivalence, so the decision trace must be identical
+	// either way — the batched-vs-unbatched differential test proves it
+	// on live random traces. Replay-only; the timed path is untouched.
+	Batched bool
 }
 
 func (c *Config) defaults() {
@@ -283,14 +290,20 @@ type slot struct {
 var oneSlot = core.Resources{Cores: 1}
 
 // takeSlot marks a slot occupied, maintaining the scan counters and
-// the worker's view commitment.
+// the worker's view commitment. Commitment follows the manager's
+// model: tasks (L1/L2) commit per running task, but L3 commits per
+// *installed instance* — charged at deploy time in tryDeploy and held
+// across idle periods, exactly like installLibraryLocked — so binding
+// or freeing an invocation moves no resources.
 func (st *state) takeSlot(w *wstate, sl *slot) {
 	sl.busy = true
 	w.busySlots++
 	if sl.libReady {
 		w.freeReady--
 	}
-	w.v.Commit = w.v.Commit.Add(oneSlot)
+	if st.cfg.Level != core.L3 {
+		w.v.Commit = w.v.Commit.Add(oneSlot)
+	}
 	st.syncLib(w)
 }
 
@@ -301,7 +314,9 @@ func (st *state) freeSlot(w *wstate, sl *slot) {
 	if sl.libReady {
 		w.freeReady++
 	}
-	w.v.Commit = w.v.Commit.Sub(oneSlot)
+	if st.cfg.Level != core.L3 {
+		w.v.Commit = w.v.Commit.Sub(oneSlot)
+	}
 	st.syncLib(w)
 }
 
@@ -416,7 +431,14 @@ func newState(cfg Config) *state {
 
 	machines := cfg.Machines
 	if machines == nil {
-		machines = cluster.Sample(cluster.Table3(), cfg.Workers)
+		// Workers may be 0 (a sharded-replay shard that receives all its
+		// workers by AddWorkerNamed): keep at least one machine sampled so
+		// mid-run joins have hardware to draw from.
+		n := cfg.Workers
+		if n < 1 {
+			n = 1
+		}
+		machines = cluster.Sample(cluster.Table3(), n)
 	}
 	// Deterministically shuffle so machine groups interleave across the
 	// dispatch order.
@@ -445,13 +467,20 @@ func newState(cfg Config) *state {
 // puts it on the placement ring), and returns it. Used both by
 // newState and by Replay.AddWorker for mid-run joins.
 func (st *state) addWorker() *wstate {
+	return st.addWorkerNamed("w" + pad4(st.nextIdx))
+}
+
+// addWorkerNamed is addWorker with an explicit ID — the sharded replay
+// numbers workers globally (across shards), so a shard cannot derive
+// the ID from its own worker count.
+func (st *state) addWorkerNamed(id string) *wstate {
 	cfg := st.cfg
 	i := st.nextIdx
 	st.nextIdx++
 	m := st.machines[i%len(st.machines)]
 	w := &wstate{
 		idx:  i,
-		id:   "w" + pad4(i),
+		id:   id,
 		mach: m,
 		disk: event.NewFairShare(st.S, m.DiskBytesPerSec, 0),
 		nic:  event.NewFairShare(st.S, m.NICBytesPerSec, 0),
@@ -616,12 +645,25 @@ func (st *state) placeTask() *slot {
 // a new per-slot instance when none has room (§3.5.2).
 func (st *state) placeL3() *slot {
 	if d := st.view.PlaceReady(st.lib, nil); d.Worker != nil {
-		w := st.byID[d.Worker.ID]
-		if st.rec != nil {
-			st.rec.Record(policy.TracePlace(st.lib, d))
-		}
-		return st.bind(w, w.firstFree(true))
+		return st.execReady(d)
 	}
+	return st.tryDeploy()
+}
+
+// execReady binds an invocation to the ready instance the policy core
+// picked, recording the placement.
+func (st *state) execReady(d policy.PlaceInvocation) *slot {
+	w := st.byID[d.Worker.ID]
+	if st.rec != nil {
+		st.rec.Record(policy.TracePlace(st.lib, d))
+	}
+	return st.bind(w, w.firstFree(true))
+}
+
+// tryDeploy asks the policy core for a deploy decision and binds an
+// invocation to the deploying slot. nil means no worker can host a new
+// instance now.
+func (st *state) tryDeploy() *slot {
 	d := st.view.PlanDeploy(policy.DeploySpec{
 		Name:  st.lib,
 		Res:   oneSlot,
@@ -638,6 +680,10 @@ func (st *state) placeL3() *slot {
 		st.execStage(sf)
 	}
 	st.view.AddInstance(w.v, w.lv)
+	// The install's resource claim, held for the instance's lifetime
+	// (the manager releases it only on eviction, install failure, or
+	// worker death — none of which the simulator's instances hit).
+	w.v.Commit = w.v.Commit.Add(oneSlot)
 	return st.bind(w, w.firstFree(false))
 }
 

@@ -90,7 +90,7 @@ func TestStalledFetchDoesNotBlockExecution(t *testing.T) {
 		if f.t != proto.MsgResult {
 			t.Fatalf("expected the task result first, got %v", f.t)
 		}
-		res, _ := proto.Decode[core.Result](f.raw)
+		res, _ := proto.DecodeResult(f.raw)
 		if !res.Ok {
 			t.Fatalf("task failed: %s", res.Err)
 		}
@@ -216,7 +216,7 @@ func TestUndecodableFrameIsCountedAndReported(t *testing.T) {
 	if err := fm.conn.Send(proto.MsgRunTask, spec); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := proto.Decode[core.Result](fm.expect(t, proto.MsgResult))
+	res, _ := proto.DecodeResult(fm.expect(t, proto.MsgResult))
 	if !res.Ok {
 		t.Errorf("task after protocol errors failed: %s", res.Err)
 	}

@@ -52,7 +52,7 @@ func (w *Worker) handlePutFileBulk(hdr proto.PutFileHdr, data []byte) {
 // Duplicate in-flight requests for the same object share one transfer
 // but each still acks with its own Source echo.
 func (w *Worker) handleFetchFile(msg proto.FetchFile) {
-	req := dataplane.Request{ID: msg.ID, Addr: msg.FromAddr, Unpack: msg.Unpack}
+	req := dataplane.Request{ID: msg.ID, Addr: msg.FromAddr, AltAddrs: msg.AltAddrs, Unpack: msg.Unpack}
 	w.plane.Fetch(req, func(err error) {
 		w.ackFileFrom(msg.ID, msg.Source, msg.Cache, err)
 	})

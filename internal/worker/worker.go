@@ -107,11 +107,30 @@ type Worker struct {
 	mu     sync.Mutex
 	closed bool
 
+	// sendq feeds the single sender goroutine. Executor goroutines
+	// finish invocations concurrently; funneling their results (and
+	// acks) through one drain loop lets a burst of K frames coalesce
+	// into one write syscall via the conn's Buffer/Flush pair instead
+	// of costing K syscalls from K goroutines.
+	sendq chan outFrame
+
 	protoErrors atomic.Int64
 
 	wg   sync.WaitGroup
 	done chan struct{}
 }
+
+// outFrame is one queued control frame headed for the manager.
+type outFrame struct {
+	t proto.MsgType
+	v any
+}
+
+// sendQueueSize bounds the outbound frame queue. Results are small and
+// the sender drains in batches, so the queue only fills if the manager
+// link itself has stalled — then enqueues block, which is the right
+// backpressure.
+const sendQueueSize = 1024
 
 // New creates a worker (not yet connected).
 func New(cfg Config) *Worker {
@@ -136,6 +155,7 @@ func New(cfg Config) *Worker {
 	w := &Worker{
 		cfg:   cfg,
 		cache: content.NewCache(cfg.CacheCapacity),
+		sendq: make(chan outFrame, sendQueueSize),
 		done:  make(chan struct{}),
 	}
 	w.plane = dataplane.New(dataplane.Config{
@@ -208,7 +228,7 @@ func (w *Worker) Serve(nc net.Conn) error {
 		return err
 	}
 
-	w.wg.Add(3)
+	w.wg.Add(4)
 	go func() {
 		defer w.wg.Done()
 		w.plane.Serve(ln)
@@ -216,6 +236,10 @@ func (w *Worker) Serve(nc net.Conn) error {
 	go func() {
 		defer w.wg.Done()
 		w.loop(nc)
+	}()
+	go func() {
+		defer w.wg.Done()
+		w.sendLoop()
 	}()
 	// Sever the manager link on Shutdown so the manager observes the
 	// worker's departure immediately (and requeues its work) instead of
@@ -259,7 +283,10 @@ func (w *Worker) Shutdown() {
 func (w *Worker) loop(nc net.Conn) {
 	defer nc.Close()
 	for {
-		t, raw, err := w.conn.Recv()
+		// RecvReuse: every case below decodes (copying what it keeps)
+		// before the next receive; the one exception — a bulk frame's
+		// payload — is copied explicitly in its case.
+		t, raw, err := w.conn.RecvReuse()
 		if err != nil {
 			w.Shutdown()
 			return
@@ -278,10 +305,9 @@ func (w *Worker) loop(nc net.Conn) {
 				w.protocolError(t, err)
 				continue
 			}
-			// payload aliases the frame's receive buffer, which is fresh
-			// per frame — safe to retain as the object's data without a
-			// copy.
-			w.handlePutFileBulk(hdr, payload)
+			// payload aliases the reused receive buffer; the object
+			// outlives this frame, so take a copy.
+			w.handlePutFileBulk(hdr, append([]byte(nil), payload...))
 		case proto.MsgFetchFile:
 			msg, err := proto.Decode[proto.FetchFile](raw)
 			if err != nil {
@@ -311,7 +337,7 @@ func (w *Worker) loop(nc net.Conn) {
 			}
 			w.exec.removeLibrary(msg.Library)
 		case proto.MsgInvoke:
-			msg, err := proto.Decode[core.InvocationSpec](raw)
+			msg, err := proto.DecodeInvocation(raw)
 			if err != nil {
 				w.protocolError(t, err)
 				continue
@@ -354,18 +380,43 @@ func (w *Worker) sendResult(res core.Result) {
 	w.sendMsg(proto.MsgResult, res)
 }
 
-// sendMsg sends a result or ack to the manager unless the worker is
+// sendMsg queues a result or ack for the manager unless the worker is
 // shutting down. Once Shutdown has begun, execution aborts (PinResolve
 // fails, libraries die) for reasons that are not the work's fault; the
 // manager must learn of them from the connection closing — which
 // requeues everything in flight — not from a racing "shutting down"
 // failure result that would burn the spec's retry budget.
 func (w *Worker) sendMsg(t proto.MsgType, v any) {
-	w.mu.Lock()
-	closed := w.closed
-	w.mu.Unlock()
-	if closed {
-		return
+	select {
+	case w.sendq <- outFrame{t: t, v: v}:
+	case <-w.done:
 	}
-	_ = w.conn.Send(t, v)
+}
+
+// sendLoop is the single writer on the manager link: it blocks for one
+// frame, then drains everything already queued into the conn's pending
+// buffer and flushes once, so a completion burst coalesces into a
+// single write syscall. Write errors are ignored here for the same
+// reason sendMsg ignores shutdown: a broken manager link is reported
+// by the read loop tearing the worker down.
+func (w *Worker) sendLoop() {
+	for {
+		var f outFrame
+		select {
+		case f = <-w.sendq:
+		case <-w.done:
+			return
+		}
+		_ = w.conn.Buffer(f.t, f.v)
+		for {
+			select {
+			case f = <-w.sendq:
+				_ = w.conn.Buffer(f.t, f.v)
+				continue
+			default:
+			}
+			break
+		}
+		_ = w.conn.Flush()
+	}
 }

@@ -194,7 +194,7 @@ func TestTaskNeedsStagedInputs(t *testing.T) {
 	if err := fm.conn.Send(proto.MsgRunTask, spec); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := proto.Decode[core.Result](fm.expect(t, proto.MsgResult))
+	res, _ := proto.DecodeResult(fm.expect(t, proto.MsgResult))
 	if res.Ok || !strings.Contains(res.Err, "not staged") {
 		t.Errorf("task with missing input: %+v", res)
 	}
@@ -213,7 +213,7 @@ func TestTaskModuleIsolation(t *testing.T) {
 	if err := fm.conn.Send(proto.MsgRunTask, spec); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := proto.Decode[core.Result](fm.expect(t, proto.MsgResult))
+	res, _ := proto.DecodeResult(fm.expect(t, proto.MsgResult))
 	if res.Ok || !strings.Contains(res.Err, "no module named 'mathx'") {
 		t.Errorf("import without environment should fail: %+v", res)
 	}
@@ -240,7 +240,7 @@ func TestTaskModuleIsolation(t *testing.T) {
 	if err := fm.conn.Send(proto.MsgRunTask, spec); err != nil {
 		t.Fatal(err)
 	}
-	res2, _ := proto.Decode[core.Result](fm.expect(t, proto.MsgResult))
+	res2, _ := proto.DecodeResult(fm.expect(t, proto.MsgResult))
 	if !res2.Ok {
 		t.Errorf("task with environment failed: %s", res2.Err)
 	}
@@ -257,7 +257,7 @@ func TestResourceEnforcement(t *testing.T) {
 	if err := fm.conn.Send(proto.MsgRunTask, spec); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := proto.Decode[core.Result](fm.expect(t, proto.MsgResult))
+	res, _ := proto.DecodeResult(fm.expect(t, proto.MsgResult))
 	if res.Ok || !strings.Contains(res.Err, "insufficient resources") {
 		t.Errorf("oversized task accepted: %+v", res)
 	}
@@ -274,7 +274,7 @@ func TestStepLimitStopsRunawayTask(t *testing.T) {
 	if err := fm.conn.Send(proto.MsgRunTask, spec); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := proto.Decode[core.Result](fm.expect(t, proto.MsgResult))
+	res, _ := proto.DecodeResult(fm.expect(t, proto.MsgResult))
 	if res.Ok || !strings.Contains(res.Err, "step limit") {
 		t.Errorf("runaway task not stopped: %+v", res)
 	}
@@ -348,7 +348,7 @@ func TestWrapperScriptRunsPickledFunction(t *testing.T) {
 	if err := fm.conn.Send(proto.MsgRunTask, spec); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := proto.Decode[core.Result](fm.expect(t, proto.MsgResult))
+	res, _ := proto.DecodeResult(fm.expect(t, proto.MsgResult))
 	if !res.Ok {
 		t.Fatalf("wrapper task failed: %s", res.Err)
 	}

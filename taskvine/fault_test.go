@@ -387,6 +387,95 @@ func TestKilledFetchDestinationReleasesSlotAndRetries(t *testing.T) {
 	waitQuiescent(t, m, 5*time.Second)
 }
 
+func TestPeerFetchRecoversFromAlternateSource(t *testing.T) {
+	// Two workers hold the environment; the one the planner picks first
+	// (lowest sorted ID, w000) has a data server that cuts every
+	// transfer mid-stream. The destination's data plane must fail over
+	// to the alternate holder shipped in the FetchFile — entirely below
+	// the manager, so the recovery never shows up as a re-stage.
+	inj := faultnet.NewInjector()
+	m, err := NewManager(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Shutdown)
+	// w000: too small for the final task, data server wrapped by the
+	// injector (faults stay off until both holders are warm).
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{
+		Resources:        core.Resources{Cores: 2},
+		WrapDataListener: inj.WrapListener,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := m.Exec(appSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := FuncFrom(env, "classify_task")
+	wrapped, err := m.WrapFunction(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm w000's cache so it becomes the primary peer source.
+	if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 1}, minipy.Int(0), minipy.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if warm, err := m.Collect(1, collectTimeout); err != nil || !warm[0].Ok {
+		t.Fatalf("warmup w000: %v %+v", err, warm)
+	}
+	// w001: second holder — the alternate. A Cores:4 task cannot fit
+	// w000, so the environment lands here too.
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{Resources: core.Resources{Cores: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 4}, minipy.Int(1), minipy.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := m.Collect(1, collectTimeout)
+	if err != nil || !warm2[0].Ok {
+		t.Fatalf("warmup w001: %v %+v", err, warm2)
+	}
+	if got := warm2[0].Metrics.WorkerID; got != "w001" {
+		t.Fatalf("second warmup ran on %s, want w001", got)
+	}
+
+	// Arm the cut: every new transfer out of w000 dies after 64 bytes.
+	t.Cleanup(func() { inj.Set(faultnet.Faults{}) })
+	inj.Set(faultnet.Faults{DropAfterBytes: 64})
+
+	// w002: the only worker that fits Cores:16. Its peer fetch gets
+	// src=w000 (sorted-ID order) and AltAddrs=[w001]; the severed
+	// primary stream must fail over to w001 inside the data plane.
+	if err := m.SpawnLocalWorkers(1, WorkerOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SubmitWrappedCall(wrapped, core.L2, core.Resources{Cores: 16}, minipy.Int(2), minipy.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := m.Collect(1, collectTimeout)
+	if err != nil {
+		t.Fatalf("collect with severed primary source: %v (stats %+v)", err, m.Stats())
+	}
+	if !results[0].Ok {
+		t.Fatalf("task failed: %s", results[0].Err)
+	}
+	st := m.Stats()
+	if st.PeerTransfers == 0 {
+		t.Errorf("no peer transfer was attempted: %+v", st)
+	}
+	if st.Restaged != 0 {
+		t.Errorf("recovery escalated to a manager re-stage (%d), want alt-source failover inside the data plane: %+v", st.Restaged, st)
+	}
+	var altRetries int64
+	for _, w := range m.LocalWorkers() {
+		altRetries += w.Stats().Data.AltSourceRetries
+	}
+	if altRetries == 0 {
+		t.Errorf("no data plane ever retried an alternate source: %+v", st)
+	}
+	waitQuiescent(t, m, 5*time.Second)
+}
+
 func TestChaosStallAndWorkerKillAllComplete(t *testing.T) {
 	// Combined chaos: all peer transfers stall AND the worker hosting
 	// the library dies mid-run, with both invocations and L2 tasks in
