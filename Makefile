@@ -2,8 +2,19 @@
 
 # PR numbers the bench report chain: each PR's run is written to
 # BENCH_PR$(PR).json and gated against the previous PR's report.
-PR ?= 6
-BASELINE ?= BENCH_PR5.json
+PR ?= 7
+BASELINE ?= BENCH_PR6.json
+
+# The allocation budget: the bench run fails if Table2 allocs/op exceed
+# ALLOCS_RATIO x the baseline report's. 0.6 encodes this PR's >= 40%
+# reduction target; later PRs should reset it to a plain regression
+# ceiling (e.g. 1.1) once the reduction has landed in their baseline.
+ALLOCS_RATIO ?= 0.6
+
+# The scaling matrix swept by `make bench`: dispatch throughput at each
+# GOMAXPROCS x Shards combination, embedded in the bench report.
+MATRIX_PROCS ?= 1,2,4
+MATRIX_SHARDS ?= 1,4,8
 
 .PHONY: all check build test race fidelity lint lint-extra bench experiments examples clean
 
@@ -48,18 +59,30 @@ test:
 race:
 	go test -race ./...
 
+# One dispatch iteration at both ends of the scaling matrix: the wire
+# path must not deadlock, drop frames, or stop compiling whether the
+# runtime gives it one core (coalescing via cooperative yields) or
+# several (true producer/flusher parallelism).
 benchsmoke:
-	go test -run '^$$' -bench DispatchThroughput -benchtime 1x .
+	GOMAXPROCS=1 go test -run '^$$' -bench DispatchThroughput -benchtime 1x .
+	GOMAXPROCS=4 go test -run '^$$' -bench DispatchThroughput -benchtime 1x .
 
 # One Go benchmark per paper table/figure (reduced scale), plus the
 # manager dispatch-throughput benchmark, written to BENCH_PR$(PR).json
 # and gated against the previous PR's report: the run fails if dispatch
-# throughput drops below 90% of the baseline's dispatch_current.
+# throughput drops below 90% of the baseline's dispatch_current or if
+# Table2 allocs/op exceed ALLOCS_RATIO x the baseline's. The dispatch
+# scaling matrix runs first and is embedded in the report.
 bench:
+	go run ./cmd/vinebench -dispatch-matrix \
+		-procs $(MATRIX_PROCS) -matrix-shards $(MATRIX_SHARDS) \
+		-matrix-out dispatch_matrix.json
 	go test -run '^$$' -bench=. -benchmem . | go run ./cmd/benchjson \
 		-o BENCH_PR$(PR).json \
 		-note "dispatch benchmark: 64 in-process workers x 16 slots, no-op invocations; sim_s metrics are simulated seconds at 1/20 scale" \
-		-baseline-json $(BASELINE) -min-ratio 0.9
+		-baseline-json $(BASELINE) -min-ratio 0.9 \
+		-max-allocs-ratio $(ALLOCS_RATIO) \
+		-matrix-json dispatch_matrix.json
 
 # Every table and figure at paper scale (~10 s).
 experiments:

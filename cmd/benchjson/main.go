@@ -18,6 +18,13 @@
 // becomes a gate: if current dispatch throughput falls below
 // min-ratio x baseline, it writes the report anyway (so the numbers
 // are inspectable) and exits non-zero.
+//
+// Allocation budget: -max-allocs-ratio (default 0 = off) gates the
+// named benchmark's allocs/op against the -baseline-json report — the
+// run fails if current allocs/op exceed ratio x baseline, so an
+// allocation regression on the dispatch path is as loud as a
+// throughput one. -matrix-json embeds a vinebench -dispatch-matrix
+// result as the report's dispatch_matrix field.
 package main
 
 import (
@@ -28,6 +35,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/dispatchbench"
 )
 
 // Benchmark is one parsed result line.
@@ -39,11 +48,12 @@ type Benchmark struct {
 
 // Report is the emitted document.
 type Report struct {
-	Note       string      `json:"note,omitempty"`
-	Baseline   *Dispatch   `json:"dispatch_baseline,omitempty"`
-	Current    *Dispatch   `json:"dispatch_current,omitempty"`
-	SpeedupX   float64     `json:"dispatch_speedup_x,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Note       string                `json:"note,omitempty"`
+	Baseline   *Dispatch             `json:"dispatch_baseline,omitempty"`
+	Current    *Dispatch             `json:"dispatch_current,omitempty"`
+	SpeedupX   float64               `json:"dispatch_speedup_x,omitempty"`
+	Matrix     *dispatchbench.Matrix `json:"dispatch_matrix,omitempty"`
+	Benchmarks []Benchmark           `json:"benchmarks"`
 }
 
 // Dispatch summarizes one side of the dispatch-throughput comparison.
@@ -59,19 +69,22 @@ func main() {
 	baseNs := flag.Float64("baseline-ns-dispatch", 0, "pre-change ns/dispatch")
 	baseJSON := flag.String("baseline-json", "", "prior benchjson report whose dispatch_current becomes this run's baseline")
 	minRatio := flag.Float64("min-ratio", 0, "exit non-zero if current dispatch inv/s < min-ratio x baseline")
+	maxAllocsRatio := flag.Float64("max-allocs-ratio", 0, "exit non-zero if the -allocs-bench benchmark's allocs/op exceed this ratio x the -baseline-json report's (0 = off)")
+	allocsBench := flag.String("allocs-bench", "Table2", "benchmark name whose allocs/op the -max-allocs-ratio gate compares")
+	matrixJSON := flag.String("matrix-json", "", "vinebench -dispatch-matrix output to embed as dispatch_matrix")
 	flag.Parse()
 
 	rep := Report{Note: *note, Benchmarks: []Benchmark{}}
 	if *baseInv > 0 {
 		rep.Baseline = &Dispatch{InvPerSec: *baseInv, NsPerDisp: *baseNs}
 	}
+	var prior Report
 	if *baseJSON != "" {
 		raw, err := os.ReadFile(*baseJSON)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		var prior Report
 		if err := json.Unmarshal(raw, &prior); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseJSON, err)
 			os.Exit(1)
@@ -85,6 +98,19 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Baseline = base
+	}
+	if *matrixJSON != "" {
+		raw, err := os.ReadFile(*matrixJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var mat dispatchbench.Matrix
+		if err := json.Unmarshal(raw, &mat); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *matrixJSON, err)
+			os.Exit(1)
+		}
+		rep.Matrix = &mat
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -133,6 +159,30 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *maxAllocsRatio > 0 {
+		cur, curOK := allocsOf(rep.Benchmarks, *allocsBench)
+		base, baseOK := allocsOf(prior.Benchmarks, *allocsBench)
+		if !curOK || !baseOK || base <= 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -max-allocs-ratio set but %q allocs/op missing from the run or the baseline report\n", *allocsBench)
+			os.Exit(1)
+		}
+		if ratio := cur / base; ratio > *maxAllocsRatio {
+			fmt.Fprintf(os.Stderr, "benchjson: %s allocations regressed: %.0f allocs/op is %.2fx the %.0f allocs/op baseline (ceiling %.2fx)\n",
+				*allocsBench, cur, ratio, base, *maxAllocsRatio)
+			os.Exit(1)
+		}
+	}
+}
+
+// allocsOf finds a benchmark's allocs/op metric by name.
+func allocsOf(benchmarks []Benchmark, name string) (float64, bool) {
+	for _, b := range benchmarks {
+		if b.Name == name {
+			v, ok := b.Metrics["allocs/op"]
+			return v, ok
+		}
+	}
+	return 0, false
 }
 
 func round2(x float64) float64 {

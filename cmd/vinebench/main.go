@@ -8,16 +8,27 @@
 //
 // Each experiment prints the same rows or series the paper reports,
 // with the published values alongside for comparison.
+//
+// It also hosts the dispatch scaling matrix: a GOMAXPROCS × Shards
+// sweep of live-engine dispatch throughput, emitted as JSON for
+// benchjson to fold into the per-PR bench report:
+//
+//	vinebench -dispatch-matrix -procs 1,2,4 -matrix-shards 1,4,8 \
+//	    -matrix-out dispatch_matrix.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/dispatchbench"
 	"repro/internal/experiments"
 )
 
@@ -28,11 +39,24 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	matrix := flag.Bool("dispatch-matrix", false, "run the GOMAXPROCS x Shards dispatch scaling matrix instead of experiments")
+	procsList := flag.String("procs", "1,2,4", "comma-separated GOMAXPROCS values for -dispatch-matrix")
+	shardsList := flag.String("matrix-shards", "1,4,8", "comma-separated shard counts for -dispatch-matrix")
+	matrixRounds := flag.Int("matrix-rounds", 3, "timed batches per matrix cell")
+	matrixOut := flag.String("matrix-out", "", "write the -dispatch-matrix result JSON to this file")
 	flag.Parse()
 
 	if *list {
 		for _, name := range experiments.Names() {
 			fmt.Println(name)
+		}
+		return
+	}
+
+	if *matrix {
+		if err := runMatrix(*procsList, *shardsList, *matrixRounds, *matrixOut); err != nil {
+			fmt.Fprintf(os.Stderr, "vinebench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -75,6 +99,68 @@ func main() {
 		return
 	}
 	runOne(*exp, opts)
+}
+
+// runMatrix sweeps the dispatch harness over every (GOMAXPROCS,
+// Shards) pair, prints the table, and optionally writes the Matrix
+// JSON for benchjson to embed.
+func runMatrix(procsList, shardsList string, rounds int, out string) error {
+	procs, err := parseInts(procsList)
+	if err != nil {
+		return fmt.Errorf("-procs: %w", err)
+	}
+	shards, err := parseInts(shardsList)
+	if err != nil {
+		return fmt.Errorf("-matrix-shards: %w", err)
+	}
+	mat := dispatchbench.Matrix{
+		Note: fmt.Sprintf("live-engine dispatch throughput (64 workers x 16 slots, no-op invocations, %d timed batches of 2000 per cell) on a %d-CPU host", rounds, runtime.NumCPU()),
+	}
+	fmt.Printf("dispatch scaling matrix (inv/s; host CPUs: %d)\n", runtime.NumCPU())
+	fmt.Printf("%-12s", "procs\\shards")
+	for _, s := range shards {
+		fmt.Printf("%10d", s)
+	}
+	fmt.Println()
+	for _, p := range procs {
+		fmt.Printf("%-12d", p)
+		for _, s := range shards {
+			res, err := dispatchbench.Run(dispatchbench.Config{Procs: p, Shards: s, Rounds: rounds})
+			if err != nil {
+				return fmt.Errorf("procs=%d shards=%d: %w", p, s, err)
+			}
+			mat.Cells = append(mat.Cells, res)
+			fmt.Printf("%10.0f", res.InvPerSec)
+		}
+		fmt.Println()
+	}
+	if out == "" {
+		return nil
+	}
+	enc, err := json.MarshalIndent(mat, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(enc, '\n'), 0o644)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 func runOne(name string, opts experiments.Options) {

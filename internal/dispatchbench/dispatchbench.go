@@ -1,0 +1,133 @@
+// Package dispatchbench is the reusable dispatch-throughput harness
+// behind vinebench's GOMAXPROCS × Shards scaling matrix: a live
+// engine (real TCP, real workers, real libraries) fanning bursts of
+// no-op invocations over the cluster, measuring invocations/sec on
+// the manager's §4 critical path. The root-package
+// BenchmarkDispatchThroughput measures the same regime through the
+// testing harness; this package exists so vinebench can sweep the
+// runtime parameters the benchmark pins.
+package dispatchbench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/minipy"
+	"repro/taskvine"
+)
+
+// Config parameterizes one harness run. Zero values take the
+// benchmark's defaults, so Config{} reproduces
+// BenchmarkDispatchThroughput's regime.
+type Config struct {
+	// Workers and Slots shape the cluster: Workers in-process workers,
+	// each library instance serving Slots concurrent invocations.
+	Workers int
+	Slots   int
+	// Batch is the invocations submitted per round — roughly twice the
+	// cluster's slot capacity by default, so a pending backlog forms
+	// and the scheduler's per-event cost dominates.
+	Batch int
+	// Rounds is how many timed batches to run after the warm-up.
+	Rounds int
+	// Procs pins GOMAXPROCS for the run (0 = leave untouched); the
+	// prior value is restored before Run returns.
+	Procs int
+	// Shards overrides the manager's dispatch shard count (0 =
+	// default).
+	Shards int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.Slots <= 0 {
+		c.Slots = 16
+	}
+	if c.Batch <= 0 {
+		c.Batch = 2000
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+}
+
+// Result is one cell of the scaling matrix.
+type Result struct {
+	Procs         int     `json:"gomaxprocs"`
+	Shards        int     `json:"shards"`
+	InvPerSec     float64 `json:"inv_per_s"`
+	NsPerDispatch float64 `json:"ns_per_dispatch"`
+}
+
+// Matrix is the JSON document vinebench emits and benchjson embeds
+// into the per-PR bench report.
+type Matrix struct {
+	Note  string   `json:"note,omitempty"`
+	Cells []Result `json:"cells"`
+}
+
+// Run builds a fresh engine per Config and measures dispatch
+// throughput over cfg.Rounds batches.
+func Run(cfg Config) (Result, error) {
+	cfg.defaults()
+	if cfg.Procs > 0 {
+		prev := runtime.GOMAXPROCS(cfg.Procs)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	res := Result{Procs: runtime.GOMAXPROCS(0), Shards: cfg.Shards}
+
+	m, err := taskvine.NewManager(taskvine.Options{Shards: cfg.Shards})
+	if err != nil {
+		return res, err
+	}
+	defer m.Shutdown()
+	if err := m.SpawnLocalWorkers(cfg.Workers, taskvine.WorkerOptions{}); err != nil {
+		return res, err
+	}
+	env, err := m.Exec("def noop(x):\n    return x\n")
+	if err != nil {
+		return res, err
+	}
+	lib, err := m.CreateLibraryFromFunctions("dispatch", taskvine.LibraryOptions{Slots: cfg.Slots}, env, "noop")
+	if err != nil {
+		return res, err
+	}
+	if err := m.InstallLibrary(lib); err != nil {
+		return res, err
+	}
+
+	// Warm-up burst deploys library instances across the workers so the
+	// timed rounds measure dispatch, not deployment.
+	if err := runBatch(m, cfg.Batch); err != nil {
+		return res, fmt.Errorf("warm-up: %w", err)
+	}
+
+	start := time.Now()
+	for r := 0; r < cfg.Rounds; r++ {
+		if err := runBatch(m, cfg.Batch); err != nil {
+			return res, fmt.Errorf("round %d: %w", r, err)
+		}
+	}
+	elapsed := time.Since(start)
+	total := cfg.Rounds * cfg.Batch
+	if s := elapsed.Seconds(); s > 0 {
+		res.InvPerSec = float64(total) / s
+	}
+	res.NsPerDispatch = float64(elapsed.Nanoseconds()) / float64(total)
+	return res, nil
+}
+
+func runBatch(m *taskvine.Manager, batch int) error {
+	for j := 0; j < batch; j++ {
+		if _, err := m.Call("dispatch", "noop", minipy.Int(int64(j))); err != nil {
+			return err
+		}
+	}
+	if _, err := m.Collect(batch, 2*time.Minute); err != nil {
+		return err
+	}
+	return nil
+}

@@ -8,7 +8,6 @@
 package event
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -21,24 +20,60 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is a binary min-heap of events stored by value. The sift
+// routines are hand-rolled rather than container/heap so that pushing
+// an event never boxes it through an interface: one slice slot per
+// pending event is the whole footprint.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	// Sift up.
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q)
+	top := q[0]
+	q[0] = q[n-1]
+	q[n-1] = event{} // release the closure for GC
+	q = q[:n-1]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(q) {
+			break
+		}
+		child := l
+		if r := l + 1; r < len(q) && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
+	return top
 }
 
 // Sim is a discrete-event simulator. Not safe for concurrent use: the
@@ -68,7 +103,7 @@ func (s *Sim) At(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	s.queue.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn d seconds from now.
@@ -78,7 +113,7 @@ func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
 // time.
 func (s *Sim) Run() Time {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*event)
+		e := s.queue.pop()
 		s.now = e.at
 		s.events++
 		if s.MaxEvents > 0 && s.events > s.MaxEvents {
@@ -92,7 +127,7 @@ func (s *Sim) Run() Time {
 // RunUntil executes events with at <= t, then sets the clock to t.
 func (s *Sim) RunUntil(t Time) {
 	for len(s.queue) > 0 && s.queue[0].at <= t {
-		e := heap.Pop(&s.queue).(*event)
+		e := s.queue.pop()
 		s.now = e.at
 		s.events++
 		e.fn()

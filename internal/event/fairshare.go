@@ -26,20 +26,31 @@ type FairShare struct {
 	v       float64 // accumulated per-flow service
 	lastT   Time
 	flows   flowHeap
+	free    []*flow // recycled nodes; steady-state Start allocates nothing
 	seq     int64
 	wakeGen int64 // generation of the authoritative pending wake
 }
 
-// Flow is one active request on a FairShare resource.
+// Flow is a cancellation handle for one request on a FairShare
+// resource. The zero Flow is valid and cancels nothing. Handles stay
+// safe after completion: the underlying node is recycled, and the
+// generation check makes Cancel on a stale handle a no-op.
 type Flow struct {
+	n   *flow
+	gen uint64
+}
+
+// flow is the heap node for one active request.
+type flow struct {
 	needV float64 // v value at which this flow completes
 	seq   int64
+	gen   uint64 // bumped on every reuse; validates Flow handles
 	done  func()
 	idx   int
 	dead  bool
 }
 
-type flowHeap []*Flow
+type flowHeap []*flow
 
 func (h flowHeap) Len() int { return len(h) }
 func (h flowHeap) Less(i, j int) bool {
@@ -54,7 +65,7 @@ func (h flowHeap) Swap(i, j int) {
 	h[j].idx = j
 }
 func (h *flowHeap) Push(x any) {
-	f := x.(*Flow)
+	f := x.(*flow)
 	f.idx = len(*h)
 	*h = append(*h, f)
 }
@@ -101,26 +112,46 @@ func (fs *FairShare) advance() {
 
 // Start begins a flow needing `size` service units; done fires at its
 // completion time.
-func (fs *FairShare) Start(size float64, done func()) *Flow {
+func (fs *FairShare) Start(size float64, done func()) Flow {
 	fs.advance()
 	if size < 0 {
 		size = 0
 	}
 	fs.seq++
-	f := &Flow{needV: fs.v + size, seq: fs.seq, done: done}
+	var f *flow
+	if n := len(fs.free); n > 0 {
+		f = fs.free[n-1]
+		fs.free[n-1] = nil
+		fs.free = fs.free[:n-1]
+	} else {
+		f = &flow{}
+	}
+	f.needV = fs.v + size
+	f.seq = fs.seq
+	f.gen++
+	f.done = done
+	f.dead = false
 	heap.Push(&fs.flows, f)
 	fs.schedule()
-	return f
+	return Flow{n: f, gen: f.gen}
 }
 
-// Cancel aborts a flow without firing its completion.
-func (fs *FairShare) Cancel(f *Flow) {
-	if f == nil || f.dead {
+// recycle returns a finished node to the free list.
+func (fs *FairShare) recycle(f *flow) {
+	f.done = nil
+	fs.free = append(fs.free, f)
+}
+
+// Cancel aborts a flow without firing its completion. Stale handles
+// (already completed, already cancelled, or zero) are no-ops.
+func (fs *FairShare) Cancel(f Flow) {
+	if f.n == nil || f.n.dead || f.n.gen != f.gen {
 		return
 	}
 	fs.advance()
-	f.dead = true
-	heap.Remove(&fs.flows, f.idx)
+	f.n.dead = true
+	heap.Remove(&fs.flows, f.n.idx)
+	fs.recycle(f.n)
 	fs.schedule()
 }
 
@@ -159,12 +190,14 @@ func (fs *FairShare) wake() {
 	fs.advance()
 	eps := 1e-9 * (math.Abs(fs.v) + 1)
 	for len(fs.flows) > 0 && fs.flows[0].needV <= fs.v+eps {
-		f := heap.Pop(&fs.flows).(*Flow)
+		f := heap.Pop(&fs.flows).(*flow)
 		if f.dead {
 			continue
 		}
 		f.dead = true
-		f.done()
+		done := f.done
+		fs.recycle(f)
+		done()
 	}
 	fs.schedule()
 }

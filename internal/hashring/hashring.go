@@ -115,24 +115,37 @@ func Partition(key string, n int) int {
 // key's position — the order the manager checks workers for library
 // placement. n <= 0 means all members.
 func (r *Ring) Sequence(key string, n int) []string {
+	return r.AppendSequence(nil, key, n)
+}
+
+// AppendSequence is Sequence appending into dst — hot callers walk the
+// ring every placement, so they keep one scratch slice and reuse it.
+// Deduplication is a linear scan of the appended run: member counts
+// are small and the scan beats allocating a set per walk.
+func (r *Ring) AppendSequence(dst []string, key string, n int) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if len(r.points) == 0 {
-		return nil
+		return dst
 	}
 	if n <= 0 || n > len(r.members) {
 		n = len(r.members)
 	}
 	h := hashOf(key)
 	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	seen := map[string]bool{}
-	out := make([]string, 0, n)
-	for i := 0; i < len(r.points) && len(out) < n; i++ {
+	start := len(dst)
+	for i := 0; i < len(r.points) && len(dst)-start < n; i++ {
 		p := r.points[(idx+i)%len(r.points)]
-		if !seen[p.member] {
-			seen[p.member] = true
-			out = append(out, p.member)
+		dup := false
+		for _, m := range dst[start:] {
+			if m == p.member {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, p.member)
 		}
 	}
-	return out
+	return dst
 }

@@ -260,10 +260,10 @@ type InvokeResult struct {
 // space; in fork mode it runs on a copy-on-write clone, so concurrent
 // invocations and global mutations cannot corrupt the retained
 // context.
-func (l *Library) Invoke(function string, args []byte) (*InvokeResult, error) {
+func (l *Library) Invoke(function string, args []byte) (InvokeResult, error) {
 	fn, ok := l.funcs[function]
 	if !ok {
-		return nil, fmt.Errorf("library %s has no function %q", l.Spec.Name, function)
+		return InvokeResult{}, fmt.Errorf("library %s has no function %q", l.Spec.Name, function)
 	}
 
 	setupStart := time.Now()
@@ -276,11 +276,11 @@ func (l *Library) Invoke(function string, args []byte) (*InvokeResult, error) {
 	if len(args) > 0 {
 		av, err := pickle.Unmarshal(args, ip)
 		if err != nil {
-			return nil, fmt.Errorf("library %s: deserializing args for %s: %w", l.Spec.Name, function, err)
+			return InvokeResult{}, fmt.Errorf("library %s: deserializing args for %s: %w", l.Spec.Name, function, err)
 		}
 		tup, ok := av.(*minipy.Tuple)
 		if !ok {
-			return nil, fmt.Errorf("library %s: args for %s must be a tuple, got %s", l.Spec.Name, function, av.Type())
+			return InvokeResult{}, fmt.Errorf("library %s: args for %s must be a tuple, got %s", l.Spec.Name, function, av.Type())
 		}
 		argVals = tup.Elems
 	}
@@ -289,16 +289,16 @@ func (l *Library) Invoke(function string, args []byte) (*InvokeResult, error) {
 	execStart := time.Now()
 	out, err := ip.Call(fn, argVals, nil)
 	if err != nil {
-		return nil, fmt.Errorf("invocation of %s.%s failed: %w", l.Spec.Name, function, err)
+		return InvokeResult{}, fmt.Errorf("invocation of %s.%s failed: %w", l.Spec.Name, function, err)
 	}
 	execTime := time.Since(execStart).Seconds()
 
 	value, err := pickle.Marshal(out)
 	if err != nil {
-		return nil, fmt.Errorf("library %s: serializing result of %s: %w", l.Spec.Name, function, err)
+		return InvokeResult{}, fmt.Errorf("library %s: serializing result of %s: %w", l.Spec.Name, function, err)
 	}
 	l.mu.Lock()
 	l.served++
 	l.mu.Unlock()
-	return &InvokeResult{Value: value, SetupTime: setupTime, ExecTime: execTime}, nil
+	return InvokeResult{Value: value, SetupTime: setupTime, ExecTime: execTime}, nil
 }

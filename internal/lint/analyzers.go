@@ -6,6 +6,7 @@ func All() []*Analyzer {
 		policypurity,
 		mapdeterminism,
 		lockdiscipline,
+		pooldiscipline,
 		ctxdeadline,
 		pinresolve,
 	}

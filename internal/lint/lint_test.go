@@ -125,6 +125,11 @@ func TestLockDiscipline(t *testing.T) {
 	checkWants(t, prog, res)
 }
 
+func TestPoolDiscipline(t *testing.T) {
+	prog, res := loadCase(t, []*Analyzer{pooldiscipline}, "pooldiscipline_bad", "pooldiscipline_ok")
+	checkWants(t, prog, res)
+}
+
 func TestCtxDeadline(t *testing.T) {
 	prog, res := loadCase(t, []*Analyzer{ctxdeadline}, "ctxdeadline_bad", "ctxdeadline_ok")
 	checkWants(t, prog, res)

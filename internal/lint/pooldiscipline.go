@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pooldiscipline enforces the wire path's buffer-pool hygiene
+// (DESIGN.md §13): in internal/proto, a function that takes a buffer
+// from a pool — sync.Pool.Get, a Get on any pool-shaped value, or the
+// package's getEncBuf helper — must pair it with a deferred Put
+// (putEncBuf or pool.Put) in the same function, so no early error
+// return can leak the buffer. Functions whose results include
+// *bytes.Buffer are exempt: they transfer ownership to the caller,
+// which then owes the Put (getEncBuf itself and pool adapters have
+// this shape).
+//
+// The analysis is lexical and intra-procedural, like lockdiscipline:
+// it proves the code's shape; the counting-pool leak test in
+// internal/proto proves the dynamic Get/Put balance.
+var pooldiscipline = &Analyzer{
+	Name:     "pooldiscipline",
+	Doc:      "every pool Get pairs with a dominating deferred Put, unless the function returns the buffer",
+	Suffixes: []string{"internal/proto"},
+	Run:      runPoolDiscipline,
+}
+
+func runPoolDiscipline(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPoolBody(pass, fd.Body, fd.Type)
+			}
+		}
+	}
+	// Function literals are their own ownership frames: a buffer taken
+	// inside one must be put inside it.
+	pass.InspectPkg(func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkPoolBody(pass, fl.Body, fl.Type)
+		}
+		return true
+	})
+}
+
+// checkPoolBody scans one function body (nested literals excluded) for
+// pool Gets and classifies the Puts that could balance them.
+func checkPoolBody(pass *Pass, body *ast.BlockStmt, ft *ast.FuncType) {
+	info := pass.Pkg.Info
+	if returnsBuffer(info, ft) {
+		return
+	}
+	var gets []*ast.CallExpr
+	deferredPut, plainPut := false, false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own frame
+		case *ast.DeferStmt:
+			if isPoolPut(info, nn.Call) {
+				deferredPut = true
+			}
+			// Still walk the deferred call's arguments — they run now,
+			// and could themselves Get.
+			for _, arg := range nn.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			if isPoolGet(info, nn) {
+				gets = append(gets, nn)
+			} else if isPoolPut(info, nn) {
+				plainPut = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	for _, g := range gets {
+		switch {
+		case deferredPut:
+			// Balanced: the deferred Put runs on every return.
+		case plainPut:
+			pass.Reportf(g.Pos(), "pool Get whose Put is not deferred; an early return path leaks the buffer — use `defer`")
+		default:
+			pass.Reportf(g.Pos(), "pool Get with no Put in this function; every path must return the buffer to the pool")
+		}
+	}
+}
+
+// isPoolGet matches `x.Get()` on a pool-shaped x, and calls to the
+// package's getEncBuf helper.
+func isPoolGet(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "getEncBuf"
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Get" || len(call.Args) != 0 {
+			return false
+		}
+		return recvIsPool(info, fun)
+	}
+	return false
+}
+
+// isPoolPut matches `x.Put(buf)` on a pool-shaped x, and calls to the
+// package's putEncBuf helper.
+func isPoolPut(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "putEncBuf"
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Put" || len(call.Args) != 1 {
+			return false
+		}
+		return recvIsPool(info, fun)
+	}
+	return false
+}
+
+func recvIsPool(info *types.Info, sel *ast.SelectorExpr) bool {
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return poolish(tv.Type)
+}
+
+// poolish reports whether t is a pool: sync.Pool, an interface with
+// both Get and Put methods (the package's bufferPool contract and any
+// test double implementing it), or a named type spelled like a pool.
+func poolish(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		return hasGetPut(iface)
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil {
+		return false
+	}
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool" {
+		return true
+	}
+	return strings.Contains(strings.ToLower(obj.Name()), "pool")
+}
+
+func hasGetPut(iface *types.Interface) bool {
+	get, put := false, false
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "Get":
+			get = true
+		case "Put":
+			put = true
+		}
+	}
+	return get && put
+}
+
+// returnsBuffer reports whether the function's results include a
+// *bytes.Buffer — the ownership-transfer shape.
+func returnsBuffer(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		ptr, ok := tv.Type.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+			continue
+		}
+		if named.Obj().Pkg().Path() == "bytes" && named.Obj().Name() == "Buffer" {
+			return true
+		}
+	}
+	return false
+}

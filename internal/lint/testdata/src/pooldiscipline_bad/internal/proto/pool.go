@@ -1,0 +1,72 @@
+// Package proto is a fixture breaking the encode-buffer pool
+// discipline: Gets with no Put, Gets whose Put is not deferred, and
+// the same shapes through an interface pool and the getEncBuf helper.
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+type bufferPool interface {
+	Get() *bytes.Buffer
+	Put(*bytes.Buffer)
+}
+
+var encPool bufferPool
+
+func getEncBuf() *bytes.Buffer {
+	buf := pool.Get().(*bytes.Buffer)
+	buf.Reset()
+	return buf
+}
+
+func putEncBuf(buf *bytes.Buffer) { pool.Put(buf) }
+
+func LeakOnEveryPath(v []byte) error {
+	buf := pool.Get().(*bytes.Buffer) // want `pool Get with no Put in this function`
+	buf.Write(v)
+	if buf.Len() == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+func LeakOnErrorPath(v []byte) error {
+	buf := pool.Get().(*bytes.Buffer) // want `pool Get whose Put is not deferred`
+	buf.Write(v)
+	if buf.Len() == 0 {
+		return errors.New("empty") // leaks: the Put below never runs
+	}
+	pool.Put(buf)
+	return nil
+}
+
+func LeakThroughInterfacePool(v []byte) error {
+	buf := encPool.Get() // want `pool Get with no Put in this function`
+	buf.Write(v)
+	if buf.Len() == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+func LeakThroughHelper(v []byte) error {
+	buf := getEncBuf() // want `pool Get whose Put is not deferred`
+	buf.Write(v)
+	if buf.Len() == 0 {
+		return errors.New("empty") // leaks: putEncBuf below never runs
+	}
+	putEncBuf(buf)
+	return nil
+}
+
+func LeakInsideLiteral(v []byte) func() {
+	return func() {
+		buf := getEncBuf() // want `pool Get with no Put in this function`
+		buf.Write(v)
+	}
+}

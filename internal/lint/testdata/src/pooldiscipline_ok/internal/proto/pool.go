@@ -1,0 +1,95 @@
+// Package proto is a fixture obeying the encode-buffer pool
+// discipline: deferred Puts dominate every Get, and the
+// ownership-transfer shapes (functions returning the buffer) are
+// recognized as exempt.
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+type bufferPool interface {
+	Get() *bytes.Buffer
+	Put(*bytes.Buffer)
+}
+
+type countingPool struct {
+	n int
+	p sync.Pool
+}
+
+// Get transfers ownership out: exempt, like the real getEncBuf.
+func (c *countingPool) Get() *bytes.Buffer {
+	c.n++
+	if b, ok := c.p.Get().(*bytes.Buffer); ok {
+		return b
+	}
+	return new(bytes.Buffer)
+}
+
+func (c *countingPool) Put(b *bytes.Buffer) { c.p.Put(b) }
+
+var encPool bufferPool = &countingPool{}
+
+func getEncBuf() *bytes.Buffer {
+	buf := encPool.Get()
+	buf.Reset()
+	return buf
+}
+
+func putEncBuf(buf *bytes.Buffer) { encPool.Put(buf) }
+
+func DeferredPut(v []byte) error {
+	buf := pool.Get().(*bytes.Buffer)
+	defer pool.Put(buf)
+	buf.Reset()
+	buf.Write(v)
+	if buf.Len() == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+func DeferredHelperPut(v []byte) error {
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	buf.Write(v)
+	if buf.Len() == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// OwnershipTransfer hands the buffer to the caller, which owes the
+// Put — the getEncBuf shape.
+func OwnershipTransfer(v []byte) *bytes.Buffer {
+	buf := getEncBuf()
+	buf.Write(v)
+	return buf
+}
+
+// LiteralWithDefer shows a function literal balancing its own frame.
+func LiteralWithDefer(v []byte) func() error {
+	return func() error {
+		buf := getEncBuf()
+		defer putEncBuf(buf)
+		buf.Write(v)
+		return nil
+	}
+}
+
+// NoPoolTraffic never touches a pool; Get/Put on non-pool types are
+// not the analyzer's business.
+type registry struct{ m map[string]int }
+
+func (r *registry) Get() *registry  { return r }
+func (r *registry) Put(x *registry) {}
+
+func UnrelatedGetPut() {
+	r := &registry{}
+	_ = r.Get()
+}

@@ -420,7 +420,7 @@ func (h *diffHarness) waitRetryLanded() {
 		quiet := true
 		for _, s := range h.m.shards {
 			s.mu.Lock()
-			if s.backoffs != 0 || s.scheduling || s.hasDirtyLocked() {
+			if s.backoffs != 0 || s.wakeState.Load() != wakeIdle || s.hasDirtyLocked() || s.intake.Load() != nil {
 				quiet = false
 			}
 			s.mu.Unlock()

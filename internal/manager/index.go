@@ -73,26 +73,65 @@ func (s *shard) hasPendingLocked() bool {
 	return len(s.pendingTasks) > 0 || s.pendingInvCount > 0
 }
 
-// wake runs schedule passes until no dirty marks remain in this shard.
-// If another goroutine is already inside the loop, wake returns
-// immediately — the running scheduler will observe the new marks on
-// its next iteration. This is the coalescing rule: a burst of N acks
-// arriving while a pass runs triggers one follow-up pass, not N.
+// wake ensures a schedule loop runs (and keeps running) until no
+// dirty marks and no intake remain in this shard. The latch is
+// lock-free: a caller finding the loop already running leaves a rerun
+// request behind with one CAS and returns without ever touching the
+// shard lock — so a submit burst coalesces into one follow-up pass,
+// not N, and never queues behind a pass in progress.
+//
+// No wakeup is lost: a wake that arrives while the loop is exiting
+// either lands its wakeRunning→wakeRerun CAS first (the exit CAS then
+// fails and the loop runs again) or finds the latch idle and runs the
+// loop itself.
+func (s *shard) wake() {
+	for {
+		switch s.wakeState.Load() {
+		case wakeIdle:
+			if s.wakeState.CompareAndSwap(wakeIdle, wakeRunning) {
+				s.runWake()
+				return
+			}
+		case wakeRunning:
+			if !s.wakeState.CompareAndSwap(wakeRunning, wakeRerun) {
+				continue
+			}
+			atomic.AddInt64(&s.m.stats.CoalescedWakeups, 1)
+			return
+		default: // wakeRerun: a follow-up pass is already owed
+			atomic.AddInt64(&s.m.stats.CoalescedWakeups, 1)
+			return
+		}
+	}
+}
+
+// runWake is the schedule loop body, entered only by the wake that won
+// the idle→running CAS.
 //
 // The loop also hosts the shard-crossing evacuation path: a shard
 // whose last worker died (or whose parked work predates the first
 // worker) cannot place anything, so its queues are extracted and
 // re-routed to live shards — with the shard lock released, never
 // holding two shard locks at once.
-func (s *shard) wake() {
+func (s *shard) runWake() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.scheduling || s.m.closed.Load() {
-		atomic.AddInt64(&s.m.stats.CoalescedWakeups, 1)
-		return
-	}
-	s.scheduling = true
-	for s.hasDirtyLocked() && !s.m.closed.Load() {
+	for {
+		s.drainIntakeLocked()
+		if !s.hasDirtyLocked() || s.m.closed.Load() {
+			// Starvation registration: queued work survives with nothing
+			// in flight locally — no result, ack, or backoff timer of
+			// this shard will ever re-run the pass. A capacity-freeing
+			// event in any other shard nudges us awake (nudgeStarving).
+			s.setStarvingLocked(s.hasPendingLocked() && s.quietLocked())
+			if s.wakeState.CompareAndSwap(wakeRunning, wakeIdle) {
+				return
+			}
+			// A wake arrived since the last pass: absorb the rerun
+			// request and go around again.
+			s.wakeState.Store(wakeRunning)
+			continue
+		}
 		if len(s.workers) == 0 && s.hasPendingLocked() && s.m.router.Live() > 0 {
 			tasks, invs := s.extractPendingLocked()
 			s.mu.Unlock()
@@ -167,12 +206,6 @@ func (s *shard) wake() {
 		s.mu.Unlock()
 		s.mu.Lock()
 	}
-	// Starvation registration: queued work survives with nothing in
-	// flight locally — no result, ack, or backoff timer of this shard
-	// will ever re-run the pass. A capacity-freeing event in any other
-	// shard nudges us awake (nudgeStarving).
-	s.setStarvingLocked(s.hasPendingLocked() && s.quietLocked())
-	s.scheduling = false
 }
 
 // quietLocked reports whether no local event is pending that could

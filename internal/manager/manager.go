@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,15 @@ type Stats struct {
 	WorkerLogs        int64 // worker-side diagnostics received (MsgLog), e.g. protocol decode errors
 	SendQueueDrops    int64 // worker connections dropped because their outbound queue overflowed
 	ShardForwards     int64 // specs moved across shards (evacuation, parked work meeting its first worker)
+
+	// Coalesced-writer accounting: each per-worker sender goroutine
+	// drains its queue greedily into the connection's pending buffer
+	// and issues one flush per drain batch, so FramesSent/FlushBatches
+	// is the mean frames-per-write — the wire path's syscall
+	// amortization factor. MaxFlushBatch is the largest single batch.
+	FramesSent    int64
+	FlushBatches  int64
+	MaxFlushBatch int64
 }
 
 // Manager coordinates workers across the sharded dispatch plane.
@@ -227,7 +237,92 @@ type shard struct {
 	// dirtyLibs — the map and this slice are retained across passes so
 	// the steady-state pass allocates nothing.
 	libScratch []string
-	scheduling bool
+	// reqScratch/planScratch/invScratch are the scheduling passes'
+	// reusable batch buffers (requests in, decisions out). Each pass
+	// truncates and refills them under the shard lock, so steady-state
+	// planning allocates no slices.
+	reqScratch  []policy.TaskReq
+	planScratch []policy.PlaceTask
+	invScratch  []policy.PlaceInvocation
+	// freeInflight recycles invocation inflight entries (only those —
+	// task entries can be referenced by ackWaiters past completion;
+	// invocation entries never register there).
+	freeInflight []*inflightEntry
+
+	// ---- lock-free submit intake (MPSC) ----
+
+	// intake is a Treiber stack submitters push onto without touching
+	// mu, so SubmitInvocation/Submit never contend with a running wake
+	// pass. The wake loop swaps the whole stack out under mu and
+	// replays it in FIFO (reversed) order into the pending queues.
+	intake atomic.Pointer[intakeNode]
+	// wakeState is the lock-free coalescing latch replacing the old
+	// mu-guarded scheduling flag: wakeIdle (no loop running),
+	// wakeRunning (a loop is draining), wakeRerun (a loop is draining
+	// and at least one wake arrived since its last pass — it must run
+	// again before going idle).
+	wakeState atomic.Int32
+}
+
+const (
+	wakeIdle int32 = iota
+	wakeRunning
+	wakeRerun
+)
+
+// intakeNode is one submitted spec waiting in a shard's intake stack.
+// Nodes are pooled: the submit path must not trade its lock for an
+// allocation per spec.
+type intakeNode struct {
+	next   *intakeNode
+	isTask bool
+	task   pendingTask
+	inv    pendingInv
+}
+
+var intakeNodePool = sync.Pool{New: func() any { return new(intakeNode) }}
+
+// pushIntake publishes one node onto the shard's intake stack —
+// multiple producers, lock-free.
+func (s *shard) pushIntake(n *intakeNode) {
+	for {
+		old := s.intake.Load()
+		n.next = old
+		if s.intake.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// drainIntakeLocked moves every spec published to the intake stack
+// into the shard's pending queues (marking the matching dirty bits).
+// Called with s.mu held; the single consumer. The swap claims the
+// whole stack, so concurrent pushers are never blocked; reversing it
+// restores submission (FIFO) order.
+func (s *shard) drainIntakeLocked() {
+	head := s.intake.Swap(nil)
+	if head == nil {
+		return
+	}
+	var rev *intakeNode
+	for head != nil {
+		next := head.next
+		head.next = rev
+		rev = head
+		head = next
+	}
+	for n := rev; n != nil; {
+		next := n.next
+		if n.isTask {
+			s.pendingTasks = append(s.pendingTasks, n.task)
+			s.markTasksDirtyLocked()
+		} else {
+			s.enqueueInvLocked(n.inv)
+		}
+		*n = intakeNode{} // drop spec pointers before pooling
+		intakeNodePool.Put(n)
+		n = next
+	}
 }
 
 // pendingTask pairs a queued task with its precomputed ring key and
@@ -464,6 +559,9 @@ func (m *Manager) Stats() Stats {
 		WorkerLogs:        atomic.LoadInt64(&m.stats.WorkerLogs),
 		SendQueueDrops:    atomic.LoadInt64(&m.stats.SendQueueDrops),
 		ShardForwards:     atomic.LoadInt64(&m.stats.ShardForwards),
+		FramesSent:        atomic.LoadInt64(&m.stats.FramesSent),
+		FlushBatches:      atomic.LoadInt64(&m.stats.FlushBatches),
+		MaxFlushBatch:     atomic.LoadInt64(&m.stats.MaxFlushBatch),
 	}
 }
 
@@ -548,33 +646,35 @@ func (m *Manager) SubmitInvocation(inv *core.InvocationSpec) int64 {
 
 // routeTask delivers a task to the shard owning its ring key — or, in
 // an empty cluster, parks it in the key's home shard until the first
-// worker joins (shardplane routing rules).
+// worker joins (shardplane routing rules). The hand-off is lock-free:
+// the spec goes onto the shard's intake stack and the wake latch does
+// the rest, so a submit burst never contends with a running pass.
 func (m *Manager) routeTask(pt pendingTask) {
 	idx, ok := m.router.Owner(pt.key)
 	if !ok {
 		idx = m.router.Park(pt.key)
 	}
 	s := m.shards[idx]
-	s.mu.Lock()
-	s.pendingTasks = append(s.pendingTasks, pt)
-	s.markTasksDirtyLocked()
-	s.mu.Unlock()
+	n := intakeNodePool.Get().(*intakeNode)
+	n.isTask, n.task = true, pt
+	s.pushIntake(n)
 	s.wake()
 }
 
 // routeInv delivers an invocation to a live shard by round-robin over
 // its spec ID — invocations of one library are interchangeable, so
 // spreading them across shards is pure load balancing. In an empty
-// cluster it parks in the library's home shard.
+// cluster it parks in the library's home shard. Lock-free hand-off,
+// like routeTask.
 func (m *Manager) routeInv(pi pendingInv) {
 	idx, ok := m.router.RouteSpec(pi.inv.ID)
 	if !ok {
 		idx = m.router.Park(pi.inv.Library)
 	}
 	s := m.shards[idx]
-	s.mu.Lock()
-	s.enqueueInvLocked(pi)
-	s.mu.Unlock()
+	n := intakeNodePool.Get().(*intakeNode)
+	n.isTask, n.inv = false, pi
+	s.pushIntake(n)
 	s.wake()
 }
 
@@ -713,6 +813,8 @@ func (m *Manager) serveWorker(nc net.Conn) {
 			case <-done:
 				return
 			}
+			var batch int64
+			yielded := false
 			for {
 				var err error
 				if msg.bulk {
@@ -726,10 +828,24 @@ func (m *Manager) serveWorker(nc net.Conn) {
 					nc.Close()
 					return
 				}
+				batch++
 				select {
 				case msg = <-w.sendq:
 					continue
 				default:
+				}
+				// One cooperative yield before flushing lets same-core
+				// producers (the scheduler mid-burst) top the queue off,
+				// so the flush carries a bigger batch in one write
+				// syscall instead of many near-empty ones.
+				if !yielded {
+					yielded = true
+					runtime.Gosched()
+					select {
+					case msg = <-w.sendq:
+						continue
+					default:
+					}
 				}
 				break
 			}
@@ -737,11 +853,23 @@ func (m *Manager) serveWorker(nc net.Conn) {
 				nc.Close()
 				return
 			}
+			atomic.AddInt64(&m.stats.FramesSent, batch)
+			atomic.AddInt64(&m.stats.FlushBatches, 1)
+			for {
+				max := atomic.LoadInt64(&m.stats.MaxFlushBatch)
+				if batch <= max || atomic.CompareAndSwapInt64(&m.stats.MaxFlushBatch, max, batch) {
+					break
+				}
+			}
 		}
 	}()
 
 	s.wake()
 
+	// strs interns the identifier strings every completion repeats
+	// (worker ID, library instance) — one table per connection, used
+	// only by this reader goroutine.
+	var strs proto.Interner
 	for {
 		// RecvReuse: every case decodes (copying what it keeps) before
 		// the next receive; nothing below retains the raw payload.
@@ -759,7 +887,7 @@ func (m *Manager) serveWorker(nc net.Conn) {
 				s.onLibraryAck(w, ack)
 			}
 		case proto.MsgResult:
-			if res, err := proto.DecodeResult(raw); err == nil {
+			if res, err := proto.DecodeResultInterned(raw, &strs); err == nil {
 				s.onResult(w, res)
 			}
 		case proto.MsgLog:
@@ -1042,6 +1170,9 @@ func (s *shard) onResult(w *workerState, res core.Result) {
 	}
 	if ok && !retried && !res.Ok {
 		atomic.AddInt64(&m.stats.Failures, 1)
+	}
+	if ok && !retried && e.inv != nil && len(s.freeInflight) < 1024 {
+		s.freeInflight = append(s.freeInflight, e)
 	}
 	s.mu.Unlock()
 	if ok && !retried {

@@ -227,11 +227,12 @@ func (s *shard) scheduleTasksLocked() (forward []pendingTask, target int) {
 			return forward, next
 		}
 	}
-	reqs := make([]policy.TaskReq, len(s.pendingTasks))
-	for i, pt := range s.pendingTasks {
-		reqs[i] = policy.TaskReq{Key: pt.key, Res: pt.t.Resources, Inputs: pt.t.Inputs, Avoid: pt.avoid}
+	reqs := s.reqScratch[:0]
+	for _, pt := range s.pendingTasks {
+		reqs = append(reqs, policy.TaskReq{Key: pt.key, Res: pt.t.Resources, Inputs: pt.t.Inputs, Avoid: pt.avoid})
 	}
-	decisions := s.view.PlanTaskBatch(reqs, nil)
+	decisions := s.view.PlanTaskBatchInto(s.planScratch[:0], reqs, nil)
+	s.reqScratch, s.planScratch = reqs, decisions
 	remaining := s.pendingTasks[:0]
 	for i, pt := range s.pendingTasks {
 		d := decisions[i]
@@ -338,7 +339,10 @@ func (s *shard) scheduleLibQueueLocked(lib string) {
 		// possible. The batch is keyed by the avoid preference; cache
 		// exhaustion within a run means no admitted capacity remains.
 		if !cacheValid || cacheAvoid != pi.avoid {
-			cache = s.view.PlaceReadyBatch(lib, len(q)-i, policy.Excluding(pi.avoid))
+			// Refilling drops any previous cache slice, so reusing the
+			// shard scratch buffer underneath it is safe.
+			cache = s.view.PlaceReadyBatchInto(s.invScratch[:0], lib, len(q)-i, policy.Excluding(pi.avoid))
+			s.invScratch = cache
 			cacheAvoid, cacheValid = pi.avoid, true
 		}
 		if len(cache) > 0 {
@@ -424,7 +428,17 @@ func (s *shard) execPlaceInvLocked(pi pendingInv, d policy.PlaceInvocation) {
 	li.SlotsUsed++
 	s.libSlotsChangedLocked(w, li)
 	w.enqueue(outMsg{t: proto.MsgInvoke, v: inv})
-	s.inflight[inv.ID] = &inflightEntry{worker: w.id, library: inv.Library, inv: inv, retries: pi.retries, sentAt: time.Now()}
+	var e *inflightEntry
+	if n := len(s.freeInflight); n > 0 {
+		e = s.freeInflight[n-1]
+		s.freeInflight[n-1] = nil
+		s.freeInflight = s.freeInflight[:n-1]
+		*e = inflightEntry{}
+	} else {
+		e = &inflightEntry{}
+	}
+	e.worker, e.library, e.inv, e.retries, e.sentAt = w.id, inv.Library, inv, pi.retries, time.Now()
+	s.inflight[inv.ID] = e
 }
 
 // deployForInvocationLocked asks the policy core for a deploy decision

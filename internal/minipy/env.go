@@ -9,6 +9,10 @@ import "sort"
 type Env struct {
 	vars   map[string]Value
 	parent *Env
+	// escaped marks an environment captured by a closure (directly or
+	// as an ancestor frame). The interpreter recycles function-local
+	// frames after a call returns; an escaped frame is left alone.
+	escaped bool
 }
 
 // NewEnv creates an environment with the given parent (nil for module

@@ -36,13 +36,17 @@ func (e *RuntimeError) Error() string {
 
 // Control-flow signals are implemented as sentinel error types that
 // propagate out of exec until caught by the enclosing construct.
-type returnSignal struct{ value Value }
+type returnSignal struct{}
 type breakSignal struct{}
 type continueSignal struct{}
 
 func (returnSignal) Error() string   { return "return outside function" }
 func (breakSignal) Error() string    { return "break outside loop" }
 func (continueSignal) Error() string { return "continue outside loop" }
+
+// errReturn is the singleton return signal; the value travels in the
+// frame (frame.ret), so signalling a return allocates nothing.
+var errReturn error = returnSignal{}
 
 // Interp executes MiniPy programs. An Interp is not safe for concurrent
 // use; library fork mode creates a child Interp sharing the Host and
@@ -59,6 +63,10 @@ type Interp struct {
 	depth     int
 	// MaxDepth bounds call recursion.
 	MaxDepth int
+	// envFree recycles function-local environments between calls: a
+	// call whose frame was not captured by a closure returns its Env
+	// (and its bucket memory) here instead of to the garbage collector.
+	envFree []*Env
 }
 
 // defaultHost is used when no host is supplied: no importable modules,
@@ -179,6 +187,9 @@ type frame struct {
 	globals map[string]bool // names declared global in this frame
 	src     string
 	module  string
+	// ret carries the value of an executed return statement while the
+	// errReturn signal unwinds to the enclosing callFunc.
+	ret Value
 }
 
 func (fr *frame) isGlobal(name string) bool {
@@ -210,6 +221,7 @@ func (ip *Interp) exec(s Stmt, fr *frame) error {
 		}
 		if fr.env.Parent() != nil {
 			fn.Closure = fr.env
+			markEscaped(fr.env)
 		}
 		// Evaluate default expressions at definition time.
 		if err := ip.bindDefaults(fn, fr); err != nil {
@@ -226,7 +238,8 @@ func (ip *Interp) exec(s Stmt, fr *frame) error {
 				return err
 			}
 		}
-		return returnSignal{value: v}
+		fr.ret = v
+		return errReturn
 	case *IfStmt:
 		cond, err := ip.eval(st.Cond, fr)
 		if err != nil {
@@ -714,6 +727,7 @@ func (ip *Interp) eval(e Expr, fr *frame) (Value, error) {
 		}
 		if fr.env.Parent() != nil {
 			fn.Closure = fr.env
+			markEscaped(fr.env)
 		}
 		if err := ip.bindDefaults(fn, fr); err != nil {
 			return nil, err
@@ -820,22 +834,58 @@ func (ip *Interp) callFunc(f *Func, args []Value, kwargs map[string]Value, line 
 	} else {
 		parent = f.Globals
 	}
-	locals := NewEnv(parent)
+	locals := ip.newLocalEnv(parent)
 	if err := bindParams(f, args, kwargs, locals, line); err != nil {
+		ip.releaseEnv(locals)
 		return nil, err
 	}
-	fr := &frame{env: locals, src: f.Source, module: f.Module}
+	fr := frame{env: locals, src: f.Source, module: f.Module}
 	if f.Expr != nil { // lambda
-		return ip.eval(f.Expr, fr)
+		v, err := ip.eval(f.Expr, &fr)
+		ip.releaseEnv(locals)
+		return v, err
 	}
-	err := ip.execBlock(f.Body, fr)
+	err := ip.execBlock(f.Body, &fr)
+	ret := fr.ret
+	ip.releaseEnv(locals)
 	if err != nil {
-		if rs, ok := err.(returnSignal); ok {
-			return rs.value, nil
+		if err == errReturn {
+			return ret, nil
 		}
 		return nil, err
 	}
 	return NoneValue, nil
+}
+
+// newLocalEnv pops a recycled frame or allocates one.
+func (ip *Interp) newLocalEnv(parent *Env) *Env {
+	if n := len(ip.envFree); n > 0 {
+		e := ip.envFree[n-1]
+		ip.envFree[n-1] = nil
+		ip.envFree = ip.envFree[:n-1]
+		e.parent = parent
+		return e
+	}
+	return NewEnv(parent)
+}
+
+// releaseEnv recycles a function-local frame unless a closure captured
+// it (markEscaped) — then the frame must stay live with its bindings.
+func (ip *Interp) releaseEnv(e *Env) {
+	if e.escaped || len(ip.envFree) >= 64 {
+		return
+	}
+	clear(e.vars)
+	e.parent = nil
+	ip.envFree = append(ip.envFree, e)
+}
+
+// markEscaped pins a captured frame and its ancestors against frame
+// recycling.
+func markEscaped(e *Env) {
+	for ; e != nil && !e.escaped; e = e.parent {
+		e.escaped = true
+	}
 }
 
 func bindParams(f *Func, args []Value, kwargs map[string]Value, locals *Env, line int) error {
@@ -847,11 +897,17 @@ func bindParams(f *Func, args []Value, kwargs map[string]Value, locals *Env, lin
 		return rtErrf(line, "%s() takes %d positional arguments but %d were given",
 			name, len(f.Params), len(args))
 	}
-	used := map[string]bool{}
+	// used tracks kwarg consumption; positional-only calls never need it.
+	var used map[string]bool
+	if len(kwargs) > 0 {
+		used = map[string]bool{}
+	}
 	for i, p := range f.Params {
 		if i < len(args) {
 			locals.Set(p.Name, args[i])
-			used[p.Name] = true
+			if used != nil {
+				used[p.Name] = true
+			}
 			continue
 		}
 		if v, ok := kwargs[p.Name]; ok {

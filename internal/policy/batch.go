@@ -37,20 +37,29 @@ type TaskReq struct {
 // no candidate fits now — exactly PlanTask's contract. The view is
 // unchanged on return.
 func (v *ClusterView) PlanTaskBatch(reqs []TaskReq, f Filter) []PlaceTask {
-	out := make([]PlaceTask, len(reqs))
-	var undo []undoOp
-	for i, r := range reqs {
+	return v.PlanTaskBatchInto(nil, reqs, f)
+}
+
+// PlanTaskBatchInto is PlanTaskBatch appending into dst (which may be
+// nil or a recycled scratch slice truncated to zero). Drivers that
+// plan every wake pass keep one scratch per shard so a pass allocates
+// no decision slice; the returned slice is valid until the caller
+// reuses dst.
+func (v *ClusterView) PlanTaskBatchInto(dst []PlaceTask, reqs []TaskReq, f Filter) []PlaceTask {
+	undo := v.undoScratch[:0]
+	for _, r := range reqs {
 		d := v.PlanTask(r.Key, r.Res, r.Inputs, andFilters(Excluding(r.Avoid), f))
 		if d.Worker == nil && r.Avoid != "" {
 			d = v.PlanTask(r.Key, r.Res, r.Inputs, f)
 		}
-		out[i] = d
+		dst = append(dst, d)
 		if d.Worker != nil {
 			undo = v.applyPlacement(undo, d.Worker, r.Res, d.Stages)
 		}
 	}
 	v.revert(undo)
-	return out
+	v.undoScratch = undo[:0]
+	return dst
 }
 
 // PlaceReadyBatch picks ready instances for up to k invocations of
@@ -59,8 +68,14 @@ func (v *ClusterView) PlanTaskBatch(reqs []TaskReq, f Filter) []PlaceTask {
 // of one library faces the same cluster state). The view is unchanged
 // on return.
 func (v *ClusterView) PlaceReadyBatch(lib string, k int, f Filter) []PlaceInvocation {
-	out := make([]PlaceInvocation, 0, k)
-	var undo []undoOp
+	return v.PlaceReadyBatchInto(make([]PlaceInvocation, 0, k), lib, k, f)
+}
+
+// PlaceReadyBatchInto is PlaceReadyBatch appending into dst (which may
+// be nil or a recycled scratch slice truncated to zero). The returned
+// slice is valid until the caller reuses dst.
+func (v *ClusterView) PlaceReadyBatchInto(dst []PlaceInvocation, lib string, k int, f Filter) []PlaceInvocation {
+	undo := v.undoScratch[:0]
 	for i := 0; i < k; i++ {
 		d := v.PlaceReady(lib, f)
 		if d.Worker == nil {
@@ -71,10 +86,11 @@ func (v *ClusterView) PlaceReadyBatch(lib string, k int, f Filter) []PlaceInvoca
 		// membership cannot change its choice.
 		d.Lib.FreeReady--
 		undo = append(undo, undoOp{freeReady: d.Lib})
-		out = append(out, d)
+		dst = append(dst, d)
 	}
 	v.revert(undo)
-	return out
+	v.undoScratch = undo[:0]
+	return dst
 }
 
 // undoOp records one reversible overlay effect. Exactly one field is

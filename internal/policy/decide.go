@@ -149,13 +149,15 @@ type PlaceTask struct {
 // driver can retry on arrival.
 func (v *ClusterView) PlanTask(key string, res core.Resources, inputs []core.FileSpec, f Filter) PlaceTask {
 	var out PlaceTask
-	seen := map[string]bool{}
-	for _, id := range v.Ring.Sequence(key, 0) {
+	seen := v.clearedSeen()
+	ring := v.Ring.AppendSequence(v.ringScratch[:0], key, 0)
+	v.ringScratch = ring
+	for _, id := range ring {
 		w := v.Workers[id]
 		if !admits(w, f) || !res.Fits(w.Avail()) {
 			continue
 		}
-		stages, blocked, ok := v.PlanStageAll(w, inputs, map[string]bool{})
+		stages, blocked, ok := v.PlanStageAll(w, inputs, v.clearedStage())
 		if !ok {
 			for _, obj := range blocked {
 				if !seen[obj] {
@@ -271,8 +273,10 @@ func (v *ClusterView) PlanDeploy(spec DeploySpec, f Filter) DeployLibrary {
 	if v.LibFull[spec.Name] >= len(v.Workers) {
 		return out
 	}
-	seen := map[string]bool{}
-	for _, id := range v.Ring.Sequence(spec.Name, 0) {
+	seen := v.clearedSeen()
+	ring := v.Ring.AppendSequence(v.ringScratch[:0], spec.Name, 0)
+	v.ringScratch = ring
+	for _, id := range ring {
 		w := v.Workers[id]
 		if !admits(w, f) {
 			continue
@@ -284,7 +288,7 @@ func (v *ClusterView) PlanDeploy(spec DeploySpec, f Filter) DeployLibrary {
 		if need == (core.Resources{}) {
 			need = w.Total
 		}
-		stages, blocked, ok := v.PlanStageAll(w, spec.Files, map[string]bool{})
+		stages, blocked, ok := v.PlanStageAll(w, spec.Files, v.clearedStage())
 		if !ok {
 			for _, obj := range blocked {
 				if !seen[obj] {

@@ -120,6 +120,61 @@ type ClusterView struct {
 	// ManagerSends counts copies the manager is currently sending on
 	// its own link (meaningful only under ManagerSourceCap).
 	ManagerSends int
+
+	// freeSets recycles emptied Holders/ReadyFree member sets. A 1-slot
+	// worker oscillates free⇄busy on every dispatch, which would
+	// otherwise delete and re-allocate its library's ReadyFree set each
+	// cycle; the recycled maps keep their buckets, so the oscillation is
+	// allocation-free. Contents are identical either way — decisions
+	// never observe the difference.
+	freeSets []map[string]*WorkerView
+	// undoScratch is the batch planners' reusable overlay-undo log
+	// (always empty between calls; batch calls never nest).
+	undoScratch []undoOp
+	// ringScratch/seenScratch/stageScratch are PlanTask/PlanDeploy's
+	// reusable ring-walk buffers. The planners never nest, so one set
+	// per view suffices; each walk truncates or clears before use.
+	ringScratch  []string
+	seenScratch  map[string]bool
+	stageScratch map[string]bool
+}
+
+// clearedSeen returns the reusable blocked-object dedup set, emptied.
+func (v *ClusterView) clearedSeen() map[string]bool {
+	if v.seenScratch == nil {
+		v.seenScratch = map[string]bool{}
+	} else {
+		clear(v.seenScratch)
+	}
+	return v.seenScratch
+}
+
+// clearedStage returns the reusable staged-object commit set, emptied.
+func (v *ClusterView) clearedStage() map[string]bool {
+	if v.stageScratch == nil {
+		v.stageScratch = map[string]bool{}
+	} else {
+		clear(v.stageScratch)
+	}
+	return v.stageScratch
+}
+
+// newSet returns an empty member set, recycled when possible.
+func (v *ClusterView) newSet() map[string]*WorkerView {
+	if n := len(v.freeSets); n > 0 {
+		set := v.freeSets[n-1]
+		v.freeSets[n-1] = nil
+		v.freeSets = v.freeSets[:n-1]
+		return set
+	}
+	return map[string]*WorkerView{}
+}
+
+// releaseSet recycles an emptied member set.
+func (v *ClusterView) releaseSet(set map[string]*WorkerView) {
+	if len(v.freeSets) < 64 {
+		v.freeSets = append(v.freeSets, set)
+	}
 }
 
 // NewClusterView creates an empty view with option defaults applied.
@@ -147,14 +202,13 @@ func NewClusterView(opts Options) *ClusterView {
 
 // AddWorker registers a joined worker and returns its view.
 func (v *ClusterView) AddWorker(id, clusterName string, total core.Resources) *WorkerView {
+	// Files/Pending/Libs are allocated lazily by the first mutator that
+	// writes them: many workers in large runs never cache an object.
 	w := &WorkerView{
 		ID:      id,
 		Cluster: clusterName,
 		Alive:   true,
 		Total:   total,
-		Files:   map[string]bool{},
-		Pending: map[string]bool{},
-		Libs:    map[string]*LibraryView{},
 	}
 	v.Workers[id] = w
 	v.Ring.Add(id)
@@ -191,10 +245,13 @@ func (v *ClusterView) NoteReplica(w *WorkerView, id string) bool {
 	if w.Files[id] {
 		return false
 	}
+	if w.Files == nil {
+		w.Files = map[string]bool{}
+	}
 	w.Files[id] = true
 	set := v.Holders[id]
 	if set == nil {
-		set = map[string]*WorkerView{}
+		set = v.newSet()
 		v.Holders[id] = set
 	}
 	set[w.ID] = w
@@ -212,6 +269,7 @@ func (v *ClusterView) DropReplica(w *WorkerView, id string) bool {
 		delete(set, w.ID)
 		if len(set) == 0 {
 			delete(v.Holders, id)
+			v.releaseSet(set)
 		}
 	}
 	return true
@@ -221,6 +279,9 @@ func (v *ClusterView) DropReplica(w *WorkerView, id string) bool {
 func (v *ClusterView) NotePending(w *WorkerView, id string) {
 	if w.Pending[id] {
 		return
+	}
+	if w.Pending == nil {
+		w.Pending = map[string]bool{}
 	}
 	w.Pending[id] = true
 	v.PendingCopies[id]++
@@ -247,6 +308,9 @@ func (v *ClusterView) ClearPending(w *WorkerView, id string) bool {
 // advances the instance count and the saturation index.
 func (v *ClusterView) AddInstance(w *WorkerView, lv *LibraryView) {
 	if w.Libs[lv.Name] == nil {
+		if w.Libs == nil {
+			w.Libs = map[string]*LibraryView{}
+		}
 		w.Libs[lv.Name] = lv
 	}
 	lv.Instances++
@@ -281,7 +345,7 @@ func (v *ClusterView) SetFreeReady(w *WorkerView, lv *LibraryView, free int) {
 	if free > 0 && w.Alive {
 		set := v.ReadyFree[lv.Name]
 		if set == nil {
-			set = map[string]*WorkerView{}
+			set = v.newSet()
 			v.ReadyFree[lv.Name] = set
 		}
 		set[w.ID] = w
@@ -298,5 +362,6 @@ func (v *ClusterView) dropReadyFree(lib, workerID string) {
 	delete(set, workerID)
 	if len(set) == 0 {
 		delete(v.ReadyFree, lib)
+		v.releaseSet(set)
 	}
 }

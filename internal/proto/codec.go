@@ -93,6 +93,40 @@ func appendResult(b []byte, r *core.Result) []byte {
 	return appendStr(b, r.Metrics.LibraryInstance)
 }
 
+// Interner deduplicates the dispatch plane's small identifier
+// vocabulary (worker IDs, library and function names, instance IDs):
+// a receive loop keeps one, and a repeated identifier decodes to the
+// same string instead of costing a fresh allocation per frame. Not
+// safe for concurrent use — one Interner per receive loop. A nil
+// *Interner is valid and interns nothing.
+type Interner struct {
+	m map[string]string
+}
+
+// maxInternerEntries bounds the table so a pathological vocabulary
+// (say, per-invocation instance IDs) cannot pin unbounded memory;
+// past the cap, lookups still hit but misses fall back to plain
+// copies.
+const maxInternerEntries = 4096
+
+func (in *Interner) intern(b []byte) string {
+	if in == nil || len(b) == 0 {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok { // compiler elides the conversion
+		return s
+	}
+	if in.m == nil {
+		in.m = make(map[string]string)
+	}
+	if len(in.m) >= maxInternerEntries {
+		return string(b)
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
 // binReader is a bounds-checked cursor over a binary body. Errors
 // stick: after the first failure every read returns zero values, so
 // decoders check err once at the end.
@@ -159,14 +193,21 @@ func (r *binReader) float(what string) float64 {
 
 // DecodeInvocation decodes a MsgInvoke body in either encoding.
 func DecodeInvocation(raw []byte) (core.InvocationSpec, error) {
+	return DecodeInvocationInterned(raw, nil)
+}
+
+// DecodeInvocationInterned is DecodeInvocation with identifier strings
+// (library, function) interned through in — the worker's receive loop
+// sees the same few names tens of thousands of times per second.
+func DecodeInvocationInterned(raw []byte, in *Interner) (core.InvocationSpec, error) {
 	if len(raw) == 0 || raw[0] != binMarker {
 		return Decode[core.InvocationSpec](raw)
 	}
 	var inv core.InvocationSpec
 	r := &binReader{b: raw, off: 1}
 	inv.ID = int64(r.u64("id"))
-	inv.Library = r.str("library")
-	inv.Function = r.str("function")
+	inv.Library = in.intern(r.bytes("library"))
+	inv.Function = in.intern(r.bytes("function"))
 	if b := r.bytes("args"); len(b) > 0 {
 		// The cursor aliases the receive buffer; the spec outlives it.
 		inv.Args = append([]byte(nil), b...)
@@ -176,6 +217,13 @@ func DecodeInvocation(raw []byte) (core.InvocationSpec, error) {
 
 // DecodeResult decodes a MsgResult body in either encoding.
 func DecodeResult(raw []byte) (core.Result, error) {
+	return DecodeResultInterned(raw, nil)
+}
+
+// DecodeResultInterned is DecodeResult with identifier strings (worker
+// ID, library instance) interned through in — the manager's per-worker
+// receive loop sees the same identifiers on every completion.
+func DecodeResultInterned(raw []byte, in *Interner) (core.Result, error) {
 	if len(raw) == 0 || raw[0] != binMarker {
 		return Decode[core.Result](raw)
 	}
@@ -193,7 +241,7 @@ func DecodeResult(raw []byte) (core.Result, error) {
 	res.Metrics.WorkerTime = r.float("worker_time")
 	res.Metrics.SetupTime = r.float("setup_time")
 	res.Metrics.ExecTime = r.float("exec_time")
-	res.Metrics.WorkerID = r.str("worker_id")
-	res.Metrics.LibraryInstance = r.str("library_instance")
+	res.Metrics.WorkerID = in.intern(r.bytes("worker_id"))
+	res.Metrics.LibraryInstance = in.intern(r.bytes("library_instance"))
 	return res, r.err
 }

@@ -246,13 +246,37 @@ func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{rw: rw, br: bufio.NewReaderSize(rw, readBufSize)}
 }
 
+// bufferPool is the encode-buffer supply contract. The default is a
+// sync.Pool; tests swap in a counting pool to prove the pool
+// discipline below — every Get is returned by a Put on every path,
+// success or error (the pooldiscipline analyzer enforces the
+// lexical shape, the leak test the dynamic one).
+type bufferPool interface {
+	Get() *bytes.Buffer
+	Put(*bytes.Buffer)
+}
+
+type syncBufPool struct{ p sync.Pool }
+
+func (s *syncBufPool) Get() *bytes.Buffer  { return s.p.Get().(*bytes.Buffer) }
+func (s *syncBufPool) Put(b *bytes.Buffer) { s.p.Put(b) }
+
 // encPool recycles the per-send encode buffers so the steady-state
 // message stream (acks, results, dispatches) allocates no temporaries.
-var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+var encPool bufferPool = &syncBufPool{p: sync.Pool{New: func() any { return new(bytes.Buffer) }}}
 
 // maxPooledBuf bounds what goes back in the pool: an occasional giant
 // frame must not pin megabytes inside it.
 const maxPooledBuf = 1 << 20
+
+// getEncBuf takes a reset encode buffer from the pool. Pool
+// discipline: every getEncBuf must be paired with a dominating
+// `defer putEncBuf` so error returns cannot leak buffers.
+func getEncBuf() *bytes.Buffer {
+	buf := encPool.Get()
+	buf.Reset()
+	return buf
+}
 
 func putEncBuf(buf *bytes.Buffer) {
 	if buf.Cap() <= maxPooledBuf {
@@ -265,9 +289,8 @@ func putEncBuf(buf *bytes.Buffer) {
 // a single Write call (after draining any frames pending from Buffer,
 // so cross-path ordering holds).
 func (c *Conn) Send(t MsgType, v any) error {
-	buf := encPool.Get().(*bytes.Buffer)
+	buf := getEncBuf()
 	defer putEncBuf(buf)
-	buf.Reset()
 	if err := encodeFrame(buf, t, v); err != nil {
 		return err
 	}
@@ -356,9 +379,8 @@ func (c *Conn) flushLocked() error {
 //
 //	[4B header length][header JSON][payload bytes]
 func (c *Conn) SendBulk(t MsgType, hdr any, payload []byte) error {
-	buf := encPool.Get().(*bytes.Buffer)
+	buf := getEncBuf()
 	defer putEncBuf(buf)
-	buf.Reset()
 	buf.Write([]byte{0, 0, 0, 0, byte(t), 0, 0, 0, 0})
 	if err := json.NewEncoder(buf).Encode(hdr); err != nil {
 		return fmt.Errorf("proto: encoding %v header: %w", t, err)

@@ -47,10 +47,40 @@ type shardReplica struct {
 	// the running loop observes it on the re-check.
 	dirty      bool
 	scheduling bool
+	// intake mirrors the manager's lock-free submit intake: routed
+	// specs queue here rather than going straight into the pending
+	// queues, and the wake loop drains them (in submission order) at
+	// the top of each pass — so the decision order stays byte-identical
+	// to the manager's MPSC hand-off.
+	intake []simIntake
 	// starving mirrors the manager's starvation registry entry: queued
 	// work survives a wake with nothing in flight locally, so only a
 	// capacity event in another shard (nudge) can unblock it.
 	starving bool
+}
+
+// simIntake is one routed spec waiting in a shard's intake queue: a
+// task by ring key, or (isTask false) one pooled invocation.
+type simIntake struct {
+	isTask bool
+	task   replayTask
+}
+
+// drainIntake replays queued intake items into the shard's pending
+// state, marking it dirty — the manager's drainIntakeLocked.
+func (sh *shardReplica) drainIntake() {
+	if len(sh.intake) == 0 {
+		return
+	}
+	for _, it := range sh.intake {
+		if it.isTask {
+			sh.rp.pendq = append(sh.rp.pendq, it.task)
+		} else {
+			sh.rp.st.pending++
+		}
+	}
+	sh.intake = sh.intake[:0]
+	sh.dirty = true
 }
 
 // NewShardedReplay builds an untimed sharded simulation. cfg.Workers
@@ -98,7 +128,11 @@ func (sr *ShardedReplay) wake(i int) {
 	}
 	sh.scheduling = true
 	r := sh.rp
-	for sh.dirty {
+	for {
+		sh.drainIntake()
+		if !sh.dirty {
+			break
+		}
 		// Evacuation: a workerless shard can place nothing and no local
 		// event will change that — its queues leave for live shards
 		// before the pass snapshot. Routing cannot pick a workerless
@@ -128,29 +162,29 @@ func (sr *ShardedReplay) wake(i int) {
 
 // routeTask delivers a task to the shard owning its ring key — or, in
 // an empty cluster, parks it in the key's home shard (shardplane
-// routing rules, shared verbatim with the manager).
+// routing rules, shared verbatim with the manager). Like the
+// manager's routeTask, the spec goes through the shard's intake queue
+// and the wake loop moves it into the pending queue.
 func (sr *ShardedReplay) routeTask(pt replayTask) {
 	idx, ok := sr.router.Owner(pt.key)
 	if !ok {
 		idx = sr.router.Park(pt.key)
 	}
 	sh := sr.shards[idx]
-	sh.rp.pendq = append(sh.rp.pendq, pt)
-	sh.dirty = true
+	sh.intake = append(sh.intake, simIntake{isTask: true, task: pt})
 	sr.wake(idx)
 }
 
 // routeInv delivers one invocation to a live shard by round-robin over
 // its spec ID, parking in the library's home shard when no worker is
-// live anywhere.
+// live anywhere. Intake hand-off, like routeTask.
 func (sr *ShardedReplay) routeInv(id int64) {
 	idx, ok := sr.router.RouteSpec(id)
 	if !ok {
 		idx = sr.router.Park(sr.lib())
 	}
 	sh := sr.shards[idx]
-	sh.rp.st.pending++
-	sh.dirty = true
+	sh.intake = append(sh.intake, simIntake{})
 	sr.wake(idx)
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -121,9 +122,14 @@ type Worker struct {
 }
 
 // outFrame is one queued control frame headed for the manager.
+// Results — the once-per-invocation hot payload — travel in the typed
+// res field instead of v: boxing each core.Result into an interface
+// would cost one heap allocation per completion.
 type outFrame struct {
-	t proto.MsgType
-	v any
+	t      proto.MsgType
+	v      any
+	res    core.Result
+	hasRes bool
 }
 
 // sendQueueSize bounds the outbound frame queue. Results are small and
@@ -282,6 +288,9 @@ func (w *Worker) Shutdown() {
 // library removal) runs inline.
 func (w *Worker) loop(nc net.Conn) {
 	defer nc.Close()
+	// strs interns the identifier strings every invocation repeats
+	// (library, function) — used only by this loop goroutine.
+	var strs proto.Interner
 	for {
 		// RecvReuse: every case below decodes (copying what it keeps)
 		// before the next receive; the one exception — a bulk frame's
@@ -337,7 +346,7 @@ func (w *Worker) loop(nc net.Conn) {
 			}
 			w.exec.removeLibrary(msg.Library)
 		case proto.MsgInvoke:
-			msg, err := proto.DecodeInvocation(raw)
+			msg, err := proto.DecodeInvocationInterned(raw, &strs)
 			if err != nil {
 				w.protocolError(t, err)
 				continue
@@ -377,7 +386,10 @@ func (w *Worker) protocolError(t proto.MsgType, err error) {
 
 func (w *Worker) sendResult(res core.Result) {
 	res.Metrics.WorkerID = w.cfg.ID
-	w.sendMsg(proto.MsgResult, res)
+	select {
+	case w.sendq <- outFrame{t: proto.MsgResult, res: res, hasRes: true}:
+	case <-w.done:
+	}
 }
 
 // sendMsg queues a result or ack for the manager unless the worker is
@@ -400,6 +412,18 @@ func (w *Worker) sendMsg(t proto.MsgType, v any) {
 // reason sendMsg ignores shutdown: a broken manager link is reported
 // by the read loop tearing the worker down.
 func (w *Worker) sendLoop() {
+	// scratch is one stable heap slot for unboxed result frames: Buffer
+	// encodes synchronously, so the pointer never outlives the call and
+	// every result frame reuses the same allocation.
+	var scratch core.Result
+	buffer := func(f outFrame) {
+		if f.hasRes {
+			scratch = f.res
+			_ = w.conn.Buffer(f.t, &scratch)
+			return
+		}
+		_ = w.conn.Buffer(f.t, f.v)
+	}
 	for {
 		var f outFrame
 		select {
@@ -407,13 +431,22 @@ func (w *Worker) sendLoop() {
 		case <-w.done:
 			return
 		}
-		_ = w.conn.Buffer(f.t, f.v)
+		buffer(f)
+		yielded := false
 		for {
 			select {
 			case f = <-w.sendq:
-				_ = w.conn.Buffer(f.t, f.v)
+				buffer(f)
 				continue
 			default:
+			}
+			// One cooperative yield before flushing lets same-core
+			// executor goroutines finish results into the queue, so the
+			// flush coalesces a completion burst into one write syscall.
+			if !yielded {
+				yielded = true
+				runtime.Gosched()
+				continue
 			}
 			break
 		}

@@ -77,6 +77,9 @@ type Options struct {
 	// RetryMaxDelay caps the exponential backoff; zero uses the
 	// default.
 	RetryMaxDelay time.Duration
+	// Shards overrides the dispatch plane's shard count (0 = default).
+	// The scaling harness sweeps this; applications normally leave it.
+	Shards int
 }
 
 // WorkerOptions configures locally spawned workers.
@@ -154,6 +157,7 @@ func NewManager(opts Options) (*Manager, error) {
 		MaxRetries:          opts.MaxRetries,
 		RetryBaseDelay:      opts.RetryBaseDelay,
 		RetryMaxDelay:       opts.RetryMaxDelay,
+		Shards:              opts.Shards,
 	})
 	addr, err := inner.Listen()
 	if err != nil {
