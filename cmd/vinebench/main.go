@@ -44,6 +44,7 @@ func main() {
 	shardsList := flag.String("matrix-shards", "1,4,8", "comma-separated shard counts for -dispatch-matrix")
 	matrixRounds := flag.Int("matrix-rounds", 3, "timed batches per matrix cell")
 	matrixOut := flag.String("matrix-out", "", "write the -dispatch-matrix result JSON to this file")
+	tenants := flag.Int("tenants", 0, "run -dispatch-matrix with this many equal-weight tenants through the submission plane (0 = single-tenant direct path)")
 	flag.Parse()
 
 	if *list {
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	if *matrix {
-		if err := runMatrix(*procsList, *shardsList, *matrixRounds, *matrixOut); err != nil {
+		if err := runMatrix(*procsList, *shardsList, *matrixRounds, *tenants, *matrixOut); err != nil {
 			fmt.Fprintf(os.Stderr, "vinebench: %v\n", err)
 			os.Exit(1)
 		}
@@ -104,7 +105,7 @@ func main() {
 // runMatrix sweeps the dispatch harness over every (GOMAXPROCS,
 // Shards) pair, prints the table, and optionally writes the Matrix
 // JSON for benchjson to embed.
-func runMatrix(procsList, shardsList string, rounds int, out string) error {
+func runMatrix(procsList, shardsList string, rounds, tenants int, out string) error {
 	procs, err := parseInts(procsList)
 	if err != nil {
 		return fmt.Errorf("-procs: %w", err)
@@ -113,10 +114,12 @@ func runMatrix(procsList, shardsList string, rounds int, out string) error {
 	if err != nil {
 		return fmt.Errorf("-matrix-shards: %w", err)
 	}
-	mat := dispatchbench.Matrix{
-		Note: fmt.Sprintf("live-engine dispatch throughput (64 workers x 16 slots, no-op invocations, %d timed batches of 2000 per cell) on a %d-CPU host", rounds, runtime.NumCPU()),
+	note := fmt.Sprintf("live-engine dispatch throughput (64 workers x 16 slots, no-op invocations, %d timed batches of 2000 per cell) on a %d-CPU host", rounds, runtime.NumCPU())
+	if tenants > 0 {
+		note += fmt.Sprintf("; %d equal-weight tenants via the submission plane", tenants)
 	}
-	fmt.Printf("dispatch scaling matrix (inv/s; host CPUs: %d)\n", runtime.NumCPU())
+	mat := dispatchbench.Matrix{Note: note}
+	fmt.Printf("dispatch scaling matrix (inv/s; host CPUs: %d; tenants: %d)\n", runtime.NumCPU(), tenants)
 	fmt.Printf("%-12s", "procs\\shards")
 	for _, s := range shards {
 		fmt.Printf("%10d", s)
@@ -125,7 +128,7 @@ func runMatrix(procsList, shardsList string, rounds int, out string) error {
 	for _, p := range procs {
 		fmt.Printf("%-12d", p)
 		for _, s := range shards {
-			res, err := dispatchbench.Run(dispatchbench.Config{Procs: p, Shards: s, Rounds: rounds})
+			res, err := dispatchbench.Run(dispatchbench.Config{Procs: p, Shards: s, Rounds: rounds, Tenants: tenants})
 			if err != nil {
 				return fmt.Errorf("procs=%d shards=%d: %w", p, s, err)
 			}

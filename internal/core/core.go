@@ -97,6 +97,10 @@ type TaskSpec struct {
 	// from its shared FS stand-in.
 	SharedFSReads []FileSpec
 	Resources     Resources
+	// TenantID names the submitting tenant. Empty — the zero value —
+	// bypasses the submission plane entirely: single-tenant callers are
+	// untouched by tenancy.
+	TenantID string
 }
 
 // ExecMode selects how a library executes an invocation (§3.4 step 4).
@@ -175,6 +179,10 @@ type InvocationSpec struct {
 	Function string
 	// Args is the pickled argument tuple.
 	Args []byte
+	// TenantID names the submitting tenant. Empty — the zero value —
+	// bypasses the submission plane entirely: single-tenant callers are
+	// untouched by tenancy.
+	TenantID string
 }
 
 // Result is the outcome of a task or invocation.

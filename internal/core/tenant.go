@@ -1,0 +1,59 @@
+package core
+
+// TenantSpec describes one tenant of the submission plane: a named
+// share of the manager's dispatch capacity. The zero value is never
+// registered — single-tenant operation is the absence of tenants, not
+// a special tenant — so every existing caller, trace, and benchmark is
+// untouched by tenancy.
+type TenantSpec struct {
+	// Name identifies the tenant. Specs carry it in TenantID; the
+	// submission plane keys its queues and fair-share state by it.
+	Name string
+	// Weight is the tenant's fair-share weight (1..16). A tenant with
+	// weight 2 drains twice as fast as a tenant with weight 1 when both
+	// are backlogged. Zero defaults to 1.
+	Weight int
+	// Quota bounds how many of the tenant's specs may be admitted into
+	// the engine at once (queued in shards plus in flight on workers).
+	// Further submissions queue in the plane until results release
+	// capacity. Zero means unlimited.
+	Quota int
+	// MaxQueue bounds the tenant's plane queue: a submission arriving
+	// with MaxQueue specs already waiting is shed — it fails
+	// immediately with a non-retryable result instead of queueing.
+	// Zero means unbounded.
+	MaxQueue int
+	// ThrottleAt is the plane queue depth at which submissions are
+	// still accepted but flagged throttled — the backpressure signal
+	// (Stats.SubmitsThrottled) a client library can watch to slow
+	// down. Zero disables the signal.
+	ThrottleAt int
+}
+
+// NormalizeTenants returns reg sorted by name with weights clamped to
+// [1, maxWeight], dropping unnamed or duplicate entries. Both engines
+// build their tenant tables through this, so tenant index order — the
+// fair-share tie-break — is identical everywhere by construction.
+func NormalizeTenants(reg []TenantSpec, maxWeight int) []TenantSpec {
+	byName := map[string]TenantSpec{}
+	for _, ts := range reg {
+		if ts.Name == "" {
+			continue
+		}
+		if _, dup := byName[ts.Name]; dup {
+			continue
+		}
+		if ts.Weight < 1 {
+			ts.Weight = 1
+		}
+		if ts.Weight > maxWeight {
+			ts.Weight = maxWeight
+		}
+		byName[ts.Name] = ts
+	}
+	out := make([]TenantSpec, 0, len(byName))
+	for _, name := range SortedKeys(byName) {
+		out = append(out, byName[name])
+	}
+	return out
+}

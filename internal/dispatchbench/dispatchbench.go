@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/minipy"
 	"repro/taskvine"
 )
@@ -37,6 +38,11 @@ type Config struct {
 	// Shards overrides the manager's dispatch shard count (0 =
 	// default).
 	Shards int
+	// Tenants, when > 0, activates the multi-tenant submission plane
+	// with that many equal-weight unbounded tenants and spreads each
+	// batch across them round-robin — measuring the fair-share drain's
+	// overhead against the single-tenant direct path (Tenants == 0).
+	Tenants int
 }
 
 func (c *Config) defaults() {
@@ -58,6 +64,7 @@ func (c *Config) defaults() {
 type Result struct {
 	Procs         int     `json:"gomaxprocs"`
 	Shards        int     `json:"shards"`
+	Tenants       int     `json:"tenants,omitempty"`
 	InvPerSec     float64 `json:"inv_per_s"`
 	NsPerDispatch float64 `json:"ns_per_dispatch"`
 }
@@ -77,9 +84,16 @@ func Run(cfg Config) (Result, error) {
 		prev := runtime.GOMAXPROCS(cfg.Procs)
 		defer runtime.GOMAXPROCS(prev)
 	}
-	res := Result{Procs: runtime.GOMAXPROCS(0), Shards: cfg.Shards}
+	res := Result{Procs: runtime.GOMAXPROCS(0), Shards: cfg.Shards, Tenants: cfg.Tenants}
 
-	m, err := taskvine.NewManager(taskvine.Options{Shards: cfg.Shards})
+	opts := taskvine.Options{Shards: cfg.Shards}
+	var tenants []string
+	for i := 0; i < cfg.Tenants; i++ {
+		name := fmt.Sprintf("t%d", i)
+		tenants = append(tenants, name)
+		opts.Tenants = append(opts.Tenants, core.TenantSpec{Name: name, Weight: 1})
+	}
+	m, err := taskvine.NewManager(opts)
 	if err != nil {
 		return res, err
 	}
@@ -101,13 +115,13 @@ func Run(cfg Config) (Result, error) {
 
 	// Warm-up burst deploys library instances across the workers so the
 	// timed rounds measure dispatch, not deployment.
-	if err := runBatch(m, cfg.Batch); err != nil {
+	if err := runBatch(m, tenants, cfg.Batch); err != nil {
 		return res, fmt.Errorf("warm-up: %w", err)
 	}
 
 	start := time.Now()
 	for r := 0; r < cfg.Rounds; r++ {
-		if err := runBatch(m, cfg.Batch); err != nil {
+		if err := runBatch(m, tenants, cfg.Batch); err != nil {
 			return res, fmt.Errorf("round %d: %w", r, err)
 		}
 	}
@@ -120,9 +134,15 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-func runBatch(m *taskvine.Manager, batch int) error {
+func runBatch(m *taskvine.Manager, tenants []string, batch int) error {
 	for j := 0; j < batch; j++ {
-		if _, err := m.Call("dispatch", "noop", minipy.Int(int64(j))); err != nil {
+		var err error
+		if len(tenants) > 0 {
+			_, err = m.CallTenant(tenants[j%len(tenants)], "dispatch", "noop", minipy.Int(int64(j)))
+		} else {
+			_, err = m.Call("dispatch", "noop", minipy.Int(int64(j)))
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,35 @@
+package dispatchbench
+
+import "testing"
+
+// TestDispatchTenantsSmoke drives the live engine through the
+// multi-tenant submission plane at reduced scale: four equal-weight
+// tenants round-robin a batch of no-op invocations, so the fair-share
+// drain, admission accounting, and quota release paths all run against
+// real TCP workers. `make check` runs this under -race via the
+// benchsmoke target — the plane's lock discipline is part of what it
+// proves.
+func TestDispatchTenantsSmoke(t *testing.T) {
+	res, err := Run(Config{Workers: 4, Slots: 4, Batch: 64, Rounds: 1, Tenants: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InvPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.Tenants != 4 {
+		t.Fatalf("result lost the tenant count: %+v", res)
+	}
+}
+
+// TestDispatchSingleTenantSmoke pins the default path: Tenants == 0
+// must bypass the submission plane entirely.
+func TestDispatchSingleTenantSmoke(t *testing.T) {
+	res, err := Run(Config{Workers: 2, Slots: 4, Batch: 32, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InvPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+}

@@ -147,27 +147,29 @@ func All(opts Options) []*Report {
 		AblationSlots(opts),
 		AblationDispatch(opts),
 		ExaMolL3Projection(opts),
+		BurstyMultiTenant(opts),
 	}
 }
 
 // ByName returns the experiment runner for a CLI name.
 func ByName(name string) (func(Options) *Report, bool) {
 	m := map[string]func(Options) *Report{
-		"table2":            Table2,
-		"fig6a":             Fig6a,
-		"fig6b":             Fig6b,
-		"fig7":              Fig7,
-		"table4":            Table4,
-		"fig8":              Fig8,
-		"fig9":              Fig9,
-		"fig10":             Fig10,
-		"fig11":             Fig11,
-		"table5":            Table5,
-		"ablation-transfer": AblationTransfer,
-		"ablation-peercap":  AblationPeerCap,
-		"ablation-slots":    AblationSlots,
-		"ablation-dispatch": AblationDispatch,
-		"examol-l3":         ExaMolL3Projection,
+		"table2":             Table2,
+		"fig6a":              Fig6a,
+		"fig6b":              Fig6b,
+		"fig7":               Fig7,
+		"table4":             Table4,
+		"fig8":               Fig8,
+		"fig9":               Fig9,
+		"fig10":              Fig10,
+		"fig11":              Fig11,
+		"table5":             Table5,
+		"ablation-transfer":  AblationTransfer,
+		"ablation-peercap":   AblationPeerCap,
+		"ablation-slots":     AblationSlots,
+		"ablation-dispatch":  AblationDispatch,
+		"examol-l3":          ExaMolL3Projection,
+		"multitenant-bursty": BurstyMultiTenant,
 	}
 	f, ok := m[name]
 	return f, ok
@@ -179,7 +181,7 @@ func Names() []string {
 		"table2", "fig6a", "fig6b", "fig7", "table4", "fig8", "fig9",
 		"fig10", "fig11", "table5",
 		"ablation-transfer", "ablation-peercap", "ablation-slots", "ablation-dispatch",
-		"examol-l3",
+		"examol-l3", "multitenant-bursty",
 	}
 }
 

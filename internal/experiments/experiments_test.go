@@ -185,6 +185,33 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+func TestBurstyMultiTenantShape(t *testing.T) {
+	rep := BurstyMultiTenant(testOpts)
+	if v := rep.MustGet("execution time"); v <= 0 {
+		t.Fatalf("execution time %f", v)
+	}
+	// The burst tenant must actually overflow its queue bound, and the
+	// pre-shed pressure band must actually throttle — otherwise the
+	// experiment degenerates into single-tenant dispatch.
+	shed := rep.MustGet("submissions shed (burst overflow)")
+	if shed <= 0 {
+		t.Errorf("burst tenant shed nothing; admission control never bit")
+	}
+	if thr := rep.MustGet("submissions throttled"); thr <= 0 {
+		t.Errorf("no submissions throttled")
+	}
+	// The burst arrives ~10x faster than it drains, so most of it is
+	// shed by design — but never all of it (MaxQueue + Quota always
+	// admit the head of the burst).
+	frac := rep.MustGet("shed fraction of burst")
+	if frac <= 0 || frac >= 97 {
+		t.Errorf("shed fraction %.1f%% outside the plausible band (0, 97)", frac)
+	}
+	if served := rep.MustGet("invocations served"); served <= 0 || served+shed != float64(testOpts.scale(4000)+testOpts.scale(500)+testOpts.scale(1500)) {
+		t.Errorf("served %f + shed %f does not account for the workload", served, shed)
+	}
+}
+
 func TestByNameAndNames(t *testing.T) {
 	for _, name := range Names() {
 		if _, ok := ByName(name); !ok {

@@ -20,6 +20,53 @@ var updateGolden = flag.Bool("update", false, "rewrite golden decision traces")
 // modes, or deploy targets shows up as a golden diff — deliberate
 // policy changes regenerate with `go test ./internal/experiments
 // -run Golden -update`, accidental ones fail review.
+// TestGoldenBurstyMultiTenant pins the decision trace of the
+// bursty-multi-tenant seed workload: every admission verdict (accept,
+// throttle, shed), every fair-share pick, and every placement, in
+// order. This is the golden proof that tenancy flows through the timed
+// simulator's plane deterministically; the differential harness proves
+// the manager produces the same stream.
+func TestGoldenBurstyMultiTenant(t *testing.T) {
+	rec := &policy.Recorder{Max: 2000}
+	cfg := BurstyGoldenConfig()
+	cfg.DecisionTrace = rec
+	r := sim.Run(cfg)
+	got := rec.Dump()
+	if r.SubmitsShed == 0 || r.SubmitsThrottled == 0 {
+		t.Fatalf("degenerate seed: shed=%d throttled=%d — the burst tenant never hit its bounds", r.SubmitsShed, r.SubmitsThrottled)
+	}
+	for _, needle := range []string{"admit tenant=burst verdict=shed", "admit tenant=heavy verdict=throttle", "tenant pick=light"} {
+		if !strings.Contains(got, needle) {
+			t.Fatalf("trace missing %q", needle)
+		}
+	}
+	path := filepath.Join("testdata", "golden_trace_multitenant.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		n := len(gl)
+		if len(wl) < n {
+			n = len(wl)
+		}
+		for i := 0; i < n; i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("decision trace diverges from golden at line %d:\n  got:  %q\n  want: %q\n(regenerate with -update if the change is deliberate)", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("decision trace length differs from golden: got %d lines, want %d (regenerate with -update if deliberate)", len(gl), len(wl))
+	}
+}
+
 func TestGoldenDecisionTraces(t *testing.T) {
 	cases := []struct {
 		name  string

@@ -14,3 +14,14 @@ func Jitter(n int) int {
 func Choose(n int) int {
 	return rand.Intn(n)
 }
+
+// Age and Spin are the tenant fixture's own impure leaves: the
+// analyzer memoizes visited callees across roots, so each fixture
+// function needs a distinct smuggling route to keep its diagnostic.
+func Age(d int) int {
+	return d + time.Now().Second()
+}
+
+func Spin(n int) int {
+	return rand.New(rand.NewSource(int64(n))).Intn(n)
+}

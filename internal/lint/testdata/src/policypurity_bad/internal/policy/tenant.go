@@ -1,0 +1,21 @@
+// Tenant-plane fixture: admission and fair-share decisions that smuggle
+// wall-clock age and randomized tie-breaks into the policy core — the
+// exact impurities the submission plane's determinism forbids.
+package policy
+
+import "repro/internal/lint/testdata/src/policypurity_bad/internal/impure"
+
+var tenantRR int // want `package-level state`
+
+// AdmitTenant sheds by wall-clock queue age (reached through the
+// helper), so two replays of the same trace disagree.
+func AdmitTenant(queued int) bool { // want `AdmitTenant reaches time.Now`
+	return impure.Age(queued) < 100
+}
+
+// NextTenant breaks fair-share ties randomly and advances a hidden
+// round-robin cursor.
+func NextTenant(n int) int { // want `NextTenant reaches .*math/rand`
+	tenantRR++
+	return (impure.Spin(n) + tenantRR) % n
+}

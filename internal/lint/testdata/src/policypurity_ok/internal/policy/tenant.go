@@ -1,0 +1,36 @@
+// Tenant-plane fixture, clean form: admission verdicts and fair-share
+// picks as pure functions of explicit tenant state — virtual time in,
+// decision out, ties broken by index.
+package policy
+
+const tenantScale = 720720
+
+// TenantState is explicit caller-owned accounting.
+type TenantState struct {
+	Weight int
+	VTime  int64
+	Queued int
+}
+
+// AdmitTenant sheds on the caller-supplied bound, never on a clock.
+func AdmitTenant(st *TenantState, maxQueue int) bool {
+	return maxQueue == 0 || st.Queued < maxQueue
+}
+
+// NextTenant picks the eligible tenant with minimum virtual time,
+// lowest index winning ties — deterministic for any input order.
+func NextTenant(states []*TenantState) int {
+	best := -1
+	for i, st := range states {
+		if st.Queued == 0 {
+			continue
+		}
+		if best < 0 || st.VTime < states[best].VTime {
+			best = i
+		}
+	}
+	if best >= 0 {
+		states[best].VTime += tenantScale / int64(states[best].Weight)
+	}
+	return best
+}

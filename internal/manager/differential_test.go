@@ -53,6 +53,8 @@ const (
 // shard.
 type replayEngine interface {
 	Submit(n int)
+	SubmitTenant(tenant string)
+	PlaneDecisions() []string
 	EnvArrived(id string) bool
 	EnvFailed(id string) bool
 	AddWorker() string
@@ -95,10 +97,34 @@ type diffHarness struct {
 	level  core.ReuseLevel
 	env    core.FileSpec
 	opLog  []string
+	// tenantMix, when non-nil, tags every submitted spec with a tenant
+	// drawn from the mix in rotation (deterministic, so both engines see
+	// the identical tenant sequence); submits counts spec submissions.
+	tenantMix []string
+	submits   int
 }
 
-func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots, shards int) *diffHarness {
+// diffTenants is the multi-tenant differential registry: one
+// weight-heavy unbounded tenant, one quota-gated tenant that builds a
+// plane queue and throttles, and one tightly-bounded tenant that sheds
+// under pressure — every admission verdict and the fair-share drain
+// interleaving all appear in a 600-op trace.
+func diffTenants() []core.TenantSpec {
+	return []core.TenantSpec{
+		{Name: "alpha", Weight: 3},
+		{Name: "beta", Weight: 1, Quota: 4, ThrottleAt: 6},
+		{Name: "gamma", Weight: 2, Quota: 2, MaxQueue: 3, ThrottleAt: 2},
+	}
+}
+
+// diffTenantMix rotates every registry tenant (gamma oversampled to
+// force sheds), an empty tenant (bypasses the plane entirely), and an
+// unregistered one (degrades to the direct path).
+var diffTenantMix = []string{"alpha", "beta", "alpha", "gamma", "", "alpha", "ghost", "beta", "gamma", "gamma"}
+
+func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int, opts diffOpts) *diffHarness {
 	t.Helper()
+	shards := opts.shards
 	if shards < 1 {
 		shards = 1
 	}
@@ -106,11 +132,18 @@ func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots, shards 
 	// enough that the harness's wait for the requeue is instant. The
 	// settings only matter on failure-injecting traces; the happy-path
 	// workloads never draw on them.
-	m := New(Options{
+	mopts := Options{
 		PeerTransfers: true, DecisionTrace: &policy.Recorder{}, Shards: shards,
 		MaxRetries: 1000, RetryBaseDelay: time.Nanosecond, RetryMaxDelay: time.Nanosecond,
-	})
+	}
+	if opts.tenants {
+		mopts.Tenants = diffTenants()
+	}
+	m := New(mopts)
 	h := &diffHarness{t: t, m: m, dead: map[string]bool{}, slots: slots, shards: shards, next: workers, level: level, env: diffEnvSpec()}
+	if opts.tenants {
+		h.tenantMix = diffTenantMix
+	}
 	if level == core.L3 {
 		if err := m.RegisterLibrary(&core.LibrarySpec{
 			Name:      diffLib,
@@ -131,6 +164,9 @@ func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots, shards 
 		PeerCap:          3,
 		ManagerSourceCap: 1 << 30,
 		Seed:             1,
+	}
+	if opts.tenants {
+		cfg.Tenants = diffTenants()
 	}
 	if shards == 1 {
 		h.rp = sim.NewReplay(cfg)
@@ -249,6 +285,28 @@ func (h *diffHarness) crossCheck(op string) {
 
 func (h *diffHarness) submit(n int) {
 	h.opLog = append(h.opLog, fmt.Sprintf("submit(%d)", n))
+	if h.tenantMix != nil {
+		// Tenant mode submits one spec at a time so the sim runs its
+		// admission control and fair-share drain at the same points the
+		// manager does; the mix rotation is deterministic, so both
+		// engines tag the identical spec sequence.
+		for i := 0; i < n; i++ {
+			tenant := h.tenantMix[h.submits%len(h.tenantMix)]
+			h.submits++
+			if h.level == core.L3 {
+				h.m.SubmitInvocation(&core.InvocationSpec{Library: diffLib, Function: "f", TenantID: tenant})
+			} else {
+				h.m.Submit(&core.TaskSpec{
+					Script:    "1",
+					Inputs:    []core.FileSpec{h.env},
+					Resources: core.Resources{Cores: 1},
+					TenantID:  tenant,
+				})
+			}
+			h.rp.SubmitTenant(tenant)
+		}
+		return
+	}
 	for i := 0; i < n; i++ {
 		if h.level == core.L3 {
 			h.m.SubmitInvocation(&core.InvocationSpec{Library: diffLib, Function: "f"})
@@ -475,6 +533,12 @@ func (h *diffHarness) quiesce() {
 // trace — proving the per-shard streams AND the deterministic merge
 // rule agree.
 func (h *diffHarness) diffTraces(minLines int) {
+	if h.tenantMix != nil {
+		// The submission plane's trace (admit verdicts, fair-share
+		// picks) is its own stream, compared before the shard traces so
+		// an admission or drain-order divergence names itself directly.
+		h.diffTracePair("plane", h.m.PlaneDecisions(), h.rp.PlaneDecisions())
+	}
 	if h.shards > 1 {
 		st, ok := h.rp.(shardTracer)
 		if !ok {
@@ -532,6 +596,10 @@ type diffOpts struct {
 	// failed-peer-fetch recovery is instead covered end to end by the
 	// faultnet test (taskvine/fault_test.go).
 	shards int
+	// tenants activates the multi-tenant submission plane on both
+	// engines (diffTenants registry, diffTenantMix spec tagging) and
+	// adds the plane trace to the comparison.
+	tenants bool
 }
 
 // injectChaos maybe applies one churn or failure event, reporting
@@ -590,7 +658,7 @@ func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64,
 	if opts.fail && opts.shards > 1 {
 		t.Fatal("fail injection is not differential-testable at shards > 1 (see diffOpts)")
 	}
-	h := newDiffHarness(t, level, 7, slots, opts.shards)
+	h := newDiffHarness(t, level, 7, slots, opts)
 	rng := rand.New(rand.NewSource(seed))
 	outstanding := 0
 	joins := 0
@@ -645,6 +713,16 @@ func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64,
 		t.Errorf("sim replay still has %d pending invocations after drain", p)
 	}
 	h.diffTraces(ops / 4)
+	if opts.tenants {
+		// A trace where admission control never bit would vacuously
+		// pass: require every verdict class and the fair-share drain to
+		// have actually fired.
+		st := h.m.Stats()
+		if st.SubmitsShed == 0 || st.SubmitsThrottled == 0 || st.FairDrains == 0 {
+			t.Errorf("degenerate tenant run: shed=%d throttled=%d fairDrains=%d — registry pressure never materialized",
+				st.SubmitsShed, st.SubmitsThrottled, st.FairDrains)
+		}
+	}
 }
 
 func TestDifferentialTaskWorkload(t *testing.T) {
@@ -702,6 +780,33 @@ func TestDifferentialSharded(t *testing.T) {
 	for _, shards := range []int{2, 3} {
 		runDifferential(t, core.L2, 2, int64(10+shards), 600, diffOpts{shards: shards})
 		runDifferential(t, core.L3, 1, int64(20+shards), 600, diffOpts{shards: shards})
+	}
+}
+
+func TestDifferentialMultiTenant(t *testing.T) {
+	// The multi-tenant submission plane against the sim's mirror:
+	// identical admit verdicts (accept, throttle, quota-gated queuing,
+	// shed), identical fair-share drain order under the virtual-time
+	// model, identical quota releases on the completion path, and the
+	// empty/unregistered tenants riding the direct path untouched. The
+	// plane trace, each shard trace, and the merged trace must all be
+	// byte-identical.
+	for _, shards := range []int{1, 4} {
+		for _, seed := range []int64{1, 2} {
+			runDifferential(t, core.L3, 1, seed, 600, diffOpts{shards: shards, tenants: true})
+			runDifferential(t, core.L2, 2, seed, 600, diffOpts{shards: shards, tenants: true})
+		}
+	}
+}
+
+func TestDifferentialMultiTenantChurn(t *testing.T) {
+	// Worker churn with the plane active: deaths requeue dispatched
+	// specs without releasing their quota units (the retry still holds
+	// its admission), evacuations carry the admitted-owner FIFO across
+	// shards, and the fair-share drain keeps feeding a reshaped plane.
+	for _, seed := range []int64{41, 42} {
+		runDifferential(t, core.L3, 1, seed, 600, diffOpts{shards: 3, churn: true, tenants: true})
+		runDifferential(t, core.L2, 2, seed, 600, diffOpts{shards: 3, churn: true, tenants: true})
 	}
 }
 

@@ -90,6 +90,14 @@ func (s *shard) wake() {
 		case wakeIdle:
 			if s.wakeState.CompareAndSwap(wakeIdle, wakeRunning) {
 				s.runWake()
+				// Quota released under a shard lock (emitFailure, crash
+				// exhaustion, quarantine) parks its wakes; flush them now
+				// that no lock is held. pump() may wake further shards
+				// inline — bounded, since each flush empties the parked
+				// set and refills only on new failure-path releases.
+				if s.m.planeActive.Load() {
+					s.m.plane.pump()
+				}
 				return
 			}
 		case wakeRunning:

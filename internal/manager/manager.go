@@ -76,6 +76,14 @@ type Options struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps the exponential backoff. Zero defaults to 2s.
 	RetryMaxDelay time.Duration
+	// Tenants, when non-empty, activates the submission plane
+	// (DESIGN.md §14): specs carrying a TenantID pass admission
+	// control, queue per tenant, and reach the shards in weighted
+	// fair-share order. Entries are normalized (sorted by name,
+	// weights clamped) via core.NormalizeTenants. Empty — the default
+	// — keeps the plane entirely off: single-tenant submission is
+	// byte-for-byte the old path.
+	Tenants []core.TenantSpec
 	// DecisionTrace, when set, enables decision tracing (differential
 	// and golden tests). With Shards == 1 every decision lands in this
 	// recorder — the legacy single-loop contract. With Shards > 1 each
@@ -105,6 +113,9 @@ type Stats struct {
 	WorkerLogs        int64 // worker-side diagnostics received (MsgLog), e.g. protocol decode errors
 	SendQueueDrops    int64 // worker connections dropped because their outbound queue overflowed
 	ShardForwards     int64 // specs moved across shards (evacuation, parked work meeting its first worker)
+	SubmitsShed       int64 // submissions rejected by admission control (tenant queue bound hit)
+	SubmitsThrottled  int64 // submissions accepted with a backpressure verdict (quota or queue pressure)
+	FairDrains        int64 // specs released from tenant plane queues to shard intakes
 
 	// Coalesced-writer accounting: each per-worker sender goroutine
 	// drains its queue greedily into the connection's pending buffer
@@ -131,6 +142,12 @@ type Manager struct {
 	// validation path and written only by RegisterLibrary.
 	libMu    sync.RWMutex
 	libSpecs map[string]*core.LibrarySpec
+
+	// plane is the multi-tenant submission plane (nil without
+	// Options.Tenants); planeActive keeps the single-tenant hot path's
+	// tenancy cost to one predictable branch.
+	plane       *submitPlane
+	planeActive atomic.Bool
 
 	nextID atomic.Int64
 	closed atomic.Bool
@@ -475,6 +492,10 @@ func New(opts Options) *Manager {
 			objWaiters: map[string]*objWaiter{},
 		}
 	}
+	if len(opts.Tenants) > 0 {
+		m.plane = newSubmitPlane(m, opts.Tenants, opts.DecisionTrace != nil)
+		m.planeActive.Store(true)
+	}
 	return m
 }
 
@@ -506,9 +527,22 @@ func (m *Manager) ShardDecisions() [][]string {
 
 // MergedDecisions returns the per-shard decision traces merged by the
 // deterministic rule shared with the simulator's sharded replay
-// (shardplane.MergeTraces: concatenation in shard-index order).
+// (shardplane.MergeTraces: concatenation in shard-index order), with
+// the submission plane's admission/drain trace — when the plane is
+// active — prepended.
 func (m *Manager) MergedDecisions() []string {
-	return shardplane.MergeTraces(m.ShardDecisions())
+	merged := shardplane.MergeTraces(m.ShardDecisions())
+	if plane := m.PlaneDecisions(); len(plane) > 0 {
+		return append(plane, merged...)
+	}
+	return merged
+}
+
+// PlaneDecisions returns the submission plane's recorded trace: one
+// admit line per submission, one pick line per fair-share drain.
+// Empty without Options.Tenants or Options.DecisionTrace.
+func (m *Manager) PlaneDecisions() []string {
+	return m.plane.Decisions()
 }
 
 // Listen starts accepting worker connections on 127.0.0.1 and returns
@@ -559,6 +593,9 @@ func (m *Manager) Stats() Stats {
 		WorkerLogs:        atomic.LoadInt64(&m.stats.WorkerLogs),
 		SendQueueDrops:    atomic.LoadInt64(&m.stats.SendQueueDrops),
 		ShardForwards:     atomic.LoadInt64(&m.stats.ShardForwards),
+		SubmitsShed:       atomic.LoadInt64(&m.stats.SubmitsShed),
+		SubmitsThrottled:  atomic.LoadInt64(&m.stats.SubmitsThrottled),
+		FairDrains:        atomic.LoadInt64(&m.stats.FairDrains),
 		FramesSent:        atomic.LoadInt64(&m.stats.FramesSent),
 		FlushBatches:      atomic.LoadInt64(&m.stats.FlushBatches),
 		MaxFlushBatch:     atomic.LoadInt64(&m.stats.MaxFlushBatch),
@@ -630,16 +667,29 @@ func (m *Manager) libSpec(name string) (*core.LibrarySpec, bool) {
 
 // ---- spec routing (the cross-shard submit path) ----
 
-// Submit enqueues a stateless task and returns its ID.
+// Submit enqueues a stateless task and returns its ID. A task naming
+// a registered tenant enters through the submission plane (admission
+// control, per-tenant queue, fair-share release); everything else —
+// no TenantID, no plane, or an unregistered tenant — routes directly.
 func (m *Manager) Submit(t *core.TaskSpec) int64 {
 	t.ID = m.nextID.Add(1)
-	m.routeTask(pendingTask{t: t, key: taskRingKey(t.ID)})
+	pt := pendingTask{t: t, key: taskRingKey(t.ID)}
+	if t.TenantID != "" && m.planeActive.Load() &&
+		m.plane.submit(t.TenantID, planeItem{isTask: true, task: pt}, t.ID) {
+		return t.ID
+	}
+	m.routeTask(pt)
 	return t.ID
 }
 
-// SubmitInvocation enqueues a FunctionCall and returns its ID.
+// SubmitInvocation enqueues a FunctionCall and returns its ID. Tenant
+// handling matches Submit.
 func (m *Manager) SubmitInvocation(inv *core.InvocationSpec) int64 {
 	inv.ID = m.nextID.Add(1)
+	if inv.TenantID != "" && m.planeActive.Load() &&
+		m.plane.submit(inv.TenantID, planeItem{inv: pendingInv{inv: inv}}, inv.ID) {
+		return inv.ID
+	}
 	m.routeInv(pendingInv{inv: inv})
 	return inv.ID
 }
@@ -971,6 +1021,11 @@ func (m *Manager) onWorkerGone(w *workerState) {
 		atomic.AddInt64(&m.stats.Failures, 1)
 		m.deliver(core.Result{ID: id, Ok: false,
 			Err: fmt.Sprintf("manager: worker %s lost and retry budget exhausted", w.id)})
+		// Shard lock held: quota returns and the drain runs now, but
+		// the wakes park until pump() at the next wake-loop exit.
+		if m.planeActive.Load() {
+			m.plane.release(specTenant(e), false)
+		}
 	}
 	// Losing a worker changes the ring; anything whose placement was
 	// pinned behind this worker's state gets another look.
@@ -1116,6 +1171,9 @@ func (s *shard) failPendingForLibraryLocked(library, reason string) {
 		s.m.deliver(core.Result{ID: pi.inv.ID, Ok: false,
 			Err: fmt.Sprintf("manager: library %q failed to deploy %d times: %s",
 				library, maxLibraryFailures, reason)})
+		if s.m.planeActive.Load() {
+			s.m.plane.release(pi.inv.TenantID, false)
+		}
 	}
 }
 
@@ -1177,6 +1235,12 @@ func (s *shard) onResult(w *workerState, res core.Result) {
 	s.mu.Unlock()
 	if ok && !retried {
 		m.deliver(res)
+		// Final delivery returns the spec's tenant quota unit; the
+		// freed capacity may release queued plane work, drained and
+		// woken inline — no shard lock is held here.
+		if m.planeActive.Load() {
+			m.plane.release(specTenant(e), true)
+		}
 	}
 	if retried {
 		s.requeueAfter(e, w.id, backoff)
@@ -1256,6 +1320,11 @@ func (m *Manager) deliver(res core.Result) {
 // all results; a non-nil error means bookkeeping leaked somewhere
 // along a failure path.
 func (m *Manager) CheckQuiescence() error {
+	if m.planeActive.Load() {
+		if err := m.plane.checkQuiescence(); err != nil {
+			return err
+		}
+	}
 	for _, s := range m.shards {
 		if err := s.checkQuiescence(); err != nil {
 			return err

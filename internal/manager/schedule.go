@@ -229,7 +229,7 @@ func (s *shard) scheduleTasksLocked() (forward []pendingTask, target int) {
 	}
 	reqs := s.reqScratch[:0]
 	for _, pt := range s.pendingTasks {
-		reqs = append(reqs, policy.TaskReq{Key: pt.key, Res: pt.t.Resources, Inputs: pt.t.Inputs, Avoid: pt.avoid})
+		reqs = append(reqs, policy.TaskReq{Key: pt.key, Res: pt.t.Resources, Inputs: pt.t.Inputs, Avoid: pt.avoid, Tenant: pt.t.TenantID})
 	}
 	decisions := s.view.PlanTaskBatchInto(s.planScratch[:0], reqs, nil)
 	s.reqScratch, s.planScratch = reqs, decisions
@@ -402,6 +402,11 @@ func (s *shard) validateInvLocked(inv *core.InvocationSpec) error {
 // the scheduler on a full results channel.
 func (s *shard) emitFailure(inv *core.InvocationSpec, err error) {
 	s.m.deliver(core.Result{ID: inv.ID, Ok: false, Err: err.Error()})
+	// A plane-admitted spec resolving here returns its quota unit;
+	// the shard lock is held, so drained wakes park until pump().
+	if s.m.planeActive.Load() {
+		s.m.plane.release(inv.TenantID, false)
+	}
 }
 
 // placeInvocationOnReadyLocked plans and executes a single ready

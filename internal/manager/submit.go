@@ -1,0 +1,267 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// The submission plane (DESIGN.md §14) sits in front of the sharded
+// dispatch plane: when Options.Tenants is set, every spec carrying a
+// TenantID passes admission control, waits in its tenant's bounded
+// plane queue, and is released to a shard's lock-free intake in
+// weighted fair-share order. Every decision — the admit verdict and
+// each drain pick — is a pure internal/policy call recorded in the
+// plane's own trace, so the simulator mirrors the plane exactly and
+// the differential harness diffs both engines line for line.
+//
+// Locking: the plane mutex is a leaf. Under it the plane only does
+// tenant accounting and lock-free intake pushes (shard.pushIntake) —
+// never a shard lock, never a wake. Shard wakes happen after the
+// plane mutex is released; on paths that already hold a shard lock
+// (emitFailure inside a schedule pass, crash-requeue exhaustion,
+// library quarantine) the wakes are parked and flushed by pump() from
+// the next wake-loop exit, which runs with no locks held.
+type submitPlane struct {
+	m *Manager
+	// rec records admit verdicts and drain picks. The plane always
+	// gets its own recorder (never a shard's): admissions serialize on
+	// the plane mutex while placements serialize on shard locks, so
+	// sharing one recorder would race under concurrent use.
+	rec *policy.Recorder
+
+	mu     sync.Mutex
+	queues []*tenantQueue
+	// states aliases each queue's TenantState in tenant-index order —
+	// the slice the pure policy calls take.
+	states []*policy.TenantState
+	byName map[string]int
+	// pendingWakes parks shard wake requests from drains performed
+	// while the caller held a shard lock; deferredWakes makes the
+	// empty check one atomic load for pump().
+	pendingWakes  []bool
+	deferredWakes atomic.Bool
+}
+
+// tenantQueue is one tenant's plane state: accounting for the pure
+// policy calls plus the FIFO of admitted-but-unreleased specs.
+type tenantQueue struct {
+	state policy.TenantState
+	q     []planeItem
+	head  int
+	// drained is the tenant's invocation routing cursor
+	// (shardplane.Router.RouteSpecTenant): advancing per drained
+	// invocation spreads each tenant's burst over all live shards
+	// independent of global ID interleaving.
+	drained int64
+}
+
+type planeItem struct {
+	isTask bool
+	task   pendingTask
+	inv    pendingInv
+}
+
+// newSubmitPlane builds the plane over the normalized tenant registry.
+func newSubmitPlane(m *Manager, specs []core.TenantSpec, traced bool) *submitPlane {
+	norm := core.NormalizeTenants(specs, policy.MaxTenantWeight)
+	p := &submitPlane{
+		m:            m,
+		byName:       make(map[string]int, len(norm)),
+		pendingWakes: make([]bool, m.opts.Shards),
+	}
+	if traced {
+		p.rec = &policy.Recorder{}
+	}
+	for i, ts := range norm {
+		tq := &tenantQueue{state: policy.TenantState{Spec: ts}}
+		p.queues = append(p.queues, tq)
+		p.states = append(p.states, &tq.state)
+		p.byName[ts.Name] = i
+	}
+	return p
+}
+
+// submit runs one spec through admission control. It reports whether
+// the plane consumed the spec: false means the tenant is unregistered
+// and the caller should route directly (unknown tenants degrade to
+// the single-tenant path rather than failing). On shed the spec's
+// failed result has already been delivered.
+func (p *submitPlane) submit(tenant string, it planeItem, id int64) bool {
+	m := p.m
+	p.mu.Lock()
+	ti, known := p.byName[tenant]
+	if !known {
+		p.mu.Unlock()
+		return false
+	}
+	tq := p.queues[ti]
+	d := policy.AdmitSubmit(&tq.state)
+	p.rec.Record(policy.TraceAdmit(tenant, d))
+	if d.Verdict == policy.AdmitShed {
+		atomic.AddInt64(&m.stats.SubmitsShed, 1)
+		atomic.AddInt64(&m.stats.Failures, 1)
+		p.mu.Unlock()
+		m.deliver(core.Result{ID: id, Ok: false,
+			Err: fmt.Sprintf("manager: submission shed (%s): tenant %q has %d queued", d.Reason, tenant, tq.state.Spec.MaxQueue)})
+		return true
+	}
+	if d.Verdict == policy.AdmitThrottle {
+		atomic.AddInt64(&m.stats.SubmitsThrottled, 1)
+	}
+	policy.NoteQueued(p.states, &tq.state)
+	tq.q = append(tq.q, it)
+	wakes := p.drainLocked()
+	p.mu.Unlock()
+	p.wakeShards(wakes)
+	return true
+}
+
+// release returns one unit of a tenant's in-flight capacity — called
+// on every final result delivery for a plane-admitted spec, success
+// or failure — and drains any work the freed quota unblocks. Callers
+// holding a shard lock pass wakeNow=false: the drain still happens
+// (intake pushes are lock-free) but the wakes park until pump().
+func (p *submitPlane) release(tenant string, wakeNow bool) {
+	if tenant == "" {
+		return
+	}
+	p.mu.Lock()
+	ti, known := p.byName[tenant]
+	if !known {
+		p.mu.Unlock()
+		return
+	}
+	tq := p.queues[ti]
+	if tq.state.InFlight > 0 {
+		tq.state.InFlight--
+	}
+	wakes := p.drainLocked()
+	if !wakeNow && len(wakes) > 0 {
+		for _, idx := range wakes {
+			p.pendingWakes[idx] = true
+		}
+		p.deferredWakes.Store(true)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.wakeShards(wakes)
+}
+
+// drainLocked releases queued specs in fair-share order until no
+// tenant is eligible: the pure batch plan picks the order, the plane
+// pops each picked tenant's queue head and pushes it onto the target
+// shard's intake stack. Returns the shard indexes needing a wake, in
+// first-touched order. Caller holds p.mu.
+func (p *submitPlane) drainLocked() []int {
+	picks := policy.PlanSubmitBatch(p.states, 0, p.rec)
+	if len(picks) == 0 {
+		return nil
+	}
+	m := p.m
+	var wakes []int
+	touched := make([]bool, len(m.shards))
+	for _, ti := range picks {
+		tq := p.queues[ti]
+		it := tq.q[tq.head]
+		tq.q[tq.head] = planeItem{} // drop spec pointers
+		tq.head++
+		if tq.head == len(tq.q) {
+			tq.q, tq.head = tq.q[:0], 0
+		}
+		var idx int
+		n := intakeNodePool.Get().(*intakeNode)
+		if it.isTask {
+			var ok bool
+			if idx, ok = m.router.Owner(it.task.key); !ok {
+				idx = m.router.Park(it.task.key)
+			}
+			n.isTask, n.task = true, it.task
+		} else {
+			var ok bool
+			if idx, ok = m.router.RouteSpecTenant(tq.state.Spec.Name, tq.drained); !ok {
+				idx = m.router.Park(it.inv.inv.Library)
+			}
+			tq.drained++
+			n.isTask, n.inv = false, it.inv
+		}
+		m.shards[idx].pushIntake(n)
+		if !touched[idx] {
+			touched[idx] = true
+			wakes = append(wakes, idx)
+		}
+	}
+	atomic.AddInt64(&m.stats.FairDrains, int64(len(picks)))
+	return wakes
+}
+
+// wakeShards wakes the drained-to shards. Must be called with no
+// locks held: wake may run a schedule pass inline.
+func (p *submitPlane) wakeShards(wakes []int) {
+	for _, idx := range wakes {
+		p.m.shards[idx].wake()
+	}
+}
+
+// pump flushes wakes parked by shard-lock-holding release paths. The
+// wake-loop exit calls it with no locks held, so a quota release
+// performed inside a schedule pass still wakes the shards its drain
+// fed — without ever waking under a lock.
+func (p *submitPlane) pump() {
+	if !p.deferredWakes.Load() {
+		return
+	}
+	p.mu.Lock()
+	p.deferredWakes.Store(false)
+	var wakes []int
+	for idx, w := range p.pendingWakes {
+		if w {
+			p.pendingWakes[idx] = false
+			wakes = append(wakes, idx)
+		}
+	}
+	p.mu.Unlock()
+	p.wakeShards(wakes)
+}
+
+// specTenant names the tenant of a resolved in-flight spec — empty
+// for single-tenant work, so release() is a no-op there.
+func specTenant(e *inflightEntry) string {
+	if e.task != nil {
+		return e.task.TenantID
+	}
+	if e.inv != nil {
+		return e.inv.TenantID
+	}
+	return ""
+}
+
+// Decisions returns the plane's recorded admission/drain trace.
+func (p *submitPlane) Decisions() []string {
+	if p == nil || p.rec == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.rec.Decisions...)
+}
+
+// checkQuiescence verifies the plane at rest: no tenant has queued
+// specs or unreleased in-flight capacity.
+func (p *submitPlane) checkQuiescence() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, tq := range p.queues {
+		if tq.state.Queued != 0 {
+			return fmt.Errorf("manager: tenant %q still has %d specs queued in the submission plane", tq.state.Spec.Name, tq.state.Queued)
+		}
+		if tq.state.InFlight != 0 {
+			return fmt.Errorf("manager: tenant %q still holds %d in-flight quota units", tq.state.Spec.Name, tq.state.InFlight)
+		}
+	}
+	return nil
+}

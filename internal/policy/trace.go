@@ -73,6 +73,18 @@ func TraceDeploy(name string, d DeployLibrary) string {
 		name, d.Worker.ID, len(d.Stages), strings.Join(evict, ","))
 }
 
+// TraceAdmit renders one admission-control verdict.
+func TraceAdmit(tenant string, d AdmitDecision) string {
+	return fmt.Sprintf("admit tenant=%s verdict=%s reason=%s", tenant, d.Verdict, d.Reason)
+}
+
+// TraceNextTenant renders one fair-share drain pick: the tenant's
+// virtual time and queue depth at pick time, before the pick's own
+// dequeue and charge are applied.
+func TraceNextTenant(tenant string, vtime int64, queued int) string {
+	return fmt.Sprintf("tenant pick=%s v=%d queued=%d", tenant, vtime, queued)
+}
+
 // TraceStage renders the execution of one staging decision.
 func TraceStage(sf StageFile) string {
 	switch sf.Mode {

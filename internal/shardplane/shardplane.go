@@ -145,6 +145,37 @@ func (r *Router) RouteSpec(id int64) (int, bool) {
 	return r.alive[int(id)%len(r.alive)], true
 }
 
+// RouteSpecTenant routes one tenant's seq-th drained spec across the
+// shards with live workers: a per-tenant round-robin whose start is a
+// pure hash of the tenant name. Each tenant's cursor advances with its
+// own drain count — not the global spec ID — so one tenant's burst
+// sweeps every live shard evenly no matter how the global ID sequence
+// interleaves with other tenants, and no shard's intake can be
+// monopolized. ok is false when no worker is live anywhere.
+func (r *Router) RouteSpecTenant(tenant string, seq int64) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.alive) == 0 {
+		return 0, false
+	}
+	if seq < 0 {
+		seq = -seq
+	}
+	off := int64(tenantHash(tenant) % uint32(len(r.alive)))
+	return r.alive[int((off+seq)%int64(len(r.alive)))], true
+}
+
+// tenantHash is FNV-1a over the tenant name — a fixed, seedless hash
+// so both engines and every host agree on each tenant's shard offset.
+func tenantHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
 // Park returns the key's home shard for specs submitted while no
 // worker is live — a pure function, so re-routing on the first join
 // finds them deterministically.

@@ -33,6 +33,13 @@ type Replay struct {
 	// here so the shard-crossing paths — overflow forwarding,
 	// evacuation, starvation nudges — run between local passes.
 	wakeFn func()
+	// plane is the submission plane (cfg.Tenants, single-shard runs):
+	// specs submitted via the *Tenant entry points pass admission
+	// control and drain in fair-share order, exactly as the manager's
+	// submitPlane. It records into its own recorder — the manager's
+	// plane trace is a separate stream from the shard traces. The
+	// sharded composite keeps its plane on ShardedReplay instead.
+	plane *simPlane
 }
 
 type replayTask struct {
@@ -43,6 +50,10 @@ type replayTask struct {
 	// membership change or starvation nudge resets the budget — the
 	// manager's pendingTask.hops.
 	hops int
+	// tenant names the submitting tenant (requeued verbatim, like the
+	// manager's pendingTask.t.TenantID) so completions release the
+	// right quota.
+	tenant string
 }
 
 // NewReplay builds an untimed simulation. cfg.Invocations is ignored
@@ -56,7 +67,12 @@ func NewReplay(cfg Config) *Replay {
 	}
 	st := newState(cfg)
 	st.replay = true
-	return &Replay{st: st}
+	r := &Replay{st: st}
+	if len(cfg.Tenants) > 0 {
+		r.plane = newSimPlane(cfg.Tenants, &policy.Recorder{})
+		st.trackOwners = true
+	}
+	return r
 }
 
 // drain runs one schedule pass — the untimed equivalent of the
@@ -167,7 +183,7 @@ func (r *Replay) taskReqs() []policy.TaskReq {
 	}
 	reqs := make([]policy.TaskReq, len(r.pendq))
 	for i, pt := range r.pendq {
-		reqs[i] = policy.TaskReq{Key: pt.key, Res: oneSlot, Inputs: inputs, Avoid: pt.avoid}
+		reqs[i] = policy.TaskReq{Key: pt.key, Res: oneSlot, Inputs: inputs, Avoid: pt.avoid, Tenant: pt.tenant}
 	}
 	return reqs
 }
@@ -211,6 +227,7 @@ func (r *Replay) execKeyed(pt replayTask, d policy.PlaceTask) {
 	sl.invIdx = st.nextInv
 	st.nextInv++
 	sl.key = pt.key
+	sl.owner, sl.tenant = int64(taskKeyNum(pt.key)), pt.tenant
 }
 
 // ---- sharded-replay hooks (ShardedReplay) ----
@@ -308,12 +325,19 @@ func (r *Replay) anyEligible(avoid string) bool {
 
 // extractPending removes and returns every queued spec so the sharded
 // composite can evacuate a workerless shard — extractPendingLocked.
-func (r *Replay) extractPending() (tasks []replayTask, invs int) {
+// refs carries the invocation pool's owner FIFO (tenant runs): a
+// workerless shard holds no claimed installs, so the FIFO and the pool
+// move whole, in order.
+func (r *Replay) extractPending() (tasks []replayTask, invs int, refs []specRef) {
 	tasks = r.pendq
 	r.pendq = nil
 	invs = r.st.pending
 	r.st.pending = 0
-	return tasks, invs
+	if r.st.trackOwners {
+		refs = append(refs, r.st.queuedOwners()...)
+		r.st.owners, r.st.ownersHead = nil, 0
+	}
+	return tasks, invs, refs
 }
 
 // liveWorkers reports how many live workers this replay holds.
@@ -336,9 +360,18 @@ func taskKeyNum(k string) int {
 }
 
 // Submit enqueues n invocations and schedules as many as possible.
+// nextKey is the replay's spec counter — the manager's nextID, shared
+// by tasks and invocations — so ring keys, owner IDs, and routing
+// agree across engines whatever the submission mix.
 func (r *Replay) Submit(n int) {
 	if r.st.cfg.Level == core.L3 {
-		r.st.pending += n
+		for i := 0; i < n; i++ {
+			r.nextKey++
+			r.st.pending++
+			if r.st.trackOwners {
+				r.st.pushOwner(specRef{id: int64(r.nextKey)})
+			}
+		}
 	} else {
 		for i := 0; i < n; i++ {
 			r.nextKey++
@@ -347,6 +380,74 @@ func (r *Replay) Submit(n int) {
 	}
 	r.drain()
 }
+
+// SubmitTenant submits one spec for tenant — the manager's
+// Submit/SubmitInvocation with a TenantID: admission control, then the
+// fair-share drain releases whatever became eligible. L3 runs submit
+// an invocation, task runs a keyed task whose ring key comes from the
+// shared spec counter (the manager derives it from the spec ID).
+// Unregistered tenants degrade to the direct single-tenant path.
+func (r *Replay) SubmitTenant(tenant string) {
+	r.nextKey++
+	var it simPlaneItem
+	if r.st.cfg.Level == core.L3 {
+		it = simPlaneItem{ref: specRef{id: int64(r.nextKey), tenant: tenant}}
+	} else {
+		it = simPlaneItem{isTask: true, task: replayTask{key: "task-" + strconv.Itoa(r.nextKey), tenant: tenant}}
+	}
+	if r.plane != nil && tenant != "" {
+		known, accepted := r.plane.submit(tenant, it)
+		if known {
+			if accepted && r.drainPlane() > 0 {
+				r.drain()
+			}
+			return
+		}
+	}
+	if it.isTask {
+		r.pendq = append(r.pendq, it.task)
+	} else {
+		r.st.pending++
+		if r.st.trackOwners {
+			r.st.pushOwner(it.ref)
+		}
+	}
+	r.drain()
+}
+
+// drainPlane moves fair-share-released specs into this replay's local
+// queues (single-shard runs; the sharded composite routes instead).
+// Returns the release count; callers drain the engine only when it is
+// nonzero, mirroring the manager waking shards only for fed intake.
+func (r *Replay) drainPlane() int {
+	if r.plane == nil {
+		return 0
+	}
+	return r.plane.drain(func(it simPlaneItem, tenant string, seq int64) {
+		if it.isTask {
+			r.pendq = append(r.pendq, it.task)
+			return
+		}
+		r.st.pending++
+		r.st.pushOwner(it.ref)
+	})
+}
+
+// finishRelease returns the completed spec's quota unit and schedules
+// whatever the release unblocks (single-shard runs).
+func (r *Replay) finishRelease(tenant string) {
+	if r.plane == nil || tenant == "" {
+		return
+	}
+	r.plane.release(tenant)
+	if r.drainPlane() > 0 {
+		r.drain()
+	}
+}
+
+// PlaneDecisions returns the submission plane's recorded trace — a
+// separate stream from the shard trace, as in the manager.
+func (r *Replay) PlaneDecisions() []string { return r.plane.decisions() }
 
 // EnvArrived delivers the environment tarball on worker id (the
 // FileAck): the in-flight copy becomes a replica, the serving slot is
@@ -427,26 +528,38 @@ func (r *Replay) KillWorker(id string) bool {
 	if st.cfg.Level == core.L3 {
 		// Bound invocations — dispatched or riding a deploy — go back
 		// to the interchangeable pending pool, matching the manager's
-		// requeue of its inflight plus the released install claim.
+		// requeue of its inflight plus the released install claim. In
+		// tenant runs, dispatched (libReady) slots re-enter the owner
+		// FIFO tail in ascending spec order — the manager requeues its
+		// inflight sorted by ID — while a riding deploy's claim keeps
+		// its original FIFO position (the owner was never popped).
+		var refs []specRef
 		for _, sl := range w.slots {
 			if sl.busy {
+				if st.trackOwners && sl.libReady {
+					refs = append(refs, specRef{id: sl.owner, tenant: sl.tenant})
+				}
 				sl.busy = false
+				sl.owner, sl.tenant = 0, ""
 				st.pending++
 			}
 		}
+		sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
+		for _, ref := range refs {
+			st.pushOwner(ref)
+		}
 	} else {
-		var keys []string
+		var requeue []replayTask
 		for _, sl := range w.slots {
 			if sl.busy {
 				sl.busy = false
-				keys = append(keys, sl.key)
+				requeue = append(requeue, replayTask{key: sl.key, avoid: id, tenant: sl.tenant})
 				sl.key = ""
+				sl.owner, sl.tenant = 0, ""
 			}
 		}
-		sort.Slice(keys, func(i, j int) bool { return taskKeyNum(keys[i]) < taskKeyNum(keys[j]) })
-		for _, k := range keys {
-			r.pendq = append(r.pendq, replayTask{key: k, avoid: id})
-		}
+		sort.Slice(requeue, func(i, j int) bool { return taskKeyNum(requeue[i].key) < taskKeyNum(requeue[j].key) })
+		r.pendq = append(r.pendq, requeue...)
 	}
 	r.drain()
 	return true
@@ -477,39 +590,80 @@ func (r *Replay) LibReady(id string) bool {
 // workloads under churn should use CompleteTask: requeues carry ring
 // keys, so the engines must agree on which task each slot was running.
 func (r *Replay) Complete(id string) bool {
-	w := r.st.byID[id]
-	if w == nil || !w.hasEnv {
+	tenant, ok := r.completeOne(id)
+	if !ok {
 		return false
 	}
-	needLib := r.st.cfg.Level == core.L3
+	r.finishRelease(tenant)
+	return true
+}
+
+// completeOne frees one completable slot — in tenant runs the one with
+// the lowest owner, because the differential harness completes the
+// manager's lowest in-flight spec ID on that worker — runs the local
+// drain, and returns the released tenant. The quota release itself is
+// the caller's: single-shard runs release into r.plane, the sharded
+// composite into its own plane.
+func (r *Replay) completeOne(id string) (string, bool) {
+	st := r.st
+	w := st.byID[id]
+	if w == nil || !w.hasEnv {
+		return "", false
+	}
+	needLib := st.cfg.Level == core.L3
+	var pick *slot
 	for _, sl := range w.slots {
-		if sl.busy && (!needLib || sl.libReady) {
-			r.st.freeSlot(w, sl)
-			sl.served++
-			sl.key = ""
-			r.drain()
-			return true
+		if !sl.busy || (needLib && !sl.libReady) {
+			continue
+		}
+		if !st.trackOwners {
+			pick = sl
+			break
+		}
+		if pick == nil || sl.owner < pick.owner {
+			pick = sl
 		}
 	}
-	return false
+	if pick == nil {
+		return "", false
+	}
+	tenant := pick.tenant
+	st.freeSlot(w, pick)
+	pick.served++
+	pick.key = ""
+	pick.owner, pick.tenant = 0, ""
+	r.drain()
+	return tenant, true
 }
 
 // CompleteTask finishes the task bound to ring key key on worker id.
 func (r *Replay) CompleteTask(id, key string) bool {
+	tenant, ok := r.completeTaskOne(id, key)
+	if !ok {
+		return false
+	}
+	r.finishRelease(tenant)
+	return true
+}
+
+// completeTaskOne is completeOne addressed by ring key.
+func (r *Replay) completeTaskOne(id, key string) (string, bool) {
 	w := r.st.byID[id]
 	if w == nil || !w.hasEnv {
-		return false
+		return "", false
 	}
 	for _, sl := range w.slots {
 		if sl.busy && sl.key == key {
+			tenant := sl.tenant
 			r.st.freeSlot(w, sl)
 			sl.served++
 			sl.key = ""
+			sl.owner, sl.tenant = 0, ""
 			r.drain()
-			return true
+			return tenant, true
 		}
 	}
-	return false
+	return "", false
 }
 
 // Fail fails the task bound to ring key key on worker id retryably —
@@ -525,9 +679,13 @@ func (r *Replay) Fail(id, key string) bool {
 	}
 	for _, sl := range w.slots {
 		if sl.busy && sl.key == key {
+			tenant := sl.tenant
 			st.freeSlot(w, sl)
 			sl.key = ""
-			r.pendq = append(r.pendq, replayTask{key: key, avoid: id})
+			sl.owner, sl.tenant = 0, ""
+			// A retry holds its quota unit — the manager releases only on
+			// final delivery — so the requeue carries the tenant, no release.
+			r.pendq = append(r.pendq, replayTask{key: key, avoid: id, tenant: tenant})
 			r.drain()
 			return true
 		}
@@ -538,8 +696,15 @@ func (r *Replay) Fail(id, key string) bool {
 // Pending reports invocations submitted but not yet placed.
 func (r *Replay) Pending() int { return r.st.pending + len(r.pendq) }
 
-// Decisions returns the decision trace recorded so far.
-func (r *Replay) Decisions() []string { return r.st.rec.Decisions }
+// Decisions returns the decision trace recorded so far, prefixed by
+// the submission plane's trace when a plane is on — the manager's
+// MergedDecisions concatenation rule.
+func (r *Replay) Decisions() []string {
+	if plane := r.plane.decisions(); len(plane) > 0 {
+		return append(append([]string(nil), plane...), r.st.rec.Decisions...)
+	}
+	return r.st.rec.Decisions
+}
 
 // Dump renders the recorded decision trace (diagnostics).
 func (r *Replay) Dump() string { return r.st.rec.Dump() }

@@ -37,6 +37,11 @@ type ShardedReplay struct {
 	nextWorker int
 	// workerShard maps each live worker to its home shard.
 	workerShard map[string]int
+	// plane is the submission plane (cfg.Tenants): one plane in front
+	// of all shards, its own recorder — the manager's topology. Specs
+	// released by the fair-share drain route to shard intake queues
+	// exactly as the manager's drainLocked pushes them.
+	plane *simPlane
 }
 
 // shardReplica is one shard's replay plus its wake-loop state.
@@ -60,10 +65,12 @@ type shardReplica struct {
 }
 
 // simIntake is one routed spec waiting in a shard's intake queue: a
-// task by ring key, or (isTask false) one pooled invocation.
+// task by ring key, or (isTask false) one pooled invocation carrying
+// its owner ref (tenant runs thread identity through the pool).
 type simIntake struct {
 	isTask bool
 	task   replayTask
+	ref    specRef
 }
 
 // drainIntake replays queued intake items into the shard's pending
@@ -77,6 +84,9 @@ func (sh *shardReplica) drainIntake() {
 			sh.rp.pendq = append(sh.rp.pendq, it.task)
 		} else {
 			sh.rp.st.pending++
+			if sh.rp.st.trackOwners {
+				sh.rp.st.pushOwner(it.ref)
+			}
 		}
 	}
 	sh.intake = sh.intake[:0]
@@ -97,10 +107,19 @@ func NewShardedReplay(cfg Config, shards int) *ShardedReplay {
 		router:      shardplane.NewRouter(shards),
 		workerShard: map[string]int{},
 	}
+	if len(cfg.Tenants) > 0 {
+		sr.plane = newSimPlane(cfg.Tenants, &policy.Recorder{})
+	}
 	for i := 0; i < shards; i++ {
 		scfg := cfg
 		scfg.DecisionTrace = &policy.Recorder{}
+		// The plane lives on the composite (the manager's topology);
+		// shards only thread owner identity through their pools.
+		scfg.Tenants = nil
 		sh := &shardReplica{rp: NewReplay(scfg)}
+		if sr.plane != nil {
+			sh.rp.st.trackOwners = true
+		}
 		idx := i
 		sh.rp.wakeFn = func() {
 			sh.dirty = true
@@ -138,8 +157,8 @@ func (sr *ShardedReplay) wake(i int) {
 		// before the pass snapshot. Routing cannot pick a workerless
 		// shard, so this never cycles back here.
 		if r.liveWorkers() == 0 && r.Pending() > 0 && sr.router.Live() > 0 {
-			tasks, invs := r.extractPending()
-			sr.forwardEvacuated(tasks, invs)
+			tasks, invs, refs := r.extractPending()
+			sr.forwardEvacuated(tasks, invs, refs)
 			continue
 		}
 		sh.dirty = false
@@ -178,13 +197,13 @@ func (sr *ShardedReplay) routeTask(pt replayTask) {
 // routeInv delivers one invocation to a live shard by round-robin over
 // its spec ID, parking in the library's home shard when no worker is
 // live anywhere. Intake hand-off, like routeTask.
-func (sr *ShardedReplay) routeInv(id int64) {
-	idx, ok := sr.router.RouteSpec(id)
+func (sr *ShardedReplay) routeInv(ref specRef) {
+	idx, ok := sr.router.RouteSpec(ref.id)
 	if !ok {
 		idx = sr.router.Park(sr.lib())
 	}
 	sh := sr.shards[idx]
-	sh.intake = append(sh.intake, simIntake{})
+	sh.intake = append(sh.intake, simIntake{ref: ref})
 	sr.wake(idx)
 }
 
@@ -199,8 +218,9 @@ func (sr *ShardedReplay) forwardTasksTo(idx int, tasks []replayTask) {
 
 // forwardEvacuated re-routes an evacuated shard's specs: tasks
 // individually by ring key (hop counts preserved), the invocation pool
-// whole to the library's owner shard — the manager's forwardEvacuated.
-func (sr *ShardedReplay) forwardEvacuated(tasks []replayTask, invs int) {
+// whole — count and owner FIFO, in order — to the library's owner
+// shard, the manager's forwardEvacuated.
+func (sr *ShardedReplay) forwardEvacuated(tasks []replayTask, invs int, refs []specRef) {
 	for _, pt := range tasks {
 		sr.routeTask(pt)
 	}
@@ -211,6 +231,9 @@ func (sr *ShardedReplay) forwardEvacuated(tasks []replayTask, invs int) {
 		}
 		sh := sr.shards[idx]
 		sh.rp.st.pending += invs
+		for _, ref := range refs {
+			sh.rp.st.pushOwner(ref)
+		}
 		sh.dirty = true
 		sr.wake(idx)
 	}
@@ -265,10 +288,75 @@ func (sr *ShardedReplay) Submit(n int) {
 	for k := 0; k < n; k++ {
 		sr.nextID++
 		if sr.cfg.Level == core.L3 {
-			sr.routeInv(int64(sr.nextID))
+			sr.routeInv(specRef{id: int64(sr.nextID)})
 		} else {
 			sr.routeTask(replayTask{key: "task-" + strconv.Itoa(sr.nextID)})
 		}
+	}
+}
+
+// SubmitTenant submits one spec for tenant through the submission
+// plane — the manager's Submit/SubmitInvocation with a TenantID:
+// admission, plane queue, fair-share drain into shard intake.
+// Unregistered tenants degrade to the direct routing path.
+func (sr *ShardedReplay) SubmitTenant(tenant string) {
+	sr.nextID++
+	isTask := sr.cfg.Level != core.L3
+	var it simPlaneItem
+	if isTask {
+		it = simPlaneItem{isTask: true, task: replayTask{key: "task-" + strconv.Itoa(sr.nextID), tenant: tenant}}
+	} else {
+		it = simPlaneItem{ref: specRef{id: int64(sr.nextID), tenant: tenant}}
+	}
+	if sr.plane != nil && tenant != "" {
+		known, accepted := sr.plane.submit(tenant, it)
+		if known {
+			if accepted {
+				sr.drainPlane()
+			}
+			return
+		}
+	}
+	if isTask {
+		sr.routeTask(it.task)
+	} else {
+		sr.routeInv(it.ref)
+	}
+}
+
+// drainPlane releases plane-queued specs in fair-share order into
+// shard intake queues and wakes the fed shards in first-touched order
+// — the manager's drainLocked + wakeShards. Invocations route by the
+// tenant's own cursor (Router.RouteSpecTenant); tasks keep ring-key
+// locality.
+func (sr *ShardedReplay) drainPlane() {
+	if sr.plane == nil {
+		return
+	}
+	var wakes []int
+	touched := make([]bool, len(sr.shards))
+	sr.plane.drain(func(it simPlaneItem, tenant string, seq int64) {
+		var idx int
+		if it.isTask {
+			var ok bool
+			if idx, ok = sr.router.Owner(it.task.key); !ok {
+				idx = sr.router.Park(it.task.key)
+			}
+			sr.shards[idx].intake = append(sr.shards[idx].intake, simIntake{isTask: true, task: it.task})
+		} else {
+			var ok bool
+			if idx, ok = sr.router.RouteSpecTenant(tenant, seq); !ok {
+				idx = sr.router.Park(sr.lib())
+			}
+			sr.shards[idx].intake = append(sr.shards[idx].intake, simIntake{ref: it.ref})
+		}
+		if !touched[idx] {
+			touched[idx] = true
+			wakes = append(wakes, idx)
+		}
+	})
+	for _, idx := range wakes {
+		sr.wake(idx)
 	}
 }
 
@@ -330,11 +418,21 @@ func (sr *ShardedReplay) LibReady(id string) bool {
 }
 
 // Complete finishes one running invocation on worker id. Freed
-// capacity is a shard-crossing signal (the manager's onResult nudge).
+// capacity is a shard-crossing signal (the manager's onResult nudge);
+// in tenant runs the completion also returns the spec's quota unit to
+// the composite plane and drains whatever it unblocks.
 func (sr *ShardedReplay) Complete(id string) bool {
 	sh := sr.shardOf(id)
-	if sh == nil || !sh.rp.Complete(id) {
+	if sh == nil {
 		return false
+	}
+	tenant, ok := sh.rp.completeOne(id)
+	if !ok {
+		return false
+	}
+	if sr.plane != nil && tenant != "" {
+		sr.plane.release(tenant)
+		sr.drainPlane()
 	}
 	sr.nudgeStarving()
 	return true
@@ -343,8 +441,16 @@ func (sr *ShardedReplay) Complete(id string) bool {
 // CompleteTask finishes the task bound to ring key key on worker id.
 func (sr *ShardedReplay) CompleteTask(id, key string) bool {
 	sh := sr.shardOf(id)
-	if sh == nil || !sh.rp.CompleteTask(id, key) {
+	if sh == nil {
 		return false
+	}
+	tenant, ok := sh.rp.completeTaskOne(id, key)
+	if !ok {
+		return false
+	}
+	if sr.plane != nil && tenant != "" {
+		sr.plane.release(tenant)
+		sr.drainPlane()
 	}
 	sr.nudgeStarving()
 	return true
@@ -379,10 +485,19 @@ func (sr *ShardedReplay) ShardDecisions() [][]string {
 	return out
 }
 
+// PlaneDecisions returns the submission plane's recorded trace — a
+// separate stream from the shard traces, as in the manager.
+func (sr *ShardedReplay) PlaneDecisions() []string { return sr.plane.decisions() }
+
 // Decisions returns the per-shard traces merged by the deterministic
-// rule (concatenation in shard-index order).
+// rule (concatenation in shard-index order), prefixed by the plane
+// trace when the submission plane is on — Manager.MergedDecisions.
 func (sr *ShardedReplay) Decisions() []string {
-	return shardplane.MergeTraces(sr.ShardDecisions())
+	merged := shardplane.MergeTraces(sr.ShardDecisions())
+	if plane := sr.PlaneDecisions(); len(plane) > 0 {
+		return append(append([]string(nil), plane...), merged...)
+	}
+	return merged
 }
 
 // Dump renders the merged decision trace (diagnostics).

@@ -105,6 +105,21 @@ type Config struct {
 	// either way — the batched-vs-unbatched differential test proves it
 	// on live random traces. Replay-only; the timed path is untouched.
 	Batched bool
+	// Tenants enables the submission plane (DESIGN.md §14): every
+	// arrival passes admission control and waits in its tenant's plane
+	// queue until the weighted fair-share drain releases it. Replay
+	// drivers mirror the manager's plane exactly (tenant specs arrive
+	// via the *Tenant entry points); the timed simulator replaces
+	// Invocations with per-tenant Poisson arrival processes.
+	Tenants []core.TenantSpec
+	// TenantRates are per-tenant Poisson arrival rates in
+	// invocations/second, index-aligned with Tenants as given (timed
+	// runs only; unset entries default to 1/s).
+	TenantRates []float64
+	// TenantInvocations are per-tenant arrival counts, index-aligned
+	// with Tenants as given (timed runs only). Their sum replaces
+	// Invocations as the workload size.
+	TenantInvocations []int
 }
 
 func (c *Config) defaults() {
@@ -134,6 +149,11 @@ func (c *Config) defaults() {
 	}
 	if c.FSPerFlowOps == 0 {
 		c.FSPerFlowOps = 200
+	}
+	if len(c.Tenants) > 0 && c.Invocations == 0 {
+		for _, n := range c.TenantInvocations {
+			c.Invocations += n
+		}
 	}
 }
 
@@ -181,6 +201,11 @@ type Result struct {
 	// ManagerBusySeconds is time the manager spent serialized on
 	// dispatch+retrieval.
 	ManagerBusySeconds float64
+	// SubmitsShed and SubmitsThrottled count submission-plane admission
+	// outcomes (tenant runs only): shed arrivals never enter the
+	// engine; throttled ones are admitted with backpressure signaled.
+	SubmitsShed      int
+	SubmitsThrottled int
 	// EnvDirect and EnvPeer count environment transfers by source.
 	EnvDirect int
 	EnvPeer   int
@@ -226,6 +251,24 @@ type state struct {
 	completed  int
 	inFlight   int
 	sampleStep int
+
+	// plane is the timed simulator's submission plane (Config.Tenants);
+	// the replay drivers keep their planes on the Replay/ShardedReplay
+	// composites instead, with their own recorders, so the plane trace
+	// stays a separate stream exactly as the manager's is.
+	plane *simPlane
+	// trackOwners threads admitted-spec identity through the pending
+	// pool: owners is the FIFO of admitted-but-unplaced invocation refs
+	// (head-indexed like the manager's tenantQueue). The timed path
+	// pops at bind; replay pops at each recorded placement, mirroring
+	// the manager placing its queue head at every TracePlace.
+	trackOwners bool
+	owners      []specRef
+	ownersHead  int
+	// arrivalsLeft and nextSpecID drive the timed per-tenant Poisson
+	// arrival processes.
+	arrivalsLeft []int
+	nextSpecID   int64
 
 	// replay bypasses the virtual clock: decisions and view/slot state
 	// advance, timing callbacks do not (replay.go drives transitions).
@@ -285,6 +328,12 @@ type slot struct {
 	served   int
 	invIdx   int    // index of the invocation currently assigned
 	key      string // replay only: the bound task's ring key (requeued verbatim on churn)
+	// owner and tenant identify the bound spec in tenant runs: owner is
+	// the manager-side spec ID (completions free the lowest owner, the
+	// differential harness's rule), tenant names whose quota the
+	// completion releases.
+	owner  int64
+	tenant string
 }
 
 var oneSlot = core.Resources{Cores: 1}
@@ -338,6 +387,7 @@ func (st *state) markLibReady(w *wstate, sl *slot) {
 	if st.rec != nil {
 		st.rec.Record(policy.TracePlace(st.lib, policy.PlaceInvocation{Worker: w.v}))
 	}
+	st.stampOwner(sl)
 }
 
 // syncLib republishes the worker's free ready-slot count into the
@@ -366,8 +416,13 @@ func (w *wstate) firstFree(needLib bool) *slot {
 func Run(cfg Config) *Result {
 	cfg.defaults()
 	st := newState(cfg)
+	st.startTenantArrivals()
 	st.tryDispatch()
 	st.res.TotalTime = st.S.Run()
+	if st.plane != nil {
+		st.res.SubmitsShed = st.plane.shed
+		st.res.SubmitsThrottled = st.plane.throttled
+	}
 	st.res.Summary = metrics.Summarize(st.res.Times)
 	st.finishBreakdowns()
 	return st.res
@@ -610,12 +665,19 @@ func (st *state) place() *slot {
 	return st.placeTask()
 }
 
-// bind assigns the next invocation index to the chosen slot.
+// bind assigns the next invocation index to the chosen slot. The
+// timed path stamps the spec's owner here (one engine, any consistent
+// assignment works); replay stamps at each recorded placement instead
+// (stampOwner), mirroring the manager's queue-head pop per TracePlace.
 func (st *state) bind(w *wstate, sl *slot) *slot {
 	st.takeSlot(w, sl)
 	sl.invIdx = st.nextInv
 	st.nextInv++
 	st.pending--
+	if st.trackOwners && !st.replay {
+		ref := st.popOwner()
+		sl.owner, sl.tenant = ref.id, ref.tenant
+	}
 	return sl
 }
 
@@ -657,7 +719,9 @@ func (st *state) execReady(d policy.PlaceInvocation) *slot {
 	if st.rec != nil {
 		st.rec.Record(policy.TracePlace(st.lib, d))
 	}
-	return st.bind(w, w.firstFree(true))
+	sl := st.bind(w, w.firstFree(true))
+	st.stampOwner(sl)
+	return sl
 }
 
 // tryDeploy asks the policy core for a deploy decision and binds an
@@ -876,6 +940,14 @@ func (st *state) complete(sl *slot, start float64) {
 	if st.cfg.Level == core.L3 && st.completed%st.sampleStep == 0 {
 		st.sampleSeries()
 	}
+	if st.plane != nil {
+		tenant := sl.tenant
+		sl.owner, sl.tenant = 0, ""
+		if tenant != "" {
+			st.plane.release(tenant)
+			st.drainPlaneTimed()
+		}
+	}
 	st.tryDispatch()
 }
 
@@ -1004,6 +1076,7 @@ func (st *state) invokeL3(sl *slot, start float64) {
 func DebugStart(cfg Config) (*state, *event.Sim) {
 	cfg.defaults()
 	st := newState(cfg)
+	st.startTenantArrivals()
 	st.tryDispatch()
 	return st, st.S
 }

@@ -80,6 +80,11 @@ type Options struct {
 	// Shards overrides the dispatch plane's shard count (0 = default).
 	// The scaling harness sweeps this; applications normally leave it.
 	Shards int
+	// Tenants, when non-empty, activates the multi-tenant submission
+	// plane (DESIGN.md §14): specs carrying a TenantID pass admission
+	// control and drain in weighted fair-share order. Empty keeps the
+	// single-tenant fast path.
+	Tenants []core.TenantSpec
 }
 
 // WorkerOptions configures locally spawned workers.
@@ -158,6 +163,7 @@ func NewManager(opts Options) (*Manager, error) {
 		RetryBaseDelay:      opts.RetryBaseDelay,
 		RetryMaxDelay:       opts.RetryMaxDelay,
 		Shards:              opts.Shards,
+		Tenants:             opts.Tenants,
 	})
 	addr, err := inner.Listen()
 	if err != nil {
@@ -464,6 +470,24 @@ func (m *Manager) Call(libName, fnName string, args ...minipy.Value) (int64, err
 		Library:  libName,
 		Function: fnName,
 		Args:     data,
+	})
+	return id, nil
+}
+
+// CallTenant is Call on behalf of a tenant: the invocation passes the
+// submission plane's admission control and fair-share drain before it
+// reaches dispatch. Unknown or empty tenant names take the direct
+// single-tenant path.
+func (m *Manager) CallTenant(tenant, libName, fnName string, args ...minipy.Value) (int64, error) {
+	data, err := pickle.Marshal(minipy.NewTuple(args...))
+	if err != nil {
+		return 0, fmt.Errorf("taskvine: serializing arguments: %w", err)
+	}
+	id := m.inner.SubmitInvocation(&core.InvocationSpec{
+		Library:  libName,
+		Function: fnName,
+		Args:     data,
+		TenantID: tenant,
 	})
 	return id, nil
 }
