@@ -2,8 +2,8 @@
 
 # PR numbers the bench report chain: each PR's run is written to
 # BENCH_PR$(PR).json and gated against the previous PR's report.
-PR ?= 8
-BASELINE ?= BENCH_PR7.json
+PR ?= 9
+BASELINE ?= BENCH_PR8.json
 
 # The allocation budget: the bench run fails if Table2 allocs/op exceed
 # ALLOCS_RATIO x the baseline report's. PR 7's -47% reduction is now in
@@ -64,10 +64,14 @@ race:
 # several (true producer/flusher parallelism). The third run pushes a
 # live batch through the multi-tenant submission plane (-tenants 4)
 # under the race detector, so the plane's lock discipline is gated too.
+# The fourth forces the proxy-object spill tier (an owned budget far
+# below one result, tiny worker caches, the shared FS stand-in) so the
+# spill/promote transitions run under -race on real workers.
 benchsmoke:
 	GOMAXPROCS=1 go test -run '^$$' -bench DispatchThroughput -benchtime 1x .
 	GOMAXPROCS=4 go test -run '^$$' -bench DispatchThroughput -benchtime 1x .
 	go test -race -run DispatchTenantsSmoke -count=1 ./internal/dispatchbench
+	go test -race -run RefSpillSmoke -count=1 ./taskvine
 
 # One Go benchmark per paper table/figure (reduced scale), plus the
 # manager dispatch-throughput benchmark, written to BENCH_PR$(PR).json

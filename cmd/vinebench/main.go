@@ -137,6 +137,18 @@ func runMatrix(procsList, shardsList string, rounds, tenants int, out string) er
 		}
 		fmt.Println()
 	}
+	// Tenant runs carry the submission plane's per-tenant breakdown:
+	// print the last cell's so fair-share skew and shed/throttle counts
+	// sit next to the throughput they shaped.
+	if tenants > 0 && len(mat.Cells) > 0 {
+		fmt.Println("\nper-tenant submission plane (last cell):")
+		fmt.Printf("%-8s %6s %8s %6s %9s %8s %7s %9s\n",
+			"tenant", "weight", "submits", "shed", "throttled", "done", "queued", "in-flight")
+		for _, ts := range mat.Cells[len(mat.Cells)-1].TenantStats {
+			fmt.Printf("%-8s %6d %8d %6d %9d %8d %7d %9d\n",
+				ts.Name, ts.Weight, ts.Submits, ts.Shed, ts.Throttled, ts.Done, ts.Queued, ts.InFlight)
+		}
+	}
 	if out == "" {
 		return nil
 	}

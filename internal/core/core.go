@@ -79,6 +79,59 @@ type FileSpec struct {
 	PeerTransfer bool
 	// Unpack expands a Tarball into a reusable directory on arrival.
 	Unpack bool
+	// ByRef marks a proxy-object input: Object carries only metadata
+	// (ID, name, size) and the bytes live wherever the ref's owner
+	// holds them — the manager resolves the input through the ref
+	// catalog (peer fetch or shared tier) and can never stage it from
+	// its own link unless its catalog happens to hold the bytes.
+	ByRef bool `json:"by_ref,omitempty"`
+}
+
+// Storage tiers for proxy objects. TierCache is a worker's local
+// object cache (fast, evictable under pressure); TierShared is the
+// cluster shared filesystem (slow, effectively unbounded), the spill
+// target when an owner's cache budget overflows.
+const (
+	TierCache = iota
+	TierShared
+)
+
+// TierName renders a storage tier for decision traces.
+func TierName(t int) string {
+	if t == TierShared {
+		return "shared"
+	}
+	return "cache"
+}
+
+// ObjectRef is a proxy handle to a result object retained in the
+// cluster instead of shipped through the manager: the content ID and
+// size travel in the result, the bytes stay on the producing worker —
+// the owner/holder of record — until a consumer resolves them.
+type ObjectRef struct {
+	// ID is the content address (or logical ID) of the object.
+	ID string
+	// Name is the object's human-readable name in worker sandboxes.
+	Name string
+	// Size is the object's logical size in bytes.
+	Size int64
+	// Owner is the worker ID of the holder of record; empty when the
+	// object's only copy lives in the shared tier.
+	Owner string
+	// Tier is where the authoritative copy lives (TierCache on the
+	// owner, or TierShared after a spill).
+	Tier int
+}
+
+// RefSpec builds the input binding for a proxy-object result: cached,
+// peer-transferable, resolved through the ref catalog.
+func RefSpec(ref *ObjectRef) FileSpec {
+	return FileSpec{
+		Object:       &content.Object{ID: ref.ID, Name: ref.Name, LogicalSize: ref.Size},
+		Cache:        true,
+		PeerTransfer: true,
+		ByRef:        true,
+	}
 }
 
 // TaskSpec is a stateless task (Table 1, row 1): a self-contained
@@ -101,6 +154,11 @@ type TaskSpec struct {
 	// bypasses the submission plane entirely: single-tenant callers are
 	// untouched by tenancy.
 	TenantID string
+	// ResultByRef asks the worker to retain the result bytes in its own
+	// data plane (as an owned object) and return a proxy ObjectRef in
+	// place of the inline value — the pass-by-reference data plane: the
+	// result never transits the manager.
+	ResultByRef bool `json:"result_by_ref,omitempty"`
 }
 
 // ExecMode selects how a library executes an invocation (§3.4 step 4).
@@ -197,6 +255,11 @@ type Result struct {
 	Retryable bool `json:"retryable,omitempty"`
 	// Value is the pickled return value if Ok.
 	Value []byte
+	// Ref, when set, replaces Value: the result bytes stayed on the
+	// producing worker as an owned object and this proxy handle is all
+	// that travels — completion doubles as the ownership transfer, with
+	// the manager only updating its ref catalog.
+	Ref *ObjectRef `json:"ref,omitempty"`
 	// Metrics is the overhead breakdown recorded along the way.
 	Metrics InvocationMetrics
 }

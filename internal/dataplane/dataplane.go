@@ -46,6 +46,15 @@ const (
 	Cached
 	// Evicting: being removed; resolves refuse it until it is gone.
 	Evicting
+	// Owned: cached and pinned as this worker's holder-of-record copy —
+	// a ref result produced here, or adopted after the previous owner
+	// died. Owned objects never fall to plain LRU eviction; they leave
+	// only through an explicit Spill to the shared tier.
+	Owned
+	// Spilled: demoted to the shared tier and gone from the cache. The
+	// bytes survive in shared storage; a later resolve fetches them back
+	// (and may promote the fetcher to owner).
+	Spilled
 )
 
 func (s State) String() string {
@@ -58,6 +67,10 @@ func (s State) String() string {
 		return "cached"
 	case Evicting:
 		return "evicting"
+	case Owned:
+		return "owned"
+	case Spilled:
+		return "spilled"
 	}
 	return fmt.Sprintf("State(%d)", int(s))
 }
@@ -65,6 +78,17 @@ func (s State) String() string {
 // FetchFn transfers one object from a peer data server. Injectable so
 // tests can count transfers or stall them without sockets.
 type FetchFn func(addr, id string, idle time.Duration) (*content.Object, error)
+
+// SharedTier is the second cache tier: durable shared storage that
+// owned objects spill to under local pressure and resolves fall back
+// to when no peer replica survives. *sharedfs.Store satisfies it; the
+// indirection keeps the plane free of a sharedfs dependency and is the
+// only sanctioned route from worker code to the shared tier (the
+// pinresolve analyzer bans direct sharedfs calls in internal/worker).
+type SharedTier interface {
+	Put(obj *content.Object)
+	Fetch(id string) (*content.Object, error)
+}
 
 // Config configures a Plane.
 type Config struct {
@@ -83,6 +107,10 @@ type Config struct {
 	// Fetch overrides the peer transfer function (tests). Nil uses the
 	// real socket fetch installed by the worker.
 	Fetch FetchFn
+	// Shared is the spill tier for owned objects (optional). With no
+	// shared tier configured, Spill fails and shared-source fetches
+	// error out.
+	Shared SharedTier
 }
 
 // Stats counts data-plane activity; all fields are atomically
@@ -98,6 +126,8 @@ type Stats struct {
 	Puts             int64 // objects stored via Put
 	Served           int64 // peer-serve requests answered with data
 	ServeErrors      int64 // peer-serve requests refused (uncached, bad frame)
+	Spills           int64 // owned objects demoted to the shared tier
+	SharedFetches    int64 // transfers satisfied from the shared tier
 }
 
 // Request asks for one object to be staged from a peer.
@@ -110,6 +140,12 @@ type Request struct {
 	// manager's restage path; retrying here keeps recovery local.
 	AltAddrs []string
 	Unpack   bool
+	// Shared fetches the object from the shared tier instead of a peer
+	// (Addr and AltAddrs are unused).
+	Shared bool
+	// Own marks the object owned on arrival: the manager promoted this
+	// worker to holder of record as part of the resolve.
+	Own bool
 }
 
 // flight is one in-progress single-flight fetch: everyone wanting the
@@ -129,6 +165,8 @@ type Plane struct {
 	queue    []queued
 	active   int
 	evicting map[string]bool
+	owned    map[string]bool // holder-of-record copies, pinned against LRU
+	spilled  map[string]bool // demoted to the shared tier by this worker
 	closed   bool
 
 	done  chan struct{}
@@ -136,6 +174,7 @@ type Plane struct {
 	serve chan struct{} // serve-side concurrency tokens
 
 	fetches, fetchErrors, altRetries, deduped, puts, served, serveErrors atomic.Int64
+	spills, sharedFetches                                                atomic.Int64
 }
 
 type queued struct {
@@ -163,6 +202,8 @@ func New(cfg Config) *Plane {
 		cache:    cfg.Cache,
 		flights:  map[string]*flight{},
 		evicting: map[string]bool{},
+		owned:    map[string]bool{},
+		spilled:  map[string]bool{},
 		done:     make(chan struct{}),
 		serve:    make(chan struct{}, cfg.ServeConcurrency),
 	}
@@ -181,6 +222,8 @@ func (p *Plane) Snapshot() Stats {
 		Puts:             p.puts.Load(),
 		Served:           p.served.Load(),
 		ServeErrors:      p.serveErrors.Load(),
+		Spills:           p.spills.Load(),
+		SharedFetches:    p.sharedFetches.Load(),
 	}
 }
 
@@ -199,7 +242,13 @@ func (p *Plane) stateLocked(id string) State {
 		return Fetching
 	}
 	if p.cache.Has(id) {
+		if p.owned[id] {
+			return Owned
+		}
 		return Cached
+	}
+	if p.spilled[id] {
+		return Spilled
 	}
 	return Absent
 }
@@ -251,12 +300,113 @@ func (p *Plane) Put(obj *content.Object, unpack bool) error {
 	return nil
 }
 
+// PutOwned stores a ref result this worker just produced (or was
+// promoted to own): the object is cached, pinned against LRU eviction,
+// and marked holder of record. Ownership leaves only through Spill or
+// the manager re-homing the ref. If the cache cannot make room even
+// after LRU eviction, the bytes go straight to the shared tier instead
+// — the object stays servable (serveConn falls back to shared), just
+// not resident.
+func (p *Plane) PutOwned(obj *content.Object) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.owned[obj.ID] {
+		return nil
+	}
+	if err := p.cache.Put(obj); err != nil {
+		if p.cfg.Shared == nil {
+			return err
+		}
+		p.cfg.Shared.Put(obj)
+		p.spilled[obj.ID] = true
+		p.spills.Add(1)
+		return nil
+	}
+	p.puts.Add(1)
+	if err := p.cache.Pin(obj.ID); err != nil {
+		return err
+	}
+	p.owned[obj.ID] = true
+	delete(p.spilled, obj.ID)
+	return nil
+}
+
+// SharedRead fetches an object from the shared tier without caching it
+// — the L1 shared-FS read pattern, where every task pays the read
+// again by design. This (plus the ref resolve fallback inside
+// PinResolve) is the executor's only route to shared storage; touching
+// the store directly would bypass the plane's accounting and the
+// layering the pinresolve analyzer enforces.
+func (p *Plane) SharedRead(id string) (*content.Object, error) {
+	if p.cfg.Shared == nil {
+		return nil, fmt.Errorf("dataplane: no shared tier configured")
+	}
+	return p.cfg.Shared.Fetch(id)
+}
+
+// Spill demotes an owned object to the shared tier (MsgSpillObject):
+// the bytes are written to shared storage, the ownership pin drops,
+// and the cache copy is evicted. The manager already re-tiered the ref
+// at decision time — this is the mechanical half. An object still
+// pinned by a running task keeps its cache copy until unpinned (the
+// shared copy is durable either way). Spilling an object that is not
+// owned here is an idempotent no-op if already spilled, an error
+// otherwise.
+func (p *Plane) Spill(id string) error {
+	if p.cfg.Shared == nil {
+		return fmt.Errorf("dataplane: no shared tier configured")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spilled[id] {
+		return nil
+	}
+	if !p.owned[id] {
+		return fmt.Errorf("dataplane: spill of unowned object %s", shortID(id))
+	}
+	obj, ok := p.cache.Get(id)
+	if !ok {
+		return fmt.Errorf("dataplane: spill of uncached object %s", shortID(id))
+	}
+	p.cfg.Shared.Put(obj)
+	if err := p.cache.Unpin(id); err != nil {
+		return err
+	}
+	delete(p.owned, id)
+	p.spilled[id] = true
+	p.spills.Add(1)
+	p.cache.Evict(id) // best effort: fails only if a task still pins it
+	return nil
+}
+
+// AdoptOwned marks an already-cached replica as this worker's owned
+// copy (MsgOwnObject: the previous owner died and the manager re-homed
+// the ref here). Adopting an object that is not resident is an error —
+// the manager only re-homes to live holders.
+func (p *Plane) AdoptOwned(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.owned[id] {
+		return nil
+	}
+	if !p.cache.Has(id) {
+		return fmt.Errorf("dataplane: adopt of uncached object %s", shortID(id))
+	}
+	if err := p.cache.Pin(id); err != nil {
+		return err
+	}
+	p.owned[id] = true
+	delete(p.spilled, id)
+	return nil
+}
+
 // Evict removes an unpinned object through the Evicting state so a
 // concurrent PinResolve observes "going away" rather than racing the
-// removal. Reports whether the object was removed.
+// removal. Owned objects refuse eviction — the holder of record drops
+// its copy only through Spill. Reports whether the object was removed.
 func (p *Plane) Evict(id string) bool {
 	p.mu.Lock()
-	if p.evicting[id] || !p.cache.Has(id) {
+	if p.evicting[id] || p.owned[id] || !p.cache.Has(id) {
 		p.mu.Unlock()
 		return false
 	}
@@ -356,22 +506,37 @@ func (p *Plane) runFetch(e queued) {
 	}
 }
 
-// transfer performs the network fetch and stores the result. A failure
-// against the primary source retries each alternate holder in order
+// transfer performs the fetch and stores the result. Peer fetches that
+// fail against the primary source retry each alternate holder in order
 // before surfacing the error — so a source that dies mid-transfer
-// costs one extra peer round trip, not a manager restage.
+// costs one extra peer round trip, not a manager restage. Shared-tier
+// fetches read the spill store instead of a peer; Own marks the object
+// owned on arrival (a promote re-homed the ref to this worker).
 func (p *Plane) transfer(req Request) error {
-	p.fetches.Add(1)
-	obj, err := p.cfg.Fetch(req.Addr, req.ID, p.cfg.IdleTimeout)
-	for _, alt := range req.AltAddrs {
-		if err == nil {
-			break
+	var obj *content.Object
+	var err error
+	if req.Shared {
+		if p.cfg.Shared == nil {
+			return fmt.Errorf("dataplane: no shared tier configured")
 		}
-		p.altRetries.Add(1)
-		obj, err = p.cfg.Fetch(alt, req.ID, p.cfg.IdleTimeout)
+		p.sharedFetches.Add(1)
+		obj, err = p.cfg.Shared.Fetch(req.ID)
+	} else {
+		p.fetches.Add(1)
+		obj, err = p.cfg.Fetch(req.Addr, req.ID, p.cfg.IdleTimeout)
+		for _, alt := range req.AltAddrs {
+			if err == nil {
+				break
+			}
+			p.altRetries.Add(1)
+			obj, err = p.cfg.Fetch(alt, req.ID, p.cfg.IdleTimeout)
+		}
 	}
 	if err != nil {
 		return err
+	}
+	if req.Own {
+		return p.PutOwned(obj)
 	}
 	return p.Put(obj, req.Unpack)
 }
@@ -411,6 +576,30 @@ func (p *Plane) PinResolve(id string) (*content.Object, error) {
 		// after it wins the evicting mark, which we hold off here.
 		obj, ok := p.cache.Get(id)
 		if !ok {
+			if p.spilled[id] && p.cfg.Shared != nil && !p.closed {
+				// The object was spilled out from under a task that was
+				// promised it (Spill raced the resolve). Its bytes are
+				// durable in the shared tier: refetch through the normal
+				// single-flight path instead of failing the task.
+				fl := &flight{done: make(chan struct{})}
+				p.flights[id] = fl
+				p.queue = append(p.queue, queued{
+					req: Request{ID: id, Shared: true},
+					fl:  fl,
+					cbs: []func(error){func(error) {}},
+				})
+				p.dispatchLocked()
+				p.mu.Unlock()
+				select {
+				case <-fl.done:
+				case <-p.done:
+					return nil, fmt.Errorf("dataplane: shutting down")
+				}
+				if fl.err != nil {
+					return nil, fl.err
+				}
+				continue
+			}
 			p.mu.Unlock()
 			return nil, fmt.Errorf("dataplane: object %s not staged", shortID(id))
 		}
@@ -421,6 +610,14 @@ func (p *Plane) PinResolve(id string) (*content.Object, error) {
 		p.mu.Unlock()
 		return obj, nil
 	}
+}
+
+// OwnedHere reports whether this worker holds the object as its owned
+// holder-of-record copy (tests, diagnostics).
+func (p *Plane) OwnedHere(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.owned[id]
 }
 
 // MarkUnpacked expands a cached tarball (idempotent; see
@@ -482,6 +679,19 @@ func (p *Plane) serveConn(nc net.Conn) {
 	}
 	obj, ok := p.cache.Get(req.ID)
 	if !ok {
+		// A peer may still name this worker as a source for an object it
+		// spilled moments ago; answer from the shared tier rather than
+		// bouncing the requester through the manager's restage path.
+		p.mu.Lock()
+		spilled := p.spilled[req.ID]
+		p.mu.Unlock()
+		if spilled && p.cfg.Shared != nil {
+			if sObj, err := p.cfg.Shared.Fetch(req.ID); err == nil {
+				p.served.Add(1)
+				_ = pc.SendBulk(proto.MsgFileDataBulk, fileHdr(sObj), sObj.Data)
+				return
+			}
+		}
 		p.serveErrors.Add(1)
 		_ = pc.Send(proto.MsgError, proto.ErrorMsg{Err: "object not cached"})
 		return

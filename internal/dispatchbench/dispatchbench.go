@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/manager"
 	"repro/internal/minipy"
 	"repro/taskvine"
 )
@@ -67,6 +68,11 @@ type Result struct {
 	Tenants       int     `json:"tenants,omitempty"`
 	InvPerSec     float64 `json:"inv_per_s"`
 	NsPerDispatch float64 `json:"ns_per_dispatch"`
+	// TenantStats is the manager's per-tenant submission-plane
+	// breakdown at the end of the run (tenant runs only): vinebench
+	// prints it so fair-share skew and shed/throttle counts are visible
+	// next to the throughput they shaped.
+	TenantStats []manager.TenantStat `json:"tenant_stats,omitempty"`
 }
 
 // Matrix is the JSON document vinebench emits and benchjson embeds
@@ -131,6 +137,7 @@ func Run(cfg Config) (Result, error) {
 		res.InvPerSec = float64(total) / s
 	}
 	res.NsPerDispatch = float64(elapsed.Nanoseconds()) / float64(total)
+	res.TenantStats = m.TenantStats()
 	return res, nil
 }
 

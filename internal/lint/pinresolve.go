@@ -5,17 +5,19 @@ import (
 	"go/types"
 )
 
-// pinresolve enforces the worker layering contract (DESIGN.md §10):
-// executor-layer code reaches cached objects only through the data
+// pinresolve enforces the worker layering contract (DESIGN.md §10,
+// §15): executor-layer code reaches bytes only through the data
 // plane's Pin/Resolve API. Inside internal/worker, calling a method on
 // a content.Cache value — or unwrapping the raw cache via
 // dataplane.Plane.Cache() — bypasses the per-object state machine that
-// makes pins atomic with respect to eviction, so both are flagged.
-// (Constructing the cache with content.NewCache and handing it to the
+// makes pins atomic with respect to eviction, and calling a method on
+// a sharedfs.Store (or any dataplane.SharedTier) value bypasses the
+// plane's tier accounting and spill/promote state, so all three are
+// flagged. (Constructing the cache or store and handing it to the
 // plane is the control layer's job and stays legal.)
 var pinresolve = &Analyzer{
 	Name: "pinresolve",
-	Doc:  "executor-layer code must use dataplane Pin/Resolve, never content.Cache directly",
+	Doc:  "executor-layer code must use dataplane Pin/Resolve, never content.Cache or the shared tier directly",
 	Suffixes: []string{
 		"internal/worker",
 	},
@@ -38,6 +40,12 @@ func runPinResolve(pass *Pass) {
 			pass.Reportf(call.Pos(), "direct content.Cache.%s call in the worker; go through the data plane's Pin/Resolve API (§10 layering)", sel.Sel.Name)
 			return true
 		}
+		// Method call on the shared tier (a sharedfs.Store or the
+		// dataplane.SharedTier interface it satisfies).
+		if tv, ok := info.Types[sel.X]; ok && isSharedTier(tv.Type) {
+			pass.Reportf(call.Pos(), "direct shared-tier %s call in the worker; the shared tier is reached only through the data plane (§15 layering)", sel.Sel.Name)
+			return true
+		}
 		// Unwrapping the raw cache out of the plane.
 		fn := staticCallee(info, call)
 		if fn != nil && fn.Name() == "Cache" && fn.Pkg() != nil && hasPathSuffix(fn.Pkg().Path(), "internal/dataplane") {
@@ -49,6 +57,19 @@ func runPinResolve(pass *Pass) {
 
 // isContentCache reports whether t is (a pointer to) content.Cache.
 func isContentCache(t types.Type) bool {
+	return isNamedFrom(t, "Cache", "internal/content")
+}
+
+// isSharedTier reports whether t is (a pointer to) sharedfs.Store or
+// the dataplane.SharedTier interface.
+func isSharedTier(t types.Type) bool {
+	return isNamedFrom(t, "Store", "internal/sharedfs") ||
+		isNamedFrom(t, "SharedTier", "internal/dataplane")
+}
+
+// isNamedFrom reports whether t is (a pointer to) the named type
+// pkgSuffix.name.
+func isNamedFrom(t types.Type, name, pkgSuffix string) bool {
 	if t == nil {
 		return false
 	}
@@ -60,5 +81,5 @@ func isContentCache(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Cache" && obj.Pkg() != nil && hasPathSuffix(obj.Pkg().Path(), "internal/content")
+	return obj.Name() == name && obj.Pkg() != nil && hasPathSuffix(obj.Pkg().Path(), pkgSuffix)
 }

@@ -1,11 +1,12 @@
-// Package worker is a fixture breaking the §10 layering: executor
-// code touching the content cache directly and unwrapping the raw
-// cache out of the data plane.
+// Package worker is a fixture breaking the §10/§15 layering: executor
+// code touching the content cache directly, unwrapping the raw cache
+// out of the data plane, and reaching the shared tier around it.
 package worker
 
 import (
 	"repro/internal/content"
 	"repro/internal/dataplane"
+	"repro/internal/sharedfs"
 )
 
 func Load(c *content.Cache, id string) (*content.Object, bool) {
@@ -14,4 +15,12 @@ func Load(c *content.Cache, id string) (*content.Object, bool) {
 
 func Unwrap(p *dataplane.Plane) *content.Cache {
 	return p.Cache() // want `Plane.Cache\(\) unwraps the raw content cache`
+}
+
+func ReadAroundPlane(s *sharedfs.Store, id string) (*content.Object, error) {
+	return s.Fetch(id) // want `direct shared-tier Fetch call`
+}
+
+func SpillAroundPlane(tier dataplane.SharedTier, obj *content.Object) {
+	tier.Put(obj) // want `direct shared-tier Put call`
 }

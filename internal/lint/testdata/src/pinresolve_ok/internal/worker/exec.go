@@ -1,11 +1,14 @@
-// Package worker is a clean fixture for the §10 layering: cached
-// objects are reached through the plane's Pin/Resolve API, and
-// constructing a cache (the control layer's job) stays legal.
+// Package worker is a clean fixture for the §10/§15 layering: cached
+// objects are reached through the plane's Pin/Resolve API, the shared
+// tier through the plane's SharedRead and Spill, and constructing a
+// cache or store (the control layer's job) stays legal — including
+// handing the store to the plane's config as its shared tier.
 package worker
 
 import (
 	"repro/internal/content"
 	"repro/internal/dataplane"
+	"repro/internal/sharedfs"
 )
 
 func Resolve(p *dataplane.Plane, id string) (*content.Object, error) {
@@ -18,4 +21,19 @@ func Release(p *dataplane.Plane, id string) error {
 
 func Build(capacity int64) *content.Cache {
 	return content.NewCache(capacity)
+}
+
+func ReadShared(p *dataplane.Plane, id string) (*content.Object, error) {
+	return p.SharedRead(id)
+}
+
+func Demote(p *dataplane.Plane, id string) error {
+	return p.Spill(id)
+}
+
+func Wire(capacity int64) dataplane.Config {
+	return dataplane.Config{
+		Cache:  content.NewCache(capacity),
+		Shared: sharedfs.NewStore(),
+	}
 }

@@ -76,6 +76,20 @@ type shardTracer interface {
 	ShardDecisions() [][]string
 }
 
+// refReplay is the proxy-object event surface (DESIGN.md §15) the ref
+// differential drives on the sim side: by-ref completions, ref-input
+// submissions, fetch acks and faults, and the global ref decision
+// stream compared against Manager.RefDecisions. Single-shard only —
+// the manager's ref trace is deterministic because one shard lock
+// serializes every producer.
+type refReplay interface {
+	SubmitTaskRefs(refs ...string)
+	CompleteTaskRef(id, key string, ref core.ObjectRef) bool
+	RefArrived(id, refID string) bool
+	RefFailed(id, refID string) bool
+	RefDecisions() []string
+}
+
 func diffEnvSpec() core.FileSpec {
 	return core.FileSpec{
 		Object:       &content.Object{ID: diffEnv, Name: diffEnv, LogicalSize: 64 << 20},
@@ -102,6 +116,15 @@ type diffHarness struct {
 	// the identical tenant sequence); submits counts spec submissions.
 	tenantMix []string
 	submits   int
+	// refRp is the sim's proxy-object surface (set when opts.refs);
+	// producers marks spec IDs submitted with ResultByRef, refsMade
+	// records every fabricated ref in creation order, and nextRef
+	// numbers them — both engines see the identical ref identities and
+	// sizes.
+	refRp     refReplay
+	producers map[int64]bool
+	refsMade  []core.ObjectRef
+	nextRef   int
 }
 
 // diffTenants is the multi-tenant differential registry: one
@@ -139,8 +162,14 @@ func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int, opt
 	if opts.tenants {
 		mopts.Tenants = diffTenants()
 	}
+	if opts.refs {
+		// A cap the 1–3MB fabricated refs overflow constantly, so
+		// ownership transfers, spills, shared-tier resolves, and
+		// promotes all appear in the trace (a 3MB ref even self-spills).
+		mopts.RefOwnedBytesCap = 2 << 20
+	}
 	m := New(mopts)
-	h := &diffHarness{t: t, m: m, dead: map[string]bool{}, slots: slots, shards: shards, next: workers, level: level, env: diffEnvSpec()}
+	h := &diffHarness{t: t, m: m, dead: map[string]bool{}, slots: slots, shards: shards, next: workers, level: level, env: diffEnvSpec(), producers: map[int64]bool{}}
 	if opts.tenants {
 		h.tenantMix = diffTenantMix
 	}
@@ -168,6 +197,15 @@ func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int, opt
 	if opts.tenants {
 		cfg.Tenants = diffTenants()
 	}
+	if opts.refs {
+		cfg.RefOwnedBytesCap = 2 << 20
+		// The manager always plans through PlanTaskBatch; for plain
+		// inputs sequential planning is provably equivalent, but a ref
+		// stage's suppression effect (the batch overlay's pending mark)
+		// only matches when the sim plans through the same batch entry
+		// point.
+		cfg.Batched = true
+	}
 	if shards == 1 {
 		h.rp = sim.NewReplay(cfg)
 	} else {
@@ -177,6 +215,13 @@ func newDiffHarness(t *testing.T, level core.ReuseLevel, workers, slots int, opt
 		cfg.Batched = true
 		cfg.Workers = 0
 		h.rp = sim.NewShardedReplay(cfg, shards)
+	}
+	if opts.refs {
+		rr, ok := h.rp.(refReplay)
+		if !ok {
+			t.Fatalf("ref harness driving an engine with no proxy-object surface (%T)", h.rp)
+		}
+		h.refRp = rr
 	}
 	for i := 0; i < workers; i++ {
 		h.ws = append(h.ws, h.newWorker(fmt.Sprintf("w%04d", i)))
@@ -206,8 +251,10 @@ func (h *diffHarness) mgrDump() string {
 // the same capacity wake a real connection would.
 func (h *diffHarness) newWorker(id string) *workerState {
 	w := &workerState{
-		id:           id,
-		hello:        proto.Hello{WorkerID: id, Resources: core.Resources{Cores: h.slots}},
+		id: id,
+		// DataAddr must be non-empty: the ref plane treats an
+		// address-less resolve source as dead (refSourceAddrs).
+		hello:        proto.Hello{WorkerID: id, Resources: core.Resources{Cores: h.slots}, DataAddr: "sim://" + id},
 		sendq:        make(chan outMsg, 256),
 		fetchSources: map[string]string{},
 		ackWaiters:   map[string][]*inflightEntry{},
@@ -278,6 +325,14 @@ func (h *diffHarness) crossCheck(op string) {
 		}
 		if w.v.Files[diffEnv] != wv.Files[diffEnv] {
 			h.t.Fatalf("after %s: %s Files[env] manager=%v sim=%v", op, w.id, w.v.Files[diffEnv], wv.Files[diffEnv])
+		}
+		for _, ref := range h.refsMade {
+			if w.v.Pending[ref.ID] != wv.Pending[ref.ID] {
+				h.t.Fatalf("after %s: %s Pending[%s] manager=%v sim=%v\nops: %v", op, w.id, ref.ID, w.v.Pending[ref.ID], wv.Pending[ref.ID], h.opLog)
+			}
+			if w.v.Files[ref.ID] != wv.Files[ref.ID] {
+				h.t.Fatalf("after %s: %s Files[%s] manager=%v sim=%v\nops: %v", op, w.id, ref.ID, w.v.Files[ref.ID], wv.Files[ref.ID], h.opLog)
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -403,6 +458,10 @@ func (h *diffHarness) completable(w *workerState) (int64, bool) {
 }
 
 func (h *diffHarness) done(w *workerState, id int64) {
+	if h.producers[id] {
+		h.doneRef(w, id)
+		return
+	}
 	h.opLog = append(h.opLog, fmt.Sprintf("done(%s,%d)", w.id, id))
 	h.shardOf(w).onResult(w, core.Result{ID: id, Ok: true, Value: []byte("x")})
 	// Task workloads complete by ring key: churn requeues carry keys,
@@ -416,6 +475,113 @@ func (h *diffHarness) done(w *workerState, id int64) {
 	if !ok {
 		h.t.Fatalf("sim rejected Complete(%s, task %d) the manager accepted\nops: %v\nmgr trace:\n%s\nsim trace:\n%s",
 			w.id, id, h.opLog, h.mgrDump(), h.rp.Dump())
+	}
+}
+
+// ---- proxy-object (pass-by-reference) events ----
+
+// doneRef completes a ResultByRef producer: the harness fabricates the
+// ObjectRef a real executor would return (deterministic ID and a 1–3MB
+// size rotation that keeps the 2MB owned-bytes cap under pressure) and
+// delivers it through the manager's onResult and the sim's
+// CompleteTaskRef, so both catalogs perform the identical ownership
+// transfer — and the identical cascaded spills.
+func (h *diffHarness) doneRef(w *workerState, id int64) {
+	ref := core.ObjectRef{
+		ID:    fmt.Sprintf("ref-%04d", h.nextRef),
+		Name:  fmt.Sprintf("task-%d.out", id),
+		Size:  int64(1+h.nextRef%3) << 20,
+		Owner: w.id,
+		Tier:  core.TierCache,
+	}
+	h.nextRef++
+	h.refsMade = append(h.refsMade, ref)
+	h.opLog = append(h.opLog, fmt.Sprintf("doneRef(%s,%d,%s)", w.id, id, ref.ID))
+	h.shardOf(w).onResult(w, core.Result{ID: id, Ok: true, Ref: &ref})
+	if !h.refRp.CompleteTaskRef(w.id, taskRingKey(id), ref) {
+		h.t.Fatalf("sim rejected CompleteTaskRef(%s, task %d) the manager accepted\nops: %v\nmgr trace:\n%s\nsim trace:\n%s",
+			w.id, id, h.opLog, h.mgrDump(), h.rp.Dump())
+	}
+}
+
+// submitProducer submits one task whose result stays on the producing
+// worker (ResultByRef). The sim side sees a plain keyed task —
+// ResultByRef does not affect planning, only the completion.
+func (h *diffHarness) submitProducer() {
+	h.opLog = append(h.opLog, "submitProducer")
+	id := h.m.Submit(&core.TaskSpec{
+		Script:      "1",
+		Inputs:      []core.FileSpec{h.env},
+		Resources:   core.Resources{Cores: 1},
+		ResultByRef: true,
+	})
+	h.producers[id] = true
+	h.rp.Submit(1)
+}
+
+// submitConsumer submits one task whose inputs are the environment plus
+// a RefSpec per given ref ID — the pass-by-reference consumption path.
+// Both engines rebuild the identical FileSpec bindings (the manager
+// from refsMade, the sim from its mirrored catalog).
+func (h *diffHarness) submitConsumer(ids []string) {
+	h.opLog = append(h.opLog, fmt.Sprintf("submitConsumer(%v)", ids))
+	inputs := []core.FileSpec{h.env}
+	for _, rid := range ids {
+		ref := h.refByID(rid)
+		inputs = append(inputs, core.RefSpec(&core.ObjectRef{ID: ref.ID, Name: ref.Name, Size: ref.Size}))
+	}
+	h.m.Submit(&core.TaskSpec{Script: "1", Inputs: inputs, Resources: core.Resources{Cores: 1}})
+	h.refRp.SubmitTaskRefs(ids...)
+}
+
+func (h *diffHarness) refByID(id string) core.ObjectRef {
+	for _, ref := range h.refsMade {
+		if ref.ID == id {
+			return ref
+		}
+	}
+	h.t.Fatalf("unknown ref %s", id)
+	return core.ObjectRef{}
+}
+
+// refPending reports whether a ref copy is in flight to w.
+func (h *diffHarness) refPending(w *workerState, refID string) bool {
+	s := h.shardOf(w)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return w.v.Pending[refID]
+}
+
+// refPendingWorkers lists the live workers with an in-flight copy of
+// refID, in worker order.
+func (h *diffHarness) refPendingWorkers(refID string) []*workerState {
+	var out []*workerState
+	for _, w := range h.ws {
+		if !h.dead[w.id] && h.refPending(w, refID) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// refAck lands a consumer's ref fetch: the manager's FileAck path
+// (replica note + ref-catalog holder) against the sim's RefArrived.
+func (h *diffHarness) refAck(w *workerState, refID string) {
+	h.opLog = append(h.opLog, "refAck("+w.id+","+refID+")")
+	h.shardOf(w).onFileAck(w, proto.FileAck{ID: refID, Ok: true, Cache: true})
+	if !h.refRp.RefArrived(w.id, refID) {
+		h.t.Fatalf("sim rejected RefArrived(%s,%s) the manager accepted\nops: %v", w.id, refID, h.opLog)
+	}
+}
+
+// refFail fails a consumer's in-flight ref fetch: the manager retracts
+// every non-owner holder and plans a fresh traced resolve
+// (restageRefLocked) against the sim's RefFailed mirror.
+func (h *diffHarness) refFail(w *workerState, refID string) {
+	h.opLog = append(h.opLog, "refFail("+w.id+","+refID+")")
+	h.shardOf(w).onFileAck(w, proto.FileAck{ID: refID, Ok: false, Err: "injected ref fetch fault"})
+	if !h.refRp.RefFailed(w.id, refID) {
+		h.t.Fatalf("sim rejected RefFailed(%s,%s) the manager accepted\nops: %v", w.id, refID, h.opLog)
 	}
 }
 
@@ -508,6 +674,12 @@ func (h *diffHarness) quiesce() {
 				h.envAck(w)
 				progressed = true
 			}
+			for _, ref := range h.refsMade {
+				if h.refPending(w, ref.ID) {
+					h.refAck(w, ref.ID)
+					progressed = true
+				}
+			}
 			if h.level == core.L3 && h.canLibReady(w) {
 				h.libReady(w)
 				progressed = true
@@ -538,6 +710,12 @@ func (h *diffHarness) diffTraces(minLines int) {
 		// picks) is its own stream, compared before the shard traces so
 		// an admission or drain-order divergence names itself directly.
 		h.diffTracePair("plane", h.m.PlaneDecisions(), h.rp.PlaneDecisions())
+	}
+	if h.refRp != nil {
+		// The global ref stream (ownership transfers, spills, resolves,
+		// promotes, rehomes) is likewise its own trace, compared before
+		// the merged view so a proxy-object divergence names itself.
+		h.diffTracePair("refs", h.m.RefDecisions(), h.refRp.RefDecisions())
 	}
 	if h.shards > 1 {
 		st, ok := h.rp.(shardTracer)
@@ -600,6 +778,13 @@ type diffOpts struct {
 	// engines (diffTenants registry, diffTenantMix spec tagging) and
 	// adds the plane trace to the comparison.
 	tenants bool
+	// refs mixes in the proxy-object data plane: ResultByRef producers,
+	// ref-consuming tasks, fetch acks, and (with fail) fetch faults,
+	// with the global ref decision stream added to the comparison. Task
+	// workloads only, single shard, single tenant — the manager's ref
+	// trace is deterministic because one shard lock serializes every
+	// producer (see refPlane).
+	refs bool
 }
 
 // injectChaos maybe applies one churn or failure event, reporting
@@ -651,12 +836,70 @@ func (h *diffHarness) injectChaos(rng *rand.Rand, opts diffOpts, joins *int) boo
 	return false
 }
 
+// injectRef maybe applies one proxy-object event, reporting whether it
+// consumed the op. Called only when opts.refs is set, so the flag-free
+// workloads keep their exact random sequences.
+func (h *diffHarness) injectRef(rng *rand.Rand, opts diffOpts, outstanding *int) bool {
+	switch rng.Intn(8) {
+	case 0, 1:
+		if *outstanding < 120 {
+			h.submitProducer()
+			*outstanding++
+			return true
+		}
+	case 2, 3:
+		if len(h.refsMade) > 0 && *outstanding < 120 {
+			ids := []string{h.refsMade[rng.Intn(len(h.refsMade))].ID}
+			if rng.Intn(2) == 1 {
+				if id2 := h.refsMade[rng.Intn(len(h.refsMade))].ID; id2 != ids[0] {
+					ids = append(ids, id2)
+				}
+			}
+			h.submitConsumer(ids)
+			*outstanding++
+			return true
+		}
+	case 4, 5:
+		for _, wi := range rng.Perm(len(h.ws)) {
+			w := h.ws[wi]
+			if h.dead[w.id] {
+				continue
+			}
+			for _, ri := range rng.Perm(len(h.refsMade)) {
+				if refID := h.refsMade[ri].ID; h.refPending(w, refID) {
+					h.refAck(w, refID)
+					return true
+				}
+			}
+		}
+	case 6:
+		if opts.fail {
+			for _, wi := range rng.Perm(len(h.ws)) {
+				w := h.ws[wi]
+				if h.dead[w.id] {
+					continue
+				}
+				for _, ri := range rng.Perm(len(h.refsMade)) {
+					if refID := h.refsMade[ri].ID; h.refPending(w, refID) {
+						h.refFail(w, refID)
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
 // runDifferential drives ops random events through both engines and
 // diffs the decision traces, then drives both to quiescence and diffs
 // again.
 func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64, ops int, opts diffOpts) {
 	if opts.fail && opts.shards > 1 {
 		t.Fatal("fail injection is not differential-testable at shards > 1 (see diffOpts)")
+	}
+	if opts.refs && (opts.shards > 1 || opts.tenants || level == core.L3) {
+		t.Fatal("ref injection runs task workloads at one shard, no tenants (see diffOpts)")
 	}
 	h := newDiffHarness(t, level, 7, slots, opts)
 	rng := rand.New(rand.NewSource(seed))
@@ -666,6 +909,9 @@ func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64,
 		h.settle()
 		h.crossCheck(fmt.Sprintf("op %d", i))
 		if (opts.churn || opts.fail) && h.injectChaos(rng, opts, &joins) {
+			continue
+		}
+		if opts.refs && h.injectRef(rng, opts, &outstanding) {
 			continue
 		}
 		switch rng.Intn(10) {
@@ -721,6 +967,18 @@ func runDifferential(t *testing.T, level core.ReuseLevel, slots int, seed int64,
 		if st.SubmitsShed == 0 || st.SubmitsThrottled == 0 || st.FairDrains == 0 {
 			t.Errorf("degenerate tenant run: shed=%d throttled=%d fairDrains=%d — registry pressure never materialized",
 				st.SubmitsShed, st.SubmitsThrottled, st.FairDrains)
+		}
+	}
+	if opts.refs {
+		// Likewise for the ref plane: ownership transfers and cap
+		// pressure (spills) must have actually appeared, and no result
+		// bytes may have transited the manager for the by-ref results.
+		st := h.m.Stats()
+		if st.RefResults == 0 || st.RefSpills == 0 {
+			t.Errorf("degenerate ref run: refResults=%d refSpills=%d — the owned-bytes cap never bit", st.RefResults, st.RefSpills)
+		}
+		if st.BytesByRef == 0 {
+			t.Errorf("degenerate ref run: no result bytes stayed on workers")
 		}
 	}
 }
@@ -807,6 +1065,116 @@ func TestDifferentialMultiTenantChurn(t *testing.T) {
 	for _, seed := range []int64{41, 42} {
 		runDifferential(t, core.L3, 1, seed, 600, diffOpts{shards: 3, churn: true, tenants: true})
 		runDifferential(t, core.L2, 2, seed, 600, diffOpts{shards: 3, churn: true, tenants: true})
+	}
+}
+
+func TestDifferentialRefDataPlane(t *testing.T) {
+	// The proxy-object data plane against the sim's ref mirror:
+	// identical ownership transfers on by-ref completions, identical
+	// cap-pressure spills (1–3MB refs against a 2MB owned budget),
+	// identical resolves for ref-consuming tasks — ready on holders,
+	// min-ID peer picks, shared-tier fetches with promote-on-reuse —
+	// and identical holder bookkeeping on fetch acks. The ref stream,
+	// the shard trace, and the merged trace must all be byte-identical.
+	for _, seed := range []int64{1, 2, 3} {
+		runDifferential(t, core.L2, 2, seed, 600, diffOpts{refs: true})
+	}
+}
+
+func TestDifferentialRefChurnAndFailures(t *testing.T) {
+	// Refs under churn and faults: owners die with consumers' fetches
+	// in flight (rehome onto survivors, shared fallback, or lost),
+	// failed fetches invalidate the holder walk and re-resolve, and
+	// retryable task failures requeue consumers with their ref inputs
+	// intact. Owner death mid-resolve arises naturally: a killed owner
+	// leaves pending fetches the fault injector then fails.
+	for _, seed := range []int64{7, 8} {
+		runDifferential(t, core.L2, 2, seed, 600, diffOpts{refs: true, churn: true, fail: true})
+	}
+}
+
+func TestDifferentialRefOwnerDeathMidResolve(t *testing.T) {
+	// The scripted worst case: a ref's owner dies while one consumer's
+	// fetch from it is still in flight. A second consumer that already
+	// acked adopts the ref (rehome), the stranded fetch fails and
+	// re-resolves onto the new owner, and the replacement fetch lands —
+	// every step compared across both engines.
+	h := newDiffHarness(t, core.L2, 4, 2, diffOpts{refs: true})
+	h.submitProducer()
+	h.quiesce()
+	h.settle()
+	if len(h.refsMade) != 1 {
+		t.Fatalf("expected 1 ref after the producer phase, have %d", len(h.refsMade))
+	}
+	ref := h.refsMade[0]
+	owner := ref.Owner
+
+	// Fill the cluster with consumers of that ref, then land every
+	// environment copy (but no ref fetches): each non-owner worker
+	// running a consumer now has the ref fetch in flight.
+	for i := 0; i < 8; i++ {
+		h.submitConsumer([]string{ref.ID})
+	}
+	h.settle()
+	for _, w := range h.ws {
+		if !h.dead[w.id] && h.canEnvAck(w) {
+			h.envAck(w)
+		}
+	}
+	h.settle()
+	pend := h.refPendingWorkers(ref.ID)
+	if len(pend) < 2 {
+		t.Fatalf("need two in-flight ref fetches to script the race, have %d", len(pend))
+	}
+	wA, wB := pend[0], pend[1]
+
+	// wA's fetch lands (second holder); wB's stays in flight while the
+	// owner dies. The rehome must hand the ref to wA — the only
+	// surviving holder of record.
+	h.refAck(wA, ref.ID)
+	for _, w := range h.ws {
+		if w.id == owner {
+			h.killWorker(w)
+		}
+	}
+	h.settle()
+	h.crossCheck("owner death")
+
+	// wB's stranded fetch now fails; the re-resolve must land on the
+	// new owner, and the replacement fetch completes the task.
+	h.refFail(wB, ref.ID)
+	if !h.refPending(wB, ref.ID) {
+		t.Fatalf("failed fetch on %s was not re-staged onto the new owner", wB.id)
+	}
+	h.refAck(wB, ref.ID)
+	h.quiesce()
+	h.settle()
+	if err := h.m.CheckQuiescence(); err != nil {
+		t.Errorf("manager not quiescent after drain: %v", err)
+	}
+	h.crossCheck("final")
+	h.diffTraces(1)
+
+	// The ref stream must show the scripted fate: ownership, the
+	// rehome onto wA, and a post-death resolve onto the new owner.
+	trace := h.m.RefDecisions()
+	wantRehome := fmt.Sprintf("rehome obj=%s owner=%s", ref.ID, wA.id)
+	wantResolve := fmt.Sprintf("resolve obj=%s dst=%s mode=peer src=%s", ref.ID, wB.id, wA.id)
+	var sawRehome, sawResolve bool
+	for _, line := range trace {
+		if line == wantRehome {
+			sawRehome = true
+		}
+		if sawRehome && line == wantResolve {
+			sawResolve = true
+		}
+	}
+	if !sawRehome || !sawResolve {
+		t.Errorf("ref trace missing the scripted fate (rehome=%v, post-death resolve=%v):\nwant %q then %q\ngot:\n%v",
+			sawRehome, sawResolve, wantRehome, wantResolve, trace)
+	}
+	if st := h.m.Stats(); st.RefRehomes == 0 {
+		t.Errorf("RefRehomes stat never counted the scripted rehome")
 	}
 }
 

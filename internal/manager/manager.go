@@ -76,6 +76,12 @@ type Options struct {
 	RetryBaseDelay time.Duration
 	// RetryMaxDelay caps the exponential backoff. Zero defaults to 2s.
 	RetryMaxDelay time.Duration
+	// RefOwnedBytesCap bounds the owned (holder-of-record, cache-tier)
+	// proxy-object bytes per worker (DESIGN.md §15): a producer pushed
+	// over the cap by a new by-ref result spills its oldest owned
+	// objects to the shared filesystem tier. Zero — the default — means
+	// unbounded: no spills, every ref stays cache-tier on its producer.
+	RefOwnedBytesCap int64
 	// Tenants, when non-empty, activates the submission plane
 	// (DESIGN.md §14): specs carrying a TenantID pass admission
 	// control, queue per tenant, and reach the shards in weighted
@@ -117,6 +123,20 @@ type Stats struct {
 	SubmitsThrottled  int64 // submissions accepted with a backpressure verdict (quota or queue pressure)
 	FairDrains        int64 // specs released from tenant plane queues to shard intakes
 
+	// Proxy-object (pass-by-reference) data plane accounting (§15).
+	// BytesThroughManager counts inline result payload bytes that
+	// transited the manager; BytesByRef counts result bytes that stayed
+	// on their producing workers with only the handle traveling — the
+	// headline split the by-ref experiment reports.
+	RefResults          int64 // results returned as proxy handles (ownership transfers)
+	RefTransfers        int64 // consumer ref fetches sourced worker→worker
+	RefSpills           int64 // owned objects demoted to the shared tier
+	RefPromotes         int64 // shared-tier objects promoted back to a cache-tier owner
+	RefRehomes          int64 // refs re-homed (or tier-demoted) after their owner died
+	RefLost             int64 // refs with no surviving copy after owner death
+	BytesThroughManager int64 // inline result bytes relayed through the manager
+	BytesByRef          int64 // result bytes that never transited the manager
+
 	// Coalesced-writer accounting: each per-worker sender goroutine
 	// drains its queue greedily into the connection's pending buffer
 	// and issues one flush per drain batch, so FramesSent/FlushBatches
@@ -148,6 +168,10 @@ type Manager struct {
 	// tenancy cost to one predictable branch.
 	plane       *submitPlane
 	planeActive atomic.Bool
+
+	// refs is the proxy-object plane (refplane.go): the global catalog
+	// of pass-by-reference results and the decision stream over it.
+	refs *refPlane
 
 	nextID atomic.Int64
 	closed atomic.Bool
@@ -496,6 +520,7 @@ func New(opts Options) *Manager {
 		m.plane = newSubmitPlane(m, opts.Tenants, opts.DecisionTrace != nil)
 		m.planeActive.Store(true)
 	}
+	m.refs = newRefPlane(m, opts.RefOwnedBytesCap, opts.DecisionTrace != nil)
 	return m
 }
 
@@ -528,10 +553,14 @@ func (m *Manager) ShardDecisions() [][]string {
 // MergedDecisions returns the per-shard decision traces merged by the
 // deterministic rule shared with the simulator's sharded replay
 // (shardplane.MergeTraces: concatenation in shard-index order), with
-// the submission plane's admission/drain trace — when the plane is
-// active — prepended.
+// the global streams — the submission plane's admission/drain trace
+// and the ref plane's ownership/resolve trace, when present —
+// prepended in that order.
 func (m *Manager) MergedDecisions() []string {
 	merged := shardplane.MergeTraces(m.ShardDecisions())
+	if refs := m.RefDecisions(); len(refs) > 0 {
+		merged = append(refs, merged...)
+	}
 	if plane := m.PlaneDecisions(); len(plane) > 0 {
 		return append(plane, merged...)
 	}
@@ -596,9 +625,18 @@ func (m *Manager) Stats() Stats {
 		SubmitsShed:       atomic.LoadInt64(&m.stats.SubmitsShed),
 		SubmitsThrottled:  atomic.LoadInt64(&m.stats.SubmitsThrottled),
 		FairDrains:        atomic.LoadInt64(&m.stats.FairDrains),
-		FramesSent:        atomic.LoadInt64(&m.stats.FramesSent),
-		FlushBatches:      atomic.LoadInt64(&m.stats.FlushBatches),
-		MaxFlushBatch:     atomic.LoadInt64(&m.stats.MaxFlushBatch),
+		RefResults:        atomic.LoadInt64(&m.stats.RefResults),
+		RefTransfers:      atomic.LoadInt64(&m.stats.RefTransfers),
+		RefSpills:         atomic.LoadInt64(&m.stats.RefSpills),
+		RefPromotes:       atomic.LoadInt64(&m.stats.RefPromotes),
+		RefRehomes:        atomic.LoadInt64(&m.stats.RefRehomes),
+		RefLost:           atomic.LoadInt64(&m.stats.RefLost),
+
+		BytesThroughManager: atomic.LoadInt64(&m.stats.BytesThroughManager),
+		BytesByRef:          atomic.LoadInt64(&m.stats.BytesByRef),
+		FramesSent:          atomic.LoadInt64(&m.stats.FramesSent),
+		FlushBatches:        atomic.LoadInt64(&m.stats.FlushBatches),
+		MaxFlushBatch:       atomic.LoadInt64(&m.stats.MaxFlushBatch),
 	}
 }
 
@@ -976,6 +1014,11 @@ func (s *shard) releaseSourceSlotLocked(src string) {
 func (m *Manager) onWorkerGone(w *workerState) {
 	m.router.Remove(w.id)
 	m.peerDrop(w.id)
+	// Re-home every ref the dead worker owned before requeueing its
+	// work: surviving holders adopt ownership (pinning their copies),
+	// spilled refs fall back to the durable shared tier, and the rest
+	// are declared lost — the traced failure semantics of §15.
+	m.refs.rehome(w.id)
 	s := m.shardFor(w.id)
 	s.mu.Lock()
 	// The dead worker may have been the destination of in-flight peer
@@ -1054,18 +1097,31 @@ func (s *shard) onFileAck(w *workerState, ack proto.FileAck) {
 	}
 	if ack.Ok && ack.Cache {
 		s.noteReplicaLocked(w, ack.ID)
+		// A confirmed ref replica also registers in the global ref
+		// catalog, so later resolves can source from this consumer.
+		// No-op for ordinary objects.
+		s.m.refs.noteHolder(w.id, ack.ID)
 	}
 	restaged := false
-	if !ack.Ok && fromPeer && w.v.Alive {
-		// The peer fetch failed on every source the data plane tried —
-		// the assigned one and the alternates it retried on its own
-		// (§4.3). The manager's own link is always a valid source:
-		// re-stage directly rather than leaving every dispatch behind
-		// this copy to die on "input not staged".
-		if fs, known := s.m.catalogGet(ack.ID); known {
-			s.directSendLocked(w, fs)
-			atomic.AddInt64(&s.m.stats.Restaged, 1)
-			restaged = true
+	if !ack.Ok && w.v.Alive {
+		if s.m.refs.isRef(ack.ID) {
+			// A ref fetch failed on every source the data plane tried.
+			// The manager never held these bytes, so the catalog restage
+			// below cannot apply: retract the unreliable replica records
+			// and plan a fresh traced resolve against what survives —
+			// the owner's pinned copy, the shared tier, or lost.
+			restaged = s.restageRefLocked(w, ack.ID)
+		} else if fromPeer {
+			// The peer fetch failed on every source the data plane tried —
+			// the assigned one and the alternates it retried on its own
+			// (§4.3). The manager's own link is always a valid source:
+			// re-stage directly rather than leaving every dispatch behind
+			// this copy to die on "input not staged".
+			if fs, known := s.m.catalogGet(ack.ID); known {
+				s.directSendLocked(w, fs)
+				atomic.AddInt64(&s.m.stats.Restaged, 1)
+				restaged = true
+			}
 		}
 	}
 	// Stamp staging completion on every dispatch that was waiting for
@@ -1184,6 +1240,18 @@ func (s *shard) onResult(w *workerState, res core.Result) {
 	if ok {
 		delete(s.inflight, res.ID)
 		res.Metrics.TransferTime += e.transfer
+		if res.Ok {
+			if res.Ref != nil {
+				// Pass-by-reference completion doubles as the ownership
+				// transfer (§15): the bytes stayed on the producer, the
+				// manager only updates its ref catalog.
+				atomic.AddInt64(&m.stats.RefResults, 1)
+				atomic.AddInt64(&m.stats.BytesByRef, res.Ref.Size)
+				m.refs.noteResult(w.id, res.Ref)
+			} else if n := len(res.Value); n > 0 {
+				atomic.AddInt64(&m.stats.BytesThroughManager, int64(n))
+			}
+		}
 		if e.task != nil {
 			atomic.AddInt64(&m.stats.TasksDone, 1)
 			w.v.Commit = w.v.Commit.Sub(e.task.Resources)

@@ -122,7 +122,117 @@ func (s *shard) execStageLocked(w *workerState, sf policy.StageFile) {
 		if s.rec != nil {
 			s.rec.Record(policy.TraceStage(sf))
 		}
+	case policy.StageRef:
+		// Proxy-object input: the per-shard view cannot plan this copy —
+		// the bytes never transited the manager — so the shard trace
+		// records only that a ref stage ran and the global ref plane
+		// plans (and traces) the actual source.
+		if s.rec != nil {
+			s.rec.Record(policy.TraceStage(sf))
+		}
+		s.execRefStageLocked(w, sf)
 	}
+}
+
+// execRefStageLocked resolves one proxy-object input through the ref
+// plane and executes the decision. Ref transfers consume no
+// view-tracked transfer slots and register no fetch-source record —
+// they are bounded by the workers' data-plane serve concurrency, not
+// the spanning-tree cap — so the FileAck plumbing sees them as direct
+// sends that happen to arrive from a peer.
+func (s *shard) execRefStageLocked(w *workerState, sf policy.StageFile) {
+	m := s.m
+	_, catalogKnown := m.catalogGet(sf.Object)
+	d := m.refs.resolve(w.id, sf.Object, catalogKnown)
+	switch d.Mode {
+	case policy.ResolveReady:
+		// The consumer already holds (or is receiving) a replica.
+	case policy.ResolvePeer:
+		addr, altAddrs := m.refSourceAddrs(d.Src, d.Alts)
+		if addr == "" {
+			// The chosen holder died between decision and execution; the
+			// next membership event re-plans through rehome. Fall back to
+			// the manager's catalog when it happens to have the bytes.
+			if fs, known := m.catalogGet(sf.Object); known {
+				s.directSendLocked(w, fs)
+			}
+			return
+		}
+		s.notePendingLocked(w, sf.Object)
+		w.enqueue(outMsg{t: proto.MsgFetchFile, v: proto.FetchFile{
+			ID:       sf.Object,
+			Name:     sf.Spec.Object.Name,
+			FromAddr: addr,
+			AltAddrs: altAddrs,
+			Cache:    true,
+			Size:     d.Size,
+		}})
+		atomic.AddInt64(&m.stats.RefTransfers, 1)
+	case policy.ResolveShared:
+		s.notePendingLocked(w, sf.Object)
+		w.enqueue(outMsg{t: proto.MsgFetchFile, v: proto.FetchFile{
+			ID:     sf.Object,
+			Name:   sf.Spec.Object.Name,
+			Shared: true,
+			Own:    d.Promote,
+			Cache:  true,
+			Size:   d.Size,
+		}})
+	case policy.ResolveDirect:
+		if fs, known := m.catalogGet(sf.Object); known {
+			s.directSendLocked(w, fs)
+		}
+	case policy.ResolveLost:
+		// No copy survives anywhere. The dispatch proceeds and fails on
+		// the worker with a retryable "input not staged", drawing on the
+		// spec's retry budget — the documented owner-death semantics.
+	}
+}
+
+// restageRefLocked recovers a failed ref fetch: the walk proved the
+// replica records unreliable, so retract every non-owner holder and
+// plan a fresh traced resolve against what survives. Reports whether a
+// replacement transfer (whose own ack will settle the waiters) was
+// issued.
+func (s *shard) restageRefLocked(w *workerState, id string) bool {
+	m := s.m
+	name, size, tracked := m.refs.refMeta(id)
+	if !tracked {
+		return false
+	}
+	m.refs.invalidateHolders(id)
+	_, catalogKnown := m.catalogGet(id)
+	d := m.refs.resolve(w.id, id, catalogKnown)
+	switch d.Mode {
+	case policy.ResolvePeer:
+		addr, altAddrs := m.refSourceAddrs(d.Src, d.Alts)
+		if addr == "" {
+			return false
+		}
+		s.notePendingLocked(w, id)
+		w.enqueue(outMsg{t: proto.MsgFetchFile, v: proto.FetchFile{
+			ID: id, Name: name, FromAddr: addr, AltAddrs: altAddrs,
+			Cache: true, Size: size,
+		}})
+		atomic.AddInt64(&m.stats.RefTransfers, 1)
+		atomic.AddInt64(&m.stats.Restaged, 1)
+		return true
+	case policy.ResolveShared:
+		s.notePendingLocked(w, id)
+		w.enqueue(outMsg{t: proto.MsgFetchFile, v: proto.FetchFile{
+			ID: id, Name: name, Shared: true, Own: d.Promote,
+			Cache: true, Size: size,
+		}})
+		atomic.AddInt64(&m.stats.Restaged, 1)
+		return true
+	case policy.ResolveDirect:
+		if fs, known := m.catalogGet(id); known {
+			s.directSendLocked(w, fs)
+			atomic.AddInt64(&m.stats.Restaged, 1)
+			return true
+		}
+	}
+	return false
 }
 
 // acquireRemoteSource picks a live holder of the object outside shard

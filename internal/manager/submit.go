@@ -57,6 +57,14 @@ type tenantQueue struct {
 	// invocation spreads each tenant's burst over all live shards
 	// independent of global ID interleaving.
 	drained int64
+	// Cumulative per-tenant breakdown (TenantStats): every submission
+	// entering admission control, the shed/throttled verdicts among
+	// them, and the final results delivered (quota units returned).
+	// Guarded by the plane mutex like the rest of the queue.
+	submits   int64
+	shed      int64
+	throttled int64
+	done      int64
 }
 
 type planeItem struct {
@@ -99,9 +107,11 @@ func (p *submitPlane) submit(tenant string, it planeItem, id int64) bool {
 		return false
 	}
 	tq := p.queues[ti]
+	tq.submits++
 	d := policy.AdmitSubmit(&tq.state)
 	p.rec.Record(policy.TraceAdmit(tenant, d))
 	if d.Verdict == policy.AdmitShed {
+		tq.shed++
 		atomic.AddInt64(&m.stats.SubmitsShed, 1)
 		atomic.AddInt64(&m.stats.Failures, 1)
 		p.mu.Unlock()
@@ -110,6 +120,7 @@ func (p *submitPlane) submit(tenant string, it planeItem, id int64) bool {
 		return true
 	}
 	if d.Verdict == policy.AdmitThrottle {
+		tq.throttled++
 		atomic.AddInt64(&m.stats.SubmitsThrottled, 1)
 	}
 	policy.NoteQueued(p.states, &tq.state)
@@ -136,6 +147,7 @@ func (p *submitPlane) release(tenant string, wakeNow bool) {
 		return
 	}
 	tq := p.queues[ti]
+	tq.done++
 	if tq.state.InFlight > 0 {
 		tq.state.InFlight--
 	}
@@ -238,6 +250,49 @@ func specTenant(e *inflightEntry) string {
 		return e.inv.TenantID
 	}
 	return ""
+}
+
+// TenantStat is one tenant's submission-plane breakdown: cumulative
+// admission outcomes plus a point-in-time view of its queue depth and
+// quota occupancy.
+type TenantStat struct {
+	Name      string
+	Weight    int
+	Submits   int64 // submissions entering admission control
+	Shed      int64 // rejected outright (queue bound hit)
+	Throttled int64 // accepted with a backpressure verdict
+	Done      int64 // final results delivered (quota units returned)
+	Queued    int   // waiting in the plane queue right now
+	InFlight  int   // released into the engine, not yet resolved
+	Quota     int   // configured in-flight+queued bound (0 = unbounded)
+	MaxQueue  int   // configured queue bound (0 = unbounded)
+}
+
+// TenantStats returns the per-tenant submission-plane breakdown in
+// tenant-registry (sorted-name) order. Nil when the plane is off.
+func (m *Manager) TenantStats() []TenantStat {
+	p := m.plane
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]TenantStat, 0, len(p.queues))
+	for _, tq := range p.queues {
+		out = append(out, TenantStat{
+			Name:      tq.state.Spec.Name,
+			Weight:    tq.state.Spec.Weight,
+			Submits:   tq.submits,
+			Shed:      tq.shed,
+			Throttled: tq.throttled,
+			Done:      tq.done,
+			Queued:    tq.state.Queued,
+			InFlight:  tq.state.InFlight,
+			Quota:     tq.state.Spec.Quota,
+			MaxQueue:  tq.state.Spec.MaxQueue,
+		})
+	}
+	return out
 }
 
 // Decisions returns the plane's recorded admission/drain trace.

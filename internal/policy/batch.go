@@ -132,6 +132,17 @@ func (v *ClusterView) applyPlacement(undo []undoOp, w *WorkerView, res core.Reso
 			undo = append(undo, undoOp{pending: sf.Dst, obj: sf.Object})
 			v.ManagerSends++
 			undo = append(undo, undoOp{mgrSend: true})
+		case StageRef:
+			// Ref resolution is planned by the global RefTable at
+			// execution time and consumes no view-tracked transfer slots,
+			// but the pending mark still overlays: without it a later task
+			// in the same batch re-stages the same ref to the same dst
+			// (PlanStage's ready-check sees neither file nor pending) and
+			// the driver issues a duplicate resolve and fetch. Ref inputs
+			// bypass the PendingCopies wait rule (PlanStage returns before
+			// it), so only the destination's own HasFile check reads this.
+			v.NotePending(sf.Dst, sf.Object)
+			undo = append(undo, undoOp{pending: sf.Dst, obj: sf.Object})
 		}
 	}
 	return undo

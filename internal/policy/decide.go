@@ -37,6 +37,12 @@ const (
 	// copy is in flight elsewhere (wait for a peer source to appear,
 	// §3.3) or the manager's own link is saturated.
 	StageWait
+	// StageRef: proxy-object input (§15) — the bytes never transited
+	// the manager, so the per-shard view cannot plan the copy. The
+	// executing driver resolves the source through the global RefTable
+	// (PlanResolve), which owns the holder set and tier state. Ref
+	// stages never block placement and never gate on transfer caps.
+	StageRef
 )
 
 // StageFile is one per-object staging decision. Spec carries the
@@ -95,6 +101,9 @@ func (v *ClusterView) PlanStage(dst *WorkerView, fs core.FileSpec, committed map
 	if dst.HasFile(id) || committed[id] {
 		return StageFile{Dst: dst, Object: id, Mode: StageReady, Spec: fs}
 	}
+	if fs.ByRef {
+		return StageFile{Dst: dst, Object: id, Mode: StageRef, Spec: fs}
+	}
 	if fs.Cache && fs.PeerTransfer && v.Opts.PeerTransfers {
 		if src := v.PickSource(dst, id); src != nil {
 			return StageFile{Dst: dst, Object: id, Mode: StagePeer, Src: src, Spec: fs}
@@ -122,7 +131,7 @@ func (v *ClusterView) PlanStageAll(dst *WorkerView, inputs []core.FileSpec, comm
 		case StageWait:
 			ok = false
 			blocked = append(blocked, sf.Object)
-		case StagePeer, StageDirect:
+		case StagePeer, StageDirect, StageRef:
 			stages = append(stages, sf)
 			if committed != nil {
 				committed[sf.Object] = true

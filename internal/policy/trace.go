@@ -85,11 +85,58 @@ func TraceNextTenant(tenant string, vtime int64, queued int) string {
 	return fmt.Sprintf("tenant pick=%s v=%d queued=%d", tenant, vtime, queued)
 }
 
+// TraceOwn renders the ownership transfer of a ref result: the
+// producing worker becomes holder of record.
+func TraceOwn(id, worker string, size int64) string {
+	return fmt.Sprintf("own obj=%s worker=%s size=%d", id, worker, size)
+}
+
+// TraceSpill renders one owned object's demotion to the shared tier.
+func TraceSpill(sp RefSpill) string {
+	return fmt.Sprintf("spill obj=%s worker=%s tier=shared", sp.ID, sp.Worker)
+}
+
+// TraceResolve renders a consumer's ref resolution.
+func TraceResolve(id, dst string, d ResolveDecision) string {
+	switch d.Mode {
+	case ResolvePeer:
+		return fmt.Sprintf("resolve obj=%s dst=%s mode=peer src=%s", id, dst, d.Src)
+	case ResolveShared:
+		return fmt.Sprintf("resolve obj=%s dst=%s mode=shared", id, dst)
+	case ResolveDirect:
+		return fmt.Sprintf("resolve obj=%s dst=%s mode=direct", id, dst)
+	case ResolveLost:
+		return fmt.Sprintf("resolve obj=%s dst=%s mode=lost", id, dst)
+	default:
+		return fmt.Sprintf("resolve obj=%s dst=%s mode=ready", id, dst)
+	}
+}
+
+// TracePromote renders a shared-tier object's promotion back to the
+// cache tier on re-use.
+func TracePromote(id, worker string) string {
+	return fmt.Sprintf("promote obj=%s worker=%s", id, worker)
+}
+
+// TraceRehome renders one ref's fate after its owner died.
+func TraceRehome(rh Rehome) string {
+	switch {
+	case rh.Owner != "":
+		return fmt.Sprintf("rehome obj=%s owner=%s", rh.ID, rh.Owner)
+	case rh.Shared:
+		return fmt.Sprintf("rehome obj=%s tier=shared", rh.ID)
+	default:
+		return fmt.Sprintf("rehome obj=%s lost", rh.ID)
+	}
+}
+
 // TraceStage renders the execution of one staging decision.
 func TraceStage(sf StageFile) string {
 	switch sf.Mode {
 	case StagePeer:
 		return fmt.Sprintf("stage obj=%s dst=%s mode=peer src=%s", sf.Object, sf.Dst.ID, sf.Src.ID)
+	case StageRef:
+		return fmt.Sprintf("stage obj=%s dst=%s mode=ref", sf.Object, sf.Dst.ID)
 	default:
 		return fmt.Sprintf("stage obj=%s dst=%s mode=direct", sf.Object, sf.Dst.ID)
 	}

@@ -82,9 +82,19 @@ func appendResult(b []byte, r *core.Result) []byte {
 	if r.Retryable {
 		flags |= 2
 	}
+	if r.Ref != nil {
+		flags |= 4
+	}
 	b = append(b, flags)
 	b = appendStr(b, r.Err)
 	b = appendBytes(b, r.Value)
+	if r.Ref != nil {
+		b = appendStr(b, r.Ref.ID)
+		b = appendStr(b, r.Ref.Name)
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Ref.Size))
+		b = appendStr(b, r.Ref.Owner)
+		b = append(b, byte(r.Ref.Tier))
+	}
 	b = appendFloat(b, r.Metrics.TransferTime)
 	b = appendFloat(b, r.Metrics.WorkerTime)
 	b = appendFloat(b, r.Metrics.SetupTime)
@@ -236,6 +246,15 @@ func DecodeResultInterned(raw []byte, in *Interner) (core.Result, error) {
 	res.Err = r.str("err")
 	if b := r.bytes("value"); len(b) > 0 {
 		res.Value = append([]byte(nil), b...)
+	}
+	if flags&4 != 0 {
+		ref := &core.ObjectRef{}
+		ref.ID = r.str("ref_id")
+		ref.Name = r.str("ref_name")
+		ref.Size = int64(r.u64("ref_size"))
+		ref.Owner = in.intern(r.bytes("ref_owner"))
+		ref.Tier = int(r.byte("ref_tier"))
+		res.Ref = ref
 	}
 	res.Metrics.TransferTime = r.float("transfer_time")
 	res.Metrics.WorkerTime = r.float("worker_time")

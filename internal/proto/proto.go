@@ -67,6 +67,16 @@ const (
 	// today, protocol decode failures that would otherwise vanish
 	// silently on the worker.
 	MsgLog
+	// MsgSpillObject demotes an owned object to the shared tier: the
+	// worker writes the bytes to the shared filesystem and drops its
+	// cache copy (the manager already re-tiered the ref at decision
+	// time).
+	MsgSpillObject
+	// MsgOwnObject transfers ownership of a proxy object to this
+	// worker — sent when the previous owner died and the manager
+	// re-homed the ref onto a surviving holder. The worker protects its
+	// replica from cache eviction from then on.
+	MsgOwnObject
 )
 
 func (t MsgType) String() string {
@@ -78,7 +88,7 @@ func (t MsgType) String() string {
 		MsgResult: "result", MsgShutdown: "shutdown", MsgGetFile: "get-file",
 		MsgFileData: "file-data", MsgError: "error",
 		MsgPutFileBulk: "put-file-bulk", MsgFileDataBulk: "file-data-bulk",
-		MsgLog: "log",
+		MsgLog: "log", MsgSpillObject: "spill-object", MsgOwnObject: "own-object",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -157,6 +167,29 @@ type FetchFile struct {
 	Source string `json:"source,omitempty"`
 	Cache  bool   `json:"cache"`
 	Unpack bool   `json:"unpack"`
+	// Shared redirects the fetch to the shared filesystem tier: the
+	// object was spilled there and no live worker holds a cache copy.
+	// FromAddr/AltAddrs are unused on this path.
+	Shared bool `json:"shared,omitempty"`
+	// Own marks the fetched object as owned on arrival (a shared-tier
+	// promote: the fetching worker becomes the ref's new holder of
+	// record and must protect the copy from plain eviction).
+	Own bool `json:"own,omitempty"`
+	// Size is the object's logical size, needed for shared-tier fetches
+	// where no peer FileHdr travels with the bytes.
+	Size int64 `json:"size,omitempty"`
+}
+
+// SpillObject demotes one owned object to the shared tier
+// (MsgSpillObject).
+type SpillObject struct {
+	ID string `json:"id"`
+}
+
+// OwnObject transfers ownership of a cached object to this worker
+// (MsgOwnObject).
+type OwnObject struct {
+	ID string `json:"id"`
 }
 
 // FileAck confirms (or denies) that an object is now cached. Cache

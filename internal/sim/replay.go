@@ -54,6 +54,11 @@ type replayTask struct {
 	// manager's pendingTask.t.TenantID) so completions release the
 	// right quota.
 	tenant string
+	// refs are proxy-object input IDs (§15): the task's inputs are the
+	// environment plus one RefSpec per entry, resolved through the ref
+	// mirror at stage execution. Requeued verbatim, like the manager
+	// requeueing the task spec whose Inputs carry the refs.
+	refs []string
 }
 
 // NewReplay builds an untimed simulation. cfg.Invocations is ignored
@@ -67,6 +72,7 @@ func NewReplay(cfg Config) *Replay {
 	}
 	st := newState(cfg)
 	st.replay = true
+	st.refs = newSimRefs(cfg.RefOwnedBytesCap)
 	r := &Replay{st: st}
 	if len(cfg.Tenants) > 0 {
 		r.plane = newSimPlane(cfg.Tenants, &policy.Recorder{})
@@ -177,15 +183,26 @@ func (r *Replay) drainTasksBatched() {
 
 // taskReqs renders the pending queue as a batch-planning request list.
 func (r *Replay) taskReqs() []policy.TaskReq {
-	var inputs []core.FileSpec
-	if r.st.cfg.Level != core.L1 {
-		inputs = []core.FileSpec{r.st.envSpec}
-	}
 	reqs := make([]policy.TaskReq, len(r.pendq))
 	for i, pt := range r.pendq {
-		reqs[i] = policy.TaskReq{Key: pt.key, Res: oneSlot, Inputs: inputs, Avoid: pt.avoid, Tenant: pt.tenant}
+		reqs[i] = policy.TaskReq{Key: pt.key, Res: oneSlot, Inputs: r.taskInputs(pt), Avoid: pt.avoid, Tenant: pt.tenant}
 	}
 	return reqs
+}
+
+// taskInputs builds one task's input specs: the environment (L2/L3)
+// plus a RefSpec per proxy-object input, rebuilt from the ref catalog
+// so both engines plan over identical bindings.
+func (r *Replay) taskInputs(pt replayTask) []core.FileSpec {
+	st := r.st
+	var inputs []core.FileSpec
+	if st.cfg.Level != core.L1 {
+		inputs = append(inputs, st.envSpec)
+	}
+	for _, id := range pt.refs {
+		inputs = append(inputs, st.refs.spec(id))
+	}
+	return inputs
 }
 
 // placeKeyed attempts one keyed task placement, mirroring the
@@ -195,10 +212,7 @@ func (r *Replay) taskReqs() []policy.TaskReq {
 // manager keeps those local; they never overflow-forward).
 func (r *Replay) placeKeyed(pt replayTask) (placed, blocked bool) {
 	st := r.st
-	var inputs []core.FileSpec
-	if st.cfg.Level != core.L1 {
-		inputs = []core.FileSpec{st.envSpec}
-	}
+	inputs := r.taskInputs(pt)
 	base := st.stackFilter()
 	d := st.view.PlanTask(pt.key, oneSlot, inputs, andFilter(policy.Excluding(pt.avoid), base))
 	if d.Worker == nil && pt.avoid != "" {
@@ -227,6 +241,7 @@ func (r *Replay) execKeyed(pt replayTask, d policy.PlaceTask) {
 	sl.invIdx = st.nextInv
 	st.nextInv++
 	sl.key = pt.key
+	sl.refs = pt.refs
 	sl.owner, sl.tenant = int64(taskKeyNum(pt.key)), pt.tenant
 }
 
@@ -381,6 +396,55 @@ func (r *Replay) Submit(n int) {
 	r.drain()
 }
 
+// SubmitTaskRefs enqueues one task consuming the given proxy-object
+// results (inputs: environment + one RefSpec per ID) and schedules it
+// if possible — the manager's Submit of a TaskSpec whose Inputs carry
+// core.RefSpec bindings. The refs must already exist in the catalog
+// (created by earlier CompleteTaskRef calls).
+func (r *Replay) SubmitTaskRefs(refs ...string) {
+	r.nextKey++
+	r.pendq = append(r.pendq, replayTask{key: "task-" + strconv.Itoa(r.nextKey), refs: refs})
+	r.drain()
+}
+
+// RefArrived confirms a consumer's ref fetch on worker id (the
+// FileAck{Ok:true, Cache:true}): the in-flight copy becomes a view
+// replica and the consumer registers as a holder in the ref catalog.
+// Returns false if no ref copy is in flight there.
+func (r *Replay) RefArrived(id, refID string) bool {
+	st := r.st
+	w := st.byID[id]
+	if w == nil || !w.v.Pending[refID] {
+		return false
+	}
+	st.view.ClearPending(w.v, refID)
+	st.view.NoteReplica(w.v, refID)
+	st.refs.tab.AddRefHolder(id, refID)
+	r.drain()
+	return true
+}
+
+// RefFailed fails a consumer's in-flight ref fetch on worker id (the
+// FileAck{Ok:false} path): the manager retracts every non-owner holder
+// — the walk just proved the replica records unreliable — and plans a
+// fresh traced resolve against what survives. Returns false if no ref
+// copy is in flight there.
+func (r *Replay) RefFailed(id, refID string) bool {
+	st := r.st
+	w := st.byID[id]
+	if w == nil || !w.v.Pending[refID] {
+		return false
+	}
+	st.view.ClearPending(w.v, refID)
+	st.refs.restage(st, w, refID)
+	r.drain()
+	return true
+}
+
+// RefDecisions returns the ref mirror's recorded decision stream — the
+// global trace diffed against Manager.RefDecisions.
+func (r *Replay) RefDecisions() []string { return r.st.refs.decisions() }
+
 // SubmitTenant submits one spec for tenant — the manager's
 // Submit/SubmitInvocation with a TenantID: admission control, then the
 // fair-share drain releases whatever became eligible. L3 runs submit
@@ -514,6 +578,10 @@ func (r *Replay) KillWorker(id string) bool {
 	if w == nil {
 		return false
 	}
+	// Re-home every ref the dead worker owned before its queue
+	// teardown — the manager calls refPlane.rehome before taking the
+	// shard lock. Trace-silent when the worker owned nothing.
+	st.refs.rehome(id)
 	if src := w.envSrc; src != nil {
 		w.envSrc = nil
 		if !src.dead && src.v.TransfersOut > 0 {
@@ -553,8 +621,9 @@ func (r *Replay) KillWorker(id string) bool {
 		for _, sl := range w.slots {
 			if sl.busy {
 				sl.busy = false
-				requeue = append(requeue, replayTask{key: sl.key, avoid: id, tenant: sl.tenant})
+				requeue = append(requeue, replayTask{key: sl.key, avoid: id, tenant: sl.tenant, refs: sl.refs})
 				sl.key = ""
+				sl.refs = nil
 				sl.owner, sl.tenant = 0, ""
 			}
 		}
@@ -638,7 +707,7 @@ func (r *Replay) completeOne(id string) (string, bool) {
 
 // CompleteTask finishes the task bound to ring key key on worker id.
 func (r *Replay) CompleteTask(id, key string) bool {
-	tenant, ok := r.completeTaskOne(id, key)
+	tenant, ok := r.completeTaskOne(id, key, nil)
 	if !ok {
 		return false
 	}
@@ -646,24 +715,60 @@ func (r *Replay) CompleteTask(id, key string) bool {
 	return true
 }
 
-// completeTaskOne is completeOne addressed by ring key.
-func (r *Replay) completeTaskOne(id, key string) (string, bool) {
-	w := r.st.byID[id]
+// CompleteTaskRef finishes the task bound to ring key key on worker id
+// with a pass-by-reference result — the manager's onResult for a
+// Result carrying an ObjectRef: the producing worker becomes the ref's
+// owner and holder of record, and the catalog (not the manager's wire)
+// carries the object from then on.
+func (r *Replay) CompleteTaskRef(id, key string, ref core.ObjectRef) bool {
+	tenant, ok := r.completeTaskOne(id, key, &ref)
+	if !ok {
+		return false
+	}
+	r.finishRelease(tenant)
+	return true
+}
+
+// completeTaskOne is completeOne addressed by ring key. ref, when
+// non-nil, is a by-ref result: the ownership transfer lands in the ref
+// catalog before the freed slot's schedule pass, exactly where the
+// manager's onResult hook runs.
+func (r *Replay) completeTaskOne(id, key string, ref *core.ObjectRef) (string, bool) {
+	st := r.st
+	w := st.byID[id]
 	if w == nil || !w.hasEnv {
 		return "", false
 	}
 	for _, sl := range w.slots {
 		if sl.busy && sl.key == key {
 			tenant := sl.tenant
-			r.st.freeSlot(w, sl)
+			if ref != nil {
+				st.refs.result(id, *ref)
+			}
+			st.freeSlot(w, sl)
+			st.noteRefInputs(w, sl)
 			sl.served++
 			sl.key = ""
+			sl.refs = nil
 			sl.owner, sl.tenant = 0, ""
 			r.drain()
 			return tenant, true
 		}
 	}
 	return "", false
+}
+
+// noteRefInputs mirrors the manager's onResult replica notes for a
+// finished task's cacheable inputs: the bytes are resident on the
+// worker whatever the task's outcome. The environment's note is always
+// a dedup no-op (its ack gated the completion), so only the
+// proxy-object inputs are recorded — including a lost ref that never
+// staged, which becomes the same (vacuous) view replica on both
+// engines.
+func (st *state) noteRefInputs(w *wstate, sl *slot) {
+	for _, id := range sl.refs {
+		st.view.NoteReplica(w.v, id)
+	}
 }
 
 // Fail fails the task bound to ring key key on worker id retryably —
@@ -680,12 +785,15 @@ func (r *Replay) Fail(id, key string) bool {
 	for _, sl := range w.slots {
 		if sl.busy && sl.key == key {
 			tenant := sl.tenant
+			refs := sl.refs
 			st.freeSlot(w, sl)
+			st.noteRefInputs(w, sl)
 			sl.key = ""
+			sl.refs = nil
 			sl.owner, sl.tenant = 0, ""
 			// A retry holds its quota unit — the manager releases only on
 			// final delivery — so the requeue carries the tenant, no release.
-			r.pendq = append(r.pendq, replayTask{key: key, avoid: id, tenant: tenant})
+			r.pendq = append(r.pendq, replayTask{key: key, avoid: id, tenant: tenant, refs: refs})
 			r.drain()
 			return true
 		}
@@ -697,13 +805,18 @@ func (r *Replay) Fail(id, key string) bool {
 func (r *Replay) Pending() int { return r.st.pending + len(r.pendq) }
 
 // Decisions returns the decision trace recorded so far, prefixed by
-// the submission plane's trace when a plane is on — the manager's
-// MergedDecisions concatenation rule.
+// the ref mirror's stream and the submission plane's trace when either
+// is non-empty — the manager's MergedDecisions concatenation rule
+// (plane, then refs, then the shard trace).
 func (r *Replay) Decisions() []string {
-	if plane := r.plane.decisions(); len(plane) > 0 {
-		return append(append([]string(nil), plane...), r.st.rec.Decisions...)
+	merged := r.st.rec.Decisions
+	if refs := r.RefDecisions(); len(refs) > 0 {
+		merged = append(refs, merged...)
 	}
-	return r.st.rec.Decisions
+	if plane := r.plane.decisions(); len(plane) > 0 {
+		return append(append([]string(nil), plane...), merged...)
+	}
+	return merged
 }
 
 // Dump renders the recorded decision trace (diagnostics).

@@ -444,7 +444,7 @@ func (sr *ShardedReplay) CompleteTask(id, key string) bool {
 	if sh == nil {
 		return false
 	}
-	tenant, ok := sh.rp.completeTaskOne(id, key)
+	tenant, ok := sh.rp.completeTaskOne(id, key, nil)
 	if !ok {
 		return false
 	}

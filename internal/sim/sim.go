@@ -120,6 +120,10 @@ type Config struct {
 	// with Tenants as given (timed runs only). Their sum replaces
 	// Invocations as the workload size.
 	TenantInvocations []int
+	// RefOwnedBytesCap bounds the owned (cache-tier) proxy-object bytes
+	// per worker in the replay's ref mirror — the manager's
+	// Options.RefOwnedBytesCap. 0 means unbounded (no spills).
+	RefOwnedBytesCap int64
 }
 
 func (c *Config) defaults() {
@@ -274,6 +278,10 @@ type state struct {
 	// advance, timing callbacks do not (replay.go drives transitions).
 	replay bool
 
+	// refs is the replay's mirror of the manager's ref plane (refs.go);
+	// nil on the timed path, which never builds by-ref inputs.
+	refs *simRefs
+
 	res *Result
 
 	coldN, hotN, libN, invN float64
@@ -328,6 +336,11 @@ type slot struct {
 	served   int
 	invIdx   int    // index of the invocation currently assigned
 	key      string // replay only: the bound task's ring key (requeued verbatim on churn)
+	// refs are the bound task's proxy-object input IDs (replay only):
+	// requeued with the key on churn or retry, and noted as view
+	// replicas on the slot's result — the manager's cacheable-input
+	// replica notes in onResult.
+	refs []string
 	// owner and tenant identify the bound spec in tenant runs: owner is
 	// the manager-side spec ID (completions free the lowest owner, the
 	// differential harness's rule), tenant names whose quota the
@@ -830,6 +843,17 @@ func (st *state) execStage(sf policy.StageFile) {
 					st.envArrived(dst)
 				})
 			})
+		}
+	case policy.StageRef:
+		// Proxy-object input (§15): the shard trace records only that a
+		// ref stage ran — the per-shard view cannot plan the copy — and
+		// the global ref mirror plans (and traces) the actual source,
+		// exactly as the manager's ref plane does.
+		if st.rec != nil {
+			st.rec.Record(policy.TraceStage(sf))
+		}
+		if st.refs != nil {
+			st.refs.stage(st, dst, sf.Object)
 		}
 	}
 }

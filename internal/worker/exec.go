@@ -176,13 +176,11 @@ func (e *executor) runTask(spec core.TaskSpec) {
 		objs = append(objs, obj)
 	}
 	for _, in := range spec.SharedFSReads {
-		if e.cfg.SharedFS == nil {
-			e.w.sendResult(infraResult(spec.ID, fmt.Errorf("task needs shared FS but worker has none")))
-			return
-		}
-		obj, err := e.cfg.SharedFS.Fetch(in.Object.ID)
+		// Shared FS reads go through the plane like every other byte
+		// source — the executor never touches the store directly (§10).
+		obj, err := e.plane.SharedRead(in.Object.ID)
 		if err != nil {
-			e.w.sendResult(infraResult(spec.ID, err))
+			e.w.sendResult(infraResult(spec.ID, fmt.Errorf("shared FS read %q: %v", in.Object.Name, err)))
 			return
 		}
 		sb.add(obj)
@@ -207,6 +205,21 @@ func (e *executor) runTask(spec core.TaskSpec) {
 	}
 	if sb.result == nil {
 		e.w.sendResult(core.Result{ID: spec.ID, Ok: false, Err: "task script did not call vine_runtime.store_result", Metrics: metrics})
+		return
+	}
+	if spec.ResultByRef {
+		// Pass-by-reference completion: the result bytes stay here — this
+		// worker becomes the ref's owner — and only the proxy handle
+		// travels to the manager. A store failure is the
+		// infrastructure's fault, not the task's.
+		obj := content.NewBlob(fmt.Sprintf("task-%d.out", spec.ID), sb.result)
+		if err := e.plane.PutOwned(obj); err != nil {
+			e.w.sendResult(infraResult(spec.ID, err))
+			return
+		}
+		e.w.sendResult(core.Result{ID: spec.ID, Ok: true, Ref: &core.ObjectRef{
+			ID: obj.ID, Name: obj.Name, Size: obj.LogicalSize, Owner: e.cfg.ID, Tier: core.TierCache,
+		}, Metrics: metrics})
 		return
 	}
 	e.w.sendResult(core.Result{ID: spec.ID, Ok: true, Value: sb.result, Metrics: metrics})

@@ -52,8 +52,29 @@ func (w *Worker) handlePutFileBulk(hdr proto.PutFileHdr, data []byte) {
 // Duplicate in-flight requests for the same object share one transfer
 // but each still acks with its own Source echo.
 func (w *Worker) handleFetchFile(msg proto.FetchFile) {
-	req := dataplane.Request{ID: msg.ID, Addr: msg.FromAddr, AltAddrs: msg.AltAddrs, Unpack: msg.Unpack}
+	req := dataplane.Request{
+		ID: msg.ID, Addr: msg.FromAddr, AltAddrs: msg.AltAddrs,
+		Unpack: msg.Unpack, Shared: msg.Shared, Own: msg.Own,
+	}
 	w.plane.Fetch(req, func(err error) {
 		w.ackFileFrom(msg.ID, msg.Source, msg.Cache, err)
 	})
+}
+
+// handleSpillObject demotes an owned ref to the shared tier. The
+// manager re-tiered its catalog at decision time; failure here is
+// surfaced as a log line — the shared copy simply never materializes
+// and a later resolve walks the remaining replicas.
+func (w *Worker) handleSpillObject(msg proto.SpillObject) {
+	if err := w.plane.Spill(msg.ID); err != nil {
+		w.sendMsg(proto.MsgLog, proto.LogMsg{Worker: w.cfg.ID, Text: "spill: " + err.Error()})
+	}
+}
+
+// handleOwnObject adopts a replica as this worker's owned copy after
+// the previous owner died.
+func (w *Worker) handleOwnObject(msg proto.OwnObject) {
+	if err := w.plane.AdoptOwned(msg.ID); err != nil {
+		w.sendMsg(proto.MsgLog, proto.LogMsg{Worker: w.cfg.ID, Text: "own: " + err.Error()})
+	}
 }

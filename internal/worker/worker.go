@@ -164,12 +164,19 @@ func New(cfg Config) *Worker {
 		sendq: make(chan outFrame, sendQueueSize),
 		done:  make(chan struct{}),
 	}
-	w.plane = dataplane.New(dataplane.Config{
+	pcfg := dataplane.Config{
 		Cache:            w.cache,
 		FetchConcurrency: cfg.FetchConcurrency,
 		ServeConcurrency: cfg.ServeConcurrency,
 		IdleTimeout:      cfg.PeerIOTimeout,
-	})
+	}
+	// The shared filesystem doubles as the data plane's spill tier; the
+	// explicit nil check keeps a nil *Store from becoming a non-nil
+	// interface.
+	if cfg.SharedFS != nil {
+		pcfg.Shared = cfg.SharedFS
+	}
+	w.plane = dataplane.New(pcfg)
 	w.exec = newExecutor(w)
 	return w
 }
@@ -324,6 +331,20 @@ func (w *Worker) loop(nc net.Conn) {
 				continue
 			}
 			w.handleFetchFile(msg)
+		case proto.MsgSpillObject:
+			msg, err := proto.Decode[proto.SpillObject](raw)
+			if err != nil {
+				w.protocolError(t, err)
+				continue
+			}
+			w.handleSpillObject(msg)
+		case proto.MsgOwnObject:
+			msg, err := proto.Decode[proto.OwnObject](raw)
+			if err != nil {
+				w.protocolError(t, err)
+				continue
+			}
+			w.handleOwnObject(msg)
 		case proto.MsgRunTask:
 			msg, err := proto.Decode[core.TaskSpec](raw)
 			if err != nil {

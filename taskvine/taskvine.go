@@ -85,6 +85,10 @@ type Options struct {
 	// control and drain in weighted fair-share order. Empty keeps the
 	// single-tenant fast path.
 	Tenants []core.TenantSpec
+	// RefOwnedBytesCap bounds the owned proxy-object bytes per worker
+	// (DESIGN.md §15): beyond it, the oldest owned refs spill to the
+	// shared tier. 0 means unbounded (no spills).
+	RefOwnedBytesCap int64
 }
 
 // WorkerOptions configures locally spawned workers.
@@ -164,6 +168,7 @@ func NewManager(opts Options) (*Manager, error) {
 		RetryMaxDelay:       opts.RetryMaxDelay,
 		Shards:              opts.Shards,
 		Tenants:             opts.Tenants,
+		RefOwnedBytesCap:    opts.RefOwnedBytesCap,
 	})
 	addr, err := inner.Listen()
 	if err != nil {
@@ -195,6 +200,11 @@ func (m *Manager) Interp() *minipy.Interp { return m.ip }
 
 // Stats exposes the manager's counters.
 func (m *Manager) Stats() manager.Stats { return m.inner.Stats() }
+
+// TenantStats exposes the per-tenant submission-plane breakdown —
+// submits, sheds, throttles, and quota occupancy per tenant, in
+// registry order. Nil when the submission plane is off.
+func (m *Manager) TenantStats() []manager.TenantStat { return m.inner.TenantStats() }
 
 // CheckQuiescence verifies the manager's bookkeeping is clean once all
 // submitted work has been collected: no outstanding transfers, no
@@ -495,6 +505,16 @@ func (m *Manager) CallTenant(tenant, libName, fnName string, args ...minipy.Valu
 // SubmitTask submits a raw MiniPy task script with input files.
 func (m *Manager) SubmitTask(script string, res core.Resources, inputs ...core.FileSpec) int64 {
 	return m.inner.Submit(&core.TaskSpec{Script: script, Inputs: inputs, Resources: res})
+}
+
+// SubmitTaskByRef is SubmitTask for large-result producers: the result
+// bytes stay on the producing worker as an owned proxy object and the
+// collected Result carries an ObjectRef handle instead of the inline
+// value (DESIGN.md §15). Consumers bind the handle as an input with
+// core.RefSpec; the bytes then flow worker-to-worker (or through the
+// shared tier) without ever transiting the manager.
+func (m *Manager) SubmitTaskByRef(script string, res core.Resources, inputs ...core.FileSpec) int64 {
+	return m.inner.Submit(&core.TaskSpec{Script: script, Inputs: inputs, Resources: res, ResultByRef: true})
 }
 
 // CreateLibraryFromFunc builds a single-function library directly from
