@@ -2,8 +2,8 @@
 
 # PR numbers the bench report chain: each PR's run is written to
 # BENCH_PR$(PR).json and gated against the previous PR's report.
-PR ?= 9
-BASELINE ?= BENCH_PR8.json
+PR ?= 10
+BASELINE ?= BENCH_PR9.json
 
 # The allocation budget: the bench run fails if Table2 allocs/op exceed
 # ALLOCS_RATIO x the baseline report's. PR 7's -47% reduction is now in
@@ -37,7 +37,9 @@ fidelity:
 	go test -race -run Golden ./internal/experiments
 
 # The repo's own analyzer suite (internal/lint): policy purity, map
-# determinism, lock discipline, I/O deadlines, and worker layering.
+# determinism, lock discipline, I/O deadlines, worker layering, pool
+# hygiene, and the fidelity-contract four (trace-schema stability,
+# sim/manager mirror parity, stats discipline, goroutine lifecycle).
 # Zero unsuppressed findings is the bar; suppressions need justified
 # //vinelint: pragmas. lint-extra layers on pinned third-party
 # checkers when the environment can run them (see the script).

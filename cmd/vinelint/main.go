@@ -5,17 +5,26 @@
 // Usage:
 //
 //	go run ./cmd/vinelint ./...
+//	go run ./cmd/vinelint -json ./...
+//	go run ./cmd/vinelint -write-traceschema
 //	go run ./cmd/vinelint ./internal/lint/testdata/src/policypurity_bad/...
 //
 // Exit status: 0 when every analyzer is clean, 1 when findings or
 // pragma errors remain, 2 when packages fail to load. Findings carry
 // file:line:col positions; suppressions via //vinelint: pragmas are
-// counted and reported so they stay visible.
+// counted and reported so they stay visible. With -json each finding
+// is one JSON object per line ({file, line, col, analyzer, message,
+// severity}) and the summary is suppressed, so CI can turn the stream
+// into per-line annotations. -write-traceschema regenerates
+// internal/lint/traceschema.go — the pinned decision-trace vocabulary
+// — from the tree's policy Trace* helpers and Record call sites.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -27,8 +36,25 @@ func main() {
 }
 
 func run(args []string) int {
+	return runTo(args, os.Stdout, os.Stderr)
+}
+
+// finding is the JSON shape of one diagnostic, one object per line.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Severity string `json:"severity"`
+}
+
+func runTo(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vinelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	quiet := fs.Bool("q", false, "print findings only, no summary line")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding, no summary line")
+	writeSchema := fs.Bool("write-traceschema", false, "regenerate internal/lint/traceschema.go from the tree and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,35 +65,72 @@ func run(args []string) int {
 
 	moduleDir, modulePath, err := findModule()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vinelint: %v\n", err)
+		fmt.Fprintf(stderr, "vinelint: %v\n", err)
 		return 2
 	}
 	dirs, err := lint.ExpandPatterns(moduleDir, patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vinelint: %v\n", err)
+		fmt.Fprintf(stderr, "vinelint: %v\n", err)
 		return 2
 	}
 	loader := lint.NewLoader(modulePath, moduleDir)
 	prog, err := loader.Load(dirs...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vinelint: %v\n", err)
+		fmt.Fprintf(stderr, "vinelint: %v\n", err)
 		return 2
 	}
 
+	if *writeSchema {
+		return writeTraceSchema(prog, moduleDir, stdout, stderr)
+	}
+
 	res := lint.RunAnalyzers(prog, lint.All())
-	for _, d := range res.Diagnostics {
-		fmt.Println(d)
-	}
-	for _, d := range res.PragmaErrors {
-		fmt.Println(d)
-	}
-	if !*quiet {
-		fmt.Printf("vinelint: %d packages, %d findings, %d suppressed by pragma, %d pragma errors\n",
-			len(prog.Target), len(res.Diagnostics), res.Suppressed, len(res.PragmaErrors))
+	all := append(append([]lint.Diagnostic{}, res.Diagnostics...), res.PragmaErrors...)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range all {
+			if err := enc.Encode(finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Severity: d.Severity,
+			}); err != nil {
+				fmt.Fprintf(stderr, "vinelint: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d)
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "vinelint: %d packages, %d findings, %d suppressed by pragma, %d pragma errors\n",
+				len(prog.Target), len(res.Diagnostics), res.Suppressed, len(res.PragmaErrors))
+		}
 	}
 	if !res.Clean() {
 		return 1
 	}
+	return 0
+}
+
+// writeTraceSchema regenerates the pinned trace vocabulary from the
+// loaded program.
+func writeTraceSchema(prog *lint.Program, moduleDir string, stdout, stderr io.Writer) int {
+	formats := lint.TraceFormats(prog)
+	src, err := lint.GenTraceSchema(formats)
+	if err != nil {
+		fmt.Fprintf(stderr, "vinelint: rendering traceschema: %v\n", err)
+		return 2
+	}
+	dst := filepath.Join(moduleDir, "internal", "lint", "traceschema.go")
+	if err := os.WriteFile(dst, src, 0o644); err != nil {
+		fmt.Fprintf(stderr, "vinelint: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "vinelint: pinned %d trace formats in %s\n", len(formats), dst)
 	return 0
 }
 

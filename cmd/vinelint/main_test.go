@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 // The smoke tests drive the real CLI entry point (flag parsing, module
 // discovery, pattern expansion, exit-code mapping) over fixtures — the
@@ -21,5 +26,54 @@ func TestCleanFixtureExitsZero(t *testing.T) {
 func TestBadPatternExitsTwo(t *testing.T) {
 	if code := run([]string{"-q", "no/such/dir"}); code != 2 {
 		t.Fatalf("vinelint on a missing directory: exit %d, want 2", code)
+	}
+}
+
+// TestJSONOutput pins the -json contract: one JSON object per line,
+// every object carrying file/line/col/analyzer/message/severity, no
+// summary line mixed into the stream.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runTo([]string{"-json", "internal/lint/testdata/src/policypurity_bad/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON findings on stdout")
+	}
+	for i, line := range lines {
+		var f finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line %d is not a JSON finding: %v\n%s", i+1, err, line)
+		}
+		if f.File == "" || !strings.HasSuffix(f.File, ".go") {
+			t.Errorf("line %d: file = %q, want a .go path", i+1, f.File)
+		}
+		if f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("line %d: position %d:%d, want positive", i+1, f.Line, f.Col)
+		}
+		if f.Analyzer == "" {
+			t.Errorf("line %d: empty analyzer", i+1)
+		}
+		if f.Message == "" {
+			t.Errorf("line %d: empty message", i+1)
+		}
+		if f.Severity != "error" {
+			t.Errorf("line %d: severity = %q, want %q", i+1, f.Severity, "error")
+		}
+	}
+}
+
+// TestJSONCleanIsSilent proves a clean run emits an empty -json stream
+// (CI annotation jobs key on "any output = findings").
+func TestJSONCleanIsSilent(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runTo([]string{"-json", "internal/lint/testdata/src/policypurity_ok/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean -json run wrote %q, want empty", stdout.String())
 	}
 }

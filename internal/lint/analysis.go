@@ -49,14 +49,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Prog.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Severity: SeverityError,
 	})
 }
+
+// Severity levels for diagnostics. Every analyzer finding gates the
+// build (error); pragma misuse does too — a suppression that cannot
+// explain itself is worse than the finding.
+const (
+	SeverityError = "error"
+)
 
 // Diagnostic is one reported finding.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Severity string
 }
 
 func (d Diagnostic) String() string {
@@ -119,6 +128,7 @@ func RunAnalyzers(prog *Program, analyzers []*Analyzer) *Result {
 				Analyzer: "pragma",
 				Pos:      pr.pos,
 				Message:  fmt.Sprintf("stale //vinelint:%s pragma: it suppresses no finding", pr.name),
+				Severity: SeverityError,
 			})
 		}
 	}

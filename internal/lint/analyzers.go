@@ -9,5 +9,9 @@ func All() []*Analyzer {
 		pooldiscipline,
 		ctxdeadline,
 		pinresolve,
+		tracestability,
+		mirrorparity,
+		statdiscipline,
+		goroutinelifecycle,
 	}
 }

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroutinelifecycle enforces the shutdown contract of the long-lived
+// server packages (DESIGN.md §16): every goroutine the manager,
+// worker, or data plane spawns must be tied to a shutdown mechanism,
+// so Close/Shutdown/Wait can actually drain it. An orphan goroutine is
+// how a "stopped" server keeps a socket open, a test leaks into the
+// next one, and CheckQuiescence lies.
+//
+// A `go` statement is owned when:
+//
+//   - a sync.WaitGroup Add call lexically dominates it in the same
+//     function frame (the Add-then-spawn idiom; Add(4) covers the four
+//     spawns below it), or
+//   - the spawned body — a function literal, or the statically
+//     resolved declaration of a named function — contains a channel
+//     receive or select (a done-channel loop) or a WaitGroup Done
+//     call.
+//
+// Anything else carries //vinelint:ignore goroutinelifecycle with a
+// justification.
+var goroutinelifecycle = &Analyzer{
+	Name: "goroutinelifecycle",
+	Doc:  "every goroutine in a long-lived server package is tied to a WaitGroup or a done-channel",
+	Suffixes: []string{
+		"internal/manager",
+		"internal/worker",
+		"internal/dataplane",
+	},
+	Run: runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Walk function frames: top-level declarations plus literals,
+		// each providing the lexical scope for the Add-dominates check.
+		var walkFrame func(body *ast.BlockStmt)
+		walkFrame = func(body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch nn := n.(type) {
+				case *ast.FuncLit:
+					walkFrame(nn.Body)
+					return false
+				case *ast.GoStmt:
+					checkGoStmt(pass, info, body, nn)
+					// The spawned literal's own body is still a frame for
+					// nested spawns.
+					if fl, ok := nn.Call.Fun.(*ast.FuncLit); ok {
+						walkFrame(fl.Body)
+					}
+					return false
+				}
+				return true
+			})
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				walkFrame(fd.Body)
+			}
+		}
+	}
+}
+
+// checkGoStmt validates one go statement against the ownership rules.
+func checkGoStmt(pass *Pass, info *types.Info, frame *ast.BlockStmt, g *ast.GoStmt) {
+	if addDominates(info, frame, g.Pos()) {
+		return
+	}
+	var body *ast.BlockStmt
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		body = fl.Body
+	} else if fn := staticCallee(info, g.Call); fn != nil {
+		if decl, _ := pass.Prog.FuncDecl(fn); decl != nil {
+			body = decl.Body
+		}
+	}
+	if body != nil && bodyHasShutdownLinkage(info, body) {
+		return
+	}
+	pass.Reportf(g.Pos(), "goroutine has no shutdown linkage: add a dominating WaitGroup.Add (with Done inside), select on a done channel in the body, or justify with //vinelint:ignore goroutinelifecycle")
+}
+
+// addDominates reports whether a sync.WaitGroup Add call appears in
+// the frame before pos (nested function literals excluded — their Adds
+// belong to their own frames).
+func addDominates(info *types.Info, frame *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(frame, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if call.End() < pos && isWaitGroupCall(info, call, "Add") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// bodyHasShutdownLinkage reports whether a spawned body contains a
+// channel receive, a select statement, or a WaitGroup Done call —
+// nested literals excluded, they are their own goroutines' bodies only
+// when spawned, and their linkage does not drain this one.
+func bodyHasShutdownLinkage(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			found = true
+			return false
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// Ranging a channel drains until close — a shutdown signal.
+			if tv, ok := info.Types[nn.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupCall(info, nn, "Done") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupCall matches `x.<name>(...)` on a sync.WaitGroup.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}

@@ -1,9 +1,12 @@
 package lint
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -47,7 +50,13 @@ func loadCase(t *testing.T, analyzers []*Analyzer, cases ...string) (*Program, *
 	return prog, RunAnalyzers(prog, analyzers)
 }
 
-var wantRE = regexp.MustCompile("// want `([^`]+)`")
+// A want comment holds one or more backticked regexes:
+// `// want `A` `B“ expects two diagnostics on its line.
+var (
+	wantRE     = regexp.MustCompile("// want `")
+	wantPatRE  = regexp.MustCompile("`([^`]+)`")
+	wantMarker = "// want "
+)
 
 // checkWants diffs the run's diagnostics (findings and pragma errors
 // both) against the fixtures' `// want` annotations: every annotation
@@ -64,7 +73,11 @@ func checkWants(t *testing.T, prog *Program, res *Result) {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					idx := strings.Index(c.Text, wantMarker)
+					if idx < 0 || !wantRE.MatchString(c.Text) {
+						continue
+					}
+					for _, m := range wantPatRE.FindAllStringSubmatch(c.Text[idx+len(wantMarker):], -1) {
 						re, err := regexp.Compile(m[1])
 						if err != nil {
 							t.Fatalf("bad want regexp %q: %v", m[1], err)
@@ -113,10 +126,11 @@ func TestPolicyPurity(t *testing.T) {
 func TestMapDeterminism(t *testing.T) {
 	prog, res := loadCase(t, []*Analyzer{mapdeterminism}, "mapdet_bad", "mapdet_ok")
 	checkWants(t, prog, res)
-	// mapdet_ok's counting loop is absorbed by its pragma — visible as
-	// a suppression, never as a finding or a stale-pragma error.
-	if res.Suppressed != 1 {
-		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	// mapdet_ok's counting loop and the dataplane's size-summing loop
+	// are absorbed by their pragmas — visible as suppressions, never as
+	// findings or stale-pragma errors.
+	if res.Suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", res.Suppressed)
 	}
 }
 
@@ -128,6 +142,12 @@ func TestLockDiscipline(t *testing.T) {
 func TestPoolDiscipline(t *testing.T) {
 	prog, res := loadCase(t, []*Analyzer{pooldiscipline}, "pooldiscipline_bad", "pooldiscipline_ok")
 	checkWants(t, prog, res)
+	// pooldiscipline_ok's ParkBuffer leak is absorbed by its justified
+	// pragma; pooldiscipline_bad's stale pragma surfaces as a pragma
+	// error (claimed by a want annotation), not a suppression.
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
 }
 
 func TestCtxDeadline(t *testing.T) {
@@ -138,6 +158,140 @@ func TestCtxDeadline(t *testing.T) {
 func TestPinResolve(t *testing.T) {
 	prog, res := loadCase(t, []*Analyzer{pinresolve}, "pinresolve_bad", "pinresolve_ok")
 	checkWants(t, prog, res)
+}
+
+func TestTraceStability(t *testing.T) {
+	prog, res := loadCase(t, []*Analyzer{tracestability}, "tracestability_bad", "tracestability_ok")
+	checkWants(t, prog, res)
+	if res.Suppressed != 0 {
+		t.Errorf("suppressed = %d, want 0", res.Suppressed)
+	}
+}
+
+func TestMirrorParity(t *testing.T) {
+	prog, res := loadCase(t, []*Analyzer{mirrorparity}, "mirrorparity_bad", "mirrorparity_ok")
+	checkWants(t, prog, res)
+	// mirrorparity_ok's PickDelay is deliberately one-sided and carries
+	// a justified pragma: one suppression, no stale-pragma error.
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}
+
+func TestStatDiscipline(t *testing.T) {
+	prog, res := loadCase(t, []*Analyzer{statdiscipline}, "statdiscipline_bad", "statdiscipline_ok")
+	checkWants(t, prog, res)
+	if res.Suppressed != 0 {
+		t.Errorf("suppressed = %d, want 0", res.Suppressed)
+	}
+}
+
+func TestGoroutineLifecycle(t *testing.T) {
+	prog, res := loadCase(t, []*Analyzer{goroutinelifecycle}, "goroutinelifecycle_bad", "goroutinelifecycle_ok")
+	checkWants(t, prog, res)
+	// goroutinelifecycle_ok's telemetry flush is fire-and-forget by
+	// design and carries a justified pragma.
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}
+
+// loadReal loads real module packages (not fixtures) through the
+// shared loader.
+func loadReal(t *testing.T, patterns ...string) *Program {
+	t.Helper()
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharedLoader == nil {
+		sharedLoader = NewLoader("repro", moduleDir)
+	}
+	dirs, err := ExpandPatterns(moduleDir, patterns)
+	if err != nil {
+		t.Fatalf("expanding %v: %v", patterns, err)
+	}
+	prog, err := sharedLoader.Load(dirs...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	return prog
+}
+
+// TestTraceVocabularyCoversGoldenTraces proves the pinned vocabulary
+// is complete against the ground truth: every line of every golden
+// trace must match some vocabulary format (with %s and %d widened to
+// value patterns). A golden line no format can produce means the
+// vocabulary — and therefore tracestability — has drifted from what
+// the engines actually emit.
+func TestTraceVocabularyCoversGoldenTraces(t *testing.T) {
+	var res []*regexp.Regexp
+	for format := range traceVocabulary {
+		pat := regexp.QuoteMeta(format)
+		pat = strings.ReplaceAll(pat, "%s", `[^ ]*`)
+		pat = strings.ReplaceAll(pat, "%d", `-?\d+`)
+		res = append(res, regexp.MustCompile("^"+pat+"$"))
+	}
+	goldens, err := filepath.Glob("../experiments/testdata/golden_trace_*.txt")
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("no golden traces found: %v", err)
+	}
+	for _, path := range goldens {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			matched := false
+			for _, re := range res {
+				if re.MatchString(line) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: golden trace line %q matches no pinned vocabulary format", filepath.Base(path), i+1, line)
+			}
+		}
+	}
+}
+
+// TestTraceSchemaCurrent proves traceschema.go is regenerated: the
+// vocabulary extracted from the real policy package and engine
+// recorders must equal the pinned map exactly, both directions.
+func TestTraceSchemaCurrent(t *testing.T) {
+	prog := loadReal(t, "internal/policy", "internal/manager", "internal/sim")
+	got := TraceFormats(prog)
+	for _, format := range got {
+		if !traceVocabulary[format] {
+			t.Errorf("format %q is in the tree but not in traceschema.go; regenerate with `go run ./cmd/vinelint -write-traceschema`", format)
+		}
+	}
+	gotSet := map[string]bool{}
+	for _, format := range got {
+		gotSet[format] = true
+	}
+	for format := range traceVocabulary {
+		if !gotSet[format] {
+			t.Errorf("format %q is pinned in traceschema.go but no longer in the tree; regenerate with `go run ./cmd/vinelint -write-traceschema`", format)
+		}
+	}
+	// Regeneration must round-trip byte-identically, so running
+	// -write-traceschema on a clean tree never dirties the checkout.
+	src, err := GenTraceSchema(got)
+	if err != nil {
+		t.Fatalf("GenTraceSchema: %v", err)
+	}
+	disk, err := os.ReadFile("traceschema.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, disk) {
+		t.Errorf("GenTraceSchema output differs from traceschema.go on disk; regenerate with `go run ./cmd/vinelint -write-traceschema`")
+	}
 }
 
 // TestPragmaErrors drives every pragma failure mode through a fixture:

@@ -22,6 +22,7 @@ var mapdeterminism = &Analyzer{
 		"internal/shardplane",
 		"internal/sim",
 		"internal/experiments",
+		"internal/dataplane",
 	},
 	Run: runMapDeterminism,
 }

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -53,13 +54,20 @@ func checkPoolBody(pass *Pass, body *ast.BlockStmt, ft *ast.FuncType) {
 	}
 	var gets []*ast.CallExpr
 	deferredPut, plainPut := false, false
+	var deferPos token.Pos
+	var returns []token.Pos
 	var walk func(n ast.Node) bool
 	walk = func(n ast.Node) bool {
 		switch nn := n.(type) {
 		case *ast.FuncLit:
 			return false // analyzed as its own frame
+		case *ast.ReturnStmt:
+			returns = append(returns, nn.Pos())
 		case *ast.DeferStmt:
 			if isPoolPut(info, nn.Call) {
+				if !deferredPut || nn.Pos() < deferPos {
+					deferPos = nn.Pos()
+				}
 				deferredPut = true
 			}
 			// Still walk the deferred call's arguments — they run now,
@@ -81,7 +89,15 @@ func checkPoolBody(pass *Pass, body *ast.BlockStmt, ft *ast.FuncType) {
 	for _, g := range gets {
 		switch {
 		case deferredPut:
-			// Balanced: the deferred Put runs on every return.
+			// The deferred Put runs on every return — but only once it is
+			// armed. A return lexically between the Get and the defer
+			// escapes before arming and leaks the buffer.
+			for _, rp := range returns {
+				if g.Pos() < rp && rp < deferPos {
+					pass.Reportf(g.Pos(), "pool Get with an early return before the deferred Put is armed; that path leaks the buffer — defer the Put immediately after the Get")
+					break
+				}
+			}
 		case plainPut:
 			pass.Reportf(g.Pos(), "pool Get whose Put is not deferred; an early return path leaks the buffer — use `defer`")
 		default:

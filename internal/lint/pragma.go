@@ -32,7 +32,7 @@ func collectPragmas(fset *token.FileSet, pkg *Package, knownAnalyzers map[string
 	var out []*pragma
 	var errs []Diagnostic
 	bad := func(pos token.Position, format string, args ...any) {
-		errs = append(errs, Diagnostic{Analyzer: "pragma", Pos: pos, Message: fmt.Sprintf(format, args...)})
+		errs = append(errs, Diagnostic{Analyzer: "pragma", Pos: pos, Message: fmt.Sprintf(format, args...), Severity: SeverityError})
 	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {

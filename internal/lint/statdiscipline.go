@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// statdiscipline enforces the stats contract of the long-lived server
+// packages (DESIGN.md §16): a struct field that is accessed through
+// sync/atomic anywhere in the package must be accessed atomically
+// everywhere in the package. A mixed regime — atomic.AddInt64 on the
+// hot path, a plain load in a snapshot — is a data race the race
+// detector only catches when a test happens to interleave the two
+// sites; the analyzer catches it on field identity alone.
+//
+// The analysis keys on go/types field objects: pass 1 collects every
+// field whose address reaches an atomic.Load/Store/Add/Swap/
+// CompareAndSwap call, pass 2 flags plain selector loads and stores of
+// those same fields. Two shapes stay legal: taking the field's address
+// (&s.counter handed to a helper that does the atomic ops — ownership
+// handoff, the sendq drops-counter idiom), and access through a
+// by-value copy of the enclosing struct (a Stats snapshot returned by
+// value is immutable private memory, not the shared instance).
+var statdiscipline = &Analyzer{
+	Name: "statdiscipline",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Suffixes: []string{
+		"internal/manager",
+		"internal/worker",
+		"internal/dataplane",
+	},
+	Run: runStatDiscipline,
+}
+
+func runStatDiscipline(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: fields whose address flows into a sync/atomic call.
+	atomicFields := map[*types.Var]string{}
+	pass.InspectPkg(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicOpName(fn.Name()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if fv := addressedField(info, arg); fv != nil {
+				if _, seen := atomicFields[fv]; !seen {
+					atomicFields[fv] = fn.Name()
+				}
+			}
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: plain selector accesses of those fields. Selectors that
+	// are themselves the &-operand of any unary address-of (atomic call
+	// arguments included) are skipped, as are accesses rooted in a
+	// by-value struct copy.
+	addressed := map[*ast.SelectorExpr]bool{}
+	pass.InspectPkg(func(n ast.Node) bool {
+		if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+			if sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+				addressed[sel] = true
+			}
+		}
+		return true
+	})
+	pass.InspectPkg(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || addressed[sel] {
+			return true
+		}
+		fv, _ := info.Uses[sel.Sel].(*types.Var)
+		if fv == nil || !fv.IsField() {
+			return true
+		}
+		op, tracked := atomicFields[fv]
+		if !tracked || !sharedAccess(info, sel) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "plain access to field %s, which is accessed via atomic.%s elsewhere in this package; mixed atomic/plain access is a data race — use sync/atomic here too, or justify with //vinelint:ignore statdiscipline", sel.Sel.Name, op)
+		return true
+	})
+}
+
+// isAtomicOpName matches the sync/atomic package-level load/store
+// family (typed variants included).
+func isAtomicOpName(name string) bool {
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addressedField unwraps `&expr.Field` to the field's types.Var.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || ue.Op.String() != "&" {
+		return nil
+	}
+	sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fv, _ := info.Uses[sel.Sel].(*types.Var)
+	if fv == nil || !fv.IsField() {
+		return nil
+	}
+	return fv
+}
+
+// sharedAccess reports whether the selector reaches shared memory: its
+// base chain passes through a pointer dereference or a package-level
+// variable. A chain rooted entirely in a local by-value struct (a
+// snapshot copy) is private memory and not a race.
+func sharedAccess(info *types.Info, sel *ast.SelectorExpr) bool {
+	x := ast.Unparen(sel.X)
+	for {
+		if tv, ok := info.Types[x]; ok && tv.Type != nil {
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				return true
+			}
+		}
+		switch base := x.(type) {
+		case *ast.SelectorExpr:
+			x = ast.Unparen(base.X)
+		case *ast.Ident:
+			obj := info.Uses[base]
+			if obj == nil {
+				return true // conservatively shared
+			}
+			if v, ok := obj.(*types.Var); ok {
+				// Package-level variables are shared; locals of value
+				// type are this goroutine's copy.
+				return v.Parent() == v.Pkg().Scope()
+			}
+			return true
+		case *ast.IndexExpr:
+			x = ast.Unparen(base.X)
+		case *ast.CallExpr:
+			// A value returned by a call is a fresh copy.
+			return false
+		default:
+			return true
+		}
+	}
+}

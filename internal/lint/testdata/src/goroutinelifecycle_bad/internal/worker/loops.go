@@ -1,0 +1,44 @@
+// Package worker is a fixture violating goroutinelifecycle: orphan
+// goroutines with no WaitGroup, no done-channel, and no pragma.
+package worker
+
+import "sync"
+
+// Server leaks its background loops.
+type Server struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+// Start spawns orphans.
+func (s *Server) Start() {
+	// Bare literal with no linkage at all.
+	go func() { // want `goroutine has no shutdown linkage`
+		work()
+	}()
+
+	// Named function whose body has no linkage either.
+	go busy() // want `goroutine has no shutdown linkage`
+
+	// A channel send is not shutdown linkage: nothing stops this loop.
+	go func() { // want `goroutine has no shutdown linkage`
+		for {
+			s.jobs <- 1
+		}
+	}()
+
+	// The Add comes after the spawn, so it does not dominate it.
+	go func() { // want `goroutine has no shutdown linkage`
+		work()
+	}()
+	s.wg.Add(1)
+}
+
+func work() {}
+
+func busy() {
+	n := 0
+	for {
+		n++
+	}
+}

@@ -1,0 +1,77 @@
+// Package worker is a clean fixture for goroutinelifecycle: every
+// goroutine is owned — by a dominating WaitGroup.Add, by a
+// done-channel in its body, or by an explicit justified pragma.
+package worker
+
+import "sync"
+
+// Server owns its background loops.
+type Server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	jobs chan int
+}
+
+// Start spawns the owned loops.
+func (s *Server) Start() {
+	// Add-then-spawn: the Add(2) lexically dominates both spawns.
+	s.wg.Add(2)
+	go s.drain()
+	go func() {
+		defer s.wg.Done()
+		for range s.jobs {
+		}
+	}()
+
+	// No Add, but the body selects on the done channel.
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case j := <-s.jobs:
+				_ = j
+			}
+		}
+	}()
+
+	// A bare receive in the body is linkage too.
+	go func() {
+		<-s.done
+	}()
+
+	// Ranging a channel drains until close — owned by the closer.
+	go func() {
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+
+	// Named function: linkage is found in the resolved declaration.
+	go s.pump()
+}
+
+// FlushAsync fires a fire-and-forget goroutine: no WaitGroup in this
+// frame, no linkage in the body, so only the pragma vouches for it.
+func (s *Server) FlushAsync() {
+	//vinelint:ignore goroutinelifecycle best-effort telemetry flush; process exit reaps it and nothing joins on its result
+	go flushTelemetry()
+}
+
+func (s *Server) drain() {
+	for range s.jobs {
+	}
+}
+
+func (s *Server) pump() {
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+			return
+		}
+	}
+}
+
+func flushTelemetry() {}

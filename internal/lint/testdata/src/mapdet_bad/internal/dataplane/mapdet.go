@@ -1,0 +1,11 @@
+// Package dataplane is a fixture proving mapdeterminism now covers
+// the data plane: raw iteration over the object table is flagged.
+package dataplane
+
+func Evictable(objs map[string]int64) []string {
+	var out []string
+	for k := range objs { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+// Package dataplane is a clean fixture: the data plane is now in
+// mapdeterminism's scope, and its sorted and pragma-absorbed loops
+// stay quiet.
+package dataplane
+
+import "repro/internal/core"
+
+func Owners(objs map[string]string) []string {
+	var out []string
+	for _, k := range core.SortedKeys(objs) {
+		out = append(out, objs[k])
+	}
+	return out
+}
+
+func TotalBytes(sizes map[string]int64) int64 {
+	var t int64
+	for _, n := range sizes { //vinelint:unordered summing spill sizes is order-independent
+		t += n
+	}
+	return t
+}

@@ -1,0 +1,10 @@
+// Package manager is the real-engine side of the violating
+// mirrorparity fixture: it calls PlanOrphan, which the sim never does.
+package manager
+
+import policy "repro/internal/lint/testdata/src/mirrorparity_bad/internal/policy"
+
+// Drive executes one orphaned decision.
+func Drive(v *policy.View, key string) string {
+	return v.PlanOrphan(key).Worker
+}

@@ -1,0 +1,24 @@
+// Package policy is a fixture breaking mirrorparity: entry points
+// wired into one engine only, or into neither.
+package policy
+
+// View is the decision substrate.
+type View struct{ Workers []string }
+
+// Decision is one placement.
+type Decision struct{ Worker string }
+
+// PlanOrphan is wired into the manager only.
+func (v *View) PlanOrphan(key string) Decision { // want `PlanOrphan is not referenced by internal/sim`
+	return Decision{}
+}
+
+// PlanGhost is wired into the simulator only.
+func (v *View) PlanGhost(key string) Decision { // want `PlanGhost is not referenced by internal/manager`
+	return Decision{}
+}
+
+// PlanNowhere compiles clean and runs nowhere.
+func (v *View) PlanNowhere(key string) Decision { // want `PlanNowhere is not referenced by internal/manager` `PlanNowhere is not referenced by internal/sim`
+	return Decision{}
+}

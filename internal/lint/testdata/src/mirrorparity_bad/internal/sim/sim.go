@@ -1,0 +1,10 @@
+// Package sim is the simulator side of the violating mirrorparity
+// fixture: it calls PlanGhost, which the manager never does.
+package sim
+
+import policy "repro/internal/lint/testdata/src/mirrorparity_bad/internal/policy"
+
+// Replay executes one ghost decision.
+func Replay(v *policy.View, key string) string {
+	return v.PlanGhost(key).Worker
+}

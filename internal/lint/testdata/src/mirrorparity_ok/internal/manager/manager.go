@@ -1,0 +1,14 @@
+// Package manager is the real-engine side of the clean mirrorparity
+// fixture.
+package manager
+
+import policy "repro/internal/lint/testdata/src/mirrorparity_ok/internal/policy"
+
+// Drive plans a batch, records it, and schedules a retry.
+func Drive(v *policy.View, rec *policy.Recorder, keys []string) int {
+	ds := v.PlanBatch(keys)
+	for _, d := range ds {
+		policy.NoteThing(rec, d.Worker)
+	}
+	return policy.PickDelay(len(ds)) + policy.Helper()
+}

@@ -1,0 +1,13 @@
+// Package sim is the simulator side of the clean mirrorparity fixture:
+// it reaches every decision entry point PlanBatch drags in, without
+// ever waiting out a retry delay.
+package sim
+
+import policy "repro/internal/lint/testdata/src/mirrorparity_ok/internal/policy"
+
+// Replay mirrors the manager's decisions.
+func Replay(v *policy.View, rec *policy.Recorder, keys []string) {
+	for _, d := range v.PlanBatch(keys) {
+		policy.NoteThing(rec, d.Worker)
+	}
+}

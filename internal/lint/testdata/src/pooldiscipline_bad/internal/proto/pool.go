@@ -70,3 +70,25 @@ func LeakInsideLiteral(v []byte) func() {
 		buf.Write(v)
 	}
 }
+
+func LeakBeforeDefer(v []byte) error {
+	buf := pool.Get().(*bytes.Buffer) // want `pool Get with an early return before the deferred Put is armed`
+	if len(v) == 0 {
+		return errors.New("empty input") // escapes before the defer below arms
+	}
+	defer pool.Put(buf)
+	buf.Write(v)
+	return nil
+}
+
+// The suppression below sits on a clean function: it absorbs nothing,
+// and the analyzer rejects it as stale rather than letting a dead
+// exemption rot in place.
+//
+//vinelint:ignore pooldiscipline exemption kept from a leak that was since fixed // want `stale //vinelint:pooldiscipline pragma`
+func BalancedAfterFix(v []byte) error {
+	buf := pool.Get().(*bytes.Buffer)
+	defer pool.Put(buf)
+	buf.Write(v)
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package manager is a fixture violating statdiscipline: the Done
+// counter is atomic on the hot path but read and written plainly
+// through shared pointers elsewhere.
+package manager
+
+import "sync/atomic"
+
+type stats struct{ Done int64 }
+
+// Manager owns shared stats.
+type Manager struct{ stats stats }
+
+// Bump increments atomically.
+func (m *Manager) Bump() {
+	atomic.AddInt64(&m.stats.Done, 1)
+}
+
+// Peek reads the same field without atomic through the shared
+// receiver pointer: a data race with Bump.
+func (m *Manager) Peek() int64 {
+	return m.stats.Done // want `plain access to field Done, which is accessed via atomic.AddInt64`
+}
+
+// Reset writes it plainly: also a race.
+func (m *Manager) Reset() {
+	m.stats.Done = 0 // want `plain access to field Done`
+}

@@ -1,0 +1,43 @@
+// Package manager is a clean fixture for statdiscipline: the counter
+// touched by sync/atomic is only ever read atomically when shared, and
+// the two legal non-atomic shapes — address handoff and value-copy
+// snapshots — stay quiet.
+package manager
+
+import "sync/atomic"
+
+type stats struct {
+	Done    int64
+	Dropped int64
+}
+
+// Manager owns shared stats.
+type Manager struct{ stats stats }
+
+// Bump increments atomically.
+func (m *Manager) Bump() {
+	atomic.AddInt64(&m.stats.Done, 1)
+}
+
+// Snapshot reads atomically and returns a private copy.
+func (m *Manager) Snapshot() stats {
+	return stats{
+		Done:    atomic.LoadInt64(&m.stats.Done),
+		Dropped: atomic.LoadInt64(&m.stats.Dropped),
+	}
+}
+
+// Report reads fields of a value copy: the copy is private, so plain
+// access is fine even though the same field identity is atomic on the
+// shared struct.
+func (m *Manager) Report() int64 {
+	st := m.Snapshot()
+	return st.Done + st.Dropped
+}
+
+// Handoff passes the field's address to a collaborator, which is how
+// the counter gets shared in the first place; taking the address is
+// not a racy read.
+func (m *Manager) Handoff() *int64 {
+	return &m.stats.Dropped
+}

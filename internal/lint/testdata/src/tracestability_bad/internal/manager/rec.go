@@ -1,0 +1,14 @@
+// Package manager is a fixture: an engine-side recorder call that
+// builds its own trace line instead of going through a Trace* helper.
+package manager
+
+import (
+	"fmt"
+
+	policy "repro/internal/lint/testdata/src/tracestability_bad/internal/policy"
+)
+
+// Run smuggles an engine-local format into the decision trace.
+func Run(rec *policy.Recorder, n int) {
+	rec.Record(fmt.Sprintf("mgr pass=%d", n)) // want `trace format "mgr pass=%d" is not in the pinned vocabulary`
+}

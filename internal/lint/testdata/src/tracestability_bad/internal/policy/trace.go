@@ -1,0 +1,48 @@
+// Package policy is a fixture breaking tracestability: unregistered
+// formats, nondeterministic verbs, non-constant formats, and ad-hoc
+// Record arguments.
+package policy
+
+import "fmt"
+
+// Recorder mirrors the real policy Recorder shape.
+type Recorder struct{ Decisions []string }
+
+func (r *Recorder) Record(line string) { r.Decisions = append(r.Decisions, line) }
+
+// TraceBogus formats a line nobody pinned.
+func TraceBogus(key string) string {
+	return fmt.Sprintf("bogus key=%s", key) // want `trace format "bogus key=%s" is not in the pinned vocabulary`
+}
+
+// TraceLiteral returns a constant line nobody pinned.
+func TraceLiteral() string {
+	return "quiesce reached" // want `trace line "quiesce reached" is not in the pinned vocabulary`
+}
+
+// TracePointer leaks an address into the trace.
+func TracePointer(v *int) string {
+	return fmt.Sprintf("ptr at=%p", v) // want `not in the pinned vocabulary` `uses %p`
+}
+
+// TraceMap renders a map through %v.
+func TraceMap(m map[string]int) string {
+	return fmt.Sprintf("state=%v", m) // want `not in the pinned vocabulary` `%v to a map-typed argument`
+}
+
+// TraceFloat renders a float through %v.
+func TraceFloat(f float64) string {
+	return fmt.Sprintf("load=%v", f) // want `not in the pinned vocabulary` `%v to a float-typed argument`
+}
+
+// TraceDynamic cannot be pinned at all.
+func TraceDynamic(format, key string) string {
+	return fmt.Sprintf(format, key) // want `trace format must be a constant string literal`
+}
+
+// Decide records lines the vocabulary cannot vouch for.
+func Decide(rec *Recorder, key string) {
+	rec.Record("ad-hoc literal line")    // want `trace line "ad-hoc literal line" is not in the pinned vocabulary`
+	rec.Record(key + " done")            // want `decision trace recorded from an ad-hoc expression`
+	rec.Record(fmt.Sprintf("x=%s", key)) // want `trace format "x=%s" is not in the pinned vocabulary`
+}

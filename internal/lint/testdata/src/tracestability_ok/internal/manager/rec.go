@@ -1,0 +1,10 @@
+// Package manager is a clean fixture: the engine records only through
+// the policy package's Trace* helpers.
+package manager
+
+import policy "repro/internal/lint/testdata/src/tracestability_ok/internal/policy"
+
+// Run drives one recorded decision.
+func Run(rec *policy.Recorder, key string) {
+	rec.Record(policy.TracePlaceTask(key, policy.Place{Worker: "w1", Stages: 1}))
+}

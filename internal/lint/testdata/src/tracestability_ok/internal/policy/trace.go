@@ -1,0 +1,36 @@
+// Package policy is a clean fixture for tracestability: Trace* helpers
+// format only pinned vocabulary entries, and every Record call flows
+// through a helper or a registered constant format.
+package policy
+
+import "fmt"
+
+// Recorder mirrors the real policy Recorder shape.
+type Recorder struct{ Decisions []string }
+
+func (r *Recorder) Record(line string) { r.Decisions = append(r.Decisions, line) }
+
+// Place is a decision payload.
+type Place struct {
+	Worker string
+	Stages int
+}
+
+// TracePlaceTask renders a placement with a registered format.
+func TracePlaceTask(key string, d Place) string {
+	return fmt.Sprintf("task key=%s worker=%s stages=%d", key, d.Worker, d.Stages)
+}
+
+// TracePick branches between two registered formats.
+func TracePick(lib, worker string, promote bool) string {
+	if promote {
+		return fmt.Sprintf("promote obj=%s worker=%s", lib, worker)
+	}
+	return fmt.Sprintf("place lib=%s worker=%s", lib, worker)
+}
+
+// Decide records through the canonical shapes.
+func Decide(rec *Recorder, key string) {
+	rec.Record(TracePlaceTask(key, Place{Worker: "w0"}))
+	rec.Record(fmt.Sprintf("place lib=%s worker=%s", key, "w0"))
+}

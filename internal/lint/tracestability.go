@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// tracestability enforces the fidelity contract's formatting half
+// (DESIGN.md §9, §16): the decision-trace vocabulary is pinned. Golden
+// traces and differential replays compare traces byte for byte, so a
+// reworded trace line — or a brand-new one wired into only one engine
+// — silently invalidates every pinned trace until a run happens to
+// exercise it. Statically:
+//
+//   - Every format string used by a Trace* helper in internal/policy
+//     must appear in the pinned vocabulary (traceschema.go,
+//     regenerated with `go run ./cmd/vinelint -write-traceschema`).
+//   - Recorder.Record call sites in the policy core and the
+//     manager/sim plane recorders must pass either a Trace* helper
+//     call or a registered constant format — never an ad-hoc string
+//     built at the call site.
+//   - Trace formats may not contain nondeterministic verbs: %p never,
+//     and %v (or %+v/%#v) on a map- or float-typed argument, whose
+//     rendering depends on iteration order or shortest-float rounding.
+var tracestability = &Analyzer{
+	Name: "tracestability",
+	Doc:  "decision-trace formats come from the pinned vocabulary and contain no nondeterministic verbs",
+	Suffixes: []string{
+		"internal/policy",
+		"internal/manager",
+		"internal/sim",
+	},
+	Run: runTraceStability,
+}
+
+func runTraceStability(pass *Pass) {
+	info := pass.Pkg.Info
+	isPolicy := pkgIsPolicy(pass.Pkg.Path)
+
+	// Trace* helpers in the policy package are the single source of the
+	// decision-string format: every Sprintf format and literal return in
+	// one must be a registered vocabulary entry.
+	if isPolicy {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Trace") {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch nn := n.(type) {
+					case *ast.CallExpr:
+						if isSprintf(info, nn) {
+							checkTraceFormat(pass, nn)
+						}
+					case *ast.ReturnStmt:
+						for _, res := range nn.Results {
+							if lit := stringLit(res); lit != "" && !traceVocabulary[lit] {
+								pass.Reportf(res.Pos(), "trace line %q is not in the pinned vocabulary; regenerate with `go run ./cmd/vinelint -write-traceschema` (fidelity contract: golden traces pin every format)", lit)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Record call sites: the argument must flow through the vocabulary.
+	pass.InspectPkg(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isRecorderRecord(info, call) || len(call.Args) != 1 {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		switch a := arg.(type) {
+		case *ast.CallExpr:
+			if fn := staticCallee(info, a); fn != nil && strings.HasPrefix(fn.Name(), "Trace") && fn.Pkg() != nil && pkgIsPolicy(fn.Pkg().Path()) {
+				return true // the canonical shape: rec.Record(policy.TraceX(...))
+			}
+			if isSprintf(info, a) {
+				checkTraceFormat(pass, a)
+				return true
+			}
+		case *ast.BasicLit:
+			if lit := stringLit(a); lit != "" {
+				if !traceVocabulary[lit] {
+					pass.Reportf(a.Pos(), "trace line %q is not in the pinned vocabulary; regenerate with `go run ./cmd/vinelint -write-traceschema` (fidelity contract: golden traces pin every format)", lit)
+				}
+				return true
+			}
+		}
+		pass.Reportf(arg.Pos(), "decision trace recorded from an ad-hoc expression; record through a policy Trace* helper (or a registered constant format) so both engines share one vocabulary")
+		return true
+	})
+}
+
+// checkTraceFormat validates one Sprintf whose result becomes a trace
+// line: registered format, no nondeterministic verbs.
+func checkTraceFormat(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format := stringLit(ast.Unparen(call.Args[0]))
+	if format == "" {
+		pass.Reportf(call.Args[0].Pos(), "trace format must be a constant string literal so the vocabulary can pin it")
+		return
+	}
+	if !traceVocabulary[format] {
+		pass.Reportf(call.Args[0].Pos(), "trace format %q is not in the pinned vocabulary; regenerate with `go run ./cmd/vinelint -write-traceschema` (fidelity contract: golden traces pin every format)", format)
+	}
+	checkTraceVerbs(pass, call, format)
+}
+
+// checkTraceVerbs walks the verbs of a trace format left to right,
+// pairing them with the call's variadic arguments, and flags the
+// nondeterministic ones.
+func checkTraceVerbs(pass *Pass, call *ast.CallExpr, format string) {
+	info := pass.Pkg.Info
+	argIdx := 1 // args[0] is the format
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		// Scan flags/width to the verb rune.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[j])) {
+			j++
+		}
+		if j >= len(format) {
+			break
+		}
+		verb := format[j]
+		i = j
+		if verb == '%' {
+			continue
+		}
+		var argType types.Type
+		if argIdx < len(call.Args) {
+			if tv, ok := info.Types[call.Args[argIdx]]; ok {
+				argType = tv.Type
+			}
+		}
+		argIdx++
+		switch verb {
+		case 'p':
+			pass.Reportf(call.Args[0].Pos(), "trace format uses %%p; pointer addresses differ between runs and engines (fidelity contract)")
+		case 'v':
+			if argType == nil {
+				continue
+			}
+			switch argType.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(call.Args[0].Pos(), "trace format applies %%v to a map-typed argument; rendering depends on iteration order — format sorted keys explicitly")
+			case *types.Basic:
+				b := argType.Underlying().(*types.Basic)
+				if b.Info()&types.IsFloat != 0 {
+					pass.Reportf(call.Args[0].Pos(), "trace format applies %%v to a float-typed argument; scale to an integer first (the vtScale idiom) so no float formatting enters traces")
+				}
+			}
+		}
+	}
+}
+
+// isSprintf matches fmt.Sprintf calls.
+func isSprintf(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == "Sprintf"
+}
+
+// isRecorderRecord matches method calls to (*Recorder).Record where
+// Recorder is declared in a policy package.
+func isRecorderRecord(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Record" {
+		return false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Recorder" && pkgIsPolicy(named.Obj().Pkg().Path())
+}
+
+// pkgIsPolicy reports whether the import path is a policy package.
+func pkgIsPolicy(path string) bool {
+	return hasPathSuffix(path, "internal/policy")
+}
+
+// stringLit returns the value of a string literal expression, or "".
+func stringLit(e ast.Expr) string {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+// TraceFormats extracts the trace-format vocabulary from a loaded
+// program: every constant Sprintf format and literal return inside a
+// Trace* helper of a policy package, plus constant formats passed
+// directly to Recorder.Record anywhere in the program. cmd/vinelint
+// -write-traceschema regenerates traceschema.go from this set.
+func TraceFormats(prog *Program) []string {
+	set := map[string]bool{}
+	for _, pkg := range prog.Target {
+		if pkg.Info == nil {
+			continue
+		}
+		if pkgIsPolicy(pkg.Path) {
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Trace") {
+						continue
+					}
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						switch nn := n.(type) {
+						case *ast.CallExpr:
+							if isSprintf(pkg.Info, nn) && len(nn.Args) > 0 {
+								if lit := stringLit(ast.Unparen(nn.Args[0])); lit != "" {
+									set[lit] = true
+								}
+							}
+						case *ast.ReturnStmt:
+							for _, res := range nn.Results {
+								if lit := stringLit(res); lit != "" {
+									set[lit] = true
+								}
+							}
+						}
+						return true
+					})
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isRecorderRecord(pkg.Info, call) || len(call.Args) != 1 {
+					return true
+				}
+				switch a := ast.Unparen(call.Args[0]).(type) {
+				case *ast.CallExpr:
+					if isSprintf(pkg.Info, a) && len(a.Args) > 0 {
+						if lit := stringLit(ast.Unparen(a.Args[0])); lit != "" {
+							set[lit] = true
+						}
+					}
+				case *ast.BasicLit:
+					if lit := stringLit(a); lit != "" {
+						set[lit] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GenTraceSchema renders traceschema.go source for the given formats,
+// gofmt-formatted, so `cmd/vinelint -write-traceschema` regenerates
+// the pinned vocabulary byte-identically from a clean tree.
+func GenTraceSchema(formats []string) ([]byte, error) {
+	sorted := append([]string(nil), formats...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	b.WriteString("// Code generated by `go run ./cmd/vinelint -write-traceschema`. DO NOT EDIT by hand:\n")
+	b.WriteString("// regenerate after changing a policy Trace* helper, then re-pin the golden traces.\n")
+	b.WriteString("package lint\n\n")
+	b.WriteString("// traceVocabulary is the pinned set of decision-trace format strings.\n")
+	b.WriteString("// The tracestability analyzer rejects any trace format not listed\n")
+	b.WriteString("// here, so a reworded or brand-new trace line is a compile-adjacent\n")
+	b.WriteString("// failure instead of a silent golden-trace invalidation.\n")
+	b.WriteString("var traceVocabulary = map[string]bool{\n")
+	prev := ""
+	for _, f := range sorted {
+		if f == prev {
+			continue
+		}
+		prev = f
+		fmt.Fprintf(&b, "\t%q: true,\n", f)
+	}
+	b.WriteString("}\n")
+	return format.Source([]byte(b.String()))
+}

@@ -42,6 +42,8 @@ type TaskReq struct {
 // means "wait for those objects", a zero Worker with no Blocked means
 // no candidate fits now — exactly PlanTask's contract. The view is
 // unchanged on return.
+//
+//vinelint:ignore mirrorparity convenience wrapper over PlanTaskBatchInto; the manager takes the scratch-slice variant and batched_test proves both emit identical decisions
 func (v *ClusterView) PlanTaskBatch(reqs []TaskReq, f Filter) []PlaceTask {
 	return v.PlanTaskBatchInto(nil, reqs, f)
 }
@@ -73,6 +75,8 @@ func (v *ClusterView) PlanTaskBatchInto(dst []PlaceTask, reqs []TaskReq, f Filte
 // skip-and-stop rule of a library queue pass (every queued invocation
 // of one library faces the same cluster state). The view is unchanged
 // on return.
+//
+//vinelint:ignore mirrorparity convenience wrapper over PlaceReadyBatchInto; the manager takes the scratch-slice variant and batched_test proves both emit identical decisions
 func (v *ClusterView) PlaceReadyBatch(lib string, k int, f Filter) []PlaceInvocation {
 	return v.PlaceReadyBatchInto(make([]PlaceInvocation, 0, k), lib, k, f)
 }
